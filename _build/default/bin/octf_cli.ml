@@ -1,0 +1,207 @@
+(* octf command-line interface.
+
+     dune exec bin/octf_cli.exe -- simulate --workload inception \
+       --workers 50 --ps 17 --mode sync --steps 40
+     dune exec bin/octf_cli.exe -- train --steps 200 --lr 0.1
+     dune exec bin/octf_cli.exe -- trace --out /tmp/step.json
+
+   The paper-evaluation harness itself lives in bench/main.exe; this
+   binary exposes the simulator and runtime interactively. *)
+
+open Octf_tensor
+open Cmdliner
+module B = Octf.Builder
+module Sim = Octf_sim.Replica_sim
+module Stats = Octf_sim.Stats
+module W = Octf_models.Workload
+module Lm = Octf_models.Lstm_model
+
+(* ----------------------------- simulate ---------------------------- *)
+
+let workload_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "inception" ] -> Ok (W.inception_v3 ~batch:32)
+    | [ "lstm-full" ] -> Ok (Lm.workload ~softmax:Lm.Full ~batch:64 ~unroll:20)
+    | [ "lstm-sampled" ] ->
+        Ok (Lm.workload ~softmax:(Lm.Sampled 512) ~batch:64 ~unroll:20)
+    | [ "scalar" ] -> Ok W.null_scalar
+    | [ "dense"; mb ] -> (
+        match float_of_string_opt mb with
+        | Some mb -> Ok (W.null_dense ~mb)
+        | None -> Error (`Msg "dense:<megabytes>"))
+    | _ ->
+        Error
+          (`Msg
+            "expected inception | lstm-full | lstm-sampled | scalar | \
+             dense:<MB>")
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.W.name)
+
+let mode_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "async" ] -> Ok Sim.Async
+    | [ "sync" ] -> Ok (Sim.Sync { backup = 0 })
+    | [ "backup"; b ] -> (
+        match int_of_string_opt b with
+        | Some b -> Ok (Sim.Sync { backup = b })
+        | None -> Error (`Msg "backup:<n>"))
+    | _ -> Error (`Msg "expected async | sync | backup:<n>")
+  in
+  let print fmt = function
+    | Sim.Async -> Format.pp_print_string fmt "async"
+    | Sim.Sync { backup = 0 } -> Format.pp_print_string fmt "sync"
+    | Sim.Sync { backup } -> Format.fprintf fmt "backup:%d" backup
+  in
+  Arg.conv (parse, print)
+
+let simulate workload workers ps mode steps seed =
+  let cfg =
+    {
+      (Sim.default ~workload) with
+      Sim.num_workers = workers;
+      num_ps = ps;
+      coordination = mode;
+      seed;
+    }
+  in
+  let r = Sim.run cfg ~steps in
+  Format.printf "workload:   %a@." W.pp workload;
+  Format.printf "cluster:    %d workers, %d PS tasks@." workers ps;
+  Format.printf "steps:      %d (%s)@." steps
+    (match mode with
+    | Sim.Async -> "asynchronous"
+    | Sim.Sync { backup = 0 } -> "synchronous"
+    | Sim.Sync { backup } -> Printf.sprintf "synchronous, %d backup" backup);
+  Format.printf "step time:  median %.1f ms (p10 %.1f, p90 %.1f)@."
+    (1000.0 *. r.Sim.summary.Stats.median)
+    (1000.0 *. r.Sim.summary.Stats.p10)
+    (1000.0 *. r.Sim.summary.Stats.p90);
+  Format.printf "throughput: %.0f items/s@." r.Sim.throughput
+
+let simulate_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt workload_conv (W.inception_v3 ~batch:32)
+      & info [ "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "inception | lstm-full | lstm-sampled | scalar | dense:<MB>")
+  in
+  let workers =
+    Arg.(value & opt int 50 & info [ "workers" ] ~doc:"Worker task count.")
+  in
+  let ps = Arg.(value & opt int 17 & info [ "ps" ] ~doc:"PS task count.") in
+  let mode =
+    Arg.(
+      value & opt mode_conv Sim.Async
+      & info [ "mode" ] ~doc:"async | sync | backup:<n> (Figure 4).")
+  in
+  let steps =
+    Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Steps/rounds to simulate.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate distributed training on the shared-cluster model")
+    Term.(const simulate $ workload $ workers $ ps $ mode $ steps $ seed)
+
+(* ------------------------------ train ------------------------------ *)
+
+let train steps lr =
+  let module Vs = Octf_nn.Var_store in
+  let dim = 3 in
+  let true_w = [| 2.0; -3.0; 0.5 |] in
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.placeholder b ~shape:[| 32; dim |] Dtype.F32 in
+  let y = B.placeholder b ~shape:[| 32; 1 |] Dtype.F32 in
+  let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [| dim; 1 |] in
+  let loss =
+    Octf_nn.Losses.mse b ~predictions:(B.matmul b x w.Vs.read) ~targets:y
+  in
+  let train_op = Octf_train.Optimizer.minimize store ~lr ~loss () in
+  let session = Octf.Session.create (B.graph b) in
+  Octf.Session.run_unit session [ Vs.init_op store ];
+  let rng = Rng.create 12 in
+  for step = 1 to steps do
+    let xs, ys =
+      Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
+        ~bias:0.0 ~noise:0.01
+    in
+    let feeds = [ (x, xs); (y, ys) ] in
+    match Octf.Session.run ~feeds session [ loss; train_op ] with
+    | [ l; _ ] ->
+        if step mod (max 1 (steps / 10)) = 0 then
+          Format.printf "step %4d loss %.6f@." step (Tensor.flat_get_f l 0)
+    | _ -> assert false
+  done;
+  let learned =
+    Tensor.to_float_array
+      (List.hd (Octf.Session.run session [ w.Vs.read ]))
+  in
+  Format.printf "learned w: [%s] (true: [%s])@."
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") learned)))
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") true_w)))
+
+let train_cmd =
+  let steps =
+    Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Training steps.")
+  in
+  let lr =
+    Arg.(value & opt float 0.1 & info [ "lr" ] ~doc:"Learning rate.")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a linear model end to end (quick sanity run)")
+    Term.(const train $ steps $ lr)
+
+(* ------------------------------ trace ------------------------------ *)
+
+let trace out =
+  let module Vs = Octf_nn.Var_store in
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.const b (Tensor.ones Dtype.F32 [| 8; 16 |]) in
+  let h =
+    Octf_nn.Layers.dense store ~activation:`Relu ~name:"fc1" ~in_dim:16
+      ~out_dim:32 x
+  in
+  let logits =
+    Octf_nn.Layers.dense store ~name:"fc2" ~in_dim:32 ~out_dim:10 h
+  in
+  let loss = Octf.Builder.reduce_mean b (Octf.Builder.square b logits) in
+  let train_op = Octf_train.Optimizer.minimize store ~lr:0.01 ~loss () in
+  let session = Octf.Session.create (B.graph b) in
+  Octf.Session.run_unit session [ Vs.init_op store ];
+  let _, tracer = Octf.Session.run_traced session [ loss; train_op ] in
+  Format.printf "%a" Octf.Tracer.pp_summary tracer;
+  match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Octf.Tracer.to_chrome_trace tracer);
+      close_out oc;
+      Format.printf "chrome trace written to %s (load in about://tracing)@."
+        path
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write Chrome-trace JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Profile one training step and print a per-op kernel summary")
+    Term.(const trace $ out)
+
+let () =
+  let info =
+    Cmd.info "octf" ~version:"1.0"
+      ~doc:"OCaml reproduction of TensorFlow (OSDI 2016)"
+  in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; train_cmd; trace_cmd ]))

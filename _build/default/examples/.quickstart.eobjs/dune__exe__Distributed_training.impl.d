@@ -1,0 +1,1 @@
+examples/distributed_training.ml: Array Dtype Float List Mutex Octf Octf_data Octf_nn Octf_tensor Octf_train Printf Rng Tensor Thread

@@ -1,0 +1,1 @@
+examples/figure1_pipeline.ml: Filename List Octf Octf_data Octf_nn Octf_tensor Octf_train Printf Rng Sys Tensor Thread

@@ -1,0 +1,1 @@
+examples/language_model.ml: Dtype Float List Octf Octf_data Octf_nn Octf_tensor Octf_train Printf Rng Tensor Unix

@@ -1,0 +1,1 @@
+examples/mnist_cnn.ml: Dtype Filename List Octf Octf_data Octf_nn Octf_tensor Octf_train Printf Rng String Sys Tensor Thread

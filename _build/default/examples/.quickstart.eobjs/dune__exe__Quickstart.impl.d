@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dtype Octf Octf_data Octf_nn Octf_tensor Octf_train Printf Rng String Tensor

@@ -1,0 +1,102 @@
+(* Distributed data-parallel training on an in-process cluster (§3.3,
+   §4.4): parameters live on two "ps" tasks, worker threads run replica
+   steps through real Send/Recv partitions, and the three coordination
+   schemes of Figure 4 are exercised in turn:
+
+   - asynchronous (4a): workers apply gradients as they are produced;
+   - synchronous (4b): a queue barrier aggregates all gradients;
+   - synchronous + backup (4c): one extra replica runs, the chief
+     aggregates the first three and drops the straggler's stale update.
+
+     dune exec examples/distributed_training.exe *)
+
+open Octf_tensor
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+module Sr = Octf_train.Sync_replicas
+
+let dim = 5
+
+let true_w = [| 1.0; -2.0; 3.0; -4.0; 5.0 |]
+
+let build_replica () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.placeholder b ~name:"x" ~shape:[| 32; dim |] Dtype.F32 in
+  let y = B.placeholder b ~name:"y" ~shape:[| 32; 1 |] Dtype.F32 in
+  (* Parameters are pinned to the PS job; placement colocates reads and
+     updates with them and partitioning inserts Send/Recv pairs. *)
+  let w =
+    Vs.get store ~device:"/job:ps/task:0" ~init:Octf_nn.Init.zeros ~name:"w"
+      [| dim; 1 |]
+  in
+  let bias =
+    Vs.get store ~device:"/job:ps/task:1" ~init:Octf_nn.Init.zeros ~name:"b"
+      [| 1 |]
+  in
+  let predictions = B.add b (B.matmul b x w.Vs.read) bias.Vs.read in
+  let loss = Octf_nn.Losses.mse b ~predictions ~targets:y in
+  (b, store, x, y, loss, w)
+
+let run_mode name mode ~num_workers ~steps_per_worker =
+  let cluster =
+    Octf.Cluster.create
+      ~jobs:
+        [ ("ps", 2, [ Octf.Device.CPU ]); ("worker", 1, [ Octf.Device.CPU ]) ]
+  in
+  let b, store, x, y, loss, w = build_replica () in
+  let coord = Sr.build store ~mode ~num_workers ~lr:0.05 ~loss () in
+  let init = Vs.init_op store in
+  let session = Octf.Cluster.session cluster (B.graph b) in
+  Octf.Session.run_unit session [ init ];
+  Sr.start coord session;
+  let rng = Rng.create 99 in
+  let batches = Mutex.create () in
+  let next_batch () =
+    Mutex.lock batches;
+    let batch =
+      Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
+        ~bias:0.5 ~noise:0.05
+    in
+    Mutex.unlock batches;
+    batch
+  in
+  let threads =
+    List.init num_workers (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to steps_per_worker do
+              let xs, ys = next_batch () in
+              try Sr.worker_step ~feeds:[ (x, xs); (y, ys) ] coord session
+              with Octf.Session.Run_error _ -> ()
+            done)
+          ())
+  in
+  (match mode with
+  | Sr.Async -> List.iter Thread.join threads
+  | Sr.Sync | Sr.Sync_backup _ ->
+      for _ = 1 to steps_per_worker do
+        try Sr.chief_step coord session
+        with Octf.Session.Run_error _ -> ()
+      done;
+      Sr.shutdown coord session;
+      List.iter Thread.join threads);
+  match Octf.Session.run session [ w.Vs.read ] with
+  | [ learned ] ->
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i v -> err := !err +. Float.abs (Tensor.flat_get_f learned i -. v))
+        true_w;
+      Printf.printf "%-22s %3d aggregate updates; mean |w - w*| = %.3f\n%!"
+        name
+        (Sr.global_step coord session)
+        (!err /. float_of_int dim)
+  | _ -> assert false
+
+let () =
+  Printf.printf "cluster: 2 PS tasks + worker threads; 32-example batches\n%!";
+  run_mode "asynchronous" Sr.Async ~num_workers:3 ~steps_per_worker:60;
+  run_mode "synchronous" Sr.Sync ~num_workers:3 ~steps_per_worker:40;
+  run_mode "sync + 1 backup"
+    (Sr.Sync_backup { aggregate = 3 })
+    ~num_workers:4 ~steps_per_worker:40

@@ -1,0 +1,63 @@
+(* Quickstart: linear regression with the dataflow graph, automatic
+   differentiation (§4.1) and an SGD update subgraph.
+
+     dune exec examples/quickstart.exe
+
+   Builds y = x·w + b, minimizes mean squared error against synthetic
+   data generated from known weights, and prints the recovered
+   parameters. *)
+
+open Octf_tensor
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+
+let () =
+  let true_w = [| 2.0; -3.4; 0.7 |] and true_b = 4.2 in
+  let dim = Array.length true_w in
+  let batch = 64 in
+
+  (* 1. Build the dataflow graph. *)
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.placeholder b ~name:"x" ~shape:[| batch; dim |] Dtype.F32 in
+  let y = B.placeholder b ~name:"y" ~shape:[| batch; 1 |] Dtype.F32 in
+  let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [| dim; 1 |] in
+  let bias = Vs.get store ~init:Octf_nn.Init.zeros ~name:"b" [| 1 |] in
+  let predictions = B.add b (B.matmul b x w.Vs.read) bias.Vs.read in
+  let loss = Octf_nn.Losses.mse b ~predictions ~targets:y in
+  let train_op = Octf_train.Optimizer.minimize store ~lr:0.1 ~loss () in
+  let init = Vs.init_op store in
+
+  (* 2. Run it: one session, many steps on the cached subgraph. *)
+  let session = Octf.Session.create (B.graph b) in
+  Octf.Session.run_unit session [ init ];
+  let rng = Rng.create 17 in
+  for step = 0 to 200 do
+    let xs, ys =
+      Octf_data.Synthetic.regression_batch rng ~batch ~dim ~w:true_w
+        ~bias:true_b ~noise:0.01
+    in
+    let feeds = [ (x, xs); (y, ys) ] in
+    if step mod 50 = 0 then begin
+      match Octf.Session.run ~feeds session [ loss ] with
+      | [ l ] ->
+          Printf.printf "step %3d  loss %.5f\n%!" step (Tensor.flat_get_f l 0)
+      | _ -> assert false
+    end;
+    Octf.Session.run_unit ~feeds session [ train_op ]
+  done;
+
+  (* 3. Inspect the learned parameters. *)
+  match Octf.Session.run session [ w.Vs.read; bias.Vs.read ] with
+  | [ learned_w; learned_b ] ->
+      Printf.printf "true w = [%s], b = %.2f\n"
+        (String.concat "; "
+           (Array.to_list (Array.map (Printf.sprintf "%.2f") true_w)))
+        true_b;
+      Printf.printf "learned w = [%s], b = %.2f\n"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (Printf.sprintf "%.2f")
+                 (Tensor.to_float_array learned_w))))
+        (Tensor.flat_get_f learned_b 0)
+  | _ -> assert false

@@ -1,0 +1,1 @@
+lib/core/array_kernels.ml: Array Attr Kernel List Node Octf_tensor Option Rng Shape Tensor Tensor_ops Value

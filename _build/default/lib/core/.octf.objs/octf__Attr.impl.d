@@ -1,0 +1,1 @@
+lib/core/attr.ml: Dtype Format List Octf_tensor Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/core/attr.mli: Dtype Format Octf_tensor Shape Tensor

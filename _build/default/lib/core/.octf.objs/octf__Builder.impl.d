@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Attr Device Fun Graph List Node Octf_tensor Option Printf Shape String Tensor

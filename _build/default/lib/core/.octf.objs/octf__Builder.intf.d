@@ -1,0 +1,1 @@
+lib/core/builder.mli: Attr Dtype Graph Node Octf_tensor Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/checkpoint_format.ml: Array Bytes Dtype Fun Int32 Int64 List Octf_tensor Shape String Sys Tensor

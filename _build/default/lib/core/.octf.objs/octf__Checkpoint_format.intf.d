@@ -1,0 +1,1 @@
+lib/core/checkpoint_format.mli: Octf_tensor Tensor

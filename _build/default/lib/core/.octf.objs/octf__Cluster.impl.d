@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Device List Printf Resource_manager Session

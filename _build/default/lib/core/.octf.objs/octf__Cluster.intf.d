@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Device Graph Resource_manager Session

@@ -1,0 +1,1 @@
+lib/core/control_kernels.ml: Array Kernel List Node Octf_tensor Printf Rendezvous Tensor Value

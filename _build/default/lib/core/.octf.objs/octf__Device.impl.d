@@ -1,0 +1,1 @@
+lib/core/device.ml: Buffer List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Attr Builtin_kernels Device Graph Hashtbl Kernel List Node Obj Octf_tensor Option Printexc Printf Queue Rendezvous Resource_manager Rng Tensor Tracer Unix Value

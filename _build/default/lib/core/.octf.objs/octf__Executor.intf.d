@@ -1,0 +1,1 @@
+lib/core/executor.mli: Graph Node Rendezvous Resource_manager Tracer Value

@@ -1,0 +1,1 @@
+lib/core/grad_kernels.ml: Array Attr Dtype Kernel List Node Octf_tensor Option Shape Tensor Tensor_ops Value

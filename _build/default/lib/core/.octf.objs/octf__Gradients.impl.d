@@ -1,0 +1,1 @@
+lib/core/gradients.ml: Array Attr Builder Dtype Fun Graph Hashtbl Lazy List Node Octf_tensor Option Printf Queue

@@ -1,0 +1,1 @@
+lib/core/gradients.mli: Builder Node

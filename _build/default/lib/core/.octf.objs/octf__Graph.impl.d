@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Device Format Hashtbl List Node Printf Queue

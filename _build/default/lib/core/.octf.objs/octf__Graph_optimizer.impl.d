@@ -1,0 +1,1 @@
+lib/core/graph_optimizer.ml: Array Attr Device Graph Hashtbl Kernel List Node Octf_tensor Printf Resource_manager Rng String Tensor Value

@@ -1,0 +1,1 @@
+lib/core/graph_optimizer.mli: Graph Node

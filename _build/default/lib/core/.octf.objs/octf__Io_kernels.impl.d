@@ -1,0 +1,1 @@
+lib/core/io_kernels.ml: Array Attr Checkpoint_format Device Kernel List Node Octf_tensor Printf Record_format Resource Resource_manager Tensor Value

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Device Hashtbl List Node Octf_tensor Rendezvous Resource_manager Value

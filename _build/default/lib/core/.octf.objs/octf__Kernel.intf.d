@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Device Node Octf_tensor Queue_impl Rendezvous Resource Resource_manager Value

@@ -1,0 +1,1 @@
+lib/core/math_kernels.ml: Array Attr Dtype Kernel List Node Octf_tensor Option Printf Shape Tensor Tensor_ops Value

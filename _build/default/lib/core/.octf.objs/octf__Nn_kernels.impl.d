@@ -1,0 +1,1 @@
+lib/core/nn_kernels.ml: Kernel Node Octf_tensor Tensor Tensor_ops Value

@@ -1,0 +1,1 @@
+lib/core/node.ml: Array Attr Device Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Attr Device Graph Hashtbl List Node Octf_tensor Printf

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Builtin_kernels Device Graph Hashtbl Kernel List Node Option Printf String

@@ -1,0 +1,1 @@
+lib/core/pruner.ml: Array Graph Hashtbl List Node Queue

@@ -1,0 +1,1 @@
+lib/core/quant_kernels.ml: Array Dtype Float Kernel Octf_tensor Tensor Value

@@ -1,0 +1,1 @@
+lib/core/queue_impl.ml: Array Condition Fun List Mutex Octf_tensor Printf Rng Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/queue_impl.mli: Octf_tensor Rng Tensor

@@ -1,0 +1,1 @@
+lib/core/queue_kernels.ml: Array Attr Device Kernel Node Octf_tensor Option Queue_impl Resource Resource_manager Rng Shape Tensor Tensor_ops Value

@@ -1,0 +1,1 @@
+lib/core/record_format.ml: Array Buffer Bytes Char Dtype Fun Int32 Int64 List Octf_tensor Shape String Sys Tensor

@@ -1,0 +1,1 @@
+lib/core/record_format.mli: Octf_tensor Tensor

@@ -1,0 +1,1 @@
+lib/core/rendezvous.ml: Condition Fun Hashtbl Mutex Value

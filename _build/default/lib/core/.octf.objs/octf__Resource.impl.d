@@ -1,0 +1,1 @@
+lib/core/resource.ml: Array Dtype Format Fun List Mutex Octf_tensor Printf Queue_impl Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/resource.mli: Dtype Format Mutex Octf_tensor Queue_impl Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/resource_manager.ml: Fun Hashtbl List Mutex Resource

@@ -1,0 +1,1 @@
+lib/core/resource_manager.mli: Resource

@@ -1,0 +1,1 @@
+lib/core/session.mli: Builder Device Graph Octf_tensor Resource_manager Tensor Tracer

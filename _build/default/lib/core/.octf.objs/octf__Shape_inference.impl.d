@@ -1,0 +1,1 @@
+lib/core/shape_inference.ml: Array Attr Builder Graph Hashtbl List Node Octf_tensor Option Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/state_kernels.ml: Array Kernel List Node Octf_tensor Resource Resource_manager Tensor Tensor_ops Value

@@ -1,0 +1,1 @@
+lib/core/tracer.ml: Buffer Format Hashtbl List Mutex Option Printf String

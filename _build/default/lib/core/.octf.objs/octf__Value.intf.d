@@ -1,0 +1,1 @@
+lib/core/value.mli: Format Octf_tensor Queue_impl Resource Tensor

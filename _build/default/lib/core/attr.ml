@@ -1,0 +1,74 @@
+open Octf_tensor
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Dtype of Dtype.t
+  | Shape of Shape.t
+  | Tensor of Tensor.t
+  | Ints of int list
+  | Floats of float list
+  | Strings of string list
+
+let to_string = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> Printf.sprintf "%S" s
+  | Dtype d -> Dtype.to_string d
+  | Shape s -> Shape.to_string s
+  | Tensor t -> Tensor.to_string t
+  | Ints l -> "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+  | Floats l ->
+      "[" ^ String.concat ";" (List.map (Printf.sprintf "%g") l) ^ "]"
+  | Strings l -> "[" ^ String.concat ";" (List.map (Printf.sprintf "%S") l) ^ "]"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let missing name = invalid_arg (Printf.sprintf "Attr: missing or wrong-kind attribute %S" name)
+
+let find attrs name = List.assoc_opt name attrs
+
+let get_bool attrs name =
+  match find attrs name with Some (Bool b) -> b | _ -> missing name
+
+let get_int attrs name =
+  match find attrs name with Some (Int i) -> i | _ -> missing name
+
+let get_float attrs name =
+  match find attrs name with Some (Float f) -> f | _ -> missing name
+
+let get_string attrs name =
+  match find attrs name with Some (String s) -> s | _ -> missing name
+
+let get_dtype attrs name =
+  match find attrs name with Some (Dtype d) -> d | _ -> missing name
+
+let get_shape attrs name =
+  match find attrs name with Some (Shape s) -> s | _ -> missing name
+
+let get_tensor attrs name =
+  match find attrs name with Some (Tensor t) -> t | _ -> missing name
+
+let get_ints attrs name =
+  match find attrs name with Some (Ints l) -> l | _ -> missing name
+
+let find_bool attrs name =
+  match find attrs name with Some (Bool b) -> Some b | _ -> None
+
+let find_int attrs name =
+  match find attrs name with Some (Int i) -> Some i | _ -> None
+
+let find_string attrs name =
+  match find attrs name with Some (String s) -> Some s | _ -> None
+
+let find_dtype attrs name =
+  match find attrs name with Some (Dtype d) -> Some d | _ -> None
+
+let find_shape attrs name =
+  match find attrs name with Some (Shape s) -> Some s | _ -> None
+
+let find_ints attrs name =
+  match find attrs name with Some (Ints l) -> Some l | _ -> None

@@ -1,0 +1,57 @@
+(** Compile-time operation attributes (§3.1).
+
+    An operation has a named type and zero or more attributes that
+    determine its behaviour — e.g. [Const] carries its value, [MatMul]
+    its transposition flags, [AddN] its arity. *)
+
+open Octf_tensor
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Dtype of Dtype.t
+  | Shape of Shape.t
+  | Tensor of Tensor.t
+  | Ints of int list
+  | Floats of float list
+  | Strings of string list
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Typed lookup helpers}
+
+    [get_* attrs name] finds an attribute by name and projects it;
+    raises [Invalid_argument] when missing or of the wrong kind.
+    [find_*] variants return an option. *)
+
+val get_bool : (string * t) list -> string -> bool
+
+val get_int : (string * t) list -> string -> int
+
+val get_float : (string * t) list -> string -> float
+
+val get_string : (string * t) list -> string -> string
+
+val get_dtype : (string * t) list -> string -> Dtype.t
+
+val get_shape : (string * t) list -> string -> Shape.t
+
+val get_tensor : (string * t) list -> string -> Tensor.t
+
+val get_ints : (string * t) list -> string -> int list
+
+val find_bool : (string * t) list -> string -> bool option
+
+val find_int : (string * t) list -> string -> int option
+
+val find_string : (string * t) list -> string -> string option
+
+val find_dtype : (string * t) list -> string -> Dtype.t option
+
+val find_shape : (string * t) list -> string -> Shape.t option
+
+val find_ints : (string * t) list -> string -> int list option

@@ -1,0 +1,25 @@
+(* One-shot registration of every built-in kernel group. The executor and
+   placement call [ensure] before touching the registry, so callers never
+   observe a partially-populated kernel table. *)
+
+let registered = ref false
+
+let mutex = Mutex.create ()
+
+let ensure () =
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      if not !registered then begin
+        Math_kernels.register ();
+        Array_kernels.register ();
+        Nn_kernels.register ();
+        State_kernels.register ();
+        Queue_kernels.register ();
+        Control_kernels.register ();
+        Io_kernels.register ();
+        Grad_kernels.register ();
+        Quant_kernels.register ();
+        registered := true
+      end)

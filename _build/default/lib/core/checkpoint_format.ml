@@ -1,0 +1,115 @@
+open Octf_tensor
+
+let magic = "OCTFCKPT1"
+
+let write_string oc s =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int (String.length s));
+  output_bytes oc b;
+  output_string oc s
+
+let read_string ic =
+  let b = Bytes.create 4 in
+  really_input ic b 0 4;
+  let len = Int32.to_int (Bytes.get_int32_le b 0) in
+  let s = Bytes.create len in
+  really_input ic s 0 len;
+  Bytes.to_string s
+
+let write_int64 oc i =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int i);
+  output_bytes oc b
+
+let read_int64 ic =
+  let b = Bytes.create 8 in
+  really_input ic b 0 8;
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let write_tensor oc name t =
+  write_string oc name;
+  write_string oc (Dtype.to_string (Tensor.dtype t));
+  let shape = Tensor.shape t in
+  write_int64 oc (Shape.rank shape);
+  Array.iter (fun d -> write_int64 oc d) shape;
+  let n = Tensor.numel t in
+  write_int64 oc n;
+  match Tensor.dtype t with
+  | Dtype.F32 | Dtype.F64 ->
+      let b = Bytes.create (n * 8) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (i * 8)
+          (Int64.bits_of_float (Tensor.flat_get_f t i))
+      done;
+      output_bytes oc b
+  | Dtype.I32 | Dtype.I64 | Dtype.Bool ->
+      let b = Bytes.create (n * 8) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (i * 8) (Int64.of_int (Tensor.flat_get_i t i))
+      done;
+      output_bytes oc b
+  | Dtype.String ->
+      Array.iter (fun s -> write_string oc s) (Tensor.string_buffer t)
+
+let read_tensor ic =
+  let name = read_string ic in
+  let dtype = Dtype.of_string (read_string ic) in
+  let rank = read_int64 ic in
+  let shape = Array.init rank (fun _ -> read_int64 ic) in
+  let n = read_int64 ic in
+  let t =
+    match dtype with
+    | Dtype.F32 | Dtype.F64 ->
+        let b = Bytes.create (n * 8) in
+        really_input ic b 0 (n * 8);
+        Tensor.of_float_array ~dtype shape
+          (Array.init n (fun i ->
+               Int64.float_of_bits (Bytes.get_int64_le b (i * 8))))
+    | Dtype.I32 | Dtype.I64 ->
+        let b = Bytes.create (n * 8) in
+        really_input ic b 0 (n * 8);
+        Tensor.of_int_array ~dtype shape
+          (Array.init n (fun i -> Int64.to_int (Bytes.get_int64_le b (i * 8))))
+    | Dtype.Bool ->
+        let b = Bytes.create (n * 8) in
+        really_input ic b 0 (n * 8);
+        Tensor.of_bool_array shape
+          (Array.init n (fun i -> Bytes.get_int64_le b (i * 8) <> 0L))
+    | Dtype.String ->
+        Tensor.of_string_array shape
+          (Array.init n (fun _ -> read_string ic))
+  in
+  (name, t)
+
+let write path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     write_int64 oc (List.length entries);
+     List.iter (fun (name, t) -> write_tensor oc name t) entries;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = Bytes.create (String.length magic) in
+      (try really_input ic m 0 (String.length magic)
+       with End_of_file -> failwith "Checkpoint_format: truncated file");
+      if Bytes.to_string m <> magic then
+        failwith ("Checkpoint_format: bad magic in " ^ path);
+      let count = read_int64 ic in
+      List.init count (fun _ -> read_tensor ic))
+
+let read path name =
+  match List.assoc_opt name (read_all path) with
+  | Some t -> t
+  | None -> raise Not_found
+
+let names path = List.map fst (read_all path)

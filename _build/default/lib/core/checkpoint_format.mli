@@ -1,0 +1,23 @@
+(** On-disk checkpoint format used by the [Save] and [Restore] operations
+    (§4.3).
+
+    A checkpoint is a single binary file: a magic header followed by a
+    count and one record per tensor (name, dtype, shape, raw data). The
+    format is deliberately simple — the paper's point is that save and
+    restore are ordinary dataflow operations composed in user-level code,
+    not that the file format is clever. *)
+
+open Octf_tensor
+
+val write : string -> (string * Tensor.t) list -> unit
+(** [write path entries] atomically writes all named tensors (via a
+    temp-file rename). *)
+
+val read_all : string -> (string * Tensor.t) list
+(** @raise Failure on a malformed file. *)
+
+val read : string -> string -> Tensor.t
+(** [read path name] extracts a single named tensor.
+    @raise Not_found if the name is absent. *)
+
+val names : string -> string list

@@ -1,0 +1,47 @@
+type task = {
+  job : string;
+  index : int;
+  resources : Resource_manager.t;
+  task_devices : Device.t list;
+}
+
+type t = { tasks : task list }
+
+let create ~jobs =
+  let tasks =
+    List.concat_map
+      (fun (job, count, dev_types) ->
+        List.init count (fun index ->
+            let task_devices =
+              List.map
+                (fun ty -> Device.make ~job ~task:index ~index:0 ty)
+                dev_types
+            in
+            { job; index; resources = Resource_manager.create (); task_devices }))
+      jobs
+  in
+  { tasks }
+
+let devices t = List.concat_map (fun task -> task.task_devices) t.tasks
+
+let task_names t =
+  List.map
+    (fun task -> Printf.sprintf "/job:%s/task:%d" task.job task.index)
+    t.tasks
+
+let find_task t ~job ~task =
+  List.find_opt (fun tk -> tk.job = job && tk.index = task) t.tasks
+
+let resources_of t (d : Device.t) =
+  match find_task t ~job:d.Device.job ~task:d.Device.task with
+  | Some tk -> tk.resources
+  | None -> raise Not_found
+
+let task_resources t ~job ~task =
+  match find_task t ~job ~task with
+  | Some tk -> tk.resources
+  | None -> raise Not_found
+
+let session ?seed ?optimize t graph =
+  Session.create ~devices:(devices t) ~resource_router:(resources_of t) ?seed
+    ?optimize graph

@@ -1,0 +1,34 @@
+(** In-process clusters: jobs, tasks and their devices (§3.3).
+
+    A cluster names a set of tasks grouped into jobs (conventionally
+    "ps" for parameter-server tasks and "worker" for workers). Each task
+    owns its devices and its resource manager, so variables placed on
+    ["/job:ps/task:0"] live in that task's state exactly as in a real
+    deployment; partitioned steps run one executor thread per device,
+    standing in for the per-task dataflow executors of §5, and
+    communicate through the shared in-process rendezvous (DESIGN.md,
+    substitution 2).
+
+    The paper relies on Chubby/ZooKeeper only to map task ids to
+    addresses; here the equivalent name service is the lookup tables in
+    this module. *)
+
+type t
+
+val create : jobs:(string * int * Device.device_type list) list -> t
+(** [create ~jobs] where each job is (name, task count, device types per
+    task). E.g. [("ps", 2, [CPU]); ("worker", 3, [CPU; GPU])]. *)
+
+val devices : t -> Device.t list
+
+val task_names : t -> string list
+(** ["/job:ps/task:0"]-style names, the name-service view. *)
+
+val resources_of : t -> Device.t -> Resource_manager.t
+(** The resource manager of the task owning the device.
+    @raise Not_found for devices outside the cluster. *)
+
+val task_resources : t -> job:string -> task:int -> Resource_manager.t
+
+val session : ?seed:int -> ?optimize:bool -> t -> Graph.t -> Session.t
+(** A master session executing over every device in the cluster. *)

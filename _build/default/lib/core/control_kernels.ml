@@ -1,0 +1,54 @@
+(* Dynamic control flow (§3.4) and cross-device communication (§3.3).
+
+   Switch/Merge follow Arvind and Culler's dynamic dataflow: Switch
+   demultiplexes its input onto one of two outputs, emitting the special
+   dead value on the branch not taken; Merge forwards the first non-dead
+   input (the executor invokes it as soon as one arrives, or when all
+   inputs are dead). Enter/Exit/NextIteration are identities whose frame
+   routing lives in the executor, following timely dataflow.
+
+   Send publishes its input (including deadness) into the step rendezvous
+   under the key agreed with its paired Recv; Recv blocks until the value
+   is locally available. *)
+
+open Octf_tensor
+module K = Kernel
+
+let identity name =
+  K.register ~op_type:name (fun ctx -> K.one ctx.K.inputs.(0))
+
+let rendezvous_key node =
+  Printf.sprintf "%s;%s;%s"
+    (Node.attr_string node "send_device")
+    (Node.attr_string node "recv_device")
+    (Node.attr_string node "tensor_name")
+
+let register () =
+  K.register ~op_type:"NoOp" (fun _ -> [||]);
+  K.register ~op_type:"Switch" (fun ctx ->
+      let data = ctx.K.inputs.(0) in
+      let pred = K.input_tensor ctx 1 in
+      let taken = Tensor.flat_get_f pred 0 <> 0.0 in
+      if taken then [| Value.Dead; data |] else [| data; Value.Dead |]);
+  K.register ~op_type:"Merge" (fun ctx ->
+      let non_dead =
+        Array.to_list ctx.K.inputs
+        |> List.filter (fun v -> not (Value.is_dead v))
+      in
+      match non_dead with
+      | v :: _ -> K.one v
+      | [] -> K.one Value.Dead);
+  identity "Enter";
+  identity "Exit";
+  identity "NextIteration";
+  identity "LoopCond";
+  K.register ~op_type:"Send" (fun ctx ->
+      match ctx.K.rendezvous with
+      | None -> failwith "Send: no rendezvous in a single-partition step"
+      | Some r ->
+          Rendezvous.send r ~key:(rendezvous_key ctx.K.node) ctx.K.inputs.(0);
+          [||]);
+  K.register ~op_type:"Recv" (fun ctx ->
+      match ctx.K.rendezvous with
+      | None -> failwith "Recv: no rendezvous in a single-partition step"
+      | Some r -> K.one (Rendezvous.recv r ~key:(rendezvous_key ctx.K.node)))

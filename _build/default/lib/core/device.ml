@@ -1,0 +1,123 @@
+type device_type = CPU | GPU | TPU
+
+type t = { job : string; task : int; dev_type : device_type; dev_index : int }
+
+type spec = {
+  job_s : string option;
+  task_s : int option;
+  dev_type_s : device_type option;
+  dev_index_s : int option;
+}
+
+type perf_model = {
+  flops_per_sec : float;
+  mem_bandwidth : float;
+  launch_overhead : float;
+}
+
+let device_type_to_string = function CPU -> "CPU" | GPU -> "GPU" | TPU -> "TPU"
+
+let device_type_of_string s =
+  match String.uppercase_ascii s with
+  | "CPU" -> CPU
+  | "GPU" -> GPU
+  | "TPU" -> TPU
+  | _ -> invalid_arg ("Device.device_type_of_string: " ^ s)
+
+let make ?(job = "localhost") ?(task = 0) ?(index = 0) dev_type =
+  { job; task; dev_type; dev_index = index }
+
+let to_string d =
+  Printf.sprintf "/job:%s/task:%d/device:%s:%d" d.job d.task
+    (device_type_to_string d.dev_type)
+    d.dev_index
+
+let equal (a : t) (b : t) = a = b
+
+let unconstrained =
+  { job_s = None; task_s = None; dev_type_s = None; dev_index_s = None }
+
+let is_device_type ty =
+  match device_type_of_string ty with
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+(* Specs are '/'-separated "key:value" (or "device:TYPE:i") components. *)
+let spec_of_string s =
+  let parts = String.split_on_char '/' s |> List.filter (fun p -> p <> "") in
+  let with_type acc ty idx =
+    {
+      acc with
+      dev_type_s = Some (device_type_of_string ty);
+      dev_index_s = (match idx with None -> acc.dev_index_s
+                     | Some i -> Some (int_of_string i));
+    }
+  in
+  List.fold_left
+    (fun acc part ->
+      match String.split_on_char ':' part with
+      | [ "job"; j ] -> { acc with job_s = Some j }
+      | [ "task"; n ] | [ "replica"; n ] ->
+          { acc with task_s = Some (int_of_string n) }
+      | [ "device"; ty ] when is_device_type ty -> with_type acc ty None
+      | [ "device"; ty; idx ] when is_device_type ty ->
+          with_type acc ty (Some idx)
+      | [ ty ] when is_device_type ty -> with_type acc ty None
+      | [ ty; idx ] when is_device_type ty -> with_type acc ty (Some idx)
+      | _ -> invalid_arg ("Device.spec_of_string: bad component " ^ part))
+    unconstrained parts
+
+let of_string s =
+  let spec = spec_of_string s in
+  match spec with
+  | { job_s = Some job; task_s = Some task; dev_type_s = Some dev_type;
+      dev_index_s = Some dev_index } ->
+      { job; task; dev_type; dev_index }
+  | _ -> invalid_arg ("Device.of_string: partial spec " ^ s)
+
+let spec_to_string sp =
+  let buf = Buffer.create 32 in
+  Option.iter (fun j -> Buffer.add_string buf ("/job:" ^ j)) sp.job_s;
+  Option.iter (fun t -> Buffer.add_string buf ("/task:" ^ string_of_int t))
+    sp.task_s;
+  (match (sp.dev_type_s, sp.dev_index_s) with
+  | Some ty, Some i ->
+      Buffer.add_string buf
+        (Printf.sprintf "/device:%s:%d" (device_type_to_string ty) i)
+  | Some ty, None ->
+      Buffer.add_string buf ("/device:" ^ device_type_to_string ty)
+  | None, Some i -> Buffer.add_string buf (Printf.sprintf "/device:*:%d" i)
+  | None, None -> ());
+  Buffer.contents buf
+
+let matches sp d =
+  (match sp.job_s with None -> true | Some j -> j = d.job)
+  && (match sp.task_s with None -> true | Some t -> t = d.task)
+  && (match sp.dev_type_s with None -> true | Some ty -> ty = d.dev_type)
+  && match sp.dev_index_s with None -> true | Some i -> i = d.dev_index
+
+let merge_field name a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y ->
+      if x = y then Some x
+      else invalid_arg ("Device.merge_specs: conflicting " ^ name)
+
+let merge_specs a b =
+  {
+    job_s = merge_field "job" a.job_s b.job_s;
+    task_s = merge_field "task" a.task_s b.task_s;
+    dev_type_s = merge_field "device type" a.dev_type_s b.dev_type_s;
+    dev_index_s = merge_field "device index" a.dev_index_s b.dev_index_s;
+  }
+
+let default_perf = function
+  | CPU ->
+      { flops_per_sec = 5.0e10; mem_bandwidth = 3.0e10;
+        launch_overhead = 5.0e-7 }
+  | GPU ->
+      { flops_per_sec = 3.5e12; mem_bandwidth = 2.4e11;
+        launch_overhead = 5.0e-6 }
+  | TPU ->
+      { flops_per_sec = 2.0e13; mem_bandwidth = 6.0e11;
+        launch_overhead = 2.0e-6 }

@@ -1,0 +1,72 @@
+(** Devices and device specifications (§3.3).
+
+    Each operation resides on a particular device, such as a CPU or GPU in
+    a particular task. Devices are named by specs like
+    ["/job:worker/task:3/device:GPU:1"]; users may give {e partial} specs
+    ("any device in task 2", "a GPU in any task") and the placement
+    algorithm ({!Placement}) picks a concrete device satisfying them.
+
+    There is no real accelerator in this reproduction: a [GPU] or [TPU]
+    device executes the same kernels on the host CPU but carries a
+    {!perf_model} used by the benchmark harness to estimate step times
+    (see DESIGN.md, substitution 1). *)
+
+type device_type = CPU | GPU | TPU
+
+(** A fully concrete device. *)
+type t = {
+  job : string;  (** e.g. "worker", "ps", "localhost" *)
+  task : int;
+  dev_type : device_type;
+  dev_index : int;
+}
+
+(** A partial constraint: any [None] field is unconstrained. *)
+type spec = {
+  job_s : string option;
+  task_s : int option;
+  dev_type_s : device_type option;
+  dev_index_s : int option;
+}
+
+(** Analytic performance model for simulated accelerators. *)
+type perf_model = {
+  flops_per_sec : float;  (** sustained FLOP/s for dense math *)
+  mem_bandwidth : float;  (** bytes/s for memory-bound kernels *)
+  launch_overhead : float;  (** seconds of fixed per-kernel overhead *)
+}
+
+val device_type_to_string : device_type -> string
+
+val device_type_of_string : string -> device_type
+
+val make : ?job:string -> ?task:int -> ?index:int -> device_type -> t
+
+val to_string : t -> string
+(** Canonical full name, e.g. ["/job:worker/task:0/device:GPU:1"]. *)
+
+val of_string : string -> t
+(** Parse a full device name. @raise Invalid_argument on partial specs. *)
+
+val equal : t -> t -> bool
+
+val unconstrained : spec
+
+val spec_of_string : string -> spec
+(** Parse a possibly partial spec; [""] means unconstrained. Accepts any
+    subset of ["/job:j/task:n/device:TYPE:i"] components ("cpu:0" and
+    "device:CPU:0" are both accepted). *)
+
+val spec_to_string : spec -> string
+
+val matches : spec -> t -> bool
+
+val merge_specs : spec -> spec -> spec
+(** Combine two partial constraints.
+    @raise Invalid_argument if they conflict. *)
+
+val default_perf : device_type -> perf_model
+(** Calibrated throughput models: CPU ≈ 50 GFLOP/s (6-core Core
+    i7-5930K-class), GPU ≈ 3.5 TFLOP/s sustained (K40/Titan-X-class; §2.1
+    quotes 6 TFLOP/s peak), TPU an order of magnitude beyond GPU
+    performance-per-watt (§2.1). *)

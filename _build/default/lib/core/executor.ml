@@ -1,0 +1,957 @@
+open Octf_tensor
+
+exception Step_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Static structure: frames                                            *)
+(* ------------------------------------------------------------------ *)
+
+type static_frame = {
+  sf_name : string;  (* "" for the root frame *)
+  sf_parent : static_frame option;
+  sf_depth : int;
+}
+
+let root_frame = { sf_name = ""; sf_parent = None; sf_depth = 0 }
+
+let rec frame_is_ancestor ~anc f =
+  anc == f
+  || match f.sf_parent with None -> false | Some p -> frame_is_ancestor ~anc p
+
+(* ------------------------------------------------------------------ *)
+(* Compiled subgraph                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cnode = {
+  node : Node.t;
+  mutable out_data : (int * int * int) list;  (* (out_index, dst, slot) *)
+  mutable out_control : int list;
+  mutable in_count : int;  (* arrivals needed (invariant edges excluded) *)
+  mutable invariant_slots : int list;  (* input slots fed by invariant nodes *)
+  mutable invariant_controls : int;  (* control inputs from invariant nodes *)
+  mutable frame : static_frame;
+  is_merge : bool;
+  (* An invariant node executes once per frame instance and its outputs
+     are visible in every iteration: constant Enters, and any stateless
+     in-frame node all of whose inputs are invariant. *)
+  mutable is_invariant : bool;
+  mutable kernel : Kernel.t option;  (* resolved at compile time *)
+}
+
+type compiled = {
+  graph : Graph.t;
+  cnodes : (int, cnode) Hashtbl.t;
+}
+
+let is_const_enter_node (n : Node.t) =
+  n.Node.op_type = "Enter"
+  && Option.value ~default:false (Attr.find_bool n.Node.attrs "is_constant")
+
+let never_invariant op =
+  match op with
+  | "Merge" | "Switch" | "Exit" | "NextIteration" | "Enter" | "LoopCond" ->
+      true
+  | _ -> false
+
+let compile graph nodes fed =
+  Builtin_kernels.ensure ();
+  let in_set = Hashtbl.create (List.length nodes * 2) in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+  let frames = Hashtbl.create 8 in
+  Hashtbl.replace frames "" root_frame;
+  let cnodes = Hashtbl.create (List.length nodes * 2) in
+  List.iter
+    (fun id ->
+      let n = Graph.get graph id in
+      Hashtbl.replace cnodes id
+        {
+          node = n;
+          out_data = [];
+          out_control = [];
+          in_count = 0;
+          invariant_slots = [];
+          invariant_controls = 0;
+          frame = root_frame;
+          is_merge = n.Node.op_type = "Merge";
+          is_invariant = is_const_enter_node n;
+          kernel = None;
+        })
+    nodes;
+  let cnode id = Hashtbl.find cnodes id in
+  let executed id = Hashtbl.mem in_set id in
+  let out_frame cn =
+    match cn.node.Node.op_type with
+    | "Exit" -> (
+        match cn.frame.sf_parent with
+        | Some p -> p
+        | None ->
+            raise (Step_error ("Exit outside a frame: " ^ cn.node.Node.name)))
+    | _ -> cn.frame
+  in
+  (* One topological pass (loop back edges ignored) assigns frames and
+     invariant-ness. *)
+  let order = Graph.topological_order graph in
+  List.iter
+    (fun (n : Node.t) ->
+      if executed n.Node.id then begin
+        let cn = cnode n.Node.id in
+        let input_ids =
+          Array.to_list
+            (Array.map (fun (e : Node.endpoint) -> e.node_id) n.Node.inputs)
+          @ n.Node.control_inputs
+        in
+        let input_frames =
+          List.filter_map
+            (fun src ->
+              if executed src then Some (out_frame (cnode src)) else None)
+            input_ids
+        in
+        let deepest =
+          List.fold_left
+            (fun acc f -> if f.sf_depth > acc.sf_depth then f else acc)
+            root_frame input_frames
+        in
+        List.iter
+          (fun f ->
+            if not (frame_is_ancestor ~anc:f deepest) then
+              raise
+                (Step_error
+                   (Printf.sprintf
+                      "node %s mixes values from unrelated frames %S and %S \
+                       (pass loop-external values via ~invariants)"
+                      n.Node.name f.sf_name deepest.sf_name)))
+          input_frames;
+        (match n.Node.op_type with
+        | "Enter" ->
+            let name = Node.attr_string n "frame_name" in
+            let frame =
+              match Hashtbl.find_opt frames name with
+              | Some f -> f
+              | None ->
+                  let f =
+                    {
+                      sf_name = name;
+                      sf_parent = Some deepest;
+                      sf_depth = deepest.sf_depth + 1;
+                    }
+                  in
+                  Hashtbl.replace frames name f;
+                  f
+            in
+            cn.frame <- frame
+        | _ -> cn.frame <- deepest);
+        (* Invariant propagation: inside a frame, a stateless node whose
+           inputs are all invariant is itself invariant. *)
+        if
+          (not cn.is_invariant)
+          && cn.frame != root_frame
+          && (not (never_invariant n.Node.op_type))
+          && (not (Node.is_stateful n))
+          && input_ids <> []
+          && List.for_all
+               (fun src -> executed src && (cnode src).is_invariant)
+               input_ids
+        then cn.is_invariant <- true
+      end)
+    order;
+  (* An edge must stay within one frame unless it feeds an Enter or
+     comes from an invariant node (which lives in the consumer's frame).
+     Producer-side Exit/NextIteration adjustments keep those edges
+     same-frame from the value's point of view. *)
+  let check_edge_frames src cn =
+    let sf =
+      match src.node.Node.op_type with
+      | "Exit" -> (
+          match src.frame.sf_parent with Some p -> p | None -> src.frame)
+      | _ -> src.frame
+    in
+    let df = cn.frame in
+    if sf != df && cn.node.Node.op_type <> "Enter" && not src.is_invariant
+    then
+      raise
+        (Step_error
+           (Printf.sprintf
+              "edge %s -> %s crosses loop frames (%S -> %S); pass \
+               loop-external values through ~invariants (constants created \
+               inside a loop body must enter its frame)"
+              src.node.Node.name cn.node.Node.name sf.sf_name df.sf_name))
+  in
+  (* Wire edges and arrival counts, restricted to the executed set. *)
+  Hashtbl.iter
+    (fun id cn ->
+      let n = cn.node in
+      if not (Hashtbl.mem fed id) then begin
+        Array.iteri
+          (fun slot (e : Node.endpoint) ->
+            if not (executed e.node_id) then
+              invalid_arg
+                (Printf.sprintf
+                   "Executor: input %s of %s is outside the executed subgraph"
+                   (Graph.get graph e.node_id).Node.name n.Node.name);
+            let src = cnode e.node_id in
+            check_edge_frames src cn;
+            src.out_data <- (e.index, id, slot) :: src.out_data;
+            if src.is_invariant then
+              cn.invariant_slots <- slot :: cn.invariant_slots
+            else cn.in_count <- cn.in_count + 1)
+          n.Node.inputs;
+        List.iter
+          (fun c ->
+            if executed c then begin
+              let src = cnode c in
+              check_edge_frames src cn;
+              src.out_control <- id :: src.out_control;
+              if src.is_invariant then
+                cn.invariant_controls <- cn.invariant_controls + 1
+              else cn.in_count <- cn.in_count + 1
+            end)
+          n.Node.control_inputs
+      end)
+    cnodes;
+  { graph; cnodes }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type iter_state = {
+  it_index : int;
+  values : (int, Value.t) Hashtbl.t;  (* key = node_id lsl 20 lor out *)
+  arrived : (int, int) Hashtbl.t;
+  dead_control : (int, unit) Hashtbl.t;  (* nodes with a dead control token *)
+  non_dead_seen : (int, unit) Hashtbl.t;  (* merges with a live data input *)
+  done_nodes : (int, unit) Hashtbl.t;
+}
+
+type instance = {
+  inst_frame : static_frame;
+  inst_parent : (instance * int) option;
+  iterations : (int, iter_state) Hashtbl.t;
+  invariants : (int, Value.t) Hashtbl.t;  (* key = value_key *)
+  invariant_done : (int, unit) Hashtbl.t;  (* invariant node ids executed *)
+  inst_key : string;
+}
+
+let value_key node_id out = (node_id lsl 20) lor out
+
+let new_iter index =
+  {
+    it_index = index;
+    values = Hashtbl.create 16;
+    arrived = Hashtbl.create 16;
+    dead_control = Hashtbl.create 4;
+    non_dead_seen = Hashtbl.create 4;
+    done_nodes = Hashtbl.create 16;
+  }
+
+type state = {
+  compiled : compiled;
+  resources : Resource_manager.t;
+  rendezvous : Rendezvous.t option;
+  tracer : Tracer.t option;
+  seed : int;
+  step_id : int;
+  instances : (string, instance) Hashtbl.t;
+  ready : (cnode * instance * iter_state) Queue.t;
+  ready_recv : (cnode * instance * iter_state) Queue.t;
+  ready_blocking : (cnode * instance * iter_state) Queue.t;
+}
+
+let get_iter inst index =
+  match Hashtbl.find_opt inst.iterations index with
+  | Some it -> it
+  | None ->
+      let it = new_iter index in
+      Hashtbl.replace inst.iterations index it;
+      it
+
+let child_instance st frame (parent : instance) parent_iter =
+  let key =
+    Printf.sprintf "%s|%s.%d" frame.sf_name parent.inst_key parent_iter
+  in
+  match Hashtbl.find_opt st.instances key with
+  | Some i -> i
+  | None ->
+      let i =
+        {
+          inst_frame = frame;
+          inst_parent = Some (parent, parent_iter);
+          iterations = Hashtbl.create 4;
+          invariants = Hashtbl.create 4;
+          invariant_done = Hashtbl.create 4;
+          inst_key = key;
+        }
+      in
+      ignore (get_iter i 0);
+      Hashtbl.replace st.instances key i;
+      i
+
+let trace tracer (n : Node.t) ~step_id f =
+  match tracer with
+  | None -> f ()
+  | Some t ->
+      let start = Unix.gettimeofday () in
+      let result = f () in
+      let stop = Unix.gettimeofday () in
+      Tracer.record t
+        {
+          Tracer.name = n.Node.name;
+          op_type = n.Node.op_type;
+          device =
+            (match n.Node.assigned_device with
+            | Some d -> Device.to_string d
+            | None -> "/device:CPU:0");
+          start;
+          duration = stop -. start;
+          step_id;
+        };
+      result
+
+let blocking_op = function
+  | "Recv" | "Dequeue" | "DequeueMany" | "Enqueue" | "EnqueueMany" -> true
+  | _ -> false
+
+let recv_rendezvous_key (n : Node.t) =
+  Printf.sprintf "%s;%s;%s"
+    (Node.attr_string n "send_device")
+    (Node.attr_string n "recv_device")
+    (Node.attr_string n "tensor_name")
+
+let invariants_available inst (cn : cnode) =
+  (cn.invariant_slots == [] && cn.invariant_controls = 0)
+  || List.for_all
+    (fun slot ->
+      let (e : Node.endpoint) = cn.node.Node.inputs.(slot) in
+      Hashtbl.mem inst.invariants (value_key e.node_id e.index))
+    cn.invariant_slots
+  && List.length
+       (List.filter
+          (fun c -> Hashtbl.mem inst.invariant_done c)
+          cn.node.Node.control_inputs)
+     >= cn.invariant_controls
+
+let schedule st cn inst it =
+  let entry = (cn, inst, it) in
+  if cn.node.Node.op_type = "Recv" then Queue.add entry st.ready_recv
+  else if blocking_op cn.node.Node.op_type then
+    Queue.add entry st.ready_blocking
+  else Queue.add entry st.ready
+
+(* Readiness. Per-iteration nodes fire once per (instance, iteration);
+   invariant nodes fire once per instance, executing in iteration 0's
+   context (their per-iteration arrivals — e.g. a constant Enter's input
+   — are always delivered at iteration 0). *)
+let check_ready st cn inst (it : iter_state) =
+  let id = cn.node.Node.id in
+  if cn.is_invariant then begin
+    if not (Hashtbl.mem inst.invariant_done id) then begin
+      let it0 = get_iter inst 0 in
+      let count = Option.value ~default:0 (Hashtbl.find_opt it0.arrived id) in
+      if count >= cn.in_count && invariants_available inst cn then begin
+        Hashtbl.replace inst.invariant_done id ();
+        schedule st cn inst it0
+      end
+    end
+  end
+  else if not (Hashtbl.mem it.done_nodes id) then begin
+    let count = Option.value ~default:0 (Hashtbl.find_opt it.arrived id) in
+    let ready =
+      if cn.is_merge then
+        Hashtbl.mem it.non_dead_seen id || count >= cn.in_count
+      else count >= cn.in_count && invariants_available inst cn
+    in
+    if ready then begin
+      Hashtbl.replace it.done_nodes id ();
+      schedule st cn inst it
+    end
+  end
+
+(* Deliver a value along one edge. [slot] = -1 encodes a control token. *)
+let deliver st ~(src : cnode) ~(v : Value.t) ~inst ~(it : iter_state)
+    ~(dst_id : int) ~(slot : int) ~(out : int) =
+  match Hashtbl.find_opt st.compiled.cnodes dst_id with
+  | None -> ()  (* consumer pruned away *)
+  | Some dst ->
+      (* Producer-side context adjustment. *)
+      let inst, iter_idx =
+        match src.node.Node.op_type with
+        | "Exit" -> (
+            match inst.inst_parent with
+            | Some (p, pi) -> (p, pi)
+            | None ->
+                raise (Step_error ("Exit in root frame: " ^ src.node.Node.name)))
+        | "NextIteration" -> (inst, it.it_index + 1)
+        | _ -> (inst, it.it_index)
+      in
+      (* Consumer-side adjustment: Enter executes in the child frame. *)
+      let inst, iter_idx =
+        if dst.node.Node.op_type = "Enter" then
+          (child_instance st dst.frame inst iter_idx, 0)
+        else (inst, iter_idx)
+      in
+      let target_it = get_iter inst iter_idx in
+      let id = dst.node.Node.id in
+      if slot >= 0 then
+        Hashtbl.replace target_it.values (value_key src.node.Node.id out) v
+      else if Value.is_dead v then Hashtbl.replace target_it.dead_control id ();
+      Hashtbl.replace target_it.arrived id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt target_it.arrived id));
+      if dst.is_merge && slot >= 0 && not (Value.is_dead v) then
+        Hashtbl.replace target_it.non_dead_seen id ();
+      check_ready st dst inst target_it
+
+let store_invariants st (cn : cnode) inst (outputs : Value.t array) =
+  Array.iteri
+    (fun out v ->
+      Hashtbl.replace inst.invariants (value_key cn.node.Node.id out) v)
+    outputs;
+  Hashtbl.replace inst.invariant_done cn.node.Node.id ();
+  (* Wake consumers: invariant consumers cascade; per-iteration consumers
+     are re-checked in every existing iteration. *)
+  let wake dst_id =
+    match Hashtbl.find_opt st.compiled.cnodes dst_id with
+    | None -> ()
+    | Some dst ->
+        if dst.is_invariant then check_ready st dst inst (get_iter inst 0)
+        else
+          Hashtbl.iter (fun _ it -> check_ready st dst inst it) inst.iterations
+  in
+  List.iter (fun (_, dst_id, _) -> wake dst_id) cn.out_data;
+  List.iter wake cn.out_control
+
+let finish_node st (cn : cnode) inst it (outputs : Value.t array) =
+  if cn.is_invariant then store_invariants st cn inst outputs
+  else begin
+    Array.iteri
+      (fun out v ->
+        Hashtbl.replace it.values (value_key cn.node.Node.id out) v)
+      outputs;
+    (* A live Exit value belongs to the parent context too, so that
+       fetches (which read the root iteration) can observe loop results
+       even when the Exit has no consumer edge. *)
+    (match (cn.node.Node.op_type, inst.inst_parent) with
+    | "Exit", Some (parent, parent_iter) ->
+        let parent_it = get_iter parent parent_iter in
+        Array.iteri
+          (fun out v ->
+            if not (Value.is_dead v) then
+              Hashtbl.replace parent_it.values
+                (value_key cn.node.Node.id out)
+                v)
+          outputs
+    | _ -> ());
+    let drops_dead =
+      match cn.node.Node.op_type with
+      | "NextIteration" | "Exit" -> true
+      | _ -> false
+    in
+    List.iter
+      (fun (out, dst_id, slot) ->
+        let v =
+          if out < Array.length outputs then outputs.(out) else Value.Dead
+        in
+        if drops_dead && Value.is_dead v then ()
+        else deliver st ~src:cn ~v ~inst ~it ~dst_id ~slot ~out)
+      cn.out_data;
+    let control_dead =
+      Array.length outputs > 0 && Array.for_all Value.is_dead outputs
+    in
+    if not (drops_dead && control_dead) then
+      List.iter
+        (fun dst_id ->
+          let v = if control_dead then Value.Dead else Value.Tensor (Tensor.scalar_i 0) in
+          deliver st ~src:cn ~v ~inst ~it ~dst_id ~slot:(-1) ~out:0)
+        cn.out_control
+  end
+
+let gather_inputs (cn : cnode) inst (it : iter_state) =
+  if cn.invariant_slots == [] then
+    Array.map
+      (fun (e : Node.endpoint) ->
+        match Hashtbl.find_opt it.values (value_key e.node_id e.index) with
+        | Some v -> v
+        | None -> Value.Dead)
+      cn.node.Node.inputs
+  else
+    Array.mapi
+      (fun slot (e : Node.endpoint) ->
+        let table =
+          if List.mem slot cn.invariant_slots then inst.invariants
+          else it.values
+        in
+        match Hashtbl.find_opt table (value_key e.node_id e.index) with
+        | Some v -> v
+        | None -> Value.Dead)
+      cn.node.Node.inputs
+
+let execute_node st (cn : cnode) inst it =
+  let n = cn.node in
+  let inputs = gather_inputs cn inst it in
+  let any_dead =
+    Array.exists Value.is_dead inputs
+    || Hashtbl.mem it.dead_control n.Node.id
+  in
+  let runs_on_dead = n.Node.op_type = "Send" in
+  if any_dead && (not cn.is_merge) && not runs_on_dead then
+    finish_node st cn inst it
+      (Array.make (max 1 (Node.num_outputs n)) Value.Dead)
+  else begin
+    let rng =
+      Rng.create
+        (st.seed
+        + (st.step_id * 1_000_003)
+        + (n.Node.id * 7_919)
+        + (it.it_index * 104_729))
+    in
+    let ctx =
+      {
+        Kernel.node = n;
+        inputs;
+        resources = st.resources;
+        rendezvous = st.rendezvous;
+        rng;
+        step_id = st.step_id;
+      }
+    in
+    let kernel =
+      match cn.kernel with
+      | Some k -> k
+      | None ->
+          let device_type =
+            match n.Node.assigned_device with
+            | Some d -> d.Device.dev_type
+            | None -> Device.CPU
+          in
+          let k =
+            match Kernel.lookup ~op_type:n.Node.op_type ~device:device_type with
+            | Some k -> k
+            | None -> (
+                match
+                  Kernel.lookup ~op_type:n.Node.op_type ~device:Device.CPU
+                with
+                | Some k -> k
+                | None ->
+                    raise
+                      (Step_error
+                         (Printf.sprintf "no kernel for op %s (node %s)"
+                            n.Node.op_type n.Node.name)))
+          in
+          cn.kernel <- Some k;
+          k
+    in
+    let outputs =
+      try trace st.tracer n ~step_id:st.step_id (fun () -> kernel ctx) with
+      | Step_error _ as e -> raise e
+      | e ->
+          Option.iter
+            (fun r ->
+              Rendezvous.abort r
+                ~reason:
+                  (Printf.sprintf "%s failed: %s" n.Node.name
+                     (Printexc.to_string e)))
+            st.rendezvous;
+          raise
+            (Step_error
+               (Printf.sprintf "kernel %s (%s) failed: %s" n.Node.name
+                  n.Node.op_type (Printexc.to_string e)))
+    in
+    finish_node st cn inst it outputs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plans: compile once, execute per step                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Array-indexed fast path for subgraphs with no control flow: no
+   frames, no merges, no invariants — the common training step. Only
+   dead values arriving through Recv need handling. *)
+type splan = {
+  s_nodes : cnode array;
+  s_index : (int, int) Hashtbl.t;  (* node id -> dense index *)
+  s_inputs : (int * int) array array;  (* (src dense index, out slot) *)
+  s_control_in : int array array;
+  s_consumers : int array array;  (* data + control, one entry per edge *)
+  s_in_counts : int array;
+  s_blocking : bool array;
+  s_fed : bool array;
+  s_num_outputs : int array;
+}
+
+type plan = {
+  p_graph : Graph.t;
+  p_compiled : compiled;
+  p_fed : (int, unit) Hashtbl.t;
+  p_simple : splan option;
+}
+
+let control_flow_free compiled =
+  let ok = ref true in
+  Hashtbl.iter
+    (fun _ cn ->
+      (match cn.node.Node.op_type with
+      | "Enter" | "Exit" | "NextIteration" | "Merge" | "Switch" | "LoopCond"
+        ->
+          ok := false
+      | _ -> ());
+      if cn.is_invariant then ok := false)
+    compiled.cnodes;
+  !ok
+
+let build_splan compiled fed =
+  let count = Hashtbl.length compiled.cnodes in
+  let s_nodes = Array.make count (Obj.magic 0 : cnode) in
+  let s_index = Hashtbl.create (2 * count) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun id cn ->
+      s_nodes.(!i) <- cn;
+      Hashtbl.replace s_index id !i;
+      incr i)
+    compiled.cnodes;
+  let dense id = Hashtbl.find s_index id in
+  let s_inputs =
+    Array.map
+      (fun cn ->
+        if Hashtbl.mem fed cn.node.Node.id then [||]
+        else
+          Array.map
+            (fun (e : Node.endpoint) -> (dense e.node_id, e.index))
+            cn.node.Node.inputs)
+      s_nodes
+  in
+  let s_control_in =
+    Array.map
+      (fun cn ->
+        if Hashtbl.mem fed cn.node.Node.id then [||]
+        else
+          Array.of_list
+            (List.filter_map
+               (fun c ->
+                 if Hashtbl.mem compiled.cnodes c then Some (dense c)
+                 else None)
+               cn.node.Node.control_inputs))
+      s_nodes
+  in
+  let s_consumers =
+    Array.map
+      (fun cn ->
+        Array.of_list
+          (List.map (fun (_, dst, _) -> dense dst) cn.out_data
+          @ List.map dense cn.out_control))
+      s_nodes
+  in
+  {
+    s_nodes;
+    s_index;
+    s_inputs;
+    s_control_in;
+    s_consumers;
+    s_in_counts = Array.map (fun cn -> cn.in_count) s_nodes;
+    s_blocking = Array.map (fun cn -> blocking_op cn.node.Node.op_type) s_nodes;
+    s_fed = Array.map (fun cn -> Hashtbl.mem fed cn.node.Node.id) s_nodes;
+    s_num_outputs = Array.map (fun cn -> max 1 (Node.num_outputs cn.node)) s_nodes;
+  }
+
+let prepare ~graph ~nodes ~fed_ids =
+  let fed = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace fed id ()) fed_ids;
+  let compiled = compile graph nodes fed in
+  let p_simple =
+    if control_flow_free compiled then Some (build_splan compiled fed)
+    else None
+  in
+  { p_graph = graph; p_compiled = compiled; p_fed = fed; p_simple }
+
+let resolve_kernel cn =
+  match cn.kernel with
+  | Some k -> k
+  | None ->
+      let n = cn.node in
+      let device_type =
+        match n.Node.assigned_device with
+        | Some d -> d.Device.dev_type
+        | None -> Device.CPU
+      in
+      let k =
+        match Kernel.lookup ~op_type:n.Node.op_type ~device:device_type with
+        | Some k -> k
+        | None -> (
+            match Kernel.lookup ~op_type:n.Node.op_type ~device:Device.CPU with
+            | Some k -> k
+            | None ->
+                raise
+                  (Step_error
+                     (Printf.sprintf "no kernel for op %s (node %s)"
+                        n.Node.op_type n.Node.name)))
+      in
+      cn.kernel <- Some k;
+      k
+
+let execute_simple plan sp ~feeds ~fetches ~resources ~rendezvous ~tracer
+    ~seed ~step_id =
+  let count = Array.length sp.s_nodes in
+  let values = Array.make count [||] in
+  let dead = Array.make count false in
+  let pending = Array.copy sp.s_in_counts in
+  let ready = Queue.create ()
+  and ready_recv = Queue.create ()
+  and ready_blocking = Queue.create () in
+  let scheduled = Array.make count false in
+  let push idx =
+    if not scheduled.(idx) then begin
+      scheduled.(idx) <- true;
+      if sp.s_nodes.(idx).node.Node.op_type = "Recv" then
+        Queue.add idx ready_recv
+      else if sp.s_blocking.(idx) then Queue.add idx ready_blocking
+      else Queue.add idx ready
+    end
+  in
+  let arrive idx =
+    pending.(idx) <- pending.(idx) - 1;
+    if pending.(idx) <= 0 then push idx
+  in
+  (* Seed feeds, then sources. *)
+  List.iter
+    (fun ((e : Node.endpoint), v) ->
+      match Hashtbl.find_opt sp.s_index e.node_id with
+      | None -> ()
+      | Some idx ->
+          let outs = Array.make sp.s_num_outputs.(idx) v in
+          values.(idx) <- outs)
+    feeds;
+  Array.iteri
+    (fun idx fedp ->
+      if fedp then scheduled.(idx) <- true)
+    sp.s_fed;
+  Array.iteri
+    (fun idx fedp -> if (not fedp) && pending.(idx) = 0 then push idx)
+    sp.s_fed;
+  Array.iteri
+    (fun idx fedp ->
+      if fedp then Array.iter arrive sp.s_consumers.(idx))
+    sp.s_fed;
+  let complete idx outputs =
+    if Array.length outputs > 0 && Array.for_all Value.is_dead outputs then
+      dead.(idx) <- true;
+    values.(idx) <- outputs;
+    Array.iter arrive sp.s_consumers.(idx)
+  in
+  let run_node idx =
+    let cn = sp.s_nodes.(idx) in
+    let n = cn.node in
+    let inputs =
+      Array.map (fun (src, out) -> values.(src).(out)) sp.s_inputs.(idx)
+    in
+    let any_dead =
+      Array.exists Value.is_dead inputs
+      || Array.exists (fun c -> dead.(c)) sp.s_control_in.(idx)
+    in
+    let outputs =
+      if any_dead && n.Node.op_type <> "Send" then begin
+        dead.(idx) <- true;
+        Array.make sp.s_num_outputs.(idx) Value.Dead
+      end
+      else begin
+        let rng = Rng.create (seed + (step_id * 1_000_003) + (n.Node.id * 7_919)) in
+        let ctx =
+          { Kernel.node = n; inputs; resources; rendezvous; rng; step_id }
+        in
+        let kernel = resolve_kernel cn in
+        try trace tracer n ~step_id (fun () -> kernel ctx) with
+        | Step_error _ as e -> raise e
+        | e ->
+            Option.iter
+              (fun r ->
+                Rendezvous.abort r
+                  ~reason:
+                    (Printf.sprintf "%s failed: %s" n.Node.name
+                       (Printexc.to_string e)))
+              rendezvous;
+            raise
+              (Step_error
+                 (Printf.sprintf "kernel %s (%s) failed: %s" n.Node.name
+                    n.Node.op_type (Printexc.to_string e)))
+      end
+    in
+    complete idx outputs
+  in
+  (* Recvs retry non-blockingly (see the general loop). *)
+  let rec loop () =
+    if not (Queue.is_empty ready) then begin
+      run_node (Queue.pop ready);
+      loop ()
+    end
+    else if not (Queue.is_empty ready_recv) then begin
+      (match rendezvous with
+      | None -> run_node (Queue.pop ready_recv)
+      | Some r ->
+          let gen = Rendezvous.generation r in
+          let n = Queue.length ready_recv in
+          let progressed = ref false in
+          for _ = 1 to n do
+            if not !progressed then begin
+              let idx = Queue.pop ready_recv in
+              match
+                Rendezvous.try_recv r
+                  ~key:(recv_rendezvous_key sp.s_nodes.(idx).node)
+              with
+              | Some v ->
+                  trace tracer sp.s_nodes.(idx).node ~step_id (fun () -> ());
+                  complete idx [| v |];
+                  progressed := true
+              | None -> Queue.add idx ready_recv
+            end
+          done;
+          if not !progressed then
+            if not (Queue.is_empty ready_blocking) then
+              run_node (Queue.pop ready_blocking)
+            else ignore (Rendezvous.wait_new r ~last:gen));
+      loop ()
+    end
+    else if not (Queue.is_empty ready_blocking) then begin
+      run_node (Queue.pop ready_blocking);
+      loop ()
+    end
+  in
+  loop ();
+  List.map
+    (fun (e : Node.endpoint) ->
+      match Hashtbl.find_opt sp.s_index e.node_id with
+      | Some idx
+        when Array.length values.(idx) > e.index
+             && not (Value.is_dead values.(idx).(e.index)) ->
+          values.(idx).(e.index)
+      | _ ->
+          raise
+            (Step_error
+               (Printf.sprintf
+                  "fetch %s:%d was not produced (dead value or incomplete \
+                   subgraph?)"
+                  (Graph.get plan.p_graph e.node_id).Node.name e.index)))
+    fetches
+
+let execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
+    ~seed ~step_id =
+  let compiled = plan.p_compiled in
+  let fed_vals = Hashtbl.create 8 in
+  List.iter
+    (fun ((e : Node.endpoint), v) -> Hashtbl.replace fed_vals e.node_id v)
+    feeds;
+  let root =
+    {
+      inst_frame = root_frame;
+      inst_parent = None;
+      iterations = Hashtbl.create 4;
+      invariants = Hashtbl.create 4;
+      invariant_done = Hashtbl.create 4;
+      inst_key = "";
+    }
+  in
+  let st =
+    {
+      compiled;
+      resources;
+      rendezvous;
+      tracer;
+      seed;
+      step_id;
+      instances = Hashtbl.create 8;
+      ready = Queue.create ();
+      ready_recv = Queue.create ();
+      ready_blocking = Queue.create ();
+    }
+  in
+  let root_it = get_iter root 0 in
+  Hashtbl.iter
+    (fun id cn ->
+      match Hashtbl.find_opt fed_vals id with
+      | Some v ->
+          Hashtbl.replace root_it.done_nodes id ();
+          let outputs = Array.make (max 1 (Node.num_outputs cn.node)) v in
+          finish_node st cn root root_it outputs
+      | None ->
+          if Hashtbl.mem plan.p_fed id then
+            (* Fed in the plan but no value given this run. *)
+            raise
+              (Step_error
+                 (Printf.sprintf "missing feed for node %s" cn.node.Node.name))
+          else if cn.in_count = 0 && cn.invariant_slots = []
+                  && cn.invariant_controls = 0 && not cn.is_invariant
+          then begin
+            Hashtbl.replace root_it.done_nodes id ();
+            schedule st cn root root_it
+          end)
+    compiled.cnodes;
+  (* Recvs are retried non-blockingly so one pending value never wedges
+     the partition while other cross-device values are already here. *)
+  let rec loop () =
+    if not (Queue.is_empty st.ready) then begin
+      let cn, inst, it = Queue.pop st.ready in
+      execute_node st cn inst it;
+      loop ()
+    end
+    else if not (Queue.is_empty st.ready_recv) then begin
+      (match st.rendezvous with
+      | None ->
+          let cn, inst, it = Queue.pop st.ready_recv in
+          execute_node st cn inst it
+      | Some r ->
+          let gen = Rendezvous.generation r in
+          let n = Queue.length st.ready_recv in
+          let progressed = ref false in
+          for _ = 1 to n do
+            if not !progressed then begin
+              let ((cn, inst, it) as entry) = Queue.pop st.ready_recv in
+              match
+                Rendezvous.try_recv r ~key:(recv_rendezvous_key cn.node)
+              with
+              | Some v ->
+                  trace st.tracer cn.node ~step_id:st.step_id (fun () -> ());
+                  finish_node st cn inst it [| v |];
+                  progressed := true
+              | None -> Queue.add entry st.ready_recv
+            end
+          done;
+          if not !progressed then
+            if not (Queue.is_empty st.ready_blocking) then begin
+              let cn, inst, it = Queue.pop st.ready_blocking in
+              execute_node st cn inst it
+            end
+            else ignore (Rendezvous.wait_new r ~last:gen));
+      loop ()
+    end
+    else if not (Queue.is_empty st.ready_blocking) then begin
+      let cn, inst, it = Queue.pop st.ready_blocking in
+      execute_node st cn inst it;
+      loop ()
+    end
+  in
+  loop ();
+  List.map
+    (fun (e : Node.endpoint) ->
+      match Hashtbl.find_opt root_it.values (value_key e.node_id e.index) with
+      | Some v -> v
+      | None ->
+          raise
+            (Step_error
+               (Printf.sprintf
+                  "fetch %s:%d was not produced (dead value or incomplete \
+                   subgraph?)"
+                  (Graph.get plan.p_graph e.node_id).Node.name e.index)))
+    fetches
+
+let execute plan ~feeds ~fetches ~resources ?rendezvous ?tracer ?(seed = 0)
+    ?(step_id = 0) () =
+  match plan.p_simple with
+  | Some sp ->
+      execute_simple plan sp ~feeds ~fetches ~resources ~rendezvous ~tracer
+        ~seed ~step_id
+  | None ->
+      execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
+        ~seed ~step_id
+
+let run ~graph ~nodes ~feeds ~fetches ~resources ?rendezvous ?seed ?step_id
+    () =
+  let fed_ids = List.map (fun ((e : Node.endpoint), _) -> e.node_id) feeds in
+  let plan = prepare ~graph ~nodes ~fed_ids in
+  execute plan ~feeds ~fetches ~resources ?rendezvous ?seed ?step_id ()

@@ -1,0 +1,72 @@
+(** The dataflow executor (§3.3–3.4, §5).
+
+    Executes a pruned subgraph: schedules each operation's kernel once
+    all of its inputs have arrived, propagates the special dead value
+    from untaken [Switch] branches, and implements the timely-dataflow
+    frame/iteration machinery behind [Enter]/[Exit]/[NextIteration] so
+    conditionals and (nested) while loops run with one value per output
+    per iteration.
+
+    Scheduling notes:
+    - execution is single-threaded per partition; concurrent steps and
+      multi-partition steps each run their executor in its own thread
+      (see {!Session} and {!Cluster});
+    - potentially blocking kernels ([Recv], queue operations) are
+      scheduled only when no non-blocking work remains, which guarantees
+      progress across partitions of an acyclic dataflow graph;
+    - dead [NextIteration] results are discarded rather than propagated,
+      terminating loops exactly as in TensorFlow's executor. *)
+
+exception Step_error of string
+(** A kernel failed; the message names the operation and the cause. When
+    a rendezvous is present it is aborted so peer partitions fail too. *)
+
+type plan
+(** A compiled subgraph: readiness counts, frame assignment, resolved
+    kernels, and — when the subgraph is free of control flow — a dense
+    array-indexed execution plan. Sessions cache plans so that repeated
+    steps pay no compilation cost (§3.3: "its subgraphs are cached in
+    their respective devices"). A plan may be executed concurrently from
+    several threads; all mutable per-step state is private to
+    {!execute}. *)
+
+val prepare : graph:Graph.t -> nodes:int list -> fed_ids:int list -> plan
+(** Compile the subgraph induced by [nodes]. [fed_ids] are the nodes
+    whose outputs the client will feed (their inputs are not wired).
+
+    @raise Step_error on malformed control flow (frame-crossing edges) *)
+
+val execute :
+  plan ->
+  feeds:(Node.endpoint * Value.t) list ->
+  fetches:Node.endpoint list ->
+  resources:Resource_manager.t ->
+  ?rendezvous:Rendezvous.t ->
+  ?tracer:Tracer.t ->
+  ?seed:int ->
+  ?step_id:int ->
+  unit ->
+  Value.t list
+(** Execute one step of a prepared plan. The feed list must cover exactly
+    the plan's [fed_ids]. *)
+
+val run :
+  graph:Graph.t ->
+  nodes:int list ->
+  feeds:(Node.endpoint * Value.t) list ->
+  fetches:Node.endpoint list ->
+  resources:Resource_manager.t ->
+  ?rendezvous:Rendezvous.t ->
+  ?seed:int ->
+  ?step_id:int ->
+  unit ->
+  Value.t list
+(** [run ~graph ~nodes ~feeds ~fetches ~resources ()] executes the
+    subgraph induced by [nodes] (from {!Pruner}) and returns the value of
+    each fetch, in order. Fed nodes are not executed; their outputs are
+    the fed values. Random operations draw from a stream derived from
+    [seed], [step_id] and the node id, so a step is reproducible.
+
+    @raise Step_error on kernel failure
+    @raise Invalid_argument if a fetch is not produced by the executed
+    subgraph or a fed/executed node's input lies outside it. *)

@@ -1,0 +1,202 @@
+(* Kernels that exist to serve the gradient graphs built by
+   Octf.Gradients (§4.1): shape-restoring counterparts of reductions and
+   array ops whose inverse needs the forward operand's runtime shape. *)
+
+open Octf_tensor
+module K = Kernel
+
+let t v = Value.Tensor v
+
+(* Map each input flat index to its reduction-output slot. *)
+let reduce_slots in_shape axes =
+  let r = Shape.rank in_shape in
+  let axes =
+    if axes = [] then List.init r (fun i -> i)
+    else List.map (Shape.normalize_axis in_shape) axes
+  in
+  let reduced = Array.make r false in
+  List.iter (fun a -> reduced.(a) <- true) axes;
+  let kept_shape =
+    Array.of_list
+      (List.filteri (fun i _ -> not reduced.(i)) (Array.to_list in_shape))
+  in
+  let kept_strides = Shape.strides kept_shape in
+  let slot i =
+    let idx = Shape.multi_index in_shape i in
+    let o = ref 0 and ki = ref 0 in
+    for d = 0 to r - 1 do
+      if not reduced.(d) then begin
+        o := !o + (idx.(d) * kept_strides.(!ki));
+        incr ki
+      end
+    done;
+    !o
+  in
+  let group_size =
+    Array.to_list in_shape
+    |> List.filteri (fun i _ -> reduced.(i))
+    |> List.fold_left ( * ) 1
+  in
+  (slot, group_size)
+
+let reduce_grad ~mean ctx =
+  let x = K.input_tensor ctx 0 and dy = K.input_tensor ctx 1 in
+  let axes =
+    Option.value ~default:[] (Attr.find_ints ctx.K.node.Node.attrs "axes")
+  in
+  let slot, group = reduce_slots (Tensor.shape x) axes in
+  let scale = if mean then 1.0 /. float_of_int group else 1.0 in
+  let out = Tensor.zeros (Tensor.dtype x) (Tensor.shape x) in
+  for i = 0 to Tensor.numel x - 1 do
+    Tensor.flat_set_f out i (Tensor.flat_get_f dy (slot i) *. scale)
+  done;
+  K.one (t out)
+
+let register () =
+  K.register ~op_type:"ReshapeLike" (fun ctx ->
+      let x = K.input_tensor ctx 0 and like = K.input_tensor ctx 1 in
+      K.one (t (Tensor.reshape x (Tensor.shape like))));
+  K.register ~op_type:"ReduceSumGrad" (reduce_grad ~mean:false);
+  K.register ~op_type:"ReduceMeanGrad" (reduce_grad ~mean:true);
+  K.register ~op_type:"ConcatGrad" (fun ctx ->
+      (* Inputs: dy, x_0 .. x_{n-1}; outputs: one slice of dy per x_i. *)
+      let axis = Node.attr_int ctx.K.node "axis" in
+      let n = Node.attr_int ctx.K.node "n" in
+      let dy = K.input_tensor ctx 0 in
+      let axis = Shape.normalize_axis (Tensor.shape dy) axis in
+      let offset = ref 0 in
+      Array.init n (fun i ->
+          let xi = K.input_tensor ctx (i + 1) in
+          let s = Tensor.shape xi in
+          let begin_ = Array.make (Shape.rank s) 0 in
+          begin_.(axis) <- !offset;
+          offset := !offset + s.(axis);
+          t (Tensor_ops.slice dy ~begin_ ~size:s)));
+  K.register ~op_type:"SliceGrad" (fun ctx ->
+      (* Gradient of Slice: dy padded back into x's shape. *)
+      let x = K.input_tensor ctx 0 and dy = K.input_tensor ctx 1 in
+      let begin_ = Array.of_list (Node.attr_ints ctx.K.node "begin") in
+      let xs = Tensor.shape x and ds = Tensor.shape dy in
+      let paddings =
+        Array.init (Shape.rank xs) (fun i ->
+            (begin_.(i), xs.(i) - begin_.(i) - ds.(i)))
+      in
+      K.one (t (Tensor_ops.pad dy ~paddings)));
+  K.register ~op_type:"PadGrad" (fun ctx ->
+      (* Gradient of Pad: the un-padded window of dy. *)
+      let x = K.input_tensor ctx 0 and dy = K.input_tensor ctx 1 in
+      let flat = Node.attr_ints ctx.K.node "paddings" in
+      let rec firsts = function
+        | [] -> []
+        | a :: _ :: rest -> a :: firsts rest
+        | [ _ ] -> invalid_arg "PadGrad: odd paddings"
+      in
+      let begin_ = Array.of_list (firsts flat) in
+      K.one (t (Tensor_ops.slice dy ~begin_ ~size:(Tensor.shape x))));
+  K.register ~op_type:"TileGrad" (fun ctx ->
+      (* Gradient of Tile: sum the replicas back onto x's shape. *)
+      let x = K.input_tensor ctx 0 and dy = K.input_tensor ctx 1 in
+      let xs = Tensor.shape x in
+      let out = Tensor.zeros (Tensor.dtype x) xs in
+      let ds = Tensor.shape dy in
+      for i = 0 to Tensor.numel dy - 1 do
+        let idx = Shape.multi_index ds i in
+        let xidx = Array.mapi (fun d v -> v mod xs.(d)) idx in
+        let o = Shape.flat_index xs xidx in
+        Tensor.flat_set_f out o (Tensor.flat_get_f out o +. Tensor.flat_get_f dy i)
+      done;
+      K.one (t out));
+  K.register ~op_type:"AvgPoolGrad" (fun ctx ->
+      (* Distribute each output gradient equally over its window. *)
+      let input = K.input_tensor ctx 0 and dy = K.input_tensor ctx 1 in
+      let kh, kw =
+        match Node.attr_ints ctx.K.node "ksize" with
+        | [ a; b ] -> (a, b)
+        | _ -> invalid_arg "AvgPoolGrad: ksize"
+      in
+      let sh, sw =
+        match Node.attr_ints ctx.K.node "strides" with
+        | [ a; b ] -> (a, b)
+        | _ -> invalid_arg "AvgPoolGrad: strides"
+      in
+      let same = Node.attr_string ctx.K.node "padding" = "SAME" in
+      let is = Tensor.shape input and os = Tensor.shape dy in
+      let batch = is.(0) and ih = is.(1) and iw = is.(2) and c = is.(3) in
+      let oh = os.(1) and ow = os.(2) in
+      let pad total in_size filter stride =
+        if same then max 0 (((total - 1) * stride) + filter - in_size) / 2
+        else 0
+      in
+      let ph = pad oh ih kh sh and pw = pad ow iw kw sw in
+      let out = Tensor.zeros (Tensor.dtype input) is in
+      for b = 0 to batch - 1 do
+        for y = 0 to oh - 1 do
+          for x = 0 to ow - 1 do
+            (* Count live window cells once per (y, x). *)
+            let count = ref 0 in
+            for ky = 0 to kh - 1 do
+              let sy = (y * sh) + ky - ph in
+              if sy >= 0 && sy < ih then
+                for kx = 0 to kw - 1 do
+                  let sx = (x * sw) + kx - pw in
+                  if sx >= 0 && sx < iw then incr count
+                done
+            done;
+            if !count > 0 then
+              for ch = 0 to c - 1 do
+                let g =
+                  Tensor.flat_get_f dy ((((b * oh) + y) * ow + x) * c + ch)
+                  /. float_of_int !count
+                in
+                for ky = 0 to kh - 1 do
+                  let sy = (y * sh) + ky - ph in
+                  if sy >= 0 && sy < ih then
+                    for kx = 0 to kw - 1 do
+                      let sx = (x * sw) + kx - pw in
+                      if sx >= 0 && sx < iw then begin
+                        let o = (((b * ih) + sy) * iw + sx) * c + ch in
+                        Tensor.flat_set_f out o (Tensor.flat_get_f out o +. g)
+                      end
+                    done
+                done
+              done
+          done
+        done
+      done;
+      K.one (t out));
+  K.register ~op_type:"DynamicPartitionGrad" (fun ctx ->
+      (* Inputs: partitions, dy_0 .. dy_{num-1}; rebuilds the gradient of
+         the original data by replaying the partition order. *)
+      let num = Node.attr_int ctx.K.node "num_partitions" in
+      let partitions = K.input_tensor ctx 0 in
+      let dys = Array.init num (fun i -> K.input_tensor ctx (i + 1)) in
+      let nrows = Tensor.numel partitions in
+      let rs =
+        let nonempty = Array.to_list dys |> List.find_opt (fun d -> Tensor.numel d > 0) in
+        match nonempty with
+        | Some d -> Tensor.numel d / (Tensor.shape d).(0)
+        | None -> 1
+      in
+      let tail =
+        match Array.to_list dys |> List.find_opt (fun d -> Tensor.numel d > 0) with
+        | Some d ->
+            let s = Tensor.shape d in
+            Array.sub s 1 (Shape.rank s - 1)
+        | None -> [||]
+      in
+      let out_shape = Array.append [| nrows |] tail in
+      let dtype =
+        if Array.length dys > 0 then Tensor.dtype dys.(0) else Dtype.F32
+      in
+      let out = Tensor.zeros dtype out_shape in
+      let cursors = Array.make num 0 in
+      for row = 0 to nrows - 1 do
+        let p = Tensor.flat_get_i partitions row in
+        let src = dys.(p) and c = cursors.(p) in
+        for j = 0 to rs - 1 do
+          Tensor.flat_set_f out ((row * rs) + j)
+            (Tensor.flat_get_f src ((c * rs) + j))
+        done;
+        cursors.(p) <- c + 1
+      done;
+      K.one (t out))

@@ -1,0 +1,504 @@
+open Octf_tensor
+module B = Builder
+
+type grad =
+  | Dense of B.output
+  | Sparse of {
+      indices : B.output;
+      values : B.output;
+      dense_shape : B.output;
+    }
+
+type grad_fn = B.t -> Node.t -> B.output option array -> grad option list
+
+let registry : (string, grad_fn) Hashtbl.t = Hashtbl.create 64
+
+let register_gradient ~op_type fn = Hashtbl.replace registry op_type fn
+
+let densify b = function
+  | Dense o -> o
+  | Sparse { indices; values; dense_shape } ->
+      B.scatter_into_shape b dense_shape indices values
+
+(* Sum a non-empty list of gradient contributions. All-sparse sums stay
+   sparse (concatenated slices; scatter accumulation handles duplicate
+   indices); mixed sums densify. *)
+let sum_grads b = function
+  | [] -> None
+  | [ g ] -> Some g
+  | gs ->
+      let all_sparse =
+        List.for_all (function Sparse _ -> true | Dense _ -> false) gs
+      in
+      if all_sparse then begin
+        let parts =
+          List.map
+            (function
+              | Sparse { indices; values; dense_shape } ->
+                  (indices, values, dense_shape)
+              | Dense _ -> assert false)
+            gs
+        in
+        let indices =
+          B.concat b ~axis:0 (List.map (fun (i, _, _) -> i) parts)
+        in
+        let values =
+          B.concat b ~axis:0 (List.map (fun (_, v, _) -> v) parts)
+        in
+        let dense_shape =
+          match parts with (_, _, d) :: _ -> d | [] -> assert false
+        in
+        Some (Sparse { indices; values; dense_shape })
+      end
+      else Some (Dense (B.add_n b (List.map (densify b) gs)))
+
+(* --------------------------------------------------------------- *)
+(* Built-in gradient functions                                      *)
+(* --------------------------------------------------------------- *)
+
+let inp b node i =
+  let (e : Node.endpoint) = node.Node.inputs.(i) in
+  B.output ~index:e.index (Graph.get (B.graph b) e.node_id)
+
+let out node i = B.output ~index:i node
+
+let dy0 dys =
+  match dys.(0) with
+  | Some d -> d
+  | None -> invalid_arg "Gradients: missing output gradient"
+
+let dense1 g = [ Some (Dense g) ]
+
+let dense2 g1 g2 = [ Some (Dense g1); Some (Dense g2) ]
+
+(* Restore a broadcast operand's shape by summing the expanded axes. *)
+let sts b dy operand = B.sum_to_shape b dy (B.shape_of b operand)
+
+let ensure_builtins =
+  lazy
+    begin
+      let reg = register_gradient in
+      reg ~op_type:"Add" (fun b n dys ->
+          let dy = dy0 dys in
+          dense2 (sts b dy (inp b n 0)) (sts b dy (inp b n 1)));
+      reg ~op_type:"Sub" (fun b n dys ->
+          let dy = dy0 dys in
+          dense2 (sts b dy (inp b n 0)) (sts b (B.neg b dy) (inp b n 1)));
+      reg ~op_type:"Mul" (fun b n dys ->
+          let dy = dy0 dys in
+          let x = inp b n 0 and y = inp b n 1 in
+          dense2 (sts b (B.mul b dy y) x) (sts b (B.mul b dy x) y));
+      reg ~op_type:"Div" (fun b n dys ->
+          let dy = dy0 dys in
+          let x = inp b n 0 and y = inp b n 1 in
+          let dx = B.div b dy y in
+          let dyy = B.neg b (B.div b (B.mul b dy x) (B.mul b y y)) in
+          dense2 (sts b dx x) (sts b dyy y));
+      reg ~op_type:"Pow" (fun b n dys ->
+          let dy = dy0 dys in
+          let x = inp b n 0 and p = inp b n 1 in
+          let y = out n 0 in
+          ignore y;
+          let dx =
+            B.mul b dy
+              (B.mul b p (B.pow b x (B.sub b p (B.const_f b 1.0))))
+          in
+          let dp = B.mul b dy (B.mul b (B.pow b x p) (B.log b x)) in
+          dense2 (sts b dx x) (sts b dp p));
+      reg ~op_type:"Maximum" (fun b n dys ->
+          let dy = dy0 dys in
+          let x = inp b n 0 and y = inp b n 1 in
+          let mx = B.cast b (B.greater_equal b x y) Dtype.F32 in
+          let my = B.cast b (B.greater b y x) Dtype.F32 in
+          dense2 (sts b (B.mul b dy mx) x) (sts b (B.mul b dy my) y));
+      reg ~op_type:"Minimum" (fun b n dys ->
+          let dy = dy0 dys in
+          let x = inp b n 0 and y = inp b n 1 in
+          let mx = B.cast b (B.greater_equal b y x) Dtype.F32 in
+          let my = B.cast b (B.greater b x y) Dtype.F32 in
+          dense2 (sts b (B.mul b dy mx) x) (sts b (B.mul b dy my) y));
+      reg ~op_type:"Neg" (fun b _ dys -> dense1 (B.neg b (dy0 dys)));
+      reg ~op_type:"Abs" (fun b n dys ->
+          dense1 (B.mul b (dy0 dys) (B.sign b (inp b n 0))));
+      reg ~op_type:"Exp" (fun b n dys ->
+          dense1 (B.mul b (dy0 dys) (out n 0)));
+      reg ~op_type:"Log" (fun b n dys ->
+          dense1 (B.div b (dy0 dys) (inp b n 0)));
+      reg ~op_type:"Sqrt" (fun b n dys ->
+          let y = out n 0 in
+          dense1
+            (B.mul b (B.mul b (dy0 dys) (B.reciprocal b y)) (B.const_f b 0.5)));
+      reg ~op_type:"Square" (fun b n dys ->
+          dense1
+            (B.mul b (dy0 dys) (B.mul b (inp b n 0) (B.const_f b 2.0))));
+      reg ~op_type:"Reciprocal" (fun b n dys ->
+          let y = out n 0 in
+          dense1 (B.neg b (B.mul b (dy0 dys) (B.mul b y y))));
+      reg ~op_type:"Relu" (fun b n dys ->
+          dense1 (B.relu_grad b (dy0 dys) (inp b n 0)));
+      reg ~op_type:"Sigmoid" (fun b n dys ->
+          let y = out n 0 in
+          dense1
+            (B.mul b (dy0 dys)
+               (B.mul b y (B.sub b (B.const_f b 1.0) y))));
+      reg ~op_type:"Tanh" (fun b n dys ->
+          let y = out n 0 in
+          dense1
+            (B.mul b (dy0 dys) (B.sub b (B.const_f b 1.0) (B.mul b y y))));
+      reg ~op_type:"AddN" (fun _ n dys ->
+          let dy = dy0 dys in
+          List.init (Array.length n.Node.inputs) (fun _ -> Some (Dense dy)));
+      reg ~op_type:"MatMul" (fun b n dys ->
+          let dy = dy0 dys in
+          let a = inp b n 0 and bb = inp b n 1 in
+          let ta = Node.attr_bool n "transpose_a"
+          and tb = Node.attr_bool n "transpose_b" in
+          let da, db =
+            match (ta, tb) with
+            | false, false ->
+                ( B.matmul b dy bb ~transpose_b:true,
+                  B.matmul b a dy ~transpose_a:true )
+            | true, false ->
+                (B.matmul b bb dy ~transpose_b:true, B.matmul b a dy)
+            | false, true ->
+                (B.matmul b dy bb, B.matmul b dy a ~transpose_a:true)
+            | true, true ->
+                ( B.matmul b bb dy ~transpose_a:true ~transpose_b:true,
+                  B.matmul b dy a ~transpose_a:true ~transpose_b:true )
+          in
+          dense2 da db);
+      reg ~op_type:"Identity" (fun _ _ dys -> dense1 (dy0 dys));
+      reg ~op_type:"Cast" (fun b _ dys ->
+          dense1 (B.cast b (dy0 dys) Dtype.F32));
+      reg ~op_type:"Select" (fun b n dys ->
+          let dy = dy0 dys in
+          let cond = inp b n 0 in
+          let zeros = B.zeros_like b dy in
+          [
+            None;
+            Some (Dense (sts b (B.select b cond dy zeros) (inp b n 1)));
+            Some (Dense (sts b (B.select b cond zeros dy) (inp b n 2)));
+          ]);
+      reg ~op_type:"Reshape" (fun b n dys ->
+          dense1 (B.reshape_like b (dy0 dys) (inp b n 0)));
+      reg ~op_type:"ExpandDims" (fun b n dys ->
+          dense1 (B.reshape_like b (dy0 dys) (inp b n 0)));
+      reg ~op_type:"ReshapeLike" (fun b n dys ->
+          [ Some (Dense (B.reshape_like b (dy0 dys) (inp b n 0))); None ]);
+      reg ~op_type:"Transpose" (fun b n dys ->
+          let perm = Attr.find_ints n.Node.attrs "perm" in
+          let inv =
+            Option.map
+              (fun p ->
+                let arr = Array.of_list p in
+                let inv = Array.make (Array.length arr) 0 in
+                Array.iteri (fun i v -> inv.(v) <- i) arr;
+                inv)
+              perm
+          in
+          dense1 (B.transpose b ?perm:inv (dy0 dys)));
+      reg ~op_type:"Concat" (fun b n dys ->
+          let dy = dy0 dys in
+          let axis = Node.attr_int n "axis" in
+          let num = Array.length n.Node.inputs in
+          let xs = List.init num (fun i -> inp b n i) in
+          let node =
+            B.op b
+              ~attrs:[ ("axis", Attr.Int axis); ("n", Attr.Int num) ]
+              ~op_type:"ConcatGrad" (dy :: xs)
+          in
+          List.init num (fun i -> Some (Dense (B.output ~index:i node))));
+      reg ~op_type:"Slice" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"SliceGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      reg ~op_type:"Pad" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"PadGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      reg ~op_type:"Tile" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"TileGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      reg ~op_type:"ReduceSum" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"ReduceSumGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      reg ~op_type:"ReduceMean" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"ReduceMeanGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      reg ~op_type:"Gather" (fun b n dys ->
+          let dy = dy0 dys in
+          let params = inp b n 0 and indices = inp b n 1 in
+          [
+            Some
+              (Sparse
+                 {
+                   indices;
+                   values = dy;
+                   dense_shape = B.shape_of b params;
+                 });
+            None;
+          ]);
+      reg ~op_type:"DynamicPartition" (fun b n dys ->
+          let num = Node.attr_int n "num_partitions" in
+          let dy_list =
+            List.init num (fun i ->
+                match dys.(i) with
+                | Some d -> d
+                | None -> B.zeros_like b (out n i))
+          in
+          let node =
+            B.op b
+              ~attrs:[ ("num_partitions", Attr.Int num) ]
+              ~op_type:"DynamicPartitionGrad"
+              (inp b n 1 :: dy_list)
+          in
+          [ Some (Dense (B.output node)); None ]);
+      reg ~op_type:"DynamicStitch" (fun b n dys ->
+          let dy = dy0 dys in
+          let num = Node.attr_int n "n" in
+          let index_grads = List.init num (fun _ -> None) in
+          let data_grads =
+            List.init num (fun i ->
+                Some (Dense (B.gather b dy (inp b n i))))
+          in
+          index_grads @ data_grads);
+      reg ~op_type:"Pack" (fun b n dys ->
+          let dy = dy0 dys in
+          let num = Array.length n.Node.inputs in
+          let node =
+            B.op b ~attrs:[ ("num", Attr.Int num) ] ~op_type:"Unpack" [ dy ]
+          in
+          List.init num (fun i -> Some (Dense (B.output ~index:i node))));
+      reg ~op_type:"Unpack" (fun b n dys ->
+          let num = Node.attr_int n "num" in
+          let pieces =
+            List.init num (fun i ->
+                match dys.(i) with
+                | Some d -> d
+                | None -> B.zeros_like b (out n i))
+          in
+          dense1 (B.pack b pieces));
+      reg ~op_type:"Split" (fun b n dys ->
+          let num = Node.attr_int n "num" in
+          let axis = Node.attr_int n "axis" in
+          let pieces =
+            List.init num (fun i ->
+                match dys.(i) with
+                | Some d -> d
+                | None -> B.zeros_like b (out n i))
+          in
+          dense1 (B.concat b ~axis pieces));
+      reg ~op_type:"Softmax" (fun b n dys ->
+          let dy = dy0 dys in
+          let y = out n 0 in
+          let s =
+            B.reduce_sum b ~axes:[ 1 ] ~keep_dims:true (B.mul b dy y)
+          in
+          dense1 (B.mul b (B.sub b dy s) y));
+      reg ~op_type:"LogSoftmax" (fun b n dys ->
+          let dy = dy0 dys in
+          let x = inp b n 0 in
+          let s = B.reduce_sum b ~axes:[ 1 ] ~keep_dims:true dy in
+          dense1 (B.sub b dy (B.mul b (B.softmax b x) s)));
+      reg ~op_type:"SoftmaxCrossEntropy" (fun b n dys ->
+          (* Output 0 is the per-example loss; output 1 caches
+             softmax(logits) - labels. d loss_i / d logits = backprop_i. *)
+          match dys.(0) with
+          | None -> [ None; None ]
+          | Some dl ->
+              let backprop = out n 1 in
+              let scaled =
+                B.mul b backprop (B.expand_dims b dl ~axis:1)
+              in
+              [ Some (Dense scaled); None ]);
+      reg ~op_type:"Conv2D" (fun b n dys ->
+          let dy = dy0 dys in
+          let input = inp b n 0 and filter = inp b n 1 in
+          let gi =
+            B.op b ~attrs:n.Node.attrs ~op_type:"Conv2DGradInput"
+              [ input; filter; dy ]
+          in
+          let gf =
+            B.op b ~attrs:n.Node.attrs ~op_type:"Conv2DGradFilter"
+              [ input; filter; dy ]
+          in
+          dense2 (B.output gi) (B.output gf));
+      reg ~op_type:"MaxPool" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"MaxPoolGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      reg ~op_type:"AvgPool" (fun b n dys ->
+          let node =
+            B.op b ~attrs:n.Node.attrs ~op_type:"AvgPoolGrad"
+              [ inp b n 0; dy0 dys ]
+          in
+          dense1 (B.output node));
+      (* Conditional gradients (§4.1): a Merge built by Builder.cond
+         carries its predicate, so its gradient demultiplexes the
+         incoming gradient back onto the taken branch; the gradient of
+         Switch multiplexes whichever branch gradients are live. Merges
+         without a predicate annotation (loop merges) stop gradients. *)
+      reg ~op_type:"Merge" (fun b n dys ->
+          match
+            (Attr.find_int n.Node.attrs "pred_node",
+             Attr.find_int n.Node.attrs "pred_index")
+          with
+          | Some pred_node, Some pred_index ->
+              let pred =
+                B.output ~index:pred_index (Graph.get (B.graph b) pred_node)
+              in
+              let g_false, g_true = B.switch b (dy0 dys) pred in
+              (* Builder.cond's Merge inputs are [then; else]. *)
+              [ Some (Dense g_true); Some (Dense g_false) ]
+          | _ ->
+              List.init (Array.length n.Node.inputs) (fun _ -> None));
+      reg ~op_type:"Switch" (fun b _n dys ->
+          (* dys.(0) is the false branch's gradient, dys.(1) the true
+             branch's; at runtime exactly one is live and Merge forwards
+             it. *)
+          let live = List.filter_map Fun.id (Array.to_list dys) in
+          match live with
+          | [] -> [ None; None ]
+          | [ g ] -> [ Some (Dense g); None ]
+          | gs -> [ Some (Dense (B.merge b gs)); None ])
+    end
+
+let has_gradient ~op_type =
+  Lazy.force ensure_builtins;
+  Hashtbl.mem registry op_type
+
+(* --------------------------------------------------------------- *)
+(* Backward pass                                                     *)
+(* --------------------------------------------------------------- *)
+
+let gradients b ~ys ~xs ?grad_ys () =
+  Lazy.force ensure_builtins;
+  let graph = B.graph b in
+  let grad_ys =
+    match grad_ys with
+    | Some gs ->
+        if List.length gs <> List.length ys then
+          invalid_arg "Gradients.gradients: grad_ys length mismatch";
+        gs
+    | None -> List.map (fun y -> B.ones_like b y) ys
+  in
+  (* Nodes forward-reachable from xs... *)
+  let consumers = Graph.consumers_of graph in
+  let forward = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun (x : B.output) ->
+      let id = x.B.node.Node.id in
+      if not (Hashtbl.mem forward id) then begin
+        Hashtbl.replace forward id ();
+        Queue.add id q
+      end)
+    xs;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    if id < Array.length consumers then
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem forward c) then begin
+            Hashtbl.replace forward c ();
+            Queue.add c q
+          end)
+        consumers.(id)
+  done;
+  (* ...intersected with ancestors of ys: the "between" set the paper's
+     breadth-first search identifies. *)
+  let between = Hashtbl.create 64 in
+  List.iter
+    (fun (y : B.output) ->
+      let id = y.B.node.Node.id in
+      if Hashtbl.mem forward id && not (Hashtbl.mem between id) then begin
+        Hashtbl.replace between id ();
+        Queue.add id q
+      end)
+    ys;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    let n = Graph.get graph id in
+    Array.iter
+      (fun (e : Node.endpoint) ->
+        if Hashtbl.mem forward e.node_id && not (Hashtbl.mem between e.node_id)
+        then begin
+          Hashtbl.replace between e.node_id ();
+          Queue.add e.node_id q
+        end)
+      n.Node.inputs
+  done;
+  (* Accumulate gradient contributions per endpoint. *)
+  let acc : (int * int, grad list) Hashtbl.t = Hashtbl.create 64 in
+  let accumulate (e : Node.endpoint) g =
+    let key = (e.node_id, e.index) in
+    Hashtbl.replace acc key
+      (g :: Option.value ~default:[] (Hashtbl.find_opt acc key))
+  in
+  List.iter2
+    (fun (y : B.output) gy ->
+      accumulate (B.endpoint_of_output y) (Dense gy))
+    ys grad_ys;
+  (* Reverse topological sweep over the between set. *)
+  let order = List.rev (Graph.topological_order graph) in
+  List.iter
+    (fun (n : Node.t) ->
+      if Hashtbl.mem between n.Node.id then begin
+        (* xs stop the recursion: their accumulated grads are results. *)
+        let is_x =
+          List.exists
+            (fun (x : B.output) -> x.B.node.Node.id = n.Node.id)
+            xs
+        in
+        if not is_x then begin
+          let n_out = Node.num_outputs n in
+          let dys =
+            Array.init n_out (fun i ->
+                match Hashtbl.find_opt acc (n.Node.id, i) with
+                | None -> None
+                | Some gs ->
+                    Option.map (densify b) (sum_grads b gs))
+          in
+          let any = Array.exists Option.is_some dys in
+          if any then begin
+            match Hashtbl.find_opt registry n.Node.op_type with
+            | None -> ()  (* treated as stop_gradient *)
+            | Some fn ->
+                let input_grads = fn b n dys in
+                if List.length input_grads <> Array.length n.Node.inputs then
+                  invalid_arg
+                    (Printf.sprintf
+                       "gradient of %s returned %d grads for %d inputs"
+                       n.Node.op_type (List.length input_grads)
+                       (Array.length n.Node.inputs));
+                List.iteri
+                  (fun i g ->
+                    match g with
+                    | None -> ()
+                    | Some g -> accumulate n.Node.inputs.(i) g)
+                  input_grads
+          end
+        end
+      end)
+    order;
+  List.map
+    (fun (x : B.output) ->
+      match Hashtbl.find_opt acc (x.B.node.Node.id, x.B.out) with
+      | None -> None
+      | Some gs -> sum_grads b gs)
+    xs

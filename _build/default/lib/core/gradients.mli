@@ -1,0 +1,55 @@
+(** Automatic differentiation as a user-level library (§4.1).
+
+    Given target outputs [ys] (e.g. a loss) and parameters [xs], this
+    module performs the paper's breadth-first search to identify all
+    backward paths from [ys] to [xs], building a gradient subgraph with
+    ordinary {!Builder} operations and summing the partial gradients each
+    path contributes. Nothing here is privileged: every gradient function
+    emits standard graph nodes, and users can register gradients for
+    their own operations exactly as the paper's users specialize
+    gradients for batch normalization or gradient clipping.
+
+    Sparse gradients: the gradient of [Gather] is represented as
+    index/value pairs (the analogue of TensorFlow's IndexedSlices), so an
+    optimizer can apply a sparse update ([ScatterSub]) touching only the
+    embedding rows a step actually read (§4.2). A sparse gradient is
+    densified automatically whenever it meets a dense consumer. *)
+
+type grad =
+  | Dense of Builder.output
+  | Sparse of {
+      indices : Builder.output;
+      values : Builder.output;
+      dense_shape : Builder.output;  (** 1-D int tensor, runtime shape *)
+    }
+
+val densify : Builder.t -> grad -> Builder.output
+(** Convert a sparse gradient into the equivalent dense tensor via
+    scatter-accumulation. Identity on dense gradients. *)
+
+val gradients :
+  Builder.t ->
+  ys:Builder.output list ->
+  xs:Builder.output list ->
+  ?grad_ys:Builder.output list ->
+  unit ->
+  grad option list
+(** One gradient per [x], [None] when no backward path reaches it.
+    [grad_ys] seeds the backprop (default: ones like each [y]).
+
+    Control-flow limitation: gradients do not flow through
+    [Switch]/[Merge]/loop operations in this implementation; wrap
+    conditional losses with [select] instead, or register custom
+    gradients. *)
+
+type grad_fn =
+  Builder.t -> Node.t -> Builder.output option array -> grad option list
+(** [fn b node dys] receives the (dense) gradient flowing into each
+    output of [node] ([None] if an output is unused) and returns one
+    gradient per {e input}. *)
+
+val register_gradient : op_type:string -> grad_fn -> unit
+(** Override or extend the gradient registry (user-level, as in the
+    paper). *)
+
+val has_gradient : op_type:string -> bool

@@ -1,0 +1,157 @@
+open Octf_tensor
+
+let impure_ops =
+  [
+    "Placeholder"; "Send"; "Recv"; "Switch"; "Merge"; "Enter"; "Exit";
+    "NextIteration"; "LoopCond"; "NoOp";
+  ]
+
+let is_pure (n : Node.t) =
+  (not (Node.is_stateful n)) && not (List.mem n.Node.op_type impure_ops)
+
+(* Rewire every consumer of [old_id]'s outputs to the same-index output of
+   [new_id], and every control edge to [new_id]. *)
+let redirect graph ~old_id ~new_id =
+  Graph.iter graph (fun n ->
+      Array.iteri
+        (fun slot (e : Node.endpoint) ->
+          if e.node_id = old_id then
+            Graph.set_input graph ~node_id:n.Node.id ~slot
+              (Node.endpoint new_id e.index))
+        n.Node.inputs);
+  (* Control edges: rebuild via set_input is data-only; rewrite the node
+     record directly. *)
+  Graph.iter graph (fun n ->
+      if List.mem old_id n.Node.control_inputs then begin
+        let fresh =
+          List.sort_uniq compare
+            (List.map
+               (fun c -> if c = old_id then new_id else c)
+               n.Node.control_inputs)
+        in
+        (* Re-adding is not possible; mutate through a replacement record
+           using set_input's mechanism is data-only, so we reach into the
+           graph via a dedicated helper below. *)
+        Graph.replace_control_inputs graph ~node_id:n.Node.id fresh
+      end)
+
+let constant_fold graph ~nodes ~fed =
+  let folded = ref 0 in
+  let order = Graph.topological_order graph in
+  let in_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+  List.iter
+    (fun (n : Node.t) ->
+      if
+        Hashtbl.mem in_set n.Node.id
+        && (not (Hashtbl.mem fed n.Node.id))
+        && is_pure n
+        && n.Node.op_type <> "Const"
+        && Node.num_outputs n = 1
+        && n.Node.control_inputs = []
+        && Array.length n.Node.inputs > 0
+        && Array.for_all
+             (fun (e : Node.endpoint) ->
+               (* Re-read through the graph: earlier folds replace
+                  producers with Consts. *)
+               (Graph.get graph e.node_id).Node.op_type = "Const")
+             n.Node.inputs
+      then begin
+        match Kernel.lookup ~op_type:n.Node.op_type ~device:Device.CPU with
+        | None -> ()
+        | Some kernel -> (
+            let inputs =
+              Array.map
+                (fun (e : Node.endpoint) ->
+                  Value.Tensor
+                    (Node.attr_tensor (Graph.get graph e.node_id) "value"))
+                n.Node.inputs
+            in
+            let ctx =
+              {
+                Kernel.node = n;
+                inputs;
+                resources = Resource_manager.create ();
+                rendezvous = None;
+                rng = Rng.create 0;
+                step_id = 0;
+              }
+            in
+            match kernel ctx with
+            | [| Value.Tensor result |] ->
+                let const =
+                  Graph.add_node graph
+                    ~name:(n.Node.name ^ "/folded")
+                    ~attrs:[ ("value", Attr.Tensor result) ]
+                    ~device:n.Node.device_spec ~op_type:"Const" ()
+                in
+                redirect graph ~old_id:n.Node.id ~new_id:const.Node.id;
+                incr folded
+            | _ | (exception _) -> ())
+      end)
+    order;
+  !folded
+
+(* Structural key for CSE. Tensor attributes hash their full contents. *)
+let cse_key (n : Node.t) =
+  let attr_part =
+    String.concat ";"
+      (List.map
+         (fun (k, a) ->
+           match a with
+           | Attr.Tensor t ->
+               Printf.sprintf "%s=#%d" k (Hashtbl.hash (Tensor.to_string t))
+           | a -> k ^ "=" ^ Attr.to_string a)
+         n.Node.attrs)
+  in
+  Printf.sprintf "%s|%s|%s|%s|%s" n.Node.op_type attr_part
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun (e : Node.endpoint) ->
+               Printf.sprintf "%d:%d" e.node_id e.index)
+             n.Node.inputs)))
+    (String.concat "," (List.map string_of_int n.Node.control_inputs))
+    (Device.spec_to_string n.Node.device_spec)
+
+let structurally_equal (a : Node.t) (b : Node.t) =
+  a.Node.op_type = b.Node.op_type
+  && a.Node.inputs = b.Node.inputs
+  && a.Node.control_inputs = b.Node.control_inputs
+  && a.Node.attrs = b.Node.attrs
+  && a.Node.device_spec = b.Node.device_spec
+
+let cse graph ~nodes ~fed =
+  let merged = ref 0 in
+  let canonical : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let order = Graph.topological_order graph in
+  let in_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+  List.iter
+    (fun (n : Node.t) ->
+      if Hashtbl.mem in_set n.Node.id && (not (Hashtbl.mem fed n.Node.id))
+         && is_pure n
+      then begin
+        (* Re-read the node: earlier merges may have rewired its inputs. *)
+        let n = Graph.get graph n.Node.id in
+        let key = cse_key n in
+        match Hashtbl.find_opt canonical key with
+        | None -> Hashtbl.replace canonical key n.Node.id
+        | Some canon_id ->
+            if
+              canon_id <> n.Node.id
+              && structurally_equal n (Graph.get graph canon_id)
+            then begin
+              redirect graph ~old_id:n.Node.id ~new_id:canon_id;
+              incr merged
+            end
+      end)
+    order;
+  !merged
+
+let optimize graph ~nodes ~feeds =
+  let fed = Hashtbl.create 8 in
+  List.iter (fun (e : Node.endpoint) -> Hashtbl.replace fed e.node_id ()) feeds;
+  let _ = constant_fold graph ~nodes ~fed in
+  let _ = cse graph ~nodes ~fed in
+  ()

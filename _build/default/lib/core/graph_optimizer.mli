@@ -1,0 +1,22 @@
+(** Master-side graph optimizations (§5).
+
+    "Since the master sees the overall computation for a step, it applies
+    standard optimizations such as common subexpression elimination and
+    constant folding; pruning is a form of dead code elimination."
+
+    Both passes rewrite the graph in place by repointing consumer edges:
+    constant folding evaluates pure operations whose inputs are all
+    constants and replaces them with [Const] nodes; CSE merges pure
+    operations with identical type, attributes, inputs and constraints.
+    Rewrites never mutate an existing node's input array in place (a new
+    node record replaces it), so executors holding references to old
+    records are unaffected; callers should re-prune afterwards to drop
+    the disconnected nodes. *)
+
+val optimize : Graph.t -> nodes:int list -> feeds:Node.endpoint list -> unit
+(** Run constant folding then CSE over the given (pruned) node set.
+    Fed nodes are never folded or merged. *)
+
+val is_pure : Node.t -> bool
+(** Operations eligible for folding/merging: stateless, side-effect free,
+    not control flow, not communication, not fed at runtime. *)

@@ -1,0 +1,39 @@
+type ctx = {
+  node : Node.t;
+  inputs : Value.t array;
+  resources : Resource_manager.t;
+  rendezvous : Rendezvous.t option;
+  rng : Octf_tensor.Rng.t;
+  step_id : int;
+}
+
+type t = ctx -> Value.t array
+
+exception Kernel_error of string * exn
+
+let registry : (string * Device.device_type, t) Hashtbl.t = Hashtbl.create 256
+
+let register ~op_type ?(devices = [ Device.CPU; Device.GPU ]) kernel =
+  List.iter
+    (fun d -> Hashtbl.replace registry (op_type, d) kernel)
+    devices
+
+let lookup ~op_type ~device = Hashtbl.find_opt registry (op_type, device)
+
+let supported_devices ~op_type =
+  List.filter
+    (fun d -> Hashtbl.mem registry (op_type, d))
+    [ Device.CPU; Device.GPU; Device.TPU ]
+
+let is_registered ~op_type = supported_devices ~op_type <> []
+
+let input_tensor ctx i = Value.tensor ctx.inputs.(i)
+
+let input_var ctx i = Value.variable ctx.inputs.(i)
+
+let input_queue ctx i = Value.queue ctx.inputs.(i)
+
+let all_input_tensors ctx =
+  Array.to_list (Array.map Value.tensor ctx.inputs)
+
+let one v = [| v |]

@@ -1,0 +1,53 @@
+(** Operation kernels and the kernel registry (§5).
+
+    A device executes a {e kernel} for each operation assigned to it.
+    Multiple kernels may be registered for one operation type, with
+    specialized implementations per device type; the placement algorithm
+    consults the registry to compute each node's feasible device set.
+
+    In this reproduction every kernel ultimately runs on the host CPU
+    (simulated accelerators share implementations), but the registry
+    machinery — including per-device registration and lookup with
+    fallback — is faithful to the paper's design. *)
+
+(** Execution context passed to a kernel. *)
+type ctx = {
+  node : Node.t;
+  inputs : Value.t array;
+  resources : Resource_manager.t;
+  rendezvous : Rendezvous.t option;  (** present in partitioned steps *)
+  rng : Octf_tensor.Rng.t;  (** per-step stream for random ops *)
+  step_id : int;
+}
+
+type t = ctx -> Value.t array
+(** A kernel maps input values to output values (possibly blocking, for
+    queue and [Recv] operations). *)
+
+exception Kernel_error of string * exn
+(** [(node name, underlying failure)] — wraps kernel exceptions so step
+    errors identify the failing operation. *)
+
+val register : op_type:string -> ?devices:Device.device_type list -> t -> unit
+(** Register one implementation for [op_type] on each listed device type
+    (default [[CPU; GPU]]). Later registrations override. *)
+
+val lookup : op_type:string -> device:Device.device_type -> t option
+
+val supported_devices : op_type:string -> Device.device_type list
+(** Device types with a registered kernel; empty when unknown. *)
+
+val is_registered : op_type:string -> bool
+
+(** {1 Input projection helpers for kernel implementations} *)
+
+val input_tensor : ctx -> int -> Octf_tensor.Tensor.t
+
+val input_var : ctx -> int -> Resource.variable
+
+val input_queue : ctx -> int -> Queue_impl.t
+
+val all_input_tensors : ctx -> Octf_tensor.Tensor.t list
+
+val one : Value.t -> Value.t array
+(** Singleton output. *)

@@ -1,0 +1,48 @@
+(** Dataflow graph vertices (§3.1).
+
+    Each vertex is an atomic operation: a named type, data inputs
+    (endpoints of producer nodes), control inputs (pure ordering edges
+    carrying no value), attributes, and a (possibly partial) device
+    constraint assigned at construction and refined by placement. *)
+
+(** A producer endpoint: output slot [index] of node [node_id]. *)
+type endpoint = { node_id : int; index : int }
+
+type t = {
+  id : int;
+  name : string;  (** unique within the graph *)
+  op_type : string;
+  inputs : endpoint array;
+  control_inputs : int list;
+  attrs : (string * Attr.t) list;
+  device_spec : Device.spec;  (** user-requested constraint *)
+  mutable assigned_device : Device.t option;  (** filled by placement *)
+}
+
+val endpoint : int -> int -> endpoint
+
+val attr_bool : t -> string -> bool
+
+val attr_int : t -> string -> int
+
+val attr_float : t -> string -> float
+
+val attr_string : t -> string -> string
+
+val attr_dtype : t -> string -> Octf_tensor.Dtype.t
+
+val attr_shape : t -> string -> Octf_tensor.Shape.t
+
+val attr_tensor : t -> string -> Octf_tensor.Tensor.t
+
+val attr_ints : t -> string -> int list
+
+val is_stateful : t -> bool
+(** Operations owning or mutating state (variables, queues, I/O); these
+    are never pruned when listed as step targets, anchor colocation
+    groups, and must stay on the device that owns their state. *)
+
+val num_outputs : t -> int
+(** Statically known output arity, derived from op type and attributes. *)
+
+val pp : Format.formatter -> t -> unit

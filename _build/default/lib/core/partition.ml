@@ -1,0 +1,268 @@
+type partition = {
+  device : Device.t;
+  subgraph : Graph.t;
+  node_ids : int list;
+  endpoint_map : (Node.endpoint * Node.endpoint) list;
+}
+
+exception Partition_error of string
+
+let control_flow_op = function
+  | "Enter" | "Exit" | "NextIteration" | "Merge" | "Switch" | "LoopCond" ->
+      true
+  | _ -> false
+
+type builder_state = {
+  device : Device.t;
+  graph : Graph.t;
+  (* original endpoint -> local endpoint (for producers owned here, and
+     for Recv nodes standing in for remote producers) *)
+  mapping : (int * int, Node.endpoint) Hashtbl.t;
+  (* original node id -> local node id (for control deps) *)
+  node_map : (int, int) Hashtbl.t;
+  (* rendezvous keys already received here *)
+  recvs : (string, Node.endpoint) Hashtbl.t;
+  mutable emap : (Node.endpoint * Node.endpoint) list;
+}
+
+let key ~src_dev ~dst_dev ~name =
+  Printf.sprintf "%s;%s;%s" (Device.to_string src_dev)
+    (Device.to_string dst_dev) name
+
+let send_recv_attrs ~src_dev ~dst_dev ~name =
+  [
+    ("tensor_name", Attr.String name);
+    ("send_device", Attr.String (Device.to_string src_dev));
+    ("recv_device", Attr.String (Device.to_string dst_dev));
+  ]
+
+let partition graph ~nodes =
+  try
+    let device_of id =
+      match (Graph.get graph id).Node.assigned_device with
+      | Some d -> d
+      | None ->
+          raise
+            (Partition_error
+               ("unplaced node " ^ (Graph.get graph id).Node.name))
+    in
+    let states : (string, builder_state) Hashtbl.t = Hashtbl.create 8 in
+    let state_for dev =
+      let k = Device.to_string dev in
+      match Hashtbl.find_opt states k with
+      | Some s -> s
+      | None ->
+          let s =
+            {
+              device = dev;
+              graph = Graph.create ();
+              mapping = Hashtbl.create 32;
+              node_map = Hashtbl.create 32;
+              recvs = Hashtbl.create 8;
+              emap = [];
+            }
+          in
+          Hashtbl.replace states k s;
+          s
+    in
+    (* Process in topological order so producers exist before consumers.
+       Loop back edges (NextIteration -> Merge) are same-device (checked)
+       and patched afterwards. *)
+    let order =
+      List.filter
+        (fun (n : Node.t) -> List.mem n.Node.id nodes)
+        (Graph.topological_order graph)
+    in
+    let in_set = Hashtbl.create 64 in
+    List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+    let backpatches = ref [] in
+    List.iter
+      (fun (n : Node.t) ->
+        let dev = device_of n.Node.id in
+        let st = state_for dev in
+        (* Resolve each data input to a local endpoint, inserting
+           Send/Recv when the producer lives elsewhere. *)
+        let resolve_input (e : Node.endpoint) =
+          let src_dev = device_of e.node_id in
+          if Device.equal src_dev dev then begin
+            match Hashtbl.find_opt st.mapping (e.node_id, e.index) with
+            | Some local -> local
+            | None ->
+                (* Loop back edge: producer not yet copied. Use a
+                   placeholder endpoint and patch later. *)
+                raise Exit
+          end
+          else begin
+            let src_n = Graph.get graph e.node_id in
+            if control_flow_op src_n.Node.op_type || control_flow_op n.Node.op_type
+            then
+              raise
+                (Partition_error
+                   (Printf.sprintf
+                      "control-flow edge %s -> %s crosses devices %s -> %s; \
+                       place each loop on a single device"
+                      src_n.Node.name n.Node.name (Device.to_string src_dev)
+                      (Device.to_string dev)));
+            let name = Printf.sprintf "%s:%d" src_n.Node.name e.index in
+            let k = key ~src_dev ~dst_dev:dev ~name in
+            match Hashtbl.find_opt st.recvs k with
+            | Some local -> local
+            | None ->
+                (* Send on the producer side. *)
+                let src_st = state_for src_dev in
+                let src_local =
+                  match Hashtbl.find_opt src_st.mapping (e.node_id, e.index) with
+                  | Some l -> l
+                  | None ->
+                      raise
+                        (Partition_error
+                           ("producer not yet partitioned: " ^ src_n.Node.name))
+                in
+                let _send =
+                  Graph.add_node src_st.graph
+                    ~name:(src_n.Node.name ^ "/_send")
+                    ~inputs:[ src_local ]
+                    ~attrs:(send_recv_attrs ~src_dev ~dst_dev:dev ~name)
+                    ~op_type:"Send" ()
+                in
+                _send.Node.assigned_device <- Some src_dev;
+                let recv =
+                  Graph.add_node st.graph
+                    ~name:(src_n.Node.name ^ "/_recv")
+                    ~attrs:(send_recv_attrs ~src_dev ~dst_dev:dev ~name)
+                    ~op_type:"Recv" ()
+                in
+                recv.Node.assigned_device <- Some dev;
+                let local = Node.endpoint recv.Node.id 0 in
+                Hashtbl.replace st.recvs k local;
+                local
+          end
+        in
+        let inputs = ref [] and patches = ref [] in
+        Array.iteri
+          (fun slot e ->
+            match resolve_input e with
+            | local -> inputs := local :: !inputs
+            | exception Exit -> (
+                (* Loop back edge (NextIteration -> Merge): reuse an
+                   already-resolved sibling input as a placeholder and
+                   patch once the producer has been copied. *)
+                match !inputs with
+                | placeholder :: _ ->
+                    patches := (slot, e) :: !patches;
+                    inputs := placeholder :: !inputs
+                | [] ->
+                    raise
+                      (Partition_error
+                         ("back edge into slot 0 of " ^ n.Node.name))))
+          n.Node.inputs;
+        let inputs = List.rev !inputs in
+        (* Control inputs: local -> direct; remote -> dummy send/recv. *)
+        let control_inputs =
+          List.filter_map
+            (fun c ->
+              if not (Hashtbl.mem in_set c) then None
+              else
+                let src_dev = device_of c in
+                if Device.equal src_dev dev then
+                  Hashtbl.find_opt st.node_map c
+                else begin
+                  let src_n = Graph.get graph c in
+                  if control_flow_op src_n.Node.op_type
+                     || control_flow_op n.Node.op_type
+                  then
+                    raise
+                      (Partition_error
+                         (Printf.sprintf
+                            "control edge %s -> %s crosses devices in a loop"
+                            src_n.Node.name n.Node.name));
+                  let name = Printf.sprintf "%s:control" src_n.Node.name in
+                  let k = key ~src_dev ~dst_dev:dev ~name in
+                  match Hashtbl.find_opt st.recvs k with
+                  | Some local -> Some local.Node.node_id
+                  | None ->
+                      let src_st = state_for src_dev in
+                      let src_local_id =
+                        match Hashtbl.find_opt src_st.node_map c with
+                        | Some l -> l
+                        | None ->
+                            raise
+                              (Partition_error
+                                 ("producer not yet partitioned: "
+                                 ^ src_n.Node.name))
+                      in
+                      let dummy =
+                        Graph.add_node src_st.graph
+                          ~name:(src_n.Node.name ^ "/_ctl")
+                          ~attrs:
+                            [
+                              ( "value",
+                                Attr.Tensor (Octf_tensor.Tensor.scalar_i 0) );
+                            ]
+                          ~control_inputs:[ src_local_id ] ~op_type:"Const" ()
+                      in
+                      dummy.Node.assigned_device <- Some src_dev;
+                      let _send =
+                        Graph.add_node src_st.graph
+                          ~name:(src_n.Node.name ^ "/_ctl_send")
+                          ~inputs:[ Node.endpoint dummy.Node.id 0 ]
+                          ~attrs:(send_recv_attrs ~src_dev ~dst_dev:dev ~name)
+                          ~op_type:"Send" ()
+                      in
+                      _send.Node.assigned_device <- Some src_dev;
+                      let recv =
+                        Graph.add_node st.graph
+                          ~name:(src_n.Node.name ^ "/_ctl_recv")
+                          ~attrs:(send_recv_attrs ~src_dev ~dst_dev:dev ~name)
+                          ~op_type:"Recv" ()
+                      in
+                      recv.Node.assigned_device <- Some dev;
+                      let local = Node.endpoint recv.Node.id 0 in
+                      Hashtbl.replace st.recvs k local;
+                      Some recv.Node.id
+                end)
+            n.Node.control_inputs
+        in
+        let copy =
+          Graph.add_node st.graph ~name:n.Node.name ~inputs ~control_inputs
+            ~attrs:n.Node.attrs ~device:n.Node.device_spec
+            ~op_type:n.Node.op_type ()
+        in
+        copy.Node.assigned_device <- Some dev;
+        Hashtbl.replace st.node_map n.Node.id copy.Node.id;
+        for out = 0 to max 0 (Node.num_outputs n) - 1 do
+          let local = Node.endpoint copy.Node.id out in
+          Hashtbl.replace st.mapping (n.Node.id, out) local;
+          st.emap <- (Node.endpoint n.Node.id out, local) :: st.emap
+        done;
+        List.iter
+          (fun (slot, e) -> backpatches := (st, copy.Node.id, slot, e) :: !backpatches)
+          !patches)
+      order;
+    (* Patch loop back edges now that every producer exists. *)
+    List.iter
+      (fun (st, local_id, slot, (e : Node.endpoint)) ->
+        match Hashtbl.find_opt st.mapping (e.node_id, e.index) with
+        | Some local -> Graph.set_input st.graph ~node_id:local_id ~slot local
+        | None ->
+            raise
+              (Partition_error
+                 ("unresolved loop back edge into "
+                 ^ (Graph.get st.graph local_id).Node.name)))
+      !backpatches;
+    let parts =
+      Hashtbl.fold
+        (fun _ st acc ->
+          {
+            device = st.device;
+            subgraph = st.graph;
+            node_ids = List.init (Graph.node_count st.graph) (fun i -> i);
+            endpoint_map = st.emap;
+          }
+          :: acc)
+        states []
+    in
+    Ok parts
+  with Partition_error msg -> Error msg
+
+let find_endpoint p (e : Node.endpoint) = List.assoc_opt e p.endpoint_map

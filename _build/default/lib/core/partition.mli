@@ -1,0 +1,33 @@
+(** Graph partitioning with Send/Recv insertion (§3.3).
+
+    After placement, the step's operations are split into per-device
+    subgraphs. A per-device subgraph for device [d] contains all of the
+    operations assigned to [d], with additional [Send] and [Recv]
+    operations replacing every edge that crosses a device boundary. The
+    pair agrees on a rendezvous key naming the value; a tensor consumed
+    several times on one remote device is sent once. Cross-device
+    {e control} edges are carried by sending a dummy scalar whose [Recv]
+    becomes a control input of the consumer. *)
+
+type partition = {
+  device : Device.t;
+  subgraph : Graph.t;
+  node_ids : int list;  (** all node ids of [subgraph] (it is dense) *)
+  (* Mapping from original endpoints to endpoints in [subgraph]: *)
+  endpoint_map : (Node.endpoint * Node.endpoint) list;
+}
+
+exception Partition_error of string
+
+val partition :
+  Graph.t -> nodes:int list -> (partition list, string) result
+(** Split the (placed) subgraph induced by [nodes] by assigned device.
+    Returns one partition per device that owns at least one node.
+
+    @raise Partition_error if a node is unplaced, or a control-flow
+    operation's edge crosses devices (loops must be placed on a single
+    device in this implementation). *)
+
+val find_endpoint :
+  partition -> Node.endpoint -> Node.endpoint option
+(** Map an original-graph endpoint into this partition, if owned here. *)

@@ -1,0 +1,155 @@
+exception Placement_error of string
+
+(* Ops whose output is a reference handle; their consumers must be
+   colocated with them so state never crosses a device boundary. *)
+let produces_resource = function
+  | "Variable" | "FIFOQueue" | "RandomShuffleQueue" -> true
+  | _ -> false
+
+module Uf = struct
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t i = if t.(i) = i then i else find t t.(i)
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then t.(rb) <- ra
+end
+
+let groups_of graph ~nodes =
+  let ids = Array.of_list nodes in
+  let index = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace index id i) ids;
+  let uf = Uf.create (Array.length ids) in
+  Array.iter
+    (fun id ->
+      let n = Graph.get graph id in
+      Array.iter
+        (fun (e : Node.endpoint) ->
+          match Hashtbl.find_opt index e.node_id with
+          | Some src_i
+            when produces_resource (Graph.get graph e.node_id).Node.op_type ->
+              Uf.union uf src_i (Hashtbl.find index id)
+          | Some _ | None -> ())
+        n.Node.inputs)
+    ids;
+  let table = Hashtbl.create 16 in
+  Array.iteri
+    (fun i id ->
+      let root = Uf.find uf i in
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt table root)
+      in
+      Hashtbl.replace table root (id :: existing))
+    ids;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) table []
+
+let colocation_groups = groups_of
+
+let place graph ~nodes ~devices =
+  Builtin_kernels.ensure ();
+  if devices = [] then raise (Placement_error "no devices");
+  let load = Hashtbl.create 8 in
+  let bump d n =
+    Hashtbl.replace load d (n + Option.value ~default:0 (Hashtbl.find_opt load d))
+  in
+  (* Account for pre-existing assignments in load balancing. *)
+  Graph.iter graph (fun n ->
+      match n.Node.assigned_device with
+      | Some d -> bump d 1
+      | None -> ());
+  let groups = groups_of graph ~nodes in
+  List.iter
+    (fun group ->
+      let members = List.map (Graph.get graph) group in
+      let unassigned =
+        List.filter (fun (n : Node.t) -> n.Node.assigned_device = None) members
+      in
+      if unassigned <> [] then begin
+        (* Merge every member's partial spec. *)
+        let spec =
+          List.fold_left
+            (fun acc (n : Node.t) ->
+              try Device.merge_specs acc n.Node.device_spec
+              with Invalid_argument _ ->
+                raise
+                  (Placement_error
+                     (Printf.sprintf
+                        "conflicting device constraints in colocation group \
+                         of %s"
+                        n.Node.name)))
+            Device.unconstrained members
+        in
+        (* Existing assignments pin the group. *)
+        let pinned =
+          List.filter_map (fun (n : Node.t) -> n.Node.assigned_device) members
+        in
+        let feasible_types (n : Node.t) =
+          let types = Kernel.supported_devices ~op_type:n.Node.op_type in
+          if types = [] then
+            raise
+              (Placement_error
+                 (Printf.sprintf "no kernel registered for op %s (node %s)"
+                    n.Node.op_type n.Node.name));
+          types
+        in
+        let group_types =
+          List.fold_left
+            (fun acc n ->
+              List.filter (fun t -> List.mem t (feasible_types n)) acc)
+            [ Device.CPU; Device.GPU; Device.TPU ]
+            members
+        in
+        let candidates =
+          match pinned with
+          | d :: _ -> [ d ]
+          | [] ->
+              List.filter
+                (fun d ->
+                  Device.matches spec d
+                  && List.mem d.Device.dev_type group_types)
+                devices
+        in
+        match candidates with
+        | [] ->
+            raise
+              (Placement_error
+                 (Printf.sprintf
+                    "no feasible device for colocation group of %s \
+                     (constraint %s, feasible types %s)"
+                    (List.hd members).Node.name
+                    (Device.spec_to_string spec)
+                    (String.concat ","
+                       (List.map Device.device_type_to_string group_types))))
+        | _ ->
+            (* Pick the least-loaded candidate. *)
+            let best =
+              List.fold_left
+                (fun acc d ->
+                  let l =
+                    Option.value ~default:0 (Hashtbl.find_opt load d)
+                  in
+                  match acc with
+                  | None -> Some (d, l)
+                  | Some (_, bl) when l < bl -> Some (d, l)
+                  | Some _ -> acc)
+                None candidates
+            in
+            let d = fst (Option.get best) in
+            List.iter
+              (fun (n : Node.t) ->
+                if n.Node.assigned_device = None then begin
+                  if not (Device.matches n.Node.device_spec d) then
+                    raise
+                      (Placement_error
+                         (Printf.sprintf
+                            "device %s violates constraint %s of node %s"
+                            (Device.to_string d)
+                            (Device.spec_to_string n.Node.device_spec)
+                            n.Node.name));
+                  n.Node.assigned_device <- Some d
+                end)
+              members;
+            bump d (List.length unassigned)
+      end)
+    groups

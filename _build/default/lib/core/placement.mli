@@ -1,0 +1,23 @@
+(** The placement algorithm (§3.3).
+
+    Placement computes a feasible set of devices for each operation
+    (devices matching the user's partial constraint whose type has a
+    registered kernel), computes the sets of operations that must be
+    colocated (an operation consuming a reference handle must live with
+    the stateful operation that owns the state), and selects a satisfying
+    device for each colocation group, balancing load across equally
+    feasible devices. *)
+
+exception Placement_error of string
+
+val place : Graph.t -> nodes:int list -> devices:Device.t list -> unit
+(** Assign [Node.assigned_device] for every listed node that does not
+    already have one. Existing assignments are respected and constrain
+    their colocation group.
+
+    @raise Placement_error when a group's constraints are unsatisfiable
+    (no device matches, or two members demand different devices). *)
+
+val colocation_groups : Graph.t -> nodes:int list -> int list list
+(** The computed colocation groups (each a list of node ids); exposed for
+    tests and debugging. *)

@@ -1,0 +1,25 @@
+let prune graph ~feeds ~fetches ~targets =
+  let fed = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Node.endpoint) -> Hashtbl.replace fed e.node_id ())
+    feeds;
+  let needed = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let want id =
+    if not (Hashtbl.mem needed id) then begin
+      Hashtbl.replace needed id ();
+      Queue.add id work
+    end
+  in
+  List.iter (fun (e : Node.endpoint) -> want e.node_id) fetches;
+  List.iter want targets;
+  while not (Queue.is_empty work) do
+    let id = Queue.pop work in
+    if not (Hashtbl.mem fed id) then begin
+      let n = Graph.get graph id in
+      Array.iter (fun (e : Node.endpoint) -> want e.node_id) n.Node.inputs;
+      List.iter want n.Node.control_inputs
+    end
+  done;
+  Hashtbl.fold (fun id () acc -> id :: acc) needed []
+  |> List.sort compare

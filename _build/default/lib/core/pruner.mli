@@ -1,0 +1,17 @@
+(** Step pruning (§3.2): dead-code elimination for partial execution.
+
+    A step declares feeds (edges whose values the client injects) and
+    fetches/targets (outputs and side-effecting operations the client
+    wants). The runtime prunes the graph to the necessary set of
+    operations: everything backward-reachable from the fetches and
+    targets over data and control edges, not expanding past fed nodes. *)
+
+val prune :
+  Graph.t ->
+  feeds:Node.endpoint list ->
+  fetches:Node.endpoint list ->
+  targets:int list ->
+  int list
+(** Node ids of the subgraph to execute, in ascending order. Fed nodes
+    are included (the executor seeds them with the fed values) but their
+    inputs are not. *)

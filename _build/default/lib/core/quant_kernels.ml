@@ -1,0 +1,111 @@
+(* Quantization kernels (§5): "we have also implemented support for
+   quantization, which enables faster inference in environments such as
+   mobile devices ... and use the gemmlowp low-precision matrix
+   multiplication library".
+
+   8-bit affine quantization in the TF/gemmlowp style: a float tensor is
+   mapped onto [0, 255] with a (min, max) range carried alongside as two
+   scalar tensors; QuantizedMatMul accumulates the 8-bit codes in integer
+   arithmetic (exactly what gemmlowp does) and produces the rescaled
+   float result. Quantized values travel in int32 tensors holding
+   0..255 codes. *)
+
+open Octf_tensor
+module K = Kernel
+
+let t v = Value.Tensor v
+
+let levels = 255.0
+
+let range_of tensor =
+  let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+  for i = 0 to Tensor.numel tensor - 1 do
+    let v = Tensor.flat_get_f tensor i in
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  done;
+  let lo = Float.min 0.0 !lo in
+  let hi = Float.max 0.0 !hi in
+  if hi -. lo < 1e-12 then (lo, lo +. 1.0) else (lo, hi)
+
+let quantize tensor =
+  let lo, hi = range_of tensor in
+  let scale = levels /. (hi -. lo) in
+  let q = Tensor.zeros Dtype.I32 (Tensor.shape tensor) in
+  for i = 0 to Tensor.numel tensor - 1 do
+    let code =
+      Float.round ((Tensor.flat_get_f tensor i -. lo) *. scale)
+    in
+    Tensor.flat_set_i q i (int_of_float (Float.max 0.0 (Float.min levels code)))
+  done;
+  (q, lo, hi)
+
+let dequantize q lo hi =
+  let scale = (hi -. lo) /. levels in
+  let out = Tensor.zeros Dtype.F32 (Tensor.shape q) in
+  for i = 0 to Tensor.numel q - 1 do
+    Tensor.flat_set_f out i (lo +. (float_of_int (Tensor.flat_get_i q i) *. scale))
+  done;
+  out
+
+(* Integer-accumulated product of two quantized matrices, rescaled to
+   float: with a = a_lo + sa*qa and b = b_lo + sb*qb,
+   sum_k a_ik b_kj expands into four integer sums (the gemmlowp
+   decomposition). *)
+let quantized_matmul qa a_lo a_hi qb b_lo b_hi =
+  let sa = (a_hi -. a_lo) /. levels and sb = (b_hi -. b_lo) /. levels in
+  let shape_a = Tensor.shape qa and shape_b = Tensor.shape qb in
+  if Array.length shape_a <> 2 || Array.length shape_b <> 2 then
+    invalid_arg "QuantizedMatMul: 2-D operands required";
+  let m = shape_a.(0) and k = shape_a.(1) and n = shape_b.(1) in
+  if shape_b.(0) <> k then invalid_arg "QuantizedMatMul: inner dim mismatch";
+  let a = Tensor.int_buffer qa and b = Tensor.int_buffer qb in
+  (* Row sums of qa and column sums of qb for the cross terms. *)
+  let row_sum = Array.make m 0 in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      row_sum.(i) <- row_sum.(i) + a.((i * k) + p)
+    done
+  done;
+  let col_sum = Array.make n 0 in
+  for p = 0 to k - 1 do
+    for j = 0 to n - 1 do
+      col_sum.(j) <- col_sum.(j) + b.((p * n) + j)
+    done
+  done;
+  let out = Tensor.zeros Dtype.F32 [| m; n |] in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0 in
+      for p = 0 to k - 1 do
+        acc := !acc + (a.((i * k) + p) * b.((p * n) + j))
+      done;
+      let kf = float_of_int k in
+      let value =
+        (sa *. sb *. float_of_int !acc)
+        +. (a_lo *. sb *. float_of_int col_sum.(j))
+        +. (b_lo *. sa *. float_of_int row_sum.(i))
+        +. (a_lo *. b_lo *. kf)
+      in
+      Tensor.flat_set_f out ((i * n) + j) value
+    done
+  done;
+  out
+
+let register () =
+  K.register ~op_type:"Quantize" (fun ctx ->
+      let q, lo, hi = quantize (K.input_tensor ctx 0) in
+      [| t q; t (Tensor.scalar_f lo); t (Tensor.scalar_f hi) |]);
+  K.register ~op_type:"Dequantize" (fun ctx ->
+      let q = K.input_tensor ctx 0 in
+      let lo = Tensor.flat_get_f (K.input_tensor ctx 1) 0 in
+      let hi = Tensor.flat_get_f (K.input_tensor ctx 2) 0 in
+      K.one (t (dequantize q lo hi)));
+  K.register ~op_type:"QuantizedMatMul" (fun ctx ->
+      let qa = K.input_tensor ctx 0 in
+      let a_lo = Tensor.flat_get_f (K.input_tensor ctx 1) 0 in
+      let a_hi = Tensor.flat_get_f (K.input_tensor ctx 2) 0 in
+      let qb = K.input_tensor ctx 3 in
+      let b_lo = Tensor.flat_get_f (K.input_tensor ctx 4) 0 in
+      let b_hi = Tensor.flat_get_f (K.input_tensor ctx 5) 0 in
+      K.one (t (quantized_matmul qa a_lo a_hi qb b_lo b_hi)))

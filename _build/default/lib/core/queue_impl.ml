@@ -1,0 +1,151 @@
+open Octf_tensor
+
+exception Closed of string
+
+type kind = Fifo | Shuffle of Rng.t
+
+type t = {
+  q_name : string;
+  q_capacity : int;
+  q_components : int;
+  kind : kind;
+  mutable elements : Tensor.t array list;  (* head = front *)
+  mutable tail : Tensor.t array list;  (* reversed back *)
+  mutable count : int;
+  mutable closed : bool;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ?(kind = Fifo) ~name ~capacity ~num_components () =
+  if capacity <= 0 then invalid_arg "Queue_impl.create: capacity must be > 0";
+  if num_components <= 0 then
+    invalid_arg "Queue_impl.create: num_components must be > 0";
+  {
+    q_name = name;
+    q_capacity = capacity;
+    q_components = num_components;
+    kind;
+    elements = [];
+    tail = [];
+    count = 0;
+    closed = false;
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let name t = t.q_name
+
+let capacity t = t.q_capacity
+
+let num_components t = t.q_components
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let size t = with_lock t (fun () -> t.count)
+
+let is_closed t = with_lock t (fun () -> t.closed)
+
+let push_back t elt =
+  t.tail <- elt :: t.tail;
+  t.count <- t.count + 1
+
+let pop_front t =
+  (match t.kind with
+  | Fifo -> ()
+  | Shuffle rng ->
+      (* Rotate a random element to the front. *)
+      let all = t.elements @ List.rev t.tail in
+      let arr = Array.of_list all in
+      let i = Rng.int rng (Array.length arr) in
+      let tmp = arr.(0) in
+      arr.(0) <- arr.(i);
+      arr.(i) <- tmp;
+      t.elements <- Array.to_list arr;
+      t.tail <- []);
+  match t.elements with
+  | e :: rest ->
+      t.elements <- rest;
+      t.count <- t.count - 1;
+      e
+  | [] -> (
+      match List.rev t.tail with
+      | e :: rest ->
+          t.elements <- rest;
+          t.tail <- [];
+          t.count <- t.count - 1;
+          e
+      | [] -> assert false)
+
+let enqueue t components =
+  if Array.length components <> t.q_components then
+    invalid_arg
+      (Printf.sprintf "Queue %s: enqueue of %d components, expected %d"
+         t.q_name (Array.length components) t.q_components);
+  with_lock t (fun () ->
+      while t.count >= t.q_capacity && not t.closed do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.closed then raise (Closed t.q_name);
+      push_back t components;
+      Condition.signal t.not_empty)
+
+let dequeue_locked t =
+  while t.count = 0 && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  if t.count = 0 then raise (Closed t.q_name);
+  let e = pop_front t in
+  Condition.signal t.not_full;
+  e
+
+let dequeue t = with_lock t (fun () -> dequeue_locked t)
+
+let try_dequeue t =
+  with_lock t (fun () ->
+      if t.count = 0 then begin
+        if t.closed then raise (Closed t.q_name);
+        None
+      end
+      else begin
+        let e = pop_front t in
+        Condition.signal t.not_full;
+        Some e
+      end)
+
+let stack (tensors : Tensor.t list) =
+  match tensors with
+  | [] -> invalid_arg "Queue_impl.stack: empty"
+  | first :: _ ->
+      let shape = Tensor.shape first in
+      let n = List.length tensors in
+      let out_shape = Array.append [| n |] shape in
+      let per = Tensor.numel first in
+      let out = Tensor.zeros (Tensor.dtype first) out_shape in
+      List.iteri
+        (fun i t ->
+          if not (Shape.equal (Tensor.shape t) shape) then
+            invalid_arg "Queue_impl.dequeue_many: ragged element shapes";
+          for j = 0 to per - 1 do
+            Tensor.flat_set_f out ((i * per) + j) (Tensor.flat_get_f t j)
+          done)
+        tensors;
+      out
+
+let dequeue_many t n =
+  if n <= 0 then invalid_arg "Queue_impl.dequeue_many: n must be > 0";
+  let elements =
+    with_lock t (fun () -> List.init n (fun _ -> dequeue_locked t))
+  in
+  Array.init t.q_components (fun c ->
+      stack (List.map (fun e -> e.(c)) elements))
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)

@@ -1,0 +1,52 @@
+(** Blocking tensor queues (§3.1, stateful operations).
+
+    A queue owns an internal buffer of tensor tuples ("elements", each
+    with a fixed number of components) and supports concurrent access.
+    [enqueue] blocks while the queue is full and [dequeue] blocks while
+    it is empty — the backpressure and synchronization primitive the
+    paper builds input pipelines (§3.2) and synchronous replica
+    coordination (§4.4) out of.
+
+    Closing a queue wakes all waiters: pending and future dequeues drain
+    the remaining elements and then raise {!Closed}; enqueues raise
+    {!Closed} immediately. *)
+
+open Octf_tensor
+
+type t
+
+exception Closed of string
+(** Raised by operations on a closed (and, for dequeue, empty) queue. *)
+
+type kind = Fifo | Shuffle of Rng.t
+(** [Shuffle] dequeues a uniformly random element — the
+    RandomShuffleQueue used to decorrelate training batches. *)
+
+val create : ?kind:kind -> name:string -> capacity:int -> num_components:int -> unit -> t
+
+val name : t -> string
+
+val capacity : t -> int
+
+val num_components : t -> int
+
+val size : t -> int
+
+val is_closed : t -> bool
+
+val enqueue : t -> Tensor.t array -> unit
+(** Blocks while full. @raise Closed if the queue is closed.
+    @raise Invalid_argument on wrong component count. *)
+
+val dequeue : t -> Tensor.t array
+(** Blocks while empty. @raise Closed once closed and drained. *)
+
+val try_dequeue : t -> Tensor.t array option
+(** Non-blocking variant; [None] when empty (but not closed). *)
+
+val dequeue_many : t -> int -> Tensor.t array
+(** [dequeue_many q n] takes [n] elements and stacks each component along
+    a new leading batch axis, as the TF op does. Blocks until [n]
+    elements are available. @raise Closed if the queue closes first. *)
+
+val close : t -> unit

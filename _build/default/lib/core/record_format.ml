@@ -1,0 +1,154 @@
+open Octf_tensor
+
+let magic = "OCTFREC1"
+
+(* Cheap checksum: sums of bytes with position mixing; catches the
+   truncation and bit-rot cases a reader cares about. *)
+let checksum s =
+  let acc = ref 0 in
+  String.iteri
+    (fun i c -> acc := (!acc + ((i + 1) * Char.code c)) land 0x3FFFFFFF)
+    s;
+  !acc
+
+let add_u32 buf v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let add_u64 buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let write_body buf records =
+  List.iter
+    (fun r ->
+      add_u64 buf (String.length r);
+      Buffer.add_string buf r;
+      add_u32 buf (checksum r))
+    records
+
+let write_records path records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  write_body buf records;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Sys.rename tmp path
+
+let append_records path records =
+  if not (Sys.file_exists path) then write_records path records
+  else begin
+    let buf = Buffer.create 4096 in
+    write_body buf records;
+    let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+  end
+
+let read_records path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith ("Record_format: bad magic in " ^ path);
+      let records = ref [] in
+      (try
+         while true do
+           let len_b = really_input_string ic 8 in
+           let len =
+             Int64.to_int (Bytes.get_int64_le (Bytes.of_string len_b) 0)
+           in
+           let body = really_input_string ic len in
+           let ck_b = really_input_string ic 4 in
+           let ck = Int32.to_int (Bytes.get_int32_le (Bytes.of_string ck_b) 0) in
+           if ck <> checksum body then
+             failwith ("Record_format: checksum mismatch in " ^ path);
+           records := body :: !records
+         done
+       with End_of_file -> ());
+      List.rev !records)
+
+(* Example codec: count, then per tensor name / dtype / shape / data,
+   reusing the layout of Checkpoint_format but into a string. *)
+let encode_example entries =
+  let buf = Buffer.create 256 in
+  add_u32 buf (List.length entries);
+  List.iter
+    (fun (name, tensor) ->
+      add_u32 buf (String.length name);
+      Buffer.add_string buf name;
+      let d = Dtype.to_string (Tensor.dtype tensor) in
+      add_u32 buf (String.length d);
+      Buffer.add_string buf d;
+      let shape = Tensor.shape tensor in
+      add_u32 buf (Shape.rank shape);
+      Array.iter (fun dim -> add_u64 buf dim) shape;
+      let n = Tensor.numel tensor in
+      match Tensor.dtype tensor with
+      | Dtype.F32 | Dtype.F64 ->
+          let b = Bytes.create (n * 8) in
+          for i = 0 to n - 1 do
+            Bytes.set_int64_le b (i * 8)
+              (Int64.bits_of_float (Tensor.flat_get_f tensor i))
+          done;
+          Buffer.add_bytes buf b
+      | Dtype.I32 | Dtype.I64 | Dtype.Bool ->
+          let b = Bytes.create (n * 8) in
+          for i = 0 to n - 1 do
+            Bytes.set_int64_le b (i * 8)
+              (Int64.of_int (Tensor.flat_get_i tensor i))
+          done;
+          Buffer.add_bytes buf b
+      | Dtype.String ->
+          Array.iter
+            (fun s ->
+              add_u32 buf (String.length s);
+              Buffer.add_string buf s)
+            (Tensor.string_buffer tensor))
+    entries;
+  Buffer.contents buf
+
+let decode_example s =
+  let pos = ref 0 in
+  let fail () = failwith "Record_format: malformed example" in
+  let take n =
+    if !pos + n > String.length s then fail ();
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let u32 () = Int32.to_int (Bytes.get_int32_le (Bytes.of_string (take 4)) 0) in
+  let u64 () = Int64.to_int (Bytes.get_int64_le (Bytes.of_string (take 8)) 0) in
+  let count = u32 () in
+  List.init count (fun _ ->
+      let name = take (u32 ()) in
+      let dtype = Dtype.of_string (take (u32 ())) in
+      let rank = u32 () in
+      let shape = Array.init rank (fun _ -> u64 ()) in
+      let n = Shape.numel shape in
+      let tensor =
+        match dtype with
+        | Dtype.F32 | Dtype.F64 ->
+            let b = Bytes.of_string (take (n * 8)) in
+            Tensor.of_float_array ~dtype shape
+              (Array.init n (fun i ->
+                   Int64.float_of_bits (Bytes.get_int64_le b (i * 8))))
+        | Dtype.I32 | Dtype.I64 ->
+            let b = Bytes.of_string (take (n * 8)) in
+            Tensor.of_int_array ~dtype shape
+              (Array.init n (fun i ->
+                   Int64.to_int (Bytes.get_int64_le b (i * 8))))
+        | Dtype.Bool ->
+            let b = Bytes.of_string (take (n * 8)) in
+            Tensor.of_bool_array shape
+              (Array.init n (fun i -> Bytes.get_int64_le b (i * 8) <> 0L))
+        | Dtype.String ->
+            Tensor.of_string_array shape
+              (Array.init n (fun _ -> take (u32 ())))
+      in
+      (name, tensor))

@@ -1,0 +1,29 @@
+(** Record files — the "distributed file system" input format of
+    Figure 1.
+
+    The paper's training pipelines start with an I/O subgraph whose
+    Reader operations pull records from files; this module provides the
+    on-disk container (length-prefixed records with a checksum, in the
+    spirit of TFRecord) and an Example codec serializing a set of named
+    tensors into one record. Reader kernels ({!Io_kernels}) iterate the
+    container; {!Octf_data} writes datasets into it. *)
+
+open Octf_tensor
+
+(** {1 Container} *)
+
+val write_records : string -> string list -> unit
+(** Write a record file atomically (temp-file rename). *)
+
+val read_records : string -> string list
+(** @raise Failure on bad magic or a checksum mismatch. *)
+
+val append_records : string -> string list -> unit
+(** Append to an existing record file (or create it). *)
+
+(** {1 Examples: named-tensor records} *)
+
+val encode_example : (string * Tensor.t) list -> string
+
+val decode_example : string -> (string * Tensor.t) list
+(** @raise Failure on malformed input. *)

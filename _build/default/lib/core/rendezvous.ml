@@ -1,0 +1,75 @@
+exception Aborted of string
+
+type t = {
+  table : (string, Value.t) Hashtbl.t;
+  mutable aborted : string option;
+  mutable gen : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 32;
+    aborted = None;
+    gen = 0;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let send t ~key v =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.table key then
+        failwith ("Rendezvous.send: duplicate key " ^ key);
+      Hashtbl.replace t.table key v;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.cond)
+
+let recv t ~key =
+  with_lock t (fun () ->
+      let rec wait () =
+        (match t.aborted with Some r -> raise (Aborted r) | None -> ());
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            Hashtbl.remove t.table key;
+            v
+        | None ->
+            Condition.wait t.cond t.mutex;
+            wait ()
+      in
+      wait ())
+
+let try_recv t ~key =
+  with_lock t (fun () ->
+      (match t.aborted with Some r -> raise (Aborted r) | None -> ());
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          Hashtbl.remove t.table key;
+          Some v
+      | None -> None)
+
+let generation t = with_lock t (fun () -> t.gen)
+
+let wait_new t ~last =
+  with_lock t (fun () ->
+      let rec wait () =
+        (match t.aborted with Some r -> raise (Aborted r) | None -> ());
+        if t.gen > last then t.gen
+        else begin
+          Condition.wait t.cond t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let abort t ~reason =
+  with_lock t (fun () ->
+      t.aborted <- Some reason;
+      Condition.broadcast t.cond)
+
+let pending_keys t =
+  with_lock t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])

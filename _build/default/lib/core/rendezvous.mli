@@ -1,0 +1,44 @@
+(** The rendezvous: named channels between partitioned subgraphs (§3.3).
+
+    When partitioning replaces a cross-device edge with a [Send]/[Recv]
+    pair, the pair agrees on a {e rendezvous key} naming the value. [Send]
+    publishes its input under the key as soon as the tensor is available;
+    [Recv] blocks until the value for its key is available locally. One
+    rendezvous instance serves one step; keys are
+    ["src_device;dst_device;tensor_name"] and values are consumed
+    once. *)
+
+type t
+
+exception Aborted of string
+(** Raised in blocked receivers when the step is aborted. *)
+
+val create : unit -> t
+
+val send : t -> key:string -> Value.t -> unit
+(** @raise Failure on duplicate key (two sends of one value). *)
+
+val recv : t -> key:string -> Value.t
+(** Blocks until sent. Consumes the value. @raise Aborted if
+    {!abort} is called while waiting (or before). *)
+
+val try_recv : t -> key:string -> Value.t option
+(** Non-blocking receive; [None] when nothing is available.
+    @raise Aborted after {!abort}. *)
+
+val generation : t -> int
+(** Incremented on every {!send}; see {!wait_new}. *)
+
+val wait_new : t -> last:int -> int
+(** Block until the generation exceeds [last] (i.e. something has been
+    sent since the caller sampled {!generation}), and return the current
+    generation. Used by executors to sleep between [Recv] retries
+    without missing wakeups. @raise Aborted after {!abort}. *)
+
+val abort : t -> reason:string -> unit
+(** Wake every blocked and future receiver with {!Aborted}; used to
+    propagate kernel failures across partition executor threads so a step
+    fails as a unit rather than deadlocking. *)
+
+val pending_keys : t -> string list
+(** Keys sent but not yet received (for tests and debugging). *)

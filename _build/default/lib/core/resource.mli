@@ -1,0 +1,80 @@
+(** Mutable runtime state owned by stateful operations (§3.1).
+
+    A [Variable] operation owns a mutable buffer holding model
+    parameters; it produces a {e reference handle} — a typed capability
+    for reading and writing the buffer — which flows along graph edges to
+    [Read], [Assign*] and [Scatter*] operations. Queues work the same
+    way. Resources live in a per-task {!Resource_manager}, so they
+    persist across steps and are shared by concurrent steps. *)
+
+open Octf_tensor
+
+type variable = {
+  var_name : string;
+  var_dtype : Dtype.t;
+  var_shape : Shape.t;
+  mutable value : Tensor.t option;  (** [None] until initialized *)
+  var_mutex : Mutex.t;
+}
+
+(** A record iterator: the state behind the Reader operations of
+    Figure 1's I/O subgraph. Records are consumed once, in order. *)
+type iterator = {
+  it_name : string;
+  mutable it_records : string list;  (** remaining records *)
+  it_mutex : Mutex.t;
+}
+
+(** A growable array of tensors written at explicit indices — the
+    per-iteration accumulator behind dynamic loops (§3.4's
+    "accumulating intermediate values over long sequences"; §4.1's GPU
+    memory management for iteration). *)
+type tensor_array = {
+  ta_name : string;
+  mutable ta_items : Tensor.t option array;
+  ta_mutex : Mutex.t;
+}
+
+type t =
+  | Variable of variable
+  | Queue of Queue_impl.t
+  | Iterator of iterator
+  | Tensor_array of tensor_array
+
+val make_variable : name:string -> dtype:Dtype.t -> shape:Shape.t -> variable
+
+val make_iterator : name:string -> records:string list -> iterator
+
+val iterator_next : iterator -> string option
+(** Pop the next record; [None] when exhausted. Thread-safe. *)
+
+val make_tensor_array : name:string -> tensor_array
+
+val tensor_array_write : tensor_array -> int -> Tensor.t -> unit
+(** @raise Invalid_argument on a negative index or double write. *)
+
+val tensor_array_read : tensor_array -> int -> Tensor.t
+(** @raise Failure on an unwritten index. *)
+
+val tensor_array_size : tensor_array -> int
+(** One past the highest written index. *)
+
+val tensor_array_stack : tensor_array -> Tensor.t list
+(** All written elements in index order.
+    @raise Failure if any index below the size is unwritten. *)
+
+val variable_read : variable -> Tensor.t
+(** @raise Failure if the variable has not been initialized (assigned). *)
+
+val variable_assign : variable -> Tensor.t -> unit
+(** Replace the value. @raise Invalid_argument on dtype/shape mismatch
+    (shape is fixed by the first assignment when declared unknown). *)
+
+val variable_update : variable -> (Tensor.t -> Tensor.t) -> Tensor.t
+(** Atomically replace the value with [f value] and return the new value;
+    this is the associative-combiner write the parameter-server
+    architecture specializes (§2.2). *)
+
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  table : (string, Resource.t) Hashtbl.t;
+  mutable order : string list;  (* reverse creation order *)
+  mutex : Mutex.t;
+}
+
+let create () =
+  { table = Hashtbl.create 64; order = []; mutex = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_create t name make =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some r -> r
+      | None ->
+          let r = make () in
+          Hashtbl.replace t.table name r;
+          t.order <- name :: t.order;
+          r)
+
+let find t name = with_lock t (fun () -> Hashtbl.find_opt t.table name)
+
+let names t = with_lock t (fun () -> List.rev t.order)
+
+let variables t =
+  with_lock t (fun () ->
+      List.filter_map
+        (fun name ->
+          match Hashtbl.find_opt t.table name with
+          | Some (Resource.Variable v) -> Some v
+          | Some (Resource.Queue _ | Resource.Iterator _ | Resource.Tensor_array _)
+          | None ->
+              None)
+        (List.rev t.order))
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.order <- [])

@@ -1,0 +1,22 @@
+(** Per-task registry of named stateful resources.
+
+    Stateful operations look their resource up by node name, creating it
+    on first use; state therefore persists across steps of the same
+    session/task, which is what lets concurrent training, input and
+    checkpointing subgraphs share variables and queues (§3.2). *)
+
+type t
+
+val create : unit -> t
+
+val find_or_create : t -> string -> (unit -> Resource.t) -> Resource.t
+(** Thread-safe lookup-or-insert keyed by resource name. *)
+
+val find : t -> string -> Resource.t option
+
+val names : t -> string list
+
+val variables : t -> Resource.variable list
+(** All variable resources, in creation order (for checkpointing). *)
+
+val clear : t -> unit

@@ -1,0 +1,279 @@
+
+exception Run_error of string
+
+type compiled_step =
+  | Local of { plan : Executor.plan; device : Device.t option }
+  | Distributed of (Partition.partition * Executor.plan) list
+
+type t = {
+  graph : Graph.t;
+  devices : Device.t list;
+  resource_router : Device.t -> Resource_manager.t;
+  default_resources : Resource_manager.t;
+  cache : (string, compiled_step) Hashtbl.t;
+  mutable step_counter : int;
+  seed : int;
+  optimize : bool;
+  mutex : Mutex.t;
+}
+
+let create ?devices ?resource_router ?(seed = 42) ?(optimize = true) graph =
+  let default_resources = Resource_manager.create () in
+  let devices =
+    match devices with
+    | Some ds when ds <> [] -> ds
+    | _ -> [ Device.make ~job:"localhost" ~task:0 ~index:0 Device.CPU ]
+  in
+  let resource_router =
+    match resource_router with
+    | Some f -> f
+    | None -> fun _ -> default_resources
+  in
+  {
+    graph;
+    devices;
+    resource_router;
+    default_resources;
+    cache = Hashtbl.create 8;
+    step_counter = 0;
+    seed;
+    optimize;
+    mutex = Mutex.create ();
+  }
+
+let graph t = t.graph
+
+let resources t = t.default_resources
+
+let resources_for t d = t.resource_router d
+
+let cached_steps t = Hashtbl.length t.cache
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let signature ~feed_eps ~fetch_eps ~target_ids =
+  let ep (e : Node.endpoint) = Printf.sprintf "%d:%d" e.node_id e.index in
+  String.concat ","
+    (List.sort compare (List.map ep feed_eps))
+  ^ "|"
+  ^ String.concat "," (List.map ep fetch_eps)
+  ^ "|"
+  ^ String.concat "," (List.map string_of_int (List.sort compare target_ids))
+
+let compile t ~feed_eps ~fetch_eps ~target_ids =
+  let nodes =
+    Pruner.prune t.graph ~feeds:feed_eps ~fetches:fetch_eps ~targets:target_ids
+  in
+  let nodes =
+    if t.optimize then begin
+      Graph_optimizer.optimize t.graph ~nodes ~feeds:feed_eps;
+      (* Re-prune: folding/CSE leave disconnected duplicates behind. *)
+      Pruner.prune t.graph ~feeds:feed_eps ~fetches:fetch_eps
+        ~targets:target_ids
+    end
+    else nodes
+  in
+  Placement.place t.graph ~nodes ~devices:t.devices;
+  let devs =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun id -> (Graph.get t.graph id).Node.assigned_device)
+         nodes)
+  in
+  let fed_ids = List.map (fun (e : Node.endpoint) -> e.node_id) feed_eps in
+  let prepare ~graph ~nodes ~fed_ids =
+    try Executor.prepare ~graph ~nodes ~fed_ids
+    with Executor.Step_error msg -> raise (Run_error msg)
+  in
+  match devs with
+  | [] | [ _ ] ->
+      let plan = prepare ~graph:t.graph ~nodes ~fed_ids in
+      Local { plan; device = (match devs with [ d ] -> Some d | _ -> None) }
+  | _ -> (
+      match Partition.partition t.graph ~nodes with
+      | Ok parts ->
+          Distributed
+            (List.map
+               (fun (p : Partition.partition) ->
+                 let local_fed =
+                   List.filter_map
+                     (fun e ->
+                       Option.map
+                         (fun (l : Node.endpoint) -> l.Node.node_id)
+                         (Partition.find_endpoint p e))
+                     feed_eps
+                 in
+                 ( p,
+                   prepare ~graph:p.Partition.subgraph
+                     ~nodes:p.Partition.node_ids ~fed_ids:local_fed ))
+               parts)
+      | Error msg -> raise (Run_error ("partitioning failed: " ^ msg)))
+
+let value_to_tensor ~what v =
+  match v with
+  | Value.Tensor tensor -> tensor
+  | Value.Resource r ->
+      raise
+        (Run_error
+           (Printf.sprintf "fetch %s produced a reference handle (%s)" what
+              (Resource.name r)))
+  | Value.Dead ->
+      raise (Run_error (Printf.sprintf "fetch %s produced a dead value" what))
+
+let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
+  (* Fetching an output-less operation (a NoOp group such as a train op)
+     means "run it": reroute such fetches to the target list and return
+     a scalar 0 in their position. *)
+  let fetches_tagged =
+    List.map
+      (fun (o : Builder.output) ->
+        if Node.num_outputs o.Builder.node = 0 then `Target o else `Fetch o)
+      fetches
+  in
+  let targets =
+    targets
+    @ List.filter_map
+        (function `Target o -> Some o | `Fetch _ -> None)
+        fetches_tagged
+  in
+  let fetches =
+    List.filter_map
+      (function `Fetch o -> Some o | `Target _ -> None)
+      fetches_tagged
+  in
+  let feed_eps =
+    List.map (fun (o, _) -> Builder.endpoint_of_output o) feeds
+  in
+  let feed_vals =
+    List.map
+      (fun (o, tensor) ->
+        (Builder.endpoint_of_output o, Value.Tensor tensor))
+      feeds
+  in
+  let fetch_eps = List.map Builder.endpoint_of_output fetches in
+  let target_ids =
+    List.map (fun (o : Builder.output) -> o.Builder.node.Node.id) targets
+  in
+  let step, step_id =
+    with_lock t (fun () ->
+        let sg = signature ~feed_eps ~fetch_eps ~target_ids in
+        let step =
+          match Hashtbl.find_opt t.cache sg with
+          | Some s -> s
+          | None ->
+              let s = compile t ~feed_eps ~fetch_eps ~target_ids in
+              Hashtbl.replace t.cache sg s;
+              s
+        in
+        t.step_counter <- t.step_counter + 1;
+        (step, t.step_counter))
+  in
+  let results =
+    match step with
+    | Local { plan; device } ->
+      let resources =
+        match device with
+        | Some d -> t.resource_router d
+        | None -> t.default_resources
+      in
+      let values =
+        try
+          Executor.execute plan ~feeds:feed_vals ~fetches:fetch_eps
+            ~resources ?tracer ~seed:t.seed ~step_id ()
+        with Executor.Step_error msg -> raise (Run_error msg)
+      in
+      List.map2
+        (fun (o : Builder.output) v ->
+          value_to_tensor ~what:o.Builder.node.Node.name v)
+        fetches values
+  | Distributed parts ->
+      let rendezvous = Rendezvous.create () in
+      let results : (string, (Node.endpoint * Value.t) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let errors = ref [] in
+      let results_mutex = Mutex.create () in
+      let run_part ((p : Partition.partition), plan) =
+        let local_feeds =
+          List.filter_map
+            (fun ((e : Node.endpoint), v) ->
+              match Partition.find_endpoint p e with
+              | Some local -> Some (local, v)
+              | None -> None)
+            feed_vals
+        in
+        let local_fetches =
+          List.filter_map
+            (fun e ->
+              match Partition.find_endpoint p e with
+              | Some local -> Some (e, local)
+              | None -> None)
+            fetch_eps
+        in
+        try
+          let vs =
+            Executor.execute plan ~feeds:local_feeds
+              ~fetches:(List.map snd local_fetches)
+              ~resources:(t.resource_router p.Partition.device)
+              ~rendezvous ?tracer ~seed:t.seed ~step_id ()
+          in
+          Mutex.lock results_mutex;
+          Hashtbl.replace results
+            (Device.to_string p.Partition.device)
+            (List.map2 (fun (orig, _) v -> (orig, v)) local_fetches vs);
+          Mutex.unlock results_mutex
+        with
+        | Executor.Step_error msg | Rendezvous.Aborted msg ->
+            Rendezvous.abort rendezvous ~reason:msg;
+            Mutex.lock results_mutex;
+            errors := msg :: !errors;
+            Mutex.unlock results_mutex
+        | e ->
+            let msg = Printexc.to_string e in
+            Rendezvous.abort rendezvous ~reason:msg;
+            Mutex.lock results_mutex;
+            errors := msg :: !errors;
+            Mutex.unlock results_mutex
+      in
+      let threads = List.map (fun p -> Thread.create run_part p) parts in
+      List.iter Thread.join threads;
+      (match !errors with
+      | msg :: _ -> raise (Run_error msg)
+      | [] -> ());
+      let all_results =
+        Hashtbl.fold (fun _ l acc -> l @ acc) results []
+      in
+      List.map2
+        (fun (o : Builder.output) e ->
+          match List.assoc_opt e all_results with
+          | Some v -> value_to_tensor ~what:o.Builder.node.Node.name v
+          | None ->
+              raise
+                (Run_error
+                   ("fetch not produced by any partition: "
+                   ^ o.Builder.node.Node.name)))
+        fetches fetch_eps
+  in
+  (* Re-interleave dummy results for target-style fetches. *)
+  let remaining = ref results in
+  List.map
+    (function
+      | `Target _ -> Octf_tensor.Tensor.scalar_i 0
+      | `Fetch _ -> (
+          match !remaining with
+          | v :: tl ->
+              remaining := tl;
+              v
+          | [] -> assert false))
+    fetches_tagged
+
+let run ?feeds ?targets t fetches = run_with ?feeds ?targets t fetches
+
+let run_traced ?feeds ?targets t fetches =
+  let tracer = Tracer.create () in
+  let results = run_with ~tracer ?feeds ?targets t fetches in
+  (results, tracer)
+
+let run_unit ?feeds t targets = ignore (run ?feeds ~targets t [])

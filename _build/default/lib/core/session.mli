@@ -1,0 +1,69 @@
+(** Client sessions and the distributed master (§3.2–3.3, §5).
+
+    A session owns the mapping from step definitions to compiled
+    subgraphs: given feeds, fetches and targets, it prunes the graph,
+    applies master-side optimizations, places operations on devices,
+    partitions the result into per-device subgraphs with [Send]/[Recv]
+    pairs, and {e caches} the compiled step so a large graph can be
+    re-executed with one cheap call per step (§3.3's low-latency repeated
+    execution). Multi-device steps run one executor thread per partition,
+    synchronized through a per-step {!Rendezvous}.
+
+    Sessions are safe to call from several threads at once; concurrent
+    steps coordinate through the shared stateful operations exactly as in
+    the paper (Figure 1's concurrent training / input / checkpoint
+    loops). *)
+
+open Octf_tensor
+
+type t
+
+exception Run_error of string
+
+val create :
+  ?devices:Device.t list ->
+  ?resource_router:(Device.t -> Resource_manager.t) ->
+  ?seed:int ->
+  ?optimize:bool ->
+  Graph.t ->
+  t
+(** Default devices: a single local CPU. [resource_router] maps a device
+    to the resource manager of the task owning it (see {!Cluster});
+    by default all devices share one manager. [optimize] (default true)
+    enables master-side common-subexpression elimination and constant
+    folding on each step's pruned subgraph. *)
+
+val graph : t -> Graph.t
+
+val resources : t -> Resource_manager.t
+(** The default resource manager (variables, queues). *)
+
+val resources_for : t -> Device.t -> Resource_manager.t
+
+val run :
+  ?feeds:(Builder.output * Tensor.t) list ->
+  ?targets:Builder.output list ->
+  t ->
+  Builder.output list ->
+  Tensor.t list
+(** [run session fetches] executes one step and returns the fetched
+    tensors in order. [targets] are executed for their effects only.
+
+    @raise Run_error if a kernel fails, a fetch is dead, or a fetch
+    yields a reference handle rather than a tensor. *)
+
+val run_traced :
+  ?feeds:(Builder.output * Tensor.t) list ->
+  ?targets:Builder.output list ->
+  t ->
+  Builder.output list ->
+  Tensor.t list * Tracer.t
+(** Like {!run}, collecting one {!Tracer.event} per kernel invocation
+    across every partition of the step — the §5 distributed profiler.
+    Render with {!Tracer.pp_summary} or {!Tracer.to_chrome_trace}. *)
+
+val run_unit : ?feeds:(Builder.output * Tensor.t) list -> t -> Builder.output list -> unit
+(** Run for effect: [run_unit s targets] = ignore a fetch-less step. *)
+
+val cached_steps : t -> int
+(** Number of distinct compiled steps in the session cache (tests). *)

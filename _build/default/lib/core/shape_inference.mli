@@ -1,0 +1,36 @@
+(** Static shape inference over the dataflow graph.
+
+    Where shapes are derivable at construction time this pass computes
+    them, so clients can catch dimension mismatches (a transposed MatMul,
+    a bad Concat) when the graph is {e built} rather than when a step
+    runs. Shapes that depend on runtime values — dynamic partitions,
+    queue contents, [-1] batch dimensions — stay {!Unknown}; inference is
+    deliberately partial (§3.1 notes that variable-size dimensions cost
+    "more sophisticated shape inference", and this is that trade
+    implemented conservatively). *)
+
+type shape = Known of int array | Unknown
+
+exception Shape_error of string
+(** Raised when the known input shapes of a node are inconsistent, e.g.
+    mismatched MatMul inner dimensions; the message names the node. *)
+
+val infer_node : Graph.t -> Node.t -> shape list
+(** One shape per output of the node (memoless; see {!engine} for
+    amortized use). *)
+
+type engine
+
+val engine : Graph.t -> engine
+(** Memoizing inference over one graph; results are cached per node.
+    Create a fresh engine after mutating the graph. *)
+
+val endpoint_shape : engine -> Node.endpoint -> shape
+
+val output_shape : engine -> Builder.output -> shape
+
+val validate : Graph.t -> unit
+(** Run inference over every node, surfacing the first
+    {!Shape_error}. *)
+
+val to_string : shape -> string

@@ -1,0 +1,115 @@
+(* Stateful kernels for variables (§3.1): a Variable owns a mutable
+   buffer and emits a reference handle; Read/Assign*/Scatter* consume the
+   handle. Updates replace the stored tensor (copy-on-write), so tensors
+   previously returned by Read remain valid snapshots, while AssignAdd on
+   a parameter-server task gives the associative += write the
+   parameter-server architecture is built around (§2.2, §4.1). *)
+
+open Octf_tensor
+module K = Kernel
+
+let t v = Value.Tensor v
+
+let register () =
+  K.register ~op_type:"Variable" (fun ctx ->
+      let node = ctx.K.node in
+      let r =
+        Resource_manager.find_or_create ctx.K.resources node.Node.name
+          (fun () ->
+            Resource.Variable
+              (Resource.make_variable ~name:node.Node.name
+                 ~dtype:(Node.attr_dtype node "dtype")
+                 ~shape:(Node.attr_shape node "shape")))
+      in
+      K.one (Value.Resource r));
+  K.register ~op_type:"Read" (fun ctx ->
+      K.one (t (Resource.variable_read (K.input_var ctx 0))));
+  K.register ~op_type:"Assign" (fun ctx ->
+      let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
+      Resource.variable_assign var v;
+      K.one (t v));
+  K.register ~op_type:"AssignAdd" (fun ctx ->
+      let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
+      K.one (t (Resource.variable_update var (fun old -> Tensor_ops.add old v))));
+  K.register ~op_type:"AssignSub" (fun ctx ->
+      let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
+      K.one (t (Resource.variable_update var (fun old -> Tensor_ops.sub old v))));
+  K.register ~op_type:"ScatterAdd" (fun ctx ->
+      let var = K.input_var ctx 0 in
+      let indices = K.input_tensor ctx 1 and updates = K.input_tensor ctx 2 in
+      K.one
+        (t
+           (Resource.variable_update var (fun old ->
+                Tensor_ops.scatter_add old indices updates))));
+  K.register ~op_type:"ScatterSub" (fun ctx ->
+      let var = K.input_var ctx 0 in
+      let indices = K.input_tensor ctx 1 and updates = K.input_tensor ctx 2 in
+      K.one
+        (t
+           (Resource.variable_update var (fun old ->
+                Tensor_ops.scatter_add old indices (Tensor_ops.neg updates)))));
+  K.register ~op_type:"ScatterUpdate" (fun ctx ->
+      let var = K.input_var ctx 0 in
+      let indices = K.input_tensor ctx 1 and updates = K.input_tensor ctx 2 in
+      K.one
+        (t
+           (Resource.variable_update var (fun old ->
+                let fresh = Tensor.copy old in
+                let rs = Tensor.numel fresh / (Tensor.shape fresh).(0) in
+                for i = 0 to Tensor.numel indices - 1 do
+                  let row = Tensor.flat_get_i indices i in
+                  for j = 0 to rs - 1 do
+                    Tensor.flat_set_f fresh ((row * rs) + j)
+                      (Tensor.flat_get_f updates ((i * rs) + j))
+                  done
+                done;
+                fresh))));
+  K.register ~op_type:"TensorArray" (fun ctx ->
+      let node = ctx.K.node in
+      let r =
+        Resource_manager.find_or_create ctx.K.resources node.Node.name
+          (fun () ->
+            Resource.Tensor_array
+              (Resource.make_tensor_array ~name:node.Node.name))
+      in
+      K.one (Value.Resource r));
+  K.register ~op_type:"TensorArrayWrite" (fun ctx ->
+      (* Inputs: handle, index, value. Returns the value as a flow token
+         so downstream reads can order after the write. *)
+      let ta = Value.tensor_array ctx.K.inputs.(0) in
+      let index = Tensor.flat_get_i (K.input_tensor ctx 1) 0 in
+      let v = K.input_tensor ctx 2 in
+      Resource.tensor_array_write ta index v;
+      K.one (t v));
+  K.register ~op_type:"TensorArrayRead" (fun ctx ->
+      let ta = Value.tensor_array ctx.K.inputs.(0) in
+      let index = Tensor.flat_get_i (K.input_tensor ctx 1) 0 in
+      K.one (t (Resource.tensor_array_read ta index)));
+  K.register ~op_type:"TensorArraySize" (fun ctx ->
+      let ta = Value.tensor_array ctx.K.inputs.(0) in
+      K.one (t (Tensor.scalar_i (Resource.tensor_array_size ta))));
+  K.register ~op_type:"TensorArrayStack" (fun ctx ->
+      (* Pack all written elements along a new leading axis. *)
+      let ta = Value.tensor_array ctx.K.inputs.(0) in
+      let items = Resource.tensor_array_stack ta in
+      match items with
+      | [] -> invalid_arg "TensorArrayStack: empty tensor array"
+      | first :: _ ->
+          let shape = Tensor.shape first in
+          let rows =
+            List.map
+              (fun x -> Tensor.reshape x (Array.append [| 1 |] shape))
+              items
+          in
+          K.one (t (Tensor_ops.concat rows ~axis:0)));
+  K.register ~op_type:"CountUp" (fun ctx ->
+      (* Atomic fetch-and-increment of a scalar variable; returns the
+         pre-increment value. Used for global steps and sync barriers. *)
+      let var = K.input_var ctx 0 in
+      let old = ref (Tensor.scalar_f 0.0) in
+      let _ =
+        Resource.variable_update var (fun v ->
+            old := v;
+            Tensor_ops.add v (Tensor.ones (Tensor.dtype v) (Tensor.shape v)))
+      in
+      K.one (t !old))

@@ -1,0 +1,78 @@
+type event = {
+  name : string;
+  op_type : string;
+  device : string;
+  start : float;
+  duration : float;
+  step_id : int;
+}
+
+type t = { mutable evs : event list; mutex : Mutex.t }
+
+let create () = { evs = []; mutex = Mutex.create () }
+
+let record t ev =
+  Mutex.lock t.mutex;
+  t.evs <- ev :: t.evs;
+  Mutex.unlock t.mutex
+
+let events t =
+  Mutex.lock t.mutex;
+  let evs = List.rev t.evs in
+  Mutex.unlock t.mutex;
+  evs
+
+let by_op_type t =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      let count, time =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt table ev.op_type)
+      in
+      Hashtbl.replace table ev.op_type (count + 1, time +. ev.duration))
+    (events t);
+  Hashtbl.fold (fun op (c, d) acc -> (op, c, d) :: acc) table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let total_time t =
+  List.fold_left (fun acc ev -> acc +. ev.duration) 0.0 (events t)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_trace t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s\",\"args\":{\"step\":%d}}"
+           (json_escape ev.name) (json_escape ev.op_type)
+           (ev.start *. 1e6) (ev.duration *. 1e6)
+           (json_escape ev.device) ev.step_id))
+    (events t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%d kernel invocations, %.3f ms total@."
+    (List.length (events t))
+    (1000.0 *. total_time t);
+  List.iter
+    (fun (op, count, time) ->
+      Format.fprintf fmt "  %-24s %6d calls %10.3f ms@." op count
+        (1000.0 *. time))
+    (by_op_type t)

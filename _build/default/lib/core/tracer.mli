@@ -1,0 +1,42 @@
+(** Step tracing — the distributed profiler of §5.
+
+    "a distributed profiler that traces the execution of a computation
+    across multiple devices and tasks."
+
+    A tracer collects one event per kernel invocation (operation name,
+    type, device, wall-clock start and duration, step id) from every
+    partition executor participating in a step, and renders them as a
+    summary or as Chrome-trace JSON (load in chrome://tracing or
+    Perfetto; one row per device). Obtain one populated from a real step
+    with {!Session.run_traced}. *)
+
+type event = {
+  name : string;
+  op_type : string;
+  device : string;
+  start : float;  (** seconds, [Unix.gettimeofday] clock *)
+  duration : float;
+  step_id : int;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> event -> unit
+(** Thread-safe; called by the executors. *)
+
+val events : t -> event list
+(** In recording order. *)
+
+val by_op_type : t -> (string * int * float) list
+(** Per op type: (type, invocations, total seconds), slowest first. *)
+
+val total_time : t -> float
+(** Sum of kernel durations across all devices. *)
+
+val to_chrome_trace : t -> string
+(** Chrome trace-event JSON ("traceEvents" array of "X" events, one
+    track per device). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+open Octf_tensor
+
+type t = Tensor of Tensor.t | Resource of Resource.t | Dead
+
+let is_dead = function Dead -> true | Tensor _ | Resource _ -> false
+
+let tensor = function
+  | Tensor t -> t
+  | Resource r ->
+      invalid_arg ("Value.tensor: got resource " ^ Resource.name r)
+  | Dead -> invalid_arg "Value.tensor: got dead value"
+
+let resource = function
+  | Resource r -> r
+  | Tensor _ -> invalid_arg "Value.resource: got tensor"
+  | Dead -> invalid_arg "Value.resource: got dead value"
+
+let variable v =
+  match resource v with
+  | Resource.Variable var -> var
+  | (Resource.Queue _ | Resource.Iterator _ | Resource.Tensor_array _) as r
+    ->
+      invalid_arg ("Value.variable: got " ^ Resource.name r)
+
+let queue v =
+  match resource v with
+  | Resource.Queue q -> q
+  | (Resource.Variable _ | Resource.Iterator _ | Resource.Tensor_array _) as r
+    ->
+      invalid_arg ("Value.queue: got " ^ Resource.name r)
+
+let iterator v =
+  match resource v with
+  | Resource.Iterator it -> it
+  | (Resource.Variable _ | Resource.Queue _ | Resource.Tensor_array _) as r
+    ->
+      invalid_arg ("Value.iterator: got " ^ Resource.name r)
+
+let tensor_array v =
+  match resource v with
+  | Resource.Tensor_array ta -> ta
+  | (Resource.Variable _ | Resource.Queue _ | Resource.Iterator _) as r ->
+      invalid_arg ("Value.tensor_array: got " ^ Resource.name r)
+
+let pp fmt = function
+  | Tensor t -> Tensor.pp fmt t
+  | Resource r -> Resource.pp fmt r
+  | Dead -> Format.pp_print_string fmt "<dead>"

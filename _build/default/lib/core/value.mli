@@ -1,0 +1,28 @@
+(** Values flowing along dataflow edges at runtime.
+
+    Most edges carry dense tensors; edges out of stateful operations
+    carry reference handles ({!Resource.t}); and control-flow edges out
+    of an untaken [Switch] branch carry the special {e dead} value, which
+    propagates recursively until it reaches a [Merge] (§3.4). *)
+
+open Octf_tensor
+
+type t = Tensor of Tensor.t | Resource of Resource.t | Dead
+
+val is_dead : t -> bool
+
+val tensor : t -> Tensor.t
+(** Project a tensor. @raise Invalid_argument on a resource or dead
+    value. *)
+
+val resource : t -> Resource.t
+
+val variable : t -> Resource.variable
+
+val queue : t -> Queue_impl.t
+
+val iterator : t -> Resource.iterator
+
+val tensor_array : t -> Resource.tensor_array
+
+val pp : Format.formatter -> t -> unit

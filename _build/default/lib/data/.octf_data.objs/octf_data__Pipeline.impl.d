@@ -1,0 +1,1 @@
+lib/data/pipeline.ml: List Octf Thread

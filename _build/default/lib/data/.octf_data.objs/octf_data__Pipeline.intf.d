@@ -1,0 +1,1 @@
+lib/data/pipeline.mli: Octf Octf_tensor Tensor Thread

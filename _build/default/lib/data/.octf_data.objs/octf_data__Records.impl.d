@@ -1,0 +1,1 @@
+lib/data/records.ml: List Octf Octf_tensor Synthetic Tensor

@@ -1,0 +1,1 @@
+lib/data/records.mli: Octf_tensor Rng

@@ -1,0 +1,1 @@
+lib/data/synthetic.ml: Array Dtype Float Octf_tensor Rng Tensor

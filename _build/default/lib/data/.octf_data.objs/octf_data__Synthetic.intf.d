@@ -1,0 +1,1 @@
+lib/data/synthetic.mli: Octf_tensor Rng Tensor

@@ -1,0 +1,55 @@
+module B = Octf.Builder
+
+type t = {
+  queue : B.output;
+  producers : B.output list;
+  enqueue : B.output;
+  close_op : B.output;
+  size_op : B.output;
+  num_components : int;
+  b : B.t;
+}
+
+let create b ?(shuffle = false) ?(capacity = 64) ~name ~producers () =
+  if producers = [] then invalid_arg "Pipeline.create: no producers";
+  let num_components = List.length producers in
+  let queue =
+    if shuffle then
+      B.random_shuffle_queue b ~name ~capacity ~num_components ()
+    else B.fifo_queue b ~name ~capacity ~num_components ()
+  in
+  let enqueue = B.enqueue b ~name:(name ^ "/enqueue") queue producers in
+  let close_op = B.queue_close b ~name:(name ^ "/close") queue in
+  let size_op = B.queue_size b ~name:(name ^ "/size") queue in
+  { queue; producers; enqueue; close_op; size_op; num_components; b }
+
+let batch t =
+  B.dequeue t.b t.queue ~num_components:t.num_components
+
+let batch_many t ~n =
+  B.dequeue_many t.b t.queue ~n ~num_components:t.num_components
+
+let size t = t.size_op
+
+let enqueue_op t = t.enqueue
+
+let close_op t = t.close_op
+
+let start_fillers t session ~threads ?steps ?feed () =
+  let body () =
+    let continue_ = ref true in
+    let i = ref 0 in
+    while
+      !continue_ && match steps with Some s -> !i < s | None -> true
+    do
+      let feeds = match feed with None -> [] | Some f -> f !i in
+      (try Octf.Session.run_unit ~feeds session [ t.enqueue ]
+       with Octf.Session.Run_error _ -> continue_ := false);
+      incr i
+    done
+  in
+  List.init threads (fun _ -> Thread.create body ())
+
+let close t session =
+  try Octf.Session.run_unit session [ t.close_op ]
+  with Octf.Session.Run_error _ -> ()

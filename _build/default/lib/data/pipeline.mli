@@ -1,0 +1,51 @@
+(** Queue-based input pipelines (§3.2, Figure 1).
+
+    A training application runs concurrent steps against one graph: I/O
+    and preprocessing steps fill a queue while training steps drain it,
+    with the queue's blocking behaviour providing backpressure. This
+    module packages that pattern: build a queue fed by producer tensors
+    (typically [Placeholder]s fed by a generator, or random ops), then
+    start filler threads that repeatedly run the enqueue step. *)
+
+open Octf_tensor
+module B = Octf.Builder
+
+type t
+
+val create :
+  B.t ->
+  ?shuffle:bool ->
+  ?capacity:int ->
+  name:string ->
+  producers:B.output list ->
+  unit ->
+  t
+(** The queue holds tuples with one component per producer output. *)
+
+val batch : t -> B.output list
+(** Dequeue one element: the training subgraph's inputs. *)
+
+val batch_many : t -> n:int -> B.output list
+(** Dequeue and stack [n] elements along a new leading axis. *)
+
+val size : t -> B.output
+
+val enqueue_op : t -> B.output
+
+val close_op : t -> B.output
+
+val start_fillers :
+  t ->
+  Octf.Session.t ->
+  threads:int ->
+  ?steps:int ->
+  ?feed:(int -> (B.output * Tensor.t) list) ->
+  unit ->
+  Thread.t list
+(** Spawn [threads] filler threads, each running the enqueue step [steps]
+    times (default: until the queue closes). [feed] supplies per-call
+    feeds from the producer index (e.g. fresh synthetic batches). *)
+
+val close : t -> Octf.Session.t -> unit
+(** Close the queue: blocked fillers stop; trainers drain the remainder
+    and then observe end-of-input. *)

@@ -1,0 +1,18 @@
+open Octf_tensor
+
+let image_features = [ "pixels"; "label" ]
+
+let write_image_dataset rng ~path ~examples ~size ~channels ~classes =
+  let records =
+    List.init examples (fun _ ->
+        let batch =
+          Synthetic.image_batch rng ~batch:1 ~size ~channels ~classes
+        in
+        let pixels =
+          Tensor.reshape batch.Synthetic.pixels [| size; size; channels |]
+        in
+        let label = Tensor.scalar_i (Tensor.flat_get_i batch.Synthetic.labels 0) in
+        Octf.Record_format.encode_example
+          [ ("pixels", pixels); ("label", label) ])
+  in
+  Octf.Record_format.write_records path records

@@ -1,0 +1,21 @@
+(** Writing datasets into record files (Figure 1).
+
+    Serializes synthetic datasets into the {!Octf.Record_format}
+    container so examples and tests can exercise the full I/O subgraph:
+    RecordReader → ReadRecord → DecodeExample → preprocess → queue. *)
+
+open Octf_tensor
+
+val write_image_dataset :
+  Rng.t ->
+  path:string ->
+  examples:int ->
+  size:int ->
+  channels:int ->
+  classes:int ->
+  unit
+(** One record per example with features ["pixels"] (HWC float tensor)
+    and ["label"] (int scalar). *)
+
+val image_features : string list
+(** Feature names, in the order [decode_example] should request them. *)

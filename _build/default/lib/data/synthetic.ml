@@ -1,0 +1,78 @@
+open Octf_tensor
+
+type images = { pixels : Tensor.t; labels : Tensor.t }
+
+let image_batch rng ~batch ~size ~channels ~classes =
+  let pixels = Tensor.zeros Dtype.F32 [| batch; size; size; channels |] in
+  let labels = Tensor.zeros Dtype.I32 [| batch |] in
+  (* Class k lights a square in cell k of a ceil(sqrt classes)-wide grid. *)
+  let grid = int_of_float (Float.ceil (Float.sqrt (float_of_int classes))) in
+  let cell = max 1 (size / grid) in
+  for i = 0 to batch - 1 do
+    let k = Rng.int rng classes in
+    Tensor.flat_set_i labels i k;
+    let gy = (k / grid) * cell and gx = (k mod grid) * cell in
+    for y = 0 to size - 1 do
+      for x = 0 to size - 1 do
+        let inside =
+          y >= gy && y < gy + cell && x >= gx && x < gx + cell
+        in
+        let base = if inside then 1.0 else 0.0 in
+        for c = 0 to channels - 1 do
+          let v = base +. Rng.normal rng ~mean:0.0 ~stddev:0.1 in
+          Tensor.flat_set_f pixels
+            ((((i * size) + y) * size + x) * channels + c)
+            v
+        done
+      done
+    done
+  done;
+  { pixels; labels }
+
+let regression_batch rng ~batch ~dim ~w ~bias ~noise =
+  if Array.length w <> dim then
+    invalid_arg "Synthetic.regression_batch: weight length mismatch";
+  let x = Tensor.zeros Dtype.F32 [| batch; dim |] in
+  let y = Tensor.zeros Dtype.F32 [| batch; 1 |] in
+  for i = 0 to batch - 1 do
+    let acc = ref bias in
+    for j = 0 to dim - 1 do
+      let v = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+      Tensor.flat_set_f x ((i * dim) + j) v;
+      acc := !acc +. (v *. w.(j))
+    done;
+    Tensor.flat_set_f y i (!acc +. Rng.normal rng ~mean:0.0 ~stddev:noise)
+  done;
+  (x, y)
+
+let xor_batch rng ~batch =
+  let x = Tensor.zeros Dtype.F32 [| batch; 2 |] in
+  let y = Tensor.zeros Dtype.F32 [| batch; 2 |] in
+  for i = 0 to batch - 1 do
+    let a = Rng.int rng 2 and b = Rng.int rng 2 in
+    let jitter () = Rng.normal rng ~mean:0.0 ~stddev:0.1 in
+    Tensor.flat_set_f x (i * 2) (float_of_int a +. jitter ());
+    Tensor.flat_set_f x ((i * 2) + 1) (float_of_int b +. jitter ());
+    let label = a lxor b in
+    Tensor.flat_set_f y ((i * 2) + label) 1.0
+  done;
+  (x, y)
+
+let token_stream rng ~vocab ~length ~zipf_s =
+  Array.init length (fun _ -> Rng.zipf rng ~n:vocab ~s:zipf_s)
+
+let lm_batch rng ~stream ~batch ~unroll ~position =
+  ignore rng;
+  let n = Array.length stream in
+  if n < unroll + 2 then invalid_arg "Synthetic.lm_batch: stream too short";
+  let inputs = Tensor.zeros Dtype.I32 [| batch; unroll |] in
+  let targets = Tensor.zeros Dtype.I32 [| batch; unroll |] in
+  let stride = max 1 ((n - unroll - 1) / batch) in
+  for i = 0 to batch - 1 do
+    let base = (position + (i * stride)) mod (n - unroll - 1) in
+    for t = 0 to unroll - 1 do
+      Tensor.flat_set_i inputs ((i * unroll) + t) stream.(base + t);
+      Tensor.flat_set_i targets ((i * unroll) + t) stream.(base + t + 1)
+    done
+  done;
+  (inputs, targets)

@@ -1,0 +1,36 @@
+(** Synthetic datasets (DESIGN.md, substitution 3).
+
+    The paper's workloads use ImageNet and the One Billion Word
+    Benchmark; neither is available offline, and the evaluation measures
+    systems metrics rather than accuracy, so these generators produce
+    data with the right shapes, sparsity and learnable structure:
+    images whose class determines a visible pattern, Zipf-distributed
+    token streams with the word-frequency skew of natural text, and
+    simple regression/classification sets for the quickstart examples. *)
+
+open Octf_tensor
+
+type images = { pixels : Tensor.t; labels : Tensor.t }
+
+val image_batch :
+  Rng.t -> batch:int -> size:int -> channels:int -> classes:int -> images
+(** NHWC image batch; class [k] places a bright square in region [k]
+    (plus noise), so a small convnet can genuinely learn the mapping. *)
+
+val regression_batch :
+  Rng.t -> batch:int -> dim:int -> w:float array -> bias:float ->
+  noise:float -> Tensor.t * Tensor.t
+(** [(x, y)] with y = x·w + bias + N(0, noise). *)
+
+val xor_batch : Rng.t -> batch:int -> Tensor.t * Tensor.t
+(** The classic non-linearly-separable 2-D problem; labels one-hot [2]. *)
+
+val token_stream : Rng.t -> vocab:int -> length:int -> zipf_s:float -> int array
+(** Zipf-skewed token ids in [0, vocab). *)
+
+val lm_batch :
+  Rng.t -> stream:int array -> batch:int -> unroll:int -> position:int ->
+  Tensor.t * Tensor.t
+(** [(inputs, targets)] for next-word prediction: both [batch × unroll]
+    int tensors, targets shifted by one; batch rows read the stream at
+    strided offsets from [position]. *)

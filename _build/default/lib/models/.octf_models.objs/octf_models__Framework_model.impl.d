@@ -1,0 +1,1 @@
+lib/models/framework_model.ml: Convnet_zoo Float List

@@ -1,0 +1,1 @@
+lib/models/framework_model.mli: Convnet_zoo

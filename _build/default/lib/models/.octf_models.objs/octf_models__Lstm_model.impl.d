@@ -1,0 +1,1 @@
+lib/models/lstm_model.ml: Printf Workload

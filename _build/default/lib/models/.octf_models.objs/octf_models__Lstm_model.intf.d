@@ -1,0 +1,1 @@
+lib/models/lstm_model.mli: Workload

@@ -1,0 +1,178 @@
+type layer =
+  | Conv of {
+      kh : int;
+      kw : int;
+      in_c : int;
+      out_c : int;
+      out_h : int;
+      out_w : int;
+    }
+  | Fc of { n_in : int; n_out : int }
+  | Pool of { out_h : int; out_w : int; channels : int }
+
+type t = {
+  name : string;
+  layers : layer list;
+  aggregate_macs : float option;
+  aggregate_params : float option;
+}
+
+let conv kh kw in_c out_c out_h out_w =
+  Conv { kh; kw; in_c; out_c; out_h; out_w }
+
+let fc n_in n_out = Fc { n_in; n_out }
+
+let pool out_h out_w channels = Pool { out_h; out_w; channels }
+
+let alexnet =
+  {
+    name = "AlexNet";
+    layers =
+      [
+        conv 11 11 3 64 55 55;
+        pool 27 27 64;
+        conv 5 5 64 192 27 27;
+        pool 13 13 192;
+        conv 3 3 192 384 13 13;
+        conv 3 3 384 256 13 13;
+        conv 3 3 256 256 13 13;
+        pool 6 6 256;
+        fc 9216 4096;
+        fc 4096 4096;
+        fc 4096 1000;
+      ];
+    aggregate_macs = None;
+    aggregate_params = None;
+  }
+
+let overfeat =
+  {
+    name = "Overfeat";
+    layers =
+      [
+        conv 11 11 3 96 56 56;
+        pool 28 28 96;
+        conv 5 5 96 256 24 24;
+        pool 12 12 256;
+        conv 3 3 256 512 12 12;
+        conv 3 3 512 1024 12 12;
+        conv 3 3 1024 1024 12 12;
+        pool 6 6 1024;
+        fc 36864 3072;
+        fc 3072 4096;
+        fc 4096 1000;
+      ];
+    aggregate_macs = None;
+    aggregate_params = None;
+  }
+
+let oxfordnet =
+  {
+    name = "OxfordNet";
+    layers =
+      [
+        conv 3 3 3 64 224 224;
+        pool 112 112 64;
+        conv 3 3 64 128 112 112;
+        pool 56 56 128;
+        conv 3 3 128 256 56 56;
+        conv 3 3 256 256 56 56;
+        pool 28 28 256;
+        conv 3 3 256 512 28 28;
+        conv 3 3 512 512 28 28;
+        pool 14 14 512;
+        conv 3 3 512 512 14 14;
+        conv 3 3 512 512 14 14;
+        pool 7 7 512;
+        fc 25088 4096;
+        fc 4096 4096;
+        fc 4096 1000;
+      ];
+    aggregate_macs = None;
+    aggregate_params = None;
+  }
+
+(* One GoogLeNet inception module: 1x1, 3x3 (reduced), 5x5 (reduced) and
+   pool-projection branches at spatial size s. *)
+let inception ~s ~in_c ~n1 ~r3 ~n3 ~r5 ~n5 ~pp =
+  [
+    conv 1 1 in_c n1 s s;
+    conv 1 1 in_c r3 s s;
+    conv 3 3 r3 n3 s s;
+    conv 1 1 in_c r5 s s;
+    conv 5 5 r5 n5 s s;
+    pool s s in_c;
+    conv 1 1 in_c pp s s;
+  ]
+
+let googlenet =
+  {
+    name = "GoogleNet";
+    layers =
+      [
+        conv 7 7 3 64 112 112;
+        pool 56 56 64;
+        conv 1 1 64 64 56 56;
+        conv 3 3 64 192 56 56;
+        pool 28 28 192;
+      ]
+      @ inception ~s:28 ~in_c:192 ~n1:64 ~r3:96 ~n3:128 ~r5:16 ~n5:32 ~pp:32
+      @ inception ~s:28 ~in_c:256 ~n1:128 ~r3:128 ~n3:192 ~r5:32 ~n5:96
+          ~pp:64
+      @ [ pool 14 14 480 ]
+      @ inception ~s:14 ~in_c:480 ~n1:192 ~r3:96 ~n3:208 ~r5:16 ~n5:48 ~pp:64
+      @ inception ~s:14 ~in_c:512 ~n1:160 ~r3:112 ~n3:224 ~r5:24 ~n5:64
+          ~pp:64
+      @ inception ~s:14 ~in_c:512 ~n1:128 ~r3:128 ~n3:256 ~r5:24 ~n5:64
+          ~pp:64
+      @ inception ~s:14 ~in_c:512 ~n1:112 ~r3:144 ~n3:288 ~r5:32 ~n5:64
+          ~pp:64
+      @ inception ~s:14 ~in_c:528 ~n1:256 ~r3:160 ~n3:320 ~r5:32 ~n5:128
+          ~pp:128
+      @ [ pool 7 7 832 ]
+      @ inception ~s:7 ~in_c:832 ~n1:256 ~r3:160 ~n3:320 ~r5:32 ~n5:128
+          ~pp:128
+      @ inception ~s:7 ~in_c:832 ~n1:384 ~r3:192 ~n3:384 ~r5:48 ~n5:128
+          ~pp:128
+      @ [ pool 1 1 1024; fc 1024 1000 ];
+    aggregate_macs = None;
+    aggregate_params = None;
+  }
+
+let inception_v3 =
+  {
+    name = "Inception-v3";
+    layers = [];
+    aggregate_macs = Some 5.7e9;
+    aggregate_params = Some 23.8e6;
+  }
+
+let layer_macs = function
+  | Conv { kh; kw; in_c; out_c; out_h; out_w } ->
+      float_of_int (kh * kw * in_c * out_c * out_h * out_w)
+  | Fc { n_in; n_out } -> float_of_int (n_in * n_out)
+  | Pool _ -> 0.0
+
+let layer_params = function
+  | Conv { kh; kw; in_c; out_c; _ } -> float_of_int (kh * kw * in_c * out_c)
+  | Fc { n_in; n_out } -> float_of_int (n_in * n_out + n_out)
+  | Pool _ -> 0.0
+
+let macs_per_image t =
+  match t.aggregate_macs with
+  | Some m -> m
+  | None -> List.fold_left (fun acc l -> acc +. layer_macs l) 0.0 t.layers
+
+let params t =
+  match t.aggregate_params with
+  | Some p -> p
+  | None -> List.fold_left (fun acc l -> acc +. layer_params l) 0.0 t.layers
+
+let param_bytes t = 4.0 *. params t
+
+let num_ops t =
+  match t.layers with
+  | [] -> 120  (* aggregate models: Inception-v3 depth *)
+  | layers -> List.length layers
+
+let training_flops_per_image t = macs_per_image t *. 2.0 *. 3.0

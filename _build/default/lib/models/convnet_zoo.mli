@@ -1,0 +1,60 @@
+(** Analytic layer specifications of the paper's convolutional models.
+
+    Table 1 and §6.3 benchmark AlexNet, Overfeat, OxfordNet (VGG-A),
+    GoogleNet and Inception-v3. The real architectures are encoded layer
+    by layer so the harness can count multiply-accumulates and
+    parameters analytically; the step-time models in
+    {!Framework_model} and the cluster simulator consume these counts
+    (DESIGN.md, substitution 1: FLOP counts and parameter bytes determine
+    the published shapes, not the silicon). *)
+
+type layer =
+  | Conv of {
+      kh : int;
+      kw : int;
+      in_c : int;
+      out_c : int;
+      out_h : int;
+      out_w : int;
+    }
+  | Fc of { n_in : int; n_out : int }
+  | Pool of { out_h : int; out_w : int; channels : int }
+
+type t = {
+  name : string;
+  layers : layer list;
+  aggregate_macs : float option;
+      (** override for models encoded in aggregate (Inception-v3) *)
+  aggregate_params : float option;
+}
+
+val alexnet : t
+
+val overfeat : t
+
+val oxfordnet : t
+(** VGG model A, the "OxfordNet" of Chintala's benchmark. *)
+
+val googlenet : t
+
+val inception_v3 : t
+(** Aggregate spec: ≈5.7e9 multiply-adds and 23.8M parameters per image
+    (§6.3 cites ≈5 billion FLOPS per inference). *)
+
+val layer_macs : layer -> float
+(** Multiply-accumulates per image (forward). *)
+
+val macs_per_image : t -> float
+
+val params : t -> float
+(** Parameter count. *)
+
+val param_bytes : t -> float
+(** 4 bytes per parameter (fp32). *)
+
+val num_ops : t -> int
+(** Rough operation count for per-kernel overhead modelling. *)
+
+val training_flops_per_image : t -> float
+(** FLOPs for one forward+backward pass: 2 FLOPs per MAC, and backward
+    ≈ 2× forward. *)

@@ -1,0 +1,76 @@
+type softmax = Full | Sampled of int
+
+let vocab = 40_000
+
+let dim = 512
+
+let bytes_per_float = 4.0
+
+(* Per-word multiply-accumulates of the two LSTM layers: each layer is a
+   (in + units) x 4*units product. *)
+let lstm_macs_per_word =
+  let layer in_dim units = float_of_int ((in_dim + units) * 4 * units) in
+  layer dim dim +. layer dim dim
+
+let softmax_macs_per_word = function
+  | Full -> float_of_int (dim * vocab)
+  | Sampled s -> float_of_int (dim * (s + 1))
+
+let training_factor = 6.0  (* 2 FLOPs per MAC, backward ~2x forward *)
+
+let lstm_params = 2.0 *. float_of_int ((dim + dim) * 4 * dim)
+
+let embedding_params = float_of_int (vocab * dim)
+
+let softmax_params = float_of_int (vocab * dim)
+
+let workload ~softmax ~batch ~unroll =
+  let words = float_of_int (batch * unroll) in
+  let lstm_flops = lstm_macs_per_word *. training_factor *. words in
+  let softmax_flops =
+    softmax_macs_per_word softmax *. training_factor *. words
+  in
+  let activation_bytes = words *. float_of_int dim *. bytes_per_float in
+  let lstm_param_bytes = lstm_params *. bytes_per_float in
+  let embedding_fetch = activation_bytes (* one d-vector per word *) in
+  match softmax with
+  | Full ->
+      (* Softmax multiplication and gradient run on the PS shards; the
+         wire carries output activations down and their gradients back,
+         plus the dense LSTM parameters and the gathered embeddings. *)
+      {
+        Workload.name = "lstm-512-512/full";
+        param_bytes =
+          (lstm_params +. embedding_params +. softmax_params)
+          *. bytes_per_float;
+        worker_flops = lstm_flops;
+        ps_flops = softmax_flops;
+        fetch_bytes = lstm_param_bytes +. embedding_fetch +. activation_bytes;
+        update_bytes = lstm_param_bytes +. embedding_fetch +. activation_bytes;
+        items_per_step = words;
+        apply_bandwidth = 1.0e9;
+      }
+  | Sampled s ->
+      (* Workers gather s+1 weight rows per step and compute the reduced
+         softmax locally. *)
+      let sampled_rows_bytes =
+        float_of_int ((s + 1) * dim) *. bytes_per_float
+      in
+      {
+        Workload.name = Printf.sprintf "lstm-512-512/sampled-%d" s;
+        param_bytes =
+          (lstm_params +. embedding_params +. softmax_params)
+          *. bytes_per_float;
+        worker_flops = lstm_flops +. softmax_flops;
+        ps_flops = 0.0;
+        fetch_bytes = lstm_param_bytes +. embedding_fetch +. sampled_rows_bytes;
+        update_bytes =
+          lstm_param_bytes +. embedding_fetch +. sampled_rows_bytes;
+        items_per_step = words;
+        apply_bandwidth = 1.0e9;
+      }
+
+let softmax_reduction = function
+  | Full -> 1.0
+  | Sampled s ->
+      softmax_macs_per_word Full /. softmax_macs_per_word (Sampled s)

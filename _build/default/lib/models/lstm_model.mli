@@ -1,0 +1,25 @@
+(** Analytic spec of the LSTM-512-512 language model (§6.4).
+
+    Two 512-unit LSTM layers with a 512-d embedding over a 40,000-word
+    vocabulary (the paper's restricted One-Billion-Word setting). The
+    output layer dominates: a full softmax multiplies every output state
+    by a 512 × 40,000 matrix {e sharded across the PS tasks} and computes
+    its gradient there (Project-Adam-style colocation), so adding PS
+    tasks parallelizes the softmax; a sampled softmax multiplies by 512
+    sampled columns instead, reducing softmax transfer and compute ≈78×
+    and moving the work back to the worker. *)
+
+type softmax = Full | Sampled of int
+
+val vocab : int
+
+val dim : int
+
+val workload :
+  softmax:softmax -> batch:int -> unroll:int -> Workload.t
+(** Per-worker-step costs for the simulator; [items_per_step] counts
+    words (batch × unroll). *)
+
+val softmax_reduction : softmax -> float
+(** Compute/transfer reduction factor vs the full softmax (≈78 for 512
+    samples over a 40k vocabulary). *)

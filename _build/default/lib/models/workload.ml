@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  param_bytes : float;
+  worker_flops : float;
+  ps_flops : float;
+  fetch_bytes : float;
+  update_bytes : float;
+  items_per_step : float;
+  apply_bandwidth : float;
+}
+
+let null_scalar =
+  {
+    name = "null/scalar";
+    param_bytes = 4.0 *. 16.0;
+    worker_flops = 0.0;
+    ps_flops = 0.0;
+    fetch_bytes = 4.0 *. 16.0;
+    update_bytes = 4.0 *. 16.0;
+    items_per_step = 1.0;
+    apply_bandwidth = 4.0e9;
+  }
+
+let null_dense ~mb =
+  let bytes = mb *. 1048576.0 in
+  {
+    name = Printf.sprintf "null/dense-%gMB" mb;
+    param_bytes = bytes;
+    worker_flops = 0.0;
+    ps_flops = 0.0;
+    fetch_bytes = bytes;
+    update_bytes = bytes;
+    items_per_step = 1.0;
+    apply_bandwidth = 4.0e9;
+  }
+
+let null_sparse ~gb ~entries ~dim =
+  let bytes = float_of_int (entries * dim * 4) in
+  {
+    name = Printf.sprintf "null/sparse-%gGB" gb;
+    param_bytes = gb *. 1073741824.0;
+    worker_flops = 0.0;
+    ps_flops = 0.0;
+    fetch_bytes = bytes;
+    update_bytes = bytes;
+    items_per_step = 1.0;
+    apply_bandwidth = 4.0e9;
+  }
+
+let inception_v3 ~batch =
+  let m = Convnet_zoo.inception_v3 in
+  let bytes = Convnet_zoo.param_bytes m in
+  {
+    name = "inception-v3";
+    param_bytes = bytes;
+    worker_flops =
+      Convnet_zoo.training_flops_per_image m *. float_of_int batch;
+    ps_flops = 0.0;
+    fetch_bytes = bytes;
+    update_bytes = bytes;
+    items_per_step = float_of_int batch;
+    apply_bandwidth = 4.0e8;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: params %.1f MB, worker %.2f GFLOP, ps %.2f GFLOP, fetch %.2f MB, \
+     update %.2f MB"
+    t.name
+    (t.param_bytes /. 1048576.0)
+    (t.worker_flops /. 1e9)
+    (t.ps_flops /. 1e9)
+    (t.fetch_bytes /. 1048576.0)
+    (t.update_bytes /. 1048576.0)

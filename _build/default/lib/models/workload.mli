@@ -1,0 +1,40 @@
+(** Workload descriptors consumed by the cluster simulator ({!Octf_sim}).
+
+    A workload summarizes, per training step and per worker: the bytes
+    pulled from and pushed to the parameter servers, the floating-point
+    work done on the worker, the work offloaded to the PS tasks
+    (softmax colocations, §4.2/§6.4), and how many items (images, words)
+    the step processes. These are exactly the quantities that determine
+    the shapes of Figures 6–9. *)
+
+type t = {
+  name : string;
+  param_bytes : float;  (** total model size resident on the PS tasks *)
+  worker_flops : float;  (** FLOPs per worker step *)
+  ps_flops : float;  (** FLOPs per worker step executed on PS tasks *)
+  fetch_bytes : float;  (** bytes PS → worker per step *)
+  update_bytes : float;  (** bytes worker → PS per step *)
+  items_per_step : float;  (** images / words per worker step *)
+  apply_bandwidth : float;
+      (** bytes/s at which a PS task folds this workload's updates into
+          the parameters: memcpy-fast for a null step's bare +=, several
+          times slower for real optimizers that read and write slot
+          variables (momentum, RMSProp) per parameter *)
+}
+
+val null_scalar : t
+(** Figure 6 "Scalar": one 4-byte value per PS task (16 PS). *)
+
+val null_dense : mb:float -> t
+(** Figure 6 "Dense": fetch and update the whole model of [mb]
+    megabytes. *)
+
+val null_sparse : gb:float -> entries:int -> dim:int -> t
+(** Figure 6 "Sparse": read [entries] random rows of a [gb]-gigabyte
+    embedding; step cost is independent of the total size. *)
+
+val inception_v3 : batch:int -> t
+(** §6.3: Inception-v3 training, one K40 worker per step of [batch]
+    images. *)
+
+val pp : Format.formatter -> t -> unit

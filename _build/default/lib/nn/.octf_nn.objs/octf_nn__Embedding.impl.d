@@ -1,0 +1,1 @@
+lib/nn/embedding.ml: Init List Octf Octf_tensor Printf Var_store

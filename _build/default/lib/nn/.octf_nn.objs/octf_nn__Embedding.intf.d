@@ -1,0 +1,1 @@
+lib/nn/embedding.mli: Init Octf Var_store

@@ -1,0 +1,1 @@
+lib/nn/gru.mli: Octf Var_store

@@ -1,0 +1,1 @@
+lib/nn/init.ml: Array Dtype Octf_tensor Rng Shape Tensor

@@ -1,0 +1,1 @@
+lib/nn/init.mli: Octf_tensor Rng Shape Tensor

@@ -1,0 +1,1 @@
+lib/nn/layers.ml: Dtype Init Octf Octf_tensor Option Var_store

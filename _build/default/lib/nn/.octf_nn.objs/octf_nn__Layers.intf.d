@@ -1,0 +1,1 @@
+lib/nn/layers.mli: Init Octf Octf_tensor Var_store

@@ -1,0 +1,1 @@
+lib/nn/losses.ml: Dtype Octf Octf_tensor

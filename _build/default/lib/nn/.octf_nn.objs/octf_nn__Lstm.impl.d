@@ -1,0 +1,1 @@
+lib/nn/lstm.ml: Dtype Init List Octf Octf_tensor Tensor Var_store

@@ -1,0 +1,1 @@
+lib/nn/lstm.mli: Octf Var_store

@@ -1,0 +1,1 @@
+lib/nn/metrics.ml: Array Octf_tensor Shape Stdlib Tensor

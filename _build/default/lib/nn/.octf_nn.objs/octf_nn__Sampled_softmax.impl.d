@@ -1,0 +1,1 @@
+lib/nn/sampled_softmax.ml: Losses Octf

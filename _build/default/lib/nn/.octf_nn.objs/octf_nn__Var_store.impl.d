@@ -1,0 +1,1 @@
+lib/nn/var_store.ml: Dtype Hashtbl Init List Octf Octf_tensor Rng Shape

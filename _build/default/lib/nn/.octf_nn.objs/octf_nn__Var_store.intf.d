@@ -1,0 +1,1 @@
+lib/nn/var_store.mli: Init Octf Octf_tensor Shape

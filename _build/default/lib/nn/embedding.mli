@@ -1,0 +1,42 @@
+(** Sharded embedding layers (§4.2, Figure 3).
+
+    Very large models embed sparse inputs through an [n × d] matrix that
+    is too large for one task; the matrix is split row-wise over several
+    parameter-server tasks. A lookup is the composition the paper
+    draws in Figure 3: a dynamic {e Part}ition routes each incoming index
+    to its shard, a [Gather] colocated with each shard variable extracts
+    the rows on the task holding them, and a dynamic {e Stitch}
+    reassembles the partial results in the original order. Every piece
+    has a registered gradient, so backpropagation produces {e sparse}
+    updates that touch only the gathered rows. *)
+
+module B = Octf.Builder
+
+type t = {
+  shards : Var_store.variable list;  (** row-sharded pieces, mod layout *)
+  vocab : int;
+  dim : int;
+}
+
+val create :
+  Var_store.t ->
+  ?devices:string list ->
+  ?init:Init.t ->
+  name:string ->
+  vocab:int ->
+  dim:int ->
+  num_shards:int ->
+  unit ->
+  t
+(** Shard [s] holds rows [{i | i mod num_shards = s}] (row [i] is stored
+    at local offset [i / num_shards]). [devices] (default: none) pins
+    shard [s] to [devices.(s mod length)] — typically a list of
+    ["/job:ps/task:k"] specs. *)
+
+val lookup : t -> B.t -> B.output -> B.output
+(** [lookup emb b ids]: embed a 1-D int tensor of ids into a
+    [length ids × dim] dense matrix via Part → Gather → Stitch. *)
+
+val lookup_single : t -> B.t -> B.output -> B.output
+(** Degenerate single-shard fast path (plain Gather); requires
+    [num_shards = 1]. *)

@@ -1,0 +1,70 @@
+open Octf_tensor
+module B = Octf.Builder
+
+type cell = {
+  gates : Var_store.variable;  (* [in+u, 2u]: update and reset gates *)
+  gates_bias : Var_store.variable;
+  candidate : Var_store.variable;  (* [in+u, u] *)
+  candidate_bias : Var_store.variable;
+  input_dim : int;
+  cell_units : int;
+}
+
+let cell store ~name ~input_dim ~units =
+  let gates =
+    Var_store.get store ~init:Init.glorot_uniform ~name:(name ^ "/gates")
+      [| input_dim + units; 2 * units |]
+  in
+  let gates_bias =
+    Var_store.get store
+      ~init:(Init.constant 1.0) (* bias updates toward remembering *)
+      ~name:(name ^ "/gates_bias")
+      [| 2 * units |]
+  in
+  let candidate =
+    Var_store.get store ~init:Init.glorot_uniform ~name:(name ^ "/candidate")
+      [| input_dim + units; units |]
+  in
+  let candidate_bias =
+    Var_store.get store ~init:Init.zeros
+      ~name:(name ^ "/candidate_bias")
+      [| units |]
+  in
+  { gates; gates_bias; candidate; candidate_bias; input_dim; cell_units = units }
+
+let units c = c.cell_units
+
+let step c b ~x ~h =
+  let u = c.cell_units in
+  let zx = B.concat b ~axis:1 [ x; h ] in
+  let gates =
+    B.sigmoid b
+      (B.add b (B.matmul b zx c.gates.Var_store.read)
+         c.gates_bias.Var_store.read)
+  in
+  let update = B.slice b gates ~begin_:[| 0; 0 |] ~size:[| -1; u |] in
+  let reset = B.slice b gates ~begin_:[| 0; u |] ~size:[| -1; u |] in
+  let candidate_in = B.concat b ~axis:1 [ x; B.mul b reset h ] in
+  let candidate =
+    B.tanh b
+      (B.add b
+         (B.matmul b candidate_in c.candidate.Var_store.read)
+         c.candidate_bias.Var_store.read)
+  in
+  (* h' = z*h + (1-z)*candidate *)
+  B.add b (B.mul b update h)
+    (B.mul b (B.sub b (B.const_f b 1.0) update) candidate)
+
+let zero_state c b ~batch =
+  B.const b (Tensor.zeros Dtype.F32 [| batch; c.cell_units |])
+
+let unroll c b ~xs ~batch =
+  let h0 = zero_state c b ~batch in
+  let _, hs =
+    List.fold_left
+      (fun (h, acc) x ->
+        let h' = step c b ~x ~h in
+        (h', h' :: acc))
+      (h0, []) xs
+  in
+  List.rev hs

@@ -1,0 +1,19 @@
+(** Gated recurrent units — a second recurrent cell built purely from
+    graph primitives, demonstrating that new architectures need no
+    runtime changes (§2.1's extensibility requirement). *)
+
+module B = Octf.Builder
+
+type cell
+
+val cell : Var_store.t -> name:string -> input_dim:int -> units:int -> cell
+
+val step : cell -> B.t -> x:B.output -> h:B.output -> B.output
+(** One timestep: returns the next hidden state
+    ([batch × units]). *)
+
+val zero_state : cell -> B.t -> batch:int -> B.output
+
+val unroll : cell -> B.t -> xs:B.output list -> batch:int -> B.output list
+
+val units : cell -> int

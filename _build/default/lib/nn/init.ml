@@ -1,0 +1,38 @@
+open Octf_tensor
+
+type t = Rng.t -> Shape.t -> Tensor.t
+
+let zeros _ shape = Tensor.zeros Dtype.F32 shape
+
+let ones _ shape = Tensor.ones Dtype.F32 shape
+
+let constant v _ shape = Tensor.full Dtype.F32 shape v
+
+let uniform ?(lo = -0.05) ?(hi = 0.05) () rng shape =
+  Tensor.uniform rng shape ~lo ~hi
+
+let normal ?(mean = 0.0) ?(stddev = 0.05) () rng shape =
+  Tensor.normal rng shape ~mean ~stddev
+
+let fans shape =
+  match Array.length shape with
+  | 0 -> (1.0, 1.0)
+  | 1 -> (float_of_int shape.(0), float_of_int shape.(0))
+  | 2 -> (float_of_int shape.(0), float_of_int shape.(1))
+  | _ ->
+      (* Conv HWIO: receptive field size times in/out channels. *)
+      let r = Array.length shape in
+      let receptive =
+        Array.fold_left ( * ) 1 (Array.sub shape 0 (r - 2))
+      in
+      ( float_of_int (receptive * shape.(r - 2)),
+        float_of_int (receptive * shape.(r - 1)) )
+
+let glorot_uniform rng shape =
+  let fan_in, fan_out = fans shape in
+  let limit = sqrt (6.0 /. (fan_in +. fan_out)) in
+  Tensor.uniform rng shape ~lo:(-.limit) ~hi:limit
+
+let he_normal rng shape =
+  let fan_in, _ = fans shape in
+  Tensor.normal rng shape ~mean:0.0 ~stddev:(sqrt (2.0 /. fan_in))

@@ -1,0 +1,27 @@
+(** Parameter initializers.
+
+    An initializer produces the initial tensor for a variable of a given
+    shape, drawing from an explicit PRNG stream so model setup is
+    reproducible. *)
+
+open Octf_tensor
+
+type t = Rng.t -> Shape.t -> Tensor.t
+
+val zeros : t
+
+val ones : t
+
+val constant : float -> t
+
+val uniform : ?lo:float -> ?hi:float -> unit -> t
+
+val normal : ?mean:float -> ?stddev:float -> unit -> t
+
+val glorot_uniform : t
+(** Uniform in ±sqrt(6 / (fan_in + fan_out)); fans derived from the
+    shape (dense: [in; out]; conv HWIO: receptive field × channels). *)
+
+val he_normal : t
+(** Normal with stddev sqrt(2 / fan_in), the standard pairing for ReLU
+    stacks. *)

@@ -1,0 +1,83 @@
+open Octf_tensor
+module B = Octf.Builder
+
+type activation = [ `Relu | `Sigmoid | `Tanh | `None ]
+
+let apply_activation b act x =
+  match act with
+  | `Relu -> B.relu b x
+  | `Sigmoid -> B.sigmoid b x
+  | `Tanh -> B.tanh b x
+  | `None -> x
+
+let dense store ?(activation = `None) ?(init = Init.glorot_uniform) ~name
+    ~in_dim ~out_dim x =
+  let b = Var_store.builder store in
+  let w = Var_store.get store ~init ~name:(name ^ "/w") [| in_dim; out_dim |] in
+  let bias =
+    Var_store.get store ~init:Init.zeros ~name:(name ^ "/b") [| out_dim |]
+  in
+  let z = B.add b (B.matmul b x w.Var_store.read) bias.Var_store.read in
+  apply_activation b activation z
+
+let conv2d store ?(activation = `None) ?(strides = (1, 1)) ?(padding = `Same)
+    ~name ~in_channels ~out_channels ~ksize x =
+  let b = Var_store.builder store in
+  let kh, kw = ksize in
+  let filter =
+    Var_store.get store ~init:Init.he_normal ~name:(name ^ "/filter")
+      [| kh; kw; in_channels; out_channels |]
+  in
+  let bias =
+    Var_store.get store ~init:Init.zeros ~name:(name ^ "/b")
+      [| out_channels |]
+  in
+  let z =
+    B.add b
+      (B.conv2d b ~strides ~padding x filter.Var_store.read)
+      bias.Var_store.read
+  in
+  apply_activation b activation z
+
+let max_pool2d b ?strides ~ksize x =
+  let strides = Option.value ~default:ksize strides in
+  B.max_pool b ~ksize ~strides ~padding:`Valid x
+
+let avg_pool2d b ?strides ~ksize x =
+  let strides = Option.value ~default:ksize strides in
+  B.avg_pool b ~ksize ~strides ~padding:`Valid x
+
+let flatten b ~features x = B.reshape b x [| -1; features |]
+
+let dropout store ~rate ~shape x =
+  let b = Var_store.builder store in
+  if rate <= 0.0 then x
+  else begin
+    let keep = 1.0 -. rate in
+    let mask =
+      B.cast b
+        (B.less b (B.random_uniform b ~lo:0.0 ~hi:1.0 shape)
+           (B.const_f b keep))
+        Dtype.F32
+    in
+    (* Inverted dropout keeps activations' expected scale. *)
+    B.div b (B.mul b x mask) (B.const_f b keep)
+  end
+
+let batch_norm store ~name ~dim x =
+  let b = Var_store.builder store in
+  let gamma =
+    Var_store.get store ~init:Init.ones ~name:(name ^ "/gamma") [| dim |]
+  in
+  let beta =
+    Var_store.get store ~init:Init.zeros ~name:(name ^ "/beta") [| dim |]
+  in
+  let mean = B.reduce_mean b ~axes:[ 0 ] ~keep_dims:true x in
+  let centered = B.sub b x mean in
+  let variance =
+    B.reduce_mean b ~axes:[ 0 ] ~keep_dims:true (B.square b centered)
+  in
+  let normalized =
+    B.div b centered (B.sqrt b (B.add b variance (B.const_f b 1e-5)))
+  in
+  B.add b (B.mul b normalized gamma.Var_store.read) beta.Var_store.read

@@ -1,0 +1,54 @@
+(** Neural-network layers as unprivileged graph compositions (§4, §5).
+
+    Each layer is a few primitive operations plus variables from a
+    {!Var_store}; nothing here touches the runtime. *)
+
+module B = Octf.Builder
+
+type activation = [ `Relu | `Sigmoid | `Tanh | `None ]
+
+val apply_activation : B.t -> activation -> B.output -> B.output
+
+val dense :
+  Var_store.t ->
+  ?activation:activation ->
+  ?init:Init.t ->
+  name:string ->
+  in_dim:int ->
+  out_dim:int ->
+  B.output ->
+  B.output
+(** Fully connected layer: activation(x·W + b). *)
+
+val conv2d :
+  Var_store.t ->
+  ?activation:activation ->
+  ?strides:int * int ->
+  ?padding:[ `Same | `Valid ] ->
+  name:string ->
+  in_channels:int ->
+  out_channels:int ->
+  ksize:int * int ->
+  B.output ->
+  B.output
+(** NHWC convolution with bias and optional activation. *)
+
+val max_pool2d :
+  B.t -> ?strides:int * int -> ksize:int * int -> B.output -> B.output
+
+val avg_pool2d :
+  B.t -> ?strides:int * int -> ksize:int * int -> B.output -> B.output
+
+val flatten : B.t -> features:int -> B.output -> B.output
+(** Collapse all non-batch axes to a known feature count:
+    [batch; ...] -> [batch; features]. *)
+
+val dropout :
+  Var_store.t -> rate:float -> shape:Octf_tensor.Shape.t -> B.output -> B.output
+(** Inverted dropout with a fresh random mask per step. The mask shape is
+    static ([shape] = the activations' shape). *)
+
+val batch_norm :
+  Var_store.t -> name:string -> dim:int -> B.output -> B.output
+(** Per-feature batch normalization over axis 0 with learned scale and
+    shift — the §4.1 example of a user-implemented optimization. *)

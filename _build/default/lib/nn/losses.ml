@@ -1,0 +1,21 @@
+open Octf_tensor
+module B = Octf.Builder
+
+let mse b ~predictions ~targets =
+  B.reduce_mean b (B.square b (B.sub b predictions targets))
+
+let softmax_cross_entropy_mean b ~logits ~labels =
+  let loss, _backprop = B.softmax_cross_entropy b ~logits ~labels () in
+  B.reduce_mean b loss
+
+let sparse_softmax_cross_entropy_mean b ~num_classes ~logits ~labels =
+  let one_hot = B.one_hot b labels ~depth:num_classes in
+  softmax_cross_entropy_mean b ~logits ~labels:one_hot
+
+let accuracy b ~logits ~labels =
+  let predicted = B.argmax b logits ~axis:1 in
+  let correct =
+    B.cast b (B.equal b (B.cast b predicted Dtype.F32) (B.cast b labels Dtype.F32))
+      Dtype.F32
+  in
+  B.reduce_mean b correct

@@ -1,0 +1,19 @@
+(** Loss functions and evaluation metrics. *)
+
+module B = Octf.Builder
+
+val mse : B.t -> predictions:B.output -> targets:B.output -> B.output
+(** Mean squared error (scalar). *)
+
+val softmax_cross_entropy_mean :
+  B.t -> logits:B.output -> labels:B.output -> B.output
+(** Mean per-example softmax cross entropy; [labels] is a distribution
+    (e.g. one-hot) per row. Uses the fused kernel so the backward pass
+    reuses the cached softmax (§5). *)
+
+val sparse_softmax_cross_entropy_mean :
+  B.t -> num_classes:int -> logits:B.output -> labels:B.output -> B.output
+(** As above with integer class-id labels. *)
+
+val accuracy : B.t -> logits:B.output -> labels:B.output -> B.output
+(** Fraction of rows whose argmax matches the integer label. *)

@@ -1,0 +1,68 @@
+open Octf_tensor
+module B = Octf.Builder
+
+type cell = {
+  kernel : Var_store.variable;
+  bias : Var_store.variable;
+  input_dim : int;
+  cell_units : int;
+  store : Var_store.t;
+}
+
+let forget_bias_init units rng shape =
+  (* Gates order: i, f, g, o. Forget gate biased to 1 keeps early
+     gradients alive. *)
+  ignore rng;
+  let t = Tensor.zeros Dtype.F32 shape in
+  for j = units to (2 * units) - 1 do
+    Tensor.flat_set_f t j 1.0
+  done;
+  t
+
+let cell store ~name ~input_dim ~units =
+  let kernel =
+    Var_store.get store ~init:Init.glorot_uniform ~name:(name ^ "/kernel")
+      [| input_dim + units; 4 * units |]
+  in
+  let bias =
+    Var_store.get store
+      ~init:(forget_bias_init units)
+      ~name:(name ^ "/bias")
+      [| 4 * units |]
+  in
+  { kernel; bias; input_dim; cell_units = units; store }
+
+let units c = c.cell_units
+
+let gate b z ~units ~index =
+  B.slice b z ~begin_:[| 0; index * units |] ~size:[| -1; units |]
+
+let step cell b ~x ~h ~c =
+  let u = cell.cell_units in
+  let zx = B.concat b ~axis:1 [ x; h ] in
+  let z =
+    B.add b (B.matmul b zx cell.kernel.Var_store.read)
+      cell.bias.Var_store.read
+  in
+  let i = B.sigmoid b (gate b z ~units:u ~index:0) in
+  let f = B.sigmoid b (gate b z ~units:u ~index:1) in
+  let g = B.tanh b (gate b z ~units:u ~index:2) in
+  let o = B.sigmoid b (gate b z ~units:u ~index:3) in
+  let c' = B.add b (B.mul b f c) (B.mul b i g) in
+  let h' = B.mul b o (B.tanh b c') in
+  (h', c')
+
+let zero_state cell b ~batch =
+  let zeros = B.const b (Tensor.zeros Dtype.F32 [| batch; cell.cell_units |]) in
+  (zeros, B.identity b zeros)
+
+let unroll cell b ~xs ~batch =
+  let h0, c0 = zero_state cell b ~batch in
+  let _, _, hs =
+    List.fold_left
+      (fun (h, c, acc) x ->
+        let h', c' = step cell b ~x ~h ~c in
+        (h', c', h' :: acc))
+      (h0, c0, []) xs
+  in
+  List.rev hs

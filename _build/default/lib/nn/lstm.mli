@@ -1,0 +1,30 @@
+(** LSTM cells and statically unrolled recurrent networks (§6.4).
+
+    The language-modeling experiment trains an LSTM-512-512; as in the
+    TensorFlow models of the time, the recurrence is unrolled statically
+    into the dataflow graph (one cell instantiation per time step,
+    sharing the same weight variables). *)
+
+module B = Octf.Builder
+
+type cell
+
+val cell :
+  Var_store.t -> name:string -> input_dim:int -> units:int -> cell
+(** A standard LSTM cell: one [in+u × 4u] kernel and a [4u] bias, with
+    forget-gate bias initialized to 1. *)
+
+val step :
+  cell -> B.t -> x:B.output -> h:B.output -> c:B.output ->
+  B.output * B.output
+(** One timestep: returns [(h', c')]. [x] is [batch × input_dim], [h]/[c]
+    are [batch × units]. *)
+
+val zero_state : cell -> B.t -> batch:int -> B.output * B.output
+
+val unroll :
+  cell -> B.t -> xs:B.output list -> batch:int -> B.output list
+(** Run the cell over a sequence from the zero state; returns the hidden
+    state after each step. *)
+
+val units : cell -> int

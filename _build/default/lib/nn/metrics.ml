@@ -1,0 +1,36 @@
+open Octf_tensor
+
+let top_k_accuracy ~logits ~labels ~k =
+  let s = Tensor.shape logits in
+  if Shape.rank s <> 2 then invalid_arg "Metrics.top_k_accuracy: 2-D logits";
+  let n = s.(0) and d = s.(1) in
+  if Tensor.numel labels <> n then
+    invalid_arg "Metrics.top_k_accuracy: label count mismatch";
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    let label = Tensor.flat_get_i labels i in
+    let target = Tensor.get_f logits [| i; label |] in
+    (* Rank of the true class = number of strictly larger logits. *)
+    let above = ref 0 in
+    for j = 0 to d - 1 do
+      if Tensor.get_f logits [| i; j |] > target then incr above
+    done;
+    if !above < k then incr hits
+  done;
+  float_of_int !hits /. float_of_int n
+
+let confusion_matrix ~predictions ~labels ~classes =
+  let n = Tensor.numel labels in
+  if Tensor.numel predictions <> n then
+    invalid_arg "Metrics.confusion_matrix: length mismatch";
+  let m = Array.make_matrix classes classes 0 in
+  for i = 0 to n - 1 do
+    let truth = Tensor.flat_get_i labels i in
+    let pred = Tensor.flat_get_i predictions i in
+    if truth < 0 || truth >= classes || pred < 0 || pred >= classes then
+      invalid_arg "Metrics.confusion_matrix: class id out of range";
+    m.(truth).(pred) <- m.(truth).(pred) + 1
+  done;
+  m
+
+let perplexity ~mean_cross_entropy = Stdlib.exp mean_cross_entropy

@@ -1,0 +1,16 @@
+(** Host-side evaluation metrics over fetched tensors.
+
+    These operate on the tensors a session returns (not graph outputs),
+    matching how evaluation loops consume fetches. *)
+
+open Octf_tensor
+
+val top_k_accuracy : logits:Tensor.t -> labels:Tensor.t -> k:int -> float
+(** Fraction of rows whose true label is among the [k] largest logits. *)
+
+val confusion_matrix :
+  predictions:Tensor.t -> labels:Tensor.t -> classes:int -> int array array
+(** [m.(truth).(predicted)] counts. *)
+
+val perplexity : mean_cross_entropy:float -> float
+(** [exp loss] — the language-modeling metric of §6.4. *)

@@ -1,0 +1,26 @@
+module B = Octf.Builder
+
+let full_softmax_loss b ~weights ~hidden ~labels ~num_classes =
+  let logits = B.matmul b hidden weights ~transpose_b:true in
+  Losses.sparse_softmax_cross_entropy_mean b ~num_classes ~logits ~labels
+
+let sampled_softmax_loss b ~weights ~hidden ~labels ~num_sampled ~num_classes =
+  (* True-class logits: rows of W for each label, dotted with the
+     example's hidden state. *)
+  let true_w = B.gather b weights labels in
+  let true_logits =
+    B.reduce_sum b ~axes:[ 1 ] ~keep_dims:true (B.mul b hidden true_w)
+  in
+  (* Shared negative sample for the whole batch. *)
+  let sampled = B.random_indices b ~n:num_sampled ~range:num_classes () in
+  let sampled_w = B.gather b weights sampled in
+  let sampled_logits = B.matmul b hidden sampled_w ~transpose_b:true in
+  let logits = B.concat b ~axis:1 [ true_logits; sampled_logits ] in
+  (* The true class is column 0 of the reduced problem. Collisions
+     between the sample and a true label slightly perturb the loss, as
+     in the practical implementations the paper cites. *)
+  let zeros = B.mul b labels (B.const_i b 0) in
+  let labels01 = zeros in
+  let one_hot = B.one_hot b labels01 ~depth:(1 + num_sampled) in
+  let loss, _ = B.softmax_cross_entropy b ~logits ~labels:one_hot () in
+  B.reduce_mean b loss

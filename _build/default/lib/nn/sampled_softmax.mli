@@ -1,0 +1,33 @@
+(** Sampled softmax for very large output vocabularies (§4.2, §6.4).
+
+    A full softmax over vocabulary [V] multiplies each output state by a
+    [d × V] weight matrix — for a language model, gigabytes of parameters
+    and the dominant training cost. Sampled softmax instead multiplies by
+    a sparse random matrix containing weights for each example's true
+    class plus a shared random sample of [s] false classes, cutting
+    softmax data transfer and compute by a factor of about [V / s] (the
+    paper reports 78× for V = 40,000, s = 512). *)
+
+module B = Octf.Builder
+
+val full_softmax_loss :
+  B.t ->
+  weights:B.output ->
+  hidden:B.output ->
+  labels:B.output ->
+  num_classes:int ->
+  B.output
+(** Baseline: mean cross entropy of [hidden · weightsᵀ] over all classes.
+    [weights] is [V × d], [hidden] is [b × d], [labels] are int ids. *)
+
+val sampled_softmax_loss :
+  B.t ->
+  weights:B.output ->
+  hidden:B.output ->
+  labels:B.output ->
+  num_sampled:int ->
+  num_classes:int ->
+  B.output
+(** Mean cross entropy over each example's true class and [num_sampled]
+    shared random negatives. Gradients reach [weights] through [Gather],
+    i.e. sparsely. *)

@@ -1,0 +1,48 @@
+open Octf_tensor
+module B = Octf.Builder
+
+type variable = {
+  name : string;
+  handle : B.output;
+  read : B.output;
+  shape : Shape.t;
+  trainable : bool;
+}
+
+type t = {
+  b : B.t;
+  rng : Rng.t;
+  mutable vars : variable list;  (* reverse creation order *)
+  mutable inits : B.output list;
+  table : (string, variable) Hashtbl.t;
+}
+
+let create ?(seed = 7) b =
+  { b; rng = Rng.create seed; vars = []; inits = []; table = Hashtbl.create 16 }
+
+let builder t = t.b
+
+let get t ?device ?(trainable = true) ?(init = Init.glorot_uniform) ~name
+    shape =
+  match Hashtbl.find_opt t.table name with
+  | Some v -> v
+  | None ->
+      let handle =
+        B.variable t.b ~name ?device ~dtype:Dtype.F32 ~shape ()
+      in
+      let initial = init t.rng shape in
+      let init_assign =
+        B.assign t.b ~name:(name ^ "/init") handle (B.const t.b initial)
+      in
+      let read = B.read t.b ~name:(name ^ "/read") handle in
+      let v = { name; handle; read; shape; trainable } in
+      Hashtbl.replace t.table name v;
+      t.vars <- v :: t.vars;
+      t.inits <- init_assign :: t.inits;
+      v
+
+let init_op t = B.group t.b ~name:"init_all_variables" t.inits
+
+let all t = List.rev t.vars
+
+let trainable t = List.filter (fun v -> v.trainable) (all t)

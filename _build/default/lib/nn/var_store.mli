@@ -1,0 +1,44 @@
+(** Model parameter bookkeeping.
+
+    A var store creates [Variable] nodes with deterministic initial
+    values, records the (variable handle, read output, initializer) for
+    each, and produces a single initialization target — the moral
+    equivalent of [tf.global_variables_initializer]. Optimizers
+    ({!Octf_train.Optimizer}) and the checkpoint helper
+    ({!Octf_train.Saver}) consume its listing. *)
+
+open Octf_tensor
+module B = Octf.Builder
+
+type variable = {
+  name : string;
+  handle : B.output;  (** the Variable node's reference handle *)
+  read : B.output;  (** a Read of the variable *)
+  shape : Shape.t;
+  trainable : bool;
+}
+
+type t
+
+val create : ?seed:int -> B.t -> t
+
+val builder : t -> B.t
+
+val get :
+  t ->
+  ?device:string ->
+  ?trainable:bool ->
+  ?init:Init.t ->
+  name:string ->
+  Shape.t ->
+  variable
+(** Create (or return the previously created) variable. The initializer
+    runs when the {!init_op} target is executed. *)
+
+val init_op : t -> B.output
+(** A target that assigns every variable its initial value. *)
+
+val all : t -> variable list
+(** Creation order. *)
+
+val trainable : t -> variable list

@@ -1,0 +1,1 @@
+lib/sim/replica_sim.ml: Array Event_queue List Netmodel Octf_models Octf_tensor Rng Stats

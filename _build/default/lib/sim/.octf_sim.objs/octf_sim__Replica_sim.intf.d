@@ -1,0 +1,1 @@
+lib/sim/replica_sim.mli: Netmodel Octf_models Stats

@@ -1,0 +1,67 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable count : int;
+  mutable next_seq : int;
+}
+
+let dummy payload = { time = 0.0; seq = 0; payload }
+
+let create () = { heap = [||]; count = 0; next_seq = 0 }
+
+let is_empty t = t.count = 0
+
+let size t = t.count
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.count && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.count && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  let cap = Array.length t.heap in
+  if t.count >= cap then begin
+    let ncap = max 16 (cap * 2) in
+    let fresh = Array.make ncap (dummy payload) in
+    Array.blit t.heap 0 fresh 0 t.count;
+    t.heap <- fresh
+  end;
+  t.heap.(t.count) <- entry;
+  t.count <- t.count + 1;
+  sift_up t (t.count - 1)
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.count <- t.count - 1;
+    if t.count > 0 then begin
+      t.heap.(0) <- t.heap.(t.count);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end

@@ -1,0 +1,16 @@
+(** A minimal binary min-heap keyed by time, for the discrete-event
+    simulator: events must be dequeued in nondecreasing time order so
+    resource lanes serve requests in arrival order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event; ties break by insertion order. *)

@@ -1,0 +1,29 @@
+type lane = { mutable free : float }
+
+let lane () = { free = 0.0 }
+
+let reset l = l.free <- 0.0
+
+let busy_until l = l.free
+
+let occupy l ~now ~duration =
+  let start = Float.max now l.free in
+  l.free <- start +. duration;
+  l.free
+
+type params = {
+  bandwidth : float;
+  latency : float;
+  per_transfer : float;
+}
+
+let default_params =
+  { bandwidth = 1.6e9; latency = 2.5e-4; per_transfer = 3.0e-5 }
+
+let transfer p ~src_out ~dst_in ~now ~bytes =
+  (* Cut-through: the transfer occupies both lanes for its wire time;
+     when neither lane is contended the transfer is fully pipelined. *)
+  let service = (bytes /. p.bandwidth) +. p.per_transfer in
+  let src_done = occupy src_out ~now ~duration:service in
+  let dst_done = occupy dst_in ~now ~duration:service in
+  Float.max src_done dst_done +. p.latency

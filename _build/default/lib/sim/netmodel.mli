@@ -1,0 +1,35 @@
+(** Network and compute resources of the simulated shared cluster
+    (DESIGN.md, substitution 2).
+
+    Each node has a full-duplex NIC modelled as two serial lanes (in and
+    out); a transfer occupies the source's out-lane and the destination's
+    in-lane for [bytes / bandwidth + per_transfer] seconds, and delivery
+    additionally pays a propagation latency. Serialization at the
+    parameter-server NICs under many concurrent workers is exactly the
+    contention the paper identifies as the limit to scaling (§6.2–6.3).
+    Compute units use the same serial-lane abstraction. *)
+
+type lane
+
+val lane : unit -> lane
+
+val reset : lane -> unit
+
+val busy_until : lane -> float
+
+(** Occupy a lane starting no earlier than [now]; returns completion. *)
+val occupy : lane -> now:float -> duration:float -> float
+
+type params = {
+  bandwidth : float;  (** bytes/s per lane *)
+  latency : float;  (** propagation delay per transfer *)
+  per_transfer : float;  (** fixed NIC service cost per transfer *)
+}
+
+val default_params : params
+(** Calibrated to the paper's cluster-class interconnect: ≈1.6 GB/s per
+    NIC lane, 250 µs latency, 30 µs per-transfer service. *)
+
+val transfer :
+  params -> src_out:lane -> dst_in:lane -> now:float -> bytes:float -> float
+(** Completion (delivery) time of one transfer. *)

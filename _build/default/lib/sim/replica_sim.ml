@@ -1,0 +1,238 @@
+open Octf_tensor
+module W = Octf_models.Workload
+
+type coordination = Async | Sync of { backup : int }
+
+type config = {
+  workload : W.t;
+  num_workers : int;
+  num_ps : int;
+  coordination : coordination;
+  worker_flops_rate : float;
+  ps_flops_rate : float;
+  net : Netmodel.params;
+  straggler_sigma : float;
+  heavy_tail_prob : float;
+  heavy_tail_scale : float;
+  sync_overhead : float;
+  step_overhead : float;
+  seed : int;
+}
+
+let default ~workload =
+  {
+    workload;
+    num_workers = 1;
+    num_ps = 16;
+    coordination = Async;
+    worker_flops_rate = 5.5e11;
+    ps_flops_rate = 3.0e11;
+    net = Netmodel.default_params;
+    straggler_sigma = 0.08;
+    heavy_tail_prob = 0.035;
+    heavy_tail_scale = 0.7;
+    sync_overhead = 1.0e-3;
+    step_overhead = 5.0e-4;
+    seed = 1;
+  }
+
+type result = {
+  step_times : float array;
+  summary : Stats.summary;
+  wall_time : float;
+  throughput : float;
+}
+
+type cluster = {
+  ps_in : Netmodel.lane array;
+  ps_out : Netmodel.lane array;
+  ps_cpu : Netmodel.lane array;
+  w_in : Netmodel.lane array;
+  w_out : Netmodel.lane array;
+}
+
+let make_cluster cfg =
+  {
+    ps_in = Array.init cfg.num_ps (fun _ -> Netmodel.lane ());
+    ps_out = Array.init cfg.num_ps (fun _ -> Netmodel.lane ());
+    ps_cpu = Array.init cfg.num_ps (fun _ -> Netmodel.lane ());
+    w_in = Array.init cfg.num_workers (fun _ -> Netmodel.lane ());
+    w_out = Array.init cfg.num_workers (fun _ -> Netmodel.lane ());
+  }
+
+let compute_noise cfg rng =
+  let base = Rng.lognormal rng ~mu:0.0 ~sigma:cfg.straggler_sigma in
+  if Rng.float rng 1.0 < cfg.heavy_tail_prob then
+    base *. (1.0 +. Rng.float rng cfg.heavy_tail_scale)
+  else base
+
+(* Right-skewed per-phase jitter of a shared production cluster: RPC
+   scheduling, interference from other jobs. *)
+let phase_jitter cfg rng =
+  Rng.exponential rng ~rate:(1.0 /. (0.6 *. cfg.step_overhead))
+
+(* A training step is simulated in three events so that lane requests are
+   issued in nondecreasing simulated time (the lanes serve in arrival
+   order): Fetch (pull shards), Compute (PS-offloaded softmax + worker
+   compute with straggler noise), Update (push shards and fold them in
+   at the PS). *)
+type phase = Fetch | Compute | Update
+
+type step_state = {
+  worker : int;
+  mutable phase : phase;
+  mutable start : float;  (* step start time *)
+}
+
+let do_fetch cfg cl ~worker ~now =
+  let shard = cfg.workload.W.fetch_bytes /. float_of_int cfg.num_ps in
+  let fetch_done = ref now in
+  for p = 0 to cfg.num_ps - 1 do
+    let t =
+      Netmodel.transfer cfg.net ~src_out:cl.ps_out.(p)
+        ~dst_in:cl.w_in.(worker) ~now ~bytes:shard
+    in
+    if t > !fetch_done then fetch_done := t
+  done;
+  !fetch_done
+
+let do_compute cfg cl rng ~now =
+  (* PS-colocated work (e.g. full-softmax shards, §6.4) runs first,
+     parallel over the PS tasks but contended across workers. *)
+  let ps_done = ref now in
+  if cfg.workload.W.ps_flops > 0.0 then begin
+    let per_ps =
+      cfg.workload.W.ps_flops /. float_of_int cfg.num_ps /. cfg.ps_flops_rate
+    in
+    for p = 0 to cfg.num_ps - 1 do
+      let t = Netmodel.occupy cl.ps_cpu.(p) ~now ~duration:per_ps in
+      if t > !ps_done then ps_done := t
+    done
+  end;
+  let compute =
+    cfg.workload.W.worker_flops /. cfg.worker_flops_rate
+    *. compute_noise cfg rng
+  in
+  !ps_done +. compute
+
+let do_update cfg cl rng ~worker ~now =
+  let shard = cfg.workload.W.update_bytes /. float_of_int cfg.num_ps in
+  let update_done = ref now in
+  for p = 0 to cfg.num_ps - 1 do
+    let t =
+      Netmodel.transfer cfg.net ~src_out:cl.w_out.(worker)
+        ~dst_in:cl.ps_in.(p) ~now ~bytes:shard
+    in
+    (* The += combiner folds the update into the shard's buffer. *)
+    let t =
+      Netmodel.occupy cl.ps_cpu.(p) ~now:t
+        ~duration:(shard /. cfg.workload.W.apply_bandwidth)
+    in
+    if t > !update_done then update_done := t
+  done;
+  !update_done +. cfg.step_overhead +. phase_jitter cfg rng
+
+(* Drive one worker's step through the event queue; calls [finished w
+   start_time end_time] when the step completes. *)
+let advance cfg cl rng events (st : step_state) ~now ~finished =
+  match st.phase with
+  | Fetch ->
+      let start = now +. phase_jitter cfg rng in
+      st.start <- now;
+      let fetch_done = do_fetch cfg cl ~worker:st.worker ~now:start in
+      st.phase <- Compute;
+      Event_queue.push events ~time:fetch_done st
+  | Compute ->
+      let cd = do_compute cfg cl rng ~now in
+      st.phase <- Update;
+      Event_queue.push events ~time:cd st
+  | Update ->
+      let ud = do_update cfg cl rng ~worker:st.worker ~now in
+      finished st ud
+
+let run_async cfg ~steps =
+  let cl = make_cluster cfg in
+  let rng = Rng.create cfg.seed in
+  let events = Event_queue.create () in
+  let remaining = Array.make cfg.num_workers steps in
+  let samples = ref [] in
+  let wall = ref 0.0 in
+  let total = ref 0 in
+  for w = 0 to cfg.num_workers - 1 do
+    Event_queue.push events ~time:0.0
+      { worker = w; phase = Fetch; start = 0.0 }
+  done;
+  let finished st end_time =
+    samples := (end_time -. st.start) :: !samples;
+    incr total;
+    if end_time > !wall then wall := end_time;
+    remaining.(st.worker) <- remaining.(st.worker) - 1;
+    if remaining.(st.worker) > 0 then begin
+      st.phase <- Fetch;
+      Event_queue.push events ~time:end_time st
+    end
+  in
+  let rec loop () =
+    match Event_queue.pop events with
+    | None -> ()
+    | Some (now, st) ->
+        advance cfg cl rng events st ~now ~finished;
+        loop ()
+  in
+  loop ();
+  let step_times = Array.of_list (List.rev !samples) in
+  let items = float_of_int !total *. cfg.workload.W.items_per_step in
+  {
+    step_times;
+    summary = Stats.summarize step_times;
+    wall_time = !wall;
+    throughput = (if !wall > 0.0 then items /. !wall else 0.0);
+  }
+
+let run_sync cfg ~steps ~backup =
+  let cl = make_cluster cfg in
+  let rng = Rng.create cfg.seed in
+  let n = cfg.num_workers in
+  let m = n - backup in
+  if m <= 0 then invalid_arg "Replica_sim: more backup workers than workers";
+  let samples = Array.make steps 0.0 in
+  let t = ref 0.0 in
+  let items = ref 0.0 in
+  for step = 0 to steps - 1 do
+    let start = !t +. cfg.sync_overhead in
+    let events = Event_queue.create () in
+    for w = 0 to n - 1 do
+      Event_queue.push events ~time:start
+        { worker = w; phase = Fetch; start }
+    done;
+    let finishes = ref [] in
+    let finished _st end_time = finishes := end_time :: !finishes in
+    let rec loop () =
+      match Event_queue.pop events with
+      | None -> ()
+      | Some (now, st) ->
+          advance cfg cl rng events st ~now ~finished;
+          loop ()
+    in
+    loop ();
+    let sorted = Array.of_list !finishes in
+    Array.sort compare sorted;
+    (* The round applies the first m of n gradients (Figure 4c);
+       stragglers' transfers keep their lane reservations, the extra
+       load the paper attributes to a non-straggler 51st worker. *)
+    let round_end = sorted.(m - 1) in
+    samples.(step) <- round_end -. !t;
+    items := !items +. (float_of_int m *. cfg.workload.W.items_per_step);
+    t := round_end
+  done;
+  {
+    step_times = samples;
+    summary = Stats.summarize samples;
+    wall_time = !t;
+    throughput = (if !t > 0.0 then !items /. !t else 0.0);
+  }
+
+let run cfg ~steps =
+  match cfg.coordination with
+  | Async -> run_async cfg ~steps
+  | Sync { backup } -> run_sync cfg ~steps ~backup

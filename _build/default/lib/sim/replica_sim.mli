@@ -1,0 +1,50 @@
+(** The shared-cluster training simulator behind Figures 6–9 (DESIGN.md,
+    substitution 2).
+
+    One simulated training step per worker: fetch the model shards from
+    the PS tasks (through contended NICs), run any PS-colocated
+    computation (softmax offload, §6.4), compute on the worker (with
+    lognormal noise and an occasional heavy-tail pause — the shared
+    production cluster's stragglers), then push updates back. Replica
+    coordination follows §4.4: asynchronous free-running workers,
+    a full synchronous barrier, or an m-of-n barrier with backup
+    workers. *)
+
+type coordination =
+  | Async
+  | Sync of { backup : int }
+      (** [backup = 0] is the plain barrier of Figure 4(b); [backup = b]
+          runs [n] workers but each round aggregates the first
+          [n - b]. *)
+
+type config = {
+  workload : Octf_models.Workload.t;
+  num_workers : int;
+  num_ps : int;
+  coordination : coordination;
+  worker_flops_rate : float;  (** sustained FLOP/s per worker device *)
+  ps_flops_rate : float;  (** sustained FLOP/s per PS task *)
+  net : Netmodel.params;
+  straggler_sigma : float;  (** lognormal sigma on worker compute *)
+  heavy_tail_prob : float;  (** chance of a long pause per step *)
+  heavy_tail_scale : float;  (** pause multiplier *)
+  sync_overhead : float;  (** per-round coordination cost (queues) *)
+  step_overhead : float;  (** fixed per-step client/runtime cost *)
+  seed : int;
+}
+
+val default : workload:Octf_models.Workload.t -> config
+(** Calibrated defaults: K40-class workers (≈0.55 TFLOP/s sustained for
+    2016-era cuDNN training), 8-core IvyBridge PS tasks (≈0.3 TFLOP/s),
+    16 PS, 1 worker, asynchronous. *)
+
+type result = {
+  step_times : float array;  (** seconds per applied step/round *)
+  summary : Stats.summary;
+  wall_time : float;
+  throughput : float;  (** workload items (images, words) per second *)
+}
+
+val run : config -> steps:int -> result
+(** Simulate [steps] rounds (synchronous) or [steps] steps per worker
+    (asynchronous). *)

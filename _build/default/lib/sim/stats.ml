@@ -1,0 +1,30 @@
+let percentile samples ~p =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median samples = percentile samples ~p:50.0
+
+let mean samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+
+type summary = { median : float; p10 : float; p90 : float; mean : float }
+
+let summarize samples =
+  {
+    median = median samples;
+    p10 = percentile samples ~p:10.0;
+    p90 = percentile samples ~p:90.0;
+    mean = mean samples;
+  }

@@ -1,0 +1,16 @@
+(** Percentiles and summaries for simulated step-time samples.
+
+    The paper plots medians with 10th/90th-percentile error bars
+    throughout §6. *)
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolated percentile of an unsorted sample, [p] in [0,100].
+    @raise Invalid_argument on an empty sample. *)
+
+val median : float array -> float
+
+val mean : float array -> float
+
+type summary = { median : float; p10 : float; p90 : float; mean : float }
+
+val summarize : float array -> summary

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Dtype Float Format List Printf Rng Shape String

@@ -1,0 +1,1 @@
+lib/tensor/tensor_ops.ml: Array Dtype Float List Printf Shape Stdlib Tensor

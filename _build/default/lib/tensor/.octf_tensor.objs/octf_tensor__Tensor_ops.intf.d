@@ -1,0 +1,1 @@
+lib/tensor/tensor_ops.mli: Shape Tensor

@@ -1,0 +1,36 @@
+type t = F32 | F64 | I32 | I64 | Bool | String
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | F32 -> "float32"
+  | F64 -> "float64"
+  | I32 -> "int32"
+  | I64 -> "int64"
+  | Bool -> "bool"
+  | String -> "string"
+
+let of_string = function
+  | "float32" -> F32
+  | "float64" -> F64
+  | "int32" -> I32
+  | "int64" -> I64
+  | "bool" -> Bool
+  | "string" -> String
+  | s -> invalid_arg ("Dtype.of_string: " ^ s)
+
+let is_floating = function
+  | F32 | F64 -> true
+  | I32 | I64 | Bool | String -> false
+
+let is_integer = function
+  | I32 | I64 -> true
+  | F32 | F64 | Bool | String -> false
+
+let byte_size = function
+  | F32 | I32 -> 4
+  | F64 | I64 -> 8
+  | Bool -> 1
+  | String -> 0
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,25 @@
+(** Element types for tensors.
+
+    The paper (§3.1) models all data as dense tensors whose elements have
+    one of a small number of primitive types. We support the types the
+    experiments need: 32/64-bit floats, 32/64-bit integers, booleans and
+    strings. Floats are stored in OCaml [float array]s (64-bit); [F32] is
+    a semantic tag that affects serialization width, not storage. *)
+
+type t = F32 | F64 | I32 | I64 | Bool | String
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of {!to_string}. @raise Invalid_argument on unknown names. *)
+
+val is_floating : t -> bool
+
+val is_integer : t -> bool
+
+val byte_size : t -> int
+(** Serialized width of one element in bytes; 0 for [String] (variable). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Drop two bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let unit_float t =
+  (* 53 uniform bits into [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let uniform t ~lo ~hi = lo +. (unit_float t *. (hi -. lo))
+
+let normal t ~mean ~stddev =
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~stddev:sigma)
+
+let exponential t ~rate =
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  (* Rejection sampling against the continuous envelope (Devroye). *)
+  let nf = float_of_int n in
+  let h x = if s = 1.0 then log x else (x ** (1.0 -. s) -. 1.0) /. (1.0 -. s) in
+  let h_inv y =
+    if s = 1.0 then exp y
+    else ((y *. (1.0 -. s)) +. 1.0) ** (1.0 /. (1.0 -. s))
+  in
+  let hmax = h (nf +. 0.5) and hmin = h 0.5 in
+  let rec draw () =
+    let u = uniform t ~lo:hmin ~hi:hmax in
+    let x = h_inv u in
+    let k = Float.round x in
+    let k = Float.max 1.0 (Float.min nf k) in
+    (* Accept with probability proportional to the pmf / envelope ratio. *)
+    if h (k +. 0.5) -. h (k -. 0.5) >= unit_float t *. (k ** -.s) then
+      int_of_float k - 1
+    else draw ()
+  in
+  draw ()
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t ~k ~n =
+  if k > n then invalid_arg "Rng.choose: k > n";
+  (* Floyd's algorithm: k distinct samples in O(k) expected time. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let j = n - k + i in
+    let r = int t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ();
+    out.(i) <- v
+  done;
+  out

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    A splitmix64 generator with explicit state, so every experiment in the
+    reproduction is seedable and repeatable. Used for parameter
+    initialization, synthetic datasets, sampled softmax and the
+    discrete-event simulator's noise distributions. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel streams). *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Gaussian via Box–Muller. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+
+val exponential : t -> rate:float -> float
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[0, n)] with exponent [s], via rejection
+    sampling; models word-frequency skew in language-model workloads. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> k:int -> n:int -> int array
+(** [choose t ~k ~n] samples [k] distinct indices from [\[0, n)].
+    @raise Invalid_argument if [k > n]. *)

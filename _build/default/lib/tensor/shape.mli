@@ -1,0 +1,54 @@
+(** Tensor shapes and the index algebra used throughout the runtime.
+
+    A shape is an array of non-negative dimension sizes in row-major
+    order; [[||]] is the shape of a scalar. *)
+
+type t = int array
+
+val scalar : t
+
+val equal : t -> t -> bool
+
+val rank : t -> int
+
+val numel : t -> int
+(** Number of elements: the product of all dimensions (1 for a scalar). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if any dimension is negative. *)
+
+val to_string : t -> string
+(** E.g. ["[2x3x4]"], ["[]"] for a scalar. *)
+
+val pp : Format.formatter -> t -> unit
+
+val strides : t -> int array
+(** Row-major strides: the flat-index step for each dimension. *)
+
+val flat_index : t -> int array -> int
+(** [flat_index shape idx] converts a multi-index to a flat offset.
+    @raise Invalid_argument if [idx] is out of bounds or has wrong rank. *)
+
+val multi_index : t -> int -> int array
+(** Inverse of {!flat_index}. *)
+
+val broadcast : t -> t -> t
+(** Numpy-style broadcast of two shapes.
+    @raise Invalid_argument if the shapes are incompatible. *)
+
+val broadcastable : t -> t -> bool
+
+val reduce : ?keep_dims:bool -> t -> int list -> t
+(** [reduce shape axes] is the shape after reducing over [axes]
+    (all axes when [axes = []]). Negative axes count from the end. *)
+
+val normalize_axis : t -> int -> int
+(** Resolve a possibly-negative axis against a shape's rank.
+    @raise Invalid_argument when out of range. *)
+
+val concat : t list -> axis:int -> t
+(** Shape of the concatenation of tensors with the given shapes.
+    @raise Invalid_argument on mismatched non-concat dimensions. *)
+
+val squeeze : t -> t
+(** Drop all dimensions equal to 1. *)

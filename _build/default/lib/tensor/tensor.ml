@@ -1,0 +1,293 @@
+type buffer =
+  | Float_buf of float array
+  | Int_buf of int array
+  | Bool_buf of bool array
+  | String_buf of string array
+
+type t = { dtype : Dtype.t; shape : Shape.t; buf : buffer }
+
+let buffer_length = function
+  | Float_buf a -> Array.length a
+  | Int_buf a -> Array.length a
+  | Bool_buf a -> Array.length a
+  | String_buf a -> Array.length a
+
+let buffer_matches dtype buf =
+  match (dtype, buf) with
+  | (Dtype.F32 | Dtype.F64), Float_buf _ -> true
+  | (Dtype.I32 | Dtype.I64), Int_buf _ -> true
+  | Dtype.Bool, Bool_buf _ -> true
+  | Dtype.String, String_buf _ -> true
+  | _ -> false
+
+let create dtype shape buf =
+  Shape.validate shape;
+  if not (buffer_matches dtype buf) then
+    invalid_arg "Tensor.create: buffer kind does not match dtype";
+  if buffer_length buf <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.create: buffer length %d does not match %s"
+         (buffer_length buf) (Shape.to_string shape));
+  { dtype; shape; buf }
+
+let alloc dtype shape =
+  let n = Shape.numel shape in
+  let buf =
+    match dtype with
+    | Dtype.F32 | Dtype.F64 -> Float_buf (Array.make n 0.0)
+    | Dtype.I32 | Dtype.I64 -> Int_buf (Array.make n 0)
+    | Dtype.Bool -> Bool_buf (Array.make n false)
+    | Dtype.String -> String_buf (Array.make n "")
+  in
+  create dtype shape buf
+
+let zeros dtype shape = alloc dtype shape
+
+let full dtype shape v =
+  let t = alloc dtype shape in
+  (match t.buf with
+  | Float_buf a -> Array.fill a 0 (Array.length a) v
+  | Int_buf a -> Array.fill a 0 (Array.length a) (int_of_float v)
+  | Bool_buf a -> Array.fill a 0 (Array.length a) (v <> 0.0)
+  | String_buf _ -> invalid_arg "Tensor.full: string tensor");
+  t
+
+let ones dtype shape = full dtype shape 1.0
+
+let scalar_f ?(dtype = Dtype.F32) v = create dtype [||] (Float_buf [| v |])
+
+let scalar_i ?(dtype = Dtype.I32) v = create dtype [||] (Int_buf [| v |])
+
+let scalar_b v = create Dtype.Bool [||] (Bool_buf [| v |])
+
+let scalar_s v = create Dtype.String [||] (String_buf [| v |])
+
+let of_float_array ?(dtype = Dtype.F32) shape a =
+  create dtype shape (Float_buf a)
+
+let of_int_array ?(dtype = Dtype.I32) shape a = create dtype shape (Int_buf a)
+
+let of_bool_array shape a = create Dtype.Bool shape (Bool_buf a)
+
+let of_string_array shape a = create Dtype.String shape (String_buf a)
+
+let init_f ?(dtype = Dtype.F32) shape f =
+  let n = Shape.numel shape in
+  let a = Array.init n (fun i -> f (Shape.multi_index shape i)) in
+  of_float_array ~dtype shape a
+
+let iota ?(dtype = Dtype.I32) n =
+  create dtype [| n |] (Int_buf (Array.init n (fun i -> i)))
+
+let uniform ?(dtype = Dtype.F32) rng shape ~lo ~hi =
+  let n = Shape.numel shape in
+  of_float_array ~dtype shape (Array.init n (fun _ -> Rng.uniform rng ~lo ~hi))
+
+let normal ?(dtype = Dtype.F32) rng shape ~mean ~stddev =
+  let n = Shape.numel shape in
+  of_float_array ~dtype shape
+    (Array.init n (fun _ -> Rng.normal rng ~mean ~stddev))
+
+let dtype t = t.dtype
+
+let shape t = t.shape
+
+let rank t = Shape.rank t.shape
+
+let numel t = Shape.numel t.shape
+
+let byte_size t = numel t * Dtype.byte_size t.dtype
+
+let float_buffer t =
+  match t.buf with
+  | Float_buf a -> a
+  | Int_buf _ | Bool_buf _ | String_buf _ ->
+      invalid_arg "Tensor.float_buffer: not a float tensor"
+
+let int_buffer t =
+  match t.buf with
+  | Int_buf a -> a
+  | Float_buf _ | Bool_buf _ | String_buf _ ->
+      invalid_arg "Tensor.int_buffer: not an int tensor"
+
+let bool_buffer t =
+  match t.buf with
+  | Bool_buf a -> a
+  | Float_buf _ | Int_buf _ | String_buf _ ->
+      invalid_arg "Tensor.bool_buffer: not a bool tensor"
+
+let string_buffer t =
+  match t.buf with
+  | String_buf a -> a
+  | Float_buf _ | Int_buf _ | Bool_buf _ ->
+      invalid_arg "Tensor.string_buffer: not a string tensor"
+
+let flat_get_f t i =
+  match t.buf with
+  | Float_buf a -> a.(i)
+  | Int_buf a -> float_of_int a.(i)
+  | Bool_buf a -> if a.(i) then 1.0 else 0.0
+  | String_buf _ -> invalid_arg "Tensor.flat_get_f: string tensor"
+
+let flat_get_i t i =
+  match t.buf with
+  | Int_buf a -> a.(i)
+  | Float_buf a -> int_of_float a.(i)
+  | Bool_buf a -> if a.(i) then 1 else 0
+  | String_buf _ -> invalid_arg "Tensor.flat_get_i: string tensor"
+
+let flat_set_f t i v =
+  match t.buf with
+  | Float_buf a -> a.(i) <- v
+  | Int_buf a -> a.(i) <- int_of_float v
+  | Bool_buf a -> a.(i) <- v <> 0.0
+  | String_buf _ -> invalid_arg "Tensor.flat_set_f: string tensor"
+
+let flat_set_i t i v =
+  match t.buf with
+  | Int_buf a -> a.(i) <- v
+  | Float_buf a -> a.(i) <- float_of_int v
+  | Bool_buf a -> a.(i) <- v <> 0
+  | String_buf _ -> invalid_arg "Tensor.flat_set_i: string tensor"
+
+let get_f t idx = flat_get_f t (Shape.flat_index t.shape idx)
+
+let get_i t idx = flat_get_i t (Shape.flat_index t.shape idx)
+
+let get_s t idx = (string_buffer t).(Shape.flat_index t.shape idx)
+
+let to_float_array t = Array.init (numel t) (fun i -> flat_get_f t i)
+
+let to_int_array t = Array.init (numel t) (fun i -> flat_get_i t i)
+
+let copy t =
+  let buf =
+    match t.buf with
+    | Float_buf a -> Float_buf (Array.copy a)
+    | Int_buf a -> Int_buf (Array.copy a)
+    | Bool_buf a -> Bool_buf (Array.copy a)
+    | String_buf a -> String_buf (Array.copy a)
+  in
+  { t with buf }
+
+let reshape t new_shape =
+  let inferred =
+    let minus_ones = Array.to_list new_shape |> List.filter (fun d -> d = -1) in
+    match minus_ones with
+    | [] -> new_shape
+    | [ _ ] ->
+        let known =
+          Array.fold_left (fun acc d -> if d = -1 then acc else acc * d) 1
+            new_shape
+        in
+        if known = 0 || numel t mod known <> 0 then
+          invalid_arg "Tensor.reshape: cannot infer dimension";
+        Array.map (fun d -> if d = -1 then numel t / known else d) new_shape
+    | _ -> invalid_arg "Tensor.reshape: more than one -1 dimension"
+  in
+  if Shape.numel inferred <> numel t then
+    invalid_arg
+      (Printf.sprintf "Tensor.reshape: %s -> %s element count mismatch"
+         (Shape.to_string t.shape)
+         (Shape.to_string inferred));
+  { t with shape = inferred }
+
+let cast t new_dtype =
+  if Dtype.equal t.dtype new_dtype then copy t
+  else
+    match new_dtype with
+    | Dtype.F32 | Dtype.F64 ->
+        of_float_array ~dtype:new_dtype t.shape (to_float_array t)
+    | Dtype.I32 | Dtype.I64 ->
+        of_int_array ~dtype:new_dtype t.shape (to_int_array t)
+    | Dtype.Bool ->
+        of_bool_array t.shape
+          (Array.init (numel t) (fun i -> flat_get_f t i <> 0.0))
+    | Dtype.String -> invalid_arg "Tensor.cast: cannot cast to string"
+
+let map_f f t =
+  let a = float_buffer t in
+  { t with buf = Float_buf (Array.map f a) }
+
+(* Broadcast iteration: walk the output flat index, mapping it back into
+   each operand by clamping broadcast dimensions to 0. *)
+let broadcast_get t out_shape out_idx =
+  let r = Shape.rank out_shape and rt = rank t in
+  if Shape.equal t.shape out_shape then flat_get_f t out_idx
+  else
+    let midx = Shape.multi_index out_shape out_idx in
+    let tidx = Array.make rt 0 in
+    for i = 0 to rt - 1 do
+      let d = t.shape.(i) in
+      let v = midx.(i + (r - rt)) in
+      tidx.(i) <- (if d = 1 then 0 else v)
+    done;
+    get_f t tidx
+
+let map2_generic f a b =
+  let out_shape = Shape.broadcast a.shape b.shape in
+  let n = Shape.numel out_shape in
+  if Shape.equal a.shape b.shape then
+    (* Fast path without index arithmetic. *)
+    let out = Array.init n (fun i -> f (flat_get_f a i) (flat_get_f b i)) in
+    (out_shape, out)
+  else
+    let out =
+      Array.init n (fun i ->
+          f (broadcast_get a out_shape i) (broadcast_get b out_shape i))
+    in
+    (out_shape, out)
+
+let map2_f f a b =
+  if not (Dtype.equal a.dtype b.dtype) then
+    invalid_arg
+      (Printf.sprintf "Tensor.map2_f: dtype mismatch %s vs %s"
+         (Dtype.to_string a.dtype) (Dtype.to_string b.dtype));
+  let out_shape, out = map2_generic f a b in
+  if Dtype.is_floating a.dtype then of_float_array ~dtype:a.dtype out_shape out
+  else
+    of_int_array ~dtype:a.dtype out_shape (Array.map int_of_float out)
+
+let map2_cmp f a b =
+  let out_shape, out =
+    map2_generic (fun x y -> if f x y then 1.0 else 0.0) a b
+  in
+  of_bool_array out_shape (Array.map (fun v -> v <> 0.0) out)
+
+let fold_f f init t =
+  let acc = ref init in
+  for i = 0 to numel t - 1 do
+    acc := f !acc (flat_get_f t i)
+  done;
+  !acc
+
+let equal a b =
+  Dtype.equal a.dtype b.dtype && Shape.equal a.shape b.shape && a.buf = b.buf
+
+let approx_equal ?(tol = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let ok = ref true in
+  for i = 0 to numel a - 1 do
+    if Float.abs (flat_get_f a i -. flat_get_f b i) > tol then ok := false
+  done;
+  !ok
+
+let to_string t =
+  let n = numel t in
+  let max_show = 16 in
+  let elt i =
+    match t.buf with
+    | Float_buf a -> Printf.sprintf "%g" a.(i)
+    | Int_buf a -> string_of_int a.(i)
+    | Bool_buf a -> string_of_bool a.(i)
+    | String_buf a -> Printf.sprintf "%S" a.(i)
+  in
+  let shown = min n max_show in
+  let body = String.concat " " (List.init shown elt) in
+  let suffix = if n > max_show then " ..." else "" in
+  Printf.sprintf "%s%s(%s %s)" body suffix
+    (Dtype.to_string t.dtype)
+    (Shape.to_string t.shape)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,675 @@
+module T = Tensor
+
+let add = T.map2_f ( +. )
+
+let sub = T.map2_f ( -. )
+
+let mul = T.map2_f ( *. )
+
+let div = T.map2_f ( /. )
+
+let maximum = T.map2_f Float.max
+
+let minimum = T.map2_f Float.min
+
+let pow = T.map2_f ( ** )
+
+let modulo =
+  T.map2_f (fun a b -> float_of_int (int_of_float a mod int_of_float b))
+
+let neg = T.map_f (fun x -> -.x)
+
+let abs = T.map_f Float.abs
+
+let sign = T.map_f (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+
+let exp = T.map_f Stdlib.exp
+
+let log = T.map_f Stdlib.log
+
+let sqrt = T.map_f Stdlib.sqrt
+
+let square = T.map_f (fun x -> x *. x)
+
+let reciprocal = T.map_f (fun x -> 1.0 /. x)
+
+let relu = T.map_f (fun x -> Float.max 0.0 x)
+
+let relu_grad dy x = T.map2_f (fun g v -> if v > 0.0 then g else 0.0) dy x
+
+let sigmoid = T.map_f (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+
+let tanh = T.map_f Stdlib.tanh
+
+let equal = T.map2_cmp (fun a b -> a = b)
+
+let less = T.map2_cmp ( < )
+
+let greater = T.map2_cmp ( > )
+
+let greater_equal = T.map2_cmp ( >= )
+
+let select cond a b =
+  let out_shape = Shape.broadcast (Shape.broadcast (T.shape cond) (T.shape a)) (T.shape b) in
+  let a = if Shape.equal (T.shape a) out_shape then a else T.map2_f (fun x _ -> x) a (T.zeros (T.dtype a) out_shape) in
+  let b = if Shape.equal (T.shape b) out_shape then b else T.map2_f (fun x _ -> x) b (T.zeros (T.dtype b) out_shape) in
+  let cond = T.cast cond (T.dtype a) in
+  let cond = if Shape.equal (T.shape cond) out_shape then cond else T.map2_f (fun x _ -> x) cond (T.zeros (T.dtype a) out_shape) in
+  let n = Shape.numel out_shape in
+  let out = Array.init n (fun i ->
+      if T.flat_get_f cond i <> 0.0 then T.flat_get_f a i else T.flat_get_f b i)
+  in
+  T.of_float_array ~dtype:(T.dtype a) out_shape out
+
+let matmul ?(transpose_a = false) ?(transpose_b = false) a b =
+  if T.rank a <> 2 || T.rank b <> 2 then
+    invalid_arg "Tensor_ops.matmul: operands must be 2-D";
+  let sa = T.shape a and sb = T.shape b in
+  let m, k = if transpose_a then (sa.(1), sa.(0)) else (sa.(0), sa.(1)) in
+  let k2, n = if transpose_b then (sb.(1), sb.(0)) else (sb.(0), sb.(1)) in
+  if k <> k2 then
+    invalid_arg
+      (Printf.sprintf "Tensor_ops.matmul: inner dims %d vs %d" k k2);
+  let da = T.float_buffer a and db = T.float_buffer b in
+  let out = Array.make (m * n) 0.0 in
+  (* Cache-friendly i-k-j loop on the non-transposed fast path. *)
+  (if (not transpose_a) && not transpose_b then
+    for i = 0 to m - 1 do
+      for p = 0 to k - 1 do
+        let aip = da.((i * k) + p) in
+        if aip <> 0.0 then
+          let boff = p * n and ooff = i * n in
+          for j = 0 to n - 1 do
+            out.(ooff + j) <- out.(ooff + j) +. (aip *. db.(boff + j))
+          done
+      done
+    done
+  else
+    let get_a i p = if transpose_a then da.((p * m) + i) else da.((i * k) + p) in
+    let get_b p j = if transpose_b then db.((j * k) + p) else db.((p * n) + j) in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for p = 0 to k - 1 do
+          acc := !acc +. (get_a i p *. get_b p j)
+        done;
+        out.((i * n) + j) <- !acc
+      done
+    done);
+  T.of_float_array ~dtype:(T.dtype a) [| m; n |] out
+
+let transpose ?perm t =
+  let r = T.rank t in
+  let perm =
+    match perm with
+    | Some p -> p
+    | None -> Array.init r (fun i -> r - 1 - i)
+  in
+  if Array.length perm <> r then
+    invalid_arg "Tensor_ops.transpose: perm rank mismatch";
+  let in_shape = T.shape t in
+  let out_shape = Array.map (fun i -> in_shape.(i)) perm in
+  let n = T.numel t in
+  let out = T.zeros (T.dtype t) out_shape in
+  let in_strides = Shape.strides in_shape in
+  for o = 0 to n - 1 do
+    let oidx = Shape.multi_index out_shape o in
+    let iflat = ref 0 in
+    for d = 0 to r - 1 do
+      iflat := !iflat + (oidx.(d) * in_strides.(perm.(d)))
+    done;
+    T.flat_set_f out o (T.flat_get_f t !iflat)
+  done;
+  out
+
+let reduce_generic init combine finish ?(axes = []) ?(keep_dims = false) t =
+  let in_shape = T.shape t in
+  let out_shape = Shape.reduce ~keep_dims in_shape axes in
+  let r = Shape.rank in_shape in
+  let axes_n =
+    if axes = [] then List.init r (fun i -> i)
+    else List.map (Shape.normalize_axis in_shape) axes
+  in
+  let reduced = Array.make r false in
+  List.iter (fun a -> reduced.(a) <- true) axes_n;
+  let acc = Array.make (Shape.numel out_shape) init in
+  let counts = Array.make (Shape.numel out_shape) 0 in
+  (* Shape of the output with kept dims, used to compute the output slot
+     for every input element. *)
+  let kept_shape =
+    Array.of_list
+      (List.filteri (fun i _ -> not reduced.(i)) (Array.to_list in_shape))
+  in
+  let kept_strides = Shape.strides kept_shape in
+  for i = 0 to T.numel t - 1 do
+    let idx = Shape.multi_index in_shape i in
+    let o = ref 0 and ki = ref 0 in
+    for d = 0 to r - 1 do
+      if not reduced.(d) then begin
+        o := !o + (idx.(d) * kept_strides.(!ki));
+        incr ki
+      end
+    done;
+    acc.(!o) <- combine acc.(!o) (T.flat_get_f t i);
+    counts.(!o) <- counts.(!o) + 1
+  done;
+  let out = Array.mapi (fun i v -> finish v counts.(i)) acc in
+  T.of_float_array ~dtype:(T.dtype t) out_shape out
+
+let reduce_sum ?axes ?keep_dims t =
+  reduce_generic 0.0 ( +. ) (fun v _ -> v) ?axes ?keep_dims t
+
+let reduce_mean ?axes ?keep_dims t =
+  reduce_generic 0.0 ( +. )
+    (fun v c -> if c = 0 then 0.0 else v /. float_of_int c)
+    ?axes ?keep_dims t
+
+let reduce_max ?axes ?keep_dims t =
+  reduce_generic Float.neg_infinity Float.max (fun v _ -> v) ?axes ?keep_dims t
+
+let argmax t ~axis =
+  let in_shape = T.shape t in
+  let axis = Shape.normalize_axis in_shape axis in
+  let out_shape = Shape.reduce in_shape [ axis ] in
+  let out = T.zeros Dtype.I32 out_shape in
+  let best = Array.make (Shape.numel out_shape) Float.neg_infinity in
+  let r = Shape.rank in_shape in
+  let kept_shape = out_shape in
+  let kept_strides = Shape.strides kept_shape in
+  for i = 0 to T.numel t - 1 do
+    let idx = Shape.multi_index in_shape i in
+    let o = ref 0 and ki = ref 0 in
+    for d = 0 to r - 1 do
+      if d <> axis then begin
+        o := !o + (idx.(d) * kept_strides.(!ki));
+        incr ki
+      end
+    done;
+    let v = T.flat_get_f t i in
+    if v > best.(!o) then begin
+      best.(!o) <- v;
+      T.flat_set_i out !o idx.(axis)
+    end
+  done;
+  out
+
+let concat ts ~axis =
+  match ts with
+  | [] -> invalid_arg "Tensor_ops.concat: empty list"
+  | first :: _ ->
+      let shapes = List.map T.shape ts in
+      let out_shape = Shape.concat shapes ~axis in
+      let axis = Shape.normalize_axis (T.shape first) axis in
+      let out = T.zeros (T.dtype first) out_shape in
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          let s = T.shape t in
+          for i = 0 to T.numel t - 1 do
+            let idx = Shape.multi_index s i in
+            idx.(axis) <- idx.(axis) + !offset;
+            T.flat_set_f out (Shape.flat_index out_shape idx) (T.flat_get_f t i)
+          done;
+          offset := !offset + s.(axis))
+        ts;
+      out
+
+let slice t ~begin_ ~size =
+  let in_shape = T.shape t in
+  let r = Shape.rank in_shape in
+  if Array.length begin_ <> r || Array.length size <> r then
+    invalid_arg "Tensor_ops.slice: rank mismatch";
+  let out_shape =
+    Array.init r (fun i ->
+        let sz = if size.(i) = -1 then in_shape.(i) - begin_.(i) else size.(i) in
+        if begin_.(i) < 0 || begin_.(i) + sz > in_shape.(i) then
+          invalid_arg "Tensor_ops.slice: out of bounds";
+        sz)
+  in
+  let out = T.zeros (T.dtype t) out_shape in
+  for o = 0 to Shape.numel out_shape - 1 do
+    let oidx = Shape.multi_index out_shape o in
+    let iidx = Array.mapi (fun d v -> v + begin_.(d)) oidx in
+    T.flat_set_f out o (T.get_f t iidx)
+  done;
+  out
+
+let split t ~axis ~num =
+  let in_shape = T.shape t in
+  let axis = Shape.normalize_axis in_shape axis in
+  if in_shape.(axis) mod num <> 0 then
+    invalid_arg "Tensor_ops.split: axis not divisible";
+  let piece = in_shape.(axis) / num in
+  List.init num (fun i ->
+      let begin_ = Array.make (Shape.rank in_shape) 0 in
+      begin_.(axis) <- i * piece;
+      let size = Array.copy in_shape in
+      size.(axis) <- piece;
+      slice t ~begin_ ~size)
+
+let pad t ~paddings =
+  let in_shape = T.shape t in
+  let r = Shape.rank in_shape in
+  if Array.length paddings <> r then
+    invalid_arg "Tensor_ops.pad: rank mismatch";
+  let out_shape =
+    Array.init r (fun i ->
+        let before, after = paddings.(i) in
+        in_shape.(i) + before + after)
+  in
+  let out = T.zeros (T.dtype t) out_shape in
+  for i = 0 to T.numel t - 1 do
+    let idx = Shape.multi_index in_shape i in
+    let oidx = Array.mapi (fun d v -> v + fst paddings.(d)) idx in
+    T.flat_set_f out (Shape.flat_index out_shape oidx) (T.flat_get_f t i)
+  done;
+  out
+
+let tile t ~multiples =
+  let in_shape = T.shape t in
+  let r = Shape.rank in_shape in
+  if Array.length multiples <> r then
+    invalid_arg "Tensor_ops.tile: rank mismatch";
+  let out_shape = Array.init r (fun i -> in_shape.(i) * multiples.(i)) in
+  let out = T.zeros (T.dtype t) out_shape in
+  for o = 0 to Shape.numel out_shape - 1 do
+    let oidx = Shape.multi_index out_shape o in
+    let iidx = Array.mapi (fun d v -> v mod in_shape.(d)) oidx in
+    T.flat_set_f out o (T.get_f t iidx)
+  done;
+  out
+
+let broadcast_to t target =
+  let bshape = Shape.broadcast (T.shape t) target in
+  if not (Shape.equal bshape target) then
+    invalid_arg "Tensor_ops.broadcast_to: not broadcastable to target";
+  T.map2_f (fun x _ -> x) t (T.zeros (T.dtype t) target)
+
+let one_hot indices ~depth =
+  let in_shape = T.shape indices in
+  let out_shape = Array.append in_shape [| depth |] in
+  let out = T.zeros Dtype.F32 out_shape in
+  for i = 0 to T.numel indices - 1 do
+    let v = T.flat_get_i indices i in
+    if v >= 0 && v < depth then T.flat_set_f out ((i * depth) + v) 1.0
+  done;
+  out
+
+let row_size params =
+  let s = T.shape params in
+  if Shape.rank s < 1 then invalid_arg "Tensor_ops: params must have rank >= 1";
+  Shape.numel s / s.(0)
+
+let gather params indices =
+  let s = T.shape params in
+  let rs = row_size params in
+  let n = T.numel indices in
+  let out_shape =
+    Array.append (T.shape indices) (Array.sub s 1 (Shape.rank s - 1))
+  in
+  let out = T.zeros (T.dtype params) out_shape in
+  for i = 0 to n - 1 do
+    let row = T.flat_get_i indices i in
+    if row < 0 || row >= s.(0) then
+      invalid_arg
+        (Printf.sprintf "Tensor_ops.gather: index %d out of range [0,%d)" row
+           s.(0));
+    for j = 0 to rs - 1 do
+      T.flat_set_f out ((i * rs) + j) (T.flat_get_f params ((row * rs) + j))
+    done
+  done;
+  out
+
+let scatter_add acc indices updates =
+  let out = T.copy acc in
+  let rs = row_size acc in
+  let n = T.numel indices in
+  if T.numel updates <> n * rs then
+    invalid_arg "Tensor_ops.scatter_add: updates size mismatch";
+  for i = 0 to n - 1 do
+    let row = T.flat_get_i indices i in
+    if row < 0 || row >= (T.shape acc).(0) then
+      invalid_arg "Tensor_ops.scatter_add: index out of range";
+    for j = 0 to rs - 1 do
+      let o = (row * rs) + j in
+      T.flat_set_f out o (T.flat_get_f out o +. T.flat_get_f updates ((i * rs) + j))
+    done
+  done;
+  out
+
+let dynamic_partition data partitions ~num =
+  let s = T.shape data in
+  let nrows = if Shape.rank s = 0 then 1 else s.(0) in
+  if T.numel partitions <> nrows then
+    invalid_arg "Tensor_ops.dynamic_partition: partitions length mismatch";
+  let rs = row_size data in
+  let buckets = Array.make num [] in
+  for i = nrows - 1 downto 0 do
+    let p = T.flat_get_i partitions i in
+    if p < 0 || p >= num then
+      invalid_arg "Tensor_ops.dynamic_partition: partition id out of range";
+    buckets.(p) <- i :: buckets.(p)
+  done;
+  List.init num (fun p ->
+      let rows = buckets.(p) in
+      let count = List.length rows in
+      let out_shape =
+        if Shape.rank s = 0 then [| count |]
+        else Array.append [| count |] (Array.sub s 1 (Shape.rank s - 1))
+      in
+      let out = T.zeros (T.dtype data) out_shape in
+      List.iteri
+        (fun oi row ->
+          for j = 0 to rs - 1 do
+            T.flat_set_f out ((oi * rs) + j)
+              (T.flat_get_f data ((row * rs) + j))
+          done)
+        rows;
+      out)
+
+let dynamic_stitch indices data =
+  if List.length indices <> List.length data then
+    invalid_arg "Tensor_ops.dynamic_stitch: list length mismatch";
+  if indices = [] then invalid_arg "Tensor_ops.dynamic_stitch: empty";
+  let max_index =
+    List.fold_left
+      (fun acc idx -> T.fold_f (fun m v -> max m (int_of_float v)) acc idx)
+      (-1) indices
+  in
+  let nrows = max_index + 1 in
+  let sample = List.hd data in
+  (* Row size and tail shape come from any non-empty partition. *)
+  let pairs = List.combine indices data in
+  let nonempty = List.find_opt (fun (idx, _) -> T.numel idx > 0) pairs in
+  let rs =
+    match nonempty with
+    | Some (idx, d) -> T.numel d / T.numel idx
+    | None -> 1
+  in
+  let tail_shape =
+    match nonempty with
+    | Some (_, d) ->
+        let s = T.shape d in
+        if Shape.rank s <= 1 then [||] else Array.sub s 1 (Shape.rank s - 1)
+    | None -> [||]
+  in
+  let out_shape = Array.append [| nrows |] tail_shape in
+  let out = T.zeros (T.dtype sample) out_shape in
+  List.iter2
+    (fun idx d ->
+      for i = 0 to T.numel idx - 1 do
+        let row = T.flat_get_i idx i in
+        for j = 0 to rs - 1 do
+          T.flat_set_f out ((row * rs) + j) (T.flat_get_f d ((i * rs) + j))
+        done
+      done)
+    indices data;
+  out
+
+type padding = Same | Valid
+
+(* Output size and pad-before for one spatial dimension. *)
+let conv_dim ~padding ~in_size ~filter ~stride =
+  match padding with
+  | Valid ->
+      let out = ((in_size - filter) / stride) + 1 in
+      (out, 0)
+  | Same ->
+      let out = (in_size + stride - 1) / stride in
+      let pad_total = max 0 (((out - 1) * stride) + filter - in_size) in
+      (out, pad_total / 2)
+
+let conv2d input filter ~strides ~padding =
+  let is = T.shape input and fs = T.shape filter in
+  if Shape.rank is <> 4 || Shape.rank fs <> 4 then
+    invalid_arg "Tensor_ops.conv2d: input NHWC and filter HWIO required";
+  let batch = is.(0) and ih = is.(1) and iw = is.(2) and ic = is.(3) in
+  let fh = fs.(0) and fw = fs.(1) and fic = fs.(2) and oc = fs.(3) in
+  if ic <> fic then invalid_arg "Tensor_ops.conv2d: channel mismatch";
+  let sh, sw = strides in
+  let oh, ph = conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
+  let ow, pw = conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
+  let din = T.float_buffer input and dft = T.float_buffer filter in
+  let out = Array.make (batch * oh * ow * oc) 0.0 in
+  for b = 0 to batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        let obase = (((b * oh) + y) * ow + x) * oc in
+        for ky = 0 to fh - 1 do
+          let sy = (y * sh) + ky - ph in
+          if sy >= 0 && sy < ih then
+            for kx = 0 to fw - 1 do
+              let sx = (x * sw) + kx - pw in
+              if sx >= 0 && sx < iw then
+                let ibase = (((b * ih) + sy) * iw + sx) * ic in
+                let fbase = ((ky * fw) + kx) * ic * oc in
+                for c = 0 to ic - 1 do
+                  let v = din.(ibase + c) in
+                  if v <> 0.0 then
+                    let foff = fbase + (c * oc) in
+                    for o = 0 to oc - 1 do
+                      out.(obase + o) <- out.(obase + o) +. (v *. dft.(foff + o))
+                    done
+                done
+            done
+        done
+      done
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype input) [| batch; oh; ow; oc |] out
+
+let conv2d_grad_input ~input_shape filter dy ~strides ~padding =
+  let is = input_shape and fs = T.shape filter and os = T.shape dy in
+  let batch = is.(0) and ih = is.(1) and iw = is.(2) and ic = is.(3) in
+  let fh = fs.(0) and fw = fs.(1) and oc = fs.(3) in
+  let oh = os.(1) and ow = os.(2) in
+  let sh, sw = strides in
+  let _, ph = conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
+  let _, pw = conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
+  let dft = T.float_buffer filter and ddy = T.float_buffer dy in
+  let out = Array.make (batch * ih * iw * ic) 0.0 in
+  for b = 0 to batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        let obase = (((b * oh) + y) * ow + x) * oc in
+        for ky = 0 to fh - 1 do
+          let sy = (y * sh) + ky - ph in
+          if sy >= 0 && sy < ih then
+            for kx = 0 to fw - 1 do
+              let sx = (x * sw) + kx - pw in
+              if sx >= 0 && sx < iw then
+                let ibase = (((b * ih) + sy) * iw + sx) * ic in
+                let fbase = ((ky * fw) + kx) * ic * oc in
+                for c = 0 to ic - 1 do
+                  let foff = fbase + (c * oc) in
+                  let acc = ref 0.0 in
+                  for o = 0 to oc - 1 do
+                    acc := !acc +. (dft.(foff + o) *. ddy.(obase + o))
+                  done;
+                  out.(ibase + c) <- out.(ibase + c) +. !acc
+                done
+            done
+        done
+      done
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype dy) is out
+
+let conv2d_grad_filter ~filter_shape input dy ~strides ~padding =
+  let is = T.shape input and fs = filter_shape and os = T.shape dy in
+  let batch = is.(0) and ih = is.(1) and iw = is.(2) and ic = is.(3) in
+  let fh = fs.(0) and fw = fs.(1) and oc = fs.(3) in
+  let oh = os.(1) and ow = os.(2) in
+  let sh, sw = strides in
+  let _, ph = conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
+  let _, pw = conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
+  let din = T.float_buffer input and ddy = T.float_buffer dy in
+  let out = Array.make (fh * fw * ic * oc) 0.0 in
+  for b = 0 to batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        let obase = (((b * oh) + y) * ow + x) * oc in
+        for ky = 0 to fh - 1 do
+          let sy = (y * sh) + ky - ph in
+          if sy >= 0 && sy < ih then
+            for kx = 0 to fw - 1 do
+              let sx = (x * sw) + kx - pw in
+              if sx >= 0 && sx < iw then
+                let ibase = (((b * ih) + sy) * iw + sx) * ic in
+                let fbase = ((ky * fw) + kx) * ic * oc in
+                for c = 0 to ic - 1 do
+                  let v = din.(ibase + c) in
+                  if v <> 0.0 then
+                    let foff = fbase + (c * oc) in
+                    for o = 0 to oc - 1 do
+                      out.(foff + o) <- out.(foff + o) +. (v *. ddy.(obase + o))
+                    done
+                done
+            done
+        done
+      done
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype dy) fs out
+
+let pool_generic input ~ksize ~strides ~padding ~init ~combine ~finish =
+  let is = T.shape input in
+  if Shape.rank is <> 4 then invalid_arg "Tensor_ops.pool: NHWC required";
+  let batch = is.(0) and ih = is.(1) and iw = is.(2) and c = is.(3) in
+  let kh, kw = ksize and sh, sw = strides in
+  let oh, ph = conv_dim ~padding ~in_size:ih ~filter:kh ~stride:sh in
+  let ow, pw = conv_dim ~padding ~in_size:iw ~filter:kw ~stride:sw in
+  let din = T.float_buffer input in
+  let out = Array.make (batch * oh * ow * c) 0.0 in
+  for b = 0 to batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let acc = ref init and count = ref 0 in
+          for ky = 0 to kh - 1 do
+            let sy = (y * sh) + ky - ph in
+            if sy >= 0 && sy < ih then
+              for kx = 0 to kw - 1 do
+                let sx = (x * sw) + kx - pw in
+                if sx >= 0 && sx < iw then begin
+                  acc := combine !acc din.((((b * ih) + sy) * iw + sx) * c + ch);
+                  incr count
+                end
+              done
+          done;
+          out.((((b * oh) + y) * ow + x) * c + ch) <- finish !acc !count
+        done
+      done
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype input) [| batch; oh; ow; c |] out
+
+let max_pool input ~ksize ~strides ~padding =
+  pool_generic input ~ksize ~strides ~padding ~init:Float.neg_infinity
+    ~combine:Float.max ~finish:(fun v _ -> v)
+
+let avg_pool input ~ksize ~strides ~padding =
+  pool_generic input ~ksize ~strides ~padding ~init:0.0 ~combine:( +. )
+    ~finish:(fun v n -> if n = 0 then 0.0 else v /. float_of_int n)
+
+let max_pool_grad input dy ~ksize ~strides ~padding =
+  let is = T.shape input and os = T.shape dy in
+  let batch = is.(0) and ih = is.(1) and iw = is.(2) and c = is.(3) in
+  let kh, kw = ksize and sh, sw = strides in
+  let oh = os.(1) and ow = os.(2) in
+  let _, ph = conv_dim ~padding ~in_size:ih ~filter:kh ~stride:sh in
+  let _, pw = conv_dim ~padding ~in_size:iw ~filter:kw ~stride:sw in
+  let din = T.float_buffer input and ddy = T.float_buffer dy in
+  let out = Array.make (T.numel input) 0.0 in
+  for b = 0 to batch - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          (* Find the argmax of the window, then route the gradient there. *)
+          let best = ref Float.neg_infinity and best_off = ref (-1) in
+          for ky = 0 to kh - 1 do
+            let sy = (y * sh) + ky - ph in
+            if sy >= 0 && sy < ih then
+              for kx = 0 to kw - 1 do
+                let sx = (x * sw) + kx - pw in
+                if sx >= 0 && sx < iw then begin
+                  let off = (((b * ih) + sy) * iw + sx) * c + ch in
+                  if din.(off) > !best then begin
+                    best := din.(off);
+                    best_off := off
+                  end
+                end
+              done
+          done;
+          if !best_off >= 0 then
+            out.(!best_off) <-
+              out.(!best_off) +. ddy.((((b * oh) + y) * ow + x) * c + ch)
+        done
+      done
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype input) is out
+
+let rows_2d t =
+  let s = T.shape t in
+  if Shape.rank s <> 2 then invalid_arg "Tensor_ops: 2-D tensor required";
+  (s.(0), s.(1))
+
+let softmax t =
+  let n, d = rows_2d t in
+  let src = T.float_buffer t in
+  let out = Array.make (n * d) 0.0 in
+  for i = 0 to n - 1 do
+    let base = i * d in
+    let m = ref Float.neg_infinity in
+    for j = 0 to d - 1 do
+      m := Float.max !m src.(base + j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to d - 1 do
+      let e = Stdlib.exp (src.(base + j) -. !m) in
+      out.(base + j) <- e;
+      sum := !sum +. e
+    done;
+    for j = 0 to d - 1 do
+      out.(base + j) <- out.(base + j) /. !sum
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype t) (T.shape t) out
+
+let log_softmax t =
+  let n, d = rows_2d t in
+  let src = T.float_buffer t in
+  let out = Array.make (n * d) 0.0 in
+  for i = 0 to n - 1 do
+    let base = i * d in
+    let m = ref Float.neg_infinity in
+    for j = 0 to d - 1 do
+      m := Float.max !m src.(base + j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to d - 1 do
+      sum := !sum +. Stdlib.exp (src.(base + j) -. !m)
+    done;
+    let lse = !m +. Stdlib.log !sum in
+    for j = 0 to d - 1 do
+      out.(base + j) <- src.(base + j) -. lse
+    done
+  done;
+  T.of_float_array ~dtype:(T.dtype t) (T.shape t) out
+
+let softmax_cross_entropy ~logits ~labels =
+  let n, d = rows_2d logits in
+  let ls = log_softmax logits in
+  let lsb = T.float_buffer ls and lab = T.float_buffer labels in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to d - 1 do
+      acc := !acc +. (lab.((i * d) + j) *. lsb.((i * d) + j))
+    done;
+    out.(i) <- -. !acc
+  done;
+  T.of_float_array ~dtype:(T.dtype logits) [| n |] out
+
+let softmax_cross_entropy_grad ~logits ~labels = sub (softmax logits) labels

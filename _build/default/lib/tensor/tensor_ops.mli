@@ -1,0 +1,182 @@
+(** Mathematical operations on dense tensors.
+
+    These are the pure functions behind the runtime's operation kernels
+    (§5 of the paper): elementwise arithmetic with broadcasting, matrix
+    multiplication, 2-D convolution and pooling, reductions, array
+    manipulation, and the sparse-access primitives (Gather,
+    DynamicPartition, DynamicStitch) that §4.2 builds sharded embedding
+    layers from. All functions are non-mutating. *)
+
+(** {1 Elementwise (broadcasting)} *)
+
+val add : Tensor.t -> Tensor.t -> Tensor.t
+
+val sub : Tensor.t -> Tensor.t -> Tensor.t
+
+val mul : Tensor.t -> Tensor.t -> Tensor.t
+
+val div : Tensor.t -> Tensor.t -> Tensor.t
+
+val maximum : Tensor.t -> Tensor.t -> Tensor.t
+
+val minimum : Tensor.t -> Tensor.t -> Tensor.t
+
+val pow : Tensor.t -> Tensor.t -> Tensor.t
+
+val modulo : Tensor.t -> Tensor.t -> Tensor.t
+(** Integer remainder (operands are truncated to integers first). *)
+
+val neg : Tensor.t -> Tensor.t
+
+val abs : Tensor.t -> Tensor.t
+
+val sign : Tensor.t -> Tensor.t
+
+val exp : Tensor.t -> Tensor.t
+
+val log : Tensor.t -> Tensor.t
+
+val sqrt : Tensor.t -> Tensor.t
+
+val square : Tensor.t -> Tensor.t
+
+val reciprocal : Tensor.t -> Tensor.t
+
+val relu : Tensor.t -> Tensor.t
+
+val relu_grad : Tensor.t -> Tensor.t -> Tensor.t
+(** [relu_grad dy x] is [dy] where [x > 0], else [0]. *)
+
+val sigmoid : Tensor.t -> Tensor.t
+
+val tanh : Tensor.t -> Tensor.t
+
+(** {1 Comparison and selection} *)
+
+val equal : Tensor.t -> Tensor.t -> Tensor.t
+
+val less : Tensor.t -> Tensor.t -> Tensor.t
+
+val greater : Tensor.t -> Tensor.t -> Tensor.t
+
+val greater_equal : Tensor.t -> Tensor.t -> Tensor.t
+
+val select : Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+(** [select cond a b]: elementwise [if cond then a else b]; [cond] is a
+    bool tensor broadcastable against [a]/[b]. *)
+
+(** {1 Linear algebra} *)
+
+val matmul :
+  ?transpose_a:bool -> ?transpose_b:bool -> Tensor.t -> Tensor.t -> Tensor.t
+(** 2-D matrix product. @raise Invalid_argument on non-2-D input or inner
+    dimension mismatch. *)
+
+val transpose : ?perm:int array -> Tensor.t -> Tensor.t
+(** General axis permutation; default reverses all axes. *)
+
+(** {1 Reductions} *)
+
+val reduce_sum : ?axes:int list -> ?keep_dims:bool -> Tensor.t -> Tensor.t
+
+val reduce_mean : ?axes:int list -> ?keep_dims:bool -> Tensor.t -> Tensor.t
+
+val reduce_max : ?axes:int list -> ?keep_dims:bool -> Tensor.t -> Tensor.t
+
+val argmax : Tensor.t -> axis:int -> Tensor.t
+(** Integer tensor of indices of maxima along [axis]. *)
+
+(** {1 Array manipulation} *)
+
+val concat : Tensor.t list -> axis:int -> Tensor.t
+
+val split : Tensor.t -> axis:int -> num:int -> Tensor.t list
+(** Even split. @raise Invalid_argument if the axis is not divisible. *)
+
+val slice : Tensor.t -> begin_:int array -> size:int array -> Tensor.t
+
+val pad : Tensor.t -> paddings:(int * int) array -> Tensor.t
+(** Zero padding; [paddings.(i)] is [(before, after)] for axis [i]. *)
+
+val tile : Tensor.t -> multiples:int array -> Tensor.t
+
+val broadcast_to : Tensor.t -> Shape.t -> Tensor.t
+
+val one_hot : Tensor.t -> depth:int -> Tensor.t
+(** [one_hot indices ~depth] appends a size-[depth] one-hot axis. *)
+
+(** {1 Sparse access primitives (§4.2)} *)
+
+val gather : Tensor.t -> Tensor.t -> Tensor.t
+(** [gather params indices] selects rows (axis 0) of [params]; the result
+    shape is [shape indices @ (shape params).(1..)]. *)
+
+val scatter_add : Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+(** [scatter_add acc indices updates] returns a copy of [acc] with
+    [updates] rows added at [indices] (duplicates accumulate). *)
+
+val dynamic_partition : Tensor.t -> Tensor.t -> num:int -> Tensor.t list
+(** [dynamic_partition data partitions ~num] splits rows of [data] into
+    [num] tensors according to the partition id of each row. *)
+
+val dynamic_stitch : Tensor.t list -> Tensor.t list -> Tensor.t
+(** [dynamic_stitch indices data] inverts {!dynamic_partition}: element
+    rows of [data.(p)] land at row [indices.(p).(i)] of the result. *)
+
+(** {1 Neural-network math} *)
+
+type padding = Same | Valid
+
+val conv2d :
+  Tensor.t -> Tensor.t -> strides:int * int -> padding:padding -> Tensor.t
+(** [conv2d input filter]: input is NHWC [batch; h; w; in_c], filter is
+    [fh; fw; in_c; out_c]. *)
+
+val conv2d_grad_input :
+  input_shape:Shape.t ->
+  Tensor.t ->
+  Tensor.t ->
+  strides:int * int ->
+  padding:padding ->
+  Tensor.t
+(** Gradient of conv2d w.r.t. its input: [conv2d_grad_input ~input_shape
+    filter dy]. *)
+
+val conv2d_grad_filter :
+  filter_shape:Shape.t ->
+  Tensor.t ->
+  Tensor.t ->
+  strides:int * int ->
+  padding:padding ->
+  Tensor.t
+(** Gradient of conv2d w.r.t. the filter: [conv2d_grad_filter
+    ~filter_shape input dy]. *)
+
+val max_pool :
+  Tensor.t -> ksize:int * int -> strides:int * int -> padding:padding ->
+  Tensor.t
+
+val max_pool_grad :
+  Tensor.t ->
+  Tensor.t ->
+  ksize:int * int ->
+  strides:int * int ->
+  padding:padding ->
+  Tensor.t
+(** [max_pool_grad input dy ...] routes [dy] back to each window's argmax. *)
+
+val avg_pool :
+  Tensor.t -> ksize:int * int -> strides:int * int -> padding:padding ->
+  Tensor.t
+
+val softmax : Tensor.t -> Tensor.t
+(** Row softmax of a 2-D tensor (numerically stabilized). *)
+
+val log_softmax : Tensor.t -> Tensor.t
+
+val softmax_cross_entropy : logits:Tensor.t -> labels:Tensor.t -> Tensor.t
+(** Per-example loss vector; [labels] is a distribution per row. *)
+
+val softmax_cross_entropy_grad :
+  logits:Tensor.t -> labels:Tensor.t -> Tensor.t
+(** d(sum of per-example losses)/d(logits) = softmax(logits) - labels. *)

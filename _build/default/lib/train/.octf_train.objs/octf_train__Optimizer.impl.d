@@ -1,0 +1,1 @@
+lib/train/optimizer.ml: List Octf Octf_nn

@@ -1,0 +1,1 @@
+lib/train/optimizer.mli: Octf Octf_nn

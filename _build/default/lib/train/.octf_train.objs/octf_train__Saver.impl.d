@@ -1,0 +1,1 @@
+lib/train/saver.ml: Array Dtype Filename List Octf Octf_nn Octf_tensor Option Printf Scanf Sys Tensor

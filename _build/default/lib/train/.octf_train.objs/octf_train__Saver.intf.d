@@ -1,0 +1,1 @@
+lib/train/saver.mli: Octf Octf_nn

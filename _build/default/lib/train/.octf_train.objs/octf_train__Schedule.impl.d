@@ -1,0 +1,1 @@
+lib/train/schedule.ml: List Octf Octf_nn

@@ -1,0 +1,1 @@
+lib/train/schedule.mli: Octf Octf_nn

@@ -1,0 +1,1 @@
+lib/train/sync_replicas.ml: Dtype List Octf Octf_nn Octf_tensor Optimizer Option Printf Tensor Tensor_ops

@@ -1,0 +1,1 @@
+lib/train/sync_replicas.mli: Octf Octf_nn Octf_tensor Optimizer

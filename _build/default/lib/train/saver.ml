@@ -1,0 +1,85 @@
+open Octf_tensor
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+
+type t = {
+  filename : B.output;  (* string placeholder *)
+  save_op : B.output;
+  restore_op : B.output;
+  keep : int;
+  mutable written : string list;  (* newest first *)
+}
+
+let create ?vars ?(keep = 5) store =
+  let b = Vs.builder store in
+  let vars = match vars with Some vs -> vs | None -> Vs.all store in
+  if vars = [] then invalid_arg "Saver.create: no variables";
+  let filename = B.placeholder b ~name:"saver/filename" Dtype.String in
+  let entries =
+    List.map (fun (v : Vs.variable) -> (v.Vs.name, v.Vs.read)) vars
+  in
+  let save_op = B.save b ~name:"saver/save" ~filename entries in
+  let names = List.map (fun (v : Vs.variable) -> v.Vs.name) vars in
+  let restored = B.restore b ~name:"saver/restore" ~filename names in
+  let assigns =
+    List.map2
+      (fun (v : Vs.variable) value -> B.assign b v.Vs.handle value)
+      vars restored
+  in
+  let restore_op = B.group b ~name:"saver/restore_all" assigns in
+  { filename; save_op; restore_op; keep; written = [] }
+
+let save t session ~path =
+  Octf.Session.run_unit
+    ~feeds:[ (t.filename, Tensor.scalar_s path) ]
+    session [ t.save_op ];
+  if not (List.mem path t.written) then begin
+    t.written <- path :: t.written;
+    let rec drop i = function
+      | [] -> []
+      | p :: rest ->
+          if i >= t.keep then begin
+            (try Sys.remove p with Sys_error _ -> ());
+            drop (i + 1) rest
+          end
+          else p :: drop (i + 1) rest
+    in
+    t.written <- drop 0 t.written
+  end
+
+let restore t session ~path =
+  Octf.Session.run_unit
+    ~feeds:[ (t.filename, Tensor.scalar_s path) ]
+    session [ t.restore_op ]
+
+let numbered_path ~prefix ~step = Printf.sprintf "%s-%d.ckpt" prefix step
+
+let save_numbered t session ~prefix ~step =
+  let path = numbered_path ~prefix ~step in
+  save t session ~path;
+  path
+
+let latest_checkpoint ~prefix =
+  let dir = Filename.dirname prefix in
+  let base = Filename.basename prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | entries ->
+      let best = ref None in
+      Array.iter
+        (fun f ->
+          match
+            Scanf.sscanf f "%s@-%d.ckpt" (fun b s ->
+                if b = base then Some s else None)
+          with
+          | Some step ->
+              let better =
+                match !best with None -> true | Some (s, _) -> step > s
+              in
+              if better then best := Some (step, Filename.concat dir f)
+          | None | (exception Scanf.Scan_failure _)
+          | (exception End_of_file)
+          | (exception Failure _) ->
+              ())
+        entries;
+      Option.map snd !best

@@ -1,0 +1,35 @@
+(** User-level checkpointing (§4.3).
+
+    Save and Restore are ordinary operations in the graph (Figure 1): the
+    saver connects every variable to one [Save] node (one per task in the
+    paper, to maximize I/O parallelism), and builds [Restore] → [Assign]
+    chains for recovery. Policy — when to save, how many checkpoints to
+    retain, which variables participate — is client code here, so users
+    can implement best-checkpoint retention, fine-tuning and transfer
+    learning without runtime support. *)
+
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+
+type t
+
+val create : ?vars:Vs.variable list -> ?keep:int -> Vs.t -> t
+(** Build the save/restore subgraphs for [vars] (default: every variable
+    in the store). [keep] (default 5) limits how many checkpoints
+    {!save} retains per directory prefix. *)
+
+val save : t -> Octf.Session.t -> path:string -> unit
+(** Write all covered variables to [path] (the filename is fed into the
+    graph as a string tensor, so one compiled step serves every path).
+    Old checkpoints written through this saver beyond [keep] are
+    deleted. *)
+
+val restore : t -> Octf.Session.t -> path:string -> unit
+
+val save_numbered : t -> Octf.Session.t -> prefix:string -> step:int -> string
+(** [save_numbered t s ~prefix ~step] writes [prefix ^ "-" ^ step ^
+    ".ckpt"] and returns the path. *)
+
+val latest_checkpoint : prefix:string -> string option
+(** Highest-numbered checkpoint previously written by
+    {!save_numbered}. *)

@@ -1,0 +1,41 @@
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+
+let global_step store =
+  Vs.get store ~trainable:false ~init:Octf_nn.Init.zeros ~name:"global_step"
+    [||]
+
+let increment store =
+  let b = Vs.builder store in
+  let gs = global_step store in
+  B.group b [ B.assign_add b gs.Vs.handle (B.const_f b 1.0) ]
+
+let step_read store = (global_step store).Vs.read
+
+let constant store v = B.const_f (Vs.builder store) v
+
+let exponential_decay store ~base ~decay ~decay_steps =
+  let b = Vs.builder store in
+  let step = step_read store in
+  let exponent = B.div b step (B.const_f b (float_of_int decay_steps)) in
+  B.mul b (B.const_f b base) (B.pow b (B.const_f b decay) exponent)
+
+let inverse_time_decay store ~base ~decay ~decay_steps =
+  let b = Vs.builder store in
+  let step = step_read store in
+  let denom =
+    B.add b (B.const_f b 1.0)
+      (B.mul b (B.const_f b decay)
+         (B.div b step (B.const_f b (float_of_int decay_steps))))
+  in
+  B.div b (B.const_f b base) denom
+
+let piecewise store ~boundaries ~default =
+  let b = Vs.builder store in
+  let step = step_read store in
+  (* Fold from the first boundary: select(step >= bound, rate, acc). *)
+  List.fold_left
+    (fun acc (bound, rate) ->
+      let hit = B.greater_equal b step (B.const_f b (float_of_int bound)) in
+      B.select b hit (B.const_f b rate) acc)
+    (B.const_f b default) boundaries

@@ -1,0 +1,33 @@
+(** Learning-rate schedules as graph subcomputations.
+
+    Exactly the pattern of §4.1: because parameters, counters and
+    arithmetic are all ordinary graph elements, schedules are user code —
+    a read of the global-step variable followed by a few math ops — not
+    runtime features. Feed the resulting output into
+    {!Optimizer.minimize_with_rate}. *)
+
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+
+val global_step : Vs.t -> Vs.variable
+(** The (non-trainable, zero-initialized) scalar step counter; call
+    {!increment} once per training step. Idempotent per store. *)
+
+val increment : Vs.t -> B.output
+(** A target that bumps the counter by one. *)
+
+val constant : Vs.t -> float -> B.output
+
+val exponential_decay :
+  Vs.t -> base:float -> decay:float -> decay_steps:int -> B.output
+(** [base * decay^(step / decay_steps)] (continuous exponent). *)
+
+val inverse_time_decay :
+  Vs.t -> base:float -> decay:float -> decay_steps:int -> B.output
+(** [base / (1 + decay * step / decay_steps)]. *)
+
+val piecewise :
+  Vs.t -> boundaries:(int * float) list -> default:float -> B.output
+(** [boundaries] are (step, rate) pairs in increasing step order: the
+    rate of the last boundary whose step is ≤ the current step, else
+    [default]. *)

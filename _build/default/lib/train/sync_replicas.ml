@@ -1,0 +1,243 @@
+open Octf_tensor
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+module G = Octf.Gradients
+
+type mode = Async | Sync | Sync_backup of { aggregate : int }
+
+(* Synchronous-mode coordination pieces. *)
+type coord = {
+  aggregate : int;  (* m: gradients averaged per round *)
+  (* Worker side *)
+  token_dequeue : B.output list;  (* 1 component *)
+  enqueue_grads : B.output;  (* tagged gradient tuple *)
+  (* Chief side *)
+  sync_apply : B.output option;  (* fully in-graph m = n round *)
+  dequeue_one : B.output list;  (* tag :: gradient components *)
+  grad_phs : B.output list;  (* placeholders for averaged gradients *)
+  apply_from_phs : B.output;
+  release_tokens : B.output;  (* EnqueueMany of n tokens *)
+  close_ops : B.output list;
+}
+
+type t = {
+  mode : mode;
+  num_workers : int;
+  nvars : int;
+  step_read : B.output;
+  async_train : B.output option;
+  coord : coord option;
+}
+
+let scalar t = Tensor.flat_get_f t 0
+
+let densified_grads store ~loss =
+  let b = Vs.builder store in
+  let vars = Vs.trainable store in
+  let xs = List.map (fun (v : Vs.variable) -> v.Vs.read) vars in
+  let grads = G.gradients b ~ys:[ loss ] ~xs () in
+  List.filter_map
+    (fun (var, g) ->
+      match g with None -> None | Some g -> Some (var, G.densify b g))
+    (List.combine vars grads)
+
+let build store ?(algorithm = Optimizer.Sgd) ~mode ~num_workers ~lr ~loss () =
+  let b = Vs.builder store in
+  let gs =
+    Vs.get store ~trainable:false ~init:Octf_nn.Init.zeros ~name:"global_step"
+      [||]
+  in
+  let bump = B.assign_add b gs.Vs.handle (B.const_f b 1.0) in
+  let pairs = densified_grads store ~loss in
+  if pairs = [] then invalid_arg "Sync_replicas.build: no gradients";
+  let nvars = List.length pairs in
+  match mode with
+  | Async ->
+      (* Figure 4(a): read-compute-apply with no coordination. *)
+      let apply =
+        Optimizer.apply_gradients store ~algorithm ~lr
+          (List.map (fun (v, g) -> (v, G.Dense g)) pairs)
+      in
+      let train =
+        B.group b ~name:"async_train" [ apply; B.group b [ bump ] ]
+      in
+      {
+        mode;
+        num_workers;
+        nvars;
+        step_read = gs.Vs.read;
+        async_train = Some train;
+        coord = None;
+      }
+  | Sync | Sync_backup _ ->
+      let aggregate =
+        match mode with
+        | Sync -> num_workers
+        | Sync_backup { aggregate } -> aggregate
+        | Async -> assert false
+      in
+      if aggregate <= 0 || aggregate > num_workers then
+        invalid_arg "Sync_replicas.build: aggregate out of range";
+      let cap = 4 * num_workers in
+      let grad_q =
+        B.fifo_queue b ~name:"grad_queue" ~capacity:cap
+          ~num_components:(nvars + 1) ()
+      in
+      let token_q =
+        B.fifo_queue b ~name:"token_queue" ~capacity:cap ~num_components:1 ()
+      in
+      (* Worker: tag the gradient tuple with the step it was computed
+         against, so the chief can drop stale straggler updates. *)
+      let tag = gs.Vs.read in
+      let enqueue_grads =
+        B.enqueue b ~name:"enqueue_grads" grad_q
+          (tag :: List.map snd pairs)
+      in
+      let token_dequeue =
+        B.dequeue b ~name:"take_token" token_q ~num_components:1
+      in
+      (* Chief, fully in-graph barrier for m = n (Figure 4(b)):
+         DequeueMany stacks each component; averaging over axis 0 gives
+         the aggregate update, applied atomically. *)
+      let sync_apply =
+        if aggregate = num_workers then begin
+          let outs =
+            B.dequeue_many b ~name:"collect_grads" grad_q ~n:num_workers
+              ~num_components:(nvars + 1)
+          in
+          let grad_batches = List.tl outs in
+          let averaged =
+            List.map (fun g -> B.reduce_mean b ~axes:[ 0 ] g) grad_batches
+          in
+          let apply =
+            Optimizer.apply_gradients store ~algorithm ~lr
+              (List.map2
+                 (fun (v, _) g -> (v, G.Dense g))
+                 pairs averaged)
+          in
+          Some
+            (B.with_control_dependencies b [ apply ] (fun () ->
+                 B.group b ~name:"sync_round" [ B.group b [ bump ] ]))
+        end
+        else None
+      in
+      (* Chief, m-of-n round (Figure 4(c)): gradients are dequeued one
+         tuple at a time client-side so stale tags can be dropped. *)
+      let dequeue_one =
+        B.dequeue b ~name:"dequeue_one" grad_q ~num_components:(nvars + 1)
+      in
+      let grad_phs =
+        List.mapi
+          (fun i _ ->
+            B.placeholder b
+              ~name:(Printf.sprintf "avg_grad_%d" i)
+              Dtype.F32)
+          pairs
+      in
+      let apply_phs =
+        Optimizer.apply_gradients store ~algorithm ~lr
+          (List.map2 (fun (v, _) ph -> (v, G.Dense ph)) pairs grad_phs)
+      in
+      let apply_from_phs =
+        B.with_control_dependencies b [ apply_phs ] (fun () ->
+            B.group b ~name:"backup_round" [ B.group b [ bump ] ])
+      in
+      (* Token release: one batched EnqueueMany of n dummy tokens. *)
+      let tokens =
+        B.const b (Tensor.zeros Dtype.F32 [| num_workers |])
+      in
+      let release_tokens =
+        B.enqueue_many b ~name:"release_tokens" token_q [ tokens ]
+      in
+      let close_ops = [ B.queue_close b grad_q; B.queue_close b token_q ] in
+      {
+        mode;
+        num_workers;
+        nvars;
+        step_read = gs.Vs.read;
+        async_train = None;
+        coord =
+          Some
+            {
+              aggregate;
+              token_dequeue;
+              enqueue_grads;
+              sync_apply;
+              dequeue_one;
+              grad_phs;
+              apply_from_phs;
+              release_tokens;
+              close_ops;
+            };
+      }
+
+let start t session =
+  match t.coord with
+  | None -> ()
+  | Some c -> Octf.Session.run_unit session [ c.release_tokens ]
+
+let worker_step ?(feeds = []) t session =
+  match (t.async_train, t.coord) with
+  | Some train, _ -> Octf.Session.run_unit ~feeds session [ train ]
+  | None, Some c ->
+      (* Take a token (blocks until the chief releases the round), then
+         compute and enqueue the tagged gradients. *)
+      ignore (Octf.Session.run session c.token_dequeue);
+      Octf.Session.run_unit ~feeds session [ c.enqueue_grads ]
+  | None, None -> assert false
+
+let chief_step t session =
+  match t.coord with
+  | None -> ()
+  | Some c -> (
+      match c.sync_apply with
+      | Some op ->
+          Octf.Session.run_unit session [ op ];
+          Octf.Session.run_unit session [ c.release_tokens ]
+      | None ->
+          (* m-of-n with staleness dropping. *)
+          let current =
+            int_of_float (scalar (List.hd (Octf.Session.run session [ t.step_read ])))
+          in
+          let fresh = ref [] in
+          while List.length !fresh < c.aggregate do
+            match Octf.Session.run session c.dequeue_one with
+            | tag :: grads ->
+                if int_of_float (scalar tag) = current then
+                  fresh := grads :: !fresh
+            | [] -> assert false
+          done;
+          let m = float_of_int c.aggregate in
+          let averaged =
+            List.mapi
+              (fun i _ ->
+                let sum =
+                  List.fold_left
+                    (fun acc grads ->
+                      match acc with
+                      | None -> Some (List.nth grads i)
+                      | Some a -> Some (Tensor_ops.add a (List.nth grads i)))
+                    None !fresh
+                in
+                Tensor_ops.mul (Option.get sum)
+                  (Tensor.scalar_f (1.0 /. m)))
+              c.grad_phs
+          in
+          Octf.Session.run_unit
+            ~feeds:(List.combine c.grad_phs averaged)
+            session
+            [ c.apply_from_phs ];
+          Octf.Session.run_unit session [ c.release_tokens ])
+
+let shutdown t session =
+  match t.coord with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun op ->
+          try Octf.Session.run_unit session [ op ]
+          with Octf.Session.Run_error _ -> ())
+        c.close_ops
+
+let global_step t session =
+  int_of_float (scalar (List.hd (Octf.Session.run session [ t.step_read ])))

@@ -1,0 +1,69 @@
+(** Synchronous replica coordination (§4.4, Figure 4).
+
+    Data-parallel training with [n] workers can read and write model
+    parameters under three schemes, all expressed with unprivileged queue
+    and variable operations:
+
+    - {b Asynchronous} (Figure 4a): each worker applies its gradient to
+      the current parameter values as soon as it is computed. High
+      utilization, stale reads.
+    - {b Synchronous} (Figure 4b): a gradient queue acts as a barrier; a
+      chief dequeues all [n] gradient tuples, averages them, applies the
+      aggregate atomically, then writes [n] tokens to a token queue that
+      workers must take before their next step.
+    - {b Synchronous with backup workers} (Figure 4c): [n] workers run
+      proactively but the chief aggregates only the first [m < n]
+      gradients of each round; stragglers' late gradients are detected by
+      their step tag and dropped, exactly the m-of-n scheme the paper
+      uses to cut the straggler tail (§6.3).
+
+    The coordinator's queues, tags and update rules are all ordinary
+    graph operations; only the chief's dequeue-m-then-release loop is
+    client code (as it is in TensorFlow's SyncReplicasOptimizer). *)
+
+module B = Octf.Builder
+module Vs = Octf_nn.Var_store
+
+type mode =
+  | Async
+  | Sync
+  | Sync_backup of { aggregate : int }
+      (** take the first [aggregate] of the [num_workers] gradients *)
+
+type t
+
+val build :
+  Vs.t ->
+  ?algorithm:Optimizer.algorithm ->
+  mode:mode ->
+  num_workers:int ->
+  lr:float ->
+  loss:B.output ->
+  unit ->
+  t
+(** Build the coordination graph for [num_workers] replicas of a model
+    whose per-replica loss is [loss]. (In this in-process reproduction
+    the replicas share one graph and are driven by [num_workers]
+    threads.) *)
+
+val worker_step :
+  ?feeds:(B.output * Octf_tensor.Tensor.t) list -> t -> Octf.Session.t -> unit
+(** One training step of a worker replica: under [Async], compute and
+    apply; under the synchronous modes, take a token, compute, and
+    enqueue the tagged gradient tuple. [feeds] supply the replica's
+    input placeholders (the loss subgraph runs inside this step). *)
+
+val chief_step : t -> Octf.Session.t -> unit
+(** One aggregation round of the chief (synchronous modes only): collect
+    the round's gradients — dropping stale tags — average, apply, bump
+    the step tag, release tokens. No-op under [Async]. *)
+
+val start : t -> Octf.Session.t -> unit
+(** Prime the token queue so workers can take their first step. *)
+
+val shutdown : t -> Octf.Session.t -> unit
+(** Close the queues, releasing blocked workers (they observe queue
+    closure as the end of training). *)
+
+val global_step : t -> Octf.Session.t -> int
+(** Number of applied (aggregate) updates so far. *)

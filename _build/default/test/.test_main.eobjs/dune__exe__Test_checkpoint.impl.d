@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Checkpoint_format Dtype Filename List Octf Octf_tensor QCheck QCheck_alcotest Sys Tensor

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Builder Cluster Device Dtype List Octf Octf_tensor Resource_manager Session Tensor

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Builder Dtype List Mutex Octf Octf_data Octf_tensor Rng Session Tensor Thread

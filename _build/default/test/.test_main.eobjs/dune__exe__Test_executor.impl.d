@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Attr Builder Dtype List Octf Octf_tensor Session String Tensor

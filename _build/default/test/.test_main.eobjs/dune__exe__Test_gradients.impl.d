@@ -1,0 +1,1 @@
+test/test_gradients.ml: Alcotest Array Builder Dtype Float Gradients List Octf Octf_tensor Rng Session Stdlib Tensor

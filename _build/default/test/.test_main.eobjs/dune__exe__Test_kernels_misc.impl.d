@@ -1,0 +1,1 @@
+test/test_kernels_misc.ml: Alcotest Array Builder Dtype List Octf Octf_tensor Session Tensor

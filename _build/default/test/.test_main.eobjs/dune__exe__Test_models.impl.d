@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Float List Octf_models

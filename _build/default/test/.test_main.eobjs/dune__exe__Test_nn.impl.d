@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Builder Dtype Float List Octf Octf_nn Octf_tensor Rng Session Stdlib Tensor

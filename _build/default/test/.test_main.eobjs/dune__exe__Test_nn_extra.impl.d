@@ -1,0 +1,1 @@
+test/test_nn_extra.ml: Alcotest Array Builder Dtype Float List Octf Octf_data Octf_nn Octf_tensor Octf_train Printf Rng Session Tensor

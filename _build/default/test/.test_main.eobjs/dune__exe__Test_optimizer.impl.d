@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Builder Float Graph List Node Octf Octf_nn Octf_tensor Octf_train Printf Session Tensor

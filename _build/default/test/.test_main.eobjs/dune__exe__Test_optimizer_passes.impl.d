@@ -1,0 +1,1 @@
+test/test_optimizer_passes.ml: Alcotest Array Builder Dtype Graph Graph_optimizer List Node Octf Octf_tensor Session Tensor

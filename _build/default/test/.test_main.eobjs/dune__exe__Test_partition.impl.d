@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Builder Device Graph List Node Octf Partition

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Builder Device Dtype Graph Hashtbl List Node Octf Octf_tensor Option Placement Printf

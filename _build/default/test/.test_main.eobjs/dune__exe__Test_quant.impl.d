@@ -1,0 +1,1 @@
+test/test_quant.ml: Alcotest Array Builder Dtype Float List Octf Octf_tensor Rng Session Tensor

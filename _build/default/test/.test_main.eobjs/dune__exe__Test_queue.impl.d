@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array List Mutex Octf Octf_tensor Queue_impl Rng Tensor Thread

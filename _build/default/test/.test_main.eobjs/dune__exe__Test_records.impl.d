@@ -1,0 +1,1 @@
+test/test_records.ml: Alcotest Array Builder Bytes Filename List Octf Octf_data Octf_tensor QCheck QCheck_alcotest Record_format Rng Session String Sys Tensor

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Dtype List Octf Octf_tensor Queue_impl Resource Resource_manager Tensor Tensor_ops Thread

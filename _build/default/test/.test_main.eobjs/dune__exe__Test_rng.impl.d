@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array List Octf_tensor QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_saver.ml: Alcotest Array Builder Checkpoint_format Filename List Octf Octf_nn Octf_tensor Octf_train Session Sys Tensor Unix

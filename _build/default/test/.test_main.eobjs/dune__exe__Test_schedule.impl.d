@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Builder List Octf Octf_nn Octf_tensor Octf_train Session Tensor

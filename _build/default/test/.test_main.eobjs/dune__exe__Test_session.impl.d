@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Builder Dtype Filename List Octf Octf_tensor Session Sys Tensor Thread

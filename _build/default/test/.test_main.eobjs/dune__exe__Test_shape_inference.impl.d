@@ -1,0 +1,1 @@
+test/test_shape_inference.ml: Alcotest Builder Dtype List Octf Octf_tensor Shape_inference String Tensor

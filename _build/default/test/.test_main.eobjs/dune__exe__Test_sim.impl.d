@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Octf_models Octf_sim Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dtype Float Octf_tensor QCheck QCheck_alcotest Rng Tensor

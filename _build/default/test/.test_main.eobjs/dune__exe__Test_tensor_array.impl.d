@@ -1,0 +1,1 @@
+test/test_tensor_array.ml: Alcotest Builder Dtype List Octf Octf_tensor Session Tensor

@@ -1,0 +1,1 @@
+test/test_tensor_ops.ml: Alcotest Array Dtype Float List Octf_tensor QCheck QCheck_alcotest Rng Tensor Tensor_ops

@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Builder Cluster Device Dtype Float List Octf Octf_tensor Session String Tensor Tracer

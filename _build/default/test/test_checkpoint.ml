@@ -1,0 +1,93 @@
+open Octf_tensor
+open Octf
+
+let tmp () = Filename.temp_file "octf_test" ".ckpt"
+
+let test_roundtrip_all_dtypes () =
+  let path = tmp () in
+  let entries =
+    [
+      ("f", Tensor.of_float_array [| 2; 2 |] [| 1.5; -2.5; 0.0; 3.25 |]);
+      ("i", Tensor.of_int_array [| 3 |] [| -7; 0; 42 |]);
+      ("b", Tensor.of_bool_array [| 2 |] [| true; false |]);
+      ("s", Tensor.of_string_array [| 2 |] [| "hello"; "" |]);
+      ("scalar", Tensor.scalar_f 9.0);
+    ]
+  in
+  Checkpoint_format.write path entries;
+  let back = Checkpoint_format.read_all path in
+  Alcotest.(check int) "count" 5 (List.length back);
+  List.iter
+    (fun (name, original) ->
+      let restored = List.assoc name back in
+      Alcotest.(check bool)
+        (name ^ " dtype") true
+        (Tensor.dtype restored = Tensor.dtype original);
+      Alcotest.(check bool)
+        (name ^ " shape") true
+        (Tensor.shape restored = Tensor.shape original);
+      if Tensor.dtype original <> Dtype.String then
+        Alcotest.(check bool)
+          (name ^ " data") true
+          (Tensor.approx_equal restored original)
+      else
+        Alcotest.(check bool)
+          (name ^ " strings") true
+          (Tensor.string_buffer restored = Tensor.string_buffer original))
+    entries;
+  Sys.remove path
+
+let test_read_single_and_names () =
+  let path = tmp () in
+  Checkpoint_format.write path
+    [ ("a", Tensor.scalar_f 1.0); ("b", Tensor.scalar_f 2.0) ];
+  Alcotest.(check (list string)) "names" [ "a"; "b" ]
+    (Checkpoint_format.names path);
+  Alcotest.(check (float 0.)) "read b" 2.0
+    (Tensor.flat_get_f (Checkpoint_format.read path "b") 0);
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Checkpoint_format.read path "zzz"));
+  Sys.remove path
+
+let test_bad_magic () =
+  let path = tmp () in
+  let oc = open_out_bin path in
+  output_string oc "NOTACKPT!";
+  close_out oc;
+  Alcotest.check_raises "bad magic"
+    (Failure ("Checkpoint_format: bad magic in " ^ path))
+    (fun () -> ignore (Checkpoint_format.read_all path));
+  Sys.remove path
+
+let test_overwrite_atomic () =
+  let path = tmp () in
+  Checkpoint_format.write path [ ("x", Tensor.scalar_f 1.0) ];
+  Checkpoint_format.write path [ ("x", Tensor.scalar_f 2.0) ];
+  Alcotest.(check (float 0.)) "latest wins" 2.0
+    (Tensor.flat_get_f (Checkpoint_format.read path "x") 0);
+  Alcotest.(check bool) "no temp file left" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"checkpoint float roundtrip" ~count:30
+    QCheck.(small_list (float_range (-1e6) 1e6))
+    (fun l ->
+      l = []
+      ||
+      let a = Array.of_list l in
+      let t = Tensor.of_float_array [| Array.length a |] a in
+      let path = tmp () in
+      Checkpoint_format.write path [ ("t", t) ];
+      let back = Checkpoint_format.read path "t" in
+      Sys.remove path;
+      Tensor.approx_equal ~tol:0.0 back t)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all dtypes" `Quick test_roundtrip_all_dtypes;
+    Alcotest.test_case "read single / names" `Quick test_read_single_and_names;
+    Alcotest.test_case "bad magic" `Quick test_bad_magic;
+    Alcotest.test_case "atomic overwrite" `Quick test_overwrite_atomic;
+    QCheck_alcotest.to_alcotest prop_float_roundtrip;
+  ]

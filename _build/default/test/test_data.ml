@@ -1,0 +1,134 @@
+open Octf_tensor
+open Octf
+module B = Builder
+module Syn = Octf_data.Synthetic
+module Pipe = Octf_data.Pipeline
+
+let test_image_batch_shapes () =
+  let rng = Rng.create 1 in
+  let imgs = Syn.image_batch rng ~batch:4 ~size:8 ~channels:1 ~classes:4 in
+  Alcotest.(check (array int)) "pixels" [| 4; 8; 8; 1 |]
+    (Tensor.shape imgs.Syn.pixels);
+  Alcotest.(check (array int)) "labels" [| 4 |] (Tensor.shape imgs.Syn.labels);
+  Array.iter
+    (fun l -> if l < 0 || l >= 4 then Alcotest.fail "label range")
+    (Tensor.to_int_array imgs.Syn.labels)
+
+let test_image_batch_learnable_signal () =
+  (* The class-k square must be brighter inside than outside. *)
+  let rng = Rng.create 2 in
+  let imgs = Syn.image_batch rng ~batch:1 ~size:8 ~channels:1 ~classes:4 in
+  let k = Tensor.flat_get_i imgs.Syn.labels 0 in
+  let cell = 8 / 2 in
+  let gy = k / 2 * cell and gx = k mod 2 * cell in
+  let inside = Tensor.get_f imgs.Syn.pixels [| 0; gy + 1; gx + 1; 0 |] in
+  let oy = (gy + cell) mod 8 and ox = (gx + cell) mod 8 in
+  let outside = Tensor.get_f imgs.Syn.pixels [| 0; oy; ox; 0 |] in
+  Alcotest.(check bool) "bright square" true (inside > outside +. 0.3)
+
+let test_regression_batch () =
+  let rng = Rng.create 3 in
+  let x, y = Syn.regression_batch rng ~batch:8 ~dim:2 ~w:[| 2.0; -1.0 |] ~bias:0.5 ~noise:0.0 in
+  for i = 0 to 7 do
+    let expected =
+      (2.0 *. Tensor.get_f x [| i; 0 |])
+      -. Tensor.get_f x [| i; 1 |]
+      +. 0.5
+    in
+    Alcotest.(check (float 1e-6)) "linear" expected (Tensor.get_f y [| i; 0 |])
+  done
+
+let test_xor_batch () =
+  let rng = Rng.create 4 in
+  let x, y = Syn.xor_batch rng ~batch:32 in
+  Alcotest.(check (array int)) "x shape" [| 32; 2 |] (Tensor.shape x);
+  for i = 0 to 31 do
+    let a = Tensor.get_f x [| i; 0 |] > 0.5 in
+    let b = Tensor.get_f x [| i; 1 |] > 0.5 in
+    let label = if Tensor.get_f y [| i; 1 |] > 0.5 then 1 else 0 in
+    Alcotest.(check int) "xor label" (if a <> b then 1 else 0) label
+  done
+
+let test_lm_batch_shift () =
+  let stream = Array.init 100 (fun i -> i) in
+  let rng = Rng.create 5 in
+  let inputs, targets = Syn.lm_batch rng ~stream ~batch:2 ~unroll:5 ~position:0 in
+  for i = 0 to 1 do
+    for t = 0 to 4 do
+      Alcotest.(check int) "target = next input"
+        (Tensor.get_i inputs [| i; t |] + 1)
+        (Tensor.get_i targets [| i; t |])
+    done
+  done
+
+let test_token_stream_range () =
+  let rng = Rng.create 6 in
+  let s = Syn.token_stream rng ~vocab:100 ~length:1000 ~zipf_s:1.1 in
+  Array.iter (fun v -> if v < 0 || v >= 100 then Alcotest.fail "range") s
+
+let test_pipeline_fill_and_drain () =
+  let b = B.create () in
+  let producer = B.placeholder b Dtype.F32 in
+  let pipe = Pipe.create b ~capacity:8 ~name:"p" ~producers:[ producer ] () in
+  let batch = List.hd (Pipe.batch pipe) in
+  let session = Session.create (B.graph b) in
+  let counter = ref 0.0 in
+  let counter_mutex = Mutex.create () in
+  let feed _ =
+    Mutex.lock counter_mutex;
+    counter := !counter +. 1.0;
+    let v = !counter in
+    Mutex.unlock counter_mutex;
+    [ (producer, Tensor.scalar_f v) ]
+  in
+  let fillers = Pipe.start_fillers pipe session ~threads:2 ~steps:5 ~feed () in
+  let total = ref 0.0 in
+  for _ = 1 to 10 do
+    total := !total +. Tensor.flat_get_f (List.hd (Session.run session [ batch ])) 0
+  done;
+  List.iter Thread.join fillers;
+  (* Values 1..10 all arrive exactly once. *)
+  Alcotest.(check (float 0.)) "sum of 1..10" 55.0 !total
+
+let test_pipeline_close_stops_fillers () =
+  let b = B.create () in
+  let producer = B.placeholder b Dtype.F32 in
+  let pipe = Pipe.create b ~capacity:2 ~name:"p" ~producers:[ producer ] () in
+  let session = Session.create (B.graph b) in
+  let feed _ = [ (producer, Tensor.scalar_f 1.0) ] in
+  (* Unbounded fillers: must stop once the queue closes. *)
+  let fillers = Pipe.start_fillers pipe session ~threads:2 ~feed () in
+  Thread.delay 0.05;
+  Pipe.close pipe session;
+  List.iter Thread.join fillers;
+  ()
+
+let test_pipeline_batch_many () =
+  let b = B.create () in
+  let producer = B.placeholder b Dtype.F32 in
+  let pipe = Pipe.create b ~capacity:8 ~name:"p" ~producers:[ producer ] () in
+  let stacked = List.hd (Pipe.batch_many pipe ~n:3) in
+  let session = Session.create (B.graph b) in
+  for i = 1 to 3 do
+    Session.run_unit
+      ~feeds:[ (producer, Tensor.scalar_f (float_of_int i)) ]
+      session
+      [ Pipe.enqueue_op pipe ]
+  done;
+  let v = List.hd (Session.run session [ stacked ]) in
+  Alcotest.(check (array int)) "stacked shape" [| 3 |] (Tensor.shape v);
+  Alcotest.(check (float 0.)) "order" 2.0 (Tensor.get_f v [| 1 |])
+
+let suite =
+  [
+    Alcotest.test_case "image batch shapes" `Quick test_image_batch_shapes;
+    Alcotest.test_case "image learnable signal" `Quick
+      test_image_batch_learnable_signal;
+    Alcotest.test_case "regression batch" `Quick test_regression_batch;
+    Alcotest.test_case "xor batch" `Quick test_xor_batch;
+    Alcotest.test_case "lm batch shift" `Quick test_lm_batch_shift;
+    Alcotest.test_case "token stream range" `Quick test_token_stream_range;
+    Alcotest.test_case "pipeline fill/drain" `Quick test_pipeline_fill_and_drain;
+    Alcotest.test_case "pipeline close" `Quick test_pipeline_close_stops_fillers;
+    Alcotest.test_case "pipeline batch_many" `Quick test_pipeline_batch_many;
+  ]

@@ -1,0 +1,58 @@
+open Octf
+
+let test_roundtrip () =
+  let d = Device.make ~job:"worker" ~task:3 ~index:1 Device.GPU in
+  Alcotest.(check string) "to_string" "/job:worker/task:3/device:GPU:1"
+    (Device.to_string d);
+  Alcotest.(check bool) "of_string roundtrip" true
+    (Device.equal d (Device.of_string (Device.to_string d)))
+
+let test_partial_specs () =
+  let spec = Device.spec_of_string "/job:ps/task:2" in
+  let on_ps = Device.make ~job:"ps" ~task:2 Device.CPU in
+  let elsewhere = Device.make ~job:"ps" ~task:1 Device.CPU in
+  Alcotest.(check bool) "matches" true (Device.matches spec on_ps);
+  Alcotest.(check bool) "no match" false (Device.matches spec elsewhere);
+  let gpu_any = Device.spec_of_string "GPU" in
+  Alcotest.(check bool) "type-only spec" true
+    (Device.matches gpu_any (Device.make ~job:"w" Device.GPU));
+  Alcotest.(check bool) "empty spec matches all" true
+    (Device.matches Device.unconstrained on_ps)
+
+let test_of_string_partial_rejected () =
+  Alcotest.check_raises "partial"
+    (Invalid_argument "Device.of_string: partial spec /job:w") (fun () ->
+      ignore (Device.of_string "/job:w"))
+
+let test_merge () =
+  let a = Device.spec_of_string "/job:ps" in
+  let b = Device.spec_of_string "/task:1" in
+  let m = Device.merge_specs a b in
+  Alcotest.(check string) "merged" "/job:ps/task:1" (Device.spec_to_string m);
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Device.merge_specs: conflicting job") (fun () ->
+      ignore (Device.merge_specs a (Device.spec_of_string "/job:worker")))
+
+let test_bad_component () =
+  Alcotest.check_raises "garbage"
+    (Invalid_argument "Device.spec_of_string: bad component nonsense")
+    (fun () -> ignore (Device.spec_of_string "/nonsense"))
+
+let test_perf_models () =
+  let cpu = Device.default_perf Device.CPU in
+  let gpu = Device.default_perf Device.GPU in
+  let tpu = Device.default_perf Device.TPU in
+  Alcotest.(check bool) "gpu faster than cpu" true
+    (gpu.Device.flops_per_sec > cpu.Device.flops_per_sec);
+  Alcotest.(check bool) "tpu faster than gpu" true
+    (tpu.Device.flops_per_sec > gpu.Device.flops_per_sec)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "partial specs" `Quick test_partial_specs;
+    Alcotest.test_case "of_string partial" `Quick test_of_string_partial_rejected;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "bad component" `Quick test_bad_component;
+    Alcotest.test_case "perf models" `Quick test_perf_models;
+  ]

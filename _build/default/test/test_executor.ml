@@ -1,0 +1,234 @@
+(* Control flow and dead-value semantics (§3.4). *)
+
+open Octf_tensor
+open Octf
+module B = Builder
+
+let scalar t = Tensor.flat_get_f t 0
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let run1 ?(optimize = false) b fetch feeds =
+  let s = Session.create ~optimize (B.graph b) in
+  match Session.run ~feeds s [ fetch ] with
+  | [ v ] -> scalar v
+  | _ -> Alcotest.fail "arity"
+
+let test_switch_dead_propagation () =
+  (* The untaken Switch branch is dead and poisons downstream nodes; a
+     fetch of a dead value errors. *)
+  let b = B.create () in
+  let pred = B.const b (Tensor.scalar_b true) in
+  let x = B.const_f b 1.0 in
+  let f, t = B.switch b x pred in
+  let dead_side = B.neg b f in
+  let live_side = B.neg b t in
+  let s = Session.create ~optimize:false (B.graph b) in
+  (match Session.run s [ live_side ] with
+  | [ v ] -> Alcotest.(check (float 0.)) "live" (-1.0) (scalar v)
+  | _ -> Alcotest.fail "arity");
+  match Session.run s [ dead_side ] with
+  | _ -> Alcotest.fail "expected dead fetch error"
+  | exception Session.Run_error _ -> ()
+
+let test_merge_takes_live () =
+  let b = B.create () in
+  let pred = B.const b (Tensor.scalar_b false) in
+  let x = B.const_f b 5.0 in
+  let f, t = B.switch b x pred in
+  let merged = B.merge b [ B.neg b f; B.mul b t (B.const_f b 100.0) ] in
+  Alcotest.(check (float 0.)) "false branch survives" (-5.0)
+    (run1 b merged [])
+
+let test_dead_through_control_edge () =
+  (* A node control-dependent on a dead node dies too. *)
+  let b = B.create () in
+  let pred = B.const b (Tensor.scalar_b true) in
+  let x = B.const_f b 1.0 in
+  let f, _t = B.switch b x pred in
+  (* Control deadness is node-level: depend on an Identity of the dead
+     branch, not on the (always partially live) Switch node itself. *)
+  let fid = B.identity b f in
+  let gated =
+    B.op b
+      ~control_inputs:[ fid ]
+      ~op_type:"Const"
+      ~attrs:[ ("value", Attr.Tensor (Tensor.scalar_f 3.0)) ]
+      []
+  in
+  let s = Session.create ~optimize:false (B.graph b) in
+  match Session.run s [ B.output gated ] with
+  | _ -> Alcotest.fail "expected dead"
+  | exception Session.Run_error _ -> ()
+
+let test_nested_cond () =
+  let b = B.create () in
+  let p1 = B.placeholder b Dtype.Bool in
+  let p2 = B.placeholder b Dtype.Bool in
+  let x = B.const_f b 1.0 in
+  let result =
+    B.cond b p1 ~inputs:[ x ]
+      ~then_:(fun b ins ->
+        B.cond b p2 ~inputs:ins
+          ~then_:(fun b ins -> [ B.mul b (List.hd ins) (B.const_f b 10.0) ])
+          ~else_:(fun b ins -> [ B.mul b (List.hd ins) (B.const_f b 20.0) ]))
+      ~else_:(fun b ins -> [ B.neg b (List.hd ins) ])
+  in
+  let out = List.hd result in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let run p1v p2v =
+    match
+      Session.run
+        ~feeds:[ (p1, Tensor.scalar_b p1v); (p2, Tensor.scalar_b p2v) ]
+        s [ out ]
+    with
+    | [ v ] -> scalar v
+    | _ -> Alcotest.fail "arity"
+  in
+  Alcotest.(check (float 0.)) "tt" 10.0 (run true true);
+  Alcotest.(check (float 0.)) "tf" 20.0 (run true false);
+  Alcotest.(check (float 0.)) "ft" (-1.0) (run false true)
+
+let test_while_loop_multiple_vars () =
+  (* Fibonacci via a two-variable loop. *)
+  let b = B.create () in
+  let a0 = B.const_f b 0.0 and b0 = B.const_f b 1.0 in
+  let i0 = B.const_f b 0.0 in
+  let limit = B.const_f b 9.5 in
+  let results =
+    B.while_loop b ~invariants:[ limit ]
+      ~cond:(fun b vars ->
+        match vars with
+        | [ i; _; _; lim ] -> B.less b i lim
+        | _ -> assert false)
+      ~body:(fun b vars ->
+        match vars with
+        | [ i; x; y; _lim ] ->
+            [ B.add b i (B.ones_like b i); y; B.add b x y ]
+        | _ -> assert false)
+      [ i0; a0; b0 ]
+  in
+  let fib = List.nth results 1 in
+  Alcotest.(check (float 0.)) "fib(10)" 55.0 (run1 b fib [])
+
+let test_nested_while () =
+  (* sum_{i=1..3} sum_{j=1..i} 1 = 6, via nested loops. *)
+  let b = B.create () in
+  let i0 = B.const_f b 1.0 and total0 = B.const_f b 0.0 in
+  let three = B.const_f b 3.5 in
+  let results =
+    B.while_loop b ~name:"outer" ~invariants:[ three ]
+      ~cond:(fun b vars ->
+        match vars with
+        | [ i; _; lim ] -> B.less b i lim
+        | _ -> assert false)
+      ~body:(fun b vars ->
+        match vars with
+        | [ i; total; _lim ] ->
+            let inner =
+              B.while_loop b ~name:"inner" ~invariants:[ i ]
+                ~cond:(fun b vars ->
+                  match vars with
+                  | [ j; _; iv ] -> B.less b j iv
+                  | _ -> assert false)
+                ~body:(fun b vars ->
+                  match vars with
+                  | [ j; acc; _iv ] ->
+                      [ B.add b j (B.ones_like b j);
+                        B.add b acc (B.ones_like b acc) ]
+                  | _ -> assert false)
+                [ B.ones_like b i; B.zeros_like b total ]
+            in
+            let inner_count =
+              B.add b (List.nth inner 1) (B.ones_like b total)
+            in
+            [ B.add b i (B.ones_like b i); B.add b total inner_count ]
+        | _ -> assert false)
+      [ i0; total0 ]
+  in
+  let total = List.nth results 1 in
+  (* i = 1: inner runs 0 times (j=1 < 1 false) + 1; i = 2: 1 + 1;
+     i = 3: 2 + 1 -> total = 1 + 2 + 3 = 6. *)
+  Alcotest.(check (float 0.)) "nested sum" 6.0 (run1 b total [])
+
+let test_frame_crossing_rejected () =
+  (* A constant created inside the body (frame-crossing edge) is a
+     compile-time error with a helpful message. *)
+  let b = B.create () in
+  let x = B.const_f b 0.0 in
+  let results =
+    B.while_loop b
+      ~cond:(fun b vars -> B.less b (List.hd vars) (B.const_f b 3.0))
+      ~body:(fun b vars -> [ B.add b (List.hd vars) (B.const_f b 1.0) ])
+      [ x ]
+  in
+  let out = List.hd results in
+  let s = Session.create ~optimize:false (B.graph b) in
+  match Session.run s [ out ] with
+  | _ -> Alcotest.fail "expected frame-crossing error"
+  | exception Session.Run_error msg ->
+      Alcotest.(check bool) "mentions invariants" true
+        (contains msg "invariants")
+
+let test_loop_zero_iterations () =
+  let b = B.create () in
+  let i0 = B.const_f b 10.0 in
+  let limit = B.const_f b 5.0 in
+  let results =
+    B.while_loop b ~invariants:[ limit ]
+      ~cond:(fun b vars ->
+        match vars with
+        | [ i; lim ] -> B.less b i lim
+        | _ -> assert false)
+      ~body:(fun b vars ->
+        match vars with
+        | [ i; _lim ] -> [ B.add b i (B.ones_like b i) ]
+        | _ -> assert false)
+      [ i0 ]
+  in
+  Alcotest.(check (float 0.)) "initial value exits" 10.0
+    (run1 b (List.hd results) [])
+
+let test_reproducible_random_steps () =
+  let b = B.create () in
+  let r = B.random_uniform b ~lo:0.0 ~hi:1.0 [| 4 |] in
+  let sum = B.reduce_sum b r in
+  let s1 = Session.create ~seed:5 (B.graph b) in
+  let s2 = Session.create ~seed:5 (B.graph b) in
+  let v1 = List.hd (Session.run s1 [ sum ]) in
+  let v2 = List.hd (Session.run s2 [ sum ]) in
+  Alcotest.(check (float 0.)) "same seed same draw" (scalar v1) (scalar v2);
+  let v3 = List.hd (Session.run s1 [ sum ]) in
+  Alcotest.(check bool) "later step differs" true (scalar v3 <> scalar v1)
+
+let test_kernel_error_reporting () =
+  let b = B.create () in
+  let a = B.const b (Tensor.of_float_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |]) in
+  let bad = B.matmul b a (B.const b (Tensor.of_float_array [| 3; 1 |] [| 1.; 2.; 3. |])) in
+  let s = Session.create ~optimize:false (B.graph b) in
+  match Session.run s [ bad ] with
+  | _ -> Alcotest.fail "expected kernel error"
+  | exception Session.Run_error msg ->
+      Alcotest.(check bool) "names the op" true (contains msg "MatMul")
+
+let suite =
+  [
+    Alcotest.test_case "switch dead propagation" `Quick
+      test_switch_dead_propagation;
+    Alcotest.test_case "merge takes live" `Quick test_merge_takes_live;
+    Alcotest.test_case "dead control edge" `Quick test_dead_through_control_edge;
+    Alcotest.test_case "nested cond" `Quick test_nested_cond;
+    Alcotest.test_case "while multiple vars" `Quick
+      test_while_loop_multiple_vars;
+    Alcotest.test_case "nested while" `Quick test_nested_while;
+    Alcotest.test_case "frame crossing rejected" `Quick
+      test_frame_crossing_rejected;
+    Alcotest.test_case "zero-iteration loop" `Quick test_loop_zero_iterations;
+    Alcotest.test_case "reproducible randomness" `Quick
+      test_reproducible_random_steps;
+    Alcotest.test_case "kernel error reporting" `Quick
+      test_kernel_error_reporting;
+  ]

@@ -1,0 +1,129 @@
+open Octf
+module B = Builder
+
+let test_add_and_get () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~name:"a" ~op_type:"Const" () in
+  let b =
+    Graph.add_node g ~name:"b" ~op_type:"Identity"
+      ~inputs:[ Node.endpoint a.Node.id 0 ]
+      ()
+  in
+  Alcotest.(check int) "ids sequential" 1 b.Node.id;
+  Alcotest.(check string) "lookup" "a" (Graph.get g 0).Node.name;
+  Alcotest.(check bool) "find by name" true
+    (Graph.find_by_name g "b" <> None);
+  Alcotest.(check int) "count" 2 (Graph.node_count g)
+
+let test_unique_names () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~name:"x" ~op_type:"Const" () in
+  let b = Graph.add_node g ~name:"x" ~op_type:"Const" () in
+  Alcotest.(check string) "first" "x" a.Node.name;
+  Alcotest.(check string) "second uniquified" "x_1" b.Node.name
+
+let test_bad_input_rejected () =
+  let g = Graph.create () in
+  Alcotest.check_raises "unknown producer"
+    (Invalid_argument "Graph.get: unknown node id 5") (fun () ->
+      ignore
+        (Graph.add_node g ~op_type:"Identity"
+           ~inputs:[ Node.endpoint 5 0 ]
+           ()));
+  let a = Graph.add_node g ~op_type:"Const" () in
+  Alcotest.check_raises "bad output slot"
+    (Invalid_argument "Graph.add_node: Const has no output 3 (arity 1)")
+    (fun () ->
+      ignore
+        (Graph.add_node g ~op_type:"Identity"
+           ~inputs:[ Node.endpoint a.Node.id 3 ]
+           ()))
+
+let test_topological_order () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y = B.neg b x in
+  let z = B.add b y x in
+  ignore z;
+  let order = Graph.topological_order (B.graph b) in
+  let pos name =
+    let rec go i = function
+      | [] -> -1
+      | (n : Node.t) :: rest -> if n.Node.name = name then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "const before neg" true (pos "Const" < pos "Neg");
+  Alcotest.(check bool) "neg before add" true (pos "Neg" < pos "Add")
+
+let test_loop_back_edge_tolerated () =
+  (* NextIteration -> Merge back edges must not count as cycles. *)
+  let b = B.create () in
+  let x = B.const_f b 0.0 in
+  let results =
+    B.while_loop b
+      ~cond:(fun b vars -> B.less b (List.hd vars) (List.hd vars))
+      ~body:(fun _ vars -> [ List.hd vars ])
+      [ x ]
+  in
+  ignore results;
+  (* Should not raise. *)
+  ignore (Graph.topological_order (B.graph b))
+
+let test_set_input () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~op_type:"Const" () in
+  let b = Graph.add_node g ~op_type:"Const" () in
+  let c =
+    Graph.add_node g ~op_type:"Identity" ~inputs:[ Node.endpoint a.Node.id 0 ] ()
+  in
+  Graph.set_input g ~node_id:c.Node.id ~slot:0 (Node.endpoint b.Node.id 0);
+  let c' = Graph.get g c.Node.id in
+  Alcotest.(check int) "repointed" b.Node.id c'.Node.inputs.(0).Node.node_id
+
+let test_consumers () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let _y = B.neg b x in
+  let _z = B.neg b x in
+  let consumers = Graph.consumers_of (B.graph b) in
+  Alcotest.(check int) "two consumers" 2
+    (List.length consumers.(x.B.node.Node.id))
+
+let test_control_inputs () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let gate = B.no_op b ~control_inputs:[ x ] () in
+  Alcotest.(check (list int)) "control edge" [ x.B.node.Node.id ]
+    gate.B.node.Node.control_inputs
+
+let test_with_control_dependencies () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y =
+    B.with_control_dependencies b [ x ] (fun () -> B.const_f b 2.0)
+  in
+  Alcotest.(check (list int)) "scoped dep" [ x.B.node.Node.id ]
+    y.B.node.Node.control_inputs
+
+let test_name_scopes () =
+  let b = B.create () in
+  let y = B.with_name_scope b "outer" (fun () ->
+      B.with_name_scope b "inner" (fun () -> B.const_f b 1.0))
+  in
+  Alcotest.(check string) "scoped name" "outer/inner/Const" y.B.node.Node.name
+
+let suite =
+  [
+    Alcotest.test_case "add and get" `Quick test_add_and_get;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "bad input rejected" `Quick test_bad_input_rejected;
+    Alcotest.test_case "topological order" `Quick test_topological_order;
+    Alcotest.test_case "loop back edges" `Quick test_loop_back_edge_tolerated;
+    Alcotest.test_case "set_input" `Quick test_set_input;
+    Alcotest.test_case "consumers" `Quick test_consumers;
+    Alcotest.test_case "control inputs" `Quick test_control_inputs;
+    Alcotest.test_case "control dependency scope" `Quick
+      test_with_control_dependencies;
+    Alcotest.test_case "name scopes" `Quick test_name_scopes;
+  ]

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "octf"
+    [
+      ("smoke", Test_smoke.suite);
+      ("shape", Test_shape.suite);
+      ("tensor", Test_tensor.suite);
+      ("rng", Test_rng.suite);
+      ("tensor_ops", Test_tensor_ops.suite);
+      ("graph", Test_graph.suite);
+      ("device", Test_device.suite);
+      ("queue", Test_queue.suite);
+      ("resource", Test_resource.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("placement", Test_placement.suite);
+      ("partition", Test_partition.suite);
+      ("executor", Test_executor.suite);
+      ("gradients", Test_gradients.suite);
+      ("session", Test_session.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("saver", Test_saver.suite);
+      ("sync_replicas", Test_sync.suite);
+      ("nn", Test_nn.suite);
+      ("data", Test_data.suite);
+      ("models", Test_models.suite);
+      ("sim", Test_sim.suite);
+      ("graph_optimizer", Test_optimizer_passes.suite);
+      ("cluster", Test_cluster.suite);
+      ("tracer", Test_tracer.suite);
+      ("quantization", Test_quant.suite);
+      ("records", Test_records.suite);
+      ("schedule", Test_schedule.suite);
+      ("shape_inference", Test_shape_inference.suite);
+      ("tensor_array", Test_tensor_array.suite);
+      ("kernels_misc", Test_kernels_misc.suite);
+      ("nn_extra", Test_nn_extra.suite);
+    ]

@@ -1,0 +1,95 @@
+module Zoo = Octf_models.Convnet_zoo
+module Fw = Octf_models.Framework_model
+module Lm = Octf_models.Lstm_model
+module W = Octf_models.Workload
+
+(* Published multiply-add counts per image (forward): AlexNet ~0.7G,
+   Overfeat ~2.8G, VGG-A ~7.6G, GoogleNet ~1.5G. The analytic specs must
+   land near them. *)
+let check_macs name model expected_g tolerance =
+  Alcotest.test_case (name ^ " MACs") `Quick (fun () ->
+      let g = Zoo.macs_per_image model /. 1e9 in
+      if Float.abs (g -. expected_g) > tolerance then
+        Alcotest.failf "%s: %.2f GMACs, expected %.2f ± %.2f" name g
+          expected_g tolerance)
+
+let check_params name model expected_m tolerance =
+  Alcotest.test_case (name ^ " params") `Quick (fun () ->
+      let m = Zoo.params model /. 1e6 in
+      if Float.abs (m -. expected_m) > tolerance then
+        Alcotest.failf "%s: %.1fM params, expected %.1fM ± %.1fM" name m
+          expected_m tolerance)
+
+let test_table1_orderings () =
+  (* The qualitative Table 1 claims. *)
+  let models = [ Zoo.alexnet; Zoo.overfeat; Zoo.oxfordnet; Zoo.googlenet ] in
+  List.iter
+    (fun m ->
+      let t fw = Fw.step_time_ms m fw in
+      Alcotest.(check bool)
+        (m.Zoo.name ^ ": caffe slowest")
+        true
+        (t Fw.caffe > t Fw.tensorflow && t Fw.caffe > t Fw.torch
+        && t Fw.caffe > t Fw.neon);
+      Alcotest.(check bool)
+        (m.Zoo.name ^ ": torch and tf within 10%")
+        true
+        (Float.abs (t Fw.torch -. t Fw.tensorflow)
+        < 0.1 *. t Fw.tensorflow))
+    models;
+  (* Neon's hand-tuned kernels win on the conv-heavy models. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Zoo.name ^ ": neon beats tf")
+        true
+        (Fw.step_time_ms m Fw.neon < Fw.step_time_ms m Fw.tensorflow))
+    [ Zoo.overfeat; Zoo.oxfordnet; Zoo.googlenet ]
+
+let test_step_time_scales_with_batch () =
+  (* Compute scales linearly; the fixed per-op dispatch overhead does
+     not, so the ratio sits between 1.5x and 2x and approaches 2x as the
+     batch grows. *)
+  let t b = Fw.step_time_ms ~batch:b Zoo.alexnet Fw.tensorflow in
+  Alcotest.(check bool) "sublinear but close" true
+    (t 64 > 1.5 *. t 32 && t 64 < 2.05 *. t 32);
+  Alcotest.(check bool) "overhead amortizes" true
+    (t 256 /. t 128 > t 64 /. t 32)
+
+let test_lstm_model () =
+  Alcotest.(check (float 1.0)) "sampled-512 reduction ~78x" 78.0
+    (Lm.softmax_reduction (Lm.Sampled 512));
+  let full = Lm.workload ~softmax:Lm.Full ~batch:64 ~unroll:20 in
+  let sampled = Lm.workload ~softmax:(Lm.Sampled 512) ~batch:64 ~unroll:20 in
+  Alcotest.(check bool) "full offloads to PS" true
+    (full.W.ps_flops > 0.0 && sampled.W.ps_flops = 0.0);
+  Alcotest.(check bool) "sampled moves less data" true
+    (sampled.W.fetch_bytes < full.W.fetch_bytes);
+  Alcotest.(check (float 0.)) "words per step" 1280.0 full.W.items_per_step
+
+let test_workloads () =
+  let inception = W.inception_v3 ~batch:32 in
+  (* ~23.8M params = ~95 MB; fetch = update = model size. *)
+  Alcotest.(check bool) "inception param bytes" true
+    (Float.abs ((inception.W.param_bytes /. 1048576.0) -. 90.8) < 1.0);
+  Alcotest.(check bool) "null scalar tiny" true
+    (W.null_scalar.W.fetch_bytes < 100.0);
+  let sparse = W.null_sparse ~gb:16.0 ~entries:32 ~dim:8192 in
+  let sparse_small = W.null_sparse ~gb:1.0 ~entries:32 ~dim:8192 in
+  Alcotest.(check (float 0.)) "sparse fetch independent of size"
+    sparse.W.fetch_bytes sparse_small.W.fetch_bytes
+
+let suite =
+  [
+    check_macs "alexnet" Zoo.alexnet 0.71 0.15;
+    check_macs "overfeat" Zoo.overfeat 2.8 0.5;
+    check_macs "oxfordnet" Zoo.oxfordnet 7.6 0.8;
+    check_macs "googlenet" Zoo.googlenet 1.5 0.4;
+    check_params "alexnet" Zoo.alexnet 61.0 6.0;
+    check_params "oxfordnet" Zoo.oxfordnet 133.0 10.0;
+    check_params "googlenet" Zoo.googlenet 7.0 1.5;
+    Alcotest.test_case "table1 orderings" `Quick test_table1_orderings;
+    Alcotest.test_case "batch scaling" `Quick test_step_time_scales_with_batch;
+    Alcotest.test_case "lstm model" `Quick test_lstm_model;
+    Alcotest.test_case "workloads" `Quick test_workloads;
+  ]

@@ -1,0 +1,234 @@
+open Octf_tensor
+open Octf
+module B = Builder
+module Vs = Octf_nn.Var_store
+module L = Octf_nn.Layers
+
+let scalar t = Tensor.flat_get_f t 0
+
+let test_var_store_dedup () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let v1 = Vs.get store ~name:"w" [| 2 |] in
+  let v2 = Vs.get store ~name:"w" [| 2 |] in
+  Alcotest.(check bool) "same variable" true (v1 == v2);
+  Alcotest.(check int) "one trainable" 1 (List.length (Vs.trainable store))
+
+let test_var_store_trainable_flag () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let _v = Vs.get store ~name:"w" [| 2 |] in
+  let _s = Vs.get store ~trainable:false ~name:"slot" [| 2 |] in
+  Alcotest.(check int) "all" 2 (List.length (Vs.all store));
+  Alcotest.(check int) "trainable" 1 (List.length (Vs.trainable store))
+
+let test_init_determinism () =
+  let mk () =
+    let b = B.create () in
+    let store = Vs.create ~seed:3 b in
+    let v = Vs.get store ~name:"w" [| 4 |] in
+    let s = Session.create (B.graph b) in
+    Session.run_unit s [ Vs.init_op store ];
+    List.hd (Session.run s [ v.Vs.read ])
+  in
+  Alcotest.(check bool) "same seed, same init" true
+    (Tensor.approx_equal (mk ()) (mk ()))
+
+let test_glorot_bounds () =
+  let rng = Rng.create 1 in
+  let t = Octf_nn.Init.glorot_uniform rng [| 100; 50 |] in
+  let limit = Stdlib.sqrt (6.0 /. 150.0) in
+  Alcotest.(check bool) "within bounds" true
+    (Tensor.fold_f
+       (fun acc v -> acc && Float.abs v <= limit +. 1e-9)
+       true t)
+
+let test_dense_shapes_and_math () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.const b (Tensor.ones Dtype.F32 [| 2; 3 |]) in
+  let y =
+    L.dense store ~init:(Octf_nn.Init.constant 0.5) ~name:"fc" ~in_dim:3
+      ~out_dim:4 x
+  in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let v = List.hd (Session.run s [ y ]) in
+  Alcotest.(check (array int)) "shape" [| 2; 4 |] (Tensor.shape v);
+  (* 3 inputs * 0.5 weights + 0 bias = 1.5 *)
+  Alcotest.(check (float 1e-6)) "value" 1.5 (Tensor.get_f v [| 0; 0 |])
+
+let test_conv_layer_shapes () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.const b (Tensor.ones Dtype.F32 [| 1; 8; 8; 3 |]) in
+  let y =
+    L.conv2d store ~activation:`Relu ~name:"c" ~in_channels:3 ~out_channels:5
+      ~ksize:(3, 3) x
+  in
+  let pooled = L.max_pool2d b ~ksize:(2, 2) y in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let v = List.hd (Session.run s [ pooled ]) in
+  Alcotest.(check (array int)) "shape" [| 1; 4; 4; 5 |] (Tensor.shape v)
+
+let test_batch_norm_normalizes () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let x =
+    B.const b (Tensor.of_float_array [| 4; 1 |] [| 2.; 4.; 6.; 8. |])
+  in
+  let y = L.batch_norm store ~name:"bn" ~dim:1 x in
+  let mean = B.reduce_mean b ~axes:[ 0 ] y in
+  let var = B.reduce_mean b ~axes:[ 0 ] (B.square b y) in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let vs = Session.run s [ mean; var ] in
+  Alcotest.(check (float 1e-4)) "zero mean" 0.0 (scalar (List.hd vs));
+  Alcotest.(check (float 1e-2)) "unit variance" 1.0 (scalar (List.nth vs 1))
+
+let test_dropout_scaling () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let x = B.const b (Tensor.ones Dtype.F32 [| 1000 |]) in
+  let y = L.dropout store ~rate:0.5 ~shape:[| 1000 |] x in
+  let mean = B.reduce_mean b y in
+  let s = Session.create (B.graph b) in
+  let v = scalar (List.hd (Session.run s [ mean ])) in
+  (* Inverted dropout keeps the expectation ~1. *)
+  Alcotest.(check bool) "expectation preserved" true (Float.abs (v -. 1.0) < 0.15)
+
+let test_embedding_matches_single_gather () =
+  (* Sharded Part->Gather->Stitch must equal a plain gather on the
+     concatenated table. *)
+  let vocab = 20 and dim = 3 in
+  let run_with num_shards =
+    let b = B.create () in
+    let store = Vs.create ~seed:9 b in
+    let emb =
+      Octf_nn.Embedding.create store
+        ~init:(fun rng shape -> Tensor.uniform rng shape ~lo:0.0 ~hi:1.0)
+        ~name:"e" ~vocab ~dim ~num_shards ()
+    in
+    let ids = B.const b (Tensor.of_int_array [| 6 |] [| 0; 19; 7; 7; 3; 12 |]) in
+    let looked = Octf_nn.Embedding.lookup emb b ids in
+    let s = Session.create (B.graph b) in
+    Session.run_unit s [ Vs.init_op store ];
+    List.hd (Session.run s [ looked ])
+  in
+  let single = run_with 1 in
+  Alcotest.(check (array int)) "shape" [| 6; 3 |] (Tensor.shape single);
+  (* Rows with the same id must agree regardless of sharding. *)
+  let sharded = run_with 4 in
+  Alcotest.(check bool) "duplicate ids equal (single)" true
+    (Tensor.get_f single [| 2; 0 |] = Tensor.get_f single [| 3; 0 |]);
+  Alcotest.(check bool) "duplicate ids equal (sharded)" true
+    (Tensor.get_f sharded [| 2; 0 |] = Tensor.get_f sharded [| 3; 0 |])
+
+let test_embedding_shard_sizes () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let emb =
+    Octf_nn.Embedding.create store ~name:"e" ~vocab:10 ~dim:2 ~num_shards:3 ()
+  in
+  let sizes =
+    List.map
+      (fun (v : Vs.variable) -> (Vs.(v.shape)).(0))
+      emb.Octf_nn.Embedding.shards
+  in
+  (* Mod sharding of 10 over 3: rows {0,3,6,9}, {1,4,7}, {2,5,8}. *)
+  Alcotest.(check (list int)) "shard row counts" [ 4; 3; 3 ] sizes;
+  Alcotest.(check int) "total" 10 (List.fold_left ( + ) 0 sizes)
+
+let test_lstm_step_math () =
+  (* With zero kernel, bias [i f g o] = [0 1 0 0]: c' = sigmoid(0)*tanh(0)
+     + ... all zero; everything stays 0 except via forget bias. *)
+  let b = B.create () in
+  let store = Vs.create b in
+  let cell =
+    Octf_nn.Lstm.cell store ~name:"lstm" ~input_dim:2 ~units:3
+  in
+  let x = B.const b (Tensor.ones Dtype.F32 [| 1; 2 |]) in
+  let h0, c0 = Octf_nn.Lstm.zero_state cell b ~batch:1 in
+  let h1, c1 = Octf_nn.Lstm.step cell b ~x ~h:h0 ~c:c0 in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let vs = Session.run s [ h1; c1 ] in
+  Alcotest.(check (array int)) "h shape" [| 1; 3 |]
+    (Tensor.shape (List.hd vs));
+  Alcotest.(check (array int)) "c shape" [| 1; 3 |]
+    (Tensor.shape (List.nth vs 1));
+  (* States are bounded by the tanh/sigmoid envelope. *)
+  Alcotest.(check bool) "h bounded" true
+    (Tensor.fold_f (fun acc v -> acc && Float.abs v < 1.0) true (List.hd vs))
+
+let test_lstm_unroll_length () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let cell = Octf_nn.Lstm.cell store ~name:"lstm" ~input_dim:2 ~units:2 in
+  let xs =
+    List.init 5 (fun _ -> B.const b (Tensor.ones Dtype.F32 [| 1; 2 |]))
+  in
+  let hs = Octf_nn.Lstm.unroll cell b ~xs ~batch:1 in
+  Alcotest.(check int) "one state per step" 5 (List.length hs);
+  (* Weights are shared: exactly one kernel + one bias variable. *)
+  Alcotest.(check int) "two variables" 2 (List.length (Vs.all store))
+
+let test_sampled_softmax_loss_reasonable () =
+  let b = B.create () in
+  let store = Vs.create ~seed:4 b in
+  let w =
+    Vs.get store ~init:(Octf_nn.Init.normal ~stddev:0.1 ()) ~name:"w"
+      [| 50; 8 |]
+  in
+  let hidden = B.const b (Tensor.ones Dtype.F32 [| 4; 8 |]) in
+  let labels = B.const b (Tensor.of_int_array [| 4 |] [| 1; 2; 3; 4 |]) in
+  let full =
+    Octf_nn.Sampled_softmax.full_softmax_loss b ~weights:w.Vs.read ~hidden
+      ~labels ~num_classes:50
+  in
+  let sampled =
+    Octf_nn.Sampled_softmax.sampled_softmax_loss b ~weights:w.Vs.read ~hidden
+      ~labels ~num_sampled:10 ~num_classes:50
+  in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let vs = Session.run s [ full; sampled ] in
+  let fl = scalar (List.hd vs) and sl = scalar (List.nth vs 1) in
+  (* Near-uniform weights: full ~ log 50, sampled ~ log 11. *)
+  Alcotest.(check bool) "full near log V" true (Float.abs (fl -. log 50.) < 1.0);
+  Alcotest.(check bool) "sampled near log (s+1)" true
+    (Float.abs (sl -. log 11.) < 1.0)
+
+let test_losses_accuracy () =
+  let b = B.create () in
+  let logits =
+    B.const b
+      (Tensor.of_float_array [| 3; 2 |] [| 5.; 0.; 0.; 5.; 5.; 0. |])
+  in
+  let labels = B.const b (Tensor.of_int_array [| 3 |] [| 0; 1; 1 |]) in
+  let acc = Octf_nn.Losses.accuracy b ~logits ~labels in
+  let s = Session.create (B.graph b) in
+  Alcotest.(check (float 1e-6)) "2 of 3" (2.0 /. 3.0)
+    (scalar (List.hd (Session.run s [ acc ])))
+
+let suite =
+  [
+    Alcotest.test_case "var store dedup" `Quick test_var_store_dedup;
+    Alcotest.test_case "trainable flag" `Quick test_var_store_trainable_flag;
+    Alcotest.test_case "init determinism" `Quick test_init_determinism;
+    Alcotest.test_case "glorot bounds" `Quick test_glorot_bounds;
+    Alcotest.test_case "dense layer" `Quick test_dense_shapes_and_math;
+    Alcotest.test_case "conv layer" `Quick test_conv_layer_shapes;
+    Alcotest.test_case "batch norm" `Quick test_batch_norm_normalizes;
+    Alcotest.test_case "dropout scaling" `Quick test_dropout_scaling;
+    Alcotest.test_case "embedding lookup" `Quick
+      test_embedding_matches_single_gather;
+    Alcotest.test_case "embedding shard sizes" `Quick
+      test_embedding_shard_sizes;
+    Alcotest.test_case "lstm step" `Quick test_lstm_step_math;
+    Alcotest.test_case "lstm unroll" `Quick test_lstm_unroll_length;
+    Alcotest.test_case "sampled softmax" `Quick
+      test_sampled_softmax_loss_reasonable;
+    Alcotest.test_case "accuracy metric" `Quick test_losses_accuracy;
+  ]

@@ -1,0 +1,123 @@
+(* GRU, metrics, and end-to-end convergence integration tests. *)
+
+open Octf_tensor
+open Octf
+module B = Builder
+module Vs = Octf_nn.Var_store
+
+let scalar t = Tensor.flat_get_f t 0
+
+let test_gru_shapes () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let cell = Octf_nn.Gru.cell store ~name:"gru" ~input_dim:3 ~units:4 in
+  let xs = List.init 3 (fun _ -> B.const b (Tensor.ones Dtype.F32 [| 2; 3 |])) in
+  let hs = Octf_nn.Gru.unroll cell b ~xs ~batch:2 in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let last = List.hd (Session.run s [ List.nth hs 2 ]) in
+  Alcotest.(check (array int)) "state shape" [| 2; 4 |] (Tensor.shape last);
+  Alcotest.(check bool) "bounded" true
+    (Tensor.fold_f (fun acc v -> acc && Float.abs v <= 1.0) true last);
+  Alcotest.(check int) "four weight tensors" 4 (List.length (Vs.all store))
+
+let test_gru_trains () =
+  (* Learn to output the first input of a 3-step sequence (memory task). *)
+  let b = B.create () in
+  let store = Vs.create ~seed:2 b in
+  let cell = Octf_nn.Gru.cell store ~name:"gru" ~input_dim:1 ~units:6 in
+  let x0 = B.placeholder b ~shape:[| 8; 1 |] Dtype.F32 in
+  let zeros = B.const b (Tensor.zeros Dtype.F32 [| 8; 1 |]) in
+  let hs = Octf_nn.Gru.unroll cell b ~xs:[ x0; zeros; zeros ] ~batch:8 in
+  let out =
+    Octf_nn.Layers.dense store ~name:"head" ~in_dim:6 ~out_dim:1
+      (List.nth hs 2)
+  in
+  let loss = Octf_nn.Losses.mse b ~predictions:out ~targets:x0 in
+  let train =
+    Octf_train.Optimizer.minimize store
+      ~algorithm:Octf_train.Optimizer.adam_default ~lr:0.02 ~loss ()
+  in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let rng = Rng.create 5 in
+  let batch () =
+    Tensor.uniform rng [| 8; 1 |] ~lo:(-1.0) ~hi:1.0
+  in
+  let loss_at () =
+    scalar (List.hd (Session.run ~feeds:[ (x0, batch ()) ] s [ loss ]))
+  in
+  let initial = loss_at () in
+  for _ = 1 to 150 do
+    Session.run_unit ~feeds:[ (x0, batch ()) ] s [ train ]
+  done;
+  let final = loss_at () in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss fell (%.4f -> %.4f)" initial final)
+    true
+    (final < 0.3 *. initial)
+
+let test_xor_mlp_converges () =
+  let b = B.create () in
+  let store = Vs.create ~seed:3 b in
+  let x = B.placeholder b ~shape:[| 32; 2 |] Dtype.F32 in
+  let y = B.placeholder b ~shape:[| 32; 2 |] Dtype.F32 in
+  let hidden =
+    Octf_nn.Layers.dense store ~activation:`Tanh ~name:"h" ~in_dim:2
+      ~out_dim:8 x
+  in
+  let logits =
+    Octf_nn.Layers.dense store ~name:"out" ~in_dim:8 ~out_dim:2 hidden
+  in
+  let loss = Octf_nn.Losses.softmax_cross_entropy_mean b ~logits ~labels:y in
+  let train =
+    Octf_train.Optimizer.minimize store
+      ~algorithm:Octf_train.Optimizer.adam_default ~lr:0.05 ~loss ()
+  in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let rng = Rng.create 6 in
+  for _ = 1 to 250 do
+    let xs, ys = Octf_data.Synthetic.xor_batch rng ~batch:32 in
+    Session.run_unit ~feeds:[ (x, xs); (y, ys) ] s [ train ]
+  done;
+  let xs, ys = Octf_data.Synthetic.xor_batch rng ~batch:32 in
+  let final =
+    scalar (List.hd (Session.run ~feeds:[ (x, xs); (y, ys) ] s [ loss ]))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "xor learned (loss %.4f)" final)
+    true (final < 0.2)
+
+let test_top_k_accuracy () =
+  let logits =
+    Tensor.of_float_array [| 2; 3 |] [| 0.1; 0.9; 0.5; 0.8; 0.1; 0.3 |]
+  in
+  let labels = Tensor.of_int_array [| 2 |] [| 2; 0 |] in
+  Alcotest.(check (float 1e-9)) "top-1" 0.5
+    (Octf_nn.Metrics.top_k_accuracy ~logits ~labels ~k:1);
+  Alcotest.(check (float 1e-9)) "top-2" 1.0
+    (Octf_nn.Metrics.top_k_accuracy ~logits ~labels ~k:2)
+
+let test_confusion_matrix () =
+  let predictions = Tensor.of_int_array [| 4 |] [| 0; 1; 1; 0 |] in
+  let labels = Tensor.of_int_array [| 4 |] [| 0; 1; 0; 0 |] in
+  let m = Octf_nn.Metrics.confusion_matrix ~predictions ~labels ~classes:2 in
+  Alcotest.(check int) "true 0 pred 0" 2 m.(0).(0);
+  Alcotest.(check int) "true 0 pred 1" 1 m.(0).(1);
+  Alcotest.(check int) "true 1 pred 1" 1 m.(1).(1)
+
+let test_perplexity () =
+  Alcotest.(check (float 1e-6)) "uniform over 8"
+    8.0
+    (Octf_nn.Metrics.perplexity ~mean_cross_entropy:(log 8.0))
+
+let suite =
+  [
+    Alcotest.test_case "gru shapes" `Quick test_gru_shapes;
+    Alcotest.test_case "gru trains" `Quick test_gru_trains;
+    Alcotest.test_case "xor mlp converges" `Quick test_xor_mlp_converges;
+    Alcotest.test_case "top-k accuracy" `Quick test_top_k_accuracy;
+    Alcotest.test_case "confusion matrix" `Quick test_confusion_matrix;
+    Alcotest.test_case "perplexity" `Quick test_perplexity;
+  ]

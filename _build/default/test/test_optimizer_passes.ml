@@ -1,0 +1,108 @@
+(* Master-side graph optimizations (§5): CSE and constant folding. *)
+
+open Octf_tensor
+open Octf
+module B = Builder
+
+let all_ids b = List.init (Graph.node_count (B.graph b)) (fun i -> i)
+
+let test_constant_folding () =
+  let b = B.create () in
+  let x = B.add b (B.const_f b 2.0) (B.const_f b 3.0) in
+  let y = B.mul b x (B.const_f b 4.0) in
+  Graph_optimizer.optimize (B.graph b) ~nodes:(all_ids b) ~feeds:[];
+  (* y's producer chain must now be folded consts. *)
+  let y_node = Graph.get (B.graph b) y.B.node.Node.id in
+  let all_const =
+    Array.for_all
+      (fun (e : Node.endpoint) ->
+        (Graph.get (B.graph b) e.node_id).Node.op_type = "Const")
+      y_node.Node.inputs
+  in
+  Alcotest.(check bool) "inputs folded" true all_const;
+  (* Semantics preserved. *)
+  let s = Session.create ~optimize:false (B.graph b) in
+  Alcotest.(check (float 0.)) "value" 20.0
+    (Tensor.flat_get_f (List.hd (Session.run s [ y ])) 0)
+
+let test_cse_merges_duplicates () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let a = B.square b x in
+  let c = B.square b x in
+  let y = B.add b a c in
+  Graph_optimizer.optimize (B.graph b) ~nodes:(all_ids b)
+    ~feeds:[ B.endpoint_of_output x ];
+  let y_node = Graph.get (B.graph b) y.B.node.Node.id in
+  Alcotest.(check int) "both inputs point at one node"
+    y_node.Node.inputs.(0).Node.node_id
+    y_node.Node.inputs.(1).Node.node_id;
+  let s = Session.create ~optimize:false (B.graph b) in
+  Alcotest.(check (float 0.)) "value" 18.0
+    (Tensor.flat_get_f
+       (List.hd (Session.run ~feeds:[ (x, Tensor.scalar_f 3.0) ] s [ y ]))
+       0)
+
+let test_stateful_never_merged () =
+  let b = B.create () in
+  let r1 = B.random_uniform b [| 2 |] in
+  let r2 = B.random_uniform b [| 2 |] in
+  let y = B.add b r1 r2 in
+  Graph_optimizer.optimize (B.graph b) ~nodes:(all_ids b) ~feeds:[];
+  let y_node = Graph.get (B.graph b) y.B.node.Node.id in
+  Alcotest.(check bool) "random ops stay distinct" true
+    (y_node.Node.inputs.(0).Node.node_id
+    <> y_node.Node.inputs.(1).Node.node_id)
+
+let test_fed_nodes_not_folded () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let y = B.neg b x in
+  Graph_optimizer.optimize (B.graph b) ~nodes:(all_ids b)
+    ~feeds:[ B.endpoint_of_output x ];
+  let y_node = Graph.get (B.graph b) y.B.node.Node.id in
+  Alcotest.(check string) "still reads the placeholder" "Placeholder"
+    (Graph.get (B.graph b) y_node.Node.inputs.(0).Node.node_id).Node.op_type
+
+let test_session_optimized_run_matches () =
+  (* End to end: optimize on vs off produce identical results. *)
+  let build () =
+    let b = B.create () in
+    let x = B.placeholder b Dtype.F32 in
+    let k = B.add b (B.const_f b 1.0) (B.const_f b 1.0) in
+    let y = B.add b (B.mul b x k) (B.mul b x k) in
+    (b, x, y)
+  in
+  let b1, x1, y1 = build () in
+  let b2, x2, y2 = build () in
+  let v s x y =
+    Tensor.flat_get_f
+      (List.hd
+         (Session.run ~feeds:[ (x, Tensor.scalar_f 2.5) ] s [ y ]))
+      0
+  in
+  let s1 = Session.create ~optimize:true (B.graph b1) in
+  let s2 = Session.create ~optimize:false (B.graph b2) in
+  Alcotest.(check (float 1e-9)) "same result" (v s2 x2 y2) (v s1 x1 y1)
+
+let test_is_pure () =
+  let b = B.create () in
+  let c = B.const_f b 1.0 in
+  let v = B.variable b ~name:"v" ~dtype:Dtype.F32 ~shape:[||] () in
+  let p = B.placeholder b Dtype.F32 in
+  Alcotest.(check bool) "const pure" true (Graph_optimizer.is_pure c.B.node);
+  Alcotest.(check bool) "variable impure" false
+    (Graph_optimizer.is_pure v.B.node);
+  Alcotest.(check bool) "placeholder impure" false
+    (Graph_optimizer.is_pure p.B.node)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "cse merges" `Quick test_cse_merges_duplicates;
+    Alcotest.test_case "stateful never merged" `Quick test_stateful_never_merged;
+    Alcotest.test_case "fed nodes kept" `Quick test_fed_nodes_not_folded;
+    Alcotest.test_case "optimized run matches" `Quick
+      test_session_optimized_run_matches;
+    Alcotest.test_case "is_pure" `Quick test_is_pure;
+  ]

@@ -1,0 +1,138 @@
+open Octf
+module B = Builder
+
+let two_devices =
+  ( Device.make ~job:"a" ~task:0 Device.CPU,
+    Device.make ~job:"b" ~task:0 Device.CPU )
+
+let place_alternating () outputs =
+  let da, db = two_devices in
+  List.iteri
+    (fun i (o : B.output) ->
+      o.B.node.Node.assigned_device <- Some (if i mod 2 = 0 then da else db))
+    outputs
+
+let count_ops part op =
+  let n = ref 0 in
+  Graph.iter part.Partition.subgraph (fun node ->
+      if node.Node.op_type = op then incr n);
+  !n
+
+let test_send_recv_insertion () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y = B.neg b x in
+  place_alternating () [ x; y ];
+  match Partition.partition (B.graph b) ~nodes:[ 0; 1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+      Alcotest.(check int) "two partitions" 2 (List.length parts);
+      let sends = List.fold_left (fun acc p -> acc + count_ops p "Send") 0 parts in
+      let recvs = List.fold_left (fun acc p -> acc + count_ops p "Recv") 0 parts in
+      Alcotest.(check int) "one send" 1 sends;
+      Alcotest.(check int) "one recv" 1 recvs
+
+let test_send_deduplication () =
+  (* Two consumers of one tensor on the same remote device share one
+     Send/Recv pair. *)
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y1 = B.neg b x in
+  let y2 = B.abs b x in
+  let da, db = two_devices in
+  x.B.node.Node.assigned_device <- Some da;
+  y1.B.node.Node.assigned_device <- Some db;
+  y2.B.node.Node.assigned_device <- Some db;
+  match Partition.partition (B.graph b) ~nodes:[ 0; 1; 2 ] with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+      let sends = List.fold_left (fun acc p -> acc + count_ops p "Send") 0 parts in
+      Alcotest.(check int) "deduped" 1 sends
+
+let test_control_edge_cross_device () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let gate = B.no_op b ~control_inputs:[ x ] () in
+  let da, db = two_devices in
+  x.B.node.Node.assigned_device <- Some da;
+  gate.B.node.Node.assigned_device <- Some db;
+  match Partition.partition (B.graph b) ~nodes:[ 0; 1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+      (* Control transfer = dummy const + send on src, recv on dst. *)
+      let sends = List.fold_left (fun acc p -> acc + count_ops p "Send") 0 parts in
+      let recvs = List.fold_left (fun acc p -> acc + count_ops p "Recv") 0 parts in
+      Alcotest.(check int) "ctl send" 1 sends;
+      Alcotest.(check int) "ctl recv" 1 recvs
+
+let test_loop_cross_device_rejected () =
+  let b = B.create () in
+  let x = B.const_f b 0.0 in
+  let results =
+    B.while_loop b
+      ~cond:(fun b vars -> B.less b (List.hd vars) (List.hd vars))
+      ~body:(fun _ vars -> [ List.hd vars ])
+      [ x ]
+  in
+  ignore results;
+  let da, db = two_devices in
+  Graph.iter (B.graph b) (fun n ->
+      n.Node.assigned_device <-
+        Some (if n.Node.op_type = "Merge" then db else da));
+  let nodes = List.init (Graph.node_count (B.graph b)) (fun i -> i) in
+  match Partition.partition (B.graph b) ~nodes with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected cross-device loop rejection"
+
+let test_endpoint_map () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y = B.neg b x in
+  place_alternating () [ x; y ];
+  match Partition.partition (B.graph b) ~nodes:[ 0; 1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+      let found =
+        List.filter_map
+          (fun p ->
+            Partition.find_endpoint p (B.endpoint_of_output y))
+          parts
+      in
+      Alcotest.(check int) "y mapped exactly once" 1 (List.length found)
+
+let test_matching_rendezvous_attrs () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y = B.neg b x in
+  place_alternating () [ x; y ];
+  match Partition.partition (B.graph b) ~nodes:[ 0; 1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+      let collect op =
+        List.concat_map
+          (fun p ->
+            let acc = ref [] in
+            Graph.iter p.Partition.subgraph (fun n ->
+                if n.Node.op_type = op then
+                  acc :=
+                    ( Node.attr_string n "tensor_name",
+                      Node.attr_string n "send_device",
+                      Node.attr_string n "recv_device" )
+                    :: !acc);
+            !acc)
+          parts
+      in
+      Alcotest.(check bool) "send and recv agree on the key" true
+        (collect "Send" = collect "Recv")
+
+let suite =
+  [
+    Alcotest.test_case "send/recv insertion" `Quick test_send_recv_insertion;
+    Alcotest.test_case "send deduplication" `Quick test_send_deduplication;
+    Alcotest.test_case "control edge" `Quick test_control_edge_cross_device;
+    Alcotest.test_case "loop cross-device rejected" `Quick
+      test_loop_cross_device_rejected;
+    Alcotest.test_case "endpoint map" `Quick test_endpoint_map;
+    Alcotest.test_case "rendezvous attrs match" `Quick
+      test_matching_rendezvous_attrs;
+  ]

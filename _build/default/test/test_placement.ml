@@ -1,0 +1,113 @@
+open Octf_tensor
+open Octf
+module B = Builder
+
+let devices =
+  [
+    Device.make ~job:"ps" ~task:0 Device.CPU;
+    Device.make ~job:"ps" ~task:1 Device.CPU;
+    Device.make ~job:"worker" ~task:0 Device.CPU;
+    Device.make ~job:"worker" ~task:0 Device.GPU;
+  ]
+
+let all_ids b = List.init (Graph.node_count (B.graph b)) (fun i -> i)
+
+let assigned b (o : B.output) =
+  match (Graph.get (B.graph b) o.B.node.Node.id).Node.assigned_device with
+  | Some d -> Device.to_string d
+  | None -> Alcotest.fail ("unplaced: " ^ o.B.node.Node.name)
+
+let test_explicit_constraint () =
+  let b = B.create () in
+  let v =
+    B.variable b ~name:"v" ~device:"/job:ps/task:1" ~dtype:Dtype.F32
+      ~shape:[||] ()
+  in
+  Placement.place (B.graph b) ~nodes:(all_ids b) ~devices;
+  Alcotest.(check string) "pinned" "/job:ps/task:1/device:CPU:0" (assigned b v)
+
+let test_colocation_with_variable () =
+  (* Read/Assign must land with the variable that owns the state. *)
+  let b = B.create () in
+  let v =
+    B.variable b ~name:"v" ~device:"/job:ps/task:0" ~dtype:Dtype.F32
+      ~shape:[||] ()
+  in
+  let r = B.read b v in
+  let a = B.assign_add b v (B.const_f b 1.0) in
+  Placement.place (B.graph b) ~nodes:(all_ids b) ~devices;
+  Alcotest.(check string) "read colocated" (assigned b v) (assigned b r);
+  Alcotest.(check string) "assign colocated" (assigned b v) (assigned b a)
+
+let test_colocation_groups () =
+  let b = B.create () in
+  let v = B.variable b ~name:"v" ~dtype:Dtype.F32 ~shape:[||] () in
+  let r = B.read b v in
+  let _lone = B.const_f b 1.0 in
+  let groups = Placement.colocation_groups (B.graph b) ~nodes:(all_ids b) in
+  let group_of id = List.find (List.mem id) groups in
+  Alcotest.(check bool) "v and read together" true
+    (group_of v.B.node.Node.id == group_of r.B.node.Node.id)
+
+let test_queue_stays_on_cpu () =
+  (* Queue kernels are CPU-only; the feasible set must exclude GPU. *)
+  let b = B.create () in
+  let q = B.fifo_queue b ~capacity:2 ~num_components:1 () in
+  Placement.place (B.graph b) ~nodes:(all_ids b) ~devices;
+  let d =
+    Option.get (Graph.get (B.graph b) q.B.node.Node.id).Node.assigned_device
+  in
+  Alcotest.(check bool) "cpu" true (d.Device.dev_type = Device.CPU)
+
+let test_unsatisfiable () =
+  let b = B.create () in
+  let _v =
+    B.variable b ~name:"v" ~device:"/job:nowhere" ~dtype:Dtype.F32 ~shape:[||]
+      ()
+  in
+  match Placement.place (B.graph b) ~nodes:(all_ids b) ~devices with
+  | () -> Alcotest.fail "expected Placement_error"
+  | exception Placement.Placement_error _ -> ()
+
+let test_load_balance () =
+  (* Many unconstrained variables should spread over the CPUs. *)
+  let b = B.create () in
+  for i = 0 to 9 do
+    ignore
+      (B.variable b
+         ~name:(Printf.sprintf "v%d" i)
+         ~device:"/device:CPU" ~dtype:Dtype.F32 ~shape:[||] ())
+  done;
+  Placement.place (B.graph b) ~nodes:(all_ids b) ~devices;
+  let counts = Hashtbl.create 4 in
+  Graph.iter (B.graph b) (fun n ->
+      match n.Node.assigned_device with
+      | Some d ->
+          let k = Device.to_string d in
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+      | None -> ());
+  Alcotest.(check bool) "spread over >1 device" true (Hashtbl.length counts > 1)
+
+let test_respects_existing_assignment () =
+  let b = B.create () in
+  let v = B.variable b ~name:"v" ~dtype:Dtype.F32 ~shape:[||] () in
+  let pinned = Device.make ~job:"worker" ~task:0 Device.CPU in
+  v.B.node.Node.assigned_device <- Some pinned;
+  let r = B.read b v in
+  Placement.place (B.graph b) ~nodes:(all_ids b) ~devices;
+  Alcotest.(check string) "group follows pin" (Device.to_string pinned)
+    (assigned b r)
+
+let suite =
+  [
+    Alcotest.test_case "explicit constraint" `Quick test_explicit_constraint;
+    Alcotest.test_case "colocation with variable" `Quick
+      test_colocation_with_variable;
+    Alcotest.test_case "colocation groups" `Quick test_colocation_groups;
+    Alcotest.test_case "queue on cpu" `Quick test_queue_stays_on_cpu;
+    Alcotest.test_case "unsatisfiable" `Quick test_unsatisfiable;
+    Alcotest.test_case "load balance" `Quick test_load_balance;
+    Alcotest.test_case "respects existing assignment" `Quick
+      test_respects_existing_assignment;
+  ]

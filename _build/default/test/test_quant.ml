@@ -1,0 +1,70 @@
+(* Quantization (§5): 8-bit affine codes with gemmlowp-style integer
+   matmul accumulation. *)
+
+open Octf_tensor
+open Octf
+module B = Builder
+
+let test_roundtrip_error_bound () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 16 |] Dtype.F32 in
+  let q, lo, hi = B.quantize b x in
+  let back = B.dequantize b q lo hi in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let rng = Rng.create 21 in
+  let point = Tensor.uniform rng [| 16 |] ~lo:(-4.0) ~hi:4.0 in
+  let v = List.hd (Session.run ~feeds:[ (x, point) ] s [ back ]) in
+  (* Max quantization error is half a step: (hi - lo) / 255 / 2 ~ 0.016. *)
+  for i = 0 to 15 do
+    let err = Float.abs (Tensor.flat_get_f v i -. Tensor.flat_get_f point i) in
+    if err > 8.0 /. 255.0 then Alcotest.failf "error %f too large" err
+  done
+
+let test_codes_in_range () =
+  let b = B.create () in
+  let x = B.const b (Tensor.of_float_array [| 3 |] [| -1.0; 0.0; 3.0 |]) in
+  let q, _, _ = B.quantize b x in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let codes = Tensor.to_int_array (List.hd (Session.run s [ q ])) in
+  Array.iter
+    (fun c -> if c < 0 || c > 255 then Alcotest.fail "code out of range")
+    codes;
+  (* min maps to 0 and max to 255 *)
+  Alcotest.(check int) "min code" 0 codes.(0);
+  Alcotest.(check int) "max code" 255 codes.(2)
+
+let test_quantized_matmul_close () =
+  let b = B.create () in
+  let xa = B.placeholder b ~shape:[| 4; 6 |] Dtype.F32 in
+  let xb = B.placeholder b ~shape:[| 6; 3 |] Dtype.F32 in
+  let exact = B.matmul b xa xb in
+  let approx = B.quantized_matmul b (B.quantize b xa) (B.quantize b xb) in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let rng = Rng.create 31 in
+  let a = Tensor.uniform rng [| 4; 6 |] ~lo:(-1.0) ~hi:1.0 in
+  let c = Tensor.uniform rng [| 6; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let feeds = [ (xa, a); (xb, c) ] in
+  match Session.run ~feeds s [ exact; approx ] with
+  | [ e; ap ] ->
+      Alcotest.(check bool) "within 8-bit tolerance" true
+        (Tensor.approx_equal ~tol:0.05 e ap)
+  | _ -> Alcotest.fail "arity"
+
+let test_quantize_constant_tensor () =
+  (* A constant tensor still gets a non-degenerate range. *)
+  let b = B.create () in
+  let x = B.const b (Tensor.full Dtype.F32 [| 4 |] 2.0) in
+  let q, lo, hi = B.quantize b x in
+  let back = B.dequantize b q lo hi in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let v = List.hd (Session.run s [ back ]) in
+  Alcotest.(check bool) "close to 2" true
+    (Float.abs (Tensor.flat_get_f v 0 -. 2.0) < 0.02)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip error bound" `Quick test_roundtrip_error_bound;
+    Alcotest.test_case "codes in range" `Quick test_codes_in_range;
+    Alcotest.test_case "quantized matmul" `Quick test_quantized_matmul_close;
+    Alcotest.test_case "constant tensor" `Quick test_quantize_constant_tensor;
+  ]

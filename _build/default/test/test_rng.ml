@@ -1,0 +1,109 @@
+open Octf_tensor
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 0 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "diverges" true
+    (List.init 20 (fun _ -> Rng.int a 1_000_000)
+    <> List.init 20 (fun _ -> Rng.int c 1_000_000))
+
+let test_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 0 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let test_int_invalid () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (Rng.create 1) 0))
+
+let test_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 0 to 1000 do
+    let v = Rng.uniform rng ~lo:2.0 ~hi:3.0 in
+    if v < 2.0 || v >= 3.0 then Alcotest.fail "uniform out of range"
+  done
+
+let test_normal_moments () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.normal rng ~mean:1.0 ~stddev:2.0 in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check (float 0.1)) "mean" 1.0 mean;
+  Alcotest.(check (float 0.2)) "variance" 4.0 var
+
+let test_zipf_skew () =
+  let rng = Rng.create 13 in
+  let n = 1000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf rng ~n ~s:1.2 in
+    if v < 0 || v >= n then Alcotest.fail "zipf out of range";
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate the mid ranks heavily. *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 10 * max 1 counts.(100))
+
+let test_exponential_positive () =
+  let rng = Rng.create 15 in
+  for _ = 1 to 1000 do
+    if Rng.exponential rng ~rate:2.0 < 0.0 then Alcotest.fail "negative"
+  done
+
+let test_choose_distinct () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 100 do
+    let picks = Rng.choose rng ~k:10 ~n:20 in
+    let sorted = Array.copy picks in
+    Array.sort compare sorted;
+    for i = 1 to 9 do
+      if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate pick"
+    done;
+    Array.iter (fun v -> if v < 0 || v >= 20 then Alcotest.fail "oob") picks
+  done
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:100
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, l) ->
+      let arr = Array.of_list l in
+      let rng = Rng.create seed in
+      let shuffled = Array.copy arr in
+      Rng.shuffle rng shuffled;
+      List.sort compare (Array.to_list shuffled)
+      = List.sort compare (Array.to_list arr))
+
+let prop_lognormal_positive =
+  QCheck.Test.make ~name:"lognormal positive" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      Rng.lognormal rng ~mu:0.0 ~sigma:1.0 > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "uniform range" `Quick test_float_range;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "choose distinct" `Quick test_choose_distinct;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_lognormal_positive;
+  ]

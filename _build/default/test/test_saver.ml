@@ -1,0 +1,106 @@
+open Octf_tensor
+open Octf
+module B = Builder
+module Vs = Octf_nn.Var_store
+module Saver = Octf_train.Saver
+
+let scalar t = Tensor.flat_get_f t 0
+
+let simple_model () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let w = Vs.get store ~init:(Octf_nn.Init.constant 3.0) ~name:"w" [| 2 |] in
+  let v = Vs.get store ~init:(Octf_nn.Init.constant 4.0) ~name:"v" [||] in
+  (b, store, w, v)
+
+let test_roundtrip () =
+  let b, store, w, v = simple_model () in
+  let saver = Saver.create store in
+  let assign_w =
+    B.assign b w.Vs.handle
+      (B.const b (Tensor.of_float_array [| 2 |] [| 9.; 9. |]))
+  in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let path = Filename.temp_file "saver" ".ckpt" in
+  Saver.save saver s ~path;
+  Session.run_unit s [ assign_w ];
+  Saver.restore saver s ~path;
+  let vs = Session.run s [ w.Vs.read; v.Vs.read ] in
+  Alcotest.(check (float 0.)) "w restored" 3.0 (scalar (List.hd vs));
+  Alcotest.(check (float 0.)) "v restored" 4.0 (scalar (List.nth vs 1));
+  Sys.remove path
+
+let test_restore_into_fresh_session () =
+  let b, store, w, _v = simple_model () in
+  let saver = Saver.create store in
+  let s1 = Session.create (B.graph b) in
+  Session.run_unit s1 [ Vs.init_op store ];
+  let path = Filename.temp_file "saver" ".ckpt" in
+  Saver.save saver s1 ~path;
+  (* A new session has fresh (uninitialized) resources. *)
+  let s2 = Session.create (B.graph b) in
+  Saver.restore saver s2 ~path;
+  Alcotest.(check (float 0.)) "fresh session restored" 3.0
+    (scalar (List.hd (Session.run s2 [ w.Vs.read ])));
+  Sys.remove path
+
+let test_numbered_and_latest () =
+  let b, store, _w, _v = simple_model () in
+  let saver = Saver.create store in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let dir = Filename.temp_file "saver_dir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let prefix = Filename.concat dir "model" in
+  ignore (Saver.save_numbered saver s ~prefix ~step:10);
+  ignore (Saver.save_numbered saver s ~prefix ~step:30);
+  ignore (Saver.save_numbered saver s ~prefix ~step:20);
+  (match Saver.latest_checkpoint ~prefix with
+  | Some p ->
+      Alcotest.(check string) "latest is 30" (prefix ^ "-30.ckpt") p
+  | None -> Alcotest.fail "no checkpoint found");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_retention () =
+  let b, store, _w, _v = simple_model () in
+  let saver = Saver.create ~keep:2 store in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let dir = Filename.temp_file "saver_keep" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let prefix = Filename.concat dir "model" in
+  for step = 1 to 5 do
+    ignore (Saver.save_numbered saver s ~prefix ~step)
+  done;
+  let remaining = Sys.readdir dir in
+  Alcotest.(check int) "keeps two" 2 (Array.length remaining);
+  Alcotest.(check bool) "newest kept" true
+    (Array.exists (fun f -> f = "model-5.ckpt") remaining);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_subset_of_variables () =
+  let b, store, w, v = simple_model () in
+  let saver = Saver.create ~vars:[ w ] store in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  let path = Filename.temp_file "saver" ".ckpt" in
+  Saver.save saver s ~path;
+  Alcotest.(check (list string)) "only w in file" [ "w" ]
+    (Checkpoint_format.names path);
+  ignore v;
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "fresh session restore" `Quick
+      test_restore_into_fresh_session;
+    Alcotest.test_case "numbered/latest" `Quick test_numbered_and_latest;
+    Alcotest.test_case "retention" `Quick test_retention;
+    Alcotest.test_case "variable subset" `Quick test_subset_of_variables;
+  ]

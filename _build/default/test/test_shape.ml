@@ -1,0 +1,104 @@
+open Octf_tensor
+
+let check_ints = Alcotest.(check (array int))
+
+let test_numel () =
+  Alcotest.(check int) "scalar" 1 (Shape.numel [||]);
+  Alcotest.(check int) "vector" 5 (Shape.numel [| 5 |]);
+  Alcotest.(check int) "matrix" 12 (Shape.numel [| 3; 4 |]);
+  Alcotest.(check int) "zero dim" 0 (Shape.numel [| 3; 0; 4 |])
+
+let test_strides () =
+  check_ints "3d" [| 12; 4; 1 |] (Shape.strides [| 2; 3; 4 |]);
+  check_ints "scalar" [||] (Shape.strides [||])
+
+let test_indexing_roundtrip () =
+  let shape = [| 2; 3; 4 |] in
+  for flat = 0 to Shape.numel shape - 1 do
+    let idx = Shape.multi_index shape flat in
+    Alcotest.(check int) "roundtrip" flat (Shape.flat_index shape idx)
+  done
+
+let test_index_bounds () =
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Shape.flat_index: index out of bounds") (fun () ->
+      ignore (Shape.flat_index [| 2; 2 |] [| 0; 2 |]))
+
+let test_broadcast () =
+  check_ints "same" [| 2; 3 |] (Shape.broadcast [| 2; 3 |] [| 2; 3 |]);
+  check_ints "scalar" [| 2; 3 |] (Shape.broadcast [||] [| 2; 3 |]);
+  check_ints "row" [| 4; 3 |] (Shape.broadcast [| 4; 3 |] [| 3 |]);
+  check_ints "col" [| 4; 3 |] (Shape.broadcast [| 4; 1 |] [| 1; 3 |]);
+  Alcotest.(check bool) "incompatible" false
+    (Shape.broadcastable [| 2; 3 |] [| 2; 4 |])
+
+let test_reduce () =
+  check_ints "all" [||] (Shape.reduce [| 2; 3 |] []);
+  check_ints "axis0" [| 3 |] (Shape.reduce [| 2; 3 |] [ 0 ]);
+  check_ints "keep" [| 2; 1 |] (Shape.reduce ~keep_dims:true [| 2; 3 |] [ 1 ]);
+  check_ints "negative axis" [| 2 |] (Shape.reduce [| 2; 3 |] [ -1 ])
+
+let test_concat () =
+  check_ints "axis0" [| 5; 3 |] (Shape.concat [ [| 2; 3 |]; [| 3; 3 |] ] ~axis:0);
+  check_ints "axis1" [| 2; 7 |] (Shape.concat [ [| 2; 3 |]; [| 2; 4 |] ] ~axis:1);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Shape.concat: dimension mismatch") (fun () ->
+      ignore (Shape.concat [ [| 2; 3 |]; [| 3; 4 |] ] ~axis:1))
+
+let test_squeeze () =
+  check_ints "squeeze" [| 2; 3 |] (Shape.squeeze [| 1; 2; 1; 3; 1 |])
+
+(* qcheck properties *)
+
+let small_shape =
+  QCheck.Gen.(list_size (int_range 0 4) (int_range 1 5) >|= Array.of_list)
+
+let shape_arb = QCheck.make ~print:Shape.to_string small_shape
+
+let prop_broadcast_commutes =
+  QCheck.Test.make ~name:"broadcast commutes" ~count:200
+    (QCheck.pair shape_arb shape_arb) (fun (a, b) ->
+      match Shape.broadcast a b with
+      | ab -> Shape.equal ab (Shape.broadcast b a)
+      | exception Invalid_argument _ -> (
+          match Shape.broadcast b a with
+          | _ -> false
+          | exception Invalid_argument _ -> true))
+
+let prop_broadcast_idempotent =
+  QCheck.Test.make ~name:"broadcast with self is identity" ~count:100
+    shape_arb (fun s -> Shape.equal s (Shape.broadcast s s))
+
+let prop_broadcast_result_dominates =
+  QCheck.Test.make ~name:"broadcast result broadcastable with operands"
+    ~count:200 (QCheck.pair shape_arb shape_arb) (fun (a, b) ->
+      match Shape.broadcast a b with
+      | ab -> Shape.equal ab (Shape.broadcast ab a) && Shape.equal ab (Shape.broadcast ab b)
+      | exception Invalid_argument _ -> QCheck.assume_fail ())
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"flat/multi index roundtrip" ~count:200 shape_arb
+    (fun s ->
+      let n = Shape.numel s in
+      n = 0
+      || (let ok = ref true in
+          for i = 0 to n - 1 do
+            if Shape.flat_index s (Shape.multi_index s i) <> i then ok := false
+          done;
+          !ok))
+
+let suite =
+  [
+    Alcotest.test_case "numel" `Quick test_numel;
+    Alcotest.test_case "strides" `Quick test_strides;
+    Alcotest.test_case "index roundtrip" `Quick test_indexing_roundtrip;
+    Alcotest.test_case "index bounds" `Quick test_index_bounds;
+    Alcotest.test_case "broadcast" `Quick test_broadcast;
+    Alcotest.test_case "reduce" `Quick test_reduce;
+    Alcotest.test_case "concat" `Quick test_concat;
+    Alcotest.test_case "squeeze" `Quick test_squeeze;
+    QCheck_alcotest.to_alcotest prop_broadcast_commutes;
+    QCheck_alcotest.to_alcotest prop_broadcast_idempotent;
+    QCheck_alcotest.to_alcotest prop_broadcast_result_dominates;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,132 @@
+open Octf_tensor
+open Octf
+module B = Builder
+module Si = Shape_inference
+
+let known eng o =
+  match Si.output_shape eng o with
+  | Si.Known s -> s
+  | Si.Unknown -> Alcotest.fail "expected a known shape"
+
+let test_basic_propagation () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4; 3 |] Dtype.F32 in
+  let w = B.const b (Tensor.zeros Dtype.F32 [| 3; 5 |]) in
+  let y = B.relu b (B.matmul b x w) in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "matmul+relu" [| 4; 5 |] (known eng y)
+
+let test_broadcast_shapes () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4; 3 |] Dtype.F32 in
+  let row = B.const b (Tensor.zeros Dtype.F32 [| 3 |]) in
+  let y = B.add b x row in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "broadcast" [| 4; 3 |] (known eng y)
+
+let test_matmul_mismatch_detected () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4; 3 |] Dtype.F32 in
+  let w = B.const b (Tensor.zeros Dtype.F32 [| 4; 5 |]) in
+  let _y = B.matmul b x w in
+  match Si.validate (B.graph b) with
+  | () -> Alcotest.fail "expected Shape_error"
+  | exception Si.Shape_error msg ->
+      Alcotest.(check bool) "names dims" true
+        (String.length msg > 0)
+
+let test_reshape_inference () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4; 6 |] Dtype.F32 in
+  let y = B.reshape b x [| -1; 8 |] in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "wildcard resolved" [| 3; 8 |] (known eng y)
+
+let test_conv_pool_shapes () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 2; 8; 8; 3 |] Dtype.F32 in
+  let f = B.const b (Tensor.zeros Dtype.F32 [| 3; 3; 3; 16 |]) in
+  let conv = B.conv2d b ~strides:(1, 1) ~padding:`Same x f in
+  let pool = B.max_pool b ~ksize:(2, 2) ~strides:(2, 2) ~padding:`Valid conv in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "conv same" [| 2; 8; 8; 16 |] (known eng conv);
+  Alcotest.(check (array int)) "pool" [| 2; 4; 4; 16 |] (known eng pool)
+
+let test_variable_read_shape () =
+  let b = B.create () in
+  let v = B.variable b ~name:"w" ~dtype:Dtype.F32 ~shape:[| 7; 2 |] () in
+  let r = B.read b v in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "read" [| 7; 2 |] (known eng r)
+
+let test_unknown_propagates () =
+  let b = B.create () in
+  (* A queue dequeue has runtime-dependent shape. *)
+  let q = B.fifo_queue b ~capacity:2 ~num_components:1 () in
+  let deq = List.hd (B.dequeue b q ~num_components:1) in
+  let y = B.relu b deq in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check bool) "unknown" true (Si.output_shape eng y = Si.Unknown)
+
+let test_reduction_and_gather () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4; 6 |] Dtype.F32 in
+  let sum = B.reduce_sum b ~axes:[ 1 ] ~keep_dims:true x in
+  let ids = B.const b (Tensor.of_int_array [| 3 |] [| 0; 1; 2 |]) in
+  let g = B.gather b x ids in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "reduce keep" [| 4; 1 |] (known eng sum);
+  Alcotest.(check (array int)) "gather" [| 3; 6 |] (known eng g)
+
+let test_pack_split_shapes () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 2; 3 |] Dtype.F32 in
+  let packed = B.pack b [ x; x ] in
+  let halves = B.split b x ~axis:0 ~num:2 in
+  let eng = Si.engine (B.graph b) in
+  Alcotest.(check (array int)) "pack" [| 2; 2; 3 |] (known eng packed);
+  Alcotest.(check (array int)) "split" [| 1; 3 |] (known eng (List.hd halves))
+
+let test_concat_mismatch_detected () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 2; 3 |] Dtype.F32 in
+  let y = B.placeholder b ~shape:[| 2; 4 |] Dtype.F32 in
+  let _c = B.concat b ~axis:0 [ x; y ] in
+  match Si.validate (B.graph b) with
+  | () -> Alcotest.fail "expected Shape_error"
+  | exception Si.Shape_error _ -> ()
+
+let test_loop_shapes_terminate () =
+  (* Inference must terminate on loop back edges. *)
+  let b = B.create () in
+  let x = B.const_f b 0.0 in
+  let lim = B.const_f b 3.0 in
+  let results =
+    B.while_loop b ~invariants:[ lim ]
+      ~cond:(fun b vars ->
+        match vars with
+        | [ i; l ] -> B.less b i l
+        | _ -> assert false)
+      ~body:(fun b vars ->
+        match vars with
+        | [ i; _ ] -> [ B.add b i (B.ones_like b i) ]
+        | _ -> assert false)
+      [ x ]
+  in
+  ignore results;
+  Si.validate (B.graph b)
+
+let suite =
+  [
+    Alcotest.test_case "basic propagation" `Quick test_basic_propagation;
+    Alcotest.test_case "broadcast" `Quick test_broadcast_shapes;
+    Alcotest.test_case "matmul mismatch" `Quick test_matmul_mismatch_detected;
+    Alcotest.test_case "reshape wildcard" `Quick test_reshape_inference;
+    Alcotest.test_case "conv/pool" `Quick test_conv_pool_shapes;
+    Alcotest.test_case "variable read" `Quick test_variable_read_shape;
+    Alcotest.test_case "unknown propagates" `Quick test_unknown_propagates;
+    Alcotest.test_case "reduction/gather" `Quick test_reduction_and_gather;
+    Alcotest.test_case "pack/split" `Quick test_pack_split_shapes;
+    Alcotest.test_case "concat mismatch" `Quick test_concat_mismatch_detected;
+    Alcotest.test_case "loop termination" `Quick test_loop_shapes_terminate;
+  ]

@@ -1,0 +1,159 @@
+module Sim = Octf_sim.Replica_sim
+module Stats = Octf_sim.Stats
+module Eq = Octf_sim.Event_queue
+module Net = Octf_sim.Netmodel
+module W = Octf_models.Workload
+
+let test_percentiles () =
+  let s = [| 5.; 1.; 3.; 2.; 4. |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median s);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile s ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile s ~p:100.0);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile [||] ~p:50.0))
+
+let prop_event_queue_ordered =
+  QCheck.Test.make ~name:"event queue pops in time order" ~count:100
+    QCheck.(small_list (float_range 0.0 100.0))
+    (fun times ->
+      let q = Eq.create () in
+      List.iter (fun t -> Eq.push q ~time:t t) times;
+      let rec drain acc =
+        match Eq.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      drain [] = List.stable_sort compare times)
+
+let test_event_queue_fifo_ties () =
+  let q = Eq.create () in
+  Eq.push q ~time:1.0 "a";
+  Eq.push q ~time:1.0 "b";
+  Eq.push q ~time:1.0 "c";
+  let pop () = snd (Option.get (Eq.pop q)) in
+  Alcotest.(check string) "fifo on ties" "a" (pop ());
+  Alcotest.(check string) "fifo on ties 2" "b" (pop ());
+  Alcotest.(check string) "fifo on ties 3" "c" (pop ())
+
+let test_lane_serialization () =
+  let l = Net.lane () in
+  let t1 = Net.occupy l ~now:0.0 ~duration:1.0 in
+  let t2 = Net.occupy l ~now:0.5 ~duration:1.0 in
+  let t3 = Net.occupy l ~now:5.0 ~duration:1.0 in
+  Alcotest.(check (float 1e-9)) "first" 1.0 t1;
+  Alcotest.(check (float 1e-9)) "queued" 2.0 t2;
+  Alcotest.(check (float 1e-9)) "idle gap" 6.0 t3
+
+let test_transfer_pipelined () =
+  let p = Net.default_params in
+  let src = Net.lane () and dst = Net.lane () in
+  let t = Net.transfer p ~src_out:src ~dst_in:dst ~now:0.0 ~bytes:1.6e9 in
+  (* One second of wire time (cut-through), plus latency. *)
+  Alcotest.(check bool) "about 1s" true (t > 0.9 && t < 1.2)
+
+let base workload =
+  { (Sim.default ~workload) with Sim.straggler_sigma = 0.02;
+    heavy_tail_prob = 0.0; seed = 7 }
+
+let test_dense_scales_with_size () =
+  let small = Sim.run (base (W.null_dense ~mb:10.0)) ~steps:10 in
+  let big = Sim.run (base (W.null_dense ~mb:1000.0)) ~steps:10 in
+  Alcotest.(check bool) "100x data, much slower steps" true
+    (big.Sim.summary.Stats.median > 20.0 *. small.Sim.summary.Stats.median)
+
+let test_sparse_independent_of_model_size () =
+  let a = Sim.run (base (W.null_sparse ~gb:1.0 ~entries:32 ~dim:1024)) ~steps:10 in
+  let b = Sim.run (base (W.null_sparse ~gb:16.0 ~entries:32 ~dim:1024)) ~steps:10 in
+  Alcotest.(check (float 1e-6)) "same step time"
+    a.Sim.summary.Stats.median b.Sim.summary.Stats.median
+
+let test_sync_step_grows_with_workers () =
+  let run n =
+    (Sim.run
+       { (base (W.null_dense ~mb:100.0)) with
+         Sim.num_workers = n;
+         coordination = Sim.Sync { backup = 0 } }
+       ~steps:10)
+      .Sim.summary.Stats.median
+  in
+  Alcotest.(check bool) "PS contention" true (run 50 > 1.5 *. run 1)
+
+let test_backup_workers_cut_stragglers () =
+  let run backup =
+    (Sim.run
+       { (Sim.default ~workload:(W.inception_v3 ~batch:32)) with
+         Sim.num_workers = 50 + backup;
+         num_ps = 17;
+         heavy_tail_prob = 0.05;
+         coordination = Sim.Sync { backup };
+         seed = 11 }
+       ~steps:120)
+      .Sim.summary.Stats.median
+  in
+  Alcotest.(check bool) "backup reduces median step" true
+    (run 4 < 0.95 *. run 0)
+
+let test_async_throughput_grows () =
+  let run n =
+    (Sim.run
+       { (base (W.inception_v3 ~batch:32)) with
+         Sim.num_workers = n;
+         num_ps = 17 }
+       ~steps:10)
+      .Sim.throughput
+  in
+  let t1 = run 1 and t25 = run 25 in
+  Alcotest.(check bool) "scales up" true (t25 > 15.0 *. t1)
+
+let test_async_saturates () =
+  (* Aggregation bandwidth bounds throughput at high worker counts. *)
+  let run n =
+    (Sim.run
+       { (base (W.inception_v3 ~batch:32)) with
+         Sim.num_workers = n;
+         num_ps = 17 }
+       ~steps:15)
+      .Sim.throughput
+  in
+  let t100 = run 100 and t200 = run 200 in
+  Alcotest.(check bool) "diminishing returns" true (t200 < 1.7 *. t100)
+
+let test_full_softmax_scales_with_ps () =
+  let run ps =
+    let workload = Octf_models.Lstm_model.(workload ~softmax:Full ~batch:64 ~unroll:20) in
+    (Sim.run { (base workload) with Sim.num_workers = 32; num_ps = ps } ~steps:10)
+      .Sim.throughput
+  in
+  Alcotest.(check bool) "2 PS nearly doubles words/sec" true
+    (run 2 > 1.6 *. run 1)
+
+let test_deterministic_given_seed () =
+  let cfg = base (W.inception_v3 ~batch:32) in
+  let a = Sim.run cfg ~steps:5 and b = Sim.run cfg ~steps:5 in
+  Alcotest.(check (float 0.)) "reproducible" a.Sim.summary.Stats.median
+    b.Sim.summary.Stats.median
+
+let suite =
+  [
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    QCheck_alcotest.to_alcotest prop_event_queue_ordered;
+    Alcotest.test_case "event queue fifo ties" `Quick test_event_queue_fifo_ties;
+    Alcotest.test_case "lane serialization" `Quick test_lane_serialization;
+    Alcotest.test_case "transfer pipelined" `Quick test_transfer_pipelined;
+    Alcotest.test_case "dense scales with size" `Quick
+      test_dense_scales_with_size;
+    Alcotest.test_case "sparse size-independent" `Quick
+      test_sparse_independent_of_model_size;
+    Alcotest.test_case "sync grows with workers" `Quick
+      test_sync_step_grows_with_workers;
+    Alcotest.test_case "backup cuts stragglers" `Quick
+      test_backup_workers_cut_stragglers;
+    Alcotest.test_case "async throughput grows" `Quick
+      test_async_throughput_grows;
+    Alcotest.test_case "async saturates" `Quick test_async_saturates;
+    Alcotest.test_case "full softmax scales with PS" `Quick
+      test_full_softmax_scales_with_ps;
+    Alcotest.test_case "deterministic" `Quick test_deterministic_given_seed;
+  ]

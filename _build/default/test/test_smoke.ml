@@ -1,0 +1,171 @@
+(* End-to-end smoke tests: graph construction, session execution,
+   variables, control flow, and autodiff on a tiny regression. *)
+
+open Octf_tensor
+module B = Octf.Builder
+
+let check_f = Alcotest.(check (float 1e-6))
+
+let scalar t = Tensor.flat_get_f t 0
+
+let test_const_add () =
+  let b = B.create () in
+  let x = B.const_f b 2.0 and y = B.const_f b 3.0 in
+  let z = B.add b x y in
+  let s = Octf.Session.create (B.graph b) in
+  match Octf.Session.run s [ z ] with
+  | [ v ] -> check_f "2+3" 5.0 (scalar v)
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_feed_fetch () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let y = B.mul b x (B.const_f b 10.0) in
+  let s = Octf.Session.create (B.graph b) in
+  match Octf.Session.run ~feeds:[ (x, Tensor.scalar_f 4.0) ] s [ y ] with
+  | [ v ] -> check_f "4*10" 40.0 (scalar v)
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_variable_assign () =
+  let b = B.create () in
+  let v = B.variable b ~name:"w" ~dtype:Dtype.F32 ~shape:[||] () in
+  let init = B.assign b v (B.const_f b 1.5) in
+  let incr = B.assign_add b v (B.const_f b 1.0) in
+  let r = B.read b v in
+  let s = Octf.Session.create (B.graph b) in
+  Octf.Session.run_unit s [ init ];
+  Octf.Session.run_unit s [ incr ];
+  Octf.Session.run_unit s [ incr ];
+  match Octf.Session.run s [ r ] with
+  | [ value ] -> check_f "1.5+2" 3.5 (scalar value)
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_matmul () =
+  let b = B.create () in
+  let a = B.const b (Tensor.of_float_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |]) in
+  let i = B.const b (Tensor.of_float_array [| 2; 2 |] [| 0.; 1.; 1.; 0. |]) in
+  let m = B.matmul b a i in
+  let s = Octf.Session.create (B.graph b) in
+  match Octf.Session.run s [ m ] with
+  | [ v ] ->
+      Alcotest.(check bool)
+        "swap columns" true
+        (Tensor.approx_equal v
+           (Tensor.of_float_array [| 2; 2 |] [| 2.; 1.; 4.; 3. |]))
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_cond () =
+  let b = B.create () in
+  let pred = B.placeholder b Dtype.Bool in
+  let x = B.const_f b 7.0 in
+  let results =
+    B.cond b pred ~inputs:[ x ]
+      ~then_:(fun b ins -> [ B.mul b (List.hd ins) (B.const_f b 2.0) ])
+      ~else_:(fun b ins -> [ B.neg b (List.hd ins) ])
+  in
+  let out = List.hd results in
+  let s = Octf.Session.create (B.graph b) in
+  (match Octf.Session.run ~feeds:[ (pred, Tensor.scalar_b true) ] s [ out ] with
+  | [ v ] -> check_f "then branch" 14.0 (scalar v)
+  | _ -> Alcotest.fail "arity");
+  match Octf.Session.run ~feeds:[ (pred, Tensor.scalar_b false) ] s [ out ] with
+  | [ v ] -> check_f "else branch" (-7.0) (scalar v)
+  | _ -> Alcotest.fail "arity"
+
+let test_while_loop () =
+  (* Sum 1..10 with a dataflow loop; the limit enters as an invariant. *)
+  let b = B.create () in
+  let i0 = B.const_f b 1.0 and acc0 = B.const_f b 0.0 in
+  let limit = B.const_f b 10.5 in
+  let results =
+    B.while_loop b ~invariants:[ limit ]
+      ~cond:(fun b vars ->
+        match vars with
+        | [ i; _acc; lim ] -> B.less b i lim
+        | _ -> assert false)
+      ~body:(fun b vars ->
+        match vars with
+        | [ i; acc; _lim ] ->
+            [ B.add b i (B.ones_like b i); B.add b acc i ]
+        | _ -> assert false)
+      [ i0; acc0 ]
+  in
+  let final_acc = List.nth results 1 in
+  let s = Octf.Session.create (B.graph b) in
+  match Octf.Session.run s [ final_acc ] with
+  | [ v ] -> check_f "sum 1..10" 55.0 (scalar v)
+  | _ -> Alcotest.fail "arity"
+
+let test_gradients_linear () =
+  (* d/dw (w*x + c)^2 at w=3, x=2, c=1 -> 2*(w*x+c)*x = 2*7*2 = 28 *)
+  let b = B.create () in
+  let w = B.const_f b 3.0 and x = B.const_f b 2.0 and c = B.const_f b 1.0 in
+  let y = B.square b (B.add b (B.mul b w x) c) in
+  let grads = Octf.Gradients.gradients b ~ys:[ y ] ~xs:[ w ] () in
+  match grads with
+  | [ Some (Octf.Gradients.Dense g) ] -> (
+      let s = Octf.Session.create (B.graph b) in
+      match Octf.Session.run s [ g ] with
+      | [ v ] -> check_f "dy/dw" 28.0 (scalar v)
+      | _ -> Alcotest.fail "arity")
+  | _ -> Alcotest.fail "no gradient"
+
+let test_sgd_convergence () =
+  (* Minimize (w - 5)^2 by explicit gradient-descent update ops. *)
+  let b = B.create () in
+  let w = B.variable b ~name:"w" ~dtype:Dtype.F32 ~shape:[||] () in
+  let init = B.assign b w (B.const_f b 0.0) in
+  let r = B.read b w in
+  let loss = B.square b (B.sub b r (B.const_f b 5.0)) in
+  let grads = Octf.Gradients.gradients b ~ys:[ loss ] ~xs:[ r ] () in
+  let g =
+    match grads with
+    | [ Some (Octf.Gradients.Dense g) ] -> g
+    | _ -> Alcotest.fail "no grad"
+  in
+  let update = B.assign_sub b w (B.mul b g (B.const_f b 0.1)) in
+  let s = Octf.Session.create (B.graph b) in
+  Octf.Session.run_unit s [ init ];
+  for _ = 1 to 100 do
+    Octf.Session.run_unit s [ update ]
+  done;
+  match Octf.Session.run s [ r ] with
+  | [ v ] -> Alcotest.(check (float 1e-3)) "w -> 5" 5.0 (scalar v)
+  | _ -> Alcotest.fail "arity"
+
+let test_distributed_two_devices () =
+  (* Variable pinned on ps, computation on worker: exercises placement,
+     partitioning and Send/Recv. *)
+  let cluster =
+    Octf.Cluster.create
+      ~jobs:[ ("ps", 1, [ Octf.Device.CPU ]); ("worker", 1, [ Octf.Device.CPU ]) ]
+  in
+  let b = B.create () in
+  let w =
+    B.variable b ~name:"w" ~device:"/job:ps/task:0" ~dtype:Dtype.F32
+      ~shape:[||] ()
+  in
+  let init = B.assign b w (B.const_f b 2.0) in
+  let r = B.read b w in
+  let y =
+    B.with_device b "/job:worker/task:0" (fun () ->
+        B.mul b r (B.const_f b 21.0))
+  in
+  let s = Octf.Cluster.session cluster (B.graph b) in
+  Octf.Session.run_unit s [ init ];
+  match Octf.Session.run s [ y ] with
+  | [ v ] -> check_f "2*21" 42.0 (scalar v)
+  | _ -> Alcotest.fail "arity"
+
+let suite =
+  [
+    Alcotest.test_case "const add" `Quick test_const_add;
+    Alcotest.test_case "feed/fetch" `Quick test_feed_fetch;
+    Alcotest.test_case "variable assign" `Quick test_variable_assign;
+    Alcotest.test_case "matmul" `Quick test_matmul;
+    Alcotest.test_case "cond" `Quick test_cond;
+    Alcotest.test_case "while loop" `Quick test_while_loop;
+    Alcotest.test_case "gradients" `Quick test_gradients_linear;
+    Alcotest.test_case "sgd convergence" `Quick test_sgd_convergence;
+    Alcotest.test_case "distributed send/recv" `Quick test_distributed_two_devices;
+  ]

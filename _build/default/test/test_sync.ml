@@ -1,0 +1,102 @@
+(* Synchronous replica coordination (§4.4): drive each Figure 4 scheme
+   with real worker threads on a deterministic problem. Loss = (w - t)^2
+   with constant target, so every aggregate update moves w the same way
+   and we can count applied updates exactly. *)
+
+open Octf_tensor
+open Octf
+module B = Builder
+module Vs = Octf_nn.Var_store
+module Sr = Octf_train.Sync_replicas
+
+let scalar t = Tensor.flat_get_f t 0
+
+let build mode num_workers =
+  let b = B.create () in
+  let store = Vs.create b in
+  let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [||] in
+  let loss = B.square b (B.sub b w.Vs.read (B.const_f b 10.0)) in
+  let coord = Sr.build store ~mode ~num_workers ~lr:0.25 ~loss () in
+  let s = Session.create (B.graph b) in
+  Session.run_unit s [ Vs.init_op store ];
+  (s, store, w, coord)
+
+let test_async_counts_steps () =
+  let s, _store, w, coord = build Sr.Async 3 in
+  let threads =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 10 do
+              Sr.worker_step coord s
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "30 applied updates" 30 (Sr.global_step coord s);
+  Alcotest.(check bool) "w moved toward target" true
+    (scalar (List.hd (Session.run s [ w.Vs.read ])) > 5.0)
+
+let run_sync_mode mode num_workers rounds =
+  let s, _store, w, coord = build mode num_workers in
+  Sr.start coord s;
+  let threads =
+    List.init num_workers (fun _ ->
+        Thread.create
+          (fun () ->
+            let continue_ = ref true in
+            while !continue_ do
+              try Sr.worker_step coord s
+              with Session.Run_error _ -> continue_ := false
+            done)
+          ())
+  in
+  for _ = 1 to rounds do
+    Sr.chief_step coord s
+  done;
+  let gs = Sr.global_step coord s in
+  let wv = scalar (List.hd (Session.run s [ w.Vs.read ])) in
+  Sr.shutdown coord s;
+  List.iter Thread.join threads;
+  (gs, wv)
+
+let test_sync_barrier_rounds () =
+  let gs, wv = run_sync_mode Sr.Sync 3 5 in
+  Alcotest.(check int) "5 aggregate updates" 5 gs;
+  (* Each round: w += 0.25 * 2 * (10 - w); from 0: 5, 7.5, 8.75, ... *)
+  Alcotest.(check (float 1e-4)) "deterministic trajectory" 9.6875 wv
+
+let test_backup_mode_applies_m_of_n () =
+  let gs, wv = run_sync_mode (Sr.Sync_backup { aggregate = 2 }) 3 4 in
+  Alcotest.(check int) "4 rounds applied" 4 gs;
+  (* Averaging m=2 identical gradients equals one: same trajectory. *)
+  Alcotest.(check (float 1e-4)) "trajectory" 9.375 wv
+
+let test_sync_determinism_matches_single () =
+  (* A synchronous round averaging identical gradients must equal one
+     plain SGD step. *)
+  let gs, wv = run_sync_mode Sr.Sync 4 1 in
+  Alcotest.(check int) "one round" 1 gs;
+  Alcotest.(check (float 1e-5)) "like single sgd step" 5.0 wv
+
+let test_build_validation () =
+  let b = B.create () in
+  let store = Vs.create b in
+  let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [||] in
+  let loss = B.square b w.Vs.read in
+  match
+    Sr.build store ~mode:(Sr.Sync_backup { aggregate = 5 }) ~num_workers:3
+      ~lr:0.1 ~loss ()
+  with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "async counts steps" `Quick test_async_counts_steps;
+    Alcotest.test_case "sync barrier rounds" `Quick test_sync_barrier_rounds;
+    Alcotest.test_case "backup m-of-n" `Quick test_backup_mode_applies_m_of_n;
+    Alcotest.test_case "sync equals single step" `Quick
+      test_sync_determinism_matches_single;
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+  ]

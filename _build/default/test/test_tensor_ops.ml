@@ -1,0 +1,298 @@
+open Octf_tensor
+module O = Tensor_ops
+
+let t2 rows cols data = Tensor.of_float_array [| rows; cols |] data
+
+let check_t msg expected actual =
+  if not (Tensor.approx_equal ~tol:1e-6 expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Tensor.to_string expected)
+      (Tensor.to_string actual)
+
+let test_elementwise () =
+  let a = Tensor.of_float_array [| 3 |] [| 1.; 2.; 3. |] in
+  let b = Tensor.of_float_array [| 3 |] [| 4.; 5.; 6. |] in
+  check_t "add" (Tensor.of_float_array [| 3 |] [| 5.; 7.; 9. |]) (O.add a b);
+  check_t "sub" (Tensor.of_float_array [| 3 |] [| -3.; -3.; -3. |]) (O.sub a b);
+  check_t "mul" (Tensor.of_float_array [| 3 |] [| 4.; 10.; 18. |]) (O.mul a b);
+  check_t "div" (Tensor.of_float_array [| 3 |] [| 0.25; 0.4; 0.5 |]) (O.div a b);
+  check_t "neg" (Tensor.of_float_array [| 3 |] [| -1.; -2.; -3. |]) (O.neg a);
+  check_t "maximum" b (O.maximum a b);
+  check_t "minimum" a (O.minimum a b)
+
+let test_unary_math () =
+  let x = Tensor.of_float_array [| 2 |] [| 4.0; 9.0 |] in
+  check_t "sqrt" (Tensor.of_float_array [| 2 |] [| 2.; 3. |]) (O.sqrt x);
+  check_t "square" (Tensor.of_float_array [| 2 |] [| 16.; 81. |]) (O.square x);
+  check_t "reciprocal"
+    (Tensor.of_float_array [| 2 |] [| 0.25; 1.0 /. 9.0 |])
+    (O.reciprocal x);
+  let s = Tensor.of_float_array [| 3 |] [| -2.0; 0.0; 5.0 |] in
+  check_t "sign" (Tensor.of_float_array [| 3 |] [| -1.; 0.; 1. |]) (O.sign s);
+  check_t "abs" (Tensor.of_float_array [| 3 |] [| 2.; 0.; 5. |]) (O.abs s);
+  check_t "relu" (Tensor.of_float_array [| 3 |] [| 0.; 0.; 5. |]) (O.relu s)
+
+let test_modulo () =
+  let a = Tensor.of_int_array [| 4 |] [| 0; 5; 10; 13 |] in
+  let m = O.modulo (Tensor.cast a Dtype.I32) (Tensor.scalar_i 4) in
+  Alcotest.(check (array int)) "mod" [| 0; 1; 2; 1 |] (Tensor.to_int_array m)
+
+let test_comparisons_and_select () =
+  let a = Tensor.of_float_array [| 3 |] [| 1.; 5.; 3. |] in
+  let b = Tensor.of_float_array [| 3 |] [| 2.; 5.; 1. |] in
+  let less = O.less a b in
+  Alcotest.(check (array int)) "less" [| 1; 0; 0 |] (Tensor.to_int_array less);
+  let sel = O.select (O.greater a b) a b in
+  check_t "select" (Tensor.of_float_array [| 3 |] [| 2.; 5.; 3. |]) sel
+
+let test_matmul_known () =
+  let a = t2 2 3 [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = t2 3 2 [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  check_t "matmul" (t2 2 2 [| 58.; 64.; 139.; 154. |]) (O.matmul a b)
+
+let naive_matmul ~ta ~tb a b =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  let m, k = if ta then (sa.(1), sa.(0)) else (sa.(0), sa.(1)) in
+  let n = if tb then sb.(0) else sb.(1) in
+  let get t trans i j =
+    if trans then Tensor.get_f t [| j; i |] else Tensor.get_f t [| i; j |]
+  in
+  Tensor.init_f [| m; n |] (fun idx ->
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc := !acc +. (get a ta idx.(0) p *. get b tb p idx.(1))
+      done;
+      !acc)
+
+let prop_matmul_matches_naive =
+  QCheck.Test.make ~name:"matmul matches naive reference (all transposes)"
+    ~count:60
+    QCheck.(quad (int_range 1 5) (int_range 1 5) (int_range 1 5) (pair bool bool))
+    (fun (m, k, n, (ta, tb)) ->
+      let rng = Rng.create ((m * 100) + (k * 10) + n) in
+      let a_shape = if ta then [| k; m |] else [| m; k |] in
+      let b_shape = if tb then [| n; k |] else [| k; n |] in
+      let a = Tensor.uniform rng a_shape ~lo:(-1.0) ~hi:1.0 in
+      let b = Tensor.uniform rng b_shape ~lo:(-1.0) ~hi:1.0 in
+      Tensor.approx_equal ~tol:1e-6
+        (O.matmul ~transpose_a:ta ~transpose_b:tb a b)
+        (naive_matmul ~ta ~tb a b))
+
+let test_transpose () =
+  let a = t2 2 3 [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  check_t "2d transpose" (t2 3 2 [| 1.; 4.; 2.; 5.; 3.; 6. |]) (O.transpose a);
+  let cube = Tensor.reshape (Tensor.cast (Tensor.iota 8) Dtype.F32) [| 2; 2; 2 |] in
+  let p = O.transpose ~perm:[| 1; 0; 2 |] cube in
+  Alcotest.(check (float 0.)) "permuted element" 2.0 (Tensor.get_f p [| 1; 0; 0 |])
+
+let test_reductions () =
+  let a = t2 2 3 [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  check_t "sum all" (Tensor.scalar_f 21.0) (O.reduce_sum a);
+  check_t "sum axis0" (Tensor.of_float_array [| 3 |] [| 5.; 7.; 9. |])
+    (O.reduce_sum ~axes:[ 0 ] a);
+  check_t "sum axis1 keep" (t2 2 1 [| 6.; 15. |])
+    (O.reduce_sum ~axes:[ 1 ] ~keep_dims:true a);
+  check_t "mean" (Tensor.scalar_f 3.5) (O.reduce_mean a);
+  check_t "max axis1" (Tensor.of_float_array [| 2 |] [| 3.; 6. |])
+    (O.reduce_max ~axes:[ 1 ] a)
+
+let test_argmax () =
+  let a = t2 2 3 [| 1.; 9.; 3.; 8.; 5.; 6. |] in
+  Alcotest.(check (array int)) "axis1" [| 1; 0 |]
+    (Tensor.to_int_array (O.argmax a ~axis:1));
+  Alcotest.(check (array int)) "axis0" [| 1; 0; 1 |]
+    (Tensor.to_int_array (O.argmax a ~axis:0))
+
+let test_concat_slice_split () =
+  let a = t2 2 2 [| 1.; 2.; 3.; 4. |] in
+  let b = t2 2 2 [| 5.; 6.; 7.; 8. |] in
+  let c = O.concat [ a; b ] ~axis:0 in
+  Alcotest.(check (array int)) "concat shape" [| 4; 2 |] (Tensor.shape c);
+  check_t "slice back" b (O.slice c ~begin_:[| 2; 0 |] ~size:[| 2; 2 |]);
+  (match O.split c ~axis:0 ~num:2 with
+  | [ x; y ] ->
+      check_t "split0" a x;
+      check_t "split1" b y
+  | _ -> Alcotest.fail "split arity");
+  let c1 = O.concat [ a; b ] ~axis:1 in
+  check_t "concat axis1 slice"
+    (t2 2 2 [| 5.; 6.; 7.; 8. |])
+    (O.slice c1 ~begin_:[| 0; 2 |] ~size:[| 2; 2 |])
+
+let test_pad_tile () =
+  let a = t2 1 2 [| 1.; 2. |] in
+  let p = O.pad a ~paddings:[| (1, 0); (0, 1) |] in
+  check_t "pad" (t2 2 3 [| 0.; 0.; 0.; 1.; 2.; 0. |]) p;
+  let t = O.tile a ~multiples:[| 2; 2 |] in
+  check_t "tile" (t2 2 4 [| 1.; 2.; 1.; 2.; 1.; 2.; 1.; 2. |]) t
+
+let test_one_hot () =
+  let idx = Tensor.of_int_array [| 3 |] [| 0; 2; 1 |] in
+  let oh = O.one_hot idx ~depth:3 in
+  check_t "one hot"
+    (t2 3 3 [| 1.; 0.; 0.; 0.; 0.; 1.; 0.; 1.; 0. |])
+    oh
+
+let test_gather_scatter () =
+  let params = t2 4 2 [| 0.; 1.; 10.; 11.; 20.; 21.; 30.; 31. |] in
+  let idx = Tensor.of_int_array [| 3 |] [| 2; 0; 2 |] in
+  let g = O.gather params idx in
+  check_t "gather"
+    (Tensor.of_float_array [| 3; 2 |] [| 20.; 21.; 0.; 1.; 20.; 21. |])
+    g;
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Tensor_ops.gather: index 9 out of range [0,4)")
+    (fun () -> ignore (O.gather params (Tensor.of_int_array [| 1 |] [| 9 |])));
+  let acc = Tensor.zeros Dtype.F32 [| 4; 2 |] in
+  let updates = t2 3 2 [| 1.; 1.; 2.; 2.; 3.; 3. |] in
+  let s = O.scatter_add acc idx updates in
+  (* duplicate index 2 accumulates *)
+  check_t "scatter add"
+    (t2 4 2 [| 2.; 2.; 0.; 0.; 4.; 4.; 0.; 0. |])
+    s
+
+let prop_gather_scatter_adjoint =
+  (* <gather(P, i), U> = <P, scatter(0, i, U)> — the adjoint identity
+     underlying sparse gradients. *)
+  QCheck.Test.make ~name:"gather/scatter adjoint identity" ~count:60
+    QCheck.(pair (int_range 1 6) (small_list (int_range 0 5)))
+    (fun (rows, idx_list) ->
+      let idx_list = List.filter (fun i -> i < rows) idx_list in
+      idx_list = []
+      ||
+      let rng = Rng.create (rows + List.length idx_list) in
+      let params = Tensor.uniform rng [| rows; 3 |] ~lo:(-1.) ~hi:1. in
+      let n = List.length idx_list in
+      let idx = Tensor.of_int_array [| n |] (Array.of_list idx_list) in
+      let updates = Tensor.uniform rng [| n; 3 |] ~lo:(-1.) ~hi:1. in
+      let lhs =
+        Tensor.fold_f ( +. ) 0.0 (O.mul (O.gather params idx) updates)
+      in
+      let scattered =
+        O.scatter_add (Tensor.zeros Dtype.F32 [| rows; 3 |]) idx updates
+      in
+      let rhs = Tensor.fold_f ( +. ) 0.0 (O.mul params scattered) in
+      Float.abs (lhs -. rhs) < 1e-6)
+
+let prop_partition_stitch_roundtrip =
+  QCheck.Test.make ~name:"dynamic partition/stitch roundtrip" ~count:80
+    QCheck.(pair (int_range 1 4) (small_list (int_range 0 3)))
+    (fun (num, parts) ->
+      let parts = List.map (fun p -> p mod num) parts in
+      parts = []
+      ||
+      let n = List.length parts in
+      let rng = Rng.create (n + num) in
+      let data = Tensor.uniform rng [| n; 2 |] ~lo:0. ~hi:1. in
+      let pt = Tensor.of_int_array [| n |] (Array.of_list parts) in
+      let pieces = O.dynamic_partition data pt ~num in
+      let positions = Tensor.iota n in
+      let pos_pieces = O.dynamic_partition positions pt ~num in
+      let rebuilt = O.dynamic_stitch pos_pieces pieces in
+      Tensor.approx_equal rebuilt data)
+
+let test_conv2d_known () =
+  (* 1x3x3x1 input, 2x2 sum filter, VALID: sliding-window sums. *)
+  let input =
+    Tensor.of_float_array [| 1; 3; 3; 1 |]
+      [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. |]
+  in
+  let filter = Tensor.ones Dtype.F32 [| 2; 2; 1; 1 |] in
+  let out = O.conv2d input filter ~strides:(1, 1) ~padding:O.Valid in
+  check_t "valid conv"
+    (Tensor.of_float_array [| 1; 2; 2; 1 |] [| 12.; 16.; 24.; 28. |])
+    out;
+  let same = O.conv2d input filter ~strides:(1, 1) ~padding:O.Same in
+  Alcotest.(check (array int)) "same shape" [| 1; 3; 3; 1 |]
+    (Tensor.shape same)
+
+let test_conv2d_channels () =
+  (* Two input channels summed into one output via a 1x1 filter. *)
+  let input =
+    Tensor.of_float_array [| 1; 1; 2; 2 |] [| 1.; 10.; 2.; 20. |]
+  in
+  let filter = Tensor.of_float_array [| 1; 1; 2; 1 |] [| 1.; 0.5 |] in
+  let out = O.conv2d input filter ~strides:(1, 1) ~padding:O.Valid in
+  check_t "channel mix"
+    (Tensor.of_float_array [| 1; 1; 2; 1 |] [| 6.; 12. |])
+    out
+
+let test_pooling () =
+  let input =
+    Tensor.of_float_array [| 1; 2; 4; 1 |]
+      [| 1.; 3.; 2.; 9.; 4.; 6.; 5.; 0. |]
+  in
+  let mp = O.max_pool input ~ksize:(2, 2) ~strides:(2, 2) ~padding:O.Valid in
+  check_t "max pool" (Tensor.of_float_array [| 1; 1; 2; 1 |] [| 6.; 9. |]) mp;
+  let ap = O.avg_pool input ~ksize:(2, 2) ~strides:(2, 2) ~padding:O.Valid in
+  check_t "avg pool" (Tensor.of_float_array [| 1; 1; 2; 1 |] [| 3.5; 4.0 |]) ap
+
+let test_max_pool_grad_routing () =
+  let input =
+    Tensor.of_float_array [| 1; 2; 2; 1 |] [| 1.; 4.; 3.; 2. |]
+  in
+  let dy = Tensor.of_float_array [| 1; 1; 1; 1 |] [| 7.0 |] in
+  let g = O.max_pool_grad input dy ~ksize:(2, 2) ~strides:(2, 2) ~padding:O.Valid in
+  check_t "routes to argmax"
+    (Tensor.of_float_array [| 1; 2; 2; 1 |] [| 0.; 7.; 0.; 0. |])
+    g
+
+let test_softmax_rows () =
+  let logits = t2 2 3 [| 1.; 1.; 1.; 0.; 100.; 0. |] in
+  let sm = O.softmax logits in
+  Alcotest.(check (float 1e-6)) "uniform row" (1.0 /. 3.0)
+    (Tensor.get_f sm [| 0; 0 |]);
+  Alcotest.(check (float 1e-6)) "peaked row" 1.0 (Tensor.get_f sm [| 1; 1 |]);
+  (* rows sum to 1 *)
+  let sums = O.reduce_sum ~axes:[ 1 ] sm in
+  check_t "rows sum to one" (Tensor.ones Dtype.F32 [| 2 |]) sums
+
+let test_cross_entropy () =
+  let logits = t2 1 3 [| 0.; 0.; 0. |] in
+  let labels = t2 1 3 [| 1.; 0.; 0. |] in
+  let ce = O.softmax_cross_entropy ~logits ~labels in
+  Alcotest.(check (float 1e-6)) "uniform ce" (log 3.0) (Tensor.flat_get_f ce 0);
+  let g = O.softmax_cross_entropy_grad ~logits ~labels in
+  check_t "grad = softmax - labels"
+    (t2 1 3 [| (1. /. 3.) -. 1.; 1. /. 3.; 1. /. 3. |])
+    g
+
+let prop_softmax_invariant_to_shift =
+  QCheck.Test.make ~name:"softmax shift invariance" ~count:50
+    QCheck.(pair (int_range 1 4) (float_range (-10.) 10.))
+    (fun (cols, shift) ->
+      let rng = Rng.create cols in
+      let x = Tensor.uniform rng [| 2; cols |] ~lo:(-3.) ~hi:3. in
+      let shifted = O.add x (Tensor.scalar_f shift) in
+      Tensor.approx_equal ~tol:1e-6 (O.softmax x) (O.softmax shifted))
+
+let test_broadcast_to () =
+  let row = Tensor.of_float_array [| 2 |] [| 1.; 2. |] in
+  let b = O.broadcast_to row [| 3; 2 |] in
+  check_t "broadcast_to" (t2 3 2 [| 1.; 2.; 1.; 2.; 1.; 2. |]) b
+
+let suite =
+  [
+    Alcotest.test_case "elementwise" `Quick test_elementwise;
+    Alcotest.test_case "unary math" `Quick test_unary_math;
+    Alcotest.test_case "modulo" `Quick test_modulo;
+    Alcotest.test_case "comparisons/select" `Quick test_comparisons_and_select;
+    Alcotest.test_case "matmul known" `Quick test_matmul_known;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "argmax" `Quick test_argmax;
+    Alcotest.test_case "concat/slice/split" `Quick test_concat_slice_split;
+    Alcotest.test_case "pad/tile" `Quick test_pad_tile;
+    Alcotest.test_case "one hot" `Quick test_one_hot;
+    Alcotest.test_case "gather/scatter" `Quick test_gather_scatter;
+    Alcotest.test_case "conv2d known" `Quick test_conv2d_known;
+    Alcotest.test_case "conv2d channels" `Quick test_conv2d_channels;
+    Alcotest.test_case "pooling" `Quick test_pooling;
+    Alcotest.test_case "max pool grad" `Quick test_max_pool_grad_routing;
+    Alcotest.test_case "softmax rows" `Quick test_softmax_rows;
+    Alcotest.test_case "cross entropy" `Quick test_cross_entropy;
+    Alcotest.test_case "broadcast_to" `Quick test_broadcast_to;
+    QCheck_alcotest.to_alcotest prop_matmul_matches_naive;
+    QCheck_alcotest.to_alcotest prop_gather_scatter_adjoint;
+    QCheck_alcotest.to_alcotest prop_partition_stitch_roundtrip;
+    QCheck_alcotest.to_alcotest prop_softmax_invariant_to_shift;
+  ]

@@ -1,0 +1,86 @@
+open Octf_tensor
+open Octf
+module B = Builder
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_traces_kernels () =
+  let b = B.create () in
+  let x = B.const_f b 2.0 in
+  let y = B.mul b (B.neg b x) (B.const_f b 3.0) in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let results, tracer = Session.run_traced s [ y ] in
+  Alcotest.(check (float 0.)) "result" (-6.0)
+    (Tensor.flat_get_f (List.hd results) 0);
+  let evs = Tracer.events tracer in
+  Alcotest.(check int) "four kernels" 4 (List.length evs);
+  let ops = List.map (fun e -> e.Tracer.op_type) evs in
+  Alcotest.(check bool) "has Neg" true (List.mem "Neg" ops);
+  Alcotest.(check bool) "has Mul" true (List.mem "Mul" ops);
+  List.iter
+    (fun e -> Alcotest.(check bool) "non-negative" true (e.Tracer.duration >= 0.0))
+    evs
+
+let test_summary_and_totals () =
+  let b = B.create () in
+  let x = B.const_f b 1.0 in
+  let y = B.add_n b [ x; x; x ] in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let _, tracer = Session.run_traced s [ y ] in
+  let by_op = Tracer.by_op_type tracer in
+  Alcotest.(check bool) "grouped" true
+    (List.exists (fun (op, c, _) -> op = "Const" && c = 1) by_op);
+  Alcotest.(check bool) "total >= max component" true
+    (Tracer.total_time tracer
+    >= List.fold_left (fun acc (_, _, t) -> Float.max acc t) 0.0 by_op)
+
+let test_chrome_trace_shape () =
+  let b = B.create () in
+  let y = B.neg b (B.const_f b 1.0) in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let _, tracer = Session.run_traced s [ y ] in
+  let json = Tracer.to_chrome_trace tracer in
+  Alcotest.(check bool) "traceEvents" true (contains json "\"traceEvents\"");
+  Alcotest.(check bool) "phase X" true (contains json "\"ph\":\"X\"");
+  Alcotest.(check bool) "op name present" true (contains json "\"Neg\"")
+
+let test_distributed_trace_has_devices () =
+  let c =
+    Cluster.create
+      ~jobs:[ ("ps", 1, [ Device.CPU ]); ("worker", 1, [ Device.CPU ]) ]
+  in
+  let b = B.create () in
+  let v =
+    B.variable b ~name:"w" ~device:"/job:ps/task:0" ~dtype:Dtype.F32
+      ~shape:[||] ()
+  in
+  let init = B.assign b v (B.const_f b 1.0) in
+  let r = B.read b v in
+  let y =
+    B.with_device b "/job:worker/task:0" (fun () ->
+        B.mul b r (B.const_f b 2.0))
+  in
+  let s = Cluster.session c (B.graph b) in
+  Session.run_unit s [ init ];
+  let _, tracer = Session.run_traced s [ y ] in
+  let devices =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Tracer.device) (Tracer.events tracer))
+  in
+  Alcotest.(check bool) "events from both tasks" true
+    (List.length devices >= 2);
+  let ops = List.map (fun e -> e.Tracer.op_type) (Tracer.events tracer) in
+  Alcotest.(check bool) "traces the communication" true
+    (List.mem "Send" ops && List.mem "Recv" ops)
+
+let suite =
+  [
+    Alcotest.test_case "traces kernels" `Quick test_traces_kernels;
+    Alcotest.test_case "summary and totals" `Quick test_summary_and_totals;
+    Alcotest.test_case "chrome trace" `Quick test_chrome_trace_shape;
+    Alcotest.test_case "distributed trace" `Quick
+      test_distributed_trace_has_devices;
+  ]
