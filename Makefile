@@ -1,0 +1,23 @@
+.PHONY: all build test fmt bench-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+# Exercises both scheduler policies end to end and writes
+# BENCH_dispatch.json (small sizes; seconds, not minutes).
+bench-smoke:
+	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- dispatch-wide
+
+ci: build test fmt bench-smoke
+	OCTF_SCHEDULER=pool dune runtest --force
+
+clean:
+	dune clean

@@ -80,6 +80,106 @@ let dispatch_bechamel () =
     ols
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler comparison: inline loop vs shared domain pool             *)
+(* ------------------------------------------------------------------ *)
+
+(* Smoke mode (OCTF_BENCH_SMOKE=1) shrinks sizes so CI can exercise the
+   full path in seconds; BENCH_dispatch.json records which mode ran. *)
+let smoke_mode () =
+  match Sys.getenv_opt "OCTF_BENCH_SMOKE" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+(* Mean seconds per [Session.run] step, after one warm-up step that
+   pays plan compilation. *)
+let time_steps session sink ~iters =
+  ignore (Octf.Session.run session [ sink ]);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Octf.Session.run session [ sink ])
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+(* A wide graph: [width] independent matmul chains joined by one AddN —
+   the §3.3 inter-op parallelism shape. Branches share no edges, so the
+   pool scheduler can run them on distinct cores. *)
+let build_wide_graph ~width ~dim ~chain =
+  let b = B.create () in
+  let rng = Rng.create 7 in
+  let fresh () =
+    B.const b (Tensor.uniform rng [| dim; dim |] ~lo:(-1.0) ~hi:1.0)
+  in
+  let branch _ =
+    let x = ref (fresh ()) in
+    for _ = 1 to chain do
+      x := B.matmul b !x (fresh ())
+    done;
+    B.reduce_sum b !x
+  in
+  (b, B.add_n b (List.init width branch))
+
+let dispatch_wide () =
+  section "Wide-graph dispatch: inline vs domain-pool scheduler";
+  let smoke = smoke_mode () in
+  let width = if smoke then 8 else 32 in
+  let dim = if smoke then 16 else 64 in
+  let chain = 2 in
+  let wide_iters = if smoke then 3 else 10 in
+  let null_n = if smoke then 200 else 1000 in
+  let null_iters = if smoke then 50 else 400 in
+  let measure scheduler ~build ~iters =
+    let b, sink = build () in
+    let session = Octf.Session.create ~optimize:false ~scheduler (B.graph b) in
+    time_steps session sink ~iters
+  in
+  (* Wide graph: per-step wall clock. *)
+  let wide_build () = build_wide_graph ~width ~dim ~chain in
+  let wide_inline = measure Octf.Scheduler.Inline ~build:wide_build ~iters:wide_iters in
+  let wide_pool = measure Octf.Scheduler.Pool ~build:wide_build ~iters:wide_iters in
+  let speedup = wide_inline /. wide_pool in
+  Printf.printf
+    "wide graph (%d branches of %d chained %dx%d matmuls):\n\
+    \  inline: %8.2f ms/step\n\
+    \  pool:   %8.2f ms/step   speedup %.2fx (%d worker domains, %d cores)\n%!"
+    width chain dim dim (1000.0 *. wide_inline) (1000.0 *. wide_pool) speedup
+    (Octf.Domain_pool.size ())
+    (Domain.recommended_domain_count ());
+  (* Null-op dispatch rate: the §5 microbenchmark, both policies. The
+     pool pays a cross-domain round trip per op, so this bounds its
+     per-dispatch overhead; the inline rate is the regression guard. *)
+  let null_build () = build_null_graph null_n in
+  let null_inline = measure Octf.Scheduler.Inline ~build:null_build ~iters:null_iters in
+  let null_pool = measure Octf.Scheduler.Pool ~build:null_build ~iters:null_iters in
+  let rate sec_per_step = float_of_int null_n /. sec_per_step in
+  Printf.printf
+    "null-op dispatch (%d ops/step):\n\
+    \  inline: %8.2f M ops/s\n\
+    \  pool:   %8.2f M ops/s\n%!"
+    null_n
+    (rate null_inline /. 1e6)
+    (rate null_pool /. 1e6);
+  (* Machine-readable record for cross-PR trajectory tracking. *)
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"dispatch\",\"smoke\":%b,\"cores\":%d,\"pool_workers\":%d,\n\
+       \"wide_graph\":{\"width\":%d,\"dim\":%d,\"chain\":%d,\n\
+      \  \"inline_ms_per_step\":%.3f,\"pool_ms_per_step\":%.3f,\"speedup\":%.3f},\n\
+       \"null_op\":{\"ops_per_step\":%d,\n\
+      \  \"inline_ops_per_sec\":%.0f,\"pool_ops_per_sec\":%.0f}}\n"
+      (smoke : bool)
+      (Domain.recommended_domain_count ())
+      (Octf.Domain_pool.size ())
+      width dim chain
+      (1000.0 *. wide_inline)
+      (1000.0 *. wide_pool)
+      speedup null_n (rate null_inline) (rate null_pool)
+  in
+  let oc = open_out "BENCH_dispatch.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_dispatch.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: null-step synchronous replication baseline                *)
 (* ------------------------------------------------------------------ *)
 
@@ -291,6 +391,7 @@ let all_experiments =
   [
     ("table1", table1);
     ("dispatch", dispatch_bechamel);
+    ("dispatch-wide", dispatch_wide);
     ("fig6", fig6);
     ("fig7", fig7);
     ("fig8", fig8);

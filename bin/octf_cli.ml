@@ -107,9 +107,36 @@ let simulate_cmd =
        ~doc:"Simulate distributed training on the shared-cluster model")
     Term.(const simulate $ workload $ workers $ ps $ mode $ steps $ seed)
 
+(* --------------------------- scheduler ----------------------------- *)
+
+(* Shared by the commands that execute real graphs. The default honours
+   the OCTF_SCHEDULER environment variable, so either
+   `--scheduler pool` or `OCTF_SCHEDULER=pool` enables the domain-pool
+   executor. *)
+let scheduler_conv =
+  let parse s =
+    match Octf.Scheduler.policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt p ->
+        Format.pp_print_string fmt (Octf.Scheduler.policy_to_string p) )
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_conv (Octf.Scheduler.default_policy ())
+    & info [ "scheduler" ] ~docv:"POLICY"
+        ~doc:
+          "Executor scheduling policy: $(b,inline) (single-threaded) or \
+           $(b,pool) (parallel kernel dispatch on the shared domain pool). \
+           Defaults to \\$OCTF_SCHEDULER or inline.")
+
 (* ------------------------------ train ------------------------------ *)
 
-let train steps lr =
+let train steps lr scheduler =
   let module Vs = Octf_nn.Var_store in
   let dim = 3 in
   let true_w = [| 2.0; -3.0; 0.5 |] in
@@ -122,7 +149,7 @@ let train steps lr =
     Octf_nn.Losses.mse b ~predictions:(B.matmul b x w.Vs.read) ~targets:y
   in
   let train_op = Octf_train.Optimizer.minimize store ~lr ~loss () in
-  let session = Octf.Session.create (B.graph b) in
+  let session = Octf.Session.create ~scheduler (B.graph b) in
   Octf.Session.run_unit session [ Vs.init_op store ];
   let rng = Rng.create 12 in
   for step = 1 to steps do
@@ -156,11 +183,11 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a linear model end to end (quick sanity run)")
-    Term.(const train $ steps $ lr)
+    Term.(const train $ steps $ lr $ scheduler_arg)
 
 (* ------------------------------ trace ------------------------------ *)
 
-let trace out =
+let trace out scheduler =
   let module Vs = Octf_nn.Var_store in
   let b = B.create () in
   let store = Vs.create b in
@@ -174,7 +201,7 @@ let trace out =
   in
   let loss = Octf.Builder.reduce_mean b (Octf.Builder.square b logits) in
   let train_op = Octf_train.Optimizer.minimize store ~lr:0.01 ~loss () in
-  let session = Octf.Session.create (B.graph b) in
+  let session = Octf.Session.create ~scheduler (B.graph b) in
   Octf.Session.run_unit session [ Vs.init_op store ];
   let _, tracer = Octf.Session.run_traced session [ loss; train_op ] in
   Format.printf "%a" Octf.Tracer.pp_summary tracer;
@@ -197,7 +224,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Profile one training step and print a per-op kernel summary")
-    Term.(const trace $ out)
+    Term.(const trace $ out $ scheduler_arg)
 
 let () =
   let info =

@@ -42,6 +42,6 @@ let task_resources t ~job ~task =
   | Some tk -> tk.resources
   | None -> raise Not_found
 
-let session ?seed ?optimize t graph =
+let session ?seed ?optimize ?scheduler t graph =
   Session.create ~devices:(devices t) ~resource_router:(resources_of t) ?seed
-    ?optimize graph
+    ?optimize ?scheduler graph

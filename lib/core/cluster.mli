@@ -30,5 +30,14 @@ val resources_of : t -> Device.t -> Resource_manager.t
 
 val task_resources : t -> job:string -> task:int -> Resource_manager.t
 
-val session : ?seed:int -> ?optimize:bool -> t -> Graph.t -> Session.t
-(** A master session executing over every device in the cluster. *)
+val session :
+  ?seed:int ->
+  ?optimize:bool ->
+  ?scheduler:Scheduler.policy ->
+  t ->
+  Graph.t ->
+  Session.t
+(** A master session executing over every device in the cluster. With
+    [~scheduler:Scheduler.Pool] every partition dispatches its ready
+    kernels onto the one shared domain pool, so a multi-task step uses
+    all cores instead of time-slicing partition threads on one. *)

@@ -252,9 +252,9 @@ type state = {
   seed : int;
   step_id : int;
   instances : (string, instance) Hashtbl.t;
-  ready : (cnode * instance * iter_state) Queue.t;
-  ready_recv : (cnode * instance * iter_state) Queue.t;
-  ready_blocking : (cnode * instance * iter_state) Queue.t;
+  (* Set right after creation (the scheduler's callbacks close over the
+     state, so the two are built in sequence). *)
+  mutable sched : (cnode * instance * iter_state) Scheduler.t option;
 }
 
 let get_iter inst index =
@@ -301,6 +301,7 @@ let trace tracer (n : Node.t) ~step_id f =
             (match n.Node.assigned_device with
             | Some d -> Device.to_string d
             | None -> "/device:CPU:0");
+          lane = (Domain.self () :> int);
           start;
           duration = stop -. start;
           step_id;
@@ -331,11 +332,9 @@ let invariants_available inst (cn : cnode) =
      >= cn.invariant_controls
 
 let schedule st cn inst it =
-  let entry = (cn, inst, it) in
-  if cn.node.Node.op_type = "Recv" then Queue.add entry st.ready_recv
-  else if blocking_op cn.node.Node.op_type then
-    Queue.add entry st.ready_blocking
-  else Queue.add entry st.ready
+  match st.sched with
+  | Some sched -> Scheduler.add sched (cn, inst, it)
+  | None -> assert false
 
 (* Readiness. Per-iteration nodes fire once per (instance, iteration);
    invariant nodes fire once per instance, executing in iteration 0's
@@ -484,7 +483,61 @@ let gather_inputs (cn : cnode) inst (it : iter_state) =
         | None -> Value.Dead)
       cn.node.Node.inputs
 
-let execute_node st (cn : cnode) inst it =
+let resolve_kernel cn =
+  match cn.kernel with
+  | Some k -> k
+  | None ->
+      let n = cn.node in
+      let device_type =
+        match n.Node.assigned_device with
+        | Some d -> d.Device.dev_type
+        | None -> Device.CPU
+      in
+      let k =
+        match Kernel.lookup ~op_type:n.Node.op_type ~device:device_type with
+        | Some k -> k
+        | None -> (
+            match Kernel.lookup ~op_type:n.Node.op_type ~device:Device.CPU with
+            | Some k -> k
+            | None ->
+                raise
+                  (Step_error
+                     (Printf.sprintf "no kernel for op %s (node %s)"
+                        n.Node.op_type n.Node.name)))
+      in
+      cn.kernel <- Some k;
+      k
+
+(* Run [kernel ctx], worker-domain-safe: failures are captured and
+   re-raised by the returned continuation on the coordinating thread
+   (aborting the rendezvous first, so peer partitions unblock even while
+   the coordinator is busy elsewhere). Wrap in a thunk when building a
+   [Scheduler.Offload] — applying it runs the kernel. *)
+let offload_kernel ~tracer ~rendezvous ~step_id (n : Node.t) kernel ctx
+    ~finish =
+  match trace tracer n ~step_id (fun () -> kernel ctx) with
+  | outputs -> fun () -> finish outputs
+  | exception (Step_error _ as e) -> fun () -> raise e
+  | exception e ->
+      Option.iter
+        (fun r ->
+          Rendezvous.abort r
+            ~reason:
+              (Printf.sprintf "%s failed: %s" n.Node.name
+                 (Printexc.to_string e)))
+        rendezvous;
+      fun () ->
+        raise
+          (Step_error
+             (Printf.sprintf "kernel %s (%s) failed: %s" n.Node.name
+                n.Node.op_type (Printexc.to_string e)))
+
+(* Stage one node on the coordinating thread: gather inputs, decide dead
+   propagation, build the kernel context. Everything the returned
+   [Offload] thunk touches is either private to it or mutex-protected
+   (resources, queues, rendezvous, tracer), so it may run on a worker
+   domain. *)
+let stage_node st ((cn : cnode), inst, it) =
   let n = cn.node in
   let inputs = gather_inputs cn inst it in
   let any_dead =
@@ -493,8 +546,10 @@ let execute_node st (cn : cnode) inst it =
   in
   let runs_on_dead = n.Node.op_type = "Send" in
   if any_dead && (not cn.is_merge) && not runs_on_dead then
-    finish_node st cn inst it
-      (Array.make (max 1 (Node.num_outputs n)) Value.Dead)
+    Scheduler.Finish
+      (fun () ->
+        finish_node st cn inst it
+          (Array.make (max 1 (Node.num_outputs n)) Value.Dead))
   else begin
     let rng =
       Rng.create
@@ -513,49 +568,12 @@ let execute_node st (cn : cnode) inst it =
         step_id = st.step_id;
       }
     in
-    let kernel =
-      match cn.kernel with
-      | Some k -> k
-      | None ->
-          let device_type =
-            match n.Node.assigned_device with
-            | Some d -> d.Device.dev_type
-            | None -> Device.CPU
-          in
-          let k =
-            match Kernel.lookup ~op_type:n.Node.op_type ~device:device_type with
-            | Some k -> k
-            | None -> (
-                match
-                  Kernel.lookup ~op_type:n.Node.op_type ~device:Device.CPU
-                with
-                | Some k -> k
-                | None ->
-                    raise
-                      (Step_error
-                         (Printf.sprintf "no kernel for op %s (node %s)"
-                            n.Node.op_type n.Node.name)))
-          in
-          cn.kernel <- Some k;
-          k
-    in
-    let outputs =
-      try trace st.tracer n ~step_id:st.step_id (fun () -> kernel ctx) with
-      | Step_error _ as e -> raise e
-      | e ->
-          Option.iter
-            (fun r ->
-              Rendezvous.abort r
-                ~reason:
-                  (Printf.sprintf "%s failed: %s" n.Node.name
-                     (Printexc.to_string e)))
-            st.rendezvous;
-          raise
-            (Step_error
-               (Printf.sprintf "kernel %s (%s) failed: %s" n.Node.name
-                  n.Node.op_type (Printexc.to_string e)))
-    in
-    finish_node st cn inst it outputs
+    let kernel = resolve_kernel cn in
+    Scheduler.Offload
+      (fun () ->
+        offload_kernel ~tracer:st.tracer ~rendezvous:st.rendezvous
+          ~step_id:st.step_id n kernel ctx
+          ~finish:(fun outputs -> finish_node st cn inst it outputs))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -582,6 +600,7 @@ type plan = {
   p_compiled : compiled;
   p_fed : (int, unit) Hashtbl.t;
   p_simple : splan option;
+  p_scheduler : Scheduler.policy;
 }
 
 let control_flow_free compiled =
@@ -652,7 +671,7 @@ let build_splan compiled fed =
     s_num_outputs = Array.map (fun cn -> max 1 (Node.num_outputs cn.node)) s_nodes;
   }
 
-let prepare ~graph ~nodes ~fed_ids =
+let prepare ?scheduler ~graph ~nodes ~fed_ids () =
   let fed = Hashtbl.create 8 in
   List.iter (fun id -> Hashtbl.replace fed id ()) fed_ids;
   let compiled = compile graph nodes fed in
@@ -660,56 +679,102 @@ let prepare ~graph ~nodes ~fed_ids =
     if control_flow_free compiled then Some (build_splan compiled fed)
     else None
   in
-  { p_graph = graph; p_compiled = compiled; p_fed = fed; p_simple }
+  let p_scheduler =
+    match scheduler with Some p -> p | None -> Scheduler.default_policy ()
+  in
+  { p_graph = graph; p_compiled = compiled; p_fed = fed; p_simple; p_scheduler }
 
-let resolve_kernel cn =
-  match cn.kernel with
-  | Some k -> k
-  | None ->
-      let n = cn.node in
-      let device_type =
-        match n.Node.assigned_device with
-        | Some d -> d.Device.dev_type
-        | None -> Device.CPU
-      in
-      let k =
-        match Kernel.lookup ~op_type:n.Node.op_type ~device:device_type with
-        | Some k -> k
-        | None -> (
-            match Kernel.lookup ~op_type:n.Node.op_type ~device:Device.CPU with
-            | Some k -> k
-            | None ->
-                raise
-                  (Step_error
-                     (Printf.sprintf "no kernel for op %s (node %s)"
-                        n.Node.op_type n.Node.name)))
-      in
-      cn.kernel <- Some k;
-      k
-
-let execute_simple plan sp ~feeds ~fetches ~resources ~rendezvous ~tracer
-    ~seed ~step_id =
+let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
+    ~tracer ~seed ~step_id =
   let count = Array.length sp.s_nodes in
   let values = Array.make count [||] in
   let dead = Array.make count false in
   let pending = Array.copy sp.s_in_counts in
-  let ready = Queue.create ()
-  and ready_recv = Queue.create ()
-  and ready_blocking = Queue.create () in
   let scheduled = Array.make count false in
+  (* The scheduler's callbacks and the node bookkeeping close over each
+     other; tie the knot through a cell filled right after creation. *)
+  let sched_cell = ref None in
   let push idx =
     if not scheduled.(idx) then begin
       scheduled.(idx) <- true;
-      if sp.s_nodes.(idx).node.Node.op_type = "Recv" then
-        Queue.add idx ready_recv
-      else if sp.s_blocking.(idx) then Queue.add idx ready_blocking
-      else Queue.add idx ready
+      match !sched_cell with
+      | Some sched -> Scheduler.add sched idx
+      | None -> assert false
     end
   in
   let arrive idx =
     pending.(idx) <- pending.(idx) - 1;
     if pending.(idx) <= 0 then push idx
   in
+  let complete idx outputs =
+    if Array.length outputs > 0 && Array.for_all Value.is_dead outputs then
+      dead.(idx) <- true;
+    values.(idx) <- outputs;
+    Array.iter arrive sp.s_consumers.(idx)
+  in
+  let stage idx =
+    let cn = sp.s_nodes.(idx) in
+    let n = cn.node in
+    let inputs =
+      Array.map (fun (src, out) -> values.(src).(out)) sp.s_inputs.(idx)
+    in
+    let any_dead =
+      Array.exists Value.is_dead inputs
+      || Array.exists (fun c -> dead.(c)) sp.s_control_in.(idx)
+    in
+    if any_dead && n.Node.op_type <> "Send" then
+      Scheduler.Finish
+        (fun () ->
+          dead.(idx) <- true;
+          complete idx (Array.make sp.s_num_outputs.(idx) Value.Dead))
+    else begin
+      let rng =
+        Rng.create (seed + (step_id * 1_000_003) + (n.Node.id * 7_919))
+      in
+      let ctx =
+        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id }
+      in
+      let kernel = resolve_kernel cn in
+      Scheduler.Offload
+        (fun () ->
+          offload_kernel ~tracer ~rendezvous ~step_id n kernel ctx
+            ~finish:(fun outputs -> complete idx outputs))
+    end
+  in
+  let ops =
+    {
+      Scheduler.classify =
+        (fun idx ->
+          if sp.s_nodes.(idx).node.Node.op_type = "Recv" then Scheduler.Recv
+          else if sp.s_blocking.(idx) then Scheduler.Blocking
+          else Scheduler.Normal);
+      stage;
+      run_blocking =
+        (fun idx ->
+          match stage idx with
+          | Scheduler.Finish k -> k ()
+          | Scheduler.Offload run -> (run ()) ());
+      poll_recv =
+        (fun idx ->
+          match rendezvous with
+          | None -> None
+          | Some r -> (
+              match
+                Rendezvous.try_recv r
+                  ~key:(recv_rendezvous_key sp.s_nodes.(idx).node)
+              with
+              | Some v ->
+                  Some
+                    (fun () ->
+                      trace tracer sp.s_nodes.(idx).node ~step_id (fun () ->
+                          ());
+                      complete idx [| v |])
+              | None -> None));
+      rendezvous;
+    }
+  in
+  let sched = Scheduler.create scheduler ops in
+  sched_cell := Some sched;
   (* Seed feeds, then sources. *)
   List.iter
     (fun ((e : Node.endpoint), v) ->
@@ -730,90 +795,7 @@ let execute_simple plan sp ~feeds ~fetches ~resources ~rendezvous ~tracer
     (fun idx fedp ->
       if fedp then Array.iter arrive sp.s_consumers.(idx))
     sp.s_fed;
-  let complete idx outputs =
-    if Array.length outputs > 0 && Array.for_all Value.is_dead outputs then
-      dead.(idx) <- true;
-    values.(idx) <- outputs;
-    Array.iter arrive sp.s_consumers.(idx)
-  in
-  let run_node idx =
-    let cn = sp.s_nodes.(idx) in
-    let n = cn.node in
-    let inputs =
-      Array.map (fun (src, out) -> values.(src).(out)) sp.s_inputs.(idx)
-    in
-    let any_dead =
-      Array.exists Value.is_dead inputs
-      || Array.exists (fun c -> dead.(c)) sp.s_control_in.(idx)
-    in
-    let outputs =
-      if any_dead && n.Node.op_type <> "Send" then begin
-        dead.(idx) <- true;
-        Array.make sp.s_num_outputs.(idx) Value.Dead
-      end
-      else begin
-        let rng = Rng.create (seed + (step_id * 1_000_003) + (n.Node.id * 7_919)) in
-        let ctx =
-          { Kernel.node = n; inputs; resources; rendezvous; rng; step_id }
-        in
-        let kernel = resolve_kernel cn in
-        try trace tracer n ~step_id (fun () -> kernel ctx) with
-        | Step_error _ as e -> raise e
-        | e ->
-            Option.iter
-              (fun r ->
-                Rendezvous.abort r
-                  ~reason:
-                    (Printf.sprintf "%s failed: %s" n.Node.name
-                       (Printexc.to_string e)))
-              rendezvous;
-            raise
-              (Step_error
-                 (Printf.sprintf "kernel %s (%s) failed: %s" n.Node.name
-                    n.Node.op_type (Printexc.to_string e)))
-      end
-    in
-    complete idx outputs
-  in
-  (* Recvs retry non-blockingly (see the general loop). *)
-  let rec loop () =
-    if not (Queue.is_empty ready) then begin
-      run_node (Queue.pop ready);
-      loop ()
-    end
-    else if not (Queue.is_empty ready_recv) then begin
-      (match rendezvous with
-      | None -> run_node (Queue.pop ready_recv)
-      | Some r ->
-          let gen = Rendezvous.generation r in
-          let n = Queue.length ready_recv in
-          let progressed = ref false in
-          for _ = 1 to n do
-            if not !progressed then begin
-              let idx = Queue.pop ready_recv in
-              match
-                Rendezvous.try_recv r
-                  ~key:(recv_rendezvous_key sp.s_nodes.(idx).node)
-              with
-              | Some v ->
-                  trace tracer sp.s_nodes.(idx).node ~step_id (fun () -> ());
-                  complete idx [| v |];
-                  progressed := true
-              | None -> Queue.add idx ready_recv
-            end
-          done;
-          if not !progressed then
-            if not (Queue.is_empty ready_blocking) then
-              run_node (Queue.pop ready_blocking)
-            else ignore (Rendezvous.wait_new r ~last:gen));
-      loop ()
-    end
-    else if not (Queue.is_empty ready_blocking) then begin
-      run_node (Queue.pop ready_blocking);
-      loop ()
-    end
-  in
-  loop ();
+  Scheduler.drive sched;
   List.map
     (fun (e : Node.endpoint) ->
       match Hashtbl.find_opt sp.s_index e.node_id with
@@ -830,8 +812,8 @@ let execute_simple plan sp ~feeds ~fetches ~resources ~rendezvous ~tracer
                   (Graph.get plan.p_graph e.node_id).Node.name e.index)))
     fetches
 
-let execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
-    ~seed ~step_id =
+let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
+    ~tracer ~seed ~step_id =
   let compiled = plan.p_compiled in
   let fed_vals = Hashtbl.create 8 in
   List.iter
@@ -856,11 +838,42 @@ let execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
       seed;
       step_id;
       instances = Hashtbl.create 8;
-      ready = Queue.create ();
-      ready_recv = Queue.create ();
-      ready_blocking = Queue.create ();
+      sched = None;
     }
   in
+  let ops =
+    {
+      Scheduler.classify =
+        (fun ((cn : cnode), _, _) ->
+          if cn.node.Node.op_type = "Recv" then Scheduler.Recv
+          else if blocking_op cn.node.Node.op_type then Scheduler.Blocking
+          else Scheduler.Normal);
+      stage = (fun task -> stage_node st task);
+      run_blocking =
+        (fun task ->
+          match stage_node st task with
+          | Scheduler.Finish k -> k ()
+          | Scheduler.Offload run -> (run ()) ());
+      poll_recv =
+        (fun ((cn : cnode), inst, it) ->
+          match st.rendezvous with
+          | None -> None
+          | Some r -> (
+              match
+                Rendezvous.try_recv r ~key:(recv_rendezvous_key cn.node)
+              with
+              | Some v ->
+                  Some
+                    (fun () ->
+                      trace st.tracer cn.node ~step_id:st.step_id (fun () ->
+                          ());
+                      finish_node st cn inst it [| v |])
+              | None -> None));
+      rendezvous;
+    }
+  in
+  let sched = Scheduler.create scheduler ops in
+  st.sched <- Some sched;
   let root_it = get_iter root 0 in
   Hashtbl.iter
     (fun id cn ->
@@ -883,50 +896,9 @@ let execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
           end)
     compiled.cnodes;
   (* Recvs are retried non-blockingly so one pending value never wedges
-     the partition while other cross-device values are already here. *)
-  let rec loop () =
-    if not (Queue.is_empty st.ready) then begin
-      let cn, inst, it = Queue.pop st.ready in
-      execute_node st cn inst it;
-      loop ()
-    end
-    else if not (Queue.is_empty st.ready_recv) then begin
-      (match st.rendezvous with
-      | None ->
-          let cn, inst, it = Queue.pop st.ready_recv in
-          execute_node st cn inst it
-      | Some r ->
-          let gen = Rendezvous.generation r in
-          let n = Queue.length st.ready_recv in
-          let progressed = ref false in
-          for _ = 1 to n do
-            if not !progressed then begin
-              let ((cn, inst, it) as entry) = Queue.pop st.ready_recv in
-              match
-                Rendezvous.try_recv r ~key:(recv_rendezvous_key cn.node)
-              with
-              | Some v ->
-                  trace st.tracer cn.node ~step_id:st.step_id (fun () -> ());
-                  finish_node st cn inst it [| v |];
-                  progressed := true
-              | None -> Queue.add entry st.ready_recv
-            end
-          done;
-          if not !progressed then
-            if not (Queue.is_empty st.ready_blocking) then begin
-              let cn, inst, it = Queue.pop st.ready_blocking in
-              execute_node st cn inst it
-            end
-            else ignore (Rendezvous.wait_new r ~last:gen));
-      loop ()
-    end
-    else if not (Queue.is_empty st.ready_blocking) then begin
-      let cn, inst, it = Queue.pop st.ready_blocking in
-      execute_node st cn inst it;
-      loop ()
-    end
-  in
-  loop ();
+     the partition while other cross-device values are already here (the
+     polling lives in {!Scheduler.drive}). *)
+  Scheduler.drive sched;
   List.map
     (fun (e : Node.endpoint) ->
       match Hashtbl.find_opt root_it.values (value_key e.node_id e.index) with
@@ -940,18 +912,21 @@ let execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
                   (Graph.get plan.p_graph e.node_id).Node.name e.index)))
     fetches
 
-let execute plan ~feeds ~fetches ~resources ?rendezvous ?tracer ?(seed = 0)
-    ?(step_id = 0) () =
+let execute plan ?scheduler ~feeds ~fetches ~resources ?rendezvous ?tracer
+    ?(seed = 0) ?(step_id = 0) () =
+  let scheduler =
+    match scheduler with Some p -> p | None -> plan.p_scheduler
+  in
   match plan.p_simple with
   | Some sp ->
-      execute_simple plan sp ~feeds ~fetches ~resources ~rendezvous ~tracer
-        ~seed ~step_id
+      execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
+        ~tracer ~seed ~step_id
   | None ->
-      execute_general plan ~feeds ~fetches ~resources ~rendezvous ~tracer
-        ~seed ~step_id
+      execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
+        ~tracer ~seed ~step_id
 
-let run ~graph ~nodes ~feeds ~fetches ~resources ?rendezvous ?seed ?step_id
-    () =
+let run ?scheduler ~graph ~nodes ~feeds ~fetches ~resources ?rendezvous ?seed
+    ?step_id () =
   let fed_ids = List.map (fun ((e : Node.endpoint), _) -> e.node_id) feeds in
-  let plan = prepare ~graph ~nodes ~fed_ids in
+  let plan = prepare ?scheduler ~graph ~nodes ~fed_ids () in
   execute plan ~feeds ~fetches ~resources ?rendezvous ?seed ?step_id ()

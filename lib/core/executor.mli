@@ -8,12 +8,22 @@
     per iteration.
 
     Scheduling notes:
-    - execution is single-threaded per partition; concurrent steps and
-      multi-partition steps each run their executor in its own thread
-      (see {!Session} and {!Cluster});
-    - potentially blocking kernels ([Recv], queue operations) are
-      scheduled only when no non-blocking work remains, which guarantees
-      progress across partitions of an acyclic dataflow graph;
+    - where ready kernels run is delegated to {!Scheduler}: the
+      [Inline] policy executes every kernel on the coordinating thread
+      (single-threaded per partition, as before), while the [Pool]
+      policy dispatches ready non-blocking kernels onto the shared
+      {!Domain_pool} so independent branches of one step run on
+      distinct cores; concurrent steps and multi-partition steps each
+      run their coordinating loop in its own thread (see {!Session} and
+      {!Cluster});
+    - potentially blocking kernels ([Recv], queue operations) always
+      stay on the coordinating thread and are scheduled only when no
+      non-blocking work remains, which guarantees progress across
+      partitions of an acyclic dataflow graph and keeps worker domains
+      from ever parking;
+    - both policies produce bit-identical fetches: kernel results depend
+      only on input values and the per-node RNG stream (derived from
+      seed, step id, node id and iteration), never on dispatch order;
     - dead [NextIteration] results are discarded rather than propagated,
       terminating loops exactly as in TensorFlow's executor. *)
 
@@ -30,14 +40,23 @@ type plan
     several threads; all mutable per-step state is private to
     {!execute}. *)
 
-val prepare : graph:Graph.t -> nodes:int list -> fed_ids:int list -> plan
+val prepare :
+  ?scheduler:Scheduler.policy ->
+  graph:Graph.t ->
+  nodes:int list ->
+  fed_ids:int list ->
+  unit ->
+  plan
 (** Compile the subgraph induced by [nodes]. [fed_ids] are the nodes
     whose outputs the client will feed (their inputs are not wired).
+    [scheduler] sets the plan's default policy (falling back to
+    {!Scheduler.default_policy}); {!execute} may override per step.
 
     @raise Step_error on malformed control flow (frame-crossing edges) *)
 
 val execute :
   plan ->
+  ?scheduler:Scheduler.policy ->
   feeds:(Node.endpoint * Value.t) list ->
   fetches:Node.endpoint list ->
   resources:Resource_manager.t ->
@@ -51,6 +70,7 @@ val execute :
     the plan's [fed_ids]. *)
 
 val run :
+  ?scheduler:Scheduler.policy ->
   graph:Graph.t ->
   nodes:int list ->
   feeds:(Node.endpoint * Value.t) list ->

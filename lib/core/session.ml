@@ -14,10 +14,15 @@ type t = {
   mutable step_counter : int;
   seed : int;
   optimize : bool;
+  scheduler : Scheduler.policy;
   mutex : Mutex.t;
 }
 
-let create ?devices ?resource_router ?(seed = 42) ?(optimize = true) graph =
+let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
+    ?scheduler graph =
+  let scheduler =
+    match scheduler with Some p -> p | None -> Scheduler.default_policy ()
+  in
   let default_resources = Resource_manager.create () in
   let devices =
     match devices with
@@ -38,10 +43,13 @@ let create ?devices ?resource_router ?(seed = 42) ?(optimize = true) graph =
     step_counter = 0;
     seed;
     optimize;
+    scheduler;
     mutex = Mutex.create ();
   }
 
 let graph t = t.graph
+
+let scheduler t = t.scheduler
 
 let resources t = t.default_resources
 
@@ -84,7 +92,7 @@ let compile t ~feed_eps ~fetch_eps ~target_ids =
   in
   let fed_ids = List.map (fun (e : Node.endpoint) -> e.node_id) feed_eps in
   let prepare ~graph ~nodes ~fed_ids =
-    try Executor.prepare ~graph ~nodes ~fed_ids
+    try Executor.prepare ~scheduler:t.scheduler ~graph ~nodes ~fed_ids ()
     with Executor.Step_error msg -> raise (Run_error msg)
   in
   match devs with

@@ -25,15 +25,24 @@ val create :
   ?resource_router:(Device.t -> Resource_manager.t) ->
   ?seed:int ->
   ?optimize:bool ->
+  ?scheduler:Scheduler.policy ->
   Graph.t ->
   t
 (** Default devices: a single local CPU. [resource_router] maps a device
     to the resource manager of the task owning it (see {!Cluster});
     by default all devices share one manager. [optimize] (default true)
     enables master-side common-subexpression elimination and constant
-    folding on each step's pruned subgraph. *)
+    folding on each step's pruned subgraph. [scheduler] picks the
+    execution policy for every step of this session (default
+    {!Scheduler.default_policy}, i.e. inline unless [OCTF_SCHEDULER]
+    says otherwise); [Scheduler.Pool] runs independent kernels of one
+    step in parallel on the shared domain pool with bit-identical
+    results. *)
 
 val graph : t -> Graph.t
+
+val scheduler : t -> Scheduler.policy
+(** The execution policy this session's steps run under. *)
 
 val resources : t -> Resource_manager.t
 (** The default resource manager (variables, queues). *)

@@ -2,6 +2,7 @@ type event = {
   name : string;
   op_type : string;
   device : string;
+  lane : int;
   start : float;
   duration : float;
   step_id : int;
@@ -49,20 +50,26 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let lanes t =
+  List.sort_uniq compare (List.map (fun ev -> (ev.device, ev.lane)) (events t))
+
 let to_chrome_trace t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
+  (* One track per (device, execution lane): kernels offloaded to worker
+     domains get their own row under the device, so the pool scheduler's
+     intra-step overlap is visible in the rendered trace. *)
   List.iter
     (fun ev ->
       if not !first then Buffer.add_char buf ',';
       first := false;
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s\",\"args\":{\"step\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d}}"
            (json_escape ev.name) (json_escape ev.op_type)
            (ev.start *. 1e6) (ev.duration *. 1e6)
-           (json_escape ev.device) ev.step_id))
+           (json_escape ev.device) ev.lane ev.step_id ev.lane))
     (events t);
   Buffer.add_string buf "]}";
   Buffer.contents buf

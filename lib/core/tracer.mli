@@ -14,6 +14,11 @@ type event = {
   name : string;
   op_type : string;
   device : string;
+  lane : int;
+      (** Execution lane: the id of the OCaml domain that ran the
+          kernel. [0] is the coordinating (main) domain; worker domains
+          of the {!Domain_pool} report their own ids, so a pool-scheduled
+          step shows one lane per worker. *)
   start : float;  (** seconds, [Unix.gettimeofday] clock *)
   duration : float;
   step_id : int;
@@ -24,7 +29,12 @@ type t
 val create : unit -> t
 
 val record : t -> event -> unit
-(** Thread-safe; called by the executors. *)
+(** Called by the executors, from the coordinating thread and — under
+    the pool scheduler — from worker domains concurrently; the event
+    list is guarded by the tracer's mutex. *)
+
+val lanes : t -> (string * int) list
+(** Distinct (device, lane) pairs observed, sorted. *)
 
 val events : t -> event list
 (** In recording order. *)
@@ -37,6 +47,6 @@ val total_time : t -> float
 
 val to_chrome_trace : t -> string
 (** Chrome trace-event JSON ("traceEvents" array of "X" events, one
-    track per device). *)
+    track per device {e and} execution lane). *)
 
 val pp_summary : Format.formatter -> t -> unit

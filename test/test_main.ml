@@ -14,6 +14,7 @@ let () =
       ("placement", Test_placement.suite);
       ("partition", Test_partition.suite);
       ("executor", Test_executor.suite);
+      ("scheduler", Test_scheduler.suite);
       ("gradients", Test_gradients.suite);
       ("session", Test_session.suite);
       ("optimizer", Test_optimizer.suite);
