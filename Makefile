@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke ci clean
+.PHONY: all build test fmt bench-smoke fault-smoke ci clean
 
 all: build
 
@@ -16,8 +16,15 @@ fmt:
 bench-smoke:
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- dispatch-wide
 
-ci: build test fmt bench-smoke
+# Deterministic-seed smoke for the fault injector: the same seed must
+# reproduce the same fault sequence.
+fault-smoke:
+	dune exec bin/octf_cli.exe -- fault-smoke
+
+ci: build test fmt bench-smoke fault-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
+	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test faults
+	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test faults
 
 clean:
 	dune clean

@@ -134,10 +134,56 @@ let scheduler_arg =
            $(b,pool) (parallel kernel dispatch on the shared domain pool). \
            Defaults to \\$OCTF_SCHEDULER or inline.")
 
+(* ------------------------------ faults ----------------------------- *)
+
+let fault_conv =
+  let parse s =
+    match Octf.Fault_injector.parse s with
+    | Ok specs -> Ok specs
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt specs ->
+        Format.pp_print_string fmt
+          (String.concat ","
+             (List.map Octf.Fault_injector.spec_to_string specs)) )
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "fault" ] ~docv:"SPECS"
+        ~doc:
+          "Comma-separated fault specs to inject, e.g. kill:ps/0@40, \
+           kernel:MatMul@3, flaky:Apply:0.05, drop:grad@2, \
+           delay:grad@2:50. Equivalent to OCTF_FAULT.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ]
+        ~doc:"Seed for the flaky-kernel coin (OCTF_FAULT_SEED).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-step deadline in milliseconds: a step that exceeds it            fails with a structured deadline error instead of hanging.")
+
+let deadline_of_ms = Option.map (fun ms -> ms /. 1000.0)
+
 (* ------------------------------ train ------------------------------ *)
 
-let train steps lr scheduler =
+let train steps lr scheduler deadline_ms fault fault_seed =
   let module Vs = Octf_nn.Var_store in
+  let deadline = deadline_of_ms deadline_ms in
+  (match fault with
+  | Some specs -> Octf.Fault_injector.install ~seed:fault_seed specs
+  | None -> Octf.Fault_injector.install_from_env ());
+  Fun.protect ~finally:Octf.Fault_injector.reset @@ fun () ->
   let dim = 3 in
   let true_w = [| 2.0; -3.0; 0.5 |] in
   let b = B.create () in
@@ -150,20 +196,53 @@ let train steps lr scheduler =
   in
   let train_op = Octf_train.Optimizer.minimize store ~lr ~loss () in
   let session = Octf.Session.create ~scheduler (B.graph b) in
-  Octf.Session.run_unit session [ Vs.init_op store ];
   let rng = Rng.create 12 in
-  for step = 1 to steps do
+  let report step l =
+    if (step + 1) mod (max 1 (steps / 10)) = 0 then
+      Format.printf "step %4d loss %.6f@." (step + 1) (Tensor.flat_get_f l 0)
+  in
+  let one_step ~step =
     let xs, ys =
       Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
         ~bias:0.0 ~noise:0.01
     in
     let feeds = [ (x, xs); (y, ys) ] in
-    match Octf.Session.run ~feeds session [ loss; train_op ] with
-    | [ l; _ ] ->
-        if step mod (max 1 (steps / 10)) = 0 then
-          Format.printf "step %4d loss %.6f@." step (Tensor.flat_get_f l 0)
+    match Octf.Session.run ~feeds ?deadline session [ loss; train_op ] with
+    | [ l; _ ] -> report step l
     | _ -> assert false
-  done;
+  in
+  (if Octf.Fault_injector.active () then begin
+     (* Faults armed: run under the supervisor so failed steps recover
+        from checkpoints instead of aborting the run. *)
+     let saver = Octf_train.Saver.create store in
+     let prefix = Filename.concat (Filename.get_temp_dir_name ()) "octf-train" in
+     let sup =
+       Octf_train.Supervisor.create ~save_every:(max 1 (steps / 10)) ?deadline
+         ~on_event:(function
+           | Octf_train.Supervisor.Step_failed (step, f) ->
+               Format.printf "step %4d FAILED: %s@." step
+                 (Octf.Step_failure.to_string f)
+           | Octf_train.Supervisor.Restored (step, path) ->
+               Format.printf "restored %s, resuming at step %d@." path step
+           | _ -> ())
+         ~saver ~prefix session
+     in
+     let stats =
+       Octf_train.Supervisor.run sup ~steps
+         ~init:(fun () -> Octf.Session.run_unit session [ Vs.init_op store ])
+         one_step
+     in
+     Format.printf "injected faults: %d, restores: %d, checkpoints: %d@."
+       (Octf.Fault_injector.injections ())
+       stats.Octf_train.Supervisor.restores
+       stats.Octf_train.Supervisor.checkpoints
+   end
+   else begin
+     Octf.Session.run_unit session [ Vs.init_op store ];
+     for step = 0 to steps - 1 do
+       one_step ~step
+     done
+   end);
   let learned =
     Tensor.to_float_array
       (List.hd (Octf.Session.run session [ w.Vs.read ]))
@@ -183,7 +262,69 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a linear model end to end (quick sanity run)")
-    Term.(const train $ steps $ lr $ scheduler_arg)
+    Term.(
+      const train $ steps $ lr $ scheduler_arg $ deadline_arg $ fault_arg
+      $ fault_seed_arg)
+
+(* --------------------------- fault-smoke --------------------------- *)
+
+(* Determinism smoke for the fault injector: the same seed must fire the
+   same faults; a different seed should (almost surely) differ. Run in
+   `make ci`. *)
+let fault_smoke seed steps scheduler =
+  let module Vs = Octf_nn.Var_store in
+  let run_once ~seed =
+    Octf.Fault_injector.install ~seed
+      [ Octf.Fault_injector.Flaky_kernel { pattern = "MatMul"; prob = 0.3 } ];
+    Fun.protect ~finally:Octf.Fault_injector.reset @@ fun () ->
+    let b = B.create () in
+    let store = Vs.create b in
+    let x = B.const b (Tensor.ones Dtype.F32 [| 4; 4 |]) in
+    let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [| 4; 4 |] in
+    let out = B.reduce_sum b (B.matmul b x w.Vs.read) in
+    let session = Octf.Session.create ~scheduler (B.graph b) in
+    Octf.Session.run_unit session [ Vs.init_op store ];
+    let failures = ref 0 in
+    for _ = 1 to steps do
+      match Octf.Session.run session [ out ] with
+      | _ -> ()
+      | exception Octf.Session.Run_error f ->
+          (match f.Octf.Step_failure.cause with
+          | Octf.Step_failure.Fault_injected _ -> incr failures
+          | c ->
+              Format.printf "unexpected failure: %s@."
+                (Octf.Step_failure.cause_message c);
+              exit 1)
+    done;
+    (!failures, Octf.Fault_injector.injections ())
+  in
+  let a = run_once ~seed in
+  let b = run_once ~seed in
+  let c = run_once ~seed:(seed + 1) in
+  Format.printf "seed %d: %d/%d steps hit (twice: %b); seed %d: %d hit@." seed
+    (fst a) steps (a = b) (seed + 1) (fst c);
+  if a <> b then begin
+    Format.printf "FAIL: same seed produced different fault sequences@.";
+    exit 1
+  end;
+  if fst a = 0 then begin
+    Format.printf "FAIL: flaky spec with prob 0.3 never fired in %d steps@."
+      steps;
+    exit 1
+  end;
+  Format.printf "fault injector is deterministic@."
+
+let fault_smoke_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Injector seed.")
+  in
+  let steps =
+    Arg.(value & opt int 64 & info [ "steps" ] ~doc:"Steps per run.")
+  in
+  Cmd.v
+    (Cmd.info "fault-smoke"
+       ~doc:"Check that seeded fault injection is deterministic")
+    Term.(const fault_smoke $ seed $ steps $ scheduler_arg)
 
 (* ------------------------------ trace ------------------------------ *)
 
@@ -231,4 +372,6 @@ let () =
     Cmd.info "octf" ~version:"1.0"
       ~doc:"OCaml reproduction of TensorFlow (OSDI 2016)"
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; train_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ simulate_cmd; train_cmd; trace_cmd; fault_smoke_cmd ]))

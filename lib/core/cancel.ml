@@ -1,0 +1,126 @@
+type t = {
+  mutable state : Step_failure.cause option;
+  budget : float option;  (* seconds allotted, for the error message *)
+  deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+  mutable wakers : (int * (unit -> unit)) list;
+  mutable next_id : int;
+  mutable finished : bool;
+  mutex : Mutex.t;
+}
+
+let make ?budget ?deadline () =
+  {
+    state = None;
+    budget;
+    deadline;
+    wakers = [];
+    next_id = 0;
+    finished = false;
+    mutex = Mutex.create ();
+  }
+
+(* Set the cause and collect the wakers under the lock; run the wakers
+   after releasing it. Wakers take other locks (a queue's or the
+   rendezvous' mutex, to broadcast their condition), so running them
+   while holding ours would invert the order against threads that call
+   {!check} from inside those critical sections. *)
+let cancel_with t cause =
+  Mutex.lock t.mutex;
+  let wakers =
+    if t.state = None then begin
+      t.state <- Some cause;
+      List.map snd t.wakers
+    end
+    else []
+  in
+  Mutex.unlock t.mutex;
+  List.iter (fun f -> f ()) wakers
+
+(* The watchdog exists only to wake threads parked in condition waits
+   (which have no timeout in the stdlib); polling callers observe the
+   deadline synchronously through {!cancelled}. Sleeping in short
+   chunks keeps a completed run from pinning the thread until the full
+   deadline. *)
+let watchdog t deadline budget =
+  ignore
+    (Thread.create
+       (fun () ->
+         let rec loop () =
+           let now = Unix.gettimeofday () in
+           let finished =
+             Mutex.lock t.mutex;
+             let f = t.finished || t.state <> None in
+             Mutex.unlock t.mutex;
+             f
+           in
+           if not finished then
+             if now >= deadline then
+               cancel_with t (Step_failure.Deadline_exceeded budget)
+             else begin
+               Thread.delay (Float.min 0.01 (deadline -. now));
+               loop ()
+             end
+         in
+         loop ())
+       ())
+
+let create ?deadline () =
+  match deadline with
+  | None -> make ()
+  | Some budget ->
+      let abs = Unix.gettimeofday () +. budget in
+      let t = make ~budget ~deadline:abs () in
+      watchdog t abs budget;
+      t
+
+let cancel t ~reason = cancel_with t (Step_failure.Cancelled reason)
+
+let cancelled t =
+  Mutex.lock t.mutex;
+  let state = t.state in
+  Mutex.unlock t.mutex;
+  match state with
+  | Some _ -> state
+  | None -> (
+      (* Synchronous deadline detection, independent of the watchdog. *)
+      match t.deadline with
+      | Some d when Unix.gettimeofday () >= d ->
+          let budget = Option.value ~default:0.0 t.budget in
+          cancel_with t (Step_failure.Deadline_exceeded budget);
+          Mutex.lock t.mutex;
+          let state = t.state in
+          Mutex.unlock t.mutex;
+          state
+      | _ -> None)
+
+let check t =
+  match cancelled t with
+  | Some cause -> raise (Step_failure.error cause)
+  | None -> ()
+
+let add_waker t f =
+  Mutex.lock t.mutex;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.wakers <- (id, f) :: t.wakers;
+  Mutex.unlock t.mutex;
+  id
+
+let remove_waker t id =
+  Mutex.lock t.mutex;
+  t.wakers <- List.filter (fun (i, _) -> i <> id) t.wakers;
+  Mutex.unlock t.mutex
+
+let with_waker cancel wake f =
+  match cancel with
+  | None -> f ()
+  | Some c ->
+      let id = add_waker c wake in
+      Fun.protect ~finally:(fun () -> remove_waker c id) f
+
+let complete t =
+  Mutex.lock t.mutex;
+  t.finished <- true;
+  Mutex.unlock t.mutex
+
+let check_opt = function None -> () | Some t -> check t

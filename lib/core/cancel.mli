@@ -1,0 +1,48 @@
+(** Cooperative cancellation tokens with deadlines (§4.2 of the
+    preliminary white paper: the lightweight failure-detection path).
+
+    One token is shared by every partition of a step. Cancellation is
+    cooperative: compute loops poll ({!check}) between kernels, and
+    blocking primitives (rendezvous waits, queue waits) register a
+    {e waker} so that {!cancel} — or deadline expiry — broadcasts their
+    condition variable and the woken waiter observes the cancelled state.
+    A token with a deadline owns a small watchdog thread whose only job
+    is to fire those wakers if every thread of the step is parked when
+    the deadline passes; polling callers detect expiry synchronously. *)
+
+type t
+
+val create : ?deadline:float -> unit -> t
+(** [create ~deadline:budget ()] cancels itself [budget] seconds from
+    now with cause {!Step_failure.Deadline_exceeded}. Without
+    [?deadline] the token only cancels explicitly (and spawns no
+    watchdog). *)
+
+val cancel : t -> reason:string -> unit
+(** Cancel with cause {!Step_failure.Cancelled}. First cancellation
+    wins; later calls (and a later deadline) are no-ops. Runs all
+    registered wakers. *)
+
+val cancelled : t -> Step_failure.cause option
+(** The cancellation cause, if any — checking the deadline
+    synchronously, so callers never depend on watchdog latency. *)
+
+val check : t -> unit
+(** @raise Step_failure.Error when cancelled. *)
+
+val check_opt : t option -> unit
+
+val add_waker : t -> (unit -> unit) -> int
+(** Register a callback run on cancellation (from the cancelling
+    thread, without the token's lock held). Returns an id for
+    {!remove_waker}. A waker registered after cancellation never runs:
+    blocking waits must re-check {!cancelled} before parking. *)
+
+val remove_waker : t -> int -> unit
+
+val with_waker : t option -> (unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_waker cancel wake f] runs [f] with [wake] registered on
+    [cancel] (no-op when [cancel] is [None]). *)
+
+val complete : t -> unit
+(** Mark the run finished so a deadline watchdog exits promptly. *)

@@ -32,15 +32,31 @@ let task_names t =
 let find_task t ~job ~task =
   List.find_opt (fun tk -> tk.job = job && tk.index = task) t.tasks
 
+let missing_task t ~job ~task =
+  Step_failure.error
+    (Step_failure.Missing_task
+       (Printf.sprintf "no task /job:%s/task:%d in cluster (known tasks: %s)"
+          job task
+          (String.concat ", " (task_names t))))
+
 let resources_of t (d : Device.t) =
   match find_task t ~job:d.Device.job ~task:d.Device.task with
   | Some tk -> tk.resources
-  | None -> raise Not_found
+  | None -> raise (missing_task t ~job:d.Device.job ~task:d.Device.task)
 
 let task_resources t ~job ~task =
   match find_task t ~job ~task with
   | Some tk -> tk.resources
-  | None -> raise Not_found
+  | None -> raise (missing_task t ~job ~task)
+
+let restart_task t ~job ~task =
+  match find_task t ~job ~task with
+  | Some tk ->
+      (* A restarted task comes back empty-handed: its in-memory state
+         (variables, queues) is gone and must be re-created, then
+         refilled from a checkpoint (§4.3). *)
+      Resource_manager.clear tk.resources
+  | None -> raise (missing_task t ~job ~task)
 
 let session ?seed ?optimize ?scheduler t graph =
   Session.create ~devices:(devices t) ~resource_router:(resources_of t) ?seed

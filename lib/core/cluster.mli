@@ -26,9 +26,19 @@ val task_names : t -> string list
 
 val resources_of : t -> Device.t -> Resource_manager.t
 (** The resource manager of the task owning the device.
-    @raise Not_found for devices outside the cluster. *)
+    @raise Step_failure.Error with a [Missing_task] cause naming the
+    requested [/job:<j>/task:<i>] and the known tasks, for devices
+    outside the cluster. *)
 
 val task_resources : t -> job:string -> task:int -> Resource_manager.t
+(** @raise Step_failure.Error ([Missing_task]) for unknown tasks. *)
+
+val restart_task : t -> job:string -> task:int -> unit
+(** Simulate a task process restart: drop every variable and queue the
+    task held, as a real restarted worker loses its memory. Callers
+    re-create state by re-running init ops and restoring the latest
+    checkpoint (§4.3) — see {!Octf_train.Supervisor}.
+    @raise Step_failure.Error ([Missing_task]) for unknown tasks. *)
 
 val session :
   ?seed:int ->

@@ -45,10 +45,25 @@ let register () =
   K.register ~op_type:"Send" (fun ctx ->
       match ctx.K.rendezvous with
       | None -> failwith "Send: no rendezvous in a single-partition step"
-      | Some r ->
-          Rendezvous.send r ~key:(rendezvous_key ctx.K.node) ctx.K.inputs.(0);
-          [||]);
+      | Some r -> (
+          let key = rendezvous_key ctx.K.node in
+          match Fault_injector.send_hook ~key ~step_id:ctx.K.step_id with
+          | `Drop ->
+              (* A lost message: the paired Recv blocks until a deadline
+                 or abort rescues it — exactly the failure mode §4.3's
+                 checkpoint recovery is designed around. *)
+              [||]
+          | `Delay s ->
+              Thread.delay s;
+              Rendezvous.send r ~key ctx.K.inputs.(0);
+              [||]
+          | `Deliver ->
+              Rendezvous.send r ~key ctx.K.inputs.(0);
+              [||]));
   K.register ~op_type:"Recv" (fun ctx ->
       match ctx.K.rendezvous with
       | None -> failwith "Recv: no rendezvous in a single-partition step"
-      | Some r -> K.one (Rendezvous.recv r ~key:(rendezvous_key ctx.K.node)))
+      | Some r ->
+          K.one
+            (Rendezvous.recv ?cancel:ctx.K.cancel r
+               ~key:(rendezvous_key ctx.K.node)))

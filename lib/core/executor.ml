@@ -1,6 +1,8 @@
 open Octf_tensor
 
-exception Step_error of string
+(* All failures surface as {!Step_failure.Error}; [invalid] marks
+   graph-structure problems found at compile or delivery time. *)
+let invalid msg = Step_failure.error (Step_failure.Invalid_graph msg)
 
 (* ------------------------------------------------------------------ *)
 (* Static structure: frames                                            *)
@@ -85,7 +87,7 @@ let compile graph nodes fed =
         match cn.frame.sf_parent with
         | Some p -> p
         | None ->
-            raise (Step_error ("Exit outside a frame: " ^ cn.node.Node.name)))
+            raise (invalid ("Exit outside a frame: " ^ cn.node.Node.name)))
     | _ -> cn.frame
   in
   (* One topological pass (loop back edges ignored) assigns frames and
@@ -115,7 +117,7 @@ let compile graph nodes fed =
           (fun f ->
             if not (frame_is_ancestor ~anc:f deepest) then
               raise
-                (Step_error
+                (invalid
                    (Printf.sprintf
                       "node %s mixes values from unrelated frames %S and %S \
                        (pass loop-external values via ~invariants)"
@@ -169,7 +171,7 @@ let compile graph nodes fed =
     if sf != df && cn.node.Node.op_type <> "Enter" && not src.is_invariant
     then
       raise
-        (Step_error
+        (invalid
            (Printf.sprintf
               "edge %s -> %s crosses loop frames (%S -> %S); pass \
                loop-external values through ~invariants (constants created \
@@ -249,6 +251,7 @@ type state = {
   resources : Resource_manager.t;
   rendezvous : Rendezvous.t option;
   tracer : Tracer.t option;
+  cancel : Cancel.t option;
   seed : int;
   step_id : int;
   instances : (string, instance) Hashtbl.t;
@@ -378,7 +381,7 @@ let deliver st ~(src : cnode) ~(v : Value.t) ~inst ~(it : iter_state)
             match inst.inst_parent with
             | Some (p, pi) -> (p, pi)
             | None ->
-                raise (Step_error ("Exit in root frame: " ^ src.node.Node.name)))
+                raise (invalid ("Exit in root frame: " ^ src.node.Node.name)))
         | "NextIteration" -> (inst, it.it_index + 1)
         | _ -> (inst, it.it_index)
       in
@@ -501,36 +504,62 @@ let resolve_kernel cn =
             | Some k -> k
             | None ->
                 raise
-                  (Step_error
-                     (Printf.sprintf "no kernel for op %s (node %s)"
-                        n.Node.op_type n.Node.name)))
+                  (Step_failure.error ~node:n.Node.name
+                     (Step_failure.Invalid_graph
+                        (Printf.sprintf "no kernel for op %s (node %s)"
+                           n.Node.op_type n.Node.name))))
       in
       cn.kernel <- Some k;
       k
 
+(* Classify an arbitrary kernel exception into a structured failure,
+   filling in node/device context when the original carries none. *)
+let failure_of_exn ~node ~device e =
+  match e with
+  | Step_failure.Error f ->
+      {
+        f with
+        Step_failure.node =
+          (if f.Step_failure.node = None then Some node
+           else f.Step_failure.node);
+        device =
+          (if f.Step_failure.device = None then device
+           else f.Step_failure.device);
+      }
+  | Fault_injector.Injected msg ->
+      Step_failure.v ~node ?device (Step_failure.Fault_injected msg)
+  | Rendezvous.Aborted reason ->
+      Step_failure.v ~node ?device (Step_failure.Rendezvous_aborted reason)
+  | e ->
+      Step_failure.v ~node ?device
+        (Step_failure.Kernel_failed (Printexc.to_string e))
+
 (* Run [kernel ctx], worker-domain-safe: failures are captured and
    re-raised by the returned continuation on the coordinating thread
-   (aborting the rendezvous first, so peer partitions unblock even while
-   the coordinator is busy elsewhere). Wrap in a thunk when building a
-   [Scheduler.Offload] — applying it runs the kernel. *)
-let offload_kernel ~tracer ~rendezvous ~step_id (n : Node.t) kernel ctx
-    ~finish =
-  match trace tracer n ~step_id (fun () -> kernel ctx) with
+   (aborting the rendezvous and cancelling the step token first, so
+   peer partitions — including threads parked in queue waits — unblock
+   even while the coordinator is busy elsewhere). Wrap in a thunk when
+   building a [Scheduler.Offload] — applying it runs the kernel. *)
+let offload_kernel ~tracer ~rendezvous ~cancel ~step_id (n : Node.t) kernel
+    ctx ~finish =
+  match
+    trace tracer n ~step_id (fun () ->
+        Cancel.check_opt cancel;
+        Fault_injector.kernel_hook n ~step_id;
+        kernel ctx)
+  with
   | outputs -> fun () -> finish outputs
-  | exception (Step_error _ as e) -> fun () -> raise e
   | exception e ->
-      Option.iter
-        (fun r ->
-          Rendezvous.abort r
-            ~reason:
-              (Printf.sprintf "%s failed: %s" n.Node.name
-                 (Printexc.to_string e)))
-        rendezvous;
-      fun () ->
-        raise
-          (Step_error
-             (Printf.sprintf "kernel %s (%s) failed: %s" n.Node.name
-                n.Node.op_type (Printexc.to_string e)))
+      let device = Option.map Device.to_string n.Node.assigned_device in
+      let f = failure_of_exn ~node:n.Node.name ~device e in
+      let msg = Step_failure.to_string f in
+      (* A secondary failure (the peer already aborted us, or the step
+         token already fired) needs no further propagation. *)
+      if not (Step_failure.is_secondary f.Step_failure.cause) then begin
+        Option.iter (fun r -> Rendezvous.abort r ~reason:msg) rendezvous;
+        Option.iter (fun c -> Cancel.cancel c ~reason:msg) cancel
+      end;
+      fun () -> raise (Step_failure.Error f)
 
 (* Stage one node on the coordinating thread: gather inputs, decide dead
    propagation, build the kernel context. Everything the returned
@@ -566,13 +595,14 @@ let stage_node st ((cn : cnode), inst, it) =
         rendezvous = st.rendezvous;
         rng;
         step_id = st.step_id;
+        cancel = st.cancel;
       }
     in
     let kernel = resolve_kernel cn in
     Scheduler.Offload
       (fun () ->
         offload_kernel ~tracer:st.tracer ~rendezvous:st.rendezvous
-          ~step_id:st.step_id n kernel ctx
+          ~cancel:st.cancel ~step_id:st.step_id n kernel ctx
           ~finish:(fun outputs -> finish_node st cn inst it outputs))
   end
 
@@ -685,7 +715,7 @@ let prepare ?scheduler ~graph ~nodes ~fed_ids () =
   { p_graph = graph; p_compiled = compiled; p_fed = fed; p_simple; p_scheduler }
 
 let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
-    ~tracer ~seed ~step_id =
+    ~tracer ~cancel ~seed ~step_id =
   let count = Array.length sp.s_nodes in
   let values = Array.make count [||] in
   let dead = Array.make count false in
@@ -732,12 +762,12 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
         Rng.create (seed + (step_id * 1_000_003) + (n.Node.id * 7_919))
       in
       let ctx =
-        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id }
+        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id; cancel }
       in
       let kernel = resolve_kernel cn in
       Scheduler.Offload
         (fun () ->
-          offload_kernel ~tracer ~rendezvous ~step_id n kernel ctx
+          offload_kernel ~tracer ~rendezvous ~cancel ~step_id n kernel ctx
             ~finish:(fun outputs -> complete idx outputs))
     end
   in
@@ -771,6 +801,7 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
                       complete idx [| v |])
               | None -> None));
       rendezvous;
+      cancel;
     }
   in
   let sched = Scheduler.create scheduler ops in
@@ -805,15 +836,16 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
           values.(idx).(e.index)
       | _ ->
           raise
-            (Step_error
-               (Printf.sprintf
-                  "fetch %s:%d was not produced (dead value or incomplete \
-                   subgraph?)"
-                  (Graph.get plan.p_graph e.node_id).Node.name e.index)))
+            (Step_failure.error
+               (Step_failure.Fetch_failed
+                  (Printf.sprintf
+                     "fetch %s:%d was not produced (dead value or \
+                      incomplete subgraph?)"
+                     (Graph.get plan.p_graph e.node_id).Node.name e.index))))
     fetches
 
 let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
-    ~tracer ~seed ~step_id =
+    ~tracer ~cancel ~seed ~step_id =
   let compiled = plan.p_compiled in
   let fed_vals = Hashtbl.create 8 in
   List.iter
@@ -835,6 +867,7 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
       resources;
       rendezvous;
       tracer;
+      cancel;
       seed;
       step_id;
       instances = Hashtbl.create 8;
@@ -870,6 +903,7 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
                       finish_node st cn inst it [| v |])
               | None -> None));
       rendezvous;
+      cancel;
     }
   in
   let sched = Scheduler.create scheduler ops in
@@ -886,7 +920,7 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
           if Hashtbl.mem plan.p_fed id then
             (* Fed in the plan but no value given this run. *)
             raise
-              (Step_error
+              (invalid
                  (Printf.sprintf "missing feed for node %s" cn.node.Node.name))
           else if cn.in_count = 0 && cn.invariant_slots = []
                   && cn.invariant_controls = 0 && not cn.is_invariant
@@ -905,28 +939,29 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
       | Some v -> v
       | None ->
           raise
-            (Step_error
-               (Printf.sprintf
-                  "fetch %s:%d was not produced (dead value or incomplete \
-                   subgraph?)"
-                  (Graph.get plan.p_graph e.node_id).Node.name e.index)))
+            (Step_failure.error
+               (Step_failure.Fetch_failed
+                  (Printf.sprintf
+                     "fetch %s:%d was not produced (dead value or \
+                      incomplete subgraph?)"
+                     (Graph.get plan.p_graph e.node_id).Node.name e.index))))
     fetches
 
 let execute plan ?scheduler ~feeds ~fetches ~resources ?rendezvous ?tracer
-    ?(seed = 0) ?(step_id = 0) () =
+    ?cancel ?(seed = 0) ?(step_id = 0) () =
   let scheduler =
     match scheduler with Some p -> p | None -> plan.p_scheduler
   in
   match plan.p_simple with
   | Some sp ->
       execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
-        ~tracer ~seed ~step_id
+        ~tracer ~cancel ~seed ~step_id
   | None ->
       execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
-        ~tracer ~seed ~step_id
+        ~tracer ~cancel ~seed ~step_id
 
-let run ?scheduler ~graph ~nodes ~feeds ~fetches ~resources ?rendezvous ?seed
-    ?step_id () =
+let run ?scheduler ~graph ~nodes ~feeds ~fetches ~resources ?rendezvous
+    ?cancel ?seed ?step_id () =
   let fed_ids = List.map (fun ((e : Node.endpoint), _) -> e.node_id) feeds in
   let plan = prepare ?scheduler ~graph ~nodes ~fed_ids () in
-  execute plan ~feeds ~fetches ~resources ?rendezvous ?seed ?step_id ()
+  execute plan ~feeds ~fetches ~resources ?rendezvous ?cancel ?seed ?step_id ()

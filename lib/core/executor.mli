@@ -27,9 +27,13 @@
     - dead [NextIteration] results are discarded rather than propagated,
       terminating loops exactly as in TensorFlow's executor. *)
 
-exception Step_error of string
-(** A kernel failed; the message names the operation and the cause. When
-    a rendezvous is present it is aborted so peer partitions fail too. *)
+(** Failures surface as {!Step_failure.Error}: a structured record
+    naming the failing node, its device and a typed cause (kernel
+    failure, injected fault, deadline expiry, cancellation, peer
+    abort). On a primary failure the executor aborts the step's
+    rendezvous and cancels its token so peer partitions — including
+    threads parked in queue or rendezvous waits — fail as a unit
+    instead of deadlocking. *)
 
 type plan
 (** A compiled subgraph: readiness counts, frame assignment, resolved
@@ -52,7 +56,8 @@ val prepare :
     [scheduler] sets the plan's default policy (falling back to
     {!Scheduler.default_policy}); {!execute} may override per step.
 
-    @raise Step_error on malformed control flow (frame-crossing edges) *)
+    @raise Step_failure.Error on malformed control flow (frame-crossing
+    edges) *)
 
 val execute :
   plan ->
@@ -62,12 +67,15 @@ val execute :
   resources:Resource_manager.t ->
   ?rendezvous:Rendezvous.t ->
   ?tracer:Tracer.t ->
+  ?cancel:Cancel.t ->
   ?seed:int ->
   ?step_id:int ->
   unit ->
   Value.t list
 (** Execute one step of a prepared plan. The feed list must cover exactly
-    the plan's [fed_ids]. *)
+    the plan's [fed_ids]. [cancel] is the step's cancellation token,
+    shared by every partition: deadline expiry or explicit cancellation
+    makes the step raise a structured error instead of hanging. *)
 
 val run :
   ?scheduler:Scheduler.policy ->
@@ -77,6 +85,7 @@ val run :
   fetches:Node.endpoint list ->
   resources:Resource_manager.t ->
   ?rendezvous:Rendezvous.t ->
+  ?cancel:Cancel.t ->
   ?seed:int ->
   ?step_id:int ->
   unit ->
@@ -87,6 +96,7 @@ val run :
     the fed values. Random operations draw from a stream derived from
     [seed], [step_id] and the node id, so a step is reproducible.
 
-    @raise Step_error on kernel failure
-    @raise Invalid_argument if a fetch is not produced by the executed
-    subgraph or a fed/executed node's input lies outside it. *)
+    @raise Step_failure.Error on kernel failure, deadline expiry or
+    unproduced fetches
+    @raise Invalid_argument if a fed/executed node's input lies outside
+    the executed subgraph. *)

@@ -1,0 +1,286 @@
+exception Injected of string
+
+type spec =
+  | Kill_task of { job : string; task : int; step : int }
+  | Fail_kernel of { pattern : string; step : int }
+  | Flaky_kernel of { pattern : string; prob : float }
+  | Drop_send of { pattern : string; step : int }
+  | Delay_send of { pattern : string; step : int; ms : float }
+
+type send_action = [ `Deliver | `Drop | `Delay of float ]
+
+(* One process-wide injector: kernels reach it through a global rather
+   than plumbing a handle through every context. [enabled] is a cheap
+   unsynchronized fast-path gate; all real state is mutex-protected. *)
+type state = {
+  mutable specs : (spec * bool ref) list;  (* bool = consumed (one-shot) *)
+  mutable seed : int;
+  killed : (string * int, unit) Hashtbl.t;
+  mutable injected : int;
+  mutex : Mutex.t;
+}
+
+let state =
+  {
+    specs = [];
+    seed = 0;
+    killed = Hashtbl.create 4;
+    injected = 0;
+    mutex = Mutex.create ();
+  }
+
+let enabled = ref false
+
+let with_lock f =
+  Mutex.lock state.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state.mutex) f
+
+let spec_to_string = function
+  | Kill_task { job; task; step } ->
+      Printf.sprintf "kill:%s/%d@%d" job task step
+  | Fail_kernel { pattern; step } -> Printf.sprintf "kernel:%s@%d" pattern step
+  | Flaky_kernel { pattern; prob } ->
+      Printf.sprintf "flaky:%s:%g" pattern prob
+  | Drop_send { pattern; step } -> Printf.sprintf "drop:%s@%d" pattern step
+  | Delay_send { pattern; step; ms } ->
+      Printf.sprintf "delay:%s@%d:%g" pattern step ms
+
+let parse_spec s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad fault spec %S (expected kill:<job>/<task>@<step> | \
+          kernel:<pattern>@<step> | flaky:<pattern>:<prob> | \
+          drop:<pattern>@<step> | delay:<pattern>@<step>:<ms>)"
+         s)
+  in
+  let split_at_step body =
+    match String.rindex_opt body '@' with
+    | None -> None
+    | Some i -> (
+        let pat = String.sub body 0 i in
+        let rest = String.sub body (i + 1) (String.length body - i - 1) in
+        match int_of_string_opt rest with
+        | Some step when pat <> "" -> Some (pat, step)
+        | _ -> None)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let body = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "kill" -> (
+          match split_at_step body with
+          | Some (jt, step) -> (
+              match String.split_on_char '/' jt with
+              | [ job; task ] -> (
+                  match int_of_string_opt task with
+                  | Some task when job <> "" ->
+                      Ok (Kill_task { job; task; step })
+                  | _ -> fail ())
+              | _ -> fail ())
+          | None -> fail ())
+      | "kernel" -> (
+          match split_at_step body with
+          | Some (pattern, step) -> Ok (Fail_kernel { pattern; step })
+          | None -> fail ())
+      | "flaky" -> (
+          match String.rindex_opt body ':' with
+          | None -> fail ()
+          | Some j -> (
+              let pattern = String.sub body 0 j in
+              let p = String.sub body (j + 1) (String.length body - j - 1) in
+              match float_of_string_opt p with
+              | Some prob when pattern <> "" && prob >= 0.0 && prob <= 1.0 ->
+                  Ok (Flaky_kernel { pattern; prob })
+              | _ -> fail ()))
+      | "drop" -> (
+          match split_at_step body with
+          | Some (pattern, step) -> Ok (Drop_send { pattern; step })
+          | None -> fail ())
+      | "delay" -> (
+          match String.rindex_opt body ':' with
+          | None -> fail ()
+          | Some j -> (
+              let head = String.sub body 0 j in
+              let ms = String.sub body (j + 1) (String.length body - j - 1) in
+              match (split_at_step head, float_of_string_opt ms) with
+              | Some (pattern, step), Some ms when ms >= 0.0 ->
+                  Ok (Delay_send { pattern; step; ms })
+              | _ -> fail ()))
+      | _ -> fail ())
+
+let parse s =
+  let parts =
+    List.filter (fun p -> p <> "") (String.split_on_char ',' (String.trim s))
+  in
+  if parts = [] then Error "empty fault spec"
+  else
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_spec (String.trim part)) with
+        | Error _, _ -> acc
+        | Ok specs, Ok spec -> Ok (specs @ [ spec ])
+        | Ok _, Error e -> Error e)
+      (Ok []) parts
+
+let refresh_enabled_locked () =
+  enabled := state.specs <> [] || Hashtbl.length state.killed > 0
+
+let install ?(seed = 0) specs =
+  with_lock (fun () ->
+      state.specs <- List.map (fun s -> (s, ref false)) specs;
+      state.seed <- seed;
+      Hashtbl.reset state.killed;
+      state.injected <- 0;
+      refresh_enabled_locked ())
+
+let install_from_env () =
+  match Sys.getenv_opt "OCTF_FAULT" with
+  | None -> ()
+  | Some s -> (
+      let seed =
+        Option.bind (Sys.getenv_opt "OCTF_FAULT_SEED") int_of_string_opt
+      in
+      match parse s with
+      | Ok specs -> install ?seed specs
+      | Error msg -> Printf.eprintf "octf: OCTF_FAULT: %s; ignored\n%!" msg)
+
+let reset () =
+  with_lock (fun () ->
+      state.specs <- [];
+      Hashtbl.reset state.killed;
+      state.injected <- 0;
+      refresh_enabled_locked ())
+
+let active () = !enabled
+
+let injections () = with_lock (fun () -> state.injected)
+
+let kill_task ~job ~task =
+  with_lock (fun () ->
+      Hashtbl.replace state.killed (job, task) ();
+      refresh_enabled_locked ())
+
+let revive_task ~job ~task =
+  with_lock (fun () ->
+      Hashtbl.remove state.killed (job, task);
+      refresh_enabled_locked ())
+
+let task_alive ~job ~task =
+  with_lock (fun () -> not (Hashtbl.mem state.killed (job, task)))
+
+let killed_tasks () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun k () acc -> k :: acc) state.killed [])
+
+let contains ~pattern s =
+  let pl = String.length pattern and sl = String.length s in
+  pl = 0
+  ||
+  let rec at i =
+    i + pl <= sl && (String.sub s i pl = pattern || at (i + 1))
+  in
+  at 0
+
+let matches_node pattern (n : Node.t) =
+  contains ~pattern n.Node.name || contains ~pattern n.Node.op_type
+
+(* Deterministic per-(seed, step, node) coin for flaky kernels: a
+   splitmix64-style finalizer, so the same seed reproduces the same
+   failure pattern run after run. *)
+let flaky_coin ~seed ~step_id ~node_id =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L)
+      (Int64.add
+         (Int64.mul (Int64.of_int step_id) 0xBF58476D1CE4E5B9L)
+         (Int64.mul (Int64.of_int (node_id + 1)) 0x94D049BB133111EBL))
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 30) in
+  let z = Int64.mul z 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  let z = Int64.mul z 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let inject msg =
+  with_lock (fun () -> state.injected <- state.injected + 1);
+  raise (Injected msg)
+
+let kernel_hook (n : Node.t) ~step_id =
+  if !enabled then begin
+    (* Arm step-triggered task kills first, so the device check below
+       sees them. *)
+    let newly_killed =
+      with_lock (fun () ->
+          List.filter_map
+            (fun (spec, consumed) ->
+              match spec with
+              | Kill_task { job; task; step }
+                when step_id >= step && not !consumed ->
+                  consumed := true;
+                  Hashtbl.replace state.killed (job, task) ();
+                  Some (job, task)
+              | _ -> None)
+            state.specs)
+    in
+    ignore newly_killed;
+    (match n.Node.assigned_device with
+    | Some d ->
+        if not (task_alive ~job:d.Device.job ~task:d.Device.task) then
+          inject
+            (Printf.sprintf "/job:%s/task:%d is down" d.Device.job
+               d.Device.task)
+    | None -> ());
+    let fire =
+      with_lock (fun () ->
+          List.find_map
+            (fun (spec, consumed) ->
+              match spec with
+              | Fail_kernel { pattern; step }
+                when step_id >= step && (not !consumed)
+                     && matches_node pattern n ->
+                  consumed := true;
+                  Some
+                    (Printf.sprintf "kernel fault %s on %s (step %d)"
+                       pattern n.Node.name step_id)
+              | Flaky_kernel { pattern; prob }
+                when matches_node pattern n
+                     && flaky_coin ~seed:state.seed ~step_id
+                          ~node_id:n.Node.id
+                        < prob ->
+                  Some
+                    (Printf.sprintf "flaky kernel %s on %s (step %d)"
+                       pattern n.Node.name step_id)
+              | _ -> None)
+            state.specs)
+    in
+    match fire with Some msg -> inject msg | None -> ()
+  end
+
+let send_hook ~key ~step_id : send_action =
+  if not !enabled then `Deliver
+  else
+    let action =
+      with_lock (fun () ->
+          List.find_map
+            (fun (spec, consumed) ->
+              match spec with
+              | Drop_send { pattern; step }
+                when step_id >= step && (not !consumed)
+                     && contains ~pattern key ->
+                  consumed := true;
+                  state.injected <- state.injected + 1;
+                  Some `Drop
+              | Delay_send { pattern; step; ms }
+                when step_id >= step && (not !consumed)
+                     && contains ~pattern key ->
+                  consumed := true;
+                  state.injected <- state.injected + 1;
+                  Some (`Delay (ms /. 1000.0))
+              | _ -> None)
+            state.specs)
+    in
+    Option.value ~default:`Deliver action

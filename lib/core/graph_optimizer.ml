@@ -75,6 +75,7 @@ let constant_fold graph ~nodes ~fed =
                 rendezvous = None;
                 rng = Rng.create 0;
                 step_id = 0;
+                cancel = None;
               }
             in
             match kernel ctx with

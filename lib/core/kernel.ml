@@ -5,6 +5,7 @@ type ctx = {
   rendezvous : Rendezvous.t option;
   rng : Octf_tensor.Rng.t;
   step_id : int;
+  cancel : Cancel.t option;
 }
 
 type t = ctx -> Value.t array

@@ -18,6 +18,9 @@ type ctx = {
   rendezvous : Rendezvous.t option;  (** present in partitioned steps *)
   rng : Octf_tensor.Rng.t;  (** per-step stream for random ops *)
   step_id : int;
+  cancel : Cancel.t option;
+      (** the step's cancellation token; blocking kernels must pass it
+          to their waits so deadlines and aborts wake them *)
 }
 
 type t = ctx -> Value.t array

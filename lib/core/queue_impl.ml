@@ -81,29 +81,47 @@ let pop_front t =
           e
       | [] -> assert false)
 
-let enqueue t components =
+(* Wake this queue's waiters when [cancel] fires: broadcast both
+   conditions while holding the mutex, so a waiter between its cancel
+   check and Condition.wait (which still holds the mutex) cannot miss
+   the wakeup. Waiters re-check the token after every wake. *)
+let wake t () =
+  Mutex.lock t.mutex;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+let enqueue ?cancel t components =
   if Array.length components <> t.q_components then
     invalid_arg
       (Printf.sprintf "Queue %s: enqueue of %d components, expected %d"
          t.q_name (Array.length components) t.q_components);
-  with_lock t (fun () ->
-      while t.count >= t.q_capacity && not t.closed do
-        Condition.wait t.not_full t.mutex
-      done;
-      if t.closed then raise (Closed t.q_name);
-      push_back t components;
-      Condition.signal t.not_empty)
+  Cancel.with_waker cancel (wake t) (fun () ->
+      with_lock t (fun () ->
+          while
+            t.count >= t.q_capacity && not t.closed
+            && (Cancel.check_opt cancel; true)
+          do
+            Condition.wait t.not_full t.mutex
+          done;
+          Cancel.check_opt cancel;
+          if t.closed then raise (Closed t.q_name);
+          push_back t components;
+          Condition.signal t.not_empty))
 
-let dequeue_locked t =
-  while t.count = 0 && not t.closed do
+let dequeue_locked ?cancel t =
+  while t.count = 0 && not t.closed && (Cancel.check_opt cancel; true) do
     Condition.wait t.not_empty t.mutex
   done;
+  Cancel.check_opt cancel;
   if t.count = 0 then raise (Closed t.q_name);
   let e = pop_front t in
   Condition.signal t.not_full;
   e
 
-let dequeue t = with_lock t (fun () -> dequeue_locked t)
+let dequeue ?cancel t =
+  Cancel.with_waker cancel (wake t) (fun () ->
+      with_lock t (fun () -> dequeue_locked ?cancel t))
 
 let try_dequeue t =
   with_lock t (fun () ->
@@ -136,10 +154,24 @@ let stack (tensors : Tensor.t list) =
         tensors;
       out
 
-let dequeue_many t n =
+let dequeue_many ?cancel t n =
   if n <= 0 then invalid_arg "Queue_impl.dequeue_many: n must be > 0";
   let elements =
-    with_lock t (fun () -> List.init n (fun _ -> dequeue_locked t))
+    Cancel.with_waker cancel (wake t) (fun () ->
+        with_lock t (fun () ->
+            (* On closure/cancellation mid-collection, requeue what was
+               already taken so no element is silently lost. *)
+            let taken = ref [] in
+            (try
+               for _ = 1 to n do
+                 taken := dequeue_locked ?cancel t :: !taken
+               done
+             with e ->
+               t.elements <- List.rev_append !taken t.elements;
+               t.count <- t.count + List.length !taken;
+               Condition.broadcast t.not_empty;
+               raise e);
+            List.rev !taken))
   in
   Array.init t.q_components (fun c ->
       stack (List.map (fun e -> e.(c)) elements))

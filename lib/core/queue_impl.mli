@@ -9,7 +9,10 @@
 
     Closing a queue wakes all waiters: pending and future dequeues drain
     the remaining elements and then raise {!Closed}; enqueues raise
-    {!Closed} immediately. *)
+    {!Closed} immediately. Blocking operations also accept a
+    {!Cancel.t}: cancellation (deadline expiry, a failed peer partition)
+    wakes the waiter, which raises {!Step_failure.Error} instead of
+    staying parked — no orphaned threads after a failed step. *)
 
 open Octf_tensor
 
@@ -34,19 +37,24 @@ val size : t -> int
 
 val is_closed : t -> bool
 
-val enqueue : t -> Tensor.t array -> unit
+val enqueue : ?cancel:Cancel.t -> t -> Tensor.t array -> unit
 (** Blocks while full. @raise Closed if the queue is closed.
+    @raise Step_failure.Error if [cancel] fires while blocked.
     @raise Invalid_argument on wrong component count. *)
 
-val dequeue : t -> Tensor.t array
-(** Blocks while empty. @raise Closed once closed and drained. *)
+val dequeue : ?cancel:Cancel.t -> t -> Tensor.t array
+(** Blocks while empty. @raise Closed once closed and drained.
+    @raise Step_failure.Error if [cancel] fires while blocked. *)
 
 val try_dequeue : t -> Tensor.t array option
 (** Non-blocking variant; [None] when empty (but not closed). *)
 
-val dequeue_many : t -> int -> Tensor.t array
+val dequeue_many : ?cancel:Cancel.t -> t -> int -> Tensor.t array
 (** [dequeue_many q n] takes [n] elements and stacks each component along
     a new leading batch axis, as the TF op does. Blocks until [n]
-    elements are available. @raise Closed if the queue closes first. *)
+    elements are available. @raise Closed if the queue closes first;
+    @raise Step_failure.Error on cancellation. Elements already taken
+    when the wait is interrupted are requeued at the front, so a failed
+    step loses no data. *)
 
 val close : t -> unit

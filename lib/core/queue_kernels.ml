@@ -35,7 +35,7 @@ let register () =
           (Array.length ctx.K.inputs - 1)
           (fun i -> K.input_tensor ctx (i + 1))
       in
-      Queue_impl.enqueue q components;
+      Queue_impl.enqueue ?cancel:ctx.K.cancel q components;
       [||]);
   K.register ~op_type:"EnqueueMany" ~devices:cpu (fun ctx ->
       (* Components are batched along axis 0; enqueue one element per
@@ -60,16 +60,18 @@ let register () =
               Tensor.reshape slice (Array.sub s 1 (Shape.rank s - 1)))
             batched
         in
-        Queue_impl.enqueue q element
+        Queue_impl.enqueue ?cancel:ctx.K.cancel q element
       done;
       [||]);
   K.register ~op_type:"Dequeue" ~devices:cpu (fun ctx ->
       let q = K.input_queue ctx 0 in
-      Array.map (fun t -> Value.Tensor t) (Queue_impl.dequeue q));
+      Array.map (fun t -> Value.Tensor t) (Queue_impl.dequeue ?cancel:ctx.K.cancel q));
   K.register ~op_type:"DequeueMany" ~devices:cpu (fun ctx ->
       let q = K.input_queue ctx 0 in
       let n = Node.attr_int ctx.K.node "n" in
-      Array.map (fun t -> Value.Tensor t) (Queue_impl.dequeue_many q n));
+      Array.map
+        (fun t -> Value.Tensor t)
+        (Queue_impl.dequeue_many ?cancel:ctx.K.cancel q n));
   K.register ~op_type:"QueueClose" ~devices:cpu (fun ctx ->
       Queue_impl.close (K.input_queue ctx 0);
       [||]);

@@ -21,27 +21,38 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Wake this rendezvous' waiters when [cancel] fires. The waker takes
+   the mutex before broadcasting: a waiter between its cancel check and
+   Condition.wait still holds the mutex, so the broadcast cannot land in
+   that window and be missed. *)
+let wake t () =
+  Mutex.lock t.mutex;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
 let send t ~key v =
   with_lock t (fun () ->
       if Hashtbl.mem t.table key then
-        failwith ("Rendezvous.send: duplicate key " ^ key);
+        raise (Step_failure.error (Step_failure.Duplicate_send key));
       Hashtbl.replace t.table key v;
       t.gen <- t.gen + 1;
       Condition.broadcast t.cond)
 
-let recv t ~key =
-  with_lock t (fun () ->
-      let rec wait () =
-        (match t.aborted with Some r -> raise (Aborted r) | None -> ());
-        match Hashtbl.find_opt t.table key with
-        | Some v ->
-            Hashtbl.remove t.table key;
-            v
-        | None ->
-            Condition.wait t.cond t.mutex;
-            wait ()
-      in
-      wait ())
+let recv ?cancel t ~key =
+  Cancel.with_waker cancel (wake t) (fun () ->
+      with_lock t (fun () ->
+          let rec wait () =
+            (match t.aborted with Some r -> raise (Aborted r) | None -> ());
+            Cancel.check_opt cancel;
+            match Hashtbl.find_opt t.table key with
+            | Some v ->
+                Hashtbl.remove t.table key;
+                v
+            | None ->
+                Condition.wait t.cond t.mutex;
+                wait ()
+          in
+          wait ()))
 
 let try_recv t ~key =
   with_lock t (fun () ->
@@ -54,17 +65,19 @@ let try_recv t ~key =
 
 let generation t = with_lock t (fun () -> t.gen)
 
-let wait_new t ~last =
-  with_lock t (fun () ->
-      let rec wait () =
-        (match t.aborted with Some r -> raise (Aborted r) | None -> ());
-        if t.gen > last then t.gen
-        else begin
-          Condition.wait t.cond t.mutex;
-          wait ()
-        end
-      in
-      wait ())
+let wait_new ?cancel t ~last =
+  Cancel.with_waker cancel (wake t) (fun () ->
+      with_lock t (fun () ->
+          let rec wait () =
+            (match t.aborted with Some r -> raise (Aborted r) | None -> ());
+            Cancel.check_opt cancel;
+            if t.gen > last then t.gen
+            else begin
+              Condition.wait t.cond t.mutex;
+              wait ()
+            end
+          in
+          wait ()))
 
 let abort t ~reason =
   with_lock t (fun () ->

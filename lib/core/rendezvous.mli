@@ -16,11 +16,14 @@ exception Aborted of string
 val create : unit -> t
 
 val send : t -> key:string -> Value.t -> unit
-(** @raise Failure on duplicate key (two sends of one value). *)
+(** @raise Step_failure.Error with {!Step_failure.Duplicate_send} on a
+    duplicate key (two sends of one value). *)
 
-val recv : t -> key:string -> Value.t
+val recv : ?cancel:Cancel.t -> t -> key:string -> Value.t
 (** Blocks until sent. Consumes the value. @raise Aborted if
-    {!abort} is called while waiting (or before). *)
+    {!abort} is called while waiting (or before).
+    @raise Step_failure.Error if [cancel] fires (deadline or explicit
+    cancellation wake the blocked waiter). *)
 
 val try_recv : t -> key:string -> Value.t option
 (** Non-blocking receive; [None] when nothing is available.
@@ -29,11 +32,12 @@ val try_recv : t -> key:string -> Value.t option
 val generation : t -> int
 (** Incremented on every {!send}; see {!wait_new}. *)
 
-val wait_new : t -> last:int -> int
+val wait_new : ?cancel:Cancel.t -> t -> last:int -> int
 (** Block until the generation exceeds [last] (i.e. something has been
     sent since the caller sampled {!generation}), and return the current
     generation. Used by executors to sleep between [Recv] retries
-    without missing wakeups. @raise Aborted after {!abort}. *)
+    without missing wakeups. @raise Aborted after {!abort}.
+    @raise Step_failure.Error if [cancel] fires while parked. *)
 
 val abort : t -> reason:string -> unit
 (** Wake every blocked and future receiver with {!Aborted}; used to

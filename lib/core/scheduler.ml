@@ -32,6 +32,7 @@ type 'task ops = {
   run_blocking : 'task -> unit;
   poll_recv : 'task -> (unit -> unit) option;
   rendezvous : Rendezvous.t option;
+  cancel : Cancel.t option;
 }
 
 (* Completions cross from worker domains back to the coordinating
@@ -97,6 +98,7 @@ let run_now t task =
   match t.ops.stage task with Finish k -> k () | Offload run -> (run ()) ()
 
 let rec drive_inline t =
+  Cancel.check_opt t.ops.cancel;
   if not (Queue.is_empty t.ready) then begin
     run_now t (Queue.pop t.ready);
     drive_inline t
@@ -109,7 +111,8 @@ let rec drive_inline t =
         if not (poll_recvs t) then
           if not (Queue.is_empty t.ready_blocking) then
             t.ops.run_blocking (Queue.pop t.ready_blocking)
-          else ignore (Rendezvous.wait_new r ~last:gen));
+          else
+            ignore (Rendezvous.wait_new ?cancel:t.ops.cancel r ~last:gen));
     drive_inline t
   end
   else if not (Queue.is_empty t.ready_blocking) then begin
@@ -155,6 +158,7 @@ let dispatch t task =
           push_completion t k)
 
 let rec drive_pool t =
+  Cancel.check_opt t.ops.cancel;
   (* Keep the pool fed: everything ready goes out before we wait. *)
   while not (Queue.is_empty t.ready) do
     dispatch t (Queue.pop t.ready)
@@ -180,7 +184,7 @@ let rec drive_pool t =
       drive_pool t
     end
     else begin
-      ignore (Rendezvous.wait_new r ~last:gen);
+      ignore (Rendezvous.wait_new ?cancel:t.ops.cancel r ~last:gen);
       drive_pool t
     end
   end

@@ -76,6 +76,11 @@ type 'task ops = {
   rendezvous : Rendezvous.t option;
       (** When present, the engine parks on it (generation-watched) once
           only Recvs remain, waking when a peer partition sends. *)
+  cancel : Cancel.t option;
+      (** When present, both drive loops poll it between tasks — so even
+          a cyclic graph that never quiesces honours its deadline — and
+          pass it to rendezvous parks so cancellation wakes a parked
+          coordinator. *)
 }
 
 type 'task t
@@ -92,4 +97,6 @@ val drive : 'task t -> unit
     coordinating thread.
 
     @raise Rendezvous.Aborted if a peer partition fails while this one
-    is parked on the rendezvous. *)
+    is parked on the rendezvous.
+    @raise Step_failure.Error if the step's cancellation token fires
+    (deadline expiry or explicit cancellation). *)

@@ -1,5 +1,9 @@
 
-exception Run_error of string
+exception Run_error of Step_failure.t
+
+let run_error ?node ?device cause = Run_error (Step_failure.v ?node ?device cause)
+
+let invalid msg = run_error (Step_failure.Invalid_graph msg)
 
 type compiled_step =
   | Local of { plan : Executor.plan; device : Device.t option }
@@ -93,7 +97,7 @@ let compile t ~feed_eps ~fetch_eps ~target_ids =
   let fed_ids = List.map (fun (e : Node.endpoint) -> e.node_id) feed_eps in
   let prepare ~graph ~nodes ~fed_ids =
     try Executor.prepare ~scheduler:t.scheduler ~graph ~nodes ~fed_ids ()
-    with Executor.Step_error msg -> raise (Run_error msg)
+    with Step_failure.Error f -> raise (Run_error f)
   in
   match devs with
   | [] | [ _ ] ->
@@ -117,20 +121,24 @@ let compile t ~feed_eps ~fetch_eps ~target_ids =
                    prepare ~graph:p.Partition.subgraph
                      ~nodes:p.Partition.node_ids ~fed_ids:local_fed ))
                parts)
-      | Error msg -> raise (Run_error ("partitioning failed: " ^ msg)))
+      | Error msg -> raise (invalid ("partitioning failed: " ^ msg)))
 
 let value_to_tensor ~what v =
   match v with
   | Value.Tensor tensor -> tensor
   | Value.Resource r ->
       raise
-        (Run_error
-           (Printf.sprintf "fetch %s produced a reference handle (%s)" what
-              (Resource.name r)))
+        (run_error ~node:what
+           (Step_failure.Fetch_failed
+              (Printf.sprintf "fetch %s produced a reference handle (%s)"
+                 what (Resource.name r))))
   | Value.Dead ->
-      raise (Run_error (Printf.sprintf "fetch %s produced a dead value" what))
+      raise
+        (run_error ~node:what
+           (Step_failure.Fetch_failed
+              (Printf.sprintf "fetch %s produced a dead value" what)))
 
-let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
+let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
   (* Fetching an output-less operation (a NoOp group such as a train op)
      means "run it": reroute such fetches to the target list and return
      a scalar 0 in their position. *)
@@ -178,7 +186,16 @@ let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
         t.step_counter <- t.step_counter + 1;
         (step, t.step_counter))
   in
-  let results =
+  (* One cancellation token per step: a deadline arms its watchdog, and
+     distributed steps always carry a token so one partition's failure
+     wakes peers parked in queue or rendezvous waits. *)
+  let cancel =
+    match (deadline, step) with
+    | Some d, _ -> Some (Cancel.create ~deadline:d ())
+    | None, Distributed _ -> Some (Cancel.create ())
+    | None, Local _ -> None
+  in
+  let execute_step () =
     match step with
     | Local { plan; device } ->
       let resources =
@@ -189,8 +206,8 @@ let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
       let values =
         try
           Executor.execute plan ~feeds:feed_vals ~fetches:fetch_eps
-            ~resources ?tracer ~seed:t.seed ~step_id ()
-        with Executor.Step_error msg -> raise (Run_error msg)
+            ~resources ?tracer ?cancel ~seed:t.seed ~step_id ()
+        with Step_failure.Error f -> raise (Run_error f)
       in
       List.map2
         (fun (o : Builder.output) v ->
@@ -203,6 +220,14 @@ let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
       in
       let errors = ref [] in
       let results_mutex = Mutex.create () in
+      let record_failure (f : Step_failure.t) =
+        let msg = Step_failure.to_string f in
+        Rendezvous.abort rendezvous ~reason:msg;
+        Option.iter (fun c -> Cancel.cancel c ~reason:msg) cancel;
+        Mutex.lock results_mutex;
+        errors := f :: !errors;
+        Mutex.unlock results_mutex
+      in
       let run_part ((p : Partition.partition), plan) =
         let local_feeds =
           List.filter_map
@@ -220,35 +245,45 @@ let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
               | None -> None)
             fetch_eps
         in
+        let device = Device.to_string p.Partition.device in
         try
           let vs =
             Executor.execute plan ~feeds:local_feeds
               ~fetches:(List.map snd local_fetches)
               ~resources:(t.resource_router p.Partition.device)
-              ~rendezvous ?tracer ~seed:t.seed ~step_id ()
+              ~rendezvous ?tracer ?cancel ~seed:t.seed ~step_id ()
           in
           Mutex.lock results_mutex;
-          Hashtbl.replace results
-            (Device.to_string p.Partition.device)
+          Hashtbl.replace results device
             (List.map2 (fun (orig, _) v -> (orig, v)) local_fetches vs);
           Mutex.unlock results_mutex
         with
-        | Executor.Step_error msg | Rendezvous.Aborted msg ->
-            Rendezvous.abort rendezvous ~reason:msg;
-            Mutex.lock results_mutex;
-            errors := msg :: !errors;
-            Mutex.unlock results_mutex
+        | Step_failure.Error f ->
+            record_failure
+              (if f.Step_failure.device = None then
+                 { f with Step_failure.device = Some device }
+               else f)
+        | Rendezvous.Aborted reason ->
+            record_failure
+              (Step_failure.v ~device (Step_failure.Rendezvous_aborted reason))
         | e ->
-            let msg = Printexc.to_string e in
-            Rendezvous.abort rendezvous ~reason:msg;
-            Mutex.lock results_mutex;
-            errors := msg :: !errors;
-            Mutex.unlock results_mutex
+            record_failure
+              (Step_failure.v ~device
+                 (Step_failure.Kernel_failed (Printexc.to_string e)))
       in
       let threads = List.map (fun p -> Thread.create run_part p) parts in
       List.iter Thread.join threads;
-      (match !errors with
-      | msg :: _ -> raise (Run_error msg)
+      (* Prefer the root cause: a partition's own failure over the
+         "peer aborted me" / "step was cancelled" collateral. *)
+      (match
+         List.stable_sort
+           (fun (a : Step_failure.t) b ->
+             compare
+               (Step_failure.is_secondary a.Step_failure.cause)
+               (Step_failure.is_secondary b.Step_failure.cause))
+           (List.rev !errors)
+       with
+      | f :: _ -> raise (Run_error f)
       | [] -> ());
       let all_results =
         Hashtbl.fold (fun _ l acc -> l @ acc) results []
@@ -259,10 +294,16 @@ let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
           | Some v -> value_to_tensor ~what:o.Builder.node.Node.name v
           | None ->
               raise
-                (Run_error
-                   ("fetch not produced by any partition: "
-                   ^ o.Builder.node.Node.name)))
+                (run_error ~node:o.Builder.node.Node.name
+                   (Step_failure.Fetch_failed
+                      ("fetch not produced by any partition: "
+                      ^ o.Builder.node.Node.name))))
         fetches fetch_eps
+  in
+  let results =
+    match cancel with
+    | None -> execute_step ()
+    | Some c -> Fun.protect ~finally:(fun () -> Cancel.complete c) execute_step
   in
   (* Re-interleave dummy results for target-style fetches. *)
   let remaining = ref results in
@@ -277,11 +318,13 @@ let run_with ?tracer ?(feeds = []) ?(targets = []) t fetches =
           | [] -> assert false))
     fetches_tagged
 
-let run ?feeds ?targets t fetches = run_with ?feeds ?targets t fetches
+let run ?feeds ?targets ?deadline t fetches =
+  run_with ?feeds ?targets ?deadline t fetches
 
-let run_traced ?feeds ?targets t fetches =
+let run_traced ?feeds ?targets ?deadline t fetches =
   let tracer = Tracer.create () in
-  let results = run_with ~tracer ?feeds ?targets t fetches in
+  let results = run_with ~tracer ?feeds ?targets ?deadline t fetches in
   (results, tracer)
 
-let run_unit ?feeds t targets = ignore (run ?feeds ~targets t [])
+let run_unit ?feeds ?deadline t targets =
+  ignore (run ?feeds ?deadline ~targets t [])

@@ -18,7 +18,11 @@ open Octf_tensor
 
 type t
 
-exception Run_error of string
+exception Run_error of Step_failure.t
+(** Every step failure — kernel error, deadline expiry, cancellation,
+    injected fault, invalid graph, bad fetch — surfaces as this one
+    exception carrying the failing node, its device, and a structured
+    cause. Render with {!Step_failure.to_string}. *)
 
 val create :
   ?devices:Device.t list ->
@@ -52,18 +56,26 @@ val resources_for : t -> Device.t -> Resource_manager.t
 val run :
   ?feeds:(Builder.output * Tensor.t) list ->
   ?targets:Builder.output list ->
+  ?deadline:float ->
   t ->
   Builder.output list ->
   Tensor.t list
 (** [run session fetches] executes one step and returns the fetched
     tensors in order. [targets] are executed for their effects only.
 
-    @raise Run_error if a kernel fails, a fetch is dead, or a fetch
-    yields a reference handle rather than a tensor. *)
+    [deadline] (seconds) bounds the whole step: when it expires the
+    step's cancellation token fires, parked [Recv]/queue waiters wake,
+    and the step raises [Run_error] with a [Deadline_exceeded] cause
+    instead of hanging — even on cyclic (while-loop) graphs and even
+    when a peer partition's [Send] was lost.
+
+    @raise Run_error if a kernel fails, the deadline expires, a fetch is
+    dead, or a fetch yields a reference handle rather than a tensor. *)
 
 val run_traced :
   ?feeds:(Builder.output * Tensor.t) list ->
   ?targets:Builder.output list ->
+  ?deadline:float ->
   t ->
   Builder.output list ->
   Tensor.t list * Tracer.t
@@ -71,7 +83,12 @@ val run_traced :
     across every partition of the step — the §5 distributed profiler.
     Render with {!Tracer.pp_summary} or {!Tracer.to_chrome_trace}. *)
 
-val run_unit : ?feeds:(Builder.output * Tensor.t) list -> t -> Builder.output list -> unit
+val run_unit :
+  ?feeds:(Builder.output * Tensor.t) list ->
+  ?deadline:float ->
+  t ->
+  Builder.output list ->
+  unit
 (** Run for effect: [run_unit s targets] = ignore a fetch-less step. *)
 
 val cached_steps : t -> int

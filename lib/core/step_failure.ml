@@ -1,0 +1,58 @@
+type cause =
+  | Deadline_exceeded of float
+  | Cancelled of string
+  | Kernel_failed of string
+  | Fault_injected of string
+  | Rendezvous_aborted of string
+  | Duplicate_send of string
+  | Missing_task of string
+  | Invalid_graph of string
+  | Fetch_failed of string
+
+type t = { node : string option; device : string option; cause : cause }
+
+exception Error of t
+
+let v ?node ?device cause = { node; device; cause }
+
+let error ?node ?device cause = Error (v ?node ?device cause)
+
+let cause_message = function
+  | Deadline_exceeded budget ->
+      Printf.sprintf "deadline of %.0f ms exceeded" (1000.0 *. budget)
+  | Cancelled reason -> "step cancelled: " ^ reason
+  | Kernel_failed detail -> "kernel failed: " ^ detail
+  | Fault_injected detail -> "fault injected: " ^ detail
+  | Rendezvous_aborted reason -> "rendezvous aborted: " ^ reason
+  | Duplicate_send key -> "duplicate rendezvous send for key " ^ key
+  | Missing_task detail -> "missing cluster task: " ^ detail
+  | Invalid_graph detail -> detail
+  | Fetch_failed detail -> detail
+
+let is_cancellation = function
+  | Deadline_exceeded _ | Cancelled _ -> true
+  | Kernel_failed _ | Fault_injected _ | Rendezvous_aborted _
+  | Duplicate_send _ | Missing_task _ | Invalid_graph _ | Fetch_failed _ ->
+      false
+
+(* Failures that only describe another partition's (or the whole step's)
+   demise, not its origin. Used to pick the root cause among the errors
+   collected from the partitions of one step. *)
+let is_secondary = function
+  | Rendezvous_aborted _ | Cancelled _ -> true
+  | _ -> false
+
+let to_string f =
+  let where =
+    match (f.node, f.device) with
+    | Some n, Some d -> Printf.sprintf " at node %s on %s" n d
+    | Some n, None -> Printf.sprintf " at node %s" n
+    | None, Some d -> Printf.sprintf " on %s" d
+    | None, None -> ""
+  in
+  Printf.sprintf "step failed%s: %s" where (cause_message f.cause)
+
+let () =
+  Printexc.register_printer (function
+    | Error f -> Some (to_string f)
+    | _ -> None)

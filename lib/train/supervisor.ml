@@ -1,0 +1,117 @@
+(* Checkpoint-based recovery for training loops (§4.3). *)
+
+module Step_failure = Octf.Step_failure
+module Session = Octf.Session
+
+type event =
+  | Started of int
+  | Checkpointed of int * string
+  | Step_failed of int * Step_failure.t
+  | Restored of int * string
+  | Gave_up of int * Step_failure.t
+
+type stats = {
+  steps_completed : int;
+  failures : int;
+  restores : int;
+  checkpoints : int;
+}
+
+type t = {
+  session : Session.t;
+  saver : Saver.t;
+  prefix : string;
+  save_every : int;
+  max_failures : int;
+  backoff : float;
+  backoff_multiplier : float;
+  max_backoff : float;
+  deadline : float option;
+  on_event : event -> unit;
+  on_recover : Step_failure.t -> unit;
+}
+
+let create ?(save_every = 10) ?(max_failures = 5) ?(backoff = 0.01)
+    ?(backoff_multiplier = 2.0) ?(max_backoff = 1.0) ?deadline
+    ?(on_event = fun _ -> ()) ?(on_recover = fun _ -> ()) ~saver ~prefix
+    session =
+  {
+    session;
+    saver;
+    prefix;
+    save_every = max 1 save_every;
+    max_failures;
+    backoff;
+    backoff_multiplier;
+    max_backoff;
+    deadline;
+    on_event;
+    on_recover;
+  }
+
+let deadline t = t.deadline
+
+(* The step a [prefix ^ "-" ^ step ^ ".ckpt"] path was written at. *)
+let step_of_path t path =
+  let base = Filename.basename t.prefix ^ "-" in
+  let name = Filename.basename path in
+  let bl = String.length base in
+  if
+    String.length name > bl
+    && String.sub name 0 bl = base
+    && Filename.check_suffix name ".ckpt"
+  then int_of_string_opt (Filename.chop_suffix (String.sub name bl (String.length name - bl)) ".ckpt")
+  else None
+
+let checkpoint t ~step stats =
+  let path = Saver.save_numbered t.saver t.session ~prefix:t.prefix ~step in
+  t.on_event (Checkpointed (step, path));
+  stats := { !stats with checkpoints = !stats.checkpoints + 1 }
+
+(* Restore the newest checkpoint; return the step to resume from. *)
+let restore_latest t ~fallback stats =
+  match Saver.latest_checkpoint ~prefix:t.prefix with
+  | None -> fallback
+  | Some path ->
+      Saver.restore t.saver t.session ~path;
+      let step = Option.value (step_of_path t path) ~default:fallback in
+      t.on_event (Restored (step, path));
+      stats := { !stats with restores = !stats.restores + 1 };
+      step
+
+let run t ~steps ?(init = fun () -> ()) body =
+  let stats = ref { steps_completed = 0; failures = 0; restores = 0; checkpoints = 0 } in
+  init ();
+  let start = restore_latest t ~fallback:0 stats in
+  t.on_event (Started start);
+  let step = ref start in
+  let consecutive = ref 0 in
+  let delay = ref t.backoff in
+  while !step < steps do
+    match body ~step:!step with
+    | () ->
+        stats := { !stats with steps_completed = !stats.steps_completed + 1 };
+        consecutive := 0;
+        delay := t.backoff;
+        if (!step + 1) mod t.save_every = 0 then
+          checkpoint t ~step:(!step + 1) stats;
+        incr step
+    | exception Session.Run_error f ->
+        stats := { !stats with failures = !stats.failures + 1 };
+        incr consecutive;
+        t.on_event (Step_failed (!step, f));
+        if !consecutive > t.max_failures then begin
+          t.on_event (Gave_up (!step, f));
+          raise (Session.Run_error f)
+        end;
+        Thread.delay !delay;
+        delay := Float.min t.max_backoff (!delay *. t.backoff_multiplier);
+        (* Repair, rebuild, then roll back to the last checkpoint: the
+           order a restarted task follows in §4.3. *)
+        t.on_recover f;
+        init ();
+        step := restore_latest t ~fallback:0 stats
+  done;
+  if !step > start && !step mod t.save_every <> 0 then
+    checkpoint t ~step:!step stats;
+  !stats

@@ -1,0 +1,74 @@
+(** Fault-tolerant training loops (§4.3).
+
+    The paper makes fault tolerance a user-level protocol: training
+    survives task failures not by replicating state but by periodically
+    writing checkpoints with the {!Saver} and, when a step fails,
+    restoring from the latest one and continuing. The supervisor
+    packages that protocol: it drives a step function, saves every
+    [save_every] steps, and on a {!Octf.Session.Run_error} — an injected
+    fault, a killed task, a deadline expiry — backs off exponentially,
+    runs the caller's recovery hook (e.g. {!Octf.Cluster.restart_task}
+    for the dead task), re-runs the init ops, restores the newest
+    checkpoint, and resumes the loop. Consistency needs nothing stronger
+    than this because, as the paper argues, the strong-consistency cost
+    is not worth paying for SGD's tolerance of slightly stale state. *)
+
+type event =
+  | Started of int  (** loop entered at this step index *)
+  | Checkpointed of int * string  (** step, path written *)
+  | Step_failed of int * Octf.Step_failure.t
+  | Restored of int * string
+      (** resumed at step (the checkpoint's step), from path *)
+  | Gave_up of int * Octf.Step_failure.t
+      (** failure budget exhausted at this step *)
+
+type stats = {
+  steps_completed : int;
+  failures : int;
+  restores : int;
+  checkpoints : int;
+}
+
+type t
+
+val create :
+  ?save_every:int ->
+  ?max_failures:int ->
+  ?backoff:float ->
+  ?backoff_multiplier:float ->
+  ?max_backoff:float ->
+  ?deadline:float ->
+  ?on_event:(event -> unit) ->
+  ?on_recover:(Octf.Step_failure.t -> unit) ->
+  saver:Saver.t ->
+  prefix:string ->
+  Octf.Session.t ->
+  t
+(** [save_every] (default 10) steps between checkpoints; [max_failures]
+    (default 5) consecutive failures tolerated before giving up;
+    [backoff] (default 0.01 s) initial retry delay, multiplied by
+    [backoff_multiplier] (default 2.0) per consecutive failure and
+    capped at [max_backoff] (default 1.0 s); [deadline] (seconds) is
+    passed to every step so a wedged step fails instead of hanging.
+    [on_recover] runs after a failure before restoring — repair the
+    world here (revive/restart the dead task). A successful step resets
+    the consecutive-failure counter and the backoff. *)
+
+val deadline : t -> float option
+
+val run :
+  t ->
+  steps:int ->
+  ?init:(unit -> unit) ->
+  (step:int -> unit) ->
+  stats
+(** [run t ~steps ?init body] calls [body ~step] for [step] = 0 to
+    [steps - 1], checkpointing as configured (and once more at the end).
+    If a previous checkpoint exists under the prefix, training resumes
+    from its step. [init] re-initializes non-checkpointed state
+    (variable init ops) and runs once at start and once after each
+    restore, {e before} the checkpoint is applied — mirroring a restarted
+    task that first builds its graph, then restores (§4.3).
+
+    @raise Octf.Session.Run_error (re-raised last failure) once
+    [max_failures] consecutive failures are exhausted. *)

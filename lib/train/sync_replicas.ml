@@ -176,38 +176,47 @@ let start t session =
   | None -> ()
   | Some c -> Octf.Session.run_unit session [ c.release_tokens ]
 
-let worker_step ?(feeds = []) t session =
+let worker_step ?(feeds = []) ?deadline t session =
   match (t.async_train, t.coord) with
-  | Some train, _ -> Octf.Session.run_unit ~feeds session [ train ]
+  | Some train, _ -> Octf.Session.run_unit ~feeds ?deadline session [ train ]
   | None, Some c ->
       (* Take a token (blocks until the chief releases the round), then
          compute and enqueue the tagged gradients. *)
-      ignore (Octf.Session.run session c.token_dequeue);
-      Octf.Session.run_unit ~feeds session [ c.enqueue_grads ]
+      ignore (Octf.Session.run ?deadline session c.token_dequeue);
+      Octf.Session.run_unit ~feeds ?deadline session [ c.enqueue_grads ]
   | None, None -> assert false
 
-let chief_step t session =
+let chief_step ?deadline t session =
   match t.coord with
   | None -> ()
   | Some c -> (
       match c.sync_apply with
       | Some op ->
-          Octf.Session.run_unit session [ op ];
+          Octf.Session.run_unit ?deadline session [ op ];
           Octf.Session.run_unit session [ c.release_tokens ]
       | None ->
-          (* m-of-n with staleness dropping. *)
+          (* m-of-n with staleness dropping (Figure 4(c)). The deadline
+             is the backup-worker mechanism of §4.4 turned around: when
+             a straggler (or a dead worker) keeps the round from filling,
+             the chief stops waiting and closes the round with the m' < m
+             gradients it has, rather than stalling the whole cluster. *)
           let current =
             int_of_float (scalar (List.hd (Octf.Session.run session [ t.step_read ])))
           in
           let fresh = ref [] in
-          while List.length !fresh < c.aggregate do
-            match Octf.Session.run session c.dequeue_one with
+          let abandoned = ref false in
+          while (not !abandoned) && List.length !fresh < c.aggregate do
+            match Octf.Session.run ?deadline session c.dequeue_one with
             | tag :: grads ->
                 if int_of_float (scalar tag) = current then
                   fresh := grads :: !fresh
             | [] -> assert false
+            | exception Octf.Session.Run_error f
+              when Octf.Step_failure.is_cancellation f.Octf.Step_failure.cause
+                   && !fresh <> [] ->
+                abandoned := true
           done;
-          let m = float_of_int c.aggregate in
+          let m = float_of_int (List.length !fresh) in
           let averaged =
             List.mapi
               (fun i _ ->

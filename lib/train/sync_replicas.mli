@@ -47,16 +47,28 @@ val build :
     threads.) *)
 
 val worker_step :
-  ?feeds:(B.output * Octf_tensor.Tensor.t) list -> t -> Octf.Session.t -> unit
+  ?feeds:(B.output * Octf_tensor.Tensor.t) list ->
+  ?deadline:float ->
+  t ->
+  Octf.Session.t ->
+  unit
 (** One training step of a worker replica: under [Async], compute and
     apply; under the synchronous modes, take a token, compute, and
     enqueue the tagged gradient tuple. [feeds] supply the replica's
-    input placeholders (the loss subgraph runs inside this step). *)
+    input placeholders (the loss subgraph runs inside this step).
+    [deadline] bounds each blocking sub-step (see {!Octf.Session.run}). *)
 
-val chief_step : t -> Octf.Session.t -> unit
+val chief_step : ?deadline:float -> t -> Octf.Session.t -> unit
 (** One aggregation round of the chief (synchronous modes only): collect
     the round's gradients — dropping stale tags — average, apply, bump
-    the step tag, release tokens. No-op under [Async]. *)
+    the step tag, release tokens. No-op under [Async].
+
+    [deadline] bounds each gradient collection: if it expires with at
+    least one fresh gradient in hand, the chief {e abandons} the rest of
+    the round and applies the average of what arrived — the backup-worker
+    idea of §4.4, where the first m of n updates win and stragglers'
+    work is discarded. With no fresh gradients the deadline error
+    propagates. *)
 
 val start : t -> Octf.Session.t -> unit
 (** Prime the token queue so workers can take their first step. *)

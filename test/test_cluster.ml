@@ -25,8 +25,24 @@ let test_per_task_resources () =
   Alcotest.(check bool) "stable" true
     (Cluster.resources_of c d0 == Cluster.resources_of c d0);
   match Cluster.resources_of c (Device.make ~job:"nowhere" Device.CPU) with
-  | _ -> Alcotest.fail "expected Not_found"
-  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected a missing-task error"
+  | exception Step_failure.Error f -> (
+      match f.Step_failure.cause with
+      | Step_failure.Missing_task msg ->
+          let contains needle =
+            let nh = String.length msg and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "names the missing task" true
+            (contains "/job:nowhere/task:0");
+          Alcotest.(check bool) "lists known tasks" true
+            (contains "/job:ps/task:0")
+      | c ->
+          Alcotest.failf "expected Missing_task, got %s"
+            (Step_failure.cause_message c))
 
 let test_variable_lives_on_its_task () =
   let c = cluster () in

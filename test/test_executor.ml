@@ -169,9 +169,9 @@ let test_frame_crossing_rejected () =
   let s = Session.create ~optimize:false (B.graph b) in
   match Session.run s [ out ] with
   | _ -> Alcotest.fail "expected frame-crossing error"
-  | exception Session.Run_error msg ->
+  | exception Session.Run_error f ->
       Alcotest.(check bool) "mentions invariants" true
-        (contains msg "invariants")
+        (contains (Step_failure.to_string f) "invariants")
 
 let test_loop_zero_iterations () =
   let b = B.create () in
@@ -211,8 +211,9 @@ let test_kernel_error_reporting () =
   let s = Session.create ~optimize:false (B.graph b) in
   match Session.run s [ bad ] with
   | _ -> Alcotest.fail "expected kernel error"
-  | exception Session.Run_error msg ->
-      Alcotest.(check bool) "names the op" true (contains msg "MatMul")
+  | exception Session.Run_error f ->
+      Alcotest.(check bool) "names the op" true
+        (contains (Step_failure.to_string f) "MatMul")
 
 let suite =
   [

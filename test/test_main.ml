@@ -34,4 +34,5 @@ let () =
       ("tensor_array", Test_tensor_array.suite);
       ("kernels_misc", Test_kernels_misc.suite);
       ("nn_extra", Test_nn_extra.suite);
+      ("faults", Test_faults.suite);
     ]
