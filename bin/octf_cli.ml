@@ -201,7 +201,7 @@ let train steps lr scheduler deadline_ms fault fault_seed =
     if (step + 1) mod (max 1 (steps / 10)) = 0 then
       Format.printf "step %4d loss %.6f@." (step + 1) (Tensor.flat_get_f l 0)
   in
-  let one_step ~step =
+  let one_step ~step ~deadline =
     let xs, ys =
       Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
         ~bias:0.0 ~noise:0.01
@@ -240,7 +240,7 @@ let train steps lr scheduler deadline_ms fault fault_seed =
    else begin
      Octf.Session.run_unit session [ Vs.init_op store ];
      for step = 0 to steps - 1 do
-       one_step ~step
+       one_step ~step ~deadline
      done
    end);
   let learned =

@@ -19,12 +19,12 @@ let make ?budget ?deadline () =
     mutex = Mutex.create ();
   }
 
-(* Set the cause and collect the wakers under the lock; run the wakers
-   after releasing it. Wakers take other locks (a queue's or the
+(* Set the cause and collect the wakers under the lock; never run them
+   while holding it. Wakers take other locks (a queue's or the
    rendezvous' mutex, to broadcast their condition), so running them
-   while holding ours would invert the order against threads that call
-   {!check} from inside those critical sections. *)
-let cancel_with t cause =
+   under ours would invert the order against threads that call {!check}
+   from inside those critical sections. *)
+let set_cause t cause =
   Mutex.lock t.mutex;
   let wakers =
     if t.state = None then begin
@@ -34,11 +34,20 @@ let cancel_with t cause =
     else []
   in
   Mutex.unlock t.mutex;
-  List.iter (fun f -> f ()) wakers
+  wakers
 
-(* The watchdog exists only to wake threads parked in condition waits
-   (which have no timeout in the stdlib); polling callers observe the
-   deadline synchronously through {!cancelled}. Sleeping in short
+let fire wakers = List.iter (fun f -> f ()) wakers
+
+let cancel_with t cause = fire (set_cause t cause)
+
+(* The watchdog wakes threads parked in condition waits (which have no
+   timeout in the stdlib); polling callers observe the deadline
+   synchronously through {!cancelled}. It is also the thread that fires
+   the wakers when a poller detects expiry first: the poller may hold
+   the very queue/rendezvous mutex its own waker relocks ({!check} runs
+   inside those critical sections), so it only sets the cause and leaves
+   the waking to us. Firing is an idempotent broadcast, so firing again
+   after {!cancel_with} already did is harmless. Sleeping in short
    chunks keeps a completed run from pinning the thread until the full
    deadline. *)
 let watchdog t deadline budget =
@@ -47,13 +56,13 @@ let watchdog t deadline budget =
        (fun () ->
          let rec loop () =
            let now = Unix.gettimeofday () in
-           let finished =
-             Mutex.lock t.mutex;
-             let f = t.finished || t.state <> None in
-             Mutex.unlock t.mutex;
-             f
-           in
-           if not finished then
+           Mutex.lock t.mutex;
+           let finished = t.finished in
+           let state = t.state in
+           let wakers = List.map snd t.wakers in
+           Mutex.unlock t.mutex;
+           if state <> None then fire wakers
+           else if not finished then
              if now >= deadline then
                cancel_with t (Step_failure.Deadline_exceeded budget)
              else begin
@@ -82,11 +91,16 @@ let cancelled t =
   match state with
   | Some _ -> state
   | None -> (
-      (* Synchronous deadline detection, independent of the watchdog. *)
+      (* Synchronous deadline detection, independent of the watchdog.
+         The caller may be polling from inside a queue's or the
+         rendezvous' critical section, with its own waker registered —
+         firing wakers here would relock the mutex this thread already
+         holds. Set the cause only; the watchdog (every token with a
+         deadline has one) fires the wakers from its own thread. *)
       match t.deadline with
       | Some d when Unix.gettimeofday () >= d ->
           let budget = Option.value ~default:0.0 t.budget in
-          cancel_with t (Step_failure.Deadline_exceeded budget);
+          ignore (set_cause t (Step_failure.Deadline_exceeded budget));
           Mutex.lock t.mutex;
           let state = t.state in
           Mutex.unlock t.mutex;

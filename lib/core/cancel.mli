@@ -33,10 +33,13 @@ val check : t -> unit
 val check_opt : t option -> unit
 
 val add_waker : t -> (unit -> unit) -> int
-(** Register a callback run on cancellation (from the cancelling
-    thread, without the token's lock held). Returns an id for
-    {!remove_waker}. A waker registered after cancellation never runs:
-    blocking waits must re-check {!cancelled} before parking. *)
+(** Register a callback run on cancellation, without the token's lock
+    held — from the cancelling thread, or from the watchdog thread when
+    a polling caller detects deadline expiry (the poller may hold the
+    very lock its waker takes, so it never fires wakers itself).
+    Returns an id for {!remove_waker}. A waker registered after
+    cancellation never runs: blocking waits must re-check {!cancelled}
+    before parking. *)
 
 val remove_waker : t -> int -> unit
 

@@ -88,7 +88,7 @@ let run t ~steps ?(init = fun () -> ()) body =
   let consecutive = ref 0 in
   let delay = ref t.backoff in
   while !step < steps do
-    match body ~step:!step with
+    match body ~step:!step ~deadline:t.deadline with
     | () ->
         stats := { !stats with steps_completed = !stats.steps_completed + 1 };
         consecutive := 0;

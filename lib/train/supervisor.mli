@@ -49,7 +49,8 @@ val create :
     [backoff] (default 0.01 s) initial retry delay, multiplied by
     [backoff_multiplier] (default 2.0) per consecutive failure and
     capped at [max_backoff] (default 1.0 s); [deadline] (seconds) is
-    passed to every step so a wedged step fails instead of hanging.
+    handed to the step body on every call — thread it into
+    {!Octf.Session.run} so a wedged step fails instead of hanging.
     [on_recover] runs after a failure before restoring — repair the
     world here (revive/restart the dead task). A successful step resets
     the consecutive-failure counter and the backoff. *)
@@ -60,10 +61,12 @@ val run :
   t ->
   steps:int ->
   ?init:(unit -> unit) ->
-  (step:int -> unit) ->
+  (step:int -> deadline:float option -> unit) ->
   stats
-(** [run t ~steps ?init body] calls [body ~step] for [step] = 0 to
-    [steps - 1], checkpointing as configured (and once more at the end).
+(** [run t ~steps ?init body] calls [body ~step ~deadline] for [step] =
+    0 to [steps - 1], checkpointing as configured (and once more at the
+    end). [deadline] is the supervisor's per-step budget (the [?deadline]
+    given to {!create}) — pass it to {!Octf.Session.run} inside the body.
     If a previous checkpoint exists under the prefix, training resumes
     from its step. [init] re-initializes non-checkpointed state
     (variable init ops) and runs once at start and once after each

@@ -199,14 +199,26 @@ let chief_step ?deadline t session =
              is the backup-worker mechanism of §4.4 turned around: when
              a straggler (or a dead worker) keeps the round from filling,
              the chief stops waiting and closes the round with the m' < m
-             gradients it has, rather than stalling the whole cluster. *)
+             gradients it has, rather than stalling the whole cluster.
+             The budget bounds the whole round: each dequeue gets only
+             the time remaining, so neither repeated dequeues nor a
+             stream of stale-tag gradients (dropped without counting)
+             can reset the clock. *)
+          let round_deadline =
+            Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+          in
+          let remaining () =
+            Option.map
+              (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ()))
+              round_deadline
+          in
           let current =
             int_of_float (scalar (List.hd (Octf.Session.run session [ t.step_read ])))
           in
           let fresh = ref [] in
           let abandoned = ref false in
           while (not !abandoned) && List.length !fresh < c.aggregate do
-            match Octf.Session.run ?deadline session c.dequeue_one with
+            match Octf.Session.run ?deadline:(remaining ()) session c.dequeue_one with
             | tag :: grads ->
                 if int_of_float (scalar tag) = current then
                   fresh := grads :: !fresh

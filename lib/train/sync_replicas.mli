@@ -63,12 +63,12 @@ val chief_step : ?deadline:float -> t -> Octf.Session.t -> unit
     the round's gradients — dropping stale tags — average, apply, bump
     the step tag, release tokens. No-op under [Async].
 
-    [deadline] bounds each gradient collection: if it expires with at
-    least one fresh gradient in hand, the chief {e abandons} the rest of
-    the round and applies the average of what arrived — the backup-worker
-    idea of §4.4, where the first m of n updates win and stragglers'
-    work is discarded. With no fresh gradients the deadline error
-    propagates. *)
+    [deadline] bounds the whole round (one budget shared by every
+    dequeue in it): if it expires with at least one fresh gradient in
+    hand, the chief {e abandons} the rest of the round and applies the
+    average of what arrived — the backup-worker idea of §4.4, where the
+    first m of n updates win and stragglers' work is discarded. With no
+    fresh gradients the deadline error propagates. *)
 
 val start : t -> Octf.Session.t -> unit
 (** Prime the token queue so workers can take their first step. *)

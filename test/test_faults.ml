@@ -186,6 +186,61 @@ let test_queue_cancel_wakes_enqueue () =
           Alcotest.failf "expected Deadline_exceeded, got %s"
             (Step_failure.cause_message c))
 
+(* Regression: a waiter that observes deadline expiry synchronously
+   ([Cancel.check] polled inside the queue's critical section) must not
+   fire wakers from its own thread — its registered waker relocks the
+   queue mutex it already holds. It only sets the cause; the watchdog
+   fires the wakers, including for peers parked on other queues. *)
+let test_sync_deadline_poll_in_queue_wait () =
+  let q1 = Queue_impl.create ~name:"q1" ~capacity:1 ~num_components:1 () in
+  let q2 = Queue_impl.create ~name:"q2" ~capacity:1 ~num_components:1 () in
+  (* Deterministic half: the deadline has already lapsed when the
+     dequeue takes the queue lock, so the very first poll detects it. *)
+  let expired = Cancel.create ~deadline:0.0 () in
+  Fun.protect ~finally:(fun () -> Cancel.complete expired) @@ fun () ->
+  (match Queue_impl.dequeue ~cancel:expired q1 with
+  | _ -> Alcotest.fail "dequeue on empty queue produced a value"
+  | exception Step_failure.Error f -> (
+      match f.Step_failure.cause with
+      | Step_failure.Deadline_exceeded _ -> ()
+      | c ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (Step_failure.cause_message c)));
+  (* Racy half: a peer parks on q2 before the deadline lapses; the main
+     thread polls on q1 right around expiry, racing the watchdog for
+     detection. Whoever wins, neither thread may crash or stay parked. *)
+  let cancel = Cancel.create ~deadline:0.05 () in
+  Fun.protect ~finally:(fun () -> Cancel.complete cancel) @@ fun () ->
+  let peer_result = ref `Pending in
+  let peer =
+    Thread.create
+      (fun () ->
+        match Queue_impl.dequeue ~cancel q2 with
+        | _ -> peer_result := `Value
+        | exception Step_failure.Error f ->
+            peer_result := `Failure f.Step_failure.cause
+        | exception e -> peer_result := `Other (Printexc.to_string e))
+      ()
+  in
+  Thread.delay 0.05;
+  (match Queue_impl.dequeue ~cancel q1 with
+  | _ -> Alcotest.fail "dequeue on empty queue produced a value"
+  | exception Step_failure.Error f -> (
+      match f.Step_failure.cause with
+      | Step_failure.Deadline_exceeded _ -> ()
+      | c ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (Step_failure.cause_message c)));
+  Thread.join peer;
+  match !peer_result with
+  | `Failure (Step_failure.Deadline_exceeded _) -> ()
+  | `Value -> Alcotest.fail "peer dequeue produced a value"
+  | `Pending -> Alcotest.fail "peer never woke"
+  | `Failure c ->
+      Alcotest.failf "peer: expected Deadline_exceeded, got %s"
+        (Step_failure.cause_message c)
+  | `Other e -> Alcotest.failf "peer raised %s" e
+
 let test_close_wakes_all_waiters () =
   let q =
     Queue_impl.create ~name:"q" ~capacity:4 ~num_components:1 ()
@@ -326,7 +381,7 @@ let test_supervisor_resumes_from_checkpoint () =
   let stats =
     Octf_train.Supervisor.run sup ~steps:20
       ~init:(fun () -> Session.run_unit s [ Vs.init_op store ])
-      (fun ~step:_ -> Session.run_unit s [ bump ])
+      (fun ~step:_ ~deadline:_ -> Session.run_unit s [ bump ])
   in
   Alcotest.(check int) "one failure" 1 !failures;
   Alcotest.(check int) "one restore" 1 !restores;
@@ -385,10 +440,7 @@ let test_ps_kill_recovery_converges () =
     let stats =
       Octf_train.Supervisor.run sup ~steps:60
         ~init:(fun () -> Session.run_unit s [ Vs.init_op store ])
-        (fun ~step:_ ->
-          Session.run_unit
-            ?deadline:(Octf_train.Supervisor.deadline sup)
-            s [ update ])
+        (fun ~step:_ ~deadline -> Session.run_unit ?deadline s [ update ])
     in
     let final = scalar (List.hd (Session.run s [ w.Vs.read ])) in
     (final, stats, !seen_failure)
@@ -455,6 +507,8 @@ let suite =
     Alcotest.test_case "recv honours deadline" `Quick test_recv_deadline;
     Alcotest.test_case "cancel wakes blocked dequeue" `Quick
       test_queue_cancel_wakes_dequeue;
+    Alcotest.test_case "polled deadline in queue wait" `Quick
+      test_sync_deadline_poll_in_queue_wait;
     Alcotest.test_case "deadline wakes blocked enqueue" `Quick
       test_queue_cancel_wakes_enqueue;
     Alcotest.test_case "close wakes all waiters" `Quick

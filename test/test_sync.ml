@@ -79,6 +79,31 @@ let test_sync_determinism_matches_single () =
   Alcotest.(check int) "one round" 1 gs;
   Alcotest.(check (float 1e-5)) "like single sgd step" 5.0 wv
 
+let test_backup_round_deadline_abandons () =
+  (* Stale dropping + round abandonment (§4.4 turned around): the round
+     deadline is one absolute budget, so a stale leftover dequeued along
+     the way does not reset the clock, and a round that cannot fill
+     closes with the fresh gradients it has. *)
+  let s, _store, _w, coord = build (Sr.Sync_backup { aggregate = 2 }) 3 in
+  Sr.start coord s;
+  (* Round 0: all three workers enqueue tag-0 gradients; the chief
+     consumes only two, so the third survives into round 1 stale. *)
+  for _ = 1 to 3 do
+    Sr.worker_step coord s
+  done;
+  Sr.chief_step coord s;
+  Alcotest.(check int) "round 0 applied" 1 (Sr.global_step coord s);
+  (* Round 1: one fresh gradient (tag 1) queued behind the stale
+     leftover; the second never comes. *)
+  Sr.worker_step coord s;
+  let t0 = Unix.gettimeofday () in
+  Sr.chief_step ~deadline:0.3 coord s;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "abandoned round applied" 2 (Sr.global_step coord s);
+  Alcotest.(check bool) "one round budget, not per-dequeue" true
+    (elapsed < 1.5);
+  Sr.shutdown coord s
+
 let test_build_validation () =
   let b = B.create () in
   let store = Vs.create b in
@@ -98,5 +123,7 @@ let suite =
     Alcotest.test_case "backup m-of-n" `Quick test_backup_mode_applies_m_of_n;
     Alcotest.test_case "sync equals single step" `Quick
       test_sync_determinism_matches_single;
+    Alcotest.test_case "backup round deadline abandons" `Quick
+      test_backup_round_deadline_abandons;
     Alcotest.test_case "build validation" `Quick test_build_validation;
   ]
