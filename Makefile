@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke fault-smoke ci clean
+.PHONY: all build test fmt bench-smoke fault-smoke metrics-smoke ci clean
 
 all: build
 
@@ -21,10 +21,23 @@ bench-smoke:
 fault-smoke:
 	dune exec bin/octf_cli.exe -- fault-smoke
 
-ci: build test fmt bench-smoke fault-smoke
+# Pool-scheduled training run with metrics export; asserts the
+# acceptance-critical series (queue depth, rendezvous bytes, step
+# counter) are present and non-zero in valid Prometheus text format.
+metrics-smoke:
+	dune exec bin/octf_cli.exe -- train --steps 30 --scheduler pool \
+	  --metrics=METRICS_train.prom --stats-every 10
+	grep -Eq '^octf_queue_depth_max\{queue="input"\} [1-9]' METRICS_train.prom
+	grep -Eq '^octf_rendezvous_send_bytes_total [1-9]' METRICS_train.prom
+	grep -Eq '^octf_session_steps_total [1-9]' METRICS_train.prom
+	grep -Eq '^# TYPE octf_session_step_seconds histogram' METRICS_train.prom
+
+ci: build test fmt bench-smoke fault-smoke metrics-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
 	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test faults
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test faults
+	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test metrics
+	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test metrics
 
 clean:
 	dune clean

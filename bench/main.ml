@@ -90,13 +90,17 @@ let smoke_mode () =
   | Some ("" | "0") | None -> false
   | Some _ -> true
 
-(* Mean seconds per [Session.run] step, after one warm-up step that
-   pays plan compilation. *)
+(* Mean seconds per step, after one warm-up step that pays plan
+   compilation. Timed through [run_with_metadata] with default options
+   so the benchmark exercises the same entry point the observability
+   layer instruments (stats collection off: its cost must not leak into
+   the dispatch numbers). *)
 let time_steps session sink ~iters =
   ignore (Octf.Session.run session [ sink ]);
+  let options = Octf.Session.Run_options.default in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to iters do
-    ignore (Octf.Session.run session [ sink ])
+    ignore (Octf.Session.run_with_metadata ~options session [ sink ])
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int iters
 

@@ -175,41 +175,142 @@ let deadline_arg =
 
 let deadline_of_ms = Option.map (fun ms -> ms /. 1000.0)
 
+(* ----------------------------- metrics ----------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump a snapshot of the process metrics registry at exit. With no \
+           $(docv) (or $(docv) = -), print Prometheus text format to stdout; \
+           with a path, write the file ($(b,.json) suffix selects the JSON \
+           exporter, anything else Prometheus text). Also enables per-kernel \
+           timing.")
+
+let stats_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stats-every" ] ~docv:"N"
+        ~doc:
+          "During $(b,train), collect per-node step statistics \
+           (Run_metadata with collect_stats) every $(docv) steps and log a \
+           metrics summary plus the per-op breakdown.")
+
+let dump_metrics = function
+  | None -> ()
+  | Some "-" -> print_string (Octf.Metrics.to_prometheus Octf.Metrics.default)
+  | Some path ->
+      let body =
+        if Filename.check_suffix path ".json" then
+          Octf.Metrics.to_json Octf.Metrics.default
+        else Octf.Metrics.to_prometheus Octf.Metrics.default
+      in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Format.printf "metrics snapshot written to %s@." path
+
 (* ------------------------------ train ------------------------------ *)
 
-let train steps lr scheduler deadline_ms fault fault_seed =
+(* The train subcommand is deliberately a miniature of Figure 1: the
+   weight vector lives on a "ps" task, the compute (and the FIFO input
+   queue feeding it) on a "worker" task, so every step exercises
+   partitioned execution with real Send/Recv rendezvous traffic and
+   queue backpressure — the paths the metrics registry instruments. *)
+let train steps lr scheduler deadline_ms fault fault_seed metrics stats_every =
   let module Vs = Octf_nn.Var_store in
   let deadline = deadline_of_ms deadline_ms in
+  if metrics <> None || stats_every <> None then
+    Octf.Metrics.set_kernel_timing true;
   (match fault with
   | Some specs -> Octf.Fault_injector.install ~seed:fault_seed specs
   | None -> Octf.Fault_injector.install_from_env ());
   Fun.protect ~finally:Octf.Fault_injector.reset @@ fun () ->
   let dim = 3 in
   let true_w = [| 2.0; -3.0; 0.5 |] in
+  let cluster =
+    Octf.Cluster.create
+      ~jobs:
+        [ ("ps", 1, [ Octf.Device.CPU ]); ("worker", 1, [ Octf.Device.CPU ]) ]
+  in
   let b = B.create () in
   let store = Vs.create b in
-  let x = B.placeholder b ~shape:[| 32; dim |] Dtype.F32 in
-  let y = B.placeholder b ~shape:[| 32; 1 |] Dtype.F32 in
-  let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [| dim; 1 |] in
+  let w =
+    Vs.get store ~device:"/job:ps/task:0" ~init:Octf_nn.Init.zeros ~name:"w"
+      [| dim; 1 |]
+  in
+  (* Input pipeline: feed placeholders into a bounded FIFO queue on the
+     worker; the training step dequeues its batch from it. *)
+  let x_in = B.placeholder b ~name:"x_in" ~shape:[| 32; dim |] Dtype.F32 in
+  let y_in = B.placeholder b ~name:"y_in" ~shape:[| 32; 1 |] Dtype.F32 in
+  let queue, enqueue, x, y =
+    B.with_device b "/job:worker/task:0" (fun () ->
+        let queue =
+          B.fifo_queue b ~name:"input" ~capacity:8 ~num_components:2 ()
+        in
+        let enqueue = B.enqueue b queue [ x_in; y_in ] in
+        match B.dequeue b queue ~num_components:2 with
+        | [ x; y ] -> (queue, enqueue, x, y)
+        | _ -> assert false)
+  in
+  ignore queue;
   let loss =
-    Octf_nn.Losses.mse b ~predictions:(B.matmul b x w.Vs.read) ~targets:y
+    B.with_device b "/job:worker/task:0" (fun () ->
+        Octf_nn.Losses.mse b ~predictions:(B.matmul b x w.Vs.read) ~targets:y)
   in
   let train_op = Octf_train.Optimizer.minimize store ~lr ~loss () in
-  let session = Octf.Session.create ~scheduler (B.graph b) in
+  let session = Octf.Cluster.session cluster ~scheduler (B.graph b) in
   let rng = Rng.create 12 in
+  let monitor =
+    Option.map
+      (fun every ->
+        Octf_train.Monitor.create ~every
+          ~log:(fun line -> Format.printf "%s@." line)
+          ())
+      stats_every
+  in
   let report step l =
     if (step + 1) mod (max 1 (steps / 10)) = 0 then
       Format.printf "step %4d loss %.6f@." (step + 1) (Tensor.flat_get_f l 0)
   in
+  let next_batch () =
+    Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
+      ~bias:0.0 ~noise:0.01
+  in
+  let fill ?deadline () =
+    let xs, ys = next_batch () in
+    Octf.Session.run_unit ~feeds:[ (x_in, xs); (y_in, ys) ] ?deadline session
+      [ enqueue ]
+  in
   let one_step ~step ~deadline =
-    let xs, ys =
-      Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
-        ~bias:0.0 ~noise:0.01
+    fill ?deadline ();
+    let collect =
+      match monitor with
+      | Some m -> Octf_train.Monitor.should_sample m ~step
+      | None -> false
     in
-    let feeds = [ (x, xs); (y, ys) ] in
-    match Octf.Session.run ~feeds ?deadline session [ loss; train_op ] with
-    | [ l; _ ] -> report step l
+    let options =
+      Octf.Session.Run_options.v ?deadline ~collect_stats:collect ()
+    in
+    match
+      Octf.Session.run_with_metadata ~options session [ loss; train_op ]
+    with
+    | [ l; _ ], md ->
+        report step l;
+        Option.iter
+          (fun m -> Octf_train.Monitor.on_step m ~step ~metadata:md ())
+          monitor
     | _ -> assert false
+  in
+  (* Two batches of head start so the queue always has work buffered:
+     the depth gauge stays positive for the whole run. *)
+  let prefill () =
+    for _ = 1 to 2 do
+      fill ()
+    done
   in
   (if Octf.Fault_injector.active () then begin
      (* Faults armed: run under the supervisor so failed steps recover
@@ -225,11 +326,21 @@ let train steps lr scheduler deadline_ms fault fault_seed =
            | Octf_train.Supervisor.Restored (step, path) ->
                Format.printf "restored %s, resuming at step %d@." path step
            | _ -> ())
+         ~on_recover:(fun _ ->
+           (* Restart any killed task with empty memory; init + restore
+              then rebuild its state (§4.3). *)
+           List.iter
+             (fun (job, task) ->
+               Octf.Fault_injector.revive_task ~job ~task;
+               Octf.Cluster.restart_task cluster ~job ~task)
+             (Octf.Fault_injector.killed_tasks ()))
          ~saver ~prefix session
      in
      let stats =
        Octf_train.Supervisor.run sup ~steps
-         ~init:(fun () -> Octf.Session.run_unit session [ Vs.init_op store ])
+         ~init:(fun () ->
+           Octf.Session.run_unit session [ Vs.init_op store ];
+           prefill ())
          one_step
      in
      Format.printf "injected faults: %d, restores: %d, checkpoints: %d@."
@@ -239,6 +350,7 @@ let train steps lr scheduler deadline_ms fault fault_seed =
    end
    else begin
      Octf.Session.run_unit session [ Vs.init_op store ];
+     prefill ();
      for step = 0 to steps - 1 do
        one_step ~step ~deadline
      done
@@ -251,7 +363,8 @@ let train steps lr scheduler deadline_ms fault fault_seed =
     (String.concat "; "
        (Array.to_list (Array.map (Printf.sprintf "%.3f") learned)))
     (String.concat "; "
-       (Array.to_list (Array.map (Printf.sprintf "%.3f") true_w)))
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") true_w)));
+  dump_metrics metrics
 
 let train_cmd =
   let steps =
@@ -261,10 +374,13 @@ let train_cmd =
     Arg.(value & opt float 0.1 & info [ "lr" ] ~doc:"Learning rate.")
   in
   Cmd.v
-    (Cmd.info "train" ~doc:"Train a linear model end to end (quick sanity run)")
+    (Cmd.info "train"
+       ~doc:
+         "Train a linear model on an in-process ps/worker cluster with a \
+          queued input pipeline (quick sanity run)")
     Term.(
       const train $ steps $ lr $ scheduler_arg $ deadline_arg $ fault_arg
-      $ fault_seed_arg)
+      $ fault_seed_arg $ metrics_arg $ stats_every_arg)
 
 (* --------------------------- fault-smoke --------------------------- *)
 
@@ -328,8 +444,9 @@ let fault_smoke_cmd =
 
 (* ------------------------------ trace ------------------------------ *)
 
-let trace out scheduler =
+let trace out scheduler metrics =
   let module Vs = Octf_nn.Var_store in
+  if metrics <> None then Octf.Metrics.set_kernel_timing true;
   let b = B.create () in
   let store = Vs.create b in
   let x = B.const b (Tensor.ones Dtype.F32 [| 8; 16 |]) in
@@ -344,16 +461,26 @@ let trace out scheduler =
   let train_op = Octf_train.Optimizer.minimize store ~lr:0.01 ~loss () in
   let session = Octf.Session.create ~scheduler (B.graph b) in
   Octf.Session.run_unit session [ Vs.init_op store ];
-  let _, tracer = Octf.Session.run_traced session [ loss; train_op ] in
+  let _, md =
+    Octf.Session.run_with_metadata
+      ~options:(Octf.Session.Run_options.v ~trace:true ~collect_stats:true ())
+      session [ loss; train_op ]
+  in
+  let tracer = Option.get md.Octf.Session.Run_metadata.tracer in
   Format.printf "%a" Octf.Tracer.pp_summary tracer;
-  match out with
+  (match md.Octf.Session.Run_metadata.step_stats with
+  | Some stats ->
+      Format.printf "%a" Octf.Step_stats.pp_summary stats
+  | None -> ());
+  (match out with
   | None -> ()
   | Some path ->
       let oc = open_out path in
       output_string oc (Octf.Tracer.to_chrome_trace tracer);
       close_out oc;
       Format.printf "chrome trace written to %s (load in about://tracing)@."
-        path
+        path);
+  dump_metrics metrics
 
 let trace_cmd =
   let out =
@@ -365,7 +492,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Profile one training step and print a per-op kernel summary")
-    Term.(const trace $ out $ scheduler_arg)
+    Term.(const trace $ out $ scheduler_arg $ metrics_arg)
 
 let () =
   let info =

@@ -81,8 +81,10 @@ let run_mode name mode ~num_workers ~steps_per_worker =
       done;
       Sr.shutdown coord session;
       List.iter Thread.join threads);
-  match Octf.Session.run session [ w.Vs.read ] with
-  | [ learned ] ->
+  match
+    Octf.Session.run_with_metadata session [ w.Vs.read ]
+  with
+  | [ learned ], _ ->
       let err = ref 0.0 in
       Array.iteri
         (fun i v -> err := !err +. Float.abs (Tensor.flat_get_f learned i -. v))

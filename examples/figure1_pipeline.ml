@@ -105,14 +105,26 @@ let () =
           ())
   in
 
-  (* Training steps drain it concurrently. *)
+  (* Training steps drain it concurrently; every 20th step also collects
+     per-node step stats through the Run_options/Run_metadata API. *)
   let steps = (2 * 400 / batch) - 8 in
   for step = 1 to steps do
-    match Octf.Session.run session [ loss; accuracy; train_op ] with
-    | [ l; a; _ ] ->
-        if step mod 20 = 0 then begin
+    let collect_stats = step mod 20 = 0 in
+    let options =
+      Octf.Session.Run_options.v ~targets:[ train_op ] ~collect_stats ()
+    in
+    match
+      Octf.Session.run_with_metadata ~options session [ loss; accuracy ]
+    with
+    | [ l; a ], md ->
+        if collect_stats then begin
           Printf.printf "step %3d  loss %.4f  accuracy %.2f\n%!" step
             (Tensor.flat_get_f l 0) (Tensor.flat_get_f a 0);
+          (match md.Octf.Session.Run_metadata.step_stats with
+          | Some stats ->
+              Printf.printf "  %s\n%!"
+                (Format.asprintf "%a" Octf.Step_stats.pp_summary stats)
+          | None -> ());
           ignore
             (Octf_train.Saver.save_numbered saver session ~prefix:ckpt_prefix
                ~step)

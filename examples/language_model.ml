@@ -93,13 +93,13 @@ let train name model budget_s =
       Octf_data.Synthetic.lm_batch rng ~stream ~batch ~unroll
         ~position:(!steps * batch)
     in
-    (match
-       Octf.Session.run
-         ~feeds:[ (model.inputs, xs); (model.targets, ys) ]
-         session
-         [ model.loss; model.train_op ]
-     with
-    | [ l; _ ] ->
+    let options =
+      Octf.Session.Run_options.v
+        ~feeds:[ (model.inputs, xs); (model.targets, ys) ]
+        ~targets:[ model.train_op ] ()
+    in
+    (match Octf.Session.run_with_metadata ~options session [ model.loss ] with
+    | [ l ], _ ->
         last_loss := Tensor.flat_get_f l 0;
         if Float.is_nan !first_loss then first_loss := !last_loss
     | _ -> assert false);

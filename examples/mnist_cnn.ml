@@ -96,9 +96,14 @@ let () =
   in
 
   let ckpt = Filename.temp_file "mnist_cnn" ".ckpt" in
+  (* [train_op] is a target: executed for effect, not fetched. *)
+  let step_options = Octf.Session.Run_options.v ~targets:[ train_op ] () in
   for step = 1 to steps do
-    (match Octf.Session.run session [ loss; accuracy; train_op ] with
-    | [ l; a; _ ] ->
+    (match
+       Octf.Session.run_with_metadata ~options:step_options session
+         [ loss; accuracy ]
+     with
+    | [ l; a ], _ ->
         if step mod 20 = 0 then begin
           Printf.printf "step %3d  loss %.4f  accuracy %.2f\n%!" step
             (Tensor.flat_get_f l 0) (Tensor.flat_get_f a 0);

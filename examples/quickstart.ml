@@ -39,9 +39,12 @@ let () =
     in
     let feeds = [ (x, xs); (y, ys) ] in
     if step mod 50 = 0 then begin
-      match Octf.Session.run ~feeds session [ loss ] with
-      | [ l ] ->
-          Printf.printf "step %3d  loss %.5f\n%!" step (Tensor.flat_get_f l 0)
+      let options = Octf.Session.Run_options.v ~feeds () in
+      match Octf.Session.run_with_metadata ~options session [ loss ] with
+      | [ l ], md ->
+          Printf.printf "step %3d  loss %.5f  (%.2f ms)\n%!" step
+            (Tensor.flat_get_f l 0)
+            (1000.0 *. md.Octf.Session.Run_metadata.wall_time)
       | _ -> assert false
     end;
     Octf.Session.run_unit ~feeds session [ train_op ]

@@ -24,16 +24,26 @@ let make ?budget ?deadline () =
    rendezvous' mutex, to broadcast their condition), so running them
    under ours would invert the order against threads that call {!check}
    from inside those critical sections. *)
+let m_fired kind =
+  Metrics.Counter.v ~help:"Cancellation tokens fired, by cause kind"
+    ~labels:[ ("kind", kind) ]
+    "octf_cancel_fired_total"
+
 let set_cause t cause =
   Mutex.lock t.mutex;
+  let first = t.state = None in
   let wakers =
-    if t.state = None then begin
+    if first then begin
       t.state <- Some cause;
       List.map snd t.wakers
     end
     else []
   in
   Mutex.unlock t.mutex;
+  (* Count after unlocking: the metric mutex must stay a leaf, and the
+     caller may already hold a queue/rendezvous mutex. *)
+  if first then
+    Metrics.Counter.incr (m_fired (Step_failure.cause_kind cause));
   wakers
 
 let fire wakers = List.iter (fun f -> f ()) wakers

@@ -289,27 +289,56 @@ let child_instance st frame (parent : instance) parent_iter =
       Hashtbl.replace st.instances key i;
       i
 
-let trace tracer (n : Node.t) ~step_id f =
-  match tracer with
-  | None -> f ()
-  | Some t ->
-      let start = Unix.gettimeofday () in
-      let result = f () in
-      let stop = Unix.gettimeofday () in
-      Tracer.record t
-        {
-          Tracer.name = n.Node.name;
-          op_type = n.Node.op_type;
-          device =
-            (match n.Node.assigned_device with
-            | Some d -> Device.to_string d
-            | None -> "/device:CPU:0");
-          lane = (Domain.self () :> int);
-          start;
-          duration = stop -. start;
-          step_id;
-        };
-      result
+let m_kernels =
+  Metrics.Counter.v ~help:"Kernels dispatched by the executor"
+    "octf_executor_kernels_total"
+
+let m_op_seconds op =
+  Metrics.Counter.v ~help:"Kernel wall-clock seconds by op type"
+    ~labels:[ ("op_type", op) ]
+    "octf_executor_op_seconds_total"
+
+let m_lane_busy lane =
+  Metrics.Counter.v ~help:"Kernel wall-clock seconds by execution lane"
+    ~labels:[ ("lane", string_of_int lane) ]
+    "octf_executor_lane_busy_seconds_total"
+
+(* Wrap one kernel invocation. The dispatch counter is always bumped;
+   the gettimeofday pair (and the derived per-op-type / per-lane series
+   and tracer event) is gated on an active tracer or the process-wide
+   [Metrics.kernel_timing] flag, so the null-op dispatch benchmark pays
+   one counter increment and nothing else. [bytes_of] extracts the
+   payload size from the kernel's result (Recv'd tensor bytes). *)
+let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0) f =
+  Metrics.Counter.incr m_kernels;
+  if Option.is_none tracer && not (Metrics.kernel_timing ()) then f ()
+  else begin
+    let start = Unix.gettimeofday () in
+    let result = f () in
+    let stop = Unix.gettimeofday () in
+    let duration = stop -. start in
+    let lane = (Domain.self () :> int) in
+    Metrics.Counter.add_f (m_op_seconds n.Node.op_type) duration;
+    Metrics.Counter.add_f (m_lane_busy lane) duration;
+    (match tracer with
+    | None -> ()
+    | Some t ->
+        Tracer.record t
+          {
+            Tracer.name = n.Node.name;
+            op_type = n.Node.op_type;
+            device =
+              (match n.Node.assigned_device with
+              | Some d -> Device.to_string d
+              | None -> "/device:CPU:0");
+            lane;
+            start;
+            duration;
+            step_id;
+            bytes = bytes_of result;
+          });
+    result
+  end
 
 let blocking_op = function
   | "Recv" | "Dequeue" | "DequeueMany" | "Enqueue" | "EnqueueMany" -> true
@@ -542,8 +571,14 @@ let failure_of_exn ~node ~device e =
    building a [Scheduler.Offload] — applying it runs the kernel. *)
 let offload_kernel ~tracer ~rendezvous ~cancel ~step_id (n : Node.t) kernel
     ctx ~finish =
+  let bytes_of outputs =
+    match n.Node.op_type with
+    | "Recv" ->
+        Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 outputs
+    | _ -> 0
+  in
   match
-    trace tracer n ~step_id (fun () ->
+    trace tracer n ~step_id ~bytes_of (fun () ->
         Cancel.check_opt cancel;
         Fault_injector.kernel_hook n ~step_id;
         kernel ctx)
@@ -796,8 +831,9 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
               | Some v ->
                   Some
                     (fun () ->
-                      trace tracer sp.s_nodes.(idx).node ~step_id (fun () ->
-                          ());
+                      trace tracer sp.s_nodes.(idx).node ~step_id
+                        ~bytes_of:(fun () -> Value.byte_size v)
+                        (fun () -> ());
                       complete idx [| v |])
               | None -> None));
       rendezvous;
@@ -898,8 +934,9 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
               | Some v ->
                   Some
                     (fun () ->
-                      trace st.tracer cn.node ~step_id:st.step_id (fun () ->
-                          ());
+                      trace st.tracer cn.node ~step_id:st.step_id
+                        ~bytes_of:(fun () -> Value.byte_size v)
+                        (fun () -> ());
                       finish_node st cn inst it [| v |])
               | None -> None));
       rendezvous;

@@ -205,8 +205,14 @@ let flaky_coin ~seed ~step_id ~node_id =
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
 
-let inject msg =
+let m_injected kind =
+  Metrics.Counter.v ~help:"Faults injected, by kind"
+    ~labels:[ ("kind", kind) ]
+    "octf_faults_injected_total"
+
+let inject ~kind msg =
   with_lock (fun () -> state.injected <- state.injected + 1);
+  Metrics.Counter.incr (m_injected kind);
   raise (Injected msg)
 
 let kernel_hook (n : Node.t) ~step_id =
@@ -230,7 +236,7 @@ let kernel_hook (n : Node.t) ~step_id =
     (match n.Node.assigned_device with
     | Some d ->
         if not (task_alive ~job:d.Device.job ~task:d.Device.task) then
-          inject
+          inject ~kind:"kill"
             (Printf.sprintf "/job:%s/task:%d is down" d.Device.job
                d.Device.task)
     | None -> ());
@@ -244,20 +250,24 @@ let kernel_hook (n : Node.t) ~step_id =
                      && matches_node pattern n ->
                   consumed := true;
                   Some
-                    (Printf.sprintf "kernel fault %s on %s (step %d)"
-                       pattern n.Node.name step_id)
+                    ( "kernel",
+                      Printf.sprintf "kernel fault %s on %s (step %d)"
+                        pattern n.Node.name step_id )
               | Flaky_kernel { pattern; prob }
                 when matches_node pattern n
                      && flaky_coin ~seed:state.seed ~step_id
                           ~node_id:n.Node.id
                         < prob ->
                   Some
-                    (Printf.sprintf "flaky kernel %s on %s (step %d)"
-                       pattern n.Node.name step_id)
+                    ( "flaky",
+                      Printf.sprintf "flaky kernel %s on %s (step %d)"
+                        pattern n.Node.name step_id )
               | _ -> None)
             state.specs)
     in
-    match fire with Some msg -> inject msg | None -> ()
+    match fire with
+    | Some (kind, msg) -> inject ~kind msg
+    | None -> ()
   end
 
 let send_hook ~key ~step_id : send_action =
@@ -283,4 +293,8 @@ let send_hook ~key ~step_id : send_action =
               | _ -> None)
             state.specs)
     in
-    Option.value ~default:`Deliver action
+    (match action with
+    | Some `Drop -> Metrics.Counter.incr (m_injected "drop")
+    | Some (`Delay _) -> Metrics.Counter.incr (m_injected "delay")
+    | None -> ());
+    (Option.value ~default:`Deliver action :> send_action)

@@ -1,0 +1,124 @@
+(** Process-wide, domain-safe metrics registry.
+
+    Families of counters, gauges and histograms, keyed by name, with
+    optional labels; each (name, labels) pair is one time series. All
+    operations are safe to call from any domain or thread. Metric
+    mutexes are leaf locks: instrumented code may update metrics while
+    holding its own locks (queue mutex, rendezvous mutex, ...) without
+    creating lock-order cycles, because metrics code never takes any
+    lock other than its own.
+
+    Handles returned by [Counter.v] / [Gauge.v] / [Histogram.v] are
+    cheap to keep around; hot paths should create them once (at module
+    or structure-creation time) and update them per event. Calling
+    [v] again with the same name and labels returns the same series.
+
+    Exporters: {!to_prometheus} renders the Prometheus text exposition
+    format; {!to_json} renders a JSON snapshot. Both are deterministic
+    (families and series sorted by name/labels). *)
+
+type t
+(** A registry: an isolated namespace of metric families. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry used by all built-in instrumentation. *)
+
+val reset : t -> unit
+(** Zero every series in the registry (counters, gauges, histogram sums,
+    counts and buckets). Series and families remain registered. Mainly
+    for tests. *)
+
+module Counter : sig
+  type m
+
+  val v :
+    ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+    string -> m
+  (** Find or create the counter series [name]{[labels]}. Raises
+      [Invalid_argument] if [name] is already registered with a
+      different metric kind. *)
+
+  val incr : m -> unit
+  val add : m -> int -> unit
+  val add_f : m -> float -> unit
+  (** Negative increments are ignored (counters are monotone). *)
+
+  val value : m -> float
+end
+
+module Gauge : sig
+  type m
+
+  val v :
+    ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+    string -> m
+
+  val set : m -> float -> unit
+  val add : m -> float -> unit
+  val incr : m -> unit
+  val decr : m -> unit
+
+  val max_to : m -> float -> unit
+  (** Raise the gauge to [x] if [x] is larger (high-watermark). *)
+
+  val value : m -> float
+end
+
+module Histogram : sig
+  type m
+
+  val v :
+    ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+    ?buckets:float array -> string -> m
+  (** [buckets] are upper bounds, strictly increasing; defaults to a
+      latency-oriented ladder from 10µs to 5s. The bucket layout is
+      fixed by the first registration of the family. *)
+
+  val observe : m -> float -> unit
+
+  val time : m -> (unit -> 'a) -> 'a
+  (** Run the thunk and observe its wall-clock duration in seconds,
+      also on exception. *)
+
+  val sum : m -> float
+  val count : m -> int
+end
+
+(** {1 Kernel-timing gate}
+
+    Per-kernel [gettimeofday] pairs are too expensive for the null-op
+    dispatch benchmark, so per-op-type timing in the executor is off by
+    default and enabled by tracing or by this process-wide flag.
+    Kernel {e counts} are always collected. *)
+
+val set_kernel_timing : bool -> unit
+val kernel_timing : unit -> bool
+
+(** {1 Snapshots and exporters} *)
+
+type snapshot_sample = {
+  name : string;
+  kind : [ `Counter | `Gauge | `Histogram ];
+  help : string;
+  labels : (string * string) list;  (** sorted by label name *)
+  value : float;  (** counter/gauge value; histogram sum *)
+  count : int;  (** histogram observation count *)
+  buckets : (float * int) list;  (** (upper bound, cumulative count) *)
+}
+
+val snapshot : t -> snapshot_sample list
+(** Consistent-enough point-in-time view: each series is read under its
+    own lock; the set of series is sorted by (name, labels). *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format v0.0.4: [# HELP]/[# TYPE] headers,
+    escaped label values, histograms as cumulative [_bucket{le=...}]
+    plus [_sum]/[_count]. *)
+
+val to_json : t -> string
+
+val find_value : ?labels:(string * string) list -> t -> string -> float option
+(** Look up one series' value (histogram: sum) in a fresh snapshot.
+    Mainly for tests. *)

@@ -1,5 +1,30 @@
 exception Aborted of string
 
+(* Process-wide series, aggregated over all live rendezvous objects
+   (sessions create one per distributed step). *)
+let m_pending =
+  Metrics.Gauge.v ~help:"Tensors sent but not yet received"
+    "octf_rendezvous_pending"
+
+let m_sends =
+  Metrics.Counter.v ~help:"Rendezvous send operations"
+    "octf_rendezvous_sends_total"
+
+let m_recvs =
+  Metrics.Counter.v ~help:"Rendezvous recv completions"
+    "octf_rendezvous_recvs_total"
+
+let m_send_bytes =
+  Metrics.Counter.v ~help:"Tensor bytes passed to rendezvous send"
+    "octf_rendezvous_send_bytes_total"
+
+let m_recv_bytes =
+  Metrics.Counter.v ~help:"Tensor bytes delivered by rendezvous recv"
+    "octf_rendezvous_recv_bytes_total"
+
+let m_aborts =
+  Metrics.Counter.v ~help:"Rendezvous aborts" "octf_rendezvous_aborts_total"
+
 type t = {
   table : (string, Value.t) Hashtbl.t;
   mutable aborted : string option;
@@ -36,6 +61,9 @@ let send t ~key v =
         raise (Step_failure.error (Step_failure.Duplicate_send key));
       Hashtbl.replace t.table key v;
       t.gen <- t.gen + 1;
+      Metrics.Counter.incr m_sends;
+      Metrics.Counter.add m_send_bytes (Value.byte_size v);
+      Metrics.Gauge.incr m_pending;
       Condition.broadcast t.cond)
 
 let recv ?cancel t ~key =
@@ -47,6 +75,9 @@ let recv ?cancel t ~key =
             match Hashtbl.find_opt t.table key with
             | Some v ->
                 Hashtbl.remove t.table key;
+                Metrics.Counter.incr m_recvs;
+                Metrics.Counter.add m_recv_bytes (Value.byte_size v);
+                Metrics.Gauge.decr m_pending;
                 v
             | None ->
                 Condition.wait t.cond t.mutex;
@@ -60,6 +91,9 @@ let try_recv t ~key =
       match Hashtbl.find_opt t.table key with
       | Some v ->
           Hashtbl.remove t.table key;
+          Metrics.Counter.incr m_recvs;
+          Metrics.Counter.add m_recv_bytes (Value.byte_size v);
+          Metrics.Gauge.decr m_pending;
           Some v
       | None -> None)
 
@@ -81,6 +115,13 @@ let wait_new ?cancel t ~last =
 
 let abort t ~reason =
   with_lock t (fun () ->
+      if t.aborted = None then begin
+        Metrics.Counter.incr m_aborts;
+        (* Entries in an aborted rendezvous can never be received (recv
+           raises); stop counting them as pending. The table itself is
+           kept so pending_keys still reports them for diagnostics. *)
+        Metrics.Gauge.add m_pending (-.float_of_int (Hashtbl.length t.table))
+      end;
       t.aborted <- Some reason;
       Condition.broadcast t.cond)
 

@@ -1,6 +1,29 @@
 
 exception Run_error of Step_failure.t
 
+let m_steps =
+  Metrics.Counter.v ~help:"Session steps started" "octf_session_steps_total"
+
+let m_cache_hits =
+  Metrics.Counter.v ~help:"Step-cache hits" "octf_session_cache_hits_total"
+
+let m_cache_misses =
+  Metrics.Counter.v ~help:"Step-cache misses (step compilations)"
+    "octf_session_cache_misses_total"
+
+let m_deadline_expiries =
+  Metrics.Counter.v ~help:"Steps failed by deadline expiry"
+    "octf_session_deadline_expiries_total"
+
+let m_errors cause =
+  Metrics.Counter.v ~help:"Step failures by cause kind"
+    ~labels:[ ("cause", cause) ]
+    "octf_session_errors_total"
+
+let m_step_seconds =
+  Metrics.Histogram.v ~help:"Step wall-clock seconds"
+    "octf_session_step_seconds"
+
 let run_error ?node ?device cause = Run_error (Step_failure.v ?node ?device cause)
 
 let invalid msg = run_error (Step_failure.Invalid_graph msg)
@@ -177,8 +200,11 @@ let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
         let sg = signature ~feed_eps ~fetch_eps ~target_ids in
         let step =
           match Hashtbl.find_opt t.cache sg with
-          | Some s -> s
+          | Some s ->
+              Metrics.Counter.incr m_cache_hits;
+              s
           | None ->
+              Metrics.Counter.incr m_cache_misses;
               let s = compile t ~feed_eps ~fetch_eps ~target_ids in
               Hashtbl.replace t.cache sg s;
               s
@@ -307,24 +333,97 @@ let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
   in
   (* Re-interleave dummy results for target-style fetches. *)
   let remaining = ref results in
-  List.map
-    (function
-      | `Target _ -> Octf_tensor.Tensor.scalar_i 0
-      | `Fetch _ -> (
-          match !remaining with
-          | v :: tl ->
-              remaining := tl;
-              v
-          | [] -> assert false))
-    fetches_tagged
+  let tensors =
+    List.map
+      (function
+        | `Target _ -> Octf_tensor.Tensor.scalar_i 0
+        | `Fetch _ -> (
+            match !remaining with
+            | v :: tl ->
+                remaining := tl;
+                v
+            | [] -> assert false))
+      fetches_tagged
+  in
+  (tensors, step_id)
+
+module Run_options = struct
+  type t = {
+    feeds : (Builder.output * Octf_tensor.Tensor.t) list;
+    targets : Builder.output list;
+    deadline : float option;
+    trace : bool;
+    collect_stats : bool;
+  }
+
+  let default =
+    {
+      feeds = [];
+      targets = [];
+      deadline = None;
+      trace = false;
+      collect_stats = false;
+    }
+
+  let v ?(feeds = []) ?(targets = []) ?deadline ?(trace = false)
+      ?(collect_stats = false) () =
+    { feeds; targets; deadline; trace; collect_stats }
+end
+
+module Run_metadata = struct
+  type t = {
+    step_id : int;
+    wall_time : float;
+    step_stats : Step_stats.t option;
+    tracer : Tracer.t option;
+  }
+end
+
+let run_with_metadata ?(options = Run_options.default) t fetches =
+  let { Run_options.feeds; targets; deadline; trace; collect_stats } =
+    options
+  in
+  (* One tracer observes the step when either consumer wants it; the
+     executor's kernel timing keys off its presence. *)
+  let tracer =
+    if trace || collect_stats then Some (Tracer.create ()) else None
+  in
+  Metrics.Counter.incr m_steps;
+  let t0 = Unix.gettimeofday () in
+  match run_with ?tracer ?deadline ~feeds ~targets t fetches with
+  | tensors, step_id ->
+      let wall_time = Unix.gettimeofday () -. t0 in
+      Metrics.Histogram.observe m_step_seconds wall_time;
+      let step_stats =
+        if collect_stats then
+          Option.map (Step_stats.of_tracer ~step_id) tracer
+        else None
+      in
+      (tensors, { Run_metadata.step_id; wall_time; step_stats; tracer })
+  | exception Run_error f ->
+      Metrics.Counter.incr
+        (m_errors (Step_failure.cause_kind f.Step_failure.cause));
+      (match f.Step_failure.cause with
+      | Step_failure.Deadline_exceeded _ ->
+          Metrics.Counter.incr m_deadline_expiries
+      | _ -> ());
+      raise (Run_error f)
+
+(* The legacy entry points are thin wrappers over {!run_with_metadata}. *)
 
 let run ?feeds ?targets ?deadline t fetches =
-  run_with ?feeds ?targets ?deadline t fetches
+  fst
+    (run_with_metadata
+       ~options:(Run_options.v ?feeds ?targets ?deadline ())
+       t fetches)
 
 let run_traced ?feeds ?targets ?deadline t fetches =
-  let tracer = Tracer.create () in
-  let results = run_with ~tracer ?feeds ?targets ?deadline t fetches in
-  (results, tracer)
+  let tensors, md =
+    run_with_metadata
+      ~options:(Run_options.v ?feeds ?targets ?deadline ~trace:true ())
+      t fetches
+  in
+  (tensors, Option.get md.Run_metadata.tracer)
 
 let run_unit ?feeds ?deadline t targets =
   ignore (run ?feeds ?deadline ~targets t [])

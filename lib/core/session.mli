@@ -53,6 +53,60 @@ val resources : t -> Resource_manager.t
 
 val resources_for : t -> Device.t -> Resource_manager.t
 
+(** Per-step execution options — TensorFlow's [RunOptions]. One value
+    gathers what used to be a growing tail of optional arguments:
+    feeds, targets, a step deadline, and the observability switches. *)
+module Run_options : sig
+  type t = {
+    feeds : (Builder.output * Tensor.t) list;
+    targets : Builder.output list;  (** run for effect only *)
+    deadline : float option;  (** step budget in seconds *)
+    trace : bool;  (** collect {!Tracer} events *)
+    collect_stats : bool;  (** build {!Step_stats} for the step *)
+  }
+
+  val default : t
+  (** No feeds, no targets, no deadline, no tracing, no stats. *)
+
+  val v :
+    ?feeds:(Builder.output * Tensor.t) list ->
+    ?targets:Builder.output list ->
+    ?deadline:float ->
+    ?trace:bool ->
+    ?collect_stats:bool ->
+    unit ->
+    t
+end
+
+(** What one step reports back — TensorFlow's [RunMetadata]. *)
+module Run_metadata : sig
+  type t = {
+    step_id : int;  (** the session-wide id of this step *)
+    wall_time : float;  (** whole-step wall-clock seconds *)
+    step_stats : Step_stats.t option;
+        (** present iff [collect_stats] was set *)
+    tracer : Tracer.t option;
+        (** present iff [trace] or [collect_stats] was set *)
+  }
+end
+
+val run_with_metadata :
+  ?options:Run_options.t ->
+  t ->
+  Builder.output list ->
+  Tensor.t list * Run_metadata.t
+(** The primary entry point: execute one step under [options] (default
+    {!Run_options.default}) and return the fetched tensors plus the
+    step's metadata. When [options.collect_stats] is set, the metadata
+    carries a {!Step_stats.t} whose {!Step_stats.total_time} equals
+    [Tracer.total_time] of the same step's tracer — both sum the same
+    per-kernel durations.
+
+    {!run}, {!run_traced} and {!run_unit} are thin wrappers over this
+    function.
+
+    @raise Run_error as {!run} does. *)
+
 val run :
   ?feeds:(Builder.output * Tensor.t) list ->
   ?targets:Builder.output list ->

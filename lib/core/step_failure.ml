@@ -29,6 +29,17 @@ let cause_message = function
   | Invalid_graph detail -> detail
   | Fetch_failed detail -> detail
 
+let cause_kind = function
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Cancelled _ -> "cancelled"
+  | Kernel_failed _ -> "kernel_failed"
+  | Fault_injected _ -> "fault_injected"
+  | Rendezvous_aborted _ -> "rendezvous_aborted"
+  | Duplicate_send _ -> "duplicate_send"
+  | Missing_task _ -> "missing_task"
+  | Invalid_graph _ -> "invalid_graph"
+  | Fetch_failed _ -> "fetch_failed"
+
 let is_cancellation = function
   | Deadline_exceeded _ | Cancelled _ -> true
   | Kernel_failed _ | Fault_injected _ | Rendezvous_aborted _

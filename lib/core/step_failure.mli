@@ -30,6 +30,10 @@ val error : ?node:string -> ?device:string -> cause -> exn
 
 val cause_message : cause -> string
 
+val cause_kind : cause -> string
+(** Stable snake_case discriminator of the cause constructor (e.g.
+    ["deadline_exceeded"]), suitable as a metric label value. *)
+
 val to_string : t -> string
 
 val is_cancellation : cause -> bool

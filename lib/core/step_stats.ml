@@ -1,0 +1,60 @@
+type node_stats = {
+  node : string;
+  op_type : string;
+  device : string;
+  lane : int;
+  start : float;
+  duration : float;
+  output_bytes : int;
+}
+
+type t = { step_id : int; nodes : node_stats list }
+
+let of_tracer ~step_id tracer =
+  let nodes =
+    List.filter_map
+      (fun (ev : Tracer.event) ->
+        if ev.step_id <> step_id then None
+        else
+          Some
+            {
+              node = ev.name;
+              op_type = ev.op_type;
+              device = ev.device;
+              lane = ev.lane;
+              start = ev.start;
+              duration = ev.duration;
+              output_bytes = ev.bytes;
+            })
+      (Tracer.events tracer)
+  in
+  { step_id; nodes }
+
+let total_time t =
+  List.fold_left (fun acc n -> acc +. n.duration) 0.0 t.nodes
+
+let total_bytes t =
+  List.fold_left (fun acc n -> acc + n.output_bytes) 0 t.nodes
+
+let by_op_type t =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun n ->
+      let count, time =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt table n.op_type)
+      in
+      Hashtbl.replace table n.op_type (count + 1, time +. n.duration))
+    t.nodes;
+  Hashtbl.fold (fun op (c, d) acc -> (op, c, d) :: acc) table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "step %d: %d nodes, %.3f ms kernel time, %d bytes@."
+    t.step_id (List.length t.nodes)
+    (1000.0 *. total_time t)
+    (total_bytes t);
+  List.iter
+    (fun (op, count, time) ->
+      Format.fprintf fmt "  %-24s %6d calls %10.3f ms@." op count
+        (1000.0 *. time))
+    (by_op_type t)

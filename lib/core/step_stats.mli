@@ -1,0 +1,37 @@
+(** Per-step execution statistics — TensorFlow's [StepStats] shape.
+
+    One record per executed node: timing, placement, execution lane and
+    output payload bytes, restricted to a single step. This is the
+    structured per-step view that supersedes scanning raw {!Tracer}
+    event lists; build one with {!of_tracer} from the tracer that
+    observed the step (as {!Session.run_with_metadata} does when
+    [collect_stats] is set).
+
+    Invariant: {!total_time} over a [Step_stats.t] built from a tracer
+    that saw exactly one step equals [Tracer.total_time] on that tracer
+    — both sum the same per-kernel durations. *)
+
+type node_stats = {
+  node : string;  (** node (operation) name in the graph *)
+  op_type : string;
+  device : string;
+  lane : int;  (** executing domain id; see {!Tracer.event} *)
+  start : float;  (** seconds, [Unix.gettimeofday] clock *)
+  duration : float;  (** kernel wall-clock seconds *)
+  output_bytes : int;  (** payload bytes (Recv tensors; 0 otherwise) *)
+}
+
+type t = { step_id : int; nodes : node_stats list }
+
+val of_tracer : step_id:int -> Tracer.t -> t
+(** Extract the events of [step_id] from a tracer, in recording order. *)
+
+val total_time : t -> float
+(** Summed kernel durations, in seconds. *)
+
+val total_bytes : t -> int
+
+val by_op_type : t -> (string * int * float) list
+(** Per op type: (type, invocations, total seconds), slowest first. *)
+
+val pp_summary : Format.formatter -> t -> unit

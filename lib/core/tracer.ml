@@ -6,6 +6,7 @@ type event = {
   start : float;
   duration : float;
   step_id : int;
+  bytes : int;
 }
 
 type t = { mutable evs : event list; mutex : Mutex.t }
@@ -38,6 +39,9 @@ let by_op_type t =
 let total_time t =
   List.fold_left (fun acc ev -> acc +. ev.duration) 0.0 (events t)
 
+let total_bytes t =
+  List.fold_left (fun acc ev -> acc + ev.bytes) 0 (events t)
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -46,12 +50,49 @@ let json_escape s =
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
 
 let lanes t =
   List.sort_uniq compare (List.map (fun ev -> (ev.device, ev.lane)) (events t))
+
+(* Per-(device, lane) busy time and utilization over the step's span.
+   Span = last event end - first event start across the whole trace, so
+   inline runs show lane 0 near 100% and pool runs show how evenly work
+   spread across worker lanes. *)
+let lane_utilization t =
+  match events t with
+  | [] -> []
+  | evs ->
+      let span_start =
+        List.fold_left (fun acc ev -> Float.min acc ev.start) infinity evs
+      in
+      let span_end =
+        List.fold_left
+          (fun acc ev -> Float.max acc (ev.start +. ev.duration))
+          neg_infinity evs
+      in
+      let span = Float.max (span_end -. span_start) 1e-9 in
+      let table = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          let key = (ev.device, ev.lane) in
+          let busy =
+            Option.value ~default:0.0 (Hashtbl.find_opt table key)
+          in
+          Hashtbl.replace table key (busy +. ev.duration))
+        evs;
+      Hashtbl.fold
+        (fun (device, lane) busy acc ->
+          (device, lane, busy, busy /. span) :: acc)
+        table []
+      |> List.sort (fun (d1, l1, _, _) (d2, l2, _, _) ->
+             compare (d1, l1) (d2, l2))
 
 let to_chrome_trace t =
   let buf = Buffer.create 4096 in
@@ -66,10 +107,10 @@ let to_chrome_trace t =
       first := false;
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d}}"
            (json_escape ev.name) (json_escape ev.op_type)
            (ev.start *. 1e6) (ev.duration *. 1e6)
-           (json_escape ev.device) ev.lane ev.step_id ev.lane))
+           (json_escape ev.device) ev.lane ev.step_id ev.lane ev.bytes))
     (events t);
   Buffer.add_string buf "]}";
   Buffer.contents buf
@@ -82,4 +123,13 @@ let pp_summary fmt t =
     (fun (op, count, time) ->
       Format.fprintf fmt "  %-24s %6d calls %10.3f ms@." op count
         (1000.0 *. time))
-    (by_op_type t)
+    (by_op_type t);
+  match lane_utilization t with
+  | [] -> ()
+  | lanes ->
+      Format.fprintf fmt "lanes:@.";
+      List.iter
+        (fun (device, lane, busy, util) ->
+          Format.fprintf fmt "  %s/lane:%d %10.3f ms busy %5.1f%%@." device
+            lane (1000.0 *. busy) (100.0 *. util))
+        lanes

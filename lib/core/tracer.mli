@@ -22,6 +22,9 @@ type event = {
   start : float;  (** seconds, [Unix.gettimeofday] clock *)
   duration : float;
   step_id : int;
+  bytes : int;
+      (** Payload bytes attributable to the kernel: the size of the
+          tensor received for a [Recv], 0 for most compute kernels. *)
 }
 
 type t
@@ -44,6 +47,14 @@ val by_op_type : t -> (string * int * float) list
 
 val total_time : t -> float
 (** Sum of kernel durations across all devices. *)
+
+val total_bytes : t -> int
+(** Sum of per-event payload bytes. *)
+
+val lane_utilization : t -> (string * int * float * float) list
+(** Per (device, lane): (device, lane, busy seconds, utilization), where
+    utilization is busy time divided by the trace's wall-clock span
+    (first event start to last event end). Sorted by (device, lane). *)
 
 val to_chrome_trace : t -> string
 (** Chrome trace-event JSON ("traceEvents" array of "X" events, one

@@ -42,6 +42,10 @@ let tensor_array v =
   | (Resource.Variable _ | Resource.Queue _ | Resource.Iterator _) as r ->
       invalid_arg ("Value.tensor_array: got " ^ Resource.name r)
 
+let byte_size = function
+  | Tensor t -> Tensor.byte_size t
+  | Resource _ | Dead -> 0
+
 let pp fmt = function
   | Tensor t -> Tensor.pp fmt t
   | Resource r -> Resource.pp fmt r

@@ -25,4 +25,8 @@ val iterator : t -> Resource.iterator
 
 val tensor_array : t -> Resource.tensor_array
 
+val byte_size : t -> int
+(** Payload size in bytes: the tensor's serialized size, or 0 for
+    resources and dead values. Used for transfer accounting. *)
+
 val pp : Format.formatter -> t -> unit

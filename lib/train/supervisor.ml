@@ -2,6 +2,27 @@
 
 module Step_failure = Octf.Step_failure
 module Session = Octf.Session
+module Metrics = Octf.Metrics
+
+let m_checkpoint_seconds =
+  Metrics.Histogram.v ~help:"Checkpoint save duration in seconds"
+    "octf_supervisor_checkpoint_seconds"
+
+let m_checkpoints =
+  Metrics.Counter.v ~help:"Checkpoints written by the supervisor"
+    "octf_supervisor_checkpoints_total"
+
+let m_restores =
+  Metrics.Counter.v ~help:"Checkpoint restores performed by the supervisor"
+    "octf_supervisor_restores_total"
+
+let m_step_failures =
+  Metrics.Counter.v ~help:"Supervised steps that raised Run_error"
+    "octf_supervisor_step_failures_total"
+
+let m_gave_up =
+  Metrics.Counter.v ~help:"Supervised runs abandoned after max failures"
+    "octf_supervisor_gave_up_total"
 
 type event =
   | Started of int
@@ -64,7 +85,11 @@ let step_of_path t path =
   else None
 
 let checkpoint t ~step stats =
-  let path = Saver.save_numbered t.saver t.session ~prefix:t.prefix ~step in
+  let path =
+    Metrics.Histogram.time m_checkpoint_seconds (fun () ->
+        Saver.save_numbered t.saver t.session ~prefix:t.prefix ~step)
+  in
+  Metrics.Counter.incr m_checkpoints;
   t.on_event (Checkpointed (step, path));
   stats := { !stats with checkpoints = !stats.checkpoints + 1 }
 
@@ -74,6 +99,7 @@ let restore_latest t ~fallback stats =
   | None -> fallback
   | Some path ->
       Saver.restore t.saver t.session ~path;
+      Metrics.Counter.incr m_restores;
       let step = Option.value (step_of_path t path) ~default:fallback in
       t.on_event (Restored (step, path));
       stats := { !stats with restores = !stats.restores + 1 };
@@ -98,9 +124,11 @@ let run t ~steps ?(init = fun () -> ()) body =
         incr step
     | exception Session.Run_error f ->
         stats := { !stats with failures = !stats.failures + 1 };
+        Metrics.Counter.incr m_step_failures;
         incr consecutive;
         t.on_event (Step_failed (!step, f));
         if !consecutive > t.max_failures then begin
+          Metrics.Counter.incr m_gave_up;
           t.on_event (Gave_up (!step, f));
           raise (Session.Run_error f)
         end;

@@ -5,6 +5,25 @@ module G = Octf.Gradients
 
 type mode = Async | Sync | Sync_backup of { aggregate : int }
 
+module Metrics = Octf.Metrics
+
+let m_rounds =
+  Metrics.Counter.v ~help:"Synchronous update rounds completed by the chief"
+    "octf_sync_rounds_total"
+
+let m_abandoned =
+  Metrics.Counter.v
+    ~help:"Rounds closed with fewer than m gradients (deadline hit)"
+    "octf_sync_rounds_abandoned_total"
+
+let m_applied =
+  Metrics.Counter.v ~help:"Gradient tuples averaged into applied updates"
+    "octf_sync_gradients_applied_total"
+
+let m_stale =
+  Metrics.Counter.v ~help:"Stale-tagged gradient tuples dropped by the chief"
+    "octf_sync_stale_dropped_total"
+
 (* Synchronous-mode coordination pieces. *)
 type coord = {
   aggregate : int;  (* m: gradients averaged per round *)
@@ -193,6 +212,8 @@ let chief_step ?deadline t session =
       match c.sync_apply with
       | Some op ->
           Octf.Session.run_unit ?deadline session [ op ];
+          Metrics.Counter.incr m_rounds;
+          Metrics.Counter.add m_applied t.num_workers;
           Octf.Session.run_unit session [ c.release_tokens ]
       | None ->
           (* m-of-n with staleness dropping (Figure 4(c)). The deadline
@@ -222,12 +243,16 @@ let chief_step ?deadline t session =
             | tag :: grads ->
                 if int_of_float (scalar tag) = current then
                   fresh := grads :: !fresh
+                else Metrics.Counter.incr m_stale
             | [] -> assert false
             | exception Octf.Session.Run_error f
               when Octf.Step_failure.is_cancellation f.Octf.Step_failure.cause
                    && !fresh <> [] ->
                 abandoned := true
           done;
+          Metrics.Counter.incr m_rounds;
+          if !abandoned then Metrics.Counter.incr m_abandoned;
+          Metrics.Counter.add m_applied (List.length !fresh);
           let m = float_of_int (List.length !fresh) in
           let averaged =
             List.mapi

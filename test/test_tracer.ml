@@ -76,6 +76,58 @@ let test_distributed_trace_has_devices () =
   Alcotest.(check bool) "traces the communication" true
     (List.mem "Send" ops && List.mem "Recv" ops)
 
+let test_chrome_trace_valid_json () =
+  (* Node names with quotes, backslashes and control characters must be
+     escaped so the trace is parseable JSON. *)
+  let b = B.create () in
+  let x = B.const_f b ~name:{|quo"te \back\slash|} 1.0 in
+  let y = B.neg b ~name:"tab\there" x in
+  let s = Session.create ~optimize:false (B.graph b) in
+  let _, tracer = Session.run_traced s [ y ] in
+  let json = Json_check.parse (Tracer.to_chrome_trace tracer) in
+  let events =
+    Option.get
+      (Json_check.to_list (Option.get (Json_check.member "traceEvents" json)))
+  in
+  Alcotest.(check bool) "has events" true (List.length events >= 2);
+  let names =
+    List.filter_map
+      (fun e -> Option.bind (Json_check.member "name" e) Json_check.to_string)
+      events
+  in
+  Alcotest.(check bool) "escaped quote/backslash name round-trips" true
+    (List.mem {|quo"te \back\slash|} names);
+  Alcotest.(check bool) "escaped tab name round-trips" true
+    (List.mem "tab\there" names);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "every event records bytes" true
+        (Option.bind (Json_check.member "args" e) (Json_check.member "bytes")
+        <> None))
+    events
+
+let test_summary_reports_lanes () =
+  let b = B.create () in
+  let x = B.const_f b 2.0 in
+  let y = B.add_n b (List.init 6 (fun _ -> B.mul b x x)) in
+  let s =
+    Session.create ~optimize:false ~scheduler:Scheduler.Pool (B.graph b)
+  in
+  let _, tracer = Session.run_traced s [ y ] in
+  Alcotest.(check bool) "lane utilization non-empty" true
+    (Tracer.lane_utilization tracer <> []);
+  List.iter
+    (fun (_, _, busy, util) ->
+      Alcotest.(check bool) "busy non-negative" true (busy >= 0.0);
+      Alcotest.(check bool) "utilization a fraction" true
+        (util >= 0.0 && util <= 1.0 +. 1e-9))
+    (Tracer.lane_utilization tracer);
+  let rendered = Format.asprintf "%a" Tracer.pp_summary tracer in
+  Alcotest.(check bool) "summary has lanes block" true
+    (contains rendered "lanes:");
+  Alcotest.(check bool) "summary shows utilization" true
+    (contains rendered "% busy" || contains rendered "busy")
+
 let suite =
   [
     Alcotest.test_case "traces kernels" `Quick test_traces_kernels;
@@ -83,4 +135,8 @@ let suite =
     Alcotest.test_case "chrome trace" `Quick test_chrome_trace_shape;
     Alcotest.test_case "distributed trace" `Quick
       test_distributed_trace_has_devices;
+    Alcotest.test_case "chrome trace valid json" `Quick
+      test_chrome_trace_valid_json;
+    Alcotest.test_case "summary reports lanes" `Quick
+      test_summary_reports_lanes;
   ]
