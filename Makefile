@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke fault-smoke metrics-smoke ci clean
+.PHONY: all build test fmt bench-smoke bench-kernels fault-smoke metrics-smoke ci clean
 
 all: build
 
@@ -15,6 +15,12 @@ fmt:
 # BENCH_dispatch.json (small sizes; seconds, not minutes).
 bench-smoke:
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- dispatch-wide
+
+# Intra-op kernel throughput (matmul / conv2d / elementwise GFLOP/s at
+# 1/2/4/8 threads) and the transposed-matmul regression guard; writes
+# BENCH_kernels.json. Full sizes — set OCTF_BENCH_SMOKE=1 for CI speed.
+bench-kernels:
+	dune exec bench/main.exe -- kernels
 
 # Deterministic-seed smoke for the fault injector: the same seed must
 # reproduce the same fault sequence.
@@ -34,10 +40,15 @@ metrics-smoke:
 
 ci: build test fmt bench-smoke fault-smoke metrics-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
+	OCTF_INTRA_OP_THREADS=1 OCTF_SCHEDULER=inline dune runtest --force
+	OCTF_INTRA_OP_THREADS=4 OCTF_SCHEDULER=inline dune runtest --force
+	OCTF_INTRA_OP_THREADS=1 OCTF_SCHEDULER=pool dune runtest --force
+	OCTF_INTRA_OP_THREADS=4 OCTF_SCHEDULER=pool dune runtest --force
 	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test faults
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test faults
 	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test metrics
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test metrics
+	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- kernels
 
 clean:
 	dune clean

@@ -390,12 +390,149 @@ let shard_ablation () =
     [ 1; 2; 4; 8; 16 ]
 
 (* ------------------------------------------------------------------ *)
+(* Intra-op kernel throughput: matmul / conv2d / elementwise           *)
+(* ------------------------------------------------------------------ *)
+
+(* Mean seconds per call after one warm-up (which also spins up the
+   domain pool on the first parallel shard). *)
+let time_kernel ~iters f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+let kernels () =
+  section "Intra-op kernel throughput (GFLOP/s by thread budget)";
+  let smoke = smoke_mode () in
+  let iters = if smoke then 2 else 3 in
+  let thread_counts = [ 1; 2; 4; 8 ] in
+  let saved_threads = Parallel.threads () in
+  Fun.protect ~finally:(fun () -> Parallel.set_threads saved_threads)
+  @@ fun () ->
+  let rng = Rng.create 11 in
+  (* matmul: one dim x dim square product per call. *)
+  let mm_dim = if smoke then 96 else 512 in
+  let a = Tensor.uniform rng [| mm_dim; mm_dim |] ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.uniform rng [| mm_dim; mm_dim |] ~lo:(-1.0) ~hi:1.0 in
+  let mm_flops = 2.0 *. (float_of_int mm_dim ** 3.0) in
+  let mm_series =
+    List.map
+      (fun t ->
+        Parallel.set_threads t;
+        let s = time_kernel ~iters (fun () -> Tensor_ops.matmul a b) in
+        let gflops = mm_flops /. s /. 1e9 in
+        Printf.printf "matmul %dx%d, %d threads: %7.2f ms  %6.2f GFLOP/s\n%!"
+          mm_dim mm_dim t (1000.0 *. s) gflops;
+        (t, gflops))
+      thread_counts
+  in
+  (* conv2d: NHWC input, HWIO filter, SAME padding. *)
+  let cv_batch = if smoke then 2 else 8 in
+  let cv_size = if smoke then 16 else 32 in
+  let cv_ic = if smoke then 8 else 16 in
+  let cv_oc = if smoke then 16 else 32 in
+  let img =
+    Tensor.uniform rng [| cv_batch; cv_size; cv_size; cv_ic |] ~lo:(-1.0)
+      ~hi:1.0
+  in
+  let filt = Tensor.uniform rng [| 3; 3; cv_ic; cv_oc |] ~lo:(-1.0) ~hi:1.0 in
+  let cv_flops =
+    2.0
+    *. float_of_int (cv_batch * cv_size * cv_size * cv_oc * 3 * 3 * cv_ic)
+  in
+  let cv_series =
+    List.map
+      (fun t ->
+        Parallel.set_threads t;
+        let s =
+          time_kernel ~iters (fun () ->
+              Tensor_ops.conv2d img filt ~strides:(1, 1) ~padding:Tensor_ops.Same)
+        in
+        let gflops = cv_flops /. s /. 1e9 in
+        Printf.printf
+          "conv2d %dx%dx%dx%d *3x3x%d, %d threads: %7.2f ms  %6.2f GFLOP/s\n%!"
+          cv_batch cv_size cv_size cv_ic cv_oc t (1000.0 *. s) gflops;
+        (t, gflops))
+      thread_counts
+  in
+  (* elementwise: broadcast-free map2 over a large buffer. *)
+  let ew_n = if smoke then 1 lsl 18 else 1 lsl 22 in
+  let x = Tensor.uniform rng [| ew_n |] ~lo:(-1.0) ~hi:1.0 in
+  let y = Tensor.uniform rng [| ew_n |] ~lo:(-1.0) ~hi:1.0 in
+  let ew_series =
+    List.map
+      (fun t ->
+        Parallel.set_threads t;
+        let s = time_kernel ~iters (fun () -> Tensor_ops.add x y) in
+        let melems = float_of_int ew_n /. s /. 1e6 in
+        Printf.printf "elementwise add %d elems, %d threads: %7.2f ms  %8.1f M elems/s\n%!"
+          ew_n t (1000.0 *. s) melems;
+        (t, melems))
+      thread_counts
+  in
+  (* Transposed-variant regression guard: every variant is packed onto
+     the same blocked kernel, so none may cost more than a small factor
+     over the plain path (it was ~10x before packing). *)
+  Parallel.set_threads saved_threads;
+  let variant ta tb =
+    time_kernel ~iters (fun () ->
+        Tensor_ops.matmul ~transpose_a:ta ~transpose_b:tb a b)
+  in
+  let plain = variant false false in
+  let t_a = variant true false in
+  let t_b = variant false true in
+  let t_ab = variant true true in
+  let worst = List.fold_left Float.max t_a [ t_b; t_ab ] in
+  let ratio = worst /. plain in
+  Printf.printf
+    "matmul variants (ms): plain %.2f, T_a %.2f, T_b %.2f, T_ab %.2f  \
+     (worst/plain %.2fx)\n%!"
+    (1000.0 *. plain) (1000.0 *. t_a) (1000.0 *. t_b) (1000.0 *. t_ab) ratio;
+  let series_json fmt series =
+    String.concat ","
+      (List.map (fun (t, v) -> Printf.sprintf "{\"threads\":%d,%s}" t (fmt v))
+         series)
+  in
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"kernels\",\"smoke\":%b,\"cores\":%d,\n\
+       \"matmul\":{\"dim\":%d,\"series\":[%s]},\n\
+       \"conv2d\":{\"batch\":%d,\"size\":%d,\"in_channels\":%d,\"out_channels\":%d,\"series\":[%s]},\n\
+       \"elementwise\":{\"elems\":%d,\"series\":[%s]},\n\
+       \"matmul_variants\":{\"plain_ms\":%.3f,\"transpose_a_ms\":%.3f,\"transpose_b_ms\":%.3f,\"transpose_both_ms\":%.3f,\"worst_ratio\":%.3f}}\n"
+      (smoke : bool)
+      (Domain.recommended_domain_count ())
+      mm_dim
+      (series_json (Printf.sprintf "\"gflops\":%.3f") mm_series)
+      cv_batch cv_size cv_ic cv_oc
+      (series_json (Printf.sprintf "\"gflops\":%.3f") cv_series)
+      ew_n
+      (series_json (Printf.sprintf "\"melems_per_sec\":%.1f") ew_series)
+      (1000.0 *. plain) (1000.0 *. t_a) (1000.0 *. t_b) (1000.0 *. t_ab)
+      ratio
+  in
+  let oc = open_out "BENCH_kernels.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_kernels.json\n%!";
+  if ratio > 4.0 then begin
+    Printf.printf
+      "FAIL: a transposed matmul variant is %.1fx slower than the plain \
+       path (budget 4x)\n%!"
+      ratio;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
     ("table1", table1);
     ("dispatch", dispatch_bechamel);
     ("dispatch-wide", dispatch_wide);
+    ("kernels", kernels);
     ("fig6", fig6);
     ("fig7", fig7);
     ("fig8", fig8);

@@ -134,6 +134,23 @@ let scheduler_arg =
            $(b,pool) (parallel kernel dispatch on the shared domain pool). \
            Defaults to \\$OCTF_SCHEDULER or inline.")
 
+(* Process-wide intra-op budget for kernel loops; results are
+   bit-identical for every value, so this is purely a performance knob. *)
+let intra_op_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "intra-op-threads" ] ~docv:"N"
+        ~doc:
+          "Threads each tensor kernel may shard its loops across (matmul \
+           rows, conv patches, elementwise ranges). Defaults to \
+           \\$OCTF_INTRA_OP_THREADS or the core count; $(b,1) disables \
+           intra-op parallelism.")
+
+let apply_intra_op = function
+  | Some n -> Octf_tensor.Parallel.set_threads n
+  | None -> ()
+
 (* ------------------------------ faults ----------------------------- *)
 
 let fault_conv =
@@ -220,7 +237,9 @@ let dump_metrics = function
    queue feeding it) on a "worker" task, so every step exercises
    partitioned execution with real Send/Recv rendezvous traffic and
    queue backpressure — the paths the metrics registry instruments. *)
-let train steps lr scheduler deadline_ms fault fault_seed metrics stats_every =
+let train steps lr scheduler intra_op deadline_ms fault fault_seed metrics
+    stats_every =
+  apply_intra_op intra_op;
   let module Vs = Octf_nn.Var_store in
   let deadline = deadline_of_ms deadline_ms in
   if metrics <> None || stats_every <> None then
@@ -379,15 +398,16 @@ let train_cmd =
          "Train a linear model on an in-process ps/worker cluster with a \
           queued input pipeline (quick sanity run)")
     Term.(
-      const train $ steps $ lr $ scheduler_arg $ deadline_arg $ fault_arg
-      $ fault_seed_arg $ metrics_arg $ stats_every_arg)
+      const train $ steps $ lr $ scheduler_arg $ intra_op_arg $ deadline_arg
+      $ fault_arg $ fault_seed_arg $ metrics_arg $ stats_every_arg)
 
 (* --------------------------- fault-smoke --------------------------- *)
 
 (* Determinism smoke for the fault injector: the same seed must fire the
    same faults; a different seed should (almost surely) differ. Run in
    `make ci`. *)
-let fault_smoke seed steps scheduler =
+let fault_smoke seed steps scheduler intra_op =
+  apply_intra_op intra_op;
   let module Vs = Octf_nn.Var_store in
   let run_once ~seed =
     Octf.Fault_injector.install ~seed
@@ -440,11 +460,12 @@ let fault_smoke_cmd =
   Cmd.v
     (Cmd.info "fault-smoke"
        ~doc:"Check that seeded fault injection is deterministic")
-    Term.(const fault_smoke $ seed $ steps $ scheduler_arg)
+    Term.(const fault_smoke $ seed $ steps $ scheduler_arg $ intra_op_arg)
 
 (* ------------------------------ trace ------------------------------ *)
 
-let trace out scheduler metrics =
+let trace out scheduler intra_op metrics =
+  apply_intra_op intra_op;
   let module Vs = Octf_nn.Var_store in
   if metrics <> None then Octf.Metrics.set_kernel_timing true;
   let b = B.create () in
@@ -492,7 +513,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Profile one training step and print a per-op kernel summary")
-    Term.(const trace $ out $ scheduler_arg $ metrics_arg)
+    Term.(const trace $ out $ scheduler_arg $ intra_op_arg $ metrics_arg)
 
 let () =
   let info =

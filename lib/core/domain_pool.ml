@@ -91,3 +91,9 @@ let submit task =
   Queue.add task pool.tasks;
   Condition.signal pool.cond;
   Mutex.unlock pool.mutex
+
+(* Wire the tensor library's intra-op sharder onto this pool. The tensor
+   library cannot depend on the runtime, so it exposes a backend hook;
+   module initialisation runs before any kernel executes, and the pool
+   itself is still created lazily on the first parallel kernel. *)
+let () = Octf_tensor.Parallel.set_backend submit

@@ -18,7 +18,14 @@
     (blocking kernels stay on the coordinating thread — see the
     scheduling notes in {!Scheduler}). Tasks must also not raise;
     submitters are expected to capture failures and deliver them through
-    their own completion channel. *)
+    their own completion channel.
+
+    Loading this module also installs {!submit} as the execution backend
+    of {!Octf_tensor.Parallel}, so intra-op kernel shards run on the same
+    pool as inter-op node dispatch (one process-wide set of worker
+    domains, as with TensorFlow's shared Eigen threadpool). Intra-op
+    helper shards never block — the sharder is caller-runs — so they are
+    safe to interleave with node tasks. *)
 
 val size : unit -> int
 (** Number of worker domains the pool runs (without forcing creation).

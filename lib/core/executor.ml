@@ -303,6 +303,21 @@ let m_lane_busy lane =
     ~labels:[ ("lane", string_of_int lane) ]
     "octf_executor_lane_busy_seconds_total"
 
+let m_intra_op_parallel =
+  Metrics.Counter.v ~help:"Kernel loops that sharded across the domain pool"
+    "octf_intra_op_parallel_total"
+
+let m_intra_op_shards =
+  Metrics.Counter.v ~help:"Intra-op shards dispatched to the domain pool"
+    "octf_intra_op_shards_total"
+
+(* Every sharded parallel_for in the process feeds the intra-op counters,
+   whichever kernel (or library caller) ran it. *)
+let () =
+  Octf_tensor.Parallel.set_shard_hook (fun shards ->
+      Metrics.Counter.incr m_intra_op_parallel;
+      Metrics.Counter.add m_intra_op_shards shards)
+
 (* Wrap one kernel invocation. The dispatch counter is always bumped;
    the gettimeofday pair (and the derived per-op-type / per-lane series
    and tracer event) is gated on an active tracer or the process-wide
@@ -313,10 +328,15 @@ let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0) f =
   Metrics.Counter.incr m_kernels;
   if Option.is_none tracer && not (Metrics.kernel_timing ()) then f ()
   else begin
+    (* The sharder's per-domain dispatch counter, sampled around the
+       kernel, attributes intra-op shard counts to this node: sharding is
+       always initiated on the domain the kernel runs on. *)
+    let shards_before = Octf_tensor.Parallel.domain_shards () in
     let start = Unix.gettimeofday () in
     let result = f () in
     let stop = Unix.gettimeofday () in
     let duration = stop -. start in
+    let shards = Octf_tensor.Parallel.domain_shards () - shards_before in
     let lane = (Domain.self () :> int) in
     Metrics.Counter.add_f (m_op_seconds n.Node.op_type) duration;
     Metrics.Counter.add_f (m_lane_busy lane) duration;
@@ -336,6 +356,7 @@ let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0) f =
             duration;
             step_id;
             bytes = bytes_of result;
+            shards;
           });
     result
   end
@@ -984,8 +1005,14 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
                      (Graph.get plan.p_graph e.node_id).Node.name e.index))))
     fetches
 
-let execute plan ?scheduler ~feeds ~fetches ~resources ?rendezvous ?tracer
-    ?cancel ?(seed = 0) ?(step_id = 0) () =
+let execute plan ?scheduler ?intra_op_threads ~feeds ~fetches ~resources
+    ?rendezvous ?tracer ?cancel ?(seed = 0) ?(step_id = 0) () =
+  (* Like TF's intra_op_parallelism_threads this is a process-wide
+     hardware knob, not per-step state: setting it here adjusts the
+     budget for this and subsequent steps. *)
+  (match intra_op_threads with
+  | Some n -> Octf_tensor.Parallel.set_threads n
+  | None -> ());
   let scheduler =
     match scheduler with Some p -> p | None -> plan.p_scheduler
   in
@@ -997,8 +1024,9 @@ let execute plan ?scheduler ~feeds ~fetches ~resources ?rendezvous ?tracer
       execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
         ~tracer ~cancel ~seed ~step_id
 
-let run ?scheduler ~graph ~nodes ~feeds ~fetches ~resources ?rendezvous
-    ?cancel ?seed ?step_id () =
+let run ?scheduler ?intra_op_threads ~graph ~nodes ~feeds ~fetches ~resources
+    ?rendezvous ?cancel ?seed ?step_id () =
   let fed_ids = List.map (fun ((e : Node.endpoint), _) -> e.node_id) feeds in
   let plan = prepare ?scheduler ~graph ~nodes ~fed_ids () in
-  execute plan ~feeds ~fetches ~resources ?rendezvous ?cancel ?seed ?step_id ()
+  execute plan ?intra_op_threads ~feeds ~fetches ~resources ?rendezvous
+    ?cancel ?seed ?step_id ()

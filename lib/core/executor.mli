@@ -62,6 +62,7 @@ val prepare :
 val execute :
   plan ->
   ?scheduler:Scheduler.policy ->
+  ?intra_op_threads:int ->
   feeds:(Node.endpoint * Value.t) list ->
   fetches:Node.endpoint list ->
   resources:Resource_manager.t ->
@@ -75,10 +76,15 @@ val execute :
 (** Execute one step of a prepared plan. The feed list must cover exactly
     the plan's [fed_ids]. [cancel] is the step's cancellation token,
     shared by every partition: deadline expiry or explicit cancellation
-    makes the step raise a structured error instead of hanging. *)
+    makes the step raise a structured error instead of hanging.
+    [intra_op_threads] sets the {e process-wide} intra-op thread budget
+    ({!Octf_tensor.Parallel.set_threads}) before the step runs — a
+    hardware-resource knob like TensorFlow's
+    [intra_op_parallelism_threads], not per-step state. *)
 
 val run :
   ?scheduler:Scheduler.policy ->
+  ?intra_op_threads:int ->
   graph:Graph.t ->
   nodes:int list ->
   feeds:(Node.endpoint * Value.t) list ->

@@ -46,7 +46,12 @@ type t = {
 }
 
 let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
-    ?scheduler graph =
+    ?scheduler ?intra_op_threads graph =
+  (* Process-wide hardware knob, mirroring TF's
+     intra_op_parallelism_threads in ConfigProto. *)
+  (match intra_op_threads with
+  | Some n -> Octf_tensor.Parallel.set_threads n
+  | None -> ());
   let scheduler =
     match scheduler with Some p -> p | None -> Scheduler.default_policy ()
   in

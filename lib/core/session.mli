@@ -30,6 +30,7 @@ val create :
   ?seed:int ->
   ?optimize:bool ->
   ?scheduler:Scheduler.policy ->
+  ?intra_op_threads:int ->
   Graph.t ->
   t
 (** Default devices: a single local CPU. [resource_router] maps a device
@@ -41,7 +42,11 @@ val create :
     {!Scheduler.default_policy}, i.e. inline unless [OCTF_SCHEDULER]
     says otherwise); [Scheduler.Pool] runs independent kernels of one
     step in parallel on the shared domain pool with bit-identical
-    results. *)
+    results. [intra_op_threads] sets the {e process-wide} intra-op
+    thread budget for kernel loops
+    ({!Octf_tensor.Parallel.set_threads}; default from
+    [OCTF_INTRA_OP_THREADS] or the core count) — results are
+    bit-identical for every value. *)
 
 val graph : t -> Graph.t
 

@@ -6,6 +6,7 @@ type node_stats = {
   start : float;
   duration : float;
   output_bytes : int;
+  shards : int;
 }
 
 type t = { step_id : int; nodes : node_stats list }
@@ -25,6 +26,7 @@ let of_tracer ~step_id tracer =
               start = ev.start;
               duration = ev.duration;
               output_bytes = ev.bytes;
+              shards = ev.shards;
             })
       (Tracer.events tracer)
   in

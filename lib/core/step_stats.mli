@@ -19,6 +19,8 @@ type node_stats = {
   start : float;  (** seconds, [Unix.gettimeofday] clock *)
   duration : float;  (** kernel wall-clock seconds *)
   output_bytes : int;  (** payload bytes (Recv tensors; 0 otherwise) *)
+  shards : int;
+      (** intra-op shards the kernel dispatched; 0 = serial loops *)
 }
 
 type t = { step_id : int; nodes : node_stats list }

@@ -7,6 +7,7 @@ type event = {
   duration : float;
   step_id : int;
   bytes : int;
+  shards : int;
 }
 
 type t = { mutable evs : event list; mutex : Mutex.t }
@@ -107,10 +108,11 @@ let to_chrome_trace t =
       first := false;
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d,\"shards\":%d}}"
            (json_escape ev.name) (json_escape ev.op_type)
            (ev.start *. 1e6) (ev.duration *. 1e6)
-           (json_escape ev.device) ev.lane ev.step_id ev.lane ev.bytes))
+           (json_escape ev.device) ev.lane ev.step_id ev.lane ev.bytes
+           ev.shards))
     (events t);
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -25,6 +25,10 @@ type event = {
   bytes : int;
       (** Payload bytes attributable to the kernel: the size of the
           tensor received for a [Recv], 0 for most compute kernels. *)
+  shards : int;
+      (** Intra-op shards dispatched while the kernel ran on this domain
+          ({!Octf_tensor.Parallel}); [0] for kernels that ran their loops
+          serially. *)
 }
 
 type t

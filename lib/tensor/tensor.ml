@@ -205,38 +205,83 @@ let cast t new_dtype =
           (Array.init (numel t) (fun i -> flat_get_f t i <> 0.0))
     | Dtype.String -> invalid_arg "Tensor.cast: cannot cast to string"
 
+(* Elementwise loops shard over the flat index space; below this many
+   elements the dispatch overhead outweighs the loop and the sharder
+   runs inline. *)
+let elementwise_grain = 8192
+
 let map_f f t =
   let a = float_buffer t in
-  { t with buf = Float_buf (Array.map f a) }
+  let n = Array.length a in
+  let out = Array.make n 0.0 in
+  Parallel.parallel_for ~grain:elementwise_grain n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- f a.(i)
+      done);
+  { t with buf = Float_buf out }
 
-(* Broadcast iteration: walk the output flat index, mapping it back into
-   each operand by clamping broadcast dimensions to 0. *)
-let broadcast_get t out_shape out_idx =
+(* Broadcast iteration: map an output flat index back into an operand by
+   a precomputed per-dimension stride plan (stride 0 on broadcast
+   dimensions), avoiding any per-element allocation. *)
+type bplan = {
+  bp_out_strides : int array;
+  bp_out_dims : int array;
+  bp_src_strides : int array;
+}
+
+let broadcast_plan t out_shape =
   let r = Shape.rank out_shape and rt = rank t in
-  if Shape.equal t.shape out_shape then flat_get_f t out_idx
-  else
-    let midx = Shape.multi_index out_shape out_idx in
-    let tidx = Array.make rt 0 in
-    for i = 0 to rt - 1 do
-      let d = t.shape.(i) in
-      let v = midx.(i + (r - rt)) in
-      tidx.(i) <- (if d = 1 then 0 else v)
-    done;
-    get_f t tidx
+  let out_strides = Shape.strides out_shape in
+  let src_strides = Shape.strides t.shape in
+  let bp_src_strides =
+    Array.init r (fun d ->
+        let td = d - (r - rt) in
+        if td < 0 || t.shape.(td) = 1 then 0 else src_strides.(td))
+  in
+  { bp_out_strides = out_strides; bp_out_dims = Array.copy out_shape; bp_src_strides }
+
+let plan_index plan i =
+  let acc = ref 0 in
+  for d = 0 to Array.length plan.bp_src_strides - 1 do
+    let s = plan.bp_src_strides.(d) in
+    if s <> 0 then
+      acc := !acc + (i / plan.bp_out_strides.(d) mod plan.bp_out_dims.(d)) * s
+  done;
+  !acc
+
+let broadcast_index t out_shape =
+  if Shape.equal t.shape out_shape then fun i -> i
+  else begin
+    let plan = broadcast_plan t out_shape in
+    fun i -> plan_index plan i
+  end
 
 let map2_generic f a b =
   let out_shape = Shape.broadcast a.shape b.shape in
   let n = Shape.numel out_shape in
-  if Shape.equal a.shape b.shape then
-    (* Fast path without index arithmetic. *)
-    let out = Array.init n (fun i -> f (flat_get_f a i) (flat_get_f b i)) in
-    (out_shape, out)
-  else
-    let out =
-      Array.init n (fun i ->
-          f (broadcast_get a out_shape i) (broadcast_get b out_shape i))
-    in
-    (out_shape, out)
+  let out = Array.make n 0.0 in
+  (if Shape.equal a.shape b.shape then
+     match (a.buf, b.buf) with
+     | Float_buf da, Float_buf db ->
+         (* Fast path: direct float-array indexing. *)
+         Parallel.parallel_for ~grain:elementwise_grain n (fun lo hi ->
+             for i = lo to hi - 1 do
+               out.(i) <- f da.(i) db.(i)
+             done)
+     | _ ->
+         Parallel.parallel_for ~grain:elementwise_grain n (fun lo hi ->
+             for i = lo to hi - 1 do
+               out.(i) <- f (flat_get_f a i) (flat_get_f b i)
+             done)
+   else begin
+     let pa = broadcast_plan a out_shape and pb = broadcast_plan b out_shape in
+     Parallel.parallel_for ~grain:(elementwise_grain / 2) n (fun lo hi ->
+         for i = lo to hi - 1 do
+           out.(i) <-
+             f (flat_get_f a (plan_index pa i)) (flat_get_f b (plan_index pb i))
+         done)
+   end);
+  (out_shape, out)
 
 let map2_f f a b =
   if not (Dtype.equal a.dtype b.dtype) then

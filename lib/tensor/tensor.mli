@@ -109,11 +109,20 @@ val reshape : t -> Shape.t -> t
 val cast : t -> Dtype.t -> t
 
 val map_f : (float -> float) -> t -> t
-(** Elementwise map over a float-backed tensor. *)
+(** Elementwise map over a float-backed tensor. Large tensors shard
+    across the intra-op thread budget (see {!Parallel}); results are
+    bit-identical for every thread count. *)
 
 val map2_f : (float -> float -> float) -> t -> t -> t
 (** Elementwise with numpy-style broadcasting; result dtype is the
-    operand dtype (both must match). *)
+    operand dtype (both must match). Sharded like {!map_f}. *)
+
+val broadcast_index : t -> Shape.t -> int -> int
+(** [broadcast_index t out_shape] maps a flat index of [out_shape] to
+    the flat index of [t] under numpy broadcasting. Partial application
+    precomputes the stride plan; the returned function allocates
+    nothing, so kernels can iterate an output space once and read every
+    operand directly. *)
 
 val map2_cmp : (float -> float -> bool) -> t -> t -> t
 (** Broadcasting comparison producing a [Bool] tensor. *)

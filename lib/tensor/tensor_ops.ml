@@ -1,5 +1,10 @@
 module T = Tensor
 
+(* Pick a parallel-for grain so each shard carries at least [target_work]
+   elementary operations when one item of the sharded loop costs
+   [item_cost]; loops cheaper than one grain run inline. *)
+let grain_for ~item_cost ~target_work = max 1 (target_work / max 1 item_cost)
+
 let add = T.map2_f ( +. )
 
 let sub = T.map2_f ( -. )
@@ -14,8 +19,14 @@ let minimum = T.map2_f Float.min
 
 let pow = T.map2_f ( ** )
 
-let modulo =
-  T.map2_f (fun a b -> float_of_int (int_of_float a mod int_of_float b))
+(* Floor-mod (TF FloorMod): the result takes the divisor's sign and
+   fractional operands are handled exactly — no truncation through int,
+   which was wrong for fractions and overflowed for large floats. *)
+let floor_mod a b =
+  let r = Float.rem a b in
+  if r <> 0.0 && r < 0.0 <> (b < 0.0) then r +. b else r
+
+let modulo = T.map2_f floor_mod
 
 let neg = T.map_f (fun x -> -.x)
 
@@ -49,17 +60,74 @@ let greater = T.map2_cmp ( > )
 
 let greater_equal = T.map2_cmp ( >= )
 
+(* One broadcast-indexed pass allocating only the output — the previous
+   implementation materialized three full-size temporaries (and cast the
+   bool condition through the value dtype). A non-zero condition element
+   selects from [a]. *)
 let select cond a b =
-  let out_shape = Shape.broadcast (Shape.broadcast (T.shape cond) (T.shape a)) (T.shape b) in
-  let a = if Shape.equal (T.shape a) out_shape then a else T.map2_f (fun x _ -> x) a (T.zeros (T.dtype a) out_shape) in
-  let b = if Shape.equal (T.shape b) out_shape then b else T.map2_f (fun x _ -> x) b (T.zeros (T.dtype b) out_shape) in
-  let cond = T.cast cond (T.dtype a) in
-  let cond = if Shape.equal (T.shape cond) out_shape then cond else T.map2_f (fun x _ -> x) cond (T.zeros (T.dtype a) out_shape) in
-  let n = Shape.numel out_shape in
-  let out = Array.init n (fun i ->
-      if T.flat_get_f cond i <> 0.0 then T.flat_get_f a i else T.flat_get_f b i)
+  let out_shape =
+    Shape.broadcast (Shape.broadcast (T.shape cond) (T.shape a)) (T.shape b)
   in
-  T.of_float_array ~dtype:(T.dtype a) out_shape out
+  let ic = T.broadcast_index cond out_shape
+  and ia = T.broadcast_index a out_shape
+  and ib = T.broadcast_index b out_shape in
+  let n = Shape.numel out_shape in
+  let out = T.zeros (T.dtype a) out_shape in
+  Parallel.parallel_for ~grain:4096 n (fun lo hi ->
+      for i = lo to hi - 1 do
+        T.flat_set_f out i
+          (if T.flat_get_f cond (ic i) <> 0.0 then T.flat_get_f a (ia i)
+           else T.flat_get_f b (ib i))
+      done);
+  out
+
+(* Materialize the transpose of a [cols x rows] row-major buffer as a
+   [rows x cols] one, so the transposed matmul variants reuse the fast
+   non-transposed kernel. One O(rows*cols) pack beats the strided inner
+   loops that made transposed matmuls ~10x slower than the plain path. *)
+let transpose_pack src rows cols =
+  let out = Array.make (rows * cols) 0.0 in
+  Parallel.parallel_for
+    ~grain:(grain_for ~item_cost:cols ~target_work:16384)
+    rows
+    (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * cols in
+        for j = 0 to cols - 1 do
+          out.(base + j) <- src.((j * rows) + i)
+        done
+      done);
+  out
+
+(* Shared dense GEMM core: out[m x n] = A[m x k] * B[k x n], row-major.
+   k is blocked so the active B panel stays cache-resident while the i-k-j
+   loop streams A; rows are sharded across the intra-op budget.
+   Accumulation over p is ascending for every output element regardless of
+   block or shard layout, so results are bit-identical at any thread
+   count. *)
+let matmul_block = 256
+
+let matmul_buf ~m ~k ~n da db =
+  let out = Array.make (m * n) 0.0 in
+  let grain = grain_for ~item_cost:(k * n) ~target_work:32768 in
+  Parallel.parallel_for ~grain m (fun lo hi ->
+      let p0 = ref 0 in
+      while !p0 < k do
+        let pend = min k (!p0 + matmul_block) in
+        for i = lo to hi - 1 do
+          let abase = i * k and obase = i * n in
+          for p = !p0 to pend - 1 do
+            let aip = da.(abase + p) in
+            if aip <> 0.0 then
+              let bbase = p * n in
+              for j = 0 to n - 1 do
+                out.(obase + j) <- out.(obase + j) +. (aip *. db.(bbase + j))
+              done
+          done
+        done;
+        p0 := pend
+      done);
+  out
 
 let matmul ?(transpose_a = false) ?(transpose_b = false) a b =
   if T.rank a <> 2 || T.rank b <> 2 then
@@ -71,32 +139,9 @@ let matmul ?(transpose_a = false) ?(transpose_b = false) a b =
     invalid_arg
       (Printf.sprintf "Tensor_ops.matmul: inner dims %d vs %d" k k2);
   let da = T.float_buffer a and db = T.float_buffer b in
-  let out = Array.make (m * n) 0.0 in
-  (* Cache-friendly i-k-j loop on the non-transposed fast path. *)
-  (if (not transpose_a) && not transpose_b then
-    for i = 0 to m - 1 do
-      for p = 0 to k - 1 do
-        let aip = da.((i * k) + p) in
-        if aip <> 0.0 then
-          let boff = p * n and ooff = i * n in
-          for j = 0 to n - 1 do
-            out.(ooff + j) <- out.(ooff + j) +. (aip *. db.(boff + j))
-          done
-      done
-    done
-  else
-    let get_a i p = if transpose_a then da.((p * m) + i) else da.((i * k) + p) in
-    let get_b p j = if transpose_b then db.((j * k) + p) else db.((p * n) + j) in
-    for i = 0 to m - 1 do
-      for j = 0 to n - 1 do
-        let acc = ref 0.0 in
-        for p = 0 to k - 1 do
-          acc := !acc +. (get_a i p *. get_b p j)
-        done;
-        out.((i * n) + j) <- !acc
-      done
-    done);
-  T.of_float_array ~dtype:(T.dtype a) [| m; n |] out
+  let da = if transpose_a then transpose_pack da m k else da in
+  let db = if transpose_b then transpose_pack db k n else db in
+  T.of_float_array ~dtype:(T.dtype a) [| m; n |] (matmul_buf ~m ~k ~n da db)
 
 let transpose ?perm t =
   let r = T.rank t in
@@ -112,16 +157,27 @@ let transpose ?perm t =
   let n = T.numel t in
   let out = T.zeros (T.dtype t) out_shape in
   let in_strides = Shape.strides in_shape in
-  for o = 0 to n - 1 do
-    let oidx = Shape.multi_index out_shape o in
-    let iflat = ref 0 in
-    for d = 0 to r - 1 do
-      iflat := !iflat + (oidx.(d) * in_strides.(perm.(d)))
-    done;
-    T.flat_set_f out o (T.flat_get_f t !iflat)
-  done;
+  let out_strides = Shape.strides out_shape in
+  (* Source stride of each output dimension: the inner loop is then pure
+     integer arithmetic with no per-element index array. *)
+  let src_strides = Array.map (fun d -> in_strides.(d)) perm in
+  Parallel.parallel_for ~grain:8192 n (fun lo hi ->
+      for o = lo to hi - 1 do
+        let iflat = ref 0 in
+        for d = 0 to r - 1 do
+          iflat :=
+            !iflat + (o / out_strides.(d) mod out_shape.(d) * src_strides.(d))
+        done;
+        T.flat_set_f out o (T.flat_get_f t !iflat)
+      done);
   out
 
+(* Reductions shard over output slots: each slot's reduced sub-space is
+   walked in row-major order by an odometer over the reduced dimensions,
+   which visits exactly the ascending-flat-index subsequence the serial
+   elementwise scan used — so values (and therefore rounding) are
+   unchanged, and slots are independent so any shard layout gives
+   bit-identical results. *)
 let reduce_generic init combine finish ?(axes = []) ?(keep_dims = false) t =
   let in_shape = T.shape t in
   let out_shape = Shape.reduce ~keep_dims in_shape axes in
@@ -132,28 +188,58 @@ let reduce_generic init combine finish ?(axes = []) ?(keep_dims = false) t =
   in
   let reduced = Array.make r false in
   List.iter (fun a -> reduced.(a) <- true) axes_n;
-  let acc = Array.make (Shape.numel out_shape) init in
-  let counts = Array.make (Shape.numel out_shape) 0 in
-  (* Shape of the output with kept dims, used to compute the output slot
-     for every input element. *)
-  let kept_shape =
-    Array.of_list
-      (List.filteri (fun i _ -> not reduced.(i)) (Array.to_list in_shape))
-  in
-  let kept_strides = Shape.strides kept_shape in
-  for i = 0 to T.numel t - 1 do
-    let idx = Shape.multi_index in_shape i in
-    let o = ref 0 and ki = ref 0 in
-    for d = 0 to r - 1 do
-      if not reduced.(d) then begin
-        o := !o + (idx.(d) * kept_strides.(!ki));
-        incr ki
-      end
-    done;
-    acc.(!o) <- combine acc.(!o) (T.flat_get_f t i);
-    counts.(!o) <- counts.(!o) + 1
+  let in_strides = Shape.strides in_shape in
+  let kept_dims = ref [] and kept_in_strides = ref [] in
+  let red_dims = ref [] and red_strides = ref [] in
+  for d = r - 1 downto 0 do
+    if reduced.(d) then begin
+      red_dims := in_shape.(d) :: !red_dims;
+      red_strides := in_strides.(d) :: !red_strides
+    end
+    else begin
+      kept_dims := in_shape.(d) :: !kept_dims;
+      kept_in_strides := in_strides.(d) :: !kept_in_strides
+    end
   done;
-  let out = Array.mapi (fun i v -> finish v counts.(i)) acc in
+  let kept_dims = Array.of_list !kept_dims in
+  let kept_in_strides = Array.of_list !kept_in_strides in
+  let red_dims = Array.of_list !red_dims in
+  let red_strides = Array.of_list !red_strides in
+  let kept_out_strides = Shape.strides kept_dims in
+  let nkept = Array.length kept_dims and nred = Array.length red_dims in
+  let red_count = Array.fold_left ( * ) 1 red_dims in
+  let nout = Shape.numel out_shape in
+  let out = Array.make nout 0.0 in
+  Parallel.parallel_for
+    ~grain:(grain_for ~item_cost:red_count ~target_work:8192)
+    nout
+    (fun lo hi ->
+      let idx = Array.make (max 1 nred) 0 in
+      for o = lo to hi - 1 do
+        let base = ref 0 in
+        for d = 0 to nkept - 1 do
+          base :=
+            !base
+            + (o / kept_out_strides.(d) mod kept_dims.(d) * kept_in_strides.(d))
+        done;
+        Array.fill idx 0 nred 0;
+        let acc = ref init and off = ref !base in
+        for _ = 1 to red_count do
+          acc := combine !acc (T.flat_get_f t !off);
+          let d = ref (nred - 1) and carry = ref true in
+          while !carry && !d >= 0 do
+            idx.(!d) <- idx.(!d) + 1;
+            off := !off + red_strides.(!d);
+            if idx.(!d) = red_dims.(!d) then begin
+              off := !off - (red_dims.(!d) * red_strides.(!d));
+              idx.(!d) <- 0;
+              decr d
+            end
+            else carry := false
+          done
+        done;
+        out.(o) <- finish !acc red_count
+      done);
   T.of_float_array ~dtype:(T.dtype t) out_shape out
 
 let reduce_sum ?axes ?keep_dims t =
@@ -283,7 +369,17 @@ let broadcast_to t target =
   let bshape = Shape.broadcast (T.shape t) target in
   if not (Shape.equal bshape target) then
     invalid_arg "Tensor_ops.broadcast_to: not broadcastable to target";
-  T.map2_f (fun x _ -> x) t (T.zeros (T.dtype t) target)
+  if Shape.equal (T.shape t) target then T.copy t
+  else begin
+    let ix = T.broadcast_index t target in
+    let n = Shape.numel target in
+    let out = T.zeros (T.dtype t) target in
+    Parallel.parallel_for ~grain:8192 n (fun lo hi ->
+        for i = lo to hi - 1 do
+          T.flat_set_f out i (T.flat_get_f t (ix i))
+        done);
+    out
+  end
 
 let one_hot indices ~depth =
   let in_shape = T.shape indices in
@@ -419,6 +515,41 @@ let conv_dim ~padding ~in_size ~filter ~stride =
       let pad_total = max 0 (((out - 1) * stride) + filter - in_size) in
       (out, pad_total / 2)
 
+(* im2col: unroll convolution input patches into a
+   [batch*oh*ow x fh*fw*ic] row-major matrix whose columns line up with
+   HWIO filter rows, turning conv2d and both of its gradients into
+   blocked matmuls over the shared GEMM core. Out-of-bounds (padding)
+   patch entries stay zero. *)
+let im2col din ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows =
+  let kdim = fh * fw * ic in
+  let cols = Array.make (rows * kdim) 0.0 in
+  Parallel.parallel_for
+    ~grain:(grain_for ~item_cost:kdim ~target_work:16384)
+    rows
+    (fun lo hi ->
+      for rix = lo to hi - 1 do
+        let x = rix mod ow in
+        let by = rix / ow in
+        let y = by mod oh in
+        let b = by / oh in
+        let rbase = rix * kdim in
+        for ky = 0 to fh - 1 do
+          let sy = (y * sh) + ky - ph in
+          if sy >= 0 && sy < ih then
+            for kx = 0 to fw - 1 do
+              let sx = (x * sw) + kx - pw in
+              if sx >= 0 && sx < iw then begin
+                let ibase = (((b * ih) + sy) * iw + sx) * ic in
+                let cbase = rbase + (((ky * fw) + kx) * ic) in
+                for c = 0 to ic - 1 do
+                  cols.(cbase + c) <- din.(ibase + c)
+                done
+              end
+            done
+        done
+      done);
+  cols
+
 let conv2d input filter ~strides ~padding =
   let is = T.shape input and fs = T.shape filter in
   if Shape.rank is <> 4 || Shape.rank fs <> 4 then
@@ -430,32 +561,9 @@ let conv2d input filter ~strides ~padding =
   let oh, ph = conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
   let ow, pw = conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
   let din = T.float_buffer input and dft = T.float_buffer filter in
-  let out = Array.make (batch * oh * ow * oc) 0.0 in
-  for b = 0 to batch - 1 do
-    for y = 0 to oh - 1 do
-      for x = 0 to ow - 1 do
-        let obase = (((b * oh) + y) * ow + x) * oc in
-        for ky = 0 to fh - 1 do
-          let sy = (y * sh) + ky - ph in
-          if sy >= 0 && sy < ih then
-            for kx = 0 to fw - 1 do
-              let sx = (x * sw) + kx - pw in
-              if sx >= 0 && sx < iw then
-                let ibase = (((b * ih) + sy) * iw + sx) * ic in
-                let fbase = ((ky * fw) + kx) * ic * oc in
-                for c = 0 to ic - 1 do
-                  let v = din.(ibase + c) in
-                  if v <> 0.0 then
-                    let foff = fbase + (c * oc) in
-                    for o = 0 to oc - 1 do
-                      out.(obase + o) <- out.(obase + o) +. (v *. dft.(foff + o))
-                    done
-                done
-            done
-        done
-      done
-    done
-  done;
+  let rows = batch * oh * ow and kdim = fh * fw * ic in
+  let cols = im2col din ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows in
+  let out = matmul_buf ~m:rows ~k:kdim ~n:oc cols dft in
   T.of_float_array ~dtype:(T.dtype input) [| batch; oh; ow; oc |] out
 
 let conv2d_grad_input ~input_shape filter dy ~strides ~padding =
@@ -467,32 +575,36 @@ let conv2d_grad_input ~input_shape filter dy ~strides ~padding =
   let _, ph = conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
   let _, pw = conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
   let dft = T.float_buffer filter and ddy = T.float_buffer dy in
+  let rows = batch * oh * ow and kdim = fh * fw * ic in
+  (* d(cols) = dy[rows x oc] * filter^T[oc x kdim], then scatter the patch
+     gradients back (col2im). Windows overlap within a batch image, so
+     the scatter shards over the batch dimension only — contributions to
+     one input element stay on one shard, in a fixed order. *)
+  let ft_t = transpose_pack dft oc kdim in
+  let dcols = matmul_buf ~m:rows ~k:oc ~n:kdim ddy ft_t in
   let out = Array.make (batch * ih * iw * ic) 0.0 in
-  for b = 0 to batch - 1 do
-    for y = 0 to oh - 1 do
-      for x = 0 to ow - 1 do
-        let obase = (((b * oh) + y) * ow + x) * oc in
-        for ky = 0 to fh - 1 do
-          let sy = (y * sh) + ky - ph in
-          if sy >= 0 && sy < ih then
-            for kx = 0 to fw - 1 do
-              let sx = (x * sw) + kx - pw in
-              if sx >= 0 && sx < iw then
-                let ibase = (((b * ih) + sy) * iw + sx) * ic in
-                let fbase = ((ky * fw) + kx) * ic * oc in
-                for c = 0 to ic - 1 do
-                  let foff = fbase + (c * oc) in
-                  let acc = ref 0.0 in
-                  for o = 0 to oc - 1 do
-                    acc := !acc +. (dft.(foff + o) *. ddy.(obase + o))
-                  done;
-                  out.(ibase + c) <- out.(ibase + c) +. !acc
+  Parallel.parallel_for ~grain:1 batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        for y = 0 to oh - 1 do
+          for x = 0 to ow - 1 do
+            let rbase = ((((b * oh) + y) * ow) + x) * kdim in
+            for ky = 0 to fh - 1 do
+              let sy = (y * sh) + ky - ph in
+              if sy >= 0 && sy < ih then
+                for kx = 0 to fw - 1 do
+                  let sx = (x * sw) + kx - pw in
+                  if sx >= 0 && sx < iw then begin
+                    let ibase = (((b * ih) + sy) * iw + sx) * ic in
+                    let cbase = rbase + (((ky * fw) + kx) * ic) in
+                    for c = 0 to ic - 1 do
+                      out.(ibase + c) <- out.(ibase + c) +. dcols.(cbase + c)
+                    done
+                  end
                 done
             done
+          done
         done
-      done
-    done
-  done;
+      done);
   T.of_float_array ~dtype:(T.dtype dy) is out
 
 let conv2d_grad_filter ~filter_shape input dy ~strides ~padding =
@@ -504,32 +616,13 @@ let conv2d_grad_filter ~filter_shape input dy ~strides ~padding =
   let _, ph = conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
   let _, pw = conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
   let din = T.float_buffer input and ddy = T.float_buffer dy in
-  let out = Array.make (fh * fw * ic * oc) 0.0 in
-  for b = 0 to batch - 1 do
-    for y = 0 to oh - 1 do
-      for x = 0 to ow - 1 do
-        let obase = (((b * oh) + y) * ow + x) * oc in
-        for ky = 0 to fh - 1 do
-          let sy = (y * sh) + ky - ph in
-          if sy >= 0 && sy < ih then
-            for kx = 0 to fw - 1 do
-              let sx = (x * sw) + kx - pw in
-              if sx >= 0 && sx < iw then
-                let ibase = (((b * ih) + sy) * iw + sx) * ic in
-                let fbase = ((ky * fw) + kx) * ic * oc in
-                for c = 0 to ic - 1 do
-                  let v = din.(ibase + c) in
-                  if v <> 0.0 then
-                    let foff = fbase + (c * oc) in
-                    for o = 0 to oc - 1 do
-                      out.(foff + o) <- out.(foff + o) +. (v *. ddy.(obase + o))
-                    done
-                done
-            done
-        done
-      done
-    done
-  done;
+  let rows = batch * oh * ow and kdim = fh * fw * ic in
+  (* d(filter) = cols^T[kdim x rows] * dy[rows x oc]: patch positions are
+     the contraction axis, accumulated in ascending (b, y, x) order for
+     every filter element. *)
+  let cols = im2col din ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows in
+  let cols_t = transpose_pack cols kdim rows in
+  let out = matmul_buf ~m:kdim ~k:rows ~n:oc cols_t ddy in
   T.of_float_array ~dtype:(T.dtype dy) fs out
 
 let pool_generic input ~ksize ~strides ~padding ~init ~combine ~finish =
@@ -541,27 +634,33 @@ let pool_generic input ~ksize ~strides ~padding ~init ~combine ~finish =
   let ow, pw = conv_dim ~padding ~in_size:iw ~filter:kw ~stride:sw in
   let din = T.float_buffer input in
   let out = Array.make (batch * oh * ow * c) 0.0 in
-  for b = 0 to batch - 1 do
-    for y = 0 to oh - 1 do
-      for x = 0 to ow - 1 do
-        for ch = 0 to c - 1 do
-          let acc = ref init and count = ref 0 in
-          for ky = 0 to kh - 1 do
-            let sy = (y * sh) + ky - ph in
-            if sy >= 0 && sy < ih then
-              for kx = 0 to kw - 1 do
-                let sx = (x * sw) + kx - pw in
-                if sx >= 0 && sx < iw then begin
-                  acc := combine !acc din.((((b * ih) + sy) * iw + sx) * c + ch);
-                  incr count
-                end
-              done
-          done;
-          out.((((b * oh) + y) * ow + x) * c + ch) <- finish !acc !count
+  (* Output rows (one per (batch, y)) are independent — shard across
+     them; each window is still scanned in the fixed ky, kx order. *)
+  Parallel.parallel_for
+    ~grain:(grain_for ~item_cost:(ow * c * kh * kw) ~target_work:8192)
+    (batch * oh)
+    (fun lo hi ->
+      for row = lo to hi - 1 do
+        let b = row / oh and y = row mod oh in
+        for x = 0 to ow - 1 do
+          for ch = 0 to c - 1 do
+            let acc = ref init and count = ref 0 in
+            for ky = 0 to kh - 1 do
+              let sy = (y * sh) + ky - ph in
+              if sy >= 0 && sy < ih then
+                for kx = 0 to kw - 1 do
+                  let sx = (x * sw) + kx - pw in
+                  if sx >= 0 && sx < iw then begin
+                    acc :=
+                      combine !acc din.((((b * ih) + sy) * iw + sx) * c + ch);
+                    incr count
+                  end
+                done
+            done;
+            out.((((b * oh) + y) * ow + x) * c + ch) <- finish !acc !count
+          done
         done
-      done
-    done
-  done;
+      done);
   T.of_float_array ~dtype:(T.dtype input) [| batch; oh; ow; c |] out
 
 let max_pool input ~ksize ~strides ~padding =
@@ -581,7 +680,10 @@ let max_pool_grad input dy ~ksize ~strides ~padding =
   let _, pw = conv_dim ~padding ~in_size:iw ~filter:kw ~stride:sw in
   let din = T.float_buffer input and ddy = T.float_buffer dy in
   let out = Array.make (T.numel input) 0.0 in
-  for b = 0 to batch - 1 do
+  (* Windows overlap within an image, so gradient scatter shards over the
+     batch dimension only. *)
+  Parallel.parallel_for ~grain:1 batch (fun blo bhi ->
+  for b = blo to bhi - 1 do
     for y = 0 to oh - 1 do
       for x = 0 to ow - 1 do
         for ch = 0 to c - 1 do
@@ -607,7 +709,7 @@ let max_pool_grad input dy ~ksize ~strides ~padding =
         done
       done
     done
-  done;
+  done);
   T.of_float_array ~dtype:(T.dtype input) is out
 
 let rows_2d t =
@@ -615,47 +717,53 @@ let rows_2d t =
   if Shape.rank s <> 2 then invalid_arg "Tensor_ops: 2-D tensor required";
   (s.(0), s.(1))
 
+(* The softmax family shards over rows: each row's max / sum / normalize
+   passes stay on one shard, in the serial order. *)
+let softmax_grain d = grain_for ~item_cost:d ~target_work:4096
+
 let softmax t =
   let n, d = rows_2d t in
   let src = T.float_buffer t in
   let out = Array.make (n * d) 0.0 in
-  for i = 0 to n - 1 do
-    let base = i * d in
-    let m = ref Float.neg_infinity in
-    for j = 0 to d - 1 do
-      m := Float.max !m src.(base + j)
-    done;
-    let sum = ref 0.0 in
-    for j = 0 to d - 1 do
-      let e = Stdlib.exp (src.(base + j) -. !m) in
-      out.(base + j) <- e;
-      sum := !sum +. e
-    done;
-    for j = 0 to d - 1 do
-      out.(base + j) <- out.(base + j) /. !sum
-    done
-  done;
+  Parallel.parallel_for ~grain:(softmax_grain d) n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * d in
+        let m = ref Float.neg_infinity in
+        for j = 0 to d - 1 do
+          m := Float.max !m src.(base + j)
+        done;
+        let sum = ref 0.0 in
+        for j = 0 to d - 1 do
+          let e = Stdlib.exp (src.(base + j) -. !m) in
+          out.(base + j) <- e;
+          sum := !sum +. e
+        done;
+        for j = 0 to d - 1 do
+          out.(base + j) <- out.(base + j) /. !sum
+        done
+      done);
   T.of_float_array ~dtype:(T.dtype t) (T.shape t) out
 
 let log_softmax t =
   let n, d = rows_2d t in
   let src = T.float_buffer t in
   let out = Array.make (n * d) 0.0 in
-  for i = 0 to n - 1 do
-    let base = i * d in
-    let m = ref Float.neg_infinity in
-    for j = 0 to d - 1 do
-      m := Float.max !m src.(base + j)
-    done;
-    let sum = ref 0.0 in
-    for j = 0 to d - 1 do
-      sum := !sum +. Stdlib.exp (src.(base + j) -. !m)
-    done;
-    let lse = !m +. Stdlib.log !sum in
-    for j = 0 to d - 1 do
-      out.(base + j) <- src.(base + j) -. lse
-    done
-  done;
+  Parallel.parallel_for ~grain:(softmax_grain d) n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * d in
+        let m = ref Float.neg_infinity in
+        for j = 0 to d - 1 do
+          m := Float.max !m src.(base + j)
+        done;
+        let sum = ref 0.0 in
+        for j = 0 to d - 1 do
+          sum := !sum +. Stdlib.exp (src.(base + j) -. !m)
+        done;
+        let lse = !m +. Stdlib.log !sum in
+        for j = 0 to d - 1 do
+          out.(base + j) <- src.(base + j) -. lse
+        done
+      done);
   T.of_float_array ~dtype:(T.dtype t) (T.shape t) out
 
 let softmax_cross_entropy ~logits ~labels =
@@ -663,13 +771,14 @@ let softmax_cross_entropy ~logits ~labels =
   let ls = log_softmax logits in
   let lsb = T.float_buffer ls and lab = T.float_buffer labels in
   let out = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    let acc = ref 0.0 in
-    for j = 0 to d - 1 do
-      acc := !acc +. (lab.((i * d) + j) *. lsb.((i * d) + j))
-    done;
-    out.(i) <- -. !acc
-  done;
+  Parallel.parallel_for ~grain:(softmax_grain d) n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let acc = ref 0.0 in
+        for j = 0 to d - 1 do
+          acc := !acc +. (lab.((i * d) + j) *. lsb.((i * d) + j))
+        done;
+        out.(i) <- -. !acc
+      done);
   T.of_float_array ~dtype:(T.dtype logits) [| n |] out
 
 let softmax_cross_entropy_grad ~logits ~labels = sub (softmax logits) labels

@@ -24,7 +24,9 @@ val minimum : Tensor.t -> Tensor.t -> Tensor.t
 val pow : Tensor.t -> Tensor.t -> Tensor.t
 
 val modulo : Tensor.t -> Tensor.t -> Tensor.t
-(** Integer remainder (operands are truncated to integers first). *)
+(** Floor-mod with TensorFlow FloorMod semantics: the result has the
+    divisor's sign and [modulo x y = x - floor(x / y) * y] for fractional
+    operands (no truncation to integer). *)
 
 val neg : Tensor.t -> Tensor.t
 
@@ -63,14 +65,20 @@ val greater_equal : Tensor.t -> Tensor.t -> Tensor.t
 
 val select : Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
 (** [select cond a b]: elementwise [if cond then a else b]; [cond] is a
-    bool tensor broadcastable against [a]/[b]. *)
+    bool (or numeric, non-zero = true) tensor broadcastable against
+    [a]/[b]. Single broadcast-indexed pass: only the output is
+    allocated. *)
 
 (** {1 Linear algebra} *)
 
 val matmul :
   ?transpose_a:bool -> ?transpose_b:bool -> Tensor.t -> Tensor.t -> Tensor.t
-(** 2-D matrix product. @raise Invalid_argument on non-2-D input or inner
-    dimension mismatch. *)
+(** 2-D matrix product. All four transpose variants run the same
+    cache-blocked kernel (transposed operands are packed first), row-
+    sharded across the intra-op thread budget ({!Parallel}); results are
+    bit-identical for every thread count.
+    @raise Invalid_argument on non-2-D input or inner dimension
+    mismatch. *)
 
 val transpose : ?perm:int array -> Tensor.t -> Tensor.t
 (** General axis permutation; default reverses all axes. *)
