@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke bench-kernels fault-smoke metrics-smoke ci clean
+.PHONY: all build test fmt bench-smoke bench-kernels bench-memory fault-smoke metrics-smoke ci clean
 
 all: build
 
@@ -21,6 +21,12 @@ bench-smoke:
 # BENCH_kernels.json. Full sizes — set OCTF_BENCH_SMOKE=1 for CI speed.
 bench-kernels:
 	dune exec bench/main.exe -- kernels
+
+# Peak live tensor bytes with memory planning on vs off (MLP training);
+# writes BENCH_memory.json and fails if planning saves < 30%. Full
+# sizes — set OCTF_BENCH_SMOKE=1 for CI speed.
+bench-memory:
+	dune exec bench/main.exe -- memory
 
 # Deterministic-seed smoke for the fault injector: the same seed must
 # reproduce the same fault sequence.
@@ -48,7 +54,11 @@ ci: build test fmt bench-smoke fault-smoke metrics-smoke
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test faults
 	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test metrics
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test metrics
+	OCTF_MEMORY_PLANNING=off dune runtest --force
+	OCTF_MEMORY_PLANNING=on dune exec test/test_main.exe -- test differential
+	OCTF_MEMORY_PLANNING=off dune exec test/test_main.exe -- test differential
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- kernels
+	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- memory
 
 clean:
 	dune clean

@@ -526,6 +526,99 @@ let kernels () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Memory planning: peak live tensor bytes, planning on vs off         *)
+(* ------------------------------------------------------------------ *)
+
+(* One MLP training run under a fixed planning mode. The input batch is
+   a graph constant (feeding would pin the endpoint and change what the
+   planner may drop), and the Inline scheduler keeps the peak
+   deterministic. Returns (peak live bytes, steps/sec). *)
+let memory_run ~planning ~steps ~batch ~hidden =
+  let module Vs = Octf_nn.Var_store in
+  Octf.Metrics.reset Octf.Metrics.default;
+  Octf_tensor.Buffer_pool.clear ();
+  let rng = Rng.create 3 in
+  let b = B.create () in
+  let store = Vs.create b in
+  let x =
+    B.const b (Tensor.uniform rng [| batch; hidden |] ~lo:(-1.0) ~hi:1.0)
+  in
+  let h1 =
+    Octf_nn.Layers.dense store ~activation:`Relu ~name:"fc1" ~in_dim:hidden
+      ~out_dim:hidden x
+  in
+  let h2 =
+    Octf_nn.Layers.dense store ~activation:`Relu ~name:"fc2" ~in_dim:hidden
+      ~out_dim:hidden h1
+  in
+  let logits =
+    Octf_nn.Layers.dense store ~name:"fc3" ~in_dim:hidden ~out_dim:10 h2
+  in
+  let loss = B.reduce_mean b (B.square b logits) in
+  let train_op = Octf_train.Optimizer.minimize store ~lr:0.01 ~loss () in
+  let session =
+    Octf.Session.create ~scheduler:Octf.Scheduler.Inline
+      ~memory_planning:planning (B.graph b)
+  in
+  Octf.Session.run_unit session [ Vs.init_op store ];
+  (* Warm-up pays plan compilation; it touches the same peak the steady
+     state does, so measuring from here is safe. *)
+  ignore (Octf.Session.run session [ loss; train_op ]);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to steps do
+    ignore (Octf.Session.run session [ loss; train_op ])
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let peak =
+    match
+      Octf.Metrics.find_value Octf.Metrics.default "octf_mem_peak_bytes"
+    with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  (peak, float_of_int steps /. dt)
+
+let memory () =
+  section "Memory planning: MLP peak live tensor bytes, planning on vs off";
+  let smoke = smoke_mode () in
+  let steps = if smoke then 5 else 30 in
+  let batch = if smoke then 32 else 128 in
+  let hidden = if smoke then 64 else 256 in
+  let off_peak, off_rate = memory_run ~planning:false ~steps ~batch ~hidden in
+  let on_peak, on_rate = memory_run ~planning:true ~steps ~batch ~hidden in
+  let reduction =
+    if off_peak = 0 then 0.0
+    else 1.0 -. (float_of_int on_peak /. float_of_int off_peak)
+  in
+  Printf.printf
+    "MLP %dx%d batch %d, %d steps:\n\
+    \  planning off: peak %9d bytes  %7.1f steps/s\n\
+    \  planning on:  peak %9d bytes  %7.1f steps/s   (peak -%.1f%%)\n%!"
+    hidden hidden batch steps off_peak off_rate on_peak on_rate
+    (100.0 *. reduction);
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"memory\",\"smoke\":%b,\n\
+       \"model\":{\"hidden\":%d,\"batch\":%d,\"steps\":%d},\n\
+       \"planning_off\":{\"peak_live_bytes\":%d,\"steps_per_sec\":%.2f},\n\
+       \"planning_on\":{\"peak_live_bytes\":%d,\"steps_per_sec\":%.2f},\n\
+       \"peak_reduction\":%.3f}\n"
+      (smoke : bool)
+      hidden batch steps off_peak off_rate on_peak on_rate reduction
+  in
+  let oc = open_out "BENCH_memory.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_memory.json\n%!";
+  if reduction < 0.30 then begin
+    Printf.printf
+      "FAIL: memory planning cut peak live bytes by only %.1f%% (budget \
+       30%%)\n%!"
+      (100.0 *. reduction);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -533,6 +626,7 @@ let all_experiments =
     ("dispatch", dispatch_bechamel);
     ("dispatch-wide", dispatch_wide);
     ("kernels", kernels);
+    ("memory", memory);
     ("fig6", fig6);
     ("fig7", fig7);
     ("fig8", fig8);

@@ -151,6 +151,33 @@ let apply_intra_op = function
   | Some n -> Octf_tensor.Parallel.set_threads n
   | None -> ()
 
+(* -------------------------- memory planning ------------------------ *)
+
+let memory_planning_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "memory-planning" ] ~docv:"BOOL"
+        ~doc:
+          "Enable or disable the executor's memory planner: lifetime \
+           analysis with eager drops, buffer-pool recycling and in-place \
+           kernel grants. Fetched results are bit-identical either way. \
+           Defaults to \\$OCTF_MEMORY_PLANNING or $(b,true).")
+
+let buffer_pool_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "buffer-pool-mb" ] ~docv:"MB"
+        ~doc:
+          "Cap in megabytes on the pool that recycles freed tensor \
+           backings; $(b,0) disables pooling. Defaults to \
+           \\$OCTF_BUFFER_POOL_MB or 256.")
+
+let apply_memory planning pool_mb =
+  Option.iter Octf.Mem_plan.set_enabled planning;
+  Option.iter Octf_tensor.Buffer_pool.set_limit_mb pool_mb
+
 (* ------------------------------ faults ----------------------------- *)
 
 let fault_conv =
@@ -237,9 +264,10 @@ let dump_metrics = function
    queue feeding it) on a "worker" task, so every step exercises
    partitioned execution with real Send/Recv rendezvous traffic and
    queue backpressure — the paths the metrics registry instruments. *)
-let train steps lr scheduler intra_op deadline_ms fault fault_seed metrics
-    stats_every =
+let train steps lr scheduler intra_op planning pool_mb deadline_ms fault
+    fault_seed metrics stats_every =
   apply_intra_op intra_op;
+  apply_memory planning pool_mb;
   let module Vs = Octf_nn.Var_store in
   let deadline = deadline_of_ms deadline_ms in
   if metrics <> None || stats_every <> None then
@@ -398,8 +426,9 @@ let train_cmd =
          "Train a linear model on an in-process ps/worker cluster with a \
           queued input pipeline (quick sanity run)")
     Term.(
-      const train $ steps $ lr $ scheduler_arg $ intra_op_arg $ deadline_arg
-      $ fault_arg $ fault_seed_arg $ metrics_arg $ stats_every_arg)
+      const train $ steps $ lr $ scheduler_arg $ intra_op_arg
+      $ memory_planning_arg $ buffer_pool_mb_arg $ deadline_arg $ fault_arg
+      $ fault_seed_arg $ metrics_arg $ stats_every_arg)
 
 (* --------------------------- fault-smoke --------------------------- *)
 
@@ -464,8 +493,9 @@ let fault_smoke_cmd =
 
 (* ------------------------------ trace ------------------------------ *)
 
-let trace out scheduler intra_op metrics =
+let trace out scheduler intra_op planning pool_mb metrics =
   apply_intra_op intra_op;
+  apply_memory planning pool_mb;
   let module Vs = Octf_nn.Var_store in
   if metrics <> None then Octf.Metrics.set_kernel_timing true;
   let b = B.create () in
@@ -513,7 +543,9 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Profile one training step and print a per-op kernel summary")
-    Term.(const trace $ out $ scheduler_arg $ intra_op_arg $ metrics_arg)
+    Term.(
+      const trace $ out $ scheduler_arg $ intra_op_arg $ memory_planning_arg
+      $ buffer_pool_mb_arg $ metrics_arg)
 
 let () =
   let info =

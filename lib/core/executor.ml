@@ -223,6 +223,17 @@ type iter_state = {
   dead_control : (int, unit) Hashtbl.t;  (* nodes with a dead control token *)
   non_dead_seen : (int, unit) Hashtbl.t;  (* merges with a live data input *)
   done_nodes : (int, unit) Hashtbl.t;
+  (* Memory planning: remaining unfinished data consumers per produced
+     endpoint (key = value_key), for planner-owned (fresh) endpoints
+     only. An endpoint whose count reaches zero is dropped from
+     [values]. Missing entries mean "not tracked" — early-firing merges
+     and cross-frame edges decrement nothing, which leaks (until step
+     end) but never frees a value that is still needed. *)
+  rc : (int, int) Hashtbl.t;
+  (* Endpoints whose buffer was granted in-place to a consumer: the
+     consumer's output (or a variable) now owns it, so a later drop must
+     neither un-count its bytes nor recycle the buffer. *)
+  transferred : (int, unit) Hashtbl.t;
 }
 
 type instance = {
@@ -244,7 +255,19 @@ let new_iter index =
     dead_control = Hashtbl.create 4;
     non_dead_seen = Hashtbl.create 4;
     done_nodes = Hashtbl.create 16;
+    rc = Hashtbl.create 16;
+    transferred = Hashtbl.create 4;
   }
+
+(* Static lifetime facts for the general path, computed once per plan:
+   how many executed data consumers each planner-owned endpoint has,
+   which of those endpoints may hand their buffer to the pool when
+   dropped, and which node ids own their outputs at all. *)
+type mem_info = {
+  mi_counts : (int, int) Hashtbl.t;  (* value_key -> static consumer count *)
+  mi_poolable : (int, unit) Hashtbl.t;  (* value_key set *)
+  mi_fresh : (int, unit) Hashtbl.t;  (* node ids with planner-owned outputs *)
+}
 
 type state = {
   compiled : compiled;
@@ -255,6 +278,11 @@ type state = {
   seed : int;
   step_id : int;
   instances : (string, instance) Hashtbl.t;
+  planning : bool;  (* lifetime-driven drops / grants enabled this step *)
+  mem : mem_info;
+  pinned : (int, unit) Hashtbl.t;  (* fetched value_keys: never drop/grant *)
+  fed : (int, unit) Hashtbl.t;  (* fed node ids: inputs unwired, no counts *)
+  live : int ref;  (* planner-tracked live bytes, this step *)
   (* Set right after creation (the scheduler's callbacks close over the
      state, so the two are built in sequence). *)
   mutable sched : (cnode * instance * iter_state) Scheduler.t option;
@@ -324,7 +352,8 @@ let () =
    [Metrics.kernel_timing] flag, so the null-op dispatch benchmark pays
    one counter increment and nothing else. [bytes_of] extracts the
    payload size from the kernel's result (Recv'd tensor bytes). *)
-let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0) f =
+let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0)
+    ?(peak_of = fun _ -> 0) f =
   Metrics.Counter.incr m_kernels;
   if Option.is_none tracer && not (Metrics.kernel_timing ()) then f ()
   else begin
@@ -357,6 +386,7 @@ let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0) f =
             step_id;
             bytes = bytes_of result;
             shards;
+            peak_bytes = peak_of result;
           });
     result
   end
@@ -471,13 +501,57 @@ let store_invariants st (cn : cnode) inst (outputs : Value.t array) =
   List.iter (fun (_, dst_id, _) -> wake dst_id) cn.out_data;
   List.iter wake cn.out_control
 
+(* Drop one tracked endpoint: forget the stored value so the GC can
+   reclaim it, un-count its bytes and offer the backing buffer to the
+   pool — unless an in-place grant already transferred ownership to a
+   consumer's output. Only called when every remaining reader has
+   finished (refcount zero) and the endpoint is not fetched. *)
+let drop_value st (it : iter_state) key =
+  match Hashtbl.find_opt it.values key with
+  | None -> ()
+  | Some v -> (
+      Hashtbl.remove it.values key;
+      if not (Hashtbl.mem it.transferred key) then
+        match v with
+        | Value.Tensor t ->
+            let bytes = Value.byte_size v in
+            st.live := !(st.live) - bytes;
+            Mem_plan.live_sub bytes;
+            if
+              Hashtbl.mem st.mem.mi_poolable key
+              && Dtype.is_floating (Tensor.dtype t)
+            then Buffer_pool.release_float (Tensor.float_buffer t)
+        | _ -> ())
+
 let finish_node st (cn : cnode) inst it (outputs : Value.t array) =
   if cn.is_invariant then store_invariants st cn inst outputs
   else begin
+    let id = cn.node.Node.id in
     Array.iteri
-      (fun out v ->
-        Hashtbl.replace it.values (value_key cn.node.Node.id out) v)
+      (fun out v -> Hashtbl.replace it.values (value_key id out) v)
       outputs;
+    (* Lifetime bookkeeping for planner-owned outputs: count the bytes
+       (always, so traces and the peak gauge are comparable with
+       planning off), arm the consumer refcount, and immediately drop
+       endpoints nobody reads. *)
+    if Hashtbl.mem st.mem.mi_fresh id then
+      Array.iteri
+        (fun out v ->
+          match v with
+          | Value.Tensor _ ->
+              let bytes = Value.byte_size v in
+              st.live := !(st.live) + bytes;
+              Mem_plan.live_add bytes;
+              let key = value_key id out in
+              let count =
+                Option.value ~default:0
+                  (Hashtbl.find_opt st.mem.mi_counts key)
+              in
+              if count > 0 then Hashtbl.replace it.rc key count
+              else if st.planning && not (Hashtbl.mem st.pinned key) then
+                drop_value st it key
+          | _ -> ())
+        outputs;
     (* A live Exit value belongs to the parent context too, so that
        fetches (which read the root iteration) can observe loop results
        even when the Exit has no consumer edge. *)
@@ -513,7 +587,23 @@ let finish_node st (cn : cnode) inst it (outputs : Value.t array) =
         (fun dst_id ->
           let v = if control_dead then Value.Dead else Value.Tensor (Tensor.scalar_i 0) in
           deliver st ~src:cn ~v ~inst ~it ~dst_id ~slot:(-1) ~out:0)
-        cn.out_control
+        cn.out_control;
+    (* This node has finished reading its inputs: release its claim on
+       each tracked input endpoint. Untracked keys (cross-frame edges,
+       inputs a merge fired without) decrement nothing — leak-safe. Fed
+       nodes have no wired inputs, so their counts must not move. *)
+    if st.planning && not (Hashtbl.mem st.fed id) then
+      Array.iteri
+        (fun slot (e : Node.endpoint) ->
+          if not (List.mem slot cn.invariant_slots) then
+            let key = value_key e.node_id e.index in
+            match Hashtbl.find_opt it.rc key with
+            | None -> ()
+            | Some c when c <= 1 ->
+                Hashtbl.remove it.rc key;
+                if not (Hashtbl.mem st.pinned key) then drop_value st it key
+            | Some c -> Hashtbl.replace it.rc key (c - 1))
+        cn.node.Node.inputs
   end
 
 let gather_inputs (cn : cnode) inst (it : iter_state) =
@@ -590,16 +680,24 @@ let failure_of_exn ~node ~device e =
    peer partitions — including threads parked in queue waits — unblock
    even while the coordinator is busy elsewhere). Wrap in a thunk when
    building a [Scheduler.Offload] — applying it runs the kernel. *)
-let offload_kernel ~tracer ~rendezvous ~cancel ~step_id (n : Node.t) kernel
-    ctx ~finish =
+let offload_kernel ~tracer ~rendezvous ~cancel ~step_id
+    ?(live_of = fun () -> 0) (n : Node.t) kernel ctx ~finish =
   let bytes_of outputs =
     match n.Node.op_type with
     | "Recv" ->
         Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 outputs
     | _ -> 0
   in
+  (* Per-node memory watermark: live planner-tracked bytes sampled when
+     the kernel finishes, plus this node's own (not-yet-counted)
+     outputs. The racy read of the live counter is fine — this feeds
+     traces, not the planner. *)
+  let peak_of outputs =
+    live_of ()
+    + Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 outputs
+  in
   match
-    trace tracer n ~step_id ~bytes_of (fun () ->
+    trace tracer n ~step_id ~bytes_of ~peak_of (fun () ->
         Cancel.check_opt cancel;
         Fault_injector.kernel_hook n ~step_id;
         kernel ctx)
@@ -643,6 +741,51 @@ let stage_node st ((cn : cnode), inst, it) =
         + (n.Node.id * 7_919)
         + (it.it_index * 104_729))
     in
+    (* In-place grants: a declared May_alias pair is granted when the
+       input endpoint is planner-owned, poolable (no retaining
+       consumer), this node is its sole remaining reader, and it is
+       neither fetched nor already handed away. Staging and completion
+       both run on the coordinating thread, so refcount 1 here means
+       every other consumer's kernel has fully finished reading. *)
+    let grants =
+      if not st.planning then []
+      else
+        match Kernel.aliases ~op_type:n.Node.op_type with
+        | [] -> []
+        | decls ->
+            let used_in = ref [] and used_out = ref [] in
+            List.filter
+              (fun (i, o) ->
+                (not (List.mem i !used_in))
+                && (not (List.mem o !used_out))
+                && i < Array.length n.Node.inputs
+                && (not (List.mem i cn.invariant_slots))
+                &&
+                let e = n.Node.inputs.(i) in
+                let key = value_key e.node_id e.index in
+                let ok =
+                  Hashtbl.mem st.mem.mi_fresh e.node_id
+                  && Hashtbl.mem st.mem.mi_poolable key
+                  && Hashtbl.find_opt it.rc key = Some 1
+                  && (not (Hashtbl.mem st.pinned key))
+                  && (not (Hashtbl.mem it.transferred key))
+                  &&
+                  match inputs.(i) with
+                  | Value.Tensor t -> Dtype.is_floating (Tensor.dtype t)
+                  | _ -> false
+                in
+                if ok then begin
+                  Hashtbl.replace it.transferred key ();
+                  let bytes = Value.byte_size inputs.(i) in
+                  st.live := !(st.live) - bytes;
+                  Mem_plan.live_sub bytes;
+                  Mem_plan.count_grant ();
+                  used_in := i :: !used_in;
+                  used_out := o :: !used_out
+                end;
+                ok)
+              decls
+    in
     let ctx =
       {
         Kernel.node = n;
@@ -652,13 +795,16 @@ let stage_node st ((cn : cnode), inst, it) =
         rng;
         step_id = st.step_id;
         cancel = st.cancel;
+        grants;
       }
     in
     let kernel = resolve_kernel cn in
     Scheduler.Offload
       (fun () ->
         offload_kernel ~tracer:st.tracer ~rendezvous:st.rendezvous
-          ~cancel:st.cancel ~step_id:st.step_id n kernel ctx
+          ~cancel:st.cancel ~step_id:st.step_id
+          ~live_of:(fun () -> !(st.live))
+          n kernel ctx
           ~finish:(fun outputs -> finish_node st cn inst it outputs))
   end
 
@@ -679,6 +825,11 @@ type splan = {
   s_blocking : bool array;
   s_fed : bool array;
   s_num_outputs : int array;
+  (* Memory planning statics, indexed like [s_nodes]: *)
+  s_refcounts : int array array;  (* data consumers per (idx, out) *)
+  s_fresh : bool array;  (* outputs are planner-owned fresh buffers *)
+  s_poolable : bool array array;  (* no consumer retains the endpoint *)
+  s_aliases : (int * int) list array;  (* declared May_alias pairs *)
 }
 
 type plan = {
@@ -687,6 +838,8 @@ type plan = {
   p_fed : (int, unit) Hashtbl.t;
   p_simple : splan option;
   p_scheduler : Scheduler.policy;
+  p_planning : bool;  (* memory planning default for this plan's steps *)
+  p_mem : mem_info;  (* general-path lifetime statics *)
 }
 
 let control_flow_free compiled =
@@ -745,6 +898,42 @@ let build_splan compiled fed =
           @ List.map dense cn.out_control))
       s_nodes
   in
+  let s_num_outputs =
+    Array.map (fun cn -> max 1 (Node.num_outputs cn.node)) s_nodes
+  in
+  let s_fed = Array.map (fun cn -> Hashtbl.mem fed cn.node.Node.id) s_nodes in
+  let s_refcounts =
+    Array.mapi
+      (fun i cn ->
+        let rc = Array.make s_num_outputs.(i) 0 in
+        List.iter
+          (fun (out, _, _) ->
+            if out < Array.length rc then rc.(out) <- rc.(out) + 1)
+          cn.out_data;
+        rc)
+      s_nodes
+  in
+  let s_fresh =
+    Array.mapi
+      (fun i cn ->
+        (not s_fed.(i)) && Mem_plan.fresh_output_op cn.node.Node.op_type)
+      s_nodes
+  in
+  let s_poolable =
+    Array.mapi
+      (fun i cn ->
+        let p = Array.make s_num_outputs.(i) s_fresh.(i) in
+        if s_fresh.(i) then
+          List.iter
+            (fun (out, dst, _) ->
+              if out < Array.length p then
+                let dcn = Hashtbl.find compiled.cnodes dst in
+                if Mem_plan.retains_input dcn.node.Node.op_type then
+                  p.(out) <- false)
+            cn.out_data;
+        p)
+      s_nodes
+  in
   {
     s_nodes;
     s_index;
@@ -753,11 +942,52 @@ let build_splan compiled fed =
     s_consumers;
     s_in_counts = Array.map (fun cn -> cn.in_count) s_nodes;
     s_blocking = Array.map (fun cn -> blocking_op cn.node.Node.op_type) s_nodes;
-    s_fed = Array.map (fun cn -> Hashtbl.mem fed cn.node.Node.id) s_nodes;
-    s_num_outputs = Array.map (fun cn -> max 1 (Node.num_outputs cn.node)) s_nodes;
+    s_fed;
+    s_num_outputs;
+    s_refcounts;
+    s_fresh;
+    s_poolable;
+    s_aliases =
+      Array.map (fun cn -> Kernel.aliases ~op_type:cn.node.Node.op_type) s_nodes;
   }
 
-let prepare ?scheduler ~graph ~nodes ~fed_ids () =
+(* General-path analogue of the splan lifetime statics. Invariant nodes
+   are excluded: their outputs live in the frame instance for all
+   iterations and must never be dropped per-iteration. *)
+let build_mem_info compiled fed =
+  let mi_counts = Hashtbl.create 64 in
+  let mi_poolable = Hashtbl.create 64 in
+  let mi_fresh = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id cn ->
+      if
+        Mem_plan.fresh_output_op cn.node.Node.op_type
+        && (not (Hashtbl.mem fed id))
+        && not cn.is_invariant
+      then begin
+        Hashtbl.replace mi_fresh id ();
+        let nouts = max 1 (Node.num_outputs cn.node) in
+        let counts = Array.make nouts 0 in
+        let pool = Array.make nouts true in
+        List.iter
+          (fun (out, dst, _) ->
+            if out < nouts then begin
+              counts.(out) <- counts.(out) + 1;
+              let dcn = Hashtbl.find compiled.cnodes dst in
+              if Mem_plan.retains_input dcn.node.Node.op_type then
+                pool.(out) <- false
+            end)
+          cn.out_data;
+        for out = 0 to nouts - 1 do
+          if counts.(out) > 0 then
+            Hashtbl.replace mi_counts (value_key id out) counts.(out);
+          if pool.(out) then Hashtbl.replace mi_poolable (value_key id out) ()
+        done
+      end)
+    compiled.cnodes;
+  { mi_counts; mi_poolable; mi_fresh }
+
+let prepare ?scheduler ?memory_planning ~graph ~nodes ~fed_ids () =
   let fed = Hashtbl.create 8 in
   List.iter (fun id -> Hashtbl.replace fed id ()) fed_ids;
   let compiled = compile graph nodes fed in
@@ -768,15 +998,73 @@ let prepare ?scheduler ~graph ~nodes ~fed_ids () =
   let p_scheduler =
     match scheduler with Some p -> p | None -> Scheduler.default_policy ()
   in
-  { p_graph = graph; p_compiled = compiled; p_fed = fed; p_simple; p_scheduler }
+  let p_planning =
+    match memory_planning with Some b -> b | None -> Mem_plan.enabled ()
+  in
+  {
+    p_graph = graph;
+    p_compiled = compiled;
+    p_fed = fed;
+    p_simple;
+    p_scheduler;
+    p_planning;
+    p_mem = build_mem_info compiled fed;
+  }
 
-let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
-    ~tracer ~cancel ~seed ~step_id =
+let execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
+    ~rendezvous ~tracer ~cancel ~seed ~step_id =
   let count = Array.length sp.s_nodes in
   let values = Array.make count [||] in
   let dead = Array.make count false in
   let pending = Array.copy sp.s_in_counts in
   let scheduled = Array.make count false in
+  (* Per-step lifetime state. [rc] counts unfinished data consumers per
+     endpoint; byte accounting runs regardless of [planning] so peak
+     figures stay comparable, but drops, pool returns and in-place
+     grants fire only when planning is on. *)
+  let rc = Array.map Array.copy sp.s_refcounts in
+  let pinned =
+    Array.map (fun rcs -> Array.make (Array.length rcs) false) sp.s_refcounts
+  in
+  let transferred =
+    Array.map (fun rcs -> Array.make (Array.length rcs) false) sp.s_refcounts
+  in
+  List.iter
+    (fun (e : Node.endpoint) ->
+      match Hashtbl.find_opt sp.s_index e.node_id with
+      | Some idx when e.index < Array.length pinned.(idx) ->
+          pinned.(idx).(e.index) <- true
+      | _ -> ())
+    fetches;
+  let live = ref 0 in
+  let live_add b =
+    live := !live + b;
+    Mem_plan.live_add b
+  in
+  let live_sub b =
+    live := !live - b;
+    Mem_plan.live_sub b
+  in
+  (* Drop a planner-owned endpoint all of whose consumers have finished:
+     tombstone the slot (consumers still staged hold their own gathered
+     references; control consumers read the [dead] flags, fetches are
+     pinned) and recycle the float buffer unless some consumer retains
+     it or an in-place grant moved ownership. *)
+  let drop src out =
+    if sp.s_fresh.(src) && not pinned.(src).(out) then begin
+      (match values.(src).(out) with
+      | Value.Tensor t ->
+          if not transferred.(src).(out) then begin
+            live_sub (Tensor.byte_size t);
+            if
+              sp.s_poolable.(src).(out)
+              && Dtype.is_floating (Tensor.dtype t)
+            then Buffer_pool.release_float (Tensor.float_buffer t)
+          end
+      | _ -> ());
+      values.(src).(out) <- Value.Dead
+    end
+  in
   (* The scheduler's callbacks and the node bookkeeping close over each
      other; tie the knot through a cell filled right after creation. *)
   let sched_cell = ref None in
@@ -796,6 +1084,26 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
     if Array.length outputs > 0 && Array.for_all Value.is_dead outputs then
       dead.(idx) <- true;
     values.(idx) <- outputs;
+    (* Count fresh outputs and drop the ones nobody consumes. *)
+    if sp.s_fresh.(idx) then begin
+      let nouts = min (Array.length outputs) (Array.length rc.(idx)) in
+      for out = 0 to nouts - 1 do
+        (match outputs.(out) with
+        | Value.Tensor t -> live_add (Tensor.byte_size t)
+        | _ -> ());
+        if planning && rc.(idx).(out) = 0 then drop idx out
+      done
+    end;
+    (* This node finished reading: release its claim on each input
+       endpoint; the last reader out frees the value. *)
+    if planning then
+      Array.iter
+        (fun (src, out) ->
+          if sp.s_fresh.(src) && out < Array.length rc.(src) then begin
+            rc.(src).(out) <- rc.(src).(out) - 1;
+            if rc.(src).(out) = 0 then drop src out
+          end)
+        sp.s_inputs.(idx);
     Array.iter arrive sp.s_consumers.(idx)
   in
   let stage idx =
@@ -817,13 +1125,55 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
       let rng =
         Rng.create (seed + (step_id * 1_000_003) + (n.Node.id * 7_919))
       in
+      (* In-place grants — see the general path for the safety argument:
+         staging and completion both run on the coordinating thread, so
+         refcount 1 here means this node is the endpoint's only
+         unfinished reader. *)
+      let grants =
+        if not planning then []
+        else
+          match sp.s_aliases.(idx) with
+          | [] -> []
+          | decls ->
+              let used_in = ref [] and used_out = ref [] in
+              List.filter
+                (fun (i, o) ->
+                  (not (List.mem i !used_in))
+                  && (not (List.mem o !used_out))
+                  && i < Array.length sp.s_inputs.(idx)
+                  &&
+                  let src, out = sp.s_inputs.(idx).(i) in
+                  let ok =
+                    sp.s_fresh.(src)
+                    && out < Array.length rc.(src)
+                    && sp.s_poolable.(src).(out)
+                    && rc.(src).(out) = 1
+                    && (not pinned.(src).(out))
+                    && (not transferred.(src).(out))
+                    &&
+                    match inputs.(i) with
+                    | Value.Tensor t -> Dtype.is_floating (Tensor.dtype t)
+                    | _ -> false
+                  in
+                  if ok then begin
+                    transferred.(src).(out) <- true;
+                    live_sub (Value.byte_size inputs.(i));
+                    Mem_plan.count_grant ();
+                    used_in := i :: !used_in;
+                    used_out := o :: !used_out
+                  end;
+                  ok)
+                decls
+      in
       let ctx =
-        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id; cancel }
+        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id; cancel; grants }
       in
       let kernel = resolve_kernel cn in
       Scheduler.Offload
         (fun () ->
-          offload_kernel ~tracer ~rendezvous ~cancel ~step_id n kernel ctx
+          offload_kernel ~tracer ~rendezvous ~cancel ~step_id
+            ~live_of:(fun () -> !live)
+            n kernel ctx
             ~finish:(fun outputs -> complete idx outputs))
     end
   in
@@ -883,31 +1233,44 @@ let execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
     (fun idx fedp ->
       if fedp then Array.iter arrive sp.s_consumers.(idx))
     sp.s_fed;
-  Scheduler.drive sched;
-  List.map
-    (fun (e : Node.endpoint) ->
-      match Hashtbl.find_opt sp.s_index e.node_id with
-      | Some idx
-        when Array.length values.(idx) > e.index
-             && not (Value.is_dead values.(idx).(e.index)) ->
-          values.(idx).(e.index)
-      | _ ->
-          raise
-            (Step_failure.error
-               (Step_failure.Fetch_failed
-                  (Printf.sprintf
-                     "fetch %s:%d was not produced (dead value or \
-                      incomplete subgraph?)"
-                     (Graph.get plan.p_graph e.node_id).Node.name e.index))))
-    fetches
+  (* Whatever the step's fate, the process-wide gauges must not keep
+     counting this step's bytes, and the pool counters get synced. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Mem_plan.live_sub !live;
+      live := 0;
+      Mem_plan.sync_pool_metrics ())
+    (fun () ->
+      Scheduler.drive sched;
+      List.map
+        (fun (e : Node.endpoint) ->
+          match Hashtbl.find_opt sp.s_index e.node_id with
+          | Some idx
+            when Array.length values.(idx) > e.index
+                 && not (Value.is_dead values.(idx).(e.index)) ->
+              values.(idx).(e.index)
+          | _ ->
+              raise
+                (Step_failure.error
+                   (Step_failure.Fetch_failed
+                      (Printf.sprintf
+                         "fetch %s:%d was not produced (dead value or \
+                          incomplete subgraph?)"
+                         (Graph.get plan.p_graph e.node_id).Node.name e.index))))
+        fetches)
 
-let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
-    ~tracer ~cancel ~seed ~step_id =
+let execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
+    ~rendezvous ~tracer ~cancel ~seed ~step_id =
   let compiled = plan.p_compiled in
   let fed_vals = Hashtbl.create 8 in
   List.iter
     (fun ((e : Node.endpoint), v) -> Hashtbl.replace fed_vals e.node_id v)
     feeds;
+  let pinned = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Node.endpoint) ->
+      Hashtbl.replace pinned (value_key e.node_id e.index) ())
+    fetches;
   let root =
     {
       inst_frame = root_frame;
@@ -928,6 +1291,11 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
       seed;
       step_id;
       instances = Hashtbl.create 8;
+      planning;
+      mem = plan.p_mem;
+      pinned;
+      fed = plan.p_fed;
+      live = ref 0;
       sched = None;
     }
   in
@@ -990,23 +1358,31 @@ let execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
   (* Recvs are retried non-blockingly so one pending value never wedges
      the partition while other cross-device values are already here (the
      polling lives in {!Scheduler.drive}). *)
-  Scheduler.drive sched;
-  List.map
-    (fun (e : Node.endpoint) ->
-      match Hashtbl.find_opt root_it.values (value_key e.node_id e.index) with
-      | Some v -> v
-      | None ->
-          raise
-            (Step_failure.error
-               (Step_failure.Fetch_failed
-                  (Printf.sprintf
-                     "fetch %s:%d was not produced (dead value or \
-                      incomplete subgraph?)"
-                     (Graph.get plan.p_graph e.node_id).Node.name e.index))))
-    fetches
+  Fun.protect
+    ~finally:(fun () ->
+      Mem_plan.live_sub !(st.live);
+      st.live := 0;
+      Mem_plan.sync_pool_metrics ())
+    (fun () ->
+      Scheduler.drive sched;
+      List.map
+        (fun (e : Node.endpoint) ->
+          match
+            Hashtbl.find_opt root_it.values (value_key e.node_id e.index)
+          with
+          | Some v -> v
+          | None ->
+              raise
+                (Step_failure.error
+                   (Step_failure.Fetch_failed
+                      (Printf.sprintf
+                         "fetch %s:%d was not produced (dead value or \
+                          incomplete subgraph?)"
+                         (Graph.get plan.p_graph e.node_id).Node.name e.index))))
+        fetches)
 
-let execute plan ?scheduler ?intra_op_threads ~feeds ~fetches ~resources
-    ?rendezvous ?tracer ?cancel ?(seed = 0) ?(step_id = 0) () =
+let execute plan ?scheduler ?intra_op_threads ?memory_planning ~feeds ~fetches
+    ~resources ?rendezvous ?tracer ?cancel ?(seed = 0) ?(step_id = 0) () =
   (* Like TF's intra_op_parallelism_threads this is a process-wide
      hardware knob, not per-step state: setting it here adjusts the
      budget for this and subsequent steps. *)
@@ -1016,17 +1392,20 @@ let execute plan ?scheduler ?intra_op_threads ~feeds ~fetches ~resources
   let scheduler =
     match scheduler with Some p -> p | None -> plan.p_scheduler
   in
+  let planning =
+    match memory_planning with Some b -> b | None -> plan.p_planning
+  in
   match plan.p_simple with
   | Some sp ->
-      execute_simple plan sp ~scheduler ~feeds ~fetches ~resources ~rendezvous
-        ~tracer ~cancel ~seed ~step_id
+      execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
+        ~rendezvous ~tracer ~cancel ~seed ~step_id
   | None ->
-      execute_general plan ~scheduler ~feeds ~fetches ~resources ~rendezvous
-        ~tracer ~cancel ~seed ~step_id
+      execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
+        ~rendezvous ~tracer ~cancel ~seed ~step_id
 
-let run ?scheduler ?intra_op_threads ~graph ~nodes ~feeds ~fetches ~resources
-    ?rendezvous ?cancel ?seed ?step_id () =
+let run ?scheduler ?intra_op_threads ?memory_planning ~graph ~nodes ~feeds
+    ~fetches ~resources ?rendezvous ?cancel ?seed ?step_id () =
   let fed_ids = List.map (fun ((e : Node.endpoint), _) -> e.node_id) feeds in
-  let plan = prepare ?scheduler ~graph ~nodes ~fed_ids () in
+  let plan = prepare ?scheduler ?memory_planning ~graph ~nodes ~fed_ids () in
   execute plan ?intra_op_threads ~feeds ~fetches ~resources ?rendezvous
     ?cancel ?seed ?step_id ()

@@ -46,6 +46,7 @@ type plan
 
 val prepare :
   ?scheduler:Scheduler.policy ->
+  ?memory_planning:bool ->
   graph:Graph.t ->
   nodes:int list ->
   fed_ids:int list ->
@@ -56,6 +57,17 @@ val prepare :
     [scheduler] sets the plan's default policy (falling back to
     {!Scheduler.default_policy}); {!execute} may override per step.
 
+    [memory_planning] sets the plan's default for the per-step lifetime
+    analysis (falling back to {!Mem_plan.enabled}). When on, each step
+    refcounts the consumers of every planner-owned output endpoint,
+    drops stored values as their last reader finishes (recycling float
+    buffers through {!Octf_tensor.Buffer_pool}), and grants declared
+    May_alias kernels in-place writes into exclusively-owned input
+    buffers. Fetched endpoints, fed values, variable state and values
+    passing through retaining ops (Identity, reshapes, control flow,
+    Assign, queues, Send) are never dropped early or aliased; fetches
+    are bit-identical with planning on or off.
+
     @raise Step_failure.Error on malformed control flow (frame-crossing
     edges) *)
 
@@ -63,6 +75,7 @@ val execute :
   plan ->
   ?scheduler:Scheduler.policy ->
   ?intra_op_threads:int ->
+  ?memory_planning:bool ->
   feeds:(Node.endpoint * Value.t) list ->
   fetches:Node.endpoint list ->
   resources:Resource_manager.t ->
@@ -80,11 +93,13 @@ val execute :
     [intra_op_threads] sets the {e process-wide} intra-op thread budget
     ({!Octf_tensor.Parallel.set_threads}) before the step runs — a
     hardware-resource knob like TensorFlow's
-    [intra_op_parallelism_threads], not per-step state. *)
+    [intra_op_parallelism_threads], not per-step state.
+    [memory_planning] overrides the plan's default for this step. *)
 
 val run :
   ?scheduler:Scheduler.policy ->
   ?intra_op_threads:int ->
+  ?memory_planning:bool ->
   graph:Graph.t ->
   nodes:int list ->
   feeds:(Node.endpoint * Value.t) list ->

@@ -101,22 +101,26 @@ let ensure_builtins =
           ignore y;
           let dx =
             B.mul b dy
-              (B.mul b p (B.pow b x (B.sub b p (B.const_f b 1.0))))
+              (B.mul b p (B.pow b x (B.sub b p (B.ones_like b p))))
           in
           let dp = B.mul b dy (B.mul b (B.pow b x p) (B.log b x)) in
           dense2 (sts b dx x) (sts b dp p));
+      (* Select rather than mask-and-multiply: it keeps the gradient in
+         dy's dtype (a cast-to-F32 mask would silently demote F64). *)
       reg ~op_type:"Maximum" (fun b n dys ->
           let dy = dy0 dys in
           let x = inp b n 0 and y = inp b n 1 in
-          let mx = B.cast b (B.greater_equal b x y) Dtype.F32 in
-          let my = B.cast b (B.greater b y x) Dtype.F32 in
-          dense2 (sts b (B.mul b dy mx) x) (sts b (B.mul b dy my) y));
+          let zero = B.zeros_like b dy in
+          let gx = B.select b (B.greater_equal b x y) dy zero in
+          let gy = B.select b (B.greater b y x) dy zero in
+          dense2 (sts b gx x) (sts b gy y));
       reg ~op_type:"Minimum" (fun b n dys ->
           let dy = dy0 dys in
           let x = inp b n 0 and y = inp b n 1 in
-          let mx = B.cast b (B.greater_equal b y x) Dtype.F32 in
-          let my = B.cast b (B.greater b x y) Dtype.F32 in
-          dense2 (sts b (B.mul b dy mx) x) (sts b (B.mul b dy my) y));
+          let zero = B.zeros_like b dy in
+          let gx = B.select b (B.greater_equal b y x) dy zero in
+          let gy = B.select b (B.greater b x y) dy zero in
+          dense2 (sts b gx x) (sts b gy y));
       reg ~op_type:"Neg" (fun b _ dys -> dense1 (B.neg b (dy0 dys)));
       reg ~op_type:"Abs" (fun b n dys ->
           dense1 (B.mul b (dy0 dys) (B.sign b (inp b n 0))));
@@ -126,11 +130,10 @@ let ensure_builtins =
           dense1 (B.div b (dy0 dys) (inp b n 0)));
       reg ~op_type:"Sqrt" (fun b n dys ->
           let y = out n 0 in
-          dense1
-            (B.mul b (B.mul b (dy0 dys) (B.reciprocal b y)) (B.const_f b 0.5)));
+          dense1 (B.div b (dy0 dys) (B.add b y y)));
       reg ~op_type:"Square" (fun b n dys ->
-          dense1
-            (B.mul b (dy0 dys) (B.mul b (inp b n 0) (B.const_f b 2.0))));
+          let x = inp b n 0 in
+          dense1 (B.mul b (dy0 dys) (B.add b x x)));
       reg ~op_type:"Reciprocal" (fun b n dys ->
           let y = out n 0 in
           dense1 (B.neg b (B.mul b (dy0 dys) (B.mul b y y))));
@@ -140,11 +143,11 @@ let ensure_builtins =
           let y = out n 0 in
           dense1
             (B.mul b (dy0 dys)
-               (B.mul b y (B.sub b (B.const_f b 1.0) y))));
+               (B.mul b y (B.sub b (B.ones_like b y) y))));
       reg ~op_type:"Tanh" (fun b n dys ->
           let y = out n 0 in
           dense1
-            (B.mul b (dy0 dys) (B.sub b (B.const_f b 1.0) (B.mul b y y))));
+            (B.mul b (dy0 dys) (B.sub b (B.ones_like b y) (B.mul b y y))));
       reg ~op_type:"AddN" (fun _ n dys ->
           let dy = dy0 dys in
           List.init (Array.length n.Node.inputs) (fun _ -> Some (Dense dy)));

@@ -36,6 +36,10 @@ let redirect graph ~old_id ~new_id =
       end)
 
 let constant_fold graph ~nodes ~fed =
+  (* Folding executes kernels; without this, Kernel.lookup returns None
+     for everything when the optimizer runs before the first executor
+     compile of the process and folding silently does nothing. *)
+  Builtin_kernels.ensure ();
   let folded = ref 0 in
   let order = Graph.topological_order graph in
   let in_set = Hashtbl.create 64 in
@@ -76,6 +80,7 @@ let constant_fold graph ~nodes ~fed =
                 rng = Rng.create 0;
                 step_id = 0;
                 cancel = None;
+                grants = [];
               }
             in
             match kernel ctx with

@@ -6,6 +6,7 @@ type ctx = {
   rng : Octf_tensor.Rng.t;
   step_id : int;
   cancel : Cancel.t option;
+  grants : (int * int) list;
 }
 
 type t = ctx -> Value.t array
@@ -14,12 +15,25 @@ exception Kernel_error of string * exn
 
 let registry : (string * Device.device_type, t) Hashtbl.t = Hashtbl.create 256
 
-let register ~op_type ?(devices = [ Device.CPU; Device.GPU ]) kernel =
+(* Declared May_alias (input_idx, output_idx) pairs per op type.  A
+   declaration is a capability, not a promise: the executor grants a
+   pair only when its lifetime analysis proves the input buffer is
+   exclusively owned (refcount 1, not fed/fetched/variable-backed), and
+   the kernel may still decline (e.g. a broadcast changed the output
+   size). *)
+let alias_registry : (string, (int * int) list) Hashtbl.t = Hashtbl.create 64
+
+let register ~op_type ?(devices = [ Device.CPU; Device.GPU ]) ?(aliases = [])
+    kernel =
+  if aliases <> [] then Hashtbl.replace alias_registry op_type aliases;
   List.iter
     (fun d -> Hashtbl.replace registry (op_type, d) kernel)
     devices
 
 let lookup ~op_type ~device = Hashtbl.find_opt registry (op_type, device)
+
+let aliases ~op_type =
+  Option.value ~default:[] (Hashtbl.find_opt alias_registry op_type)
 
 let supported_devices ~op_type =
   List.filter
@@ -38,3 +52,19 @@ let all_input_tensors ctx =
   Array.to_list (Array.map Value.tensor ctx.inputs)
 
 let one v = [| v |]
+
+let granted_input ctx ~output =
+  List.find_map
+    (fun (i, o) ->
+      if o = output then
+        match ctx.inputs.(i) with
+        | Value.Tensor t -> Some t
+        | _ -> None
+      else None)
+    ctx.grants
+
+let granted_buffer ctx ~output =
+  match granted_input ctx ~output with
+  | Some t when Octf_tensor.Dtype.is_floating (Octf_tensor.Tensor.dtype t) ->
+      Some (Octf_tensor.Tensor.float_buffer t)
+  | _ -> None

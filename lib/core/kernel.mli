@@ -21,6 +21,13 @@ type ctx = {
   cancel : Cancel.t option;
       (** the step's cancellation token; blocking kernels must pass it
           to their waits so deadlines and aborts wake them *)
+  grants : (int * int) list;
+      (** in-place grants issued by the executor's memory planner: each
+          [(input_idx, output_idx)] pair licenses the kernel to write
+          output [output_idx] into input [input_idx]'s backing buffer
+          (the input's refcount is 1 and it is not fed, fetched or a
+          variable's backing store). Empty unless the op declared
+          [~aliases] at registration and planning is enabled. *)
 }
 
 type t = ctx -> Value.t array
@@ -31,11 +38,24 @@ exception Kernel_error of string * exn
 (** [(node name, underlying failure)] — wraps kernel exceptions so step
     errors identify the failing operation. *)
 
-val register : op_type:string -> ?devices:Device.device_type list -> t -> unit
+val register :
+  op_type:string ->
+  ?devices:Device.device_type list ->
+  ?aliases:(int * int) list ->
+  t ->
+  unit
 (** Register one implementation for [op_type] on each listed device type
-    (default [[CPU; GPU]]). Later registrations override. *)
+    (default [[CPU; GPU]]). Later registrations override.
+
+    [aliases] declares May_alias [(input_idx, output_idx)] pairs: the
+    kernel {e can} write that output into that input's buffer when the
+    executor grants it (see {!type:ctx}[.grants]). Kernels read their
+    grants through {!granted_buffer} / {!granted_input}. *)
 
 val lookup : op_type:string -> device:Device.device_type -> t option
+
+val aliases : op_type:string -> (int * int) list
+(** Declared May_alias pairs for [op_type] (empty if none). *)
 
 val supported_devices : op_type:string -> Device.device_type list
 (** Device types with a registered kernel; empty when unknown. *)
@@ -54,3 +74,13 @@ val all_input_tensors : ctx -> Octf_tensor.Tensor.t list
 
 val one : Value.t -> Value.t array
 (** Singleton output. *)
+
+(** {1 In-place grant helpers} *)
+
+val granted_input : ctx -> output:int -> Octf_tensor.Tensor.t option
+(** The input tensor whose buffer was granted for [output], if any. *)
+
+val granted_buffer : ctx -> output:int -> float array option
+(** Float backing buffer granted for [output] — pass as [?out] to the
+    {!Octf_tensor.Tensor_ops} elementwise ops. [None] when no grant was
+    issued or the granted input is not float-backed. *)

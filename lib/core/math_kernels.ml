@@ -6,10 +6,26 @@ module K = Kernel
 
 let t v = Value.Tensor v
 
+(* Elementwise kernels declare May_alias pairs: when the executor's
+   memory planner proves an input buffer is exclusively owned it grants
+   an in-place write, which the [?out] argument of the tensor ops
+   accepts (falling back to a fresh allocation if broadcasting changed
+   the element count). Comparison ops produce bool tensors and cannot
+   alias their float inputs. *)
 let unary name f =
-  K.register ~op_type:name (fun ctx -> K.one (t (f (K.input_tensor ctx 0))))
+  K.register ~op_type:name ~aliases:[ (0, 0) ] (fun ctx ->
+      K.one
+        (t (f ?out:(K.granted_buffer ctx ~output:0) (K.input_tensor ctx 0))))
 
 let binary name f =
+  K.register ~op_type:name ~aliases:[ (0, 0); (1, 0) ] (fun ctx ->
+      K.one
+        (t
+           (f
+              ?out:(K.granted_buffer ctx ~output:0)
+              (K.input_tensor ctx 0) (K.input_tensor ctx 1))))
+
+let binary_cmp name f =
   K.register ~op_type:name (fun ctx ->
       K.one (t (f (K.input_tensor ctx 0) (K.input_tensor ctx 1))))
 
@@ -71,19 +87,33 @@ let register () =
   unary "Sqrt" Tensor_ops.sqrt;
   unary "Square" Tensor_ops.square;
   unary "Reciprocal" Tensor_ops.reciprocal;
-  binary "Equal" Tensor_ops.equal;
-  binary "Less" Tensor_ops.less;
-  binary "Greater" Tensor_ops.greater;
-  binary "GreaterEqual" Tensor_ops.greater_equal;
+  binary_cmp "Equal" Tensor_ops.equal;
+  binary_cmp "Less" Tensor_ops.less;
+  binary_cmp "Greater" Tensor_ops.greater;
+  binary_cmp "GreaterEqual" Tensor_ops.greater_equal;
   K.register ~op_type:"Select" (fun ctx ->
       K.one
         (t
            (Tensor_ops.select (K.input_tensor ctx 0) (K.input_tensor ctx 1)
               (K.input_tensor ctx 2))));
-  K.register ~op_type:"AddN" (fun ctx ->
+  K.register ~op_type:"AddN" ~aliases:[ (0, 0) ] (fun ctx ->
       match K.all_input_tensors ctx with
       | [] -> invalid_arg "AddN: no inputs"
-      | first :: rest -> K.one (t (List.fold_left Tensor_ops.add first rest)));
+      (* The single-input sum must still be a fresh buffer: the planner
+         may recycle the input's backing store once AddN completes. *)
+      | [ x ] -> K.one (t (Tensor.copy x))
+      | first :: second :: rest ->
+          (* First add may land in a granted input buffer; later adds
+             accumulate in place into the (now private) partial sum. *)
+          let acc =
+            Tensor_ops.add ?out:(K.granted_buffer ctx ~output:0) first second
+          in
+          let add_into acc x =
+            if Dtype.is_floating (Tensor.dtype acc) then
+              Tensor_ops.add ~out:(Tensor.float_buffer acc) acc x
+            else Tensor_ops.add acc x
+          in
+          K.one (t (List.fold_left add_into acc rest)));
   K.register ~op_type:"MatMul" (fun ctx ->
       let transpose_a =
         Option.value ~default:false

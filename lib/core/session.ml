@@ -42,11 +42,12 @@ type t = {
   seed : int;
   optimize : bool;
   scheduler : Scheduler.policy;
+  memory_planning : bool option;  (* None: follow Mem_plan.enabled () *)
   mutex : Mutex.t;
 }
 
 let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
-    ?scheduler ?intra_op_threads graph =
+    ?scheduler ?intra_op_threads ?memory_planning graph =
   (* Process-wide hardware knob, mirroring TF's
      intra_op_parallelism_threads in ConfigProto. *)
   (match intra_op_threads with
@@ -76,6 +77,7 @@ let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
     seed;
     optimize;
     scheduler;
+    memory_planning;
     mutex = Mutex.create ();
   }
 
@@ -124,7 +126,9 @@ let compile t ~feed_eps ~fetch_eps ~target_ids =
   in
   let fed_ids = List.map (fun (e : Node.endpoint) -> e.node_id) feed_eps in
   let prepare ~graph ~nodes ~fed_ids =
-    try Executor.prepare ~scheduler:t.scheduler ~graph ~nodes ~fed_ids ()
+    try
+      Executor.prepare ~scheduler:t.scheduler
+        ?memory_planning:t.memory_planning ~graph ~nodes ~fed_ids ()
     with Step_failure.Error f -> raise (Run_error f)
   in
   match devs with

@@ -31,6 +31,7 @@ val create :
   ?optimize:bool ->
   ?scheduler:Scheduler.policy ->
   ?intra_op_threads:int ->
+  ?memory_planning:bool ->
   Graph.t ->
   t
 (** Default devices: a single local CPU. [resource_router] maps a device
@@ -46,7 +47,11 @@ val create :
     thread budget for kernel loops
     ({!Octf_tensor.Parallel.set_threads}; default from
     [OCTF_INTRA_OP_THREADS] or the core count) — results are
-    bit-identical for every value. *)
+    bit-identical for every value. [memory_planning] fixes whether this
+    session's steps run the executor's lifetime analysis (eager drops,
+    buffer-pool reuse, in-place kernel grants); default follows
+    {!Mem_plan.enabled}, i.e. on unless [OCTF_MEMORY_PLANNING=off].
+    Fetches are bit-identical with planning on or off. *)
 
 val graph : t -> Graph.t
 

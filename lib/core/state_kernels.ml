@@ -28,12 +28,19 @@ let register () =
       let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
       Resource.variable_assign var v;
       K.one (t v));
-  K.register ~op_type:"AssignAdd" (fun ctx ->
+  (* A granted update buffer lets the += write land in the incoming
+     delta's storage (e.g. the scaled gradient), which then becomes the
+     variable's new backing — the old backing stays a valid snapshot for
+     earlier Reads, preserving copy-on-write semantics. The variable's
+     own buffer (input 0 is a resource handle) is never aliased. *)
+  K.register ~op_type:"AssignAdd" ~aliases:[ (1, 0) ] (fun ctx ->
       let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
-      K.one (t (Resource.variable_update var (fun old -> Tensor_ops.add old v))));
-  K.register ~op_type:"AssignSub" (fun ctx ->
+      let out = K.granted_buffer ctx ~output:0 in
+      K.one (t (Resource.variable_update var (fun old -> Tensor_ops.add ?out old v))));
+  K.register ~op_type:"AssignSub" ~aliases:[ (1, 0) ] (fun ctx ->
       let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
-      K.one (t (Resource.variable_update var (fun old -> Tensor_ops.sub old v))));
+      let out = K.granted_buffer ctx ~output:0 in
+      K.one (t (Resource.variable_update var (fun old -> Tensor_ops.sub ?out old v))));
   K.register ~op_type:"ScatterAdd" (fun ctx ->
       let var = K.input_var ctx 0 in
       let indices = K.input_tensor ctx 1 and updates = K.input_tensor ctx 2 in

@@ -7,6 +7,7 @@ type node_stats = {
   duration : float;
   output_bytes : int;
   shards : int;
+  peak_bytes : int;  (* live planner-tracked bytes when the node finished *)
 }
 
 type t = { step_id : int; nodes : node_stats list }
@@ -27,6 +28,7 @@ let of_tracer ~step_id tracer =
               duration = ev.duration;
               output_bytes = ev.bytes;
               shards = ev.shards;
+              peak_bytes = ev.peak_bytes;
             })
       (Tracer.events tracer)
   in

@@ -21,6 +21,8 @@ type node_stats = {
   output_bytes : int;  (** payload bytes (Recv tensors; 0 otherwise) *)
   shards : int;
       (** intra-op shards the kernel dispatched; 0 = serial loops *)
+  peak_bytes : int;
+      (** live planner-tracked tensor bytes when the node finished *)
 }
 
 type t = { step_id : int; nodes : node_stats list }

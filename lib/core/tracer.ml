@@ -8,6 +8,7 @@ type event = {
   step_id : int;
   bytes : int;
   shards : int;
+  peak_bytes : int;
 }
 
 type t = { mutable evs : event list; mutex : Mutex.t }
@@ -108,11 +109,11 @@ let to_chrome_trace t =
       first := false;
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d,\"shards\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d,\"shards\":%d,\"peak_bytes\":%d}}"
            (json_escape ev.name) (json_escape ev.op_type)
            (ev.start *. 1e6) (ev.duration *. 1e6)
            (json_escape ev.device) ev.lane ev.step_id ev.lane ev.bytes
-           ev.shards))
+           ev.shards ev.peak_bytes))
     (events t);
   Buffer.add_string buf "]}";
   Buffer.contents buf

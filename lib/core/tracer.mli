@@ -29,6 +29,11 @@ type event = {
       (** Intra-op shards dispatched while the kernel ran on this domain
           ({!Octf_tensor.Parallel}); [0] for kernels that ran their loops
           serially. *)
+  peak_bytes : int;
+      (** Live planner-tracked tensor bytes observed when the kernel
+          finished (its own outputs included) — the per-node memory
+          high-watermark view used by the memory planner; [0] when the
+          executor does not track memory for the step. *)
 }
 
 type t

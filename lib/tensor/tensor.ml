@@ -34,7 +34,7 @@ let alloc dtype shape =
   let n = Shape.numel shape in
   let buf =
     match dtype with
-    | Dtype.F32 | Dtype.F64 -> Float_buf (Array.make n 0.0)
+    | Dtype.F32 | Dtype.F64 -> Float_buf (Buffer_pool.alloc_float n)
     | Dtype.I32 | Dtype.I64 -> Int_buf (Array.make n 0)
     | Dtype.Bool -> Bool_buf (Array.make n false)
     | Dtype.String -> String_buf (Array.make n "")
@@ -210,10 +210,19 @@ let cast t new_dtype =
    runs inline. *)
 let elementwise_grain = 8192
 
-let map_f f t =
+(* The executor may hand an input's backing buffer as [out] (in-place
+   grant).  Elementwise loops read index [i] before writing index [i],
+   so aliasing input and output is safe; buffers of the wrong length
+   are ignored and a fresh one is allocated. *)
+let use_or_alloc out n =
+  match out with
+  | Some o when Array.length o = n -> o
+  | _ -> Buffer_pool.alloc_float ~zero:false n
+
+let map_f ?out f t =
   let a = float_buffer t in
   let n = Array.length a in
-  let out = Array.make n 0.0 in
+  let out = use_or_alloc out n in
   Parallel.parallel_for ~grain:elementwise_grain n (fun lo hi ->
       for i = lo to hi - 1 do
         out.(i) <- f a.(i)
@@ -256,10 +265,14 @@ let broadcast_index t out_shape =
     fun i -> plan_index plan i
   end
 
-let map2_generic f a b =
+let map2_generic ?out f a b =
   let out_shape = Shape.broadcast a.shape b.shape in
   let n = Shape.numel out_shape in
-  let out = Array.make n 0.0 in
+  (* A granted buffer aliasing [a] or [b] is only length-compatible
+     when the aliased operand's broadcast plan is the identity, so the
+     read-index-i-before-write-index-i discipline below holds in the
+     broadcast branch too. *)
+  let out = use_or_alloc out n in
   (if Shape.equal a.shape b.shape then
      match (a.buf, b.buf) with
      | Float_buf da, Float_buf db ->
@@ -283,12 +296,12 @@ let map2_generic f a b =
    end);
   (out_shape, out)
 
-let map2_f f a b =
+let map2_f ?out f a b =
   if not (Dtype.equal a.dtype b.dtype) then
     invalid_arg
       (Printf.sprintf "Tensor.map2_f: dtype mismatch %s vs %s"
          (Dtype.to_string a.dtype) (Dtype.to_string b.dtype));
-  let out_shape, out = map2_generic f a b in
+  let out_shape, out = map2_generic ?out f a b in
   if Dtype.is_floating a.dtype then of_float_array ~dtype:a.dtype out_shape out
   else
     of_int_array ~dtype:a.dtype out_shape (Array.map int_of_float out)

@@ -108,14 +108,19 @@ val reshape : t -> Shape.t -> t
 
 val cast : t -> Dtype.t -> t
 
-val map_f : (float -> float) -> t -> t
+val map_f : ?out:float array -> (float -> float) -> t -> t
 (** Elementwise map over a float-backed tensor. Large tensors shard
     across the intra-op thread budget (see {!Parallel}); results are
-    bit-identical for every thread count. *)
+    bit-identical for every thread count. [?out] lets the executor's
+    memory planner supply a reusable output buffer (it may alias the
+    input's buffer — the loop reads index [i] before writing it);
+    buffers of the wrong length are ignored. *)
 
-val map2_f : (float -> float -> float) -> t -> t -> t
+val map2_f :
+  ?out:float array -> (float -> float -> float) -> t -> t -> t
 (** Elementwise with numpy-style broadcasting; result dtype is the
-    operand dtype (both must match). Sharded like {!map_f}. *)
+    operand dtype (both must match). Sharded like {!map_f}; [?out] as
+    in {!map_f}. *)
 
 val broadcast_index : t -> Shape.t -> int -> int
 (** [broadcast_index t out_shape] maps a flat index of [out_shape] to

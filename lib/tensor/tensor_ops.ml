@@ -5,19 +5,22 @@ module T = Tensor
    [item_cost]; loops cheaper than one grain run inline. *)
 let grain_for ~item_cost ~target_work = max 1 (target_work / max 1 item_cost)
 
-let add = T.map2_f ( +. )
+(* Elementwise ops take [?out] so kernels granted an in-place buffer by
+   the executor's memory planner can reuse an input's backing store
+   (see Tensor.map_f / map2_f for the aliasing discipline). *)
+let add ?out a b = T.map2_f ?out ( +. ) a b
 
-let sub = T.map2_f ( -. )
+let sub ?out a b = T.map2_f ?out ( -. ) a b
 
-let mul = T.map2_f ( *. )
+let mul ?out a b = T.map2_f ?out ( *. ) a b
 
-let div = T.map2_f ( /. )
+let div ?out a b = T.map2_f ?out ( /. ) a b
 
-let maximum = T.map2_f Float.max
+let maximum ?out a b = T.map2_f ?out Float.max a b
 
-let minimum = T.map2_f Float.min
+let minimum ?out a b = T.map2_f ?out Float.min a b
 
-let pow = T.map2_f ( ** )
+let pow ?out a b = T.map2_f ?out ( ** ) a b
 
 (* Floor-mod (TF FloorMod): the result takes the divisor's sign and
    fractional operands are handled exactly — no truncation through int,
@@ -26,31 +29,33 @@ let floor_mod a b =
   let r = Float.rem a b in
   if r <> 0.0 && r < 0.0 <> (b < 0.0) then r +. b else r
 
-let modulo = T.map2_f floor_mod
+let modulo ?out a b = T.map2_f ?out floor_mod a b
 
-let neg = T.map_f (fun x -> -.x)
+let neg ?out t = T.map_f ?out (fun x -> -.x) t
 
-let abs = T.map_f Float.abs
+let abs ?out t = T.map_f ?out Float.abs t
 
-let sign = T.map_f (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+let sign ?out t =
+  T.map_f ?out (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0) t
 
-let exp = T.map_f Stdlib.exp
+let exp ?out t = T.map_f ?out Stdlib.exp t
 
-let log = T.map_f Stdlib.log
+let log ?out t = T.map_f ?out Stdlib.log t
 
-let sqrt = T.map_f Stdlib.sqrt
+let sqrt ?out t = T.map_f ?out Stdlib.sqrt t
 
-let square = T.map_f (fun x -> x *. x)
+let square ?out t = T.map_f ?out (fun x -> x *. x) t
 
-let reciprocal = T.map_f (fun x -> 1.0 /. x)
+let reciprocal ?out t = T.map_f ?out (fun x -> 1.0 /. x) t
 
-let relu = T.map_f (fun x -> Float.max 0.0 x)
+let relu ?out t = T.map_f ?out (fun x -> Float.max 0.0 x) t
 
-let relu_grad dy x = T.map2_f (fun g v -> if v > 0.0 then g else 0.0) dy x
+let relu_grad ?out dy x =
+  T.map2_f ?out (fun g v -> if v > 0.0 then g else 0.0) dy x
 
-let sigmoid = T.map_f (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+let sigmoid ?out t = T.map_f ?out (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x))) t
 
-let tanh = T.map_f Stdlib.tanh
+let tanh ?out t = T.map_f ?out Stdlib.tanh t
 
 let equal = T.map2_cmp (fun a b -> a = b)
 
@@ -86,7 +91,7 @@ let select cond a b =
    non-transposed kernel. One O(rows*cols) pack beats the strided inner
    loops that made transposed matmuls ~10x slower than the plain path. *)
 let transpose_pack src rows cols =
-  let out = Array.make (rows * cols) 0.0 in
+  let out = Buffer_pool.alloc_float ~zero:false (rows * cols) in
   Parallel.parallel_for
     ~grain:(grain_for ~item_cost:cols ~target_work:16384)
     rows
@@ -108,7 +113,7 @@ let transpose_pack src rows cols =
 let matmul_block = 256
 
 let matmul_buf ~m ~k ~n da db =
-  let out = Array.make (m * n) 0.0 in
+  let out = Buffer_pool.alloc_float (m * n) in
   let grain = grain_for ~item_cost:(k * n) ~target_work:32768 in
   Parallel.parallel_for ~grain m (fun lo hi ->
       let p0 = ref 0 in
@@ -138,10 +143,14 @@ let matmul ?(transpose_a = false) ?(transpose_b = false) a b =
   if k <> k2 then
     invalid_arg
       (Printf.sprintf "Tensor_ops.matmul: inner dims %d vs %d" k k2);
-  let da = T.float_buffer a and db = T.float_buffer b in
-  let da = if transpose_a then transpose_pack da m k else da in
-  let db = if transpose_b then transpose_pack db k n else db in
-  T.of_float_array ~dtype:(T.dtype a) [| m; n |] (matmul_buf ~m ~k ~n da db)
+  let da0 = T.float_buffer a and db0 = T.float_buffer b in
+  let da = if transpose_a then transpose_pack da0 m k else da0 in
+  let db = if transpose_b then transpose_pack db0 k n else db0 in
+  let out = matmul_buf ~m ~k ~n da db in
+  (* The transpose packs are private scratch — recycle them. *)
+  if transpose_a then Buffer_pool.release_float da;
+  if transpose_b then Buffer_pool.release_float db;
+  T.of_float_array ~dtype:(T.dtype a) [| m; n |] out
 
 let transpose ?perm t =
   let r = T.rank t in
@@ -522,7 +531,7 @@ let conv_dim ~padding ~in_size ~filter ~stride =
    patch entries stay zero. *)
 let im2col din ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows =
   let kdim = fh * fw * ic in
-  let cols = Array.make (rows * kdim) 0.0 in
+  let cols = Buffer_pool.alloc_float (rows * kdim) in
   Parallel.parallel_for
     ~grain:(grain_for ~item_cost:kdim ~target_work:16384)
     rows
@@ -564,6 +573,7 @@ let conv2d input filter ~strides ~padding =
   let rows = batch * oh * ow and kdim = fh * fw * ic in
   let cols = im2col din ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows in
   let out = matmul_buf ~m:rows ~k:kdim ~n:oc cols dft in
+  Buffer_pool.release_float cols;
   T.of_float_array ~dtype:(T.dtype input) [| batch; oh; ow; oc |] out
 
 let conv2d_grad_input ~input_shape filter dy ~strides ~padding =
@@ -582,7 +592,8 @@ let conv2d_grad_input ~input_shape filter dy ~strides ~padding =
      one input element stay on one shard, in a fixed order. *)
   let ft_t = transpose_pack dft oc kdim in
   let dcols = matmul_buf ~m:rows ~k:oc ~n:kdim ddy ft_t in
-  let out = Array.make (batch * ih * iw * ic) 0.0 in
+  Buffer_pool.release_float ft_t;
+  let out = Buffer_pool.alloc_float (batch * ih * iw * ic) in
   Parallel.parallel_for ~grain:1 batch (fun blo bhi ->
       for b = blo to bhi - 1 do
         for y = 0 to oh - 1 do
@@ -605,6 +616,7 @@ let conv2d_grad_input ~input_shape filter dy ~strides ~padding =
           done
         done
       done);
+  Buffer_pool.release_float dcols;
   T.of_float_array ~dtype:(T.dtype dy) is out
 
 let conv2d_grad_filter ~filter_shape input dy ~strides ~padding =
@@ -622,7 +634,9 @@ let conv2d_grad_filter ~filter_shape input dy ~strides ~padding =
      every filter element. *)
   let cols = im2col din ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows in
   let cols_t = transpose_pack cols kdim rows in
+  Buffer_pool.release_float cols;
   let out = matmul_buf ~m:kdim ~k:rows ~n:oc cols_t ddy in
+  Buffer_pool.release_float cols_t;
   T.of_float_array ~dtype:(T.dtype dy) fs out
 
 let pool_generic input ~ksize ~strides ~padding ~init ~combine ~finish =

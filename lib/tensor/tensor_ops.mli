@@ -7,51 +7,56 @@
     DynamicPartition, DynamicStitch) that §4.2 builds sharded embedding
     layers from. All functions are non-mutating. *)
 
-(** {1 Elementwise (broadcasting)} *)
+(** {1 Elementwise (broadcasting)}
 
-val add : Tensor.t -> Tensor.t -> Tensor.t
+    All elementwise ops accept [?out], a preallocated output buffer the
+    executor's memory planner may supply when it has proved the buffer
+    can be reused in place (it may alias an operand's backing store —
+    see {!Tensor.map_f}).  Buffers of the wrong length are ignored. *)
 
-val sub : Tensor.t -> Tensor.t -> Tensor.t
+val add : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 
-val mul : Tensor.t -> Tensor.t -> Tensor.t
+val sub : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 
-val div : Tensor.t -> Tensor.t -> Tensor.t
+val mul : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 
-val maximum : Tensor.t -> Tensor.t -> Tensor.t
+val div : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 
-val minimum : Tensor.t -> Tensor.t -> Tensor.t
+val maximum : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 
-val pow : Tensor.t -> Tensor.t -> Tensor.t
+val minimum : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 
-val modulo : Tensor.t -> Tensor.t -> Tensor.t
+val pow : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
+
+val modulo : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 (** Floor-mod with TensorFlow FloorMod semantics: the result has the
     divisor's sign and [modulo x y = x - floor(x / y) * y] for fractional
     operands (no truncation to integer). *)
 
-val neg : Tensor.t -> Tensor.t
+val neg : ?out:float array -> Tensor.t -> Tensor.t
 
-val abs : Tensor.t -> Tensor.t
+val abs : ?out:float array -> Tensor.t -> Tensor.t
 
-val sign : Tensor.t -> Tensor.t
+val sign : ?out:float array -> Tensor.t -> Tensor.t
 
-val exp : Tensor.t -> Tensor.t
+val exp : ?out:float array -> Tensor.t -> Tensor.t
 
-val log : Tensor.t -> Tensor.t
+val log : ?out:float array -> Tensor.t -> Tensor.t
 
-val sqrt : Tensor.t -> Tensor.t
+val sqrt : ?out:float array -> Tensor.t -> Tensor.t
 
-val square : Tensor.t -> Tensor.t
+val square : ?out:float array -> Tensor.t -> Tensor.t
 
-val reciprocal : Tensor.t -> Tensor.t
+val reciprocal : ?out:float array -> Tensor.t -> Tensor.t
 
-val relu : Tensor.t -> Tensor.t
+val relu : ?out:float array -> Tensor.t -> Tensor.t
 
-val relu_grad : Tensor.t -> Tensor.t -> Tensor.t
+val relu_grad : ?out:float array -> Tensor.t -> Tensor.t -> Tensor.t
 (** [relu_grad dy x] is [dy] where [x > 0], else [0]. *)
 
-val sigmoid : Tensor.t -> Tensor.t
+val sigmoid : ?out:float array -> Tensor.t -> Tensor.t
 
-val tanh : Tensor.t -> Tensor.t
+val tanh : ?out:float array -> Tensor.t -> Tensor.t
 
 (** {1 Comparison and selection} *)
 

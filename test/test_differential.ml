@@ -1,0 +1,312 @@
+(* Differential harness for the memory planner: seeded random DAGs must
+   fetch bit-identical tensors with planning on or off, under both
+   schedulers and two intra-op thread budgets. Any divergence means the
+   planner dropped or aliased a buffer somebody still read; the failing
+   graph is shrunk to its shortest failing prefix and printed. *)
+
+open Octf_tensor
+open Octf
+module B = Builder
+
+(* A generated graph is a straight-line program; instruction [i] may
+   only reference earlier instructions, so every prefix is itself a
+   valid program — which is what makes shrinking trivial. *)
+type instr =
+  | Leaf of int array  (* const with rng-drawn values *)
+  | Fed of int array  (* placeholder, fed with an rng-drawn tensor *)
+  | Unary of string * int
+  | Binary of string * int * int
+  | Matmul of int * int
+  | Reduce of string * int  (* all-axes reduce to a scalar *)
+  | Add_n of int list
+  | Concat0 of int * int  (* same shape, rank >= 1, along axis 0 *)
+  | Transpose2 of int  (* rank-2 transpose *)
+  | Choose of int * int  (* select (a > b) a b: bool intermediate *)
+
+let shape_to_string s =
+  "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let instr_to_string i = function
+  | Leaf s -> Printf.sprintf "%%%d = const %s" i (shape_to_string s)
+  | Fed s -> Printf.sprintf "%%%d = placeholder %s (fed)" i (shape_to_string s)
+  | Unary (op, a) -> Printf.sprintf "%%%d = %s %%%d" i op a
+  | Binary (op, a, b) -> Printf.sprintf "%%%d = %s %%%d %%%d" i op a b
+  | Matmul (a, b) -> Printf.sprintf "%%%d = matmul %%%d %%%d" i a b
+  | Reduce (op, a) -> Printf.sprintf "%%%d = %s %%%d" i op a
+  | Add_n srcs ->
+      Printf.sprintf "%%%d = add_n [%s]" i
+        (String.concat " " (List.map (Printf.sprintf "%%%d") srcs))
+  | Concat0 (a, b) -> Printf.sprintf "%%%d = concat0 %%%d %%%d" i a b
+  | Transpose2 a -> Printf.sprintf "%%%d = transpose %%%d" i a
+  | Choose (a, b) ->
+      Printf.sprintf "%%%d = select (%%%d > %%%d) %%%d %%%d" i a b a b
+
+let unary_ops =
+  [| "Neg"; "Abs"; "Square"; "Relu"; "Sigmoid"; "Tanh"; "Identity";
+     "StopGradient" |]
+
+let binary_ops = [| "Add"; "Sub"; "Mul"; "Maximum"; "Minimum" |]
+
+(* Output shape of each instruction, used to pick compatible operands.
+   Binary/Add_n operands are either same-shaped or scalar, so the
+   broadcast result is the highest-rank operand's shape. All values
+   stay NaN-free: leaves are in [-1, 1] and no op in the pool (no
+   exp/log/sqrt/div) can escape the reals, so bitwise comparison of
+   fetches is meaningful. *)
+let shape_of shapes = function
+  | Leaf s | Fed s -> s
+  | Unary (_, a) -> shapes.(a)
+  | Binary (_, a, b) | Choose (a, b) ->
+      if Array.length shapes.(a) >= Array.length shapes.(b) then shapes.(a)
+      else shapes.(b)
+  | Matmul (a, b) -> [| shapes.(a).(0); shapes.(b).(1) |]
+  | Reduce _ -> [||]
+  | Add_n (a :: _) -> shapes.(a)
+  | Add_n [] -> [||]
+  | Concat0 (a, _) ->
+      let s = Array.copy shapes.(a) in
+      s.(0) <- 2 * s.(0);
+      s
+  | Transpose2 a -> [| shapes.(a).(1); shapes.(a).(0) |]
+
+(* Generate a program of [ops] instructions after a fixed set of leaves.
+   Operand picks that need a matching partner fall back to a unary op
+   when none exists, so generation never fails. *)
+let gen_program rng ~ops =
+  let leaves =
+    [ Leaf [||]; Leaf [| 4 |]; Leaf [| 3; 4 |]; Leaf [| 4; 5 |];
+      Fed [| 4 |]; Fed [| 3; 4 |] ]
+  in
+  let n_leaves = List.length leaves in
+  let n = n_leaves + ops in
+  let prog = Array.make n (Leaf [||]) in
+  let shapes = Array.make n [||] in
+  List.iteri (fun i l -> prog.(i) <- l) leaves;
+  List.iteri (fun i _ -> shapes.(i) <- shape_of shapes prog.(i)) leaves;
+  (* A partner for [a] with the same shape, or a scalar (broadcasts with
+     everything); [a] itself is allowed. *)
+  let pick_partner i a =
+    let candidates = ref [] in
+    for j = 0 to i - 1 do
+      if Shape.equal shapes.(j) shapes.(a) || Array.length shapes.(j) = 0 then
+        candidates := j :: !candidates
+    done;
+    match !candidates with
+    | [] -> None
+    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let same_shape_partner i a =
+    match pick_partner i a with
+    | Some b when Shape.equal shapes.(b) shapes.(a) -> Some b
+    | _ -> None
+  in
+  for i = n_leaves to n - 1 do
+    let a = Rng.int rng i in
+    let fallback () =
+      Unary (unary_ops.(Rng.int rng (Array.length unary_ops)), a)
+    in
+    let instr =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 -> fallback ()
+      | 3 | 4 -> (
+          match pick_partner i a with
+          | Some b ->
+              Binary (binary_ops.(Rng.int rng (Array.length binary_ops)), a, b)
+          | None -> fallback ())
+      | 5 -> (
+          (* matmul: any rank-2 pair with a matching inner dimension *)
+          let pairs = ref [] in
+          for x = 0 to i - 1 do
+            for y = 0 to i - 1 do
+              if
+                Array.length shapes.(x) = 2
+                && Array.length shapes.(y) = 2
+                && shapes.(x).(1) = shapes.(y).(0)
+              then pairs := (x, y) :: !pairs
+            done
+          done;
+          match !pairs with
+          | [] -> fallback ()
+          | l ->
+              let x, y = List.nth l (Rng.int rng (List.length l)) in
+              Matmul (x, y))
+      | 6 ->
+          Reduce
+            ( (match Rng.int rng 3 with
+              | 0 -> "ReduceSum"
+              | 1 -> "ReduceMean"
+              | _ -> "ReduceMax"),
+              a )
+      | 7 -> (
+          match (pick_partner i a, pick_partner i a) with
+          | Some b, Some c -> Add_n [ a; b; c ]
+          | Some b, None -> Add_n [ a; b ]
+          | _ -> fallback ())
+      | 8 ->
+          if Array.length shapes.(a) = 2 && Rng.int rng 2 = 0 then Transpose2 a
+          else if Array.length shapes.(a) >= 1 then
+            match same_shape_partner i a with
+            | Some b -> Concat0 (a, b)
+            | None -> fallback ()
+          else fallback ()
+      | _ -> (
+          match same_shape_partner i a with
+          | Some b -> Choose (a, b)
+          | None -> fallback ())
+    in
+    prog.(i) <- instr;
+    shapes.(i) <- shape_of shapes instr
+  done;
+  prog
+
+(* Build the graph for a program prefix of length [k] and return the
+   fetches (every sink, so nothing is silently unused) and the feed
+   list. Leaf/feed values come from a generator re-seeded per build, so
+   every configuration sees the same numbers. *)
+let build_graph prog k =
+  let b = B.create () in
+  let vrng = Rng.create 77 in
+  let tensor shape = Tensor.uniform vrng shape ~lo:(-1.0) ~hi:1.0 in
+  let outs = Array.make k (B.const_f b 0.0) in
+  let feeds = ref [] in
+  for i = 0 to k - 1 do
+    let o =
+      match prog.(i) with
+      | Leaf s -> B.const b (tensor s)
+      | Fed s ->
+          let ph = B.placeholder b Dtype.F32 in
+          feeds := (ph, tensor s) :: !feeds;
+          ph
+      | Unary (op, a) -> (
+          let x = outs.(a) in
+          match op with
+          | "Neg" -> B.neg b x
+          | "Abs" -> B.abs b x
+          | "Square" -> B.square b x
+          | "Relu" -> B.relu b x
+          | "Sigmoid" -> B.sigmoid b x
+          | "Tanh" -> B.tanh b x
+          | "Identity" -> B.identity b x
+          | "StopGradient" -> B.stop_gradient b x
+          | _ -> assert false)
+      | Binary (op, a, b') -> (
+          let x = outs.(a) and y = outs.(b') in
+          match op with
+          | "Add" -> B.add b x y
+          | "Sub" -> B.sub b x y
+          | "Mul" -> B.mul b x y
+          | "Maximum" -> B.maximum b x y
+          | "Minimum" -> B.minimum b x y
+          | _ -> assert false)
+      | Matmul (a, b') -> B.matmul b outs.(a) outs.(b')
+      | Reduce (op, a) -> (
+          match op with
+          | "ReduceSum" -> B.reduce_sum b outs.(a)
+          | "ReduceMean" -> B.reduce_mean b outs.(a)
+          | _ -> B.reduce_max b outs.(a))
+      | Add_n srcs -> B.add_n b (List.map (fun s -> outs.(s)) srcs)
+      | Concat0 (a, b') -> B.concat b ~axis:0 [ outs.(a); outs.(b') ]
+      | Transpose2 a -> B.transpose b outs.(a)
+      | Choose (a, b') ->
+          B.select b (B.greater b outs.(a) outs.(b')) outs.(a) outs.(b')
+    in
+    outs.(i) <- o
+  done;
+  (* Fetch every sink: instructions no later instruction consumes. *)
+  let consumed = Array.make k false in
+  for i = 0 to k - 1 do
+    let mark a = if a < k then consumed.(a) <- true in
+    match prog.(i) with
+    | Leaf _ | Fed _ -> ()
+    | Unary (_, a) | Reduce (_, a) | Transpose2 a -> mark a
+    | Binary (_, a, b') | Matmul (a, b') | Concat0 (a, b') | Choose (a, b') ->
+        mark a;
+        mark b'
+    | Add_n srcs -> List.iter mark srcs
+  done;
+  let fetches = ref [] in
+  for i = k - 1 downto 0 do
+    if not consumed.(i) then fetches := outs.(i) :: !fetches
+  done;
+  (b, !fetches, !feeds)
+
+let configs =
+  List.concat_map
+    (fun planning ->
+      List.concat_map
+        (fun scheduler ->
+          List.map (fun threads -> (planning, scheduler, threads)) [ 1; 4 ])
+        [ Scheduler.Inline; Scheduler.Pool ])
+    [ false; true ]
+
+let config_to_string (planning, scheduler, threads) =
+  Printf.sprintf "planning=%b scheduler=%s threads=%d" planning
+    (Scheduler.policy_to_string scheduler)
+    threads
+
+(* Run the program prefix under every configuration; Some description on
+   the first divergence from the reference config, None if all agree. *)
+let divergence prog k =
+  let b, fetches, feeds = build_graph prog k in
+  if fetches = [] then None
+  else begin
+    let run (planning, scheduler, threads) =
+      Parallel.set_threads threads;
+      let s =
+        Session.create ~optimize:false ~scheduler ~memory_planning:planning
+          (B.graph b)
+      in
+      Session.run ~feeds s fetches
+    in
+    let reference = run (List.hd configs) in
+    List.fold_left
+      (fun acc config ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let got = run config in
+            if List.for_all2 Tensor.equal reference got then None
+            else
+              Some
+                (Printf.sprintf "fetches diverge: %s vs %s"
+                   (config_to_string (List.hd configs))
+                   (config_to_string config)))
+      None (List.tl configs)
+  end
+
+let program_to_string prog k =
+  String.concat "\n" (List.init k (fun i -> "  " ^ instr_to_string i prog.(i)))
+
+let test_random_dags () =
+  let saved = Parallel.threads () in
+  Fun.protect ~finally:(fun () -> Parallel.set_threads saved) @@ fun () ->
+  let graphs = 200 in
+  for seed = 1 to graphs do
+    let rng = Rng.create (1000 + seed) in
+    let ops = 4 + Rng.int rng 11 in
+    let prog = gen_program rng ~ops in
+    let n = Array.length prog in
+    match divergence prog n with
+    | None -> ()
+    | Some full_msg ->
+        (* Shrink: the shortest prefix that still diverges. Prefixes of
+           a straight-line program are always valid graphs. *)
+        let k = ref n and msg = ref full_msg in
+        (try
+           for j = 1 to n - 1 do
+             match divergence prog j with
+             | Some m ->
+                 k := j;
+                 msg := m;
+                 raise Exit
+             | None -> ()
+           done
+         with Exit -> ());
+        Alcotest.failf "seed %d, shrunk to %d instructions: %s\n%s" seed !k
+          !msg
+          (program_to_string prog !k)
+  done
+
+let suite =
+  [ Alcotest.test_case "200 random DAGs, 8 configs, bit-identical" `Quick
+      test_random_dags ]

@@ -215,10 +215,128 @@ let test_kernel_error_reporting () =
       Alcotest.(check bool) "names the op" true
         (contains (Step_failure.to_string f) "MatMul")
 
+(* ------------------- memory-planner alias safety ------------------- *)
+
+(* Feeding and fetching pin a buffer: no kernel may be granted an
+   in-place write over it, whatever the refcounts say. The checks are
+   physical (buffer identity), not just value equality. *)
+
+let test_fed_never_aliased () =
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4 |] Dtype.F32 in
+  (* relu declares May_alias(0,0) and x has exactly one consumer — the
+     planner must still refuse because x is fed. *)
+  let y = B.relu b x in
+  let s = Session.create ~optimize:false ~memory_planning:true (B.graph b) in
+  let fed = Tensor.of_float_array [| 4 |] [| -1.0; 2.0; -3.0; 4.0 |] in
+  let before = Tensor.copy fed in
+  match Session.run ~feeds:[ (x, fed) ] s [ y ] with
+  | [ got ] ->
+      Alcotest.(check bool) "distinct buffers" false
+        (Tensor.float_buffer got == Tensor.float_buffer fed);
+      Alcotest.(check bool) "fed tensor untouched" true
+        (Tensor.equal fed before)
+  | _ -> Alcotest.fail "arity"
+
+let test_fetched_never_aliased () =
+  let b = B.create () in
+  let c = B.const b (Tensor.of_float_array [| 4 |] [| -1.0; 2.0; -3.0; 4.0 |]) in
+  let a = B.square b c in
+  let y = B.relu b a in
+  (* [a] is fetched, so relu must not reuse its buffer even though it is
+     a's only downstream consumer. *)
+  let s = Session.create ~optimize:false ~memory_planning:true (B.graph b) in
+  match Session.run s [ a; y ] with
+  | [ av; yv ] ->
+      Alcotest.(check bool) "distinct buffers" false
+        (Tensor.float_buffer av == Tensor.float_buffer yv);
+      Alcotest.(check (float 0.)) "a = c^2" 1.0 (Tensor.flat_get_f av 0);
+      Alcotest.(check (float 0.)) "y = relu a" 1.0 (Tensor.flat_get_f yv 0)
+  | _ -> Alcotest.fail "arity"
+
+let test_variable_read_never_aliased () =
+  let b = B.create () in
+  let v = B.variable b ~dtype:Dtype.F32 ~shape:[| 3 |] () in
+  let init =
+    B.assign b v (B.const b (Tensor.of_float_array [| 3 |] [| 1.0; -2.0; 3.0 |]))
+  in
+  let r = B.read b v in
+  (* Read's output is the variable's backing tensor — not a fresh
+     buffer — so relu must never be granted an in-place write on it. *)
+  let y = B.relu b r in
+  let s = Session.create ~optimize:false ~memory_planning:true (B.graph b) in
+  Session.run_unit s [ init ];
+  (match Session.run s [ r; y ] with
+  | [ rv; yv ] ->
+      Alcotest.(check bool) "distinct buffers" false
+        (Tensor.float_buffer rv == Tensor.float_buffer yv)
+  | _ -> Alcotest.fail "arity");
+  match Session.run s [ r ] with
+  | [ rv ] ->
+      Alcotest.(check bool) "variable unchanged" true
+        (Tensor.equal rv (Tensor.of_float_array [| 3 |] [| 1.0; -2.0; 3.0 |]))
+  | _ -> Alcotest.fail "arity"
+
+let test_diamond_never_reuses_source () =
+  (* x feeds two consumers (x -> a, x -> b, a + b): neither branch may
+     write into x's buffer — its refcount is 2 when each stages. *)
+  let b = B.create () in
+  let x = B.placeholder b ~shape:[| 4 |] Dtype.F32 in
+  let a = B.square b x in
+  let b' = B.neg b x in
+  let sum = B.add b a b' in
+  let s = Session.create ~optimize:false ~memory_planning:true (B.graph b) in
+  let fed = Tensor.of_float_array [| 4 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  let before = Tensor.copy fed in
+  match Session.run ~feeds:[ (x, fed) ] s [ sum ] with
+  | [ got ] ->
+      Alcotest.(check bool) "x's buffer not reused" false
+        (Tensor.float_buffer got == Tensor.float_buffer fed);
+      Alcotest.(check bool) "x untouched" true (Tensor.equal fed before);
+      Alcotest.(check (float 1e-6)) "x^2 - x" 2.0 (Tensor.flat_get_f got 1)
+  | _ -> Alcotest.fail "arity"
+
+let mem_live_bytes () =
+  Option.value ~default:0.0
+    (Metrics.find_value Metrics.default "octf_mem_live_bytes")
+
+let test_switch_merge_refcounts_balance () =
+  (* Refcounts must hit zero exactly once per endpoint even when Switch
+     kills a branch and Merge fires on the first live input: the live
+     gauge returning exactly to its pre-step level catches both a leak
+     (ends high) and a double-drop (ends low). *)
+  let b = B.create () in
+  let pred = B.placeholder b Dtype.Bool in
+  let x = B.const b (Tensor.of_float_array [| 64 |] (Array.make 64 2.0)) in
+  let big = B.square b x in
+  let f, t = B.switch b big pred in
+  let merged = B.merge b [ B.neg b f; B.relu b t ] in
+  let out = B.reduce_sum b merged in
+  let s = Session.create ~optimize:false ~memory_planning:true (B.graph b) in
+  let baseline = mem_live_bytes () in
+  List.iter
+    (fun p ->
+      let expect = if p then 256.0 else -256.0 in
+      (match Session.run ~feeds:[ (pred, Tensor.scalar_b p) ] s [ out ] with
+      | [ v ] -> Alcotest.(check (float 1e-3)) "value" expect (scalar v)
+      | _ -> Alcotest.fail "arity");
+      Alcotest.(check (float 0.)) "live gauge back to baseline" baseline
+        (mem_live_bytes ()))
+    [ true; false; true; false ]
+
 let suite =
   [
     Alcotest.test_case "switch dead propagation" `Quick
       test_switch_dead_propagation;
+    Alcotest.test_case "fed never aliased" `Quick test_fed_never_aliased;
+    Alcotest.test_case "fetched never aliased" `Quick
+      test_fetched_never_aliased;
+    Alcotest.test_case "variable read never aliased" `Quick
+      test_variable_read_never_aliased;
+    Alcotest.test_case "diamond never reuses source" `Quick
+      test_diamond_never_reuses_source;
+    Alcotest.test_case "switch/merge refcounts balance" `Quick
+      test_switch_merge_refcounts_balance;
     Alcotest.test_case "merge takes live" `Quick test_merge_takes_live;
     Alcotest.test_case "dead control edge" `Quick test_dead_through_control_edge;
     Alcotest.test_case "nested cond" `Quick test_nested_cond;

@@ -85,6 +85,32 @@ let test_session_optimized_run_matches () =
   let s2 = Session.create ~optimize:false (B.graph b2) in
   Alcotest.(check (float 1e-9)) "same result" (v s2 x2 y2) (v s1 x1 y1)
 
+let test_reprune_after_optimize () =
+  (* CSE leaves the losing duplicate disconnected; the session must
+     re-prune after optimizing or the orphan still executes. Count the
+     Mul kernel invocations in the step stats: exactly one. *)
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let k = B.const_f b 3.0 in
+  let y = B.add b (B.mul b x k) (B.mul b x k) in
+  let s = Session.create ~optimize:true (B.graph b) in
+  let options =
+    Session.Run_options.v
+      ~feeds:[ (x, Tensor.scalar_f 2.0) ]
+      ~collect_stats:true ()
+  in
+  let fetched, md = Session.run_with_metadata ~options s [ y ] in
+  Alcotest.(check (float 1e-9)) "value" 12.0
+    (Tensor.flat_get_f (List.hd fetched) 0);
+  let stats = Option.get md.Session.Run_metadata.step_stats in
+  let muls =
+    List.length
+      (List.filter
+         (fun ns -> ns.Step_stats.op_type = "Mul")
+         stats.Step_stats.nodes)
+  in
+  Alcotest.(check int) "one Mul after CSE + re-prune" 1 muls
+
 let test_is_pure () =
   let b = B.create () in
   let c = B.const_f b 1.0 in
@@ -104,5 +130,7 @@ let suite =
     Alcotest.test_case "fed nodes kept" `Quick test_fed_nodes_not_folded;
     Alcotest.test_case "optimized run matches" `Quick
       test_session_optimized_run_matches;
+    Alcotest.test_case "re-prune after optimize" `Quick
+      test_reprune_after_optimize;
     Alcotest.test_case "is_pure" `Quick test_is_pure;
   ]
