@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke bench-kernels bench-memory fault-smoke metrics-smoke ci clean
+.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline fault-smoke metrics-smoke pipeline-smoke ci clean
 
 all: build
 
@@ -28,10 +28,26 @@ bench-kernels:
 bench-memory:
 	dune exec bench/main.exe -- memory
 
+# Pipelined execution against a fault-injected straggler reader:
+# steps/sec at K in {1,2,4}; writes BENCH_pipeline.json and fails if
+# K=4 is less than 1.5x K=1. Full sizes — set OCTF_BENCH_SMOKE=1 for
+# CI speed.
+bench-pipeline:
+	dune exec bench/main.exe -- pipeline
+
 # Deterministic-seed smoke for the fault injector: the same seed must
 # reproduce the same fault sequence.
 fault-smoke:
 	dune exec bin/octf_cli.exe -- fault-smoke
+
+# End-to-end pipelined training: the CLI train loop at K=4 (windowed
+# run_async issue, admission-time variable snapshots) must converge the
+# same linear model the synchronous loop does, and the pipeline bench
+# must show K=4 beating K=1 by 1.5x against a slow reader.
+pipeline-smoke:
+	dune exec bin/octf_cli.exe -- train --steps 60 --max-in-flight 4
+	OCTF_MAX_IN_FLIGHT=4 dune exec bin/octf_cli.exe -- train --steps 60
+	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- pipeline
 
 # Pool-scheduled training run with metrics export; asserts the
 # acceptance-critical series (queue depth, rendezvous bytes, step
@@ -44,7 +60,7 @@ metrics-smoke:
 	grep -Eq '^octf_session_steps_total [1-9]' METRICS_train.prom
 	grep -Eq '^# TYPE octf_session_step_seconds histogram' METRICS_train.prom
 
-ci: build test fmt bench-smoke fault-smoke metrics-smoke
+ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
 	OCTF_INTRA_OP_THREADS=1 OCTF_SCHEDULER=inline dune runtest --force
 	OCTF_INTRA_OP_THREADS=4 OCTF_SCHEDULER=inline dune runtest --force
@@ -57,6 +73,11 @@ ci: build test fmt bench-smoke fault-smoke metrics-smoke
 	OCTF_MEMORY_PLANNING=off dune runtest --force
 	OCTF_MEMORY_PLANNING=on dune exec test/test_main.exe -- test differential
 	OCTF_MEMORY_PLANNING=off dune exec test/test_main.exe -- test differential
+	OCTF_SCHEDULER=inline OCTF_MAX_IN_FLIGHT=1 dune exec test/test_main.exe -- test differential
+	OCTF_SCHEDULER=inline OCTF_MAX_IN_FLIGHT=4 dune exec test/test_main.exe -- test differential
+	OCTF_SCHEDULER=pool OCTF_MAX_IN_FLIGHT=1 dune exec test/test_main.exe -- test differential
+	OCTF_SCHEDULER=pool OCTF_MAX_IN_FLIGHT=4 dune exec test/test_main.exe -- test differential
+	OCTF_MAX_IN_FLIGHT=4 dune exec test/test_main.exe -- test data
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- kernels
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- memory
 

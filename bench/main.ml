@@ -619,6 +619,95 @@ let memory () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined execution: K steps in flight against a straggler reader   *)
+(* ------------------------------------------------------------------ *)
+
+module Pipe = Octf_data.Pipeline
+
+(* One trainer step dequeues a batch from a prefetching input pipeline,
+   passes it through an Identity named "slow_reader" that the fault
+   injector turns into a persistent straggler, then a matmul and an
+   AssignAdd update. At K = 1 every straggle serializes with compute
+   and updates; at K > 1 in-flight steps overlap their straggles, so
+   steps/sec must scale with the pipeline depth. *)
+let pipeline_run ~k ~steps ~delay_ms =
+  let dim = 16 in
+  let b = B.create () in
+  let build_rng = Rng.create 11 in
+  let x_in = B.placeholder b ~name:"x_in" ~shape:[| 4; dim |] Dtype.F32 in
+  let pipe =
+    Pipe.create b ~capacity:8 ~prefetch:4 ~name:"input"
+      ~producers:[ x_in ] ()
+  in
+  let x = match Pipe.batch pipe with [ x ] -> x | _ -> assert false in
+  let x = B.identity b ~name:"slow_reader" x in
+  let v = B.variable b ~name:"acc" ~dtype:Dtype.F32 ~shape:[||] () in
+  let init = B.assign b v (B.const_f b 0.0) in
+  let w =
+    B.const b (Tensor.uniform build_rng [| dim; 1 |] ~lo:(-1.0) ~hi:1.0)
+  in
+  let update = B.assign_add b v (B.reduce_sum b (B.matmul b x w)) in
+  let session = Octf.Session.create ~max_in_flight:k (B.graph b) in
+  Octf.Session.run_unit session [ init ];
+  Octf.Fault_injector.install
+    [
+      Octf.Fault_injector.Slow_kernel
+        { pattern = "slow_reader"; step = 0; ms = delay_ms };
+    ];
+  Fun.protect ~finally:Octf.Fault_injector.reset @@ fun () ->
+  let feed i =
+    let rng = Rng.create (1000 + i) in
+    [ (x_in, Tensor.uniform rng [| 4; dim |] ~lo:(-1.0) ~hi:1.0) ]
+  in
+  let fillers = Pipe.start_fillers pipe session ~threads:2 ~steps ~feed () in
+  let t0 = Unix.gettimeofday () in
+  let handles =
+    List.init steps (fun _ -> Octf.Session.run_async session [ update ])
+  in
+  List.iter (fun h -> ignore (Octf.Session.wait h)) handles;
+  let dt = Unix.gettimeofday () -. t0 in
+  Pipe.stop_fillers fillers;
+  float_of_int steps /. dt
+
+let pipeline () =
+  section "Pipelined execution: steps/sec vs pipeline depth, slow reader";
+  let smoke = smoke_mode () in
+  let steps = if smoke then 8 else 24 in
+  let delay_ms = if smoke then 5.0 else 10.0 in
+  let rate k = pipeline_run ~k ~steps ~delay_ms in
+  let k1 = rate 1 in
+  let k2 = rate 2 in
+  let k4 = rate 4 in
+  let speedup = k4 /. k1 in
+  Printf.printf
+    "%d steps, %.0f ms straggler on the input reader:\n\
+    \  K=1 %7.2f steps/s\n\
+    \  K=2 %7.2f steps/s\n\
+    \  K=4 %7.2f steps/s   (K=4 / K=1 = %.2fx)\n%!"
+    steps delay_ms k1 k2 k4 speedup;
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"pipeline\",\"smoke\":%b,\n\
+       \"workload\":{\"steps\":%d,\"reader_delay_ms\":%.1f},\n\
+       \"k1\":{\"steps_per_sec\":%.2f},\n\
+       \"k2\":{\"steps_per_sec\":%.2f},\n\
+       \"k4\":{\"steps_per_sec\":%.2f},\n\
+       \"speedup_k4_over_k1\":%.3f}\n"
+      (smoke : bool)
+      steps delay_ms k1 k2 k4 speedup
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json\n%!";
+  if speedup < 1.5 then begin
+    Printf.printf
+      "FAIL: K=4 pipeline gave only %.2fx over K=1 (budget 1.5x)\n%!"
+      speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -627,6 +716,7 @@ let all_experiments =
     ("dispatch-wide", dispatch_wide);
     ("kernels", kernels);
     ("memory", memory);
+    ("pipeline", pipeline);
     ("fig6", fig6);
     ("fig7", fig7);
     ("fig8", fig8);

@@ -151,6 +151,20 @@ let apply_intra_op = function
   | Some n -> Octf_tensor.Parallel.set_threads n
   | None -> ()
 
+(* Pipeline depth for Session.run_async: how many steps may be in
+   flight at once. *)
+let max_in_flight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-in-flight" ] ~docv:"K"
+        ~doc:
+          "Training-pipeline depth: up to $(docv) steps execute \
+           concurrently, each reading an admission-time snapshot of the \
+           variables while updates land in completion order \
+           (asynchronous SGD). $(b,1) is the fully synchronous legacy \
+           behaviour. Defaults to \\$OCTF_MAX_IN_FLIGHT or 1.")
+
 (* -------------------------- memory planning ------------------------ *)
 
 let memory_planning_arg =
@@ -201,7 +215,8 @@ let fault_arg =
         ~doc:
           "Comma-separated fault specs to inject, e.g. kill:ps/0@40, \
            kernel:MatMul@3, flaky:Apply:0.05, drop:grad@2, \
-           delay:grad@2:50. Equivalent to OCTF_FAULT.")
+           delay:grad@2:50, slow:reader@0:20 (persistent straggler). \
+           Equivalent to OCTF_FAULT.")
 
 let fault_seed_arg =
   Arg.(
@@ -264,8 +279,8 @@ let dump_metrics = function
    queue feeding it) on a "worker" task, so every step exercises
    partitioned execution with real Send/Recv rendezvous traffic and
    queue backpressure — the paths the metrics registry instruments. *)
-let train steps lr scheduler intra_op planning pool_mb deadline_ms fault
-    fault_seed metrics stats_every =
+let train steps lr scheduler intra_op max_in_flight planning pool_mb
+    deadline_ms fault fault_seed metrics stats_every =
   apply_intra_op intra_op;
   apply_memory planning pool_mb;
   let module Vs = Octf_nn.Var_store in
@@ -309,7 +324,9 @@ let train steps lr scheduler intra_op planning pool_mb deadline_ms fault
         Octf_nn.Losses.mse b ~predictions:(B.matmul b x w.Vs.read) ~targets:y)
   in
   let train_op = Octf_train.Optimizer.minimize store ~lr ~loss () in
-  let session = Octf.Cluster.session cluster ~scheduler (B.graph b) in
+  let session =
+    Octf.Cluster.session cluster ~scheduler ?max_in_flight (B.graph b)
+  in
   let rng = Rng.create 12 in
   let monitor =
     Option.map
@@ -361,7 +378,10 @@ let train steps lr scheduler intra_op planning pool_mb deadline_ms fault
   in
   (if Octf.Fault_injector.active () then begin
      (* Faults armed: run under the supervisor so failed steps recover
-        from checkpoints instead of aborting the run. *)
+        from checkpoints instead of aborting the run. The supervised
+        loop stays synchronous — recovery rolls variables back to a
+        checkpoint, which only makes sense against a quiesced
+        pipeline. *)
      let saver = Octf_train.Saver.create store in
      let prefix = Filename.concat (Filename.get_temp_dir_name ()) "octf-train" in
      let sup =
@@ -398,9 +418,45 @@ let train steps lr scheduler intra_op planning pool_mb deadline_ms fault
    else begin
      Octf.Session.run_unit session [ Vs.init_op store ];
      prefill ();
-     for step = 0 to steps - 1 do
-       one_step ~step ~deadline
-     done
+     let k = Octf.Session.max_in_flight session in
+     if k <= 1 then
+       for step = 0 to steps - 1 do
+         one_step ~step ~deadline
+       done
+     else begin
+       (* Pipelined loop: keep a window of up to K async steps in
+          flight; each fill's queue backpressure plus run_async's
+          admission control bound the lead the issuer can build. *)
+       let inflight = Queue.create () in
+       let finish_one () =
+         let step, handle = Queue.pop inflight in
+         match Octf.Session.wait handle with
+         | [ l; _ ], md ->
+             report step l;
+             Option.iter
+               (fun m -> Octf_train.Monitor.on_step m ~step ~metadata:md ())
+               monitor
+         | _ -> assert false
+       in
+       for step = 0 to steps - 1 do
+         fill ?deadline ();
+         let collect =
+           match monitor with
+           | Some m -> Octf_train.Monitor.should_sample m ~step
+           | None -> false
+         in
+         let options =
+           Octf.Session.Run_options.v ?deadline ~collect_stats:collect ()
+         in
+         Queue.push
+           (step, Octf.Session.run_async ~options session [ loss; train_op ])
+           inflight;
+         if Queue.length inflight >= k then finish_one ()
+       done;
+       while not (Queue.is_empty inflight) do
+         finish_one ()
+       done
+     end
    end);
   let learned =
     Tensor.to_float_array
@@ -427,8 +483,9 @@ let train_cmd =
           queued input pipeline (quick sanity run)")
     Term.(
       const train $ steps $ lr $ scheduler_arg $ intra_op_arg
-      $ memory_planning_arg $ buffer_pool_mb_arg $ deadline_arg $ fault_arg
-      $ fault_seed_arg $ metrics_arg $ stats_every_arg)
+      $ max_in_flight_arg $ memory_planning_arg $ buffer_pool_mb_arg
+      $ deadline_arg $ fault_arg $ fault_seed_arg $ metrics_arg
+      $ stats_every_arg)
 
 (* --------------------------- fault-smoke --------------------------- *)
 

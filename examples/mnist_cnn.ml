@@ -112,7 +112,7 @@ let () =
     | _ -> assert false)
   done;
   Octf_data.Pipeline.close pipeline session;
-  List.iter Thread.join fillers;
+  Octf_data.Pipeline.join_fillers fillers;
 
   (* Transfer-learning flavour (§4.3): restore the checkpoint into a
      fresh session and fine-tune only the classifier head. *)

@@ -5,6 +5,7 @@ type t = {
   mutable wakers : (int * (unit -> unit)) list;
   mutable next_id : int;
   mutable finished : bool;
+  mutable parent_link : (t * int) option;  (* parent token, our waker id *)
   mutex : Mutex.t;
 }
 
@@ -16,6 +17,7 @@ let make ?budget ?deadline () =
     wakers = [];
     next_id = 0;
     finished = false;
+    parent_link = None;
     mutex = Mutex.create ();
   }
 
@@ -83,15 +85,6 @@ let watchdog t deadline budget =
          loop ())
        ())
 
-let create ?deadline () =
-  match deadline with
-  | None -> make ()
-  | Some budget ->
-      let abs = Unix.gettimeofday () +. budget in
-      let t = make ~budget ~deadline:abs () in
-      watchdog t abs budget;
-      t
-
 let cancel t ~reason = cancel_with t (Step_failure.Cancelled reason)
 
 let cancelled t =
@@ -135,6 +128,41 @@ let remove_waker t id =
   t.wakers <- List.filter (fun (i, _) -> i <> id) t.wakers;
   Mutex.unlock t.mutex
 
+(* Link a child token to its parent: when the parent fires, the child
+   fires with the parent's cause, so a filler step cancelled by its
+   group token reports the group's reason and a parent deadline
+   surfaces as a deadline. The waker id is kept so {!complete} unlinks
+   the child — a long-lived group token must not accumulate one dead
+   waker per step it supervised. *)
+let link_parent child parent =
+  let propagate () =
+    match
+      (Mutex.lock parent.mutex;
+       let s = parent.state in
+       Mutex.unlock parent.mutex;
+       s)
+    with
+    | Some cause -> cancel_with child cause
+    | None -> ()
+  in
+  let id = add_waker parent propagate in
+  child.parent_link <- Some (parent, id);
+  (* The parent may have fired before our waker registered. *)
+  propagate ()
+
+let create ?parent ?deadline () =
+  let t =
+    match deadline with
+    | None -> make ()
+    | Some budget ->
+        let abs = Unix.gettimeofday () +. budget in
+        let t = make ~budget ~deadline:abs () in
+        watchdog t abs budget;
+        t
+  in
+  Option.iter (link_parent t) parent;
+  t
+
 let with_waker cancel wake f =
   match cancel with
   | None -> f ()
@@ -145,6 +173,11 @@ let with_waker cancel wake f =
 let complete t =
   Mutex.lock t.mutex;
   t.finished <- true;
-  Mutex.unlock t.mutex
+  let link = t.parent_link in
+  t.parent_link <- None;
+  Mutex.unlock t.mutex;
+  match link with
+  | Some (parent, id) -> remove_waker parent id
+  | None -> ()
 
 let check_opt = function None -> () | Some t -> check t

@@ -12,11 +12,18 @@
 
 type t
 
-val create : ?deadline:float -> unit -> t
+val create : ?parent:t -> ?deadline:float -> unit -> t
 (** [create ~deadline:budget ()] cancels itself [budget] seconds from
     now with cause {!Step_failure.Deadline_exceeded}. Without
     [?deadline] the token only cancels explicitly (and spawns no
-    watchdog). *)
+    watchdog).
+
+    [?parent] links the new token under a longer-lived one: when the
+    parent fires (explicitly or by its own deadline), the child fires
+    with the parent's cause — this is how a pipeline's group token
+    tears down every in-flight step. The link is removed by
+    {!complete}, so a group token supervising thousands of steps does
+    not accumulate dead wakers. *)
 
 val cancel : t -> reason:string -> unit
 (** Cancel with cause {!Step_failure.Cancelled}. First cancellation
@@ -48,4 +55,5 @@ val with_waker : t option -> (unit -> unit) -> (unit -> 'a) -> 'a
     [cancel] (no-op when [cancel] is [None]). *)
 
 val complete : t -> unit
-(** Mark the run finished so a deadline watchdog exits promptly. *)
+(** Mark the run finished so a deadline watchdog exits promptly, and
+    unlink the token from its [?parent] (if any). *)

@@ -44,10 +44,14 @@ val session :
   ?seed:int ->
   ?optimize:bool ->
   ?scheduler:Scheduler.policy ->
+  ?max_in_flight:int ->
+  ?barrier:bool ->
   t ->
   Graph.t ->
   Session.t
 (** A master session executing over every device in the cluster. With
     [~scheduler:Scheduler.Pool] every partition dispatches its ready
     kernels onto the one shared domain pool, so a multi-task step uses
-    all cores instead of time-slicing partition threads on one. *)
+    all cores instead of time-slicing partition threads on one.
+    [max_in_flight]/[barrier] configure the pipeline depth for
+    {!Session.run_async} (see {!Session.create}). *)

@@ -17,11 +17,11 @@ module K = Kernel
 let identity name =
   K.register ~op_type:name (fun ctx -> K.one ctx.K.inputs.(0))
 
-let rendezvous_key node =
-  Printf.sprintf "%s;%s;%s"
-    (Node.attr_string node "send_device")
-    (Node.attr_string node "recv_device")
-    (Node.attr_string node "tensor_name")
+let rendezvous_key ~step_id node =
+  Rendezvous.step_key ~step_id
+    ~send_device:(Node.attr_string node "send_device")
+    ~recv_device:(Node.attr_string node "recv_device")
+    ~tensor_name:(Node.attr_string node "tensor_name")
 
 let register () =
   K.register ~op_type:"NoOp" (fun _ -> [||]);
@@ -46,7 +46,7 @@ let register () =
       match ctx.K.rendezvous with
       | None -> failwith "Send: no rendezvous in a single-partition step"
       | Some r -> (
-          let key = rendezvous_key ctx.K.node in
+          let key = rendezvous_key ~step_id:ctx.K.step_id ctx.K.node in
           match Fault_injector.send_hook ~key ~step_id:ctx.K.step_id with
           | `Drop ->
               (* A lost message: the paired Recv blocks until a deadline
@@ -66,4 +66,4 @@ let register () =
       | Some r ->
           K.one
             (Rendezvous.recv ?cancel:ctx.K.cancel r
-               ~key:(rendezvous_key ctx.K.node)))
+               ~key:(rendezvous_key ~step_id:ctx.K.step_id ctx.K.node)))

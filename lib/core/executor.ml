@@ -277,6 +277,7 @@ type state = {
   cancel : Cancel.t option;
   seed : int;
   step_id : int;
+  var_snapshot : (string -> Octf_tensor.Tensor.t option) option;
   instances : (string, instance) Hashtbl.t;
   planning : bool;  (* lifetime-driven drops / grants enabled this step *)
   mem : mem_info;
@@ -395,11 +396,11 @@ let blocking_op = function
   | "Recv" | "Dequeue" | "DequeueMany" | "Enqueue" | "EnqueueMany" -> true
   | _ -> false
 
-let recv_rendezvous_key (n : Node.t) =
-  Printf.sprintf "%s;%s;%s"
-    (Node.attr_string n "send_device")
-    (Node.attr_string n "recv_device")
-    (Node.attr_string n "tensor_name")
+let recv_rendezvous_key ~step_id (n : Node.t) =
+  Rendezvous.step_key ~step_id
+    ~send_device:(Node.attr_string n "send_device")
+    ~recv_device:(Node.attr_string n "recv_device")
+    ~tensor_name:(Node.attr_string n "tensor_name")
 
 let invariants_available inst (cn : cnode) =
   (cn.invariant_slots == [] && cn.invariant_controls = 0)
@@ -796,6 +797,7 @@ let stage_node st ((cn : cnode), inst, it) =
         step_id = st.step_id;
         cancel = st.cancel;
         grants;
+        var_snapshot = st.var_snapshot;
       }
     in
     let kernel = resolve_kernel cn in
@@ -1012,7 +1014,7 @@ let prepare ?scheduler ?memory_planning ~graph ~nodes ~fed_ids () =
   }
 
 let execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
-    ~rendezvous ~tracer ~cancel ~seed ~step_id =
+    ~rendezvous ~tracer ~cancel ~seed ~step_id ~var_snapshot =
   let count = Array.length sp.s_nodes in
   let values = Array.make count [||] in
   let dead = Array.make count false in
@@ -1166,7 +1168,8 @@ let execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
                 decls
       in
       let ctx =
-        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id; cancel; grants }
+        { Kernel.node = n; inputs; resources; rendezvous; rng; step_id;
+          cancel; grants; var_snapshot }
       in
       let kernel = resolve_kernel cn in
       Scheduler.Offload
@@ -1197,7 +1200,7 @@ let execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
           | Some r -> (
               match
                 Rendezvous.try_recv r
-                  ~key:(recv_rendezvous_key sp.s_nodes.(idx).node)
+                  ~key:(recv_rendezvous_key ~step_id sp.s_nodes.(idx).node)
               with
               | Some v ->
                   Some
@@ -1260,7 +1263,7 @@ let execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
         fetches)
 
 let execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
-    ~rendezvous ~tracer ~cancel ~seed ~step_id =
+    ~rendezvous ~tracer ~cancel ~seed ~step_id ~var_snapshot =
   let compiled = plan.p_compiled in
   let fed_vals = Hashtbl.create 8 in
   List.iter
@@ -1290,6 +1293,7 @@ let execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
       cancel;
       seed;
       step_id;
+      var_snapshot;
       instances = Hashtbl.create 8;
       planning;
       mem = plan.p_mem;
@@ -1318,7 +1322,8 @@ let execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
           | None -> None
           | Some r -> (
               match
-                Rendezvous.try_recv r ~key:(recv_rendezvous_key cn.node)
+                Rendezvous.try_recv r
+                  ~key:(recv_rendezvous_key ~step_id:st.step_id cn.node)
               with
               | Some v ->
                   Some
@@ -1382,7 +1387,8 @@ let execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
         fetches)
 
 let execute plan ?scheduler ?intra_op_threads ?memory_planning ~feeds ~fetches
-    ~resources ?rendezvous ?tracer ?cancel ?(seed = 0) ?(step_id = 0) () =
+    ~resources ?rendezvous ?tracer ?cancel ?(seed = 0) ?(step_id = 0)
+    ?var_snapshot () =
   (* Like TF's intra_op_parallelism_threads this is a process-wide
      hardware knob, not per-step state: setting it here adjusts the
      budget for this and subsequent steps. *)
@@ -1398,10 +1404,10 @@ let execute plan ?scheduler ?intra_op_threads ?memory_planning ~feeds ~fetches
   match plan.p_simple with
   | Some sp ->
       execute_simple plan sp ~planning ~scheduler ~feeds ~fetches ~resources
-        ~rendezvous ~tracer ~cancel ~seed ~step_id
+        ~rendezvous ~tracer ~cancel ~seed ~step_id ~var_snapshot
   | None ->
       execute_general plan ~planning ~scheduler ~feeds ~fetches ~resources
-        ~rendezvous ~tracer ~cancel ~seed ~step_id
+        ~rendezvous ~tracer ~cancel ~seed ~step_id ~var_snapshot
 
 let run ?scheduler ?intra_op_threads ?memory_planning ~graph ~nodes ~feeds
     ~fetches ~resources ?rendezvous ?cancel ?seed ?step_id () =

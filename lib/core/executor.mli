@@ -84,6 +84,7 @@ val execute :
   ?cancel:Cancel.t ->
   ?seed:int ->
   ?step_id:int ->
+  ?var_snapshot:(string -> Octf_tensor.Tensor.t option) ->
   unit ->
   Value.t list
 (** Execute one step of a prepared plan. The feed list must cover exactly
@@ -94,7 +95,10 @@ val execute :
     ({!Octf_tensor.Parallel.set_threads}) before the step runs — a
     hardware-resource knob like TensorFlow's
     [intra_op_parallelism_threads], not per-step state.
-    [memory_planning] overrides the plan's default for this step. *)
+    [memory_planning] overrides the plan's default for this step.
+    [var_snapshot] (from the pipelined session's admission control)
+    redirects [Read] kernels to the variable values captured when the
+    step was admitted; updates still land on live variables. *)
 
 val run :
   ?scheduler:Scheduler.policy ->

@@ -6,6 +6,10 @@ type spec =
   | Flaky_kernel of { pattern : string; prob : float }
   | Drop_send of { pattern : string; step : int }
   | Delay_send of { pattern : string; step : int; ms : float }
+  | Slow_kernel of { pattern : string; step : int; ms : float }
+      (* every matching kernel invocation at/after [step] sleeps [ms]
+         before running — a persistent straggler (slow reader, slow
+         disk), not a one-shot fault like [Delay_send] *)
 
 type send_action = [ `Deliver | `Drop | `Delay of float ]
 
@@ -44,6 +48,8 @@ let spec_to_string = function
   | Drop_send { pattern; step } -> Printf.sprintf "drop:%s@%d" pattern step
   | Delay_send { pattern; step; ms } ->
       Printf.sprintf "delay:%s@%d:%g" pattern step ms
+  | Slow_kernel { pattern; step; ms } ->
+      Printf.sprintf "slow:%s@%d:%g" pattern step ms
 
 let parse_spec s =
   let fail () =
@@ -51,7 +57,8 @@ let parse_spec s =
       (Printf.sprintf
          "bad fault spec %S (expected kill:<job>/<task>@<step> | \
           kernel:<pattern>@<step> | flaky:<pattern>:<prob> | \
-          drop:<pattern>@<step> | delay:<pattern>@<step>:<ms>)"
+          drop:<pattern>@<step> | delay:<pattern>@<step>:<ms> | \
+          slow:<pattern>@<step>:<ms>)"
          s)
   in
   let split_at_step body =
@@ -99,7 +106,7 @@ let parse_spec s =
           match split_at_step body with
           | Some (pattern, step) -> Ok (Drop_send { pattern; step })
           | None -> fail ())
-      | "delay" -> (
+      | "delay" | "slow" -> (
           match String.rindex_opt body ':' with
           | None -> fail ()
           | Some j -> (
@@ -107,7 +114,8 @@ let parse_spec s =
               let ms = String.sub body (j + 1) (String.length body - j - 1) in
               match (split_at_step head, float_of_string_opt ms) with
               | Some (pattern, step), Some ms when ms >= 0.0 ->
-                  Ok (Delay_send { pattern; step; ms })
+                  if kind = "delay" then Ok (Delay_send { pattern; step; ms })
+                  else Ok (Slow_kernel { pattern; step; ms })
               | _ -> fail ()))
       | _ -> fail ())
 
@@ -240,6 +248,25 @@ let kernel_hook (n : Node.t) ~step_id =
             (Printf.sprintf "/job:%s/task:%d is down" d.Device.job
                d.Device.task)
     | None -> ());
+    (* Persistent stragglers: every matching kernel at/after the step
+       sleeps before running. Summed when several specs match; the sleep
+       happens outside the injector lock. *)
+    let slow =
+      with_lock (fun () ->
+          List.fold_left
+            (fun acc (spec, _) ->
+              match spec with
+              | Slow_kernel { pattern; step; ms }
+                when step_id >= step && matches_node pattern n ->
+                  acc +. ms
+              | _ -> acc)
+            0.0 state.specs)
+    in
+    if slow > 0.0 then begin
+      Metrics.Counter.incr (m_injected "slow");
+      with_lock (fun () -> state.injected <- state.injected + 1);
+      Thread.delay (slow /. 1000.0)
+    end;
     let fire =
       with_lock (fun () ->
           List.find_map

@@ -21,7 +21,10 @@
       probability (deterministic per seed/step/node);
     - [drop:<pattern>@<step>] — swallow the first matching rendezvous
       send (the paired Recv must be rescued by a deadline);
-    - [delay:<pattern>@<step>:<ms>] — delay the matching send. *)
+    - [delay:<pattern>@<step>:<ms>] — delay the matching send;
+    - [slow:<pattern>@<step>:<ms>] — persistent straggler: {e every}
+      matching kernel at/after the step sleeps [ms] before running (a
+      slow reader or slow disk, for pipelining experiments). *)
 
 exception Injected of string
 (** Raised by {!kernel_hook}; the executor reports it as
@@ -33,6 +36,7 @@ type spec =
   | Flaky_kernel of { pattern : string; prob : float }
   | Drop_send of { pattern : string; step : int }
   | Delay_send of { pattern : string; step : int; ms : float }
+  | Slow_kernel of { pattern : string; step : int; ms : float }
 
 type send_action = [ `Deliver | `Drop | `Delay of float ]
 

@@ -81,6 +81,7 @@ let constant_fold graph ~nodes ~fed =
                 step_id = 0;
                 cancel = None;
                 grants = [];
+                var_snapshot = None;
               }
             in
             match kernel ctx with

@@ -7,6 +7,7 @@ type ctx = {
   step_id : int;
   cancel : Cancel.t option;
   grants : (int * int) list;
+  var_snapshot : (string -> Octf_tensor.Tensor.t option) option;
 }
 
 type t = ctx -> Value.t array
@@ -52,6 +53,14 @@ let all_input_tensors ctx =
   Array.to_list (Array.map Value.tensor ctx.inputs)
 
 let one v = [| v |]
+
+let snapshot_read ctx (v : Resource.variable) =
+  match ctx.var_snapshot with
+  | Some lookup -> (
+      match lookup v.Resource.var_name with
+      | Some t -> t
+      | None -> Resource.variable_read v)
+  | None -> Resource.variable_read v
 
 let granted_input ctx ~output =
   List.find_map

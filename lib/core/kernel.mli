@@ -28,6 +28,14 @@ type ctx = {
           (the input's refcount is 1 and it is not fed, fetched or a
           variable's backing store). Empty unless the op declared
           [~aliases] at registration and planning is enabled. *)
+  var_snapshot : (string -> Octf_tensor.Tensor.t option) option;
+      (** when the pipelined engine admitted this step with versioned
+          variable reads, maps a variable name to the value it held at
+          admission. [Read] consults it so every read in the step sees
+          one consistent snapshot (§4.4's async consistency); updates
+          ([Assign*], [Scatter*]) always apply to the live variable in
+          completion order. [None] for barrier-mode and synchronous
+          steps — reads then go straight to the live variable. *)
 }
 
 type t = ctx -> Value.t array
@@ -74,6 +82,11 @@ val all_input_tensors : ctx -> Octf_tensor.Tensor.t list
 
 val one : Value.t -> Value.t array
 (** Singleton output. *)
+
+val snapshot_read : ctx -> Resource.variable -> Octf_tensor.Tensor.t
+(** The variable's value as this step should observe it: the admission
+    snapshot when the context carries one (and the variable was
+    initialized at admission), the live value otherwise. *)
 
 (** {1 In-place grant helpers} *)
 

@@ -1,5 +1,14 @@
 exception Aborted of string
 
+(* The key format agreed between a Send/Recv pair. Scoping the key by
+   step id means even a rendezvous shared across in-flight steps can
+   never deliver step N's tensor to step N+1's Recv — per-step isolation
+   holds by construction, not only because sessions happen to allocate
+   one rendezvous per step today. *)
+let step_key ~step_id ~send_device ~recv_device ~tensor_name =
+  Printf.sprintf "step:%d;%s;%s;%s" step_id send_device recv_device
+    tensor_name
+
 (* Process-wide series, aggregated over all live rendezvous objects
    (sessions create one per distributed step). *)
 let m_pending =

@@ -5,8 +5,8 @@
     publishes its input under the key as soon as the tensor is available;
     [Recv] blocks until the value for its key is available locally. One
     rendezvous instance serves one step; keys are
-    ["src_device;dst_device;tensor_name"] and values are consumed
-    once. *)
+    ["step:<id>;src_device;dst_device;tensor_name"] (see {!step_key})
+    and values are consumed once. *)
 
 type t
 
@@ -14,6 +14,17 @@ exception Aborted of string
 (** Raised in blocked receivers when the step is aborted. *)
 
 val create : unit -> t
+
+val step_key :
+  step_id:int ->
+  send_device:string ->
+  recv_device:string ->
+  tensor_name:string ->
+  string
+(** The canonical ["step:<id>;src;dst;name"] key a [Send]/[Recv] pair
+    agrees on. The step id prefix gives per-step scoping: concurrent
+    in-flight steps of a pipelined session can never cross-deliver even
+    on a shared rendezvous. *)
 
 val send : t -> key:string -> Value.t -> unit
 (** @raise Step_failure.Error with {!Step_failure.Duplicate_send} on a

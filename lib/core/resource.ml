@@ -5,6 +5,7 @@ type variable = {
   var_dtype : Dtype.t;
   var_shape : Shape.t;
   mutable value : Tensor.t option;
+  mutable version : int;
   var_mutex : Mutex.t;
 }
 
@@ -28,7 +29,7 @@ type t =
 
 let make_variable ~name ~dtype ~shape =
   { var_name = name; var_dtype = dtype; var_shape = shape; value = None;
-    var_mutex = Mutex.create () }
+    version = 0; var_mutex = Mutex.create () }
 
 let with_lock v f =
   Mutex.lock v.var_mutex;
@@ -57,7 +58,9 @@ let check_compatible v t =
 
 let variable_assign v t =
   check_compatible v t;
-  with_lock v (fun () -> v.value <- Some (Tensor.copy t))
+  with_lock v (fun () ->
+      v.value <- Some (Tensor.copy t);
+      v.version <- v.version + 1)
 
 let variable_update v f =
   with_lock v (fun () ->
@@ -69,7 +72,16 @@ let variable_update v f =
       | Some old ->
           let fresh = f old in
           v.value <- Some fresh;
+          v.version <- v.version + 1;
           fresh)
+
+let variable_version v = with_lock v (fun () -> v.version)
+
+let variable_peek v =
+  with_lock v (fun () ->
+      match v.value with
+      | None -> None
+      | Some t -> Some (t, v.version))
 
 let make_iterator ~name ~records =
   { it_name = name; it_records = records; it_mutex = Mutex.create () }

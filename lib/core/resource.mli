@@ -14,6 +14,11 @@ type variable = {
   var_dtype : Dtype.t;
   var_shape : Shape.t;
   mutable value : Tensor.t option;  (** [None] until initialized *)
+  mutable version : int;
+      (** bumped on every assign/update; updates are copy-on-write, so
+          a [(value, version)] pair observed together is an immutable
+          snapshot — the unit of the pipelined engine's versioned
+          variable reads (§4.4's consistency model) *)
   var_mutex : Mutex.t;
 }
 
@@ -74,6 +79,14 @@ val variable_update : variable -> (Tensor.t -> Tensor.t) -> Tensor.t
 (** Atomically replace the value with [f value] and return the new value;
     this is the associative-combiner write the parameter-server
     architecture specializes (§2.2). *)
+
+val variable_version : variable -> int
+(** The number of assigns/updates applied so far (0 = uninitialized). *)
+
+val variable_peek : variable -> (Tensor.t * int) option
+(** The current [(value, version)] snapshot, atomically; [None] until
+    initialized. The tensor is immutable (copy-on-write updates), so
+    the pair stays a consistent snapshot after the lock is dropped. *)
 
 val name : t -> string
 

@@ -24,9 +24,65 @@ let m_step_seconds =
   Metrics.Histogram.v ~help:"Step wall-clock seconds"
     "octf_session_step_seconds"
 
+let m_in_flight =
+  Metrics.Gauge.v ~help:"Pipelined steps currently admitted"
+    "octf_steps_in_flight"
+
+let m_stall =
+  Metrics.Counter.v
+    ~help:"Seconds run_async callers spent blocked on admission"
+    "octf_pipeline_stall_seconds"
+
 let run_error ?node ?device cause = Run_error (Step_failure.v ?node ?device cause)
 
 let invalid msg = run_error (Step_failure.Invalid_graph msg)
+
+module Run_options = struct
+  type t = {
+    feeds : (Builder.output * Octf_tensor.Tensor.t) list;
+    targets : Builder.output list;
+    deadline : float option;
+    trace : bool;
+    collect_stats : bool;
+    cancel : Cancel.t option;
+    tracer : Tracer.t option;
+  }
+
+  let default =
+    {
+      feeds = [];
+      targets = [];
+      deadline = None;
+      trace = false;
+      collect_stats = false;
+      cancel = None;
+      tracer = None;
+    }
+
+  let v ?(feeds = []) ?(targets = []) ?deadline ?(trace = false)
+      ?(collect_stats = false) ?cancel ?tracer () =
+    { feeds; targets; deadline; trace; collect_stats; cancel; tracer }
+end
+
+module Run_metadata = struct
+  type t = {
+    step_id : int;
+    wall_time : float;
+    step_stats : Step_stats.t option;
+    tracer : Tracer.t option;
+  }
+end
+
+(* A step in flight. The spawning thread publishes exactly one result
+   (or failure) under [h_mutex]; [wait] blocks on [h_cond]. *)
+type handle = {
+  h_id : int;
+  h_mutex : Mutex.t;
+  h_cond : Condition.t;
+  mutable h_result :
+    (Octf_tensor.Tensor.t list * Run_metadata.t, Step_failure.t) result
+    option;
+}
 
 type compiled_step =
   | Local of { plan : Executor.plan; device : Device.t option }
@@ -44,10 +100,26 @@ type t = {
   scheduler : Scheduler.policy;
   memory_planning : bool option;  (* None: follow Mem_plan.enabled () *)
   mutex : Mutex.t;
+  (* Pipeline controller: at most [max_in_flight] async steps admitted
+     at once. [admit] waits on [mutex]; [pending] tracks live handles
+     for [drain]. *)
+  max_in_flight : int;
+  mutable in_flight : int;
+  admit : Condition.t;
+  pending : (int, handle) Hashtbl.t;
+  mutable async_seq : int;
 }
 
+let default_max_in_flight () =
+  match
+    Option.bind (Sys.getenv_opt "OCTF_MAX_IN_FLIGHT") int_of_string_opt
+  with
+  | Some k when k >= 1 -> k
+  | _ -> 1
+
 let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
-    ?scheduler ?intra_op_threads ?memory_planning graph =
+    ?scheduler ?intra_op_threads ?memory_planning ?max_in_flight
+    ?(barrier = false) graph =
   (* Process-wide hardware knob, mirroring TF's
      intra_op_parallelism_threads in ConfigProto. *)
   (match intra_op_threads with
@@ -67,6 +139,19 @@ let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
     | Some f -> f
     | None -> fun _ -> default_resources
   in
+  (* Barrier mode pins the pipeline to one step in flight: async steps
+     serialize and read live variables, so results are bit-identical to
+     the pre-pipelining session whatever [max_in_flight] asked for. *)
+  let max_in_flight =
+    if barrier then 1
+    else
+      match max_in_flight with
+      | Some k when k >= 1 -> k
+      | Some k ->
+          invalid_arg
+            (Printf.sprintf "Session.create: max_in_flight %d < 1" k)
+      | None -> default_max_in_flight ()
+  in
   {
     graph;
     devices;
@@ -79,11 +164,18 @@ let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
     scheduler;
     memory_planning;
     mutex = Mutex.create ();
+    max_in_flight;
+    in_flight = 0;
+    admit = Condition.create ();
+    pending = Hashtbl.create 8;
+    async_seq = 0;
   }
 
 let graph t = t.graph
 
 let scheduler t = t.scheduler
+
+let max_in_flight t = t.max_in_flight
 
 let resources t = t.default_resources
 
@@ -170,7 +262,8 @@ let value_to_tensor ~what v =
            (Step_failure.Fetch_failed
               (Printf.sprintf "fetch %s produced a dead value" what)))
 
-let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
+let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
+    ?(targets = []) t fetches =
   (* Fetching an output-less operation (a NoOp group such as a train op)
      means "run it": reroute such fetches to the target list and return
      a scalar 0 in their position. *)
@@ -221,14 +314,17 @@ let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
         t.step_counter <- t.step_counter + 1;
         (step, t.step_counter))
   in
-  (* One cancellation token per step: a deadline arms its watchdog, and
+  (* One cancellation token per step: a deadline arms its watchdog,
      distributed steps always carry a token so one partition's failure
-     wakes peers parked in queue or rendezvous waits. *)
+     wakes peers parked in queue or rendezvous waits, and a [parent]
+     token (a pipeline's filler group) cancels this step when the whole
+     group is stopped. *)
   let cancel =
-    match (deadline, step) with
-    | Some d, _ -> Some (Cancel.create ~deadline:d ())
-    | None, Distributed _ -> Some (Cancel.create ())
-    | None, Local _ -> None
+    match (deadline, parent, step) with
+    | Some d, _, _ -> Some (Cancel.create ?parent ~deadline:d ())
+    | None, Some _, _ -> Some (Cancel.create ?parent ())
+    | None, None, Distributed _ -> Some (Cancel.create ())
+    | None, None, Local _ -> None
   in
   let execute_step () =
     match step with
@@ -241,7 +337,8 @@ let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
       let values =
         try
           Executor.execute plan ~feeds:feed_vals ~fetches:fetch_eps
-            ~resources ?tracer ?cancel ~seed:t.seed ~step_id ()
+            ~resources ?tracer ?cancel ~seed:t.seed ~step_id ?var_snapshot
+            ()
         with Step_failure.Error f -> raise (Run_error f)
       in
       List.map2
@@ -286,7 +383,8 @@ let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
             Executor.execute plan ~feeds:local_feeds
               ~fetches:(List.map snd local_fetches)
               ~resources:(t.resource_router p.Partition.device)
-              ~rendezvous ?tracer ?cancel ~seed:t.seed ~step_id ()
+              ~rendezvous ?tracer ?cancel ~seed:t.seed ~step_id
+              ?var_snapshot ()
           in
           Mutex.lock results_mutex;
           Hashtbl.replace results device
@@ -356,55 +454,39 @@ let run_with ?tracer ?deadline ?(feeds = []) ?(targets = []) t fetches =
   in
   (tensors, step_id)
 
-module Run_options = struct
-  type t = {
-    feeds : (Builder.output * Octf_tensor.Tensor.t) list;
-    targets : Builder.output list;
-    deadline : float option;
-    trace : bool;
-    collect_stats : bool;
-  }
-
-  let default =
-    {
-      feeds = [];
-      targets = [];
-      deadline = None;
-      trace = false;
-      collect_stats = false;
-    }
-
-  let v ?(feeds = []) ?(targets = []) ?deadline ?(trace = false)
-      ?(collect_stats = false) () =
-    { feeds; targets; deadline; trace; collect_stats }
-end
-
-module Run_metadata = struct
-  type t = {
-    step_id : int;
-    wall_time : float;
-    step_stats : Step_stats.t option;
-    tracer : Tracer.t option;
-  }
-end
-
-let run_with_metadata ?(options = Run_options.default) t fetches =
-  let { Run_options.feeds; targets; deadline; trace; collect_stats } =
+let run_md ?var_snapshot ~options t fetches =
+  let {
+    Run_options.feeds;
+    targets;
+    deadline;
+    trace;
+    collect_stats;
+    cancel;
+    tracer = shared_tracer;
+  } =
     options
   in
   (* One tracer observes the step when either consumer wants it; the
-     executor's kernel timing keys off its presence. *)
+     executor's kernel timing keys off its presence. A caller-supplied
+     tracer (pipelined runs visualizing step overlap) wins. *)
   let tracer =
-    if trace || collect_stats then Some (Tracer.create ()) else None
+    match shared_tracer with
+    | Some _ -> shared_tracer
+    | None -> if trace || collect_stats then Some (Tracer.create ()) else None
   in
   Metrics.Counter.incr m_steps;
   let t0 = Unix.gettimeofday () in
-  match run_with ?tracer ?deadline ~feeds ~targets t fetches with
+  match
+    run_with ?tracer ?deadline ?cancel ?var_snapshot ~feeds ~targets t
+      fetches
+  with
   | tensors, step_id ->
       let wall_time = Unix.gettimeofday () -. t0 in
       Metrics.Histogram.observe m_step_seconds wall_time;
       let step_stats =
         if collect_stats then
+          (* [of_tracer] filters by step id, so a tracer shared across
+             in-flight steps still yields per-step stats. *)
           Option.map (Step_stats.of_tracer ~step_id) tracer
         else None
       in
@@ -417,6 +499,122 @@ let run_with_metadata ?(options = Run_options.default) t fetches =
           Metrics.Counter.incr m_deadline_expiries
       | _ -> ());
       raise (Run_error f)
+
+let run_with_metadata ?(options = Run_options.default) t fetches =
+  run_md ~options t fetches
+
+(* Admission-time snapshot of every variable reachable from this
+   session's resource managers. [Read] kernels of a pipelined step see
+   these values — the version a variable had when the step was admitted
+   — while updates (Assign*, scatter, counters) keep landing on the
+   live variables in completion order: the paper's asynchronous SGD
+   consistency model. *)
+let snapshot_variables t =
+  let managers =
+    List.fold_left
+      (fun acc m -> if List.memq m acc then acc else m :: acc)
+      [ t.default_resources ]
+      (List.map t.resource_router t.devices)
+  in
+  let tbl : (string, Octf_tensor.Tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (v : Resource.variable) ->
+          match Resource.variable_peek v with
+          | Some (tensor, _version) ->
+              Hashtbl.replace tbl v.Resource.var_name tensor
+          | None -> ())
+        (Resource_manager.variables m))
+    managers;
+  fun name -> Hashtbl.find_opt tbl name
+
+let run_async ?(options = Run_options.default) t fetches =
+  let wait_start = Unix.gettimeofday () in
+  let h =
+    with_lock t (fun () ->
+        while t.in_flight >= t.max_in_flight do
+          Condition.wait t.admit t.mutex
+        done;
+        let stalled = Unix.gettimeofday () -. wait_start in
+        if stalled > 0.0 then Metrics.Counter.add_f m_stall stalled;
+        t.in_flight <- t.in_flight + 1;
+        Metrics.Gauge.set m_in_flight (float_of_int t.in_flight);
+        t.async_seq <- t.async_seq + 1;
+        let h =
+          {
+            h_id = t.async_seq;
+            h_mutex = Mutex.create ();
+            h_cond = Condition.create ();
+            h_result = None;
+          }
+        in
+        Hashtbl.replace t.pending h.h_id h;
+        h)
+  in
+  (* Snapshot only when steps can actually overlap: at K = 1 (including
+     barrier mode) reads stay live and behavior is bit-identical to the
+     synchronous session. *)
+  let var_snapshot =
+    if t.max_in_flight > 1 then Some (snapshot_variables t) else None
+  in
+  let finish result =
+    Mutex.lock h.h_mutex;
+    h.h_result <- Some result;
+    Condition.broadcast h.h_cond;
+    Mutex.unlock h.h_mutex;
+    with_lock t (fun () ->
+        t.in_flight <- t.in_flight - 1;
+        Metrics.Gauge.set m_in_flight (float_of_int t.in_flight);
+        Hashtbl.remove t.pending h.h_id;
+        Condition.broadcast t.admit)
+  in
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        match run_md ?var_snapshot ~options t fetches with
+        | result -> finish (Ok result)
+        | exception Run_error f -> finish (Error f)
+        | exception e ->
+            finish
+              (Error
+                 (Step_failure.v
+                    (Step_failure.Kernel_failed (Printexc.to_string e)))))
+      ()
+  in
+  h
+
+let wait h =
+  Mutex.lock h.h_mutex;
+  while h.h_result = None do
+    Condition.wait h.h_cond h.h_mutex
+  done;
+  let r = Option.get h.h_result in
+  Mutex.unlock h.h_mutex;
+  match r with Ok v -> v | Error f -> raise (Run_error f)
+
+let drain t =
+  (* Quiesce: block until nothing is in flight. Step failures are the
+     issuer's to observe via [wait]; drain only waits. *)
+  let rec loop () =
+    let live =
+      with_lock t (fun () ->
+          Hashtbl.fold (fun _ h acc -> h :: acc) t.pending [])
+    in
+    match live with
+    | [] -> ()
+    | hs ->
+        List.iter
+          (fun h ->
+            Mutex.lock h.h_mutex;
+            while h.h_result = None do
+              Condition.wait h.h_cond h.h_mutex
+            done;
+            Mutex.unlock h.h_mutex)
+          hs;
+        loop ()
+  in
+  loop ()
 
 (* The legacy entry points are thin wrappers over {!run_with_metadata}. *)
 

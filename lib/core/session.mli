@@ -12,7 +12,19 @@
     Sessions are safe to call from several threads at once; concurrent
     steps coordinate through the shared stateful operations exactly as in
     the paper (Figure 1's concurrent training / input / checkpoint
-    loops). *)
+    loops).
+
+    {2 Pipelined execution}
+
+    {!run_async} admits up to [max_in_flight] (K) steps concurrently —
+    the paper's asynchronous training, where step N+1 starts before
+    step N's updates land. Each admitted step snapshots every variable
+    (a copy-on-write [(value, version)] pair, so snapshots are O(1)):
+    its [Read] kernels see the admission-time versions while its
+    updates apply to the live variables in completion order. At K = 1
+    — the default, and forced by [barrier:true] — async steps
+    serialize and read live state, bit-identical to the synchronous
+    session. {!drain} quiesces the pipeline (checkpointing, shutdown). *)
 
 open Octf_tensor
 
@@ -32,6 +44,8 @@ val create :
   ?scheduler:Scheduler.policy ->
   ?intra_op_threads:int ->
   ?memory_planning:bool ->
+  ?max_in_flight:int ->
+  ?barrier:bool ->
   Graph.t ->
   t
 (** Default devices: a single local CPU. [resource_router] maps a device
@@ -51,7 +65,13 @@ val create :
     session's steps run the executor's lifetime analysis (eager drops,
     buffer-pool reuse, in-place kernel grants); default follows
     {!Mem_plan.enabled}, i.e. on unless [OCTF_MEMORY_PLANNING=off].
-    Fetches are bit-identical with planning on or off. *)
+    Fetches are bit-identical with planning on or off.
+
+    [max_in_flight] (K ≥ 1) bounds how many {!run_async} steps may
+    execute concurrently; default from [OCTF_MAX_IN_FLIGHT], else 1.
+    [barrier] (default false) forces K = 1 regardless of
+    [max_in_flight] — the fully-synchronous legacy pipeline.
+    @raise Invalid_argument if [max_in_flight < 1]. *)
 
 val graph : t -> Graph.t
 
@@ -73,10 +93,17 @@ module Run_options : sig
     deadline : float option;  (** step budget in seconds *)
     trace : bool;  (** collect {!Tracer} events *)
     collect_stats : bool;  (** build {!Step_stats} for the step *)
+    cancel : Cancel.t option;
+        (** parent token: cancelling it cancels this step (pipeline
+            filler groups) *)
+    tracer : Tracer.t option;
+        (** record into this shared tracer instead of a fresh one —
+            lets overlapping pipelined steps land in one timeline *)
   }
 
   val default : t
-  (** No feeds, no targets, no deadline, no tracing, no stats. *)
+  (** No feeds, no targets, no deadline, no tracing, no stats, no
+      parent token, no shared tracer. *)
 
   val v :
     ?feeds:(Builder.output * Tensor.t) list ->
@@ -84,6 +111,8 @@ module Run_options : sig
     ?deadline:float ->
     ?trace:bool ->
     ?collect_stats:bool ->
+    ?cancel:Cancel.t ->
+    ?tracer:Tracer.t ->
     unit ->
     t
 end
@@ -154,6 +183,34 @@ val run_unit :
   Builder.output list ->
   unit
 (** Run for effect: [run_unit s targets] = ignore a fetch-less step. *)
+
+type handle
+(** An in-flight pipelined step issued by {!run_async}. *)
+
+val run_async : ?options:Run_options.t -> t -> Builder.output list -> handle
+(** Admit one step into the pipeline and return immediately. Blocks
+    only while [max_in_flight] steps are already executing (admission
+    backpressure; the blocked time feeds the
+    [octf_pipeline_stall_seconds] counter, and the
+    [octf_steps_in_flight] gauge tracks admissions). When K > 1 the
+    step's [Read] kernels see a snapshot of every variable taken at
+    admission; its updates land on live variables when its kernels run
+    — completion-order (async-SGD) consistency. The step's failure, if
+    any, is delivered by {!wait}, never raised here. *)
+
+val wait : handle -> Tensor.t list * Run_metadata.t
+(** Block until the step finishes and return its fetches and metadata.
+    May be called from any thread, any number of times.
+    @raise Run_error if the step failed. *)
+
+val drain : t -> unit
+(** Block until no async step is in flight — the quiesce point before
+    checkpoints and shutdown. Never raises: a drained step's failure
+    stays stored in its handle for {!wait} to report. Steps admitted
+    concurrently with the drain extend it. *)
+
+val max_in_flight : t -> int
+(** The session's pipeline depth K. *)
 
 val cached_steps : t -> int
 (** Number of distinct compiled steps in the session cache (tests). *)

@@ -22,8 +22,12 @@ let register () =
                  ~shape:(Node.attr_shape node "shape")))
       in
       K.one (Value.Resource r));
+  (* Reads go through the step's admission snapshot when the pipelined
+     engine installed one, so every Read in one in-flight step observes
+     the same variable versions; updates below always hit the live
+     variable, landing in completion order (§4.4 async consistency). *)
   K.register ~op_type:"Read" (fun ctx ->
-      K.one (t (Resource.variable_read (K.input_var ctx 0))));
+      K.one (t (K.snapshot_read ctx (K.input_var ctx 0))));
   K.register ~op_type:"Assign" (fun ctx ->
       let var = K.input_var ctx 0 and v = K.input_tensor ctx 1 in
       Resource.variable_assign var v;

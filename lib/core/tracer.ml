@@ -97,24 +97,38 @@ let lane_utilization t =
              compare (d1, l1) (d2, l2))
 
 let to_chrome_trace t =
+  let evs = events t in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
   (* One track per (device, execution lane): kernels offloaded to worker
      domains get their own row under the device, so the pool scheduler's
-     intra-step overlap is visible in the rendered trace. *)
+     intra-step overlap is visible in the rendered trace. When the
+     trace spans several steps — a pipelined session sharing one tracer
+     across in-flight steps — each step additionally gets its own lane
+     group, so inter-step overlap renders as parallel rows. *)
+  let multi_step =
+    match evs with
+    | [] -> false
+    | ev :: tl -> List.exists (fun e -> e.step_id <> ev.step_id) tl
+  in
   List.iter
     (fun ev ->
       if not !first then Buffer.add_char buf ',';
       first := false;
+      let tid =
+        if multi_step then
+          Printf.sprintf "%s/step:%d/lane:%d" (json_escape ev.device)
+            ev.step_id ev.lane
+        else Printf.sprintf "%s/lane:%d" (json_escape ev.device) ev.lane
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s/lane:%d\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d,\"shards\":%d,\"peak_bytes\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":\"%s\",\"args\":{\"step\":%d,\"lane\":%d,\"bytes\":%d,\"shards\":%d,\"peak_bytes\":%d}}"
            (json_escape ev.name) (json_escape ev.op_type)
-           (ev.start *. 1e6) (ev.duration *. 1e6)
-           (json_escape ev.device) ev.lane ev.step_id ev.lane ev.bytes
-           ev.shards ev.peak_bytes))
-    (events t);
+           (ev.start *. 1e6) (ev.duration *. 1e6) tid ev.step_id ev.lane
+           ev.bytes ev.shards ev.peak_bytes))
+    evs;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

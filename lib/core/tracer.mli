@@ -67,6 +67,10 @@ val lane_utilization : t -> (string * int * float * float) list
 
 val to_chrome_trace : t -> string
 (** Chrome trace-event JSON ("traceEvents" array of "X" events, one
-    track per device {e and} execution lane). *)
+    track per device {e and} execution lane). When the trace holds
+    events from more than one step — a tracer shared across a pipelined
+    session's in-flight steps — tracks are further split per step
+    ([device/step:S/lane:L]), so inter-step overlap renders as parallel
+    rows. *)
 
 val pp_summary : Format.formatter -> t -> unit

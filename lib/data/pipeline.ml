@@ -1,4 +1,16 @@
 module B = Octf.Builder
+module Cancel = Octf.Cancel
+module Session = Octf.Session
+
+(* The optional prefetch stage: producers enqueue into [stage] (a small
+   FIFO), and a pump step moves tuples stage -> main queue. Decoupling
+   the two queues double-buffers the input pipeline — slow producers
+   fill the stage while trainers drain already-pumped batches. *)
+type stage = {
+  stage_enqueue : B.output;
+  stage_close : B.output;
+  pump : B.output;  (* dequeue stage, enqueue main — one tuple per run *)
+}
 
 type t = {
   queue : B.output;
@@ -7,12 +19,17 @@ type t = {
   close_op : B.output;
   size_op : B.output;
   num_components : int;
+  stage : stage option;
   b : B.t;
 }
 
-let create b ?(shuffle = false) ?(capacity = 64) ~name ~producers () =
+let create b ?(shuffle = false) ?(capacity = 64) ?prefetch ~name ~producers
+    () =
   if producers = [] then invalid_arg "Pipeline.create: no producers";
   let num_components = List.length producers in
+  (* The main queue keeps [name]: its metrics series
+     (octf_queue_depth_max{queue=name}, ...) are what dashboards and
+     smoke tests grep for, with or without a prefetch stage. *)
   let queue =
     if shuffle then
       B.random_shuffle_queue b ~name ~capacity ~num_components ()
@@ -21,7 +38,28 @@ let create b ?(shuffle = false) ?(capacity = 64) ~name ~producers () =
   let enqueue = B.enqueue b ~name:(name ^ "/enqueue") queue producers in
   let close_op = B.queue_close b ~name:(name ^ "/close") queue in
   let size_op = B.queue_size b ~name:(name ^ "/size") queue in
-  { queue; producers; enqueue; close_op; size_op; num_components; b }
+  let stage =
+    match prefetch with
+    | None -> None
+    | Some depth ->
+        if depth < 1 then invalid_arg "Pipeline.create: prefetch < 1";
+        let sq =
+          B.fifo_queue b ~name:(name ^ "/stage") ~capacity:depth
+            ~num_components ()
+        in
+        let stage_enqueue =
+          B.enqueue b ~name:(name ^ "/stage/enqueue") sq producers
+        in
+        let stage_close =
+          B.queue_close b ~name:(name ^ "/stage/close") sq
+        in
+        let staged =
+          B.dequeue b ~name:(name ^ "/stage/dequeue") sq ~num_components
+        in
+        let pump = B.enqueue b ~name:(name ^ "/pump") queue staged in
+        Some { stage_enqueue; stage_close; pump }
+  in
+  { queue; producers; enqueue; close_op; size_op; num_components; stage; b }
 
 let batch t =
   B.dequeue t.b t.queue ~num_components:t.num_components
@@ -35,21 +73,87 @@ let enqueue_op t = t.enqueue
 
 let close_op t = t.close_op
 
-let start_fillers t session ~threads ?steps ?feed () =
+type fillers = { threads : Thread.t list; group : Cancel.t }
+
+let start_fillers t session ~threads ?steps ?deadline ?feed () =
+  let group = Cancel.create () in
+  (* Each enqueue step runs under a child of [group] (created inside
+     the session from Run_options.cancel), so stop_fillers wakes
+     threads parked in a full queue's enqueue wait instead of leaking
+     them. [deadline] additionally bounds each individual step. *)
+  let run_step ~feeds target =
+    ignore
+      (Session.run_with_metadata
+         ~options:
+           (Session.Run_options.v ~feeds ~targets:[ target ] ?deadline
+              ~cancel:group ())
+         session [])
+  in
+  let fill_target =
+    match t.stage with Some s -> s.stage_enqueue | None -> t.enqueue
+  in
   let body () =
     let continue_ = ref true in
     let i = ref 0 in
     while
-      !continue_ && match steps with Some s -> !i < s | None -> true
+      !continue_
+      && Option.is_none (Cancel.cancelled group)
+      && match steps with Some s -> !i < s | None -> true
     do
       let feeds = match feed with None -> [] | Some f -> f !i in
-      (try Octf.Session.run_unit ~feeds session [ t.enqueue ]
-       with Octf.Session.Run_error _ -> continue_ := false);
+      (try run_step ~feeds fill_target
+       with Session.Run_error _ -> continue_ := false);
       incr i
     done
   in
-  List.init threads (fun _ -> Thread.create body ())
+  let filler_threads = List.init threads (fun _ -> Thread.create body ()) in
+  (* Bounded-steps fillers close the stage once they all finish, so the
+     pump can drain it and propagate end-of-input to the main queue. *)
+  let closer_thread =
+    match (t.stage, steps) with
+    | Some s, Some _ ->
+        [
+          Thread.create
+            (fun () ->
+              List.iter Thread.join filler_threads;
+              try Session.run_unit session [ s.stage_close ]
+              with Session.Run_error _ -> ())
+            ();
+        ]
+    | _ -> []
+  in
+  let pump_threads =
+    match t.stage with
+    | None -> []
+    | Some s ->
+        [
+          Thread.create
+            (fun () ->
+              let continue_ = ref true in
+              while !continue_ && Option.is_none (Cancel.cancelled group) do
+                try run_step ~feeds:[] s.pump
+                with Session.Run_error _ -> continue_ := false
+              done;
+              (* Stage closed-and-drained (or the group was stopped):
+                 close the main queue so trainers drain what was pumped
+                 and then observe end-of-input instead of hanging. *)
+              try Session.run_unit session [ t.close_op ]
+              with Session.Run_error _ -> ())
+            ();
+        ]
+  in
+  { threads = filler_threads @ closer_thread @ pump_threads; group }
+
+let join_fillers f = List.iter Thread.join f.threads
+
+let stop_fillers f =
+  Cancel.cancel f.group ~reason:"input pipeline stopped";
+  join_fillers f
 
 let close t session =
-  try Octf.Session.run_unit session [ t.close_op ]
-  with Octf.Session.Run_error _ -> ()
+  (* Close the upstream-most queue: with a prefetch stage the pump
+     drains the remainder and then closes the main queue itself. *)
+  let op =
+    match t.stage with Some s -> s.stage_close | None -> t.close_op
+  in
+  try Session.run_unit session [ op ] with Session.Run_error _ -> ()

@@ -5,7 +5,18 @@
     with the queue's blocking behaviour providing backpressure. This
     module packages that pattern: build a queue fed by producer tensors
     (typically [Placeholder]s fed by a generator, or random ops), then
-    start filler threads that repeatedly run the enqueue step. *)
+    start filler threads that repeatedly run the enqueue step.
+
+    With [prefetch] the pipeline is double-buffered: producers enqueue
+    into a small staging queue ([name ^ "/stage"]) and a pump step moves
+    tuples into the main queue, so slow producers overlap with training
+    steps draining already-staged batches. Both queues are bounded, so
+    backpressure still propagates from trainer to producer.
+
+    Fillers run under a group {!Octf.Cancel} token: {!stop_fillers}
+    cancels the group, which wakes threads parked in enqueue waits (via
+    each step's child token) instead of leaking them; an optional
+    [deadline] bounds each filler step individually. *)
 
 open Octf_tensor
 module B = Octf.Builder
@@ -16,11 +27,15 @@ val create :
   B.t ->
   ?shuffle:bool ->
   ?capacity:int ->
+  ?prefetch:int ->
   name:string ->
   producers:B.output list ->
   unit ->
   t
-(** The queue holds tuples with one component per producer output. *)
+(** The queue holds tuples with one component per producer output.
+    [prefetch] adds the staging queue with that capacity; the main
+    queue keeps [name] (and its metrics series) either way.
+    @raise Invalid_argument on empty [producers] or [prefetch < 1]. *)
 
 val batch : t -> B.output list
 (** Dequeue one element: the training subgraph's inputs. *)
@@ -34,18 +49,36 @@ val enqueue_op : t -> B.output
 
 val close_op : t -> B.output
 
+type fillers
+(** Running filler (and, with [prefetch], pump) threads plus their
+    group cancellation token. *)
+
 val start_fillers :
   t ->
   Octf.Session.t ->
   threads:int ->
   ?steps:int ->
+  ?deadline:float ->
   ?feed:(int -> (B.output * Tensor.t) list) ->
   unit ->
-  Thread.t list
-(** Spawn [threads] filler threads, each running the enqueue step [steps]
-    times (default: until the queue closes). [feed] supplies per-call
-    feeds from the producer index (e.g. fresh synthetic batches). *)
+  fillers
+(** Spawn [threads] filler threads, each running the enqueue step
+    [steps] times (default: until the queue closes). [feed] supplies
+    per-call feeds from the producer index (e.g. fresh synthetic
+    batches). [deadline] (seconds) bounds each filler step. With a
+    prefetch stage, a pump thread is started too, and when [steps] is
+    bounded the stage is closed automatically after the fillers finish
+    so end-of-input propagates to the main queue. *)
+
+val join_fillers : fillers -> unit
+(** Wait for the fillers (and pump) to finish on their own — bounded
+    [steps] exhausted or queue closed. *)
+
+val stop_fillers : fillers -> unit
+(** Cancel the filler group and join: parked enqueue waits wake with a
+    cancellation, in-flight steps stop, threads are reclaimed. *)
 
 val close : t -> Octf.Session.t -> unit
-(** Close the queue: blocked fillers stop; trainers drain the remainder
-    and then observe end-of-input. *)
+(** Close the pipeline's upstream-most queue: blocked fillers stop;
+    with a prefetch stage the pump drains it, then closes the main
+    queue; trainers drain the remainder and observe end-of-input. *)

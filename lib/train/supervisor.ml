@@ -85,6 +85,9 @@ let step_of_path t path =
   else None
 
 let checkpoint t ~step stats =
+  (* Quiesce the pipeline first: a snapshot taken while K steps are in
+     flight would mix variable versions from different steps. *)
+  Session.drain t.session;
   let path =
     Metrics.Histogram.time m_checkpoint_seconds (fun () ->
         Saver.save_numbered t.saver t.session ~prefix:t.prefix ~step)
@@ -95,6 +98,8 @@ let checkpoint t ~step stats =
 
 (* Restore the newest checkpoint; return the step to resume from. *)
 let restore_latest t ~fallback stats =
+  (* In-flight steps must not race a restore's variable assignments. *)
+  Session.drain t.session;
   match Saver.latest_checkpoint ~prefix:t.prefix with
   | None -> fallback
   | Some path ->

@@ -86,7 +86,7 @@ let test_pipeline_fill_and_drain () =
   for _ = 1 to 10 do
     total := !total +. Tensor.flat_get_f (List.hd (Session.run session [ batch ])) 0
   done;
-  List.iter Thread.join fillers;
+  Pipe.join_fillers fillers;
   (* Values 1..10 all arrive exactly once. *)
   Alcotest.(check (float 0.)) "sum of 1..10" 55.0 !total
 
@@ -100,8 +100,54 @@ let test_pipeline_close_stops_fillers () =
   let fillers = Pipe.start_fillers pipe session ~threads:2 ~feed () in
   Thread.delay 0.05;
   Pipe.close pipe session;
-  List.iter Thread.join fillers;
+  Pipe.join_fillers fillers;
   ()
+
+let test_pipeline_prefetch_fill_and_drain () =
+  (* Same fill/drain as above but through a prefetch stage: every value
+     must still arrive exactly once (stage -> pump -> main queue), and
+     after the bounded fillers finish, end-of-input propagates through
+     the stage so a further dequeue fails instead of hanging. *)
+  let b = B.create () in
+  let producer = B.placeholder b Dtype.F32 in
+  let pipe =
+    Pipe.create b ~capacity:4 ~prefetch:2 ~name:"p" ~producers:[ producer ] ()
+  in
+  let batch = List.hd (Pipe.batch pipe) in
+  let session = Session.create (B.graph b) in
+  let counter = ref 0.0 in
+  let counter_mutex = Mutex.create () in
+  let feed _ =
+    Mutex.lock counter_mutex;
+    counter := !counter +. 1.0;
+    let v = !counter in
+    Mutex.unlock counter_mutex;
+    [ (producer, Tensor.scalar_f v) ]
+  in
+  let fillers = Pipe.start_fillers pipe session ~threads:2 ~steps:5 ~feed () in
+  let total = ref 0.0 in
+  for _ = 1 to 10 do
+    total :=
+      !total +. Tensor.flat_get_f (List.hd (Session.run session [ batch ])) 0
+  done;
+  Pipe.join_fillers fillers;
+  Alcotest.(check (float 0.)) "sum of 1..10" 55.0 !total;
+  match Session.run session [ batch ] with
+  | _ -> Alcotest.fail "dequeue past end-of-input should fail"
+  | exception Session.Run_error _ -> ()
+
+let test_pipeline_stop_fillers_cancels () =
+  (* Unbounded fillers parked in a full queue's enqueue wait must be
+     woken and reclaimed by stop_fillers (group cancellation), without
+     closing the queue first. *)
+  let b = B.create () in
+  let producer = B.placeholder b Dtype.F32 in
+  let pipe = Pipe.create b ~capacity:2 ~name:"p" ~producers:[ producer ] () in
+  let session = Session.create (B.graph b) in
+  let feed _ = [ (producer, Tensor.scalar_f 1.0) ] in
+  let fillers = Pipe.start_fillers pipe session ~threads:2 ~feed () in
+  Thread.delay 0.05;
+  Pipe.stop_fillers fillers
 
 let test_pipeline_batch_many () =
   let b = B.create () in
@@ -130,5 +176,9 @@ let suite =
     Alcotest.test_case "token stream range" `Quick test_token_stream_range;
     Alcotest.test_case "pipeline fill/drain" `Quick test_pipeline_fill_and_drain;
     Alcotest.test_case "pipeline close" `Quick test_pipeline_close_stops_fillers;
+    Alcotest.test_case "pipeline prefetch fill/drain" `Quick
+      test_pipeline_prefetch_fill_and_drain;
+    Alcotest.test_case "pipeline stop_fillers cancels" `Quick
+      test_pipeline_stop_fillers_cancels;
     Alcotest.test_case "pipeline batch_many" `Quick test_pipeline_batch_many;
   ]

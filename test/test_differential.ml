@@ -307,6 +307,81 @@ let test_random_dags () =
           (program_to_string prog !k)
   done
 
+(* Pipelined legs: a stateless program must fetch bit-identical tensors
+   whether run synchronously or issued through run_async at K = 1, at
+   K = 4, or under barrier mode — admission snapshots only redirect
+   Read kernels, which a stateless graph has none of. Checked across
+   both schedulers and two intra-op budgets. *)
+let test_pipelined_stateless () =
+  let saved = Parallel.threads () in
+  Fun.protect ~finally:(fun () -> Parallel.set_threads saved) @@ fun () ->
+  let rng = Rng.create 4242 in
+  let prog = gen_program rng ~ops:10 in
+  let b, fetches, feeds = build_graph prog (Array.length prog) in
+  Alcotest.(check bool) "program has fetches" true (fetches <> []);
+  List.iter
+    (fun (scheduler, threads) ->
+      Parallel.set_threads threads;
+      let sync =
+        let s = Session.create ~optimize:false ~scheduler (B.graph b) in
+        Session.run ~feeds s fetches
+      in
+      List.iter
+        (fun (label, max_in_flight, barrier) ->
+          let s =
+            Session.create ~optimize:false ~scheduler ~max_in_flight
+              ~barrier (B.graph b)
+          in
+          let options = Session.Run_options.v ~feeds () in
+          let handles =
+            List.init 8 (fun _ -> Session.run_async ~options s fetches)
+          in
+          List.iter
+            (fun h ->
+              let got, _ = Session.wait h in
+              if not (List.for_all2 Tensor.equal sync got) then
+                Alcotest.failf
+                  "pipelined %s diverges from sync (scheduler=%s threads=%d)"
+                  label
+                  (Scheduler.policy_to_string scheduler)
+                  threads)
+            handles;
+          Session.drain s)
+        [ ("K=1", 1, false); ("K=4", 4, false); ("barrier", 4, true) ])
+    [
+      (Scheduler.Inline, 1);
+      (Scheduler.Inline, 4);
+      (Scheduler.Pool, 1);
+      (Scheduler.Pool, 4);
+    ]
+
+(* Variable updates from K = 4 in-flight steps apply under the
+   variable's lock in completion order: the final state of an
+   associative update graph is the exact linearizable sum, whatever the
+   interleaving. *)
+let test_pipelined_variable_updates () =
+  let b = B.create () in
+  let v = B.variable b ~name:"acc" ~dtype:Dtype.F32 ~shape:[||] () in
+  let init = B.assign b v (B.const_f b 0.0) in
+  let bump = B.assign_add b v (B.const_f b 1.0) in
+  let read = B.read b v in
+  let s = Session.create ~max_in_flight:4 (B.graph b) in
+  Session.run_unit s [ init ];
+  let handles = List.init 20 (fun _ -> Session.run_async s [ bump ]) in
+  List.iter (fun h -> ignore (Session.wait h)) handles;
+  Session.drain s;
+  match Session.run s [ read ] with
+  | [ t ] ->
+      Alcotest.(check (float 0.0)) "linearizable sum" 20.0
+        (Tensor.flat_get_f t 0)
+  | _ -> assert false
+
 let suite =
-  [ Alcotest.test_case "200 random DAGs, 8 configs, bit-identical" `Quick
-      test_random_dags ]
+  [
+    Alcotest.test_case "200 random DAGs, 8 configs, bit-identical" `Quick
+      test_random_dags;
+    Alcotest.test_case "pipelined K=1/K=4/barrier bit-identical" `Quick
+      test_pipelined_stateless;
+    Alcotest.test_case "pipelined variable updates linearize" `Quick
+      test_pipelined_variable_updates;
+  ]

@@ -40,6 +40,7 @@ let test_spec_parsing () =
   roundtrip "flaky:Apply:0.05";
   roundtrip "drop:grad@2";
   roundtrip "delay:grad@2:50";
+  roundtrip "slow:reader@0:20";
   (match F.parse "kill:ps/0@1,flaky:MatMul:0.5" with
   | Ok [ F.Kill_task { job = "ps"; task = 0; step = 1 }; F.Flaky_kernel _ ] ->
       ()
@@ -356,6 +357,55 @@ let test_dropped_send_rescued_by_deadline () =
     (scalar (List.hd (Session.run s [ total ])))
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined steps against a persistent straggler                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A slow:<pattern> spec makes every matching kernel a straggler. With
+   K = 4 steps in flight the straggles overlap, so a per-step deadline
+   that comfortably covers one straggle passes for all steps, the
+   fetches stay exact, and the whole batch finishes in well under the
+   serialized time. A deadline shorter than the straggle fails with a
+   structured Deadline_exceeded. *)
+let test_pipelined_slow_reader () =
+  with_faults
+    [ F.Slow_kernel { pattern = "slow_reader"; step = 0; ms = 30.0 } ]
+  @@ fun () ->
+  let b = B.create () in
+  let x = B.const b (Tensor.ones Dtype.F32 [| 4; 4 |]) in
+  let slow = B.identity b ~name:"slow_reader" x in
+  let out = B.reduce_sum b (B.add b slow slow) in
+  let s = Session.create ~max_in_flight:4 (B.graph b) in
+  (* Warm-up pays plan compilation (and one straggle). *)
+  ignore (Session.run s [ out ]);
+  let n = 8 in
+  let t0 = Unix.gettimeofday () in
+  let options = Session.Run_options.v ~deadline:1.0 () in
+  let handles = List.init n (fun _ -> Session.run_async ~options s [ out ]) in
+  List.iter
+    (fun h ->
+      match Session.wait h with
+      | [ t ], _ -> Alcotest.(check (float 0.)) "exact fetch" 32.0 (scalar t)
+      | _ -> Alcotest.fail "wrong arity")
+    handles;
+  let wall = Unix.gettimeofday () -. t0 in
+  let serialized = float_of_int n *. 0.030 in
+  Alcotest.(check bool)
+    (Printf.sprintf "straggles overlapped (%.0f ms < %.0f ms serial)"
+       (1000. *. wall) (1000. *. serialized))
+    true
+    (wall < 0.8 *. serialized);
+  (* A 5 ms deadline cannot survive a 30 ms straggler: the watchdog
+     cancels mid-straggle and the step fails structurally. *)
+  let tight = Session.Run_options.v ~deadline:0.005 () in
+  match Session.wait (Session.run_async ~options:tight s [ out ]) with
+  | _ -> Alcotest.fail "expected a deadline failure"
+  | exception Session.Run_error f -> (
+      match f.Step_failure.cause with
+      | Step_failure.Deadline_exceeded _ -> ()
+      | c ->
+          Alcotest.failf "wrong cause: %s" (Step_failure.cause_message c))
+
+(* ------------------------------------------------------------------ *)
 (* Recovery: supervisor resumes from the latest checkpoint             *)
 (* ------------------------------------------------------------------ *)
 
@@ -519,6 +569,8 @@ let suite =
       (check_deadline_on_cyclic Scheduler.Inline);
     Alcotest.test_case "deadline on cyclic graph (pool)" `Quick
       (check_deadline_on_cyclic Scheduler.Pool);
+    Alcotest.test_case "pipelined steps overlap a slow reader" `Quick
+      test_pipelined_slow_reader;
     Alcotest.test_case "dropped send rescued by deadline" `Quick
       test_dropped_send_rescued_by_deadline;
     Alcotest.test_case "supervisor resumes from checkpoint" `Quick
