@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline fault-smoke metrics-smoke pipeline-smoke ci clean
+.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline fault-smoke metrics-smoke pipeline-smoke dist-smoke ci clean
 
 all: build
 
@@ -60,7 +60,18 @@ metrics-smoke:
 	grep -Eq '^octf_session_steps_total [1-9]' METRICS_train.prom
 	grep -Eq '^# TYPE octf_session_step_seconds histogram' METRICS_train.prom
 
-ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke
+# Two-OS-process recovery drills over real TCP: kill the parameter
+# server mid-training (heartbeat death, reconnect with backoff, restore
+# from checkpoint, converge), plus corrupt-frame, dropped-connection and
+# delayed-frame fault injection. Each scenario is timeout-bounded: a
+# hang is a failure, not a stall.
+dist-smoke: build
+	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario pskill
+	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario corrupt
+	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario dropconn
+	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario framedelay
+
+ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke dist-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
 	OCTF_INTRA_OP_THREADS=1 OCTF_SCHEDULER=inline dune runtest --force
 	OCTF_INTRA_OP_THREADS=4 OCTF_SCHEDULER=inline dune runtest --force

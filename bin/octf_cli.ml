@@ -272,32 +272,35 @@ let dump_metrics = function
       close_out oc;
       Format.printf "metrics snapshot written to %s@." path
 
-(* ------------------------------ train ------------------------------ *)
+(* --------------------------- Figure 1 model ------------------------ *)
 
-(* The train subcommand is deliberately a miniature of Figure 1: the
-   weight vector lives on a "ps" task, the compute (and the FIFO input
-   queue feeding it) on a "worker" task, so every step exercises
+(* The miniature of Figure 1 shared by train, worker and dist-smoke:
+   the weight vector lives on a "ps" task, the compute (and the FIFO
+   input queue feeding it) on a "worker" task, so every step exercises
    partitioned execution with real Send/Recv rendezvous traffic and
-   queue backpressure — the paths the metrics registry instruments. *)
-let train steps lr scheduler intra_op max_in_flight planning pool_mb
-    deadline_ms fault fault_seed metrics stats_every =
-  apply_intra_op intra_op;
-  apply_memory planning pool_mb;
+   queue backpressure. In distributed (SPMD) mode every process calls
+   this same function, so all of them agree on node ids, placement and
+   step-cache signatures — the invariant Octf_net relies on. *)
+
+let figure1_dim = 3
+let figure1_true_w = [| 2.0; -3.0; 0.5 |]
+
+type figure1 = {
+  fg_builder : B.t;
+  fg_store : Octf_nn.Var_store.t;
+  fg_w : B.output;  (* read endpoint of the weight variable *)
+  fg_x_in : B.output;
+  fg_y_in : B.output;
+  fg_enqueue : B.output;
+  fg_loss : B.output;
+  fg_train_op : B.output;
+  fg_init : B.output;
+  fg_saver : Octf_train.Saver.t;
+}
+
+let build_figure1 ~lr () =
   let module Vs = Octf_nn.Var_store in
-  let deadline = deadline_of_ms deadline_ms in
-  if metrics <> None || stats_every <> None then
-    Octf.Metrics.set_kernel_timing true;
-  (match fault with
-  | Some specs -> Octf.Fault_injector.install ~seed:fault_seed specs
-  | None -> Octf.Fault_injector.install_from_env ());
-  Fun.protect ~finally:Octf.Fault_injector.reset @@ fun () ->
-  let dim = 3 in
-  let true_w = [| 2.0; -3.0; 0.5 |] in
-  let cluster =
-    Octf.Cluster.create
-      ~jobs:
-        [ ("ps", 1, [ Octf.Device.CPU ]); ("worker", 1, [ Octf.Device.CPU ]) ]
-  in
+  let dim = figure1_dim in
   let b = B.create () in
   let store = Vs.create b in
   let w =
@@ -308,25 +311,148 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
      worker; the training step dequeues its batch from it. *)
   let x_in = B.placeholder b ~name:"x_in" ~shape:[| 32; dim |] Dtype.F32 in
   let y_in = B.placeholder b ~name:"y_in" ~shape:[| 32; 1 |] Dtype.F32 in
-  let queue, enqueue, x, y =
+  let enqueue, x, y =
     B.with_device b "/job:worker/task:0" (fun () ->
         let queue =
           B.fifo_queue b ~name:"input" ~capacity:8 ~num_components:2 ()
         in
         let enqueue = B.enqueue b queue [ x_in; y_in ] in
         match B.dequeue b queue ~num_components:2 with
-        | [ x; y ] -> (queue, enqueue, x, y)
+        | [ x; y ] -> (enqueue, x, y)
         | _ -> assert false)
   in
-  ignore queue;
   let loss =
     B.with_device b "/job:worker/task:0" (fun () ->
         Octf_nn.Losses.mse b ~predictions:(B.matmul b x w.Vs.read) ~targets:y)
   in
   let train_op = Octf_train.Optimizer.minimize store ~lr ~loss () in
-  let session =
-    Octf.Cluster.session cluster ~scheduler ?max_in_flight (B.graph b)
+  (* The init group and the saver's save/restore subgraphs are part of
+     the shared graph too: in SPMD mode every process must own them
+     (restore ops execute on the ps task), and building them here keeps
+     node ids aligned across processes. *)
+  let init = Vs.init_op store in
+  let saver = Octf_train.Saver.create store in
+  {
+    fg_builder = b;
+    fg_store = store;
+    fg_w = w.Vs.read;
+    fg_x_in = x_in;
+    fg_y_in = y_in;
+    fg_enqueue = enqueue;
+    fg_loss = loss;
+    fg_train_op = train_op;
+    fg_init = init;
+    fg_saver = saver;
+  }
+
+(* ------------------------- distributed cluster --------------------- *)
+
+let cluster_conv =
+  let parse s =
+    match Octf_net.Runtime.parse_cluster s with
+    | Ok entries -> Ok entries
+    | Error m -> Error (`Msg m)
   in
+  let print fmt entries =
+    Format.pp_print_string fmt
+      (String.concat ","
+         (List.map
+            (fun ((j, t), a) ->
+              Printf.sprintf "%s:%d=%s:%d" j t a.Octf_net.Runtime.host
+                a.Octf_net.Runtime.port)
+            entries))
+  in
+  Arg.conv (parse, print)
+
+let cluster_arg =
+  Arg.(
+    value
+    & opt (some cluster_conv) None
+    & info [ "cluster" ] ~docv:"SPEC"
+        ~doc:
+          "Run distributed over real sockets: comma-separated \
+           $(b,job[:task]=host:port) entries (task defaults to 0), e.g. \
+           $(b,ps=127.0.0.1:7000,worker=127.0.0.1:7001). Every process of \
+           the cluster must be given the $(i,same) spec — each builds the \
+           same graph and the spec fixes device order.")
+
+let job_arg ~default =
+  Arg.(
+    value & opt string default
+    & info [ "job" ] ~docv:"JOB" ~doc:"This process's job name.")
+
+let task_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "task" ] ~docv:"N" ~doc:"This process's task index.")
+
+(* The in-process device list implied by a cluster spec. Jobs keep
+   their first-appearance order and each job gets max-task-index + 1
+   CPU tasks, so identical specs yield identical device lists in every
+   process. *)
+let octf_cluster_of_entries entries =
+  let names =
+    List.fold_left
+      (fun acc ((j, _), _) -> if List.mem j acc then acc else acc @ [ j ])
+      [] entries
+  in
+  let count j =
+    List.fold_left
+      (fun m ((j', t), _) -> if j' = j then max m (t + 1) else m)
+      0 entries
+  in
+  Octf.Cluster.create
+    ~jobs:(List.map (fun j -> (j, count j, [ Octf.Device.CPU ])) names)
+
+(* ------------------------------ train ------------------------------ *)
+let train steps lr scheduler intra_op max_in_flight planning pool_mb
+    deadline_ms fault fault_seed metrics stats_every net_cluster job task =
+  apply_intra_op intra_op;
+  apply_memory planning pool_mb;
+  let module Vs = Octf_nn.Var_store in
+  let deadline = deadline_of_ms deadline_ms in
+  if metrics <> None || stats_every <> None then
+    Octf.Metrics.set_kernel_timing true;
+  (match fault with
+  | Some specs -> Octf.Fault_injector.install ~seed:fault_seed specs
+  | None -> Octf.Fault_injector.install_from_env ());
+  Fun.protect ~finally:Octf.Fault_injector.reset @@ fun () ->
+  let true_w = figure1_true_w in
+  let cluster =
+    match net_cluster with
+    | Some entries -> octf_cluster_of_entries entries
+    | None ->
+        Octf.Cluster.create
+          ~jobs:
+            [
+              ("ps", 1, [ Octf.Device.CPU ]); ("worker", 1, [ Octf.Device.CPU ]);
+            ]
+  in
+  let fg = build_figure1 ~lr () in
+  let b = fg.fg_builder in
+  let x_in = fg.fg_x_in
+  and y_in = fg.fg_y_in
+  and enqueue = fg.fg_enqueue
+  and loss = fg.fg_loss
+  and train_op = fg.fg_train_op in
+  (* In distributed mode this process is the chief: partitions placed
+     on peer tasks go out as Run_step RPCs through the runtime. *)
+  let rt =
+    Option.map
+      (fun entries ->
+        Octf_net.Runtime.create
+          (Octf_net.Runtime.config ~job ~task ~cluster:entries ()))
+      net_cluster
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Octf_net.Runtime.shutdown rt)
+  @@ fun () ->
+  let session =
+    Octf.Cluster.session cluster ~scheduler ?max_in_flight
+      ?remote:(Option.map Octf_net.Runtime.runner rt)
+      (B.graph b)
+  in
+  Option.iter (fun rt -> Octf_net.Runtime.serve rt ~session) rt;
   let rng = Rng.create 12 in
   let monitor =
     Option.map
@@ -341,8 +467,8 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
       Format.printf "step %4d loss %.6f@." (step + 1) (Tensor.flat_get_f l 0)
   in
   let next_batch () =
-    Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim ~w:true_w
-      ~bias:0.0 ~noise:0.01
+    Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim:figure1_dim
+      ~w:true_w ~bias:0.0 ~noise:0.01
   in
   let fill ?deadline () =
     let xs, ys = next_batch () in
@@ -382,7 +508,7 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
         loop stays synchronous — recovery rolls variables back to a
         checkpoint, which only makes sense against a quiesced
         pipeline. *)
-     let saver = Octf_train.Saver.create store in
+     let saver = fg.fg_saver in
      let prefix = Filename.concat (Filename.get_temp_dir_name ()) "octf-train" in
      let sup =
        Octf_train.Supervisor.create ~save_every:(max 1 (steps / 10)) ?deadline
@@ -406,7 +532,7 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
      let stats =
        Octf_train.Supervisor.run sup ~steps
          ~init:(fun () ->
-           Octf.Session.run_unit session [ Vs.init_op store ];
+           Octf.Session.run_unit session [ fg.fg_init ];
            prefill ())
          one_step
      in
@@ -416,7 +542,7 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
        stats.Octf_train.Supervisor.checkpoints
    end
    else begin
-     Octf.Session.run_unit session [ Vs.init_op store ];
+     Octf.Session.run_unit session [ fg.fg_init ];
      prefill ();
      let k = Octf.Session.max_in_flight session in
      if k <= 1 then
@@ -459,8 +585,7 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
      end
    end);
   let learned =
-    Tensor.to_float_array
-      (List.hd (Octf.Session.run session [ w.Vs.read ]))
+    Tensor.to_float_array (List.hd (Octf.Session.run session [ fg.fg_w ]))
   in
   Format.printf "learned w: [%s] (true: [%s])@."
     (String.concat "; "
@@ -485,7 +610,298 @@ let train_cmd =
       const train $ steps $ lr $ scheduler_arg $ intra_op_arg
       $ max_in_flight_arg $ memory_planning_arg $ buffer_pool_mb_arg
       $ deadline_arg $ fault_arg $ fault_seed_arg $ metrics_arg
-      $ stats_every_arg)
+      $ stats_every_arg $ cluster_arg $ job_arg ~default:"worker" $ task_arg)
+
+(* ------------------------------ worker ----------------------------- *)
+
+(* A task server process: build the same Figure-1 graph as the chief,
+   attach a session to the network runtime, and serve Run_step RPCs
+   until killed. The ps task of the two-process demo runs this. *)
+let worker job task entries lr fault fault_seed =
+  (match fault with
+  | Some specs -> Octf.Fault_injector.install ~seed:fault_seed specs
+  | None -> Octf.Fault_injector.install_from_env ());
+  let rt =
+    Octf_net.Runtime.create
+      (Octf_net.Runtime.config ~job ~task ~cluster:entries ())
+  in
+  let fg = build_figure1 ~lr () in
+  let cluster = octf_cluster_of_entries entries in
+  let session =
+    Octf.Cluster.session cluster
+      ~remote:(Octf_net.Runtime.runner rt)
+      (B.graph fg.fg_builder)
+  in
+  Octf_net.Runtime.serve rt ~session;
+  Format.printf "octf-worker: /job:%s/task:%d serving@." job task;
+  while true do
+    Thread.delay 3600.0
+  done
+
+let worker_cmd =
+  let cluster =
+    Arg.(
+      required
+      & opt (some cluster_conv) None
+      & info [ "cluster" ] ~docv:"SPEC"
+          ~doc:
+            "Cluster spec, identical to the chief's: \
+             $(b,job[:task]=host:port) entries separated by commas.")
+  in
+  let lr =
+    Arg.(
+      value & opt float 0.1
+      & info [ "lr" ]
+          ~doc:
+            "Learning rate — must match the chief's so both processes \
+             build the identical graph.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve one task of a distributed cluster over TCP (run one per \
+          task; the chief is $(b,octf train --cluster ...))")
+    Term.(
+      const worker $ job_arg ~default:"ps" $ task_arg $ cluster $ lr
+      $ fault_arg $ fault_seed_arg)
+
+(* ---------------------------- dist-smoke --------------------------- *)
+
+(* Two real OS processes, real sockets, induced failure, verified
+   recovery. The chief (this process, /job:worker/task:0) spawns the ps
+   task as a child, trains under the supervisor, and at a trigger step
+   either SIGKILLs the child (pskill) or arms a socket-level fault.
+   Afterwards it asserts that the failure was observed as a structured
+   step error, that recovery ran, and that training still converged. *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let wait_for_port port ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let ok =
+      try
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.05;
+      loop ()
+    end
+  in
+  loop ()
+
+let dist_smoke scenario steps lr =
+  let module FI = Octf.Fault_injector in
+  let module Sup = Octf_train.Supervisor in
+  let module Vs = Octf_nn.Var_store in
+  let ps_port = free_port () in
+  let worker_port = free_port () in
+  let spec =
+    Printf.sprintf "ps=127.0.0.1:%d,worker=127.0.0.1:%d" ps_port worker_port
+  in
+  let spawn_ps () =
+    let pid =
+      Unix.create_process Sys.executable_name
+        [|
+          Sys.executable_name; "worker"; "--job"; "ps"; "--task"; "0";
+          "--cluster"; spec; "--lr"; string_of_float lr;
+        |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    if not (wait_for_port ps_port ~timeout:10.0) then begin
+      Format.printf "FAIL: ps task never started listening@.";
+      exit 1
+    end;
+    pid
+  in
+  let ps_pid = ref (spawn_ps ()) in
+  let kill_ps () =
+    (try Unix.kill !ps_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] !ps_pid) with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> kill_ps (); FI.reset ())
+  @@ fun () ->
+  let trigger = max 2 (steps / 4) in
+  (* Socket-level faults are armed from the start but fire only from
+     the trigger step on (the @step clause), once each. *)
+  (match scenario with
+  | `Pskill -> ()
+  | `Corrupt ->
+      FI.install [ FI.Corrupt_frame { pattern = "tensor"; step = trigger } ]
+  | `Dropconn ->
+      FI.install [ FI.Drop_conn { peer = "ps/0"; step = trigger } ]
+  | `Framedelay ->
+      FI.install
+        [ FI.Delay_frame { pattern = "run_step"; step = trigger; ms = 50.0 } ]);
+  let entries =
+    match Octf_net.Runtime.parse_cluster spec with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  let rt =
+    Octf_net.Runtime.create
+      (Octf_net.Runtime.config ~job:"worker" ~task:0 ~cluster:entries
+         ~backoff:
+           (Octf.Backoff.policy ~base:0.05 ~multiplier:2.0 ~cap:0.25
+              ~jitter:0.25 ())
+         ())
+  in
+  Fun.protect ~finally:(fun () -> Octf_net.Runtime.shutdown rt)
+  @@ fun () ->
+  let fg = build_figure1 ~lr () in
+  let cluster = octf_cluster_of_entries entries in
+  let session =
+    Octf.Cluster.session cluster
+      ~remote:(Octf_net.Runtime.runner rt)
+      (B.graph fg.fg_builder)
+  in
+  Octf_net.Runtime.serve rt ~session;
+  let rng = Rng.create 12 in
+  let fill () =
+    let xs, ys =
+      Octf_data.Synthetic.regression_batch rng ~batch:32 ~dim:figure1_dim
+        ~w:figure1_true_w ~bias:0.0 ~noise:0.01
+    in
+    Octf.Session.run_unit
+      ~feeds:[ (fg.fg_x_in, xs); (fg.fg_y_in, ys) ]
+      session [ fg.fg_enqueue ]
+  in
+  let killed = ref false in
+  let saw_network = ref false in
+  let saver = fg.fg_saver in
+  let prefix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "octf-dist-%d" (Unix.getpid ()))
+  in
+  let sup =
+    Sup.create ~save_every:5 ~max_failures:50 ~backoff:0.05 ~max_backoff:0.5
+      ~on_event:(function
+        | Sup.Step_failed (step, f) ->
+            (match f.Octf.Step_failure.cause with
+            | Octf.Step_failure.Network_error _ -> saw_network := true
+            | _ -> ());
+            Format.printf "step %4d FAILED: %s@." step
+              (Octf.Step_failure.to_string f)
+        | Sup.Restored (step, path) ->
+            Format.printf "restored %s, resuming at step %d@." path step
+        | _ -> ())
+      ~on_recover:(fun _ ->
+        (* A recovering chief first makes sure its ps task is back:
+           respawn it if the process died, then wait out the dial
+           backoff so init/restore below find a live peer. *)
+        (match Unix.waitpid [ Unix.WNOHANG ] !ps_pid with
+        | 0, _ -> ()
+        | _ ->
+            Format.printf "respawning ps task@.";
+            ps_pid := spawn_ps ()
+        | exception Unix.Unix_error _ -> ps_pid := spawn_ps ());
+        Thread.delay 0.3)
+      ~saver ~prefix session
+  in
+  let one_step ~step ~deadline:_ =
+    if scenario = `Pskill && step = trigger && not !killed then begin
+      killed := true;
+      Format.printf "killing ps task (pid %d) at step %d@." !ps_pid step;
+      try Unix.kill !ps_pid Sys.sigkill with Unix.Unix_error _ -> ()
+    end;
+    fill ();
+    Octf.Session.run_unit session [ fg.fg_loss; fg.fg_train_op ]
+  in
+  let stats =
+    try
+      Sup.run sup ~steps
+        ~init:(fun () ->
+          Octf.Session.run_unit session [ fg.fg_init ];
+          fill ())
+        one_step
+    with Octf.Session.Run_error f ->
+      Format.printf "FAIL: unrecovered step failure: %s@."
+        (Octf.Step_failure.to_string f);
+      exit 1
+  in
+  let learned =
+    Tensor.to_float_array (List.hd (Octf.Session.run session [ fg.fg_w ]))
+  in
+  Format.printf "learned w: [%s] (true: [%s])@."
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") learned)))
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") figure1_true_w)));
+  Format.printf
+    "steps %d, failures %d, restores %d, checkpoints %d, injected %d, \
+     network errors seen %b@."
+    stats.Sup.steps_completed stats.Sup.failures stats.Sup.restores
+    stats.Sup.checkpoints (FI.injections ()) !saw_network;
+  let failed = ref false in
+  let check what ok =
+    if not ok then begin
+      failed := true;
+      Format.printf "FAIL: %s@." what
+    end
+  in
+  let close =
+    Array.for_all2
+      (fun a b -> Float.abs (a -. b) < 0.3)
+      learned figure1_true_w
+  in
+  check "training converged" close;
+  (match scenario with
+  | `Pskill ->
+      check "ps kill surfaced as a network step failure" !saw_network;
+      check "state was restored from a checkpoint" (stats.Sup.restores >= 1)
+  | `Corrupt | `Dropconn ->
+      check "fault was injected" (FI.injections () >= 1);
+      check "fault surfaced as a step failure" (stats.Sup.failures >= 1)
+  | `Framedelay -> check "fault was injected" (FI.injections () >= 1));
+  if !failed then exit 1;
+  Format.printf "PASS@."
+
+let dist_smoke_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("pskill", `Pskill); ("corrupt", `Corrupt);
+               ("dropconn", `Dropconn); ("framedelay", `Framedelay);
+             ])
+          `Pskill
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "$(b,pskill) (SIGKILL the ps task mid-training, respawn, \
+             restore), $(b,corrupt) (flip a bit in a tensor frame), \
+             $(b,dropconn) (sever the ps connection), $(b,framedelay) \
+             (delay an RPC frame).")
+  in
+  let steps =
+    Arg.(value & opt int 60 & info [ "steps" ] ~doc:"Training steps.")
+  in
+  let lr =
+    Arg.(value & opt float 0.1 & info [ "lr" ] ~doc:"Learning rate.")
+  in
+  Cmd.v
+    (Cmd.info "dist-smoke"
+       ~doc:
+         "Two-process recovery demo: train over TCP, induce a failure, \
+          verify structured errors, reconnect and checkpoint recovery")
+    Term.(const dist_smoke $ scenario $ steps $ lr)
 
 (* --------------------------- fault-smoke --------------------------- *)
 
@@ -611,4 +1027,8 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ simulate_cmd; train_cmd; trace_cmd; fault_smoke_cmd ]))
+       (Cmd.group info
+          [
+            simulate_cmd; train_cmd; trace_cmd; fault_smoke_cmd; worker_cmd;
+            dist_smoke_cmd;
+          ]))

@@ -1,0 +1,69 @@
+(* Jittered exponential backoff, shared by checkpoint-restore retries
+   (Supervisor) and socket reconnects (Octf_net). Delays are
+   deterministic for a given (policy seed, attempt) pair so tests and CI
+   reproduce the same retry timeline run after run. *)
+
+type policy = {
+  base : float;
+  multiplier : float;
+  cap : float;
+  jitter : float;  (* fraction of the delay randomized, in [0, 1] *)
+  max_attempts : int option;
+  seed : int;
+}
+
+type t = { policy : policy; mutable attempt : int }
+
+let policy ?(base = 0.01) ?(multiplier = 2.0) ?(cap = 1.0) ?(jitter = 0.0)
+    ?max_attempts ?(seed = 0) () =
+  if base < 0.0 then invalid_arg "Backoff.policy: negative base";
+  if multiplier < 1.0 then invalid_arg "Backoff.policy: multiplier < 1";
+  if jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Backoff.policy: jitter outside [0, 1]";
+  { base; multiplier; cap; jitter; max_attempts; seed }
+
+let create policy = { policy; attempt = 0 }
+
+let reset t = t.attempt <- 0
+
+let attempts t = t.attempt
+
+(* splitmix64-style finalizer on (seed, attempt): the same deterministic
+   coin the fault injector uses, so a seeded run replays exactly. *)
+let coin ~seed ~attempt =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L)
+      (Int64.mul (Int64.of_int (attempt + 1)) 0xBF58476D1CE4E5B9L)
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 30) in
+  let z = Int64.mul z 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  let z = Int64.mul z 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let delay_for policy ~attempt =
+  let raw = policy.base *. (policy.multiplier ** float_of_int attempt) in
+  let capped = Float.min policy.cap raw in
+  if policy.jitter = 0.0 then capped
+  else
+    (* Spread the delay over [(1 - jitter) .. 1] * capped: jitter only
+       shortens, so the cap stays an upper bound. *)
+    let u = coin ~seed:policy.seed ~attempt in
+    capped *. (1.0 -. (policy.jitter *. u))
+
+let next t =
+  match t.policy.max_attempts with
+  | Some m when t.attempt >= m -> None
+  | _ ->
+      let d = delay_for t.policy ~attempt:t.attempt in
+      t.attempt <- t.attempt + 1;
+      Some d
+
+let wait t =
+  match next t with
+  | None -> false
+  | Some d ->
+      if d > 0.0 then Thread.delay d;
+      true

@@ -1,0 +1,55 @@
+(** Jittered exponential backoff with a cap and optional attempt limit.
+
+    One {!policy} describes the retry shape; a {!t} is a mutable
+    schedule walking it. Jitter is {e deterministic}: the delay for
+    attempt [n] depends only on [(seed, n)], so seeded runs (tests, the
+    CI fault matrix) replay the same timeline. Used by
+    [Octf_train.Supervisor] for checkpoint-restore retries and by
+    [Octf_net] for socket reconnects. *)
+
+type policy = {
+  base : float;  (** first delay, seconds *)
+  multiplier : float;  (** growth factor per attempt, [>= 1] *)
+  cap : float;  (** upper bound on any delay, seconds *)
+  jitter : float;
+      (** fraction of each delay randomized away, in [[0, 1]]: the
+          delay for attempt [n] lies in [[(1 - jitter) * d_n .. d_n]] *)
+  max_attempts : int option;  (** [None] = retry forever *)
+  seed : int;
+}
+
+val policy :
+  ?base:float ->
+  ?multiplier:float ->
+  ?cap:float ->
+  ?jitter:float ->
+  ?max_attempts:int ->
+  ?seed:int ->
+  unit ->
+  policy
+(** Defaults: [base = 0.01], [multiplier = 2.0], [cap = 1.0],
+    [jitter = 0.0], no attempt limit, [seed = 0].
+    @raise Invalid_argument on a negative base, multiplier < 1, or
+    jitter outside [0, 1]. *)
+
+type t
+
+val create : policy -> t
+
+val reset : t -> unit
+(** Back to attempt 0 — call after a success. *)
+
+val attempts : t -> int
+(** Attempts consumed since creation or the last {!reset}. *)
+
+val delay_for : policy -> attempt:int -> float
+(** The (jittered, capped) delay for a given attempt index, as a pure
+    function — what {!next} returns without consuming an attempt. *)
+
+val next : t -> float option
+(** The delay to sleep before the next retry, or [None] when
+    [max_attempts] is exhausted. Consumes one attempt. *)
+
+val wait : t -> bool
+(** [wait t] sleeps {!next}'s delay and returns [true], or returns
+    [false] without sleeping when attempts are exhausted. *)

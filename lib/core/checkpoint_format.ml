@@ -2,29 +2,27 @@ open Octf_tensor
 
 let magic = "OCTFCKPT1"
 
+exception Corrupt of { source : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { source; detail } ->
+        Some (Printf.sprintf "corrupt checkpoint %s: %s" source detail)
+    | _ -> None)
+
+let corrupt source fmt =
+  Printf.ksprintf (fun detail -> raise (Corrupt { source; detail })) fmt
+
 let write_string oc s =
   let b = Bytes.create 4 in
   Bytes.set_int32_le b 0 (Int32.of_int (String.length s));
   output_bytes oc b;
   output_string oc s
 
-let read_string ic =
-  let b = Bytes.create 4 in
-  really_input ic b 0 4;
-  let len = Int32.to_int (Bytes.get_int32_le b 0) in
-  let s = Bytes.create len in
-  really_input ic s 0 len;
-  Bytes.to_string s
-
 let write_int64 oc i =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.of_int i);
   output_bytes oc b
-
-let read_int64 ic =
-  let b = Bytes.create 8 in
-  really_input ic b 0 8;
-  Int64.to_int (Bytes.get_int64_le b 0)
 
 let write_tensor oc name t =
   write_string oc name;
@@ -51,33 +49,81 @@ let write_tensor oc name t =
   | Dtype.String ->
       Array.iter (fun s -> write_string oc s) (Tensor.string_buffer t)
 
-let read_tensor ic =
-  let name = read_string ic in
-  let dtype = Dtype.of_string (read_string ic) in
-  let rank = read_int64 ic in
-  let shape = Array.init rank (fun _ -> read_int64 ic) in
-  let n = read_int64 ic in
+(* The read side trusts nothing: every length field is bounded by the
+   bytes actually left in the file before any allocation, truncation
+   anywhere is a structured {!Corrupt} (never a bare [End_of_file]),
+   and dtype / rank / shape fields are validated before use. A
+   half-written or bit-flipped checkpoint must surface as a
+   recoverable, descriptive failure in the [Restore] kernel. *)
+
+let max_rank = 64
+
+let input_exact ic path n what =
+  try really_input_string ic n
+  with End_of_file -> corrupt path "truncated %s" what
+
+let remaining ic = in_channel_length ic - pos_in ic
+
+let read_int ic path what =
+  Int64.to_int
+    (Bytes.get_int64_le (Bytes.of_string (input_exact ic path 8 what)) 0)
+
+let read_string ic path what =
+  let len =
+    Int32.to_int
+      (Bytes.get_int32_le
+         (Bytes.of_string (input_exact ic path 4 (what ^ " length")))
+         0)
+  in
+  if len < 0 || len > remaining ic then
+    corrupt path "%s length %d out of range (%d bytes left)" what len
+      (remaining ic);
+  input_exact ic path len what
+
+let read_tensor ic path =
+  let name = read_string ic path "tensor name" in
+  let dname = read_string ic path "dtype" in
+  let dtype =
+    try Dtype.of_string dname
+    with Invalid_argument _ -> corrupt path "unknown dtype %S" dname
+  in
+  let rank = read_int ic path "rank" in
+  if rank < 0 || rank > max_rank then corrupt path "bad tensor rank %d" rank;
+  let shape =
+    Array.init rank (fun _ ->
+        let d = read_int ic path "dimension" in
+        if d < 0 then corrupt path "negative dimension %d" d;
+        d)
+  in
+  let n = read_int ic path "element count" in
+  if n < 0 || n <> Shape.numel shape then
+    corrupt path "element count %d does not match shape" n;
+  let need_bytes b =
+    if b > remaining ic then
+      corrupt path "truncated tensor data for %S (%d bytes needed, %d left)"
+        name b (remaining ic)
+  in
   let t =
     match dtype with
     | Dtype.F32 | Dtype.F64 ->
-        let b = Bytes.create (n * 8) in
-        really_input ic b 0 (n * 8);
+        need_bytes (n * 8);
+        let b = Bytes.of_string (input_exact ic path (n * 8) "tensor data") in
         Tensor.of_float_array ~dtype shape
           (Array.init n (fun i ->
                Int64.float_of_bits (Bytes.get_int64_le b (i * 8))))
     | Dtype.I32 | Dtype.I64 ->
-        let b = Bytes.create (n * 8) in
-        really_input ic b 0 (n * 8);
+        need_bytes (n * 8);
+        let b = Bytes.of_string (input_exact ic path (n * 8) "tensor data") in
         Tensor.of_int_array ~dtype shape
           (Array.init n (fun i -> Int64.to_int (Bytes.get_int64_le b (i * 8))))
     | Dtype.Bool ->
-        let b = Bytes.create (n * 8) in
-        really_input ic b 0 (n * 8);
+        need_bytes (n * 8);
+        let b = Bytes.of_string (input_exact ic path (n * 8) "tensor data") in
         Tensor.of_bool_array shape
           (Array.init n (fun i -> Bytes.get_int64_le b (i * 8) <> 0L))
     | Dtype.String ->
         Tensor.of_string_array shape
-          (Array.init n (fun _ -> read_string ic))
+          (Array.init n (fun _ -> read_string ic path "string element"))
   in
   (name, t)
 
@@ -99,13 +145,13 @@ let read_all path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let m = Bytes.create (String.length magic) in
-      (try really_input ic m 0 (String.length magic)
-       with End_of_file -> failwith "Checkpoint_format: truncated file");
-      if Bytes.to_string m <> magic then
-        failwith ("Checkpoint_format: bad magic in " ^ path);
-      let count = read_int64 ic in
-      List.init count (fun _ -> read_tensor ic))
+      let m = input_exact ic path (String.length magic) "magic" in
+      if m <> magic then corrupt path "bad magic %S" m;
+      let count = read_int ic path "entry count" in
+      (* each entry needs at least its name + dtype length fields *)
+      if count < 0 || count > remaining ic then
+        corrupt path "entry count %d out of range" count;
+      List.init count (fun _ -> read_tensor ic path))
 
 let read path name =
   match List.assoc_opt name (read_all path) with

@@ -58,6 +58,7 @@ let restart_task t ~job ~task =
       Resource_manager.clear tk.resources
   | None -> raise (missing_task t ~job ~task)
 
-let session ?seed ?optimize ?scheduler ?max_in_flight ?barrier t graph =
+let session ?seed ?optimize ?scheduler ?max_in_flight ?barrier ?remote t
+    graph =
   Session.create ~devices:(devices t) ~resource_router:(resources_of t) ?seed
-    ?optimize ?scheduler ?max_in_flight ?barrier graph
+    ?optimize ?scheduler ?max_in_flight ?barrier ?remote graph

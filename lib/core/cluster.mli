@@ -46,6 +46,7 @@ val session :
   ?scheduler:Scheduler.policy ->
   ?max_in_flight:int ->
   ?barrier:bool ->
+  ?remote:Remote.runner ->
   t ->
   Graph.t ->
   Session.t

@@ -10,8 +10,20 @@ type spec =
       (* every matching kernel invocation at/after [step] sleeps [ms]
          before running — a persistent straggler (slow reader, slow
          disk), not a one-shot fault like [Delay_send] *)
+  | Drop_conn of { peer : string; step : int }
+      (* sever the TCP connection to the matching peer the next time a
+         frame is sent to it at/after [step] (one-shot) *)
+  | Delay_frame of { pattern : string; step : int; ms : float }
+      (* hold the first matching outbound frame for [ms] before writing
+         it (one-shot) *)
+  | Corrupt_frame of { pattern : string; step : int }
+      (* flip a payload bit in the first matching outbound frame after
+         its checksum is computed, so the receiver sees a
+         Checksum_mismatch (one-shot) *)
 
 type send_action = [ `Deliver | `Drop | `Delay of float ]
+
+type net_action = [ `Send | `Drop_conn | `Delay of float | `Corrupt ]
 
 (* One process-wide injector: kernels reach it through a global rather
    than plumbing a handle through every context. [enabled] is a cheap
@@ -50,6 +62,11 @@ let spec_to_string = function
       Printf.sprintf "delay:%s@%d:%g" pattern step ms
   | Slow_kernel { pattern; step; ms } ->
       Printf.sprintf "slow:%s@%d:%g" pattern step ms
+  | Drop_conn { peer; step } -> Printf.sprintf "dropconn:%s@%d" peer step
+  | Delay_frame { pattern; step; ms } ->
+      Printf.sprintf "framedelay:%s@%d:%g" pattern step ms
+  | Corrupt_frame { pattern; step } ->
+      Printf.sprintf "corrupt:%s@%d" pattern step
 
 let parse_spec s =
   let fail () =
@@ -58,7 +75,8 @@ let parse_spec s =
          "bad fault spec %S (expected kill:<job>/<task>@<step> | \
           kernel:<pattern>@<step> | flaky:<pattern>:<prob> | \
           drop:<pattern>@<step> | delay:<pattern>@<step>:<ms> | \
-          slow:<pattern>@<step>:<ms>)"
+          slow:<pattern>@<step>:<ms> | dropconn:<peer>@<step> | \
+          framedelay:<pattern>@<step>:<ms> | corrupt:<pattern>@<step>)"
          s)
   in
   let split_at_step body =
@@ -106,7 +124,15 @@ let parse_spec s =
           match split_at_step body with
           | Some (pattern, step) -> Ok (Drop_send { pattern; step })
           | None -> fail ())
-      | "delay" | "slow" -> (
+      | "dropconn" -> (
+          match split_at_step body with
+          | Some (peer, step) -> Ok (Drop_conn { peer; step })
+          | None -> fail ())
+      | "corrupt" -> (
+          match split_at_step body with
+          | Some (pattern, step) -> Ok (Corrupt_frame { pattern; step })
+          | None -> fail ())
+      | "delay" | "slow" | "framedelay" -> (
           match String.rindex_opt body ':' with
           | None -> fail ()
           | Some j -> (
@@ -115,6 +141,8 @@ let parse_spec s =
               match (split_at_step head, float_of_string_opt ms) with
               | Some (pattern, step), Some ms when ms >= 0.0 ->
                   if kind = "delay" then Ok (Delay_send { pattern; step; ms })
+                  else if kind = "framedelay" then
+                    Ok (Delay_frame { pattern; step; ms })
                   else Ok (Slow_kernel { pattern; step; ms })
               | _ -> fail ()))
       | _ -> fail ())
@@ -325,3 +353,45 @@ let send_hook ~key ~step_id : send_action =
     | Some (`Delay _) -> Metrics.Counter.incr (m_injected "delay")
     | None -> ());
     (Option.value ~default:`Deliver action :> send_action)
+
+(* Socket-level faults, consulted by the transport just before a frame
+   is written. [peer] is "job/task" of the destination; [kind] is the
+   frame-type name ("tensor", "run_step", ...); [key] is the payload's
+   identifying string (the rendezvous key for tensor frames, else the
+   kind); [step_id] is the frame's stream id. Drop_conn matches [peer],
+   Delay_frame / Corrupt_frame match [key] or [kind]. *)
+let net_hook ~peer ~kind ~key ~step_id : net_action =
+  if not !enabled then `Send
+  else
+    let action =
+      with_lock (fun () ->
+          List.find_map
+            (fun (spec, consumed) ->
+              match spec with
+              | Drop_conn { peer = pat; step }
+                when step_id >= step && (not !consumed)
+                     && contains ~pattern:pat peer ->
+                  consumed := true;
+                  state.injected <- state.injected + 1;
+                  Some `Drop_conn
+              | Delay_frame { pattern; step; ms }
+                when step_id >= step && (not !consumed)
+                     && (contains ~pattern key || contains ~pattern kind) ->
+                  consumed := true;
+                  state.injected <- state.injected + 1;
+                  Some (`Delay (ms /. 1000.0))
+              | Corrupt_frame { pattern; step }
+                when step_id >= step && (not !consumed)
+                     && (contains ~pattern key || contains ~pattern kind) ->
+                  consumed := true;
+                  state.injected <- state.injected + 1;
+                  Some `Corrupt
+              | _ -> None)
+            state.specs)
+    in
+    (match action with
+    | Some `Drop_conn -> Metrics.Counter.incr (m_injected "dropconn")
+    | Some (`Delay _) -> Metrics.Counter.incr (m_injected "framedelay")
+    | Some `Corrupt -> Metrics.Counter.incr (m_injected "corrupt")
+    | None -> ());
+    (Option.value ~default:`Send action :> net_action)

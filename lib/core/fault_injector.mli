@@ -24,7 +24,15 @@
     - [delay:<pattern>@<step>:<ms>] — delay the matching send;
     - [slow:<pattern>@<step>:<ms>] — persistent straggler: {e every}
       matching kernel at/after the step sleeps [ms] before running (a
-      slow reader or slow disk, for pipelining experiments). *)
+      slow reader or slow disk, for pipelining experiments);
+    - [dropconn:<peer>@<step>] — sever the TCP connection to the peer
+      whose ["job/task"] name contains [peer], the next time a frame is
+      sent at/after the step (one-shot; consulted via {!net_hook});
+    - [framedelay:<pattern>@<step>:<ms>] — hold the first matching
+      outbound frame for [ms] before writing it (one-shot);
+    - [corrupt:<pattern>@<step>] — flip a payload bit in the first
+      matching outbound frame {e after} its checksum was computed, so
+      the receiving end reports a checksum mismatch (one-shot). *)
 
 exception Injected of string
 (** Raised by {!kernel_hook}; the executor reports it as
@@ -37,8 +45,13 @@ type spec =
   | Drop_send of { pattern : string; step : int }
   | Delay_send of { pattern : string; step : int; ms : float }
   | Slow_kernel of { pattern : string; step : int; ms : float }
+  | Drop_conn of { peer : string; step : int }
+  | Delay_frame of { pattern : string; step : int; ms : float }
+  | Corrupt_frame of { pattern : string; step : int }
 
 type send_action = [ `Deliver | `Drop | `Delay of float ]
+
+type net_action = [ `Send | `Drop_conn | `Delay of float | `Corrupt ]
 
 val parse_spec : string -> (spec, string) result
 
@@ -80,3 +93,13 @@ val kernel_hook : Node.t -> step_id:int -> unit
 
 val send_hook : key:string -> step_id:int -> send_action
 (** Called by the [Send] kernel before publishing to the rendezvous. *)
+
+val net_hook :
+  peer:string -> kind:string -> key:string -> step_id:int -> net_action
+(** Called by the network transport just before writing a frame. [peer]
+    is the destination's ["job/task"]; [kind] is the frame-type name
+    (["tensor"], ["run_step"], ...); [key] identifies the payload (the
+    rendezvous key for tensor frames, else the kind); [step_id] is the
+    frame's stream id. {!Drop_conn} matches against [peer];
+    {!Delay_frame} and {!Corrupt_frame} match against [key] or
+    [kind]. *)

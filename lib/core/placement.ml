@@ -58,7 +58,16 @@ let place graph ~nodes ~devices =
       match n.Node.assigned_device with
       | Some d -> bump d 1
       | None -> ());
-  let groups = groups_of graph ~nodes in
+  (* Deterministic group order (lowest member id first): placement must
+     be a pure function of the graph so that every process of an SPMD
+     cluster — each compiling its own subset of steps — derives the
+     identical assignment. Hashtbl fold order or load history must not
+     leak into the result. *)
+  let groups =
+    List.sort
+      (fun a b -> compare (List.fold_left min max_int a) (List.fold_left min max_int b))
+      (groups_of graph ~nodes)
+  in
   List.iter
     (fun group ->
       let members = List.map (Graph.get graph) group in

@@ -2,6 +2,17 @@ open Octf_tensor
 
 let magic = "OCTFREC1"
 
+exception Corrupt of { source : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { source; detail } ->
+        Some (Printf.sprintf "corrupt record data %s: %s" source detail)
+    | _ -> None)
+
+let corrupt source fmt =
+  Printf.ksprintf (fun detail -> raise (Corrupt { source; detail })) fmt
+
 (* Cheap checksum: sums of bytes with position mixing; catches the
    truncation and bit-rot cases a reader cares about. *)
 let checksum s =
@@ -49,28 +60,41 @@ let append_records path records =
     close_out oc
   end
 
+(* The reader must distinguish a clean end (file position exactly at a
+   record boundary) from a torn write: a partial length prefix, a body
+   cut short, or a missing checksum are each a structured {!Corrupt},
+   never a silent truncation of the record list. Length fields are
+   checked against the bytes actually left before any allocation. *)
 let read_records path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith ("Record_format: bad magic in " ^ path);
+      let size = in_channel_length ic in
+      let input_exact n what =
+        try really_input_string ic n
+        with End_of_file -> corrupt path "truncated %s" what
+      in
+      let m = input_exact (String.length magic) "magic" in
+      if m <> magic then corrupt path "bad magic %S" m;
       let records = ref [] in
-      (try
-         while true do
-           let len_b = really_input_string ic 8 in
-           let len =
-             Int64.to_int (Bytes.get_int64_le (Bytes.of_string len_b) 0)
-           in
-           let body = really_input_string ic len in
-           let ck_b = really_input_string ic 4 in
-           let ck = Int32.to_int (Bytes.get_int32_le (Bytes.of_string ck_b) 0) in
-           if ck <> checksum body then
-             failwith ("Record_format: checksum mismatch in " ^ path);
-           records := body :: !records
-         done
-       with End_of_file -> ());
+      while pos_in ic < size do
+        let len_b = input_exact 8 "record length" in
+        let len =
+          Int64.to_int (Bytes.get_int64_le (Bytes.of_string len_b) 0)
+        in
+        (* body + 4-byte checksum must both fit in what's left *)
+        if len < 0 || len + 4 > size - pos_in ic then
+          corrupt path "record length %d out of range (%d bytes left)" len
+            (size - pos_in ic);
+        let body = input_exact len "record body" in
+        let ck_b = input_exact 4 "record checksum" in
+        let ck = Int32.to_int (Bytes.get_int32_le (Bytes.of_string ck_b) 0) in
+        if ck <> checksum body then
+          corrupt path "checksum mismatch (expected %#x, found %#x)"
+            (checksum body) ck;
+        records := body :: !records
+      done;
       List.rev !records)
 
 (* Example codec: count, then per tensor name / dtype / shape / data,
@@ -113,42 +137,64 @@ let encode_example entries =
     entries;
   Buffer.contents buf
 
+let max_rank = 64
+
 let decode_example s =
+  let source = "<record>" in
   let pos = ref 0 in
-  let fail () = failwith "Record_format: malformed example" in
-  let take n =
-    if !pos + n > String.length s then fail ();
+  let take n what =
+    if n < 0 || !pos + n > String.length s then
+      corrupt source "truncated %s (%d bytes needed, %d left)" what n
+        (String.length s - !pos);
     let r = String.sub s !pos n in
     pos := !pos + n;
     r
   in
-  let u32 () = Int32.to_int (Bytes.get_int32_le (Bytes.of_string (take 4)) 0) in
-  let u64 () = Int64.to_int (Bytes.get_int64_le (Bytes.of_string (take 8)) 0) in
-  let count = u32 () in
+  let u32 what =
+    Int32.to_int (Bytes.get_int32_le (Bytes.of_string (take 4 what)) 0)
+  in
+  let u64 what =
+    Int64.to_int (Bytes.get_int64_le (Bytes.of_string (take 8 what)) 0)
+  in
+  let count = u32 "entry count" in
+  if count < 0 || count > String.length s - !pos then
+    corrupt source "entry count %d out of range" count;
   List.init count (fun _ ->
-      let name = take (u32 ()) in
-      let dtype = Dtype.of_string (take (u32 ())) in
-      let rank = u32 () in
-      let shape = Array.init rank (fun _ -> u64 ()) in
+      let name = take (u32 "name length") "name" in
+      let dname = take (u32 "dtype length") "dtype" in
+      let dtype =
+        try Dtype.of_string dname
+        with Invalid_argument _ -> corrupt source "unknown dtype %S" dname
+      in
+      let rank = u32 "rank" in
+      if rank < 0 || rank > max_rank then
+        corrupt source "bad tensor rank %d" rank;
+      let shape =
+        Array.init rank (fun _ ->
+            let d = u64 "dimension" in
+            if d < 0 then corrupt source "negative dimension %d" d;
+            d)
+      in
       let n = Shape.numel shape in
       let tensor =
         match dtype with
         | Dtype.F32 | Dtype.F64 ->
-            let b = Bytes.of_string (take (n * 8)) in
+            let b = Bytes.of_string (take (n * 8) "tensor data") in
             Tensor.of_float_array ~dtype shape
               (Array.init n (fun i ->
                    Int64.float_of_bits (Bytes.get_int64_le b (i * 8))))
         | Dtype.I32 | Dtype.I64 ->
-            let b = Bytes.of_string (take (n * 8)) in
+            let b = Bytes.of_string (take (n * 8) "tensor data") in
             Tensor.of_int_array ~dtype shape
               (Array.init n (fun i ->
                    Int64.to_int (Bytes.get_int64_le b (i * 8))))
         | Dtype.Bool ->
-            let b = Bytes.of_string (take (n * 8)) in
+            let b = Bytes.of_string (take (n * 8) "tensor data") in
             Tensor.of_bool_array shape
               (Array.init n (fun i -> Bytes.get_int64_le b (i * 8) <> 0L))
         | Dtype.String ->
             Tensor.of_string_array shape
-              (Array.init n (fun _ -> take (u32 ())))
+              (Array.init n (fun _ ->
+                   take (u32 "string length") "string element"))
       in
       (name, tensor))

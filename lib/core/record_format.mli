@@ -10,13 +10,24 @@
 
 open Octf_tensor
 
+exception Corrupt of { source : string; detail : string }
+(** Malformed record data: bad magic, a length field that exceeds the
+    bytes left, a checksum mismatch, truncation mid-record, or an
+    undecodable example. [source] is the file path (or ["<record>"] for
+    in-memory example strings). Every malformed-input path raises this
+    — never a bare [End_of_file], [Invalid_argument] or [Failure] — so
+    reader kernels surface torn writes as structured step failures. *)
+
 (** {1 Container} *)
 
 val write_records : string -> string list -> unit
 (** Write a record file atomically (temp-file rename). *)
 
 val read_records : string -> string list
-(** @raise Failure on bad magic or a checksum mismatch. *)
+(** Reads records until the file position sits exactly at end-of-file;
+    a file that ends mid-record (torn append, truncation) is corrupt,
+    not short.
+    @raise Corrupt on bad magic, truncation or a checksum mismatch. *)
 
 val append_records : string -> string list -> unit
 (** Append to an existing record file (or create it). *)
@@ -26,4 +37,5 @@ val append_records : string -> string list -> unit
 val encode_example : (string * Tensor.t) list -> string
 
 val decode_example : string -> (string * Tensor.t) list
-(** @raise Failure on malformed input. *)
+(** @raise Corrupt on malformed input (truncated fields, unknown dtype,
+    out-of-range rank or dimensions). *)

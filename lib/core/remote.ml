@@ -1,0 +1,38 @@
+(* Dependency-inversion seam between the session and the network layer.
+
+   [Octf.Session] must not depend on [Octf_net] (which depends on Octf
+   for graphs, values and failures), so the network runtime hands the
+   session this record of capabilities instead. The session uses it to
+   (a) decide which partitions run in-process, (b) share the
+   process-global routed rendezvous, and (c) dispatch the remote
+   partitions of a step as Run_step RPCs. *)
+
+type runner = {
+  is_local : Device.t -> bool;
+      (* does this device's (job, task) live in the current process? *)
+  rendezvous : Rendezvous.t;
+      (* the process-global, route-enabled rendezvous every step of
+         every cross-process session shares; step-scoped keys keep
+         concurrent steps apart. Never aborted — step teardown is per
+         step via Cancel tokens and [Rendezvous.drop_step]. *)
+  run_partitions :
+    job:string ->
+    task:int ->
+    step_id:int ->
+    feeds:(Node.endpoint * Octf_tensor.Tensor.t) list ->
+    fetches:Node.endpoint list ->
+    targets:int list ->
+    deadline:float option ->
+    cancel:Cancel.t option ->
+    ((Node.endpoint * Value.t) list, Step_failure.t) result;
+      (* execute the step's partitions owned by (job, task) in that
+         task's process, blocking until its Step_done (or a transport /
+         deadline failure). [feeds] / [fetches] are the subsets of the
+         step's endpoints that live on the remote task; [targets] are
+         graph node ids. [cancel] firing locally must propagate a
+         Cancel_step to the peer and fail the call. *)
+  retire_step : step_id:int -> unit;
+      (* the step is over: scrub its leaked rendezvous entries and mark
+         the id retired so a late tensor frame from a slow peer is
+         dropped instead of parking in the shared table forever *)
+}

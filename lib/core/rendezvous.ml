@@ -40,15 +40,21 @@ type t = {
   mutable gen : int;
   mutex : Mutex.t;
   cond : Condition.t;
+  route : (key:string -> Value.t -> bool) option;
+      (* Out-of-process delivery hook (Octf_net): consulted by [send]
+         before the local table, outside the mutex (it does network
+         I/O). Returns true when it consumed the value — the key's
+         receiver lives in another process. *)
 }
 
-let create () =
+let create ?route () =
   {
     table = Hashtbl.create 32;
     aborted = None;
     gen = 0;
     mutex = Mutex.create ();
     cond = Condition.create ();
+    route;
   }
 
 let with_lock t f =
@@ -64,7 +70,7 @@ let wake t () =
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex
 
-let send t ~key v =
+let local_send t ~key v =
   with_lock t (fun () ->
       if Hashtbl.mem t.table key then
         raise (Step_failure.error (Step_failure.Duplicate_send key));
@@ -74,6 +80,16 @@ let send t ~key v =
       Metrics.Counter.add m_send_bytes (Value.byte_size v);
       Metrics.Gauge.incr m_pending;
       Condition.broadcast t.cond)
+
+let send t ~key v =
+  match t.route with
+  | Some route when route ~key v ->
+      (* Delivered into another process; that side's rendezvous counts
+         it as pending. The route raises a structured Step_failure on
+         transport failure, surfacing through the Send kernel. *)
+      Metrics.Counter.incr m_sends;
+      Metrics.Counter.add m_send_bytes (Value.byte_size v)
+  | _ -> local_send t ~key v
 
 let recv ?cancel t ~key =
   Cancel.with_waker cancel (wake t) (fun () ->
@@ -124,15 +140,51 @@ let wait_new ?cancel t ~last =
 
 let abort t ~reason =
   with_lock t (fun () ->
-      if t.aborted = None then begin
-        Metrics.Counter.incr m_aborts;
-        (* Entries in an aborted rendezvous can never be received (recv
-           raises); stop counting them as pending. The table itself is
-           kept so pending_keys still reports them for diagnostics. *)
-        Metrics.Gauge.add m_pending (-.float_of_int (Hashtbl.length t.table))
-      end;
-      t.aborted <- Some reason;
-      Condition.broadcast t.cond)
+      if t.route <> None then
+        (* A routed rendezvous is process-global and outlives any one
+           step: a sticky abort here (say, from a Send kernel whose
+           connection just died) would poison every later step in the
+           process. Per-step teardown is the step's cancel token plus
+           [drop_step]; wake waiters and leave the table usable. *)
+        Condition.broadcast t.cond
+      else begin
+        if t.aborted = None then begin
+          Metrics.Counter.incr m_aborts;
+          (* Entries in an aborted rendezvous can never be received
+             (recv raises); stop counting them as pending. The table
+             itself is kept so pending_keys still reports them for
+             diagnostics. *)
+          Metrics.Gauge.add m_pending
+            (-.float_of_int (Hashtbl.length t.table))
+        end;
+        t.aborted <- Some reason;
+        Condition.broadcast t.cond
+      end)
 
 let pending_keys t =
   with_lock t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let pending_count t = with_lock t (fun () -> Hashtbl.length t.table)
+
+(* Scrub entries leaked by a finished step — sends whose paired Recv
+   was cancelled, abandoned, or raced the step's failure. Long-lived
+   rendezvous (the process-global network one) would otherwise grow
+   without bound. *)
+let drop_step t ~step_id =
+  let prefix = Printf.sprintf "step:%d;" step_id in
+  let pl = String.length prefix in
+  with_lock t (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun k _ acc ->
+            if String.length k >= pl && String.sub k 0 pl = prefix then
+              k :: acc
+            else acc)
+          t.table []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.table k;
+          if t.aborted = None then Metrics.Gauge.decr m_pending)
+        doomed;
+      List.length doomed)

@@ -13,7 +13,14 @@ type t
 exception Aborted of string
 (** Raised in blocked receivers when the step is aborted. *)
 
-val create : unit -> t
+val create : ?route:(key:string -> Value.t -> bool) -> unit -> t
+(** [?route] is the out-of-process delivery hook (installed by
+    [Octf_net] on its process-global rendezvous): {!send} consults it
+    first, outside the rendezvous lock. Returning [true] means the value
+    was consumed — its receiver lives in another OS process — and the
+    local table is untouched. The hook may raise [Step_failure.Error]
+    (e.g. {!Step_failure.Network_error}) to fail the sending kernel
+    structurally when the peer is unreachable. *)
 
 val step_key :
   step_id:int ->
@@ -53,7 +60,21 @@ val wait_new : ?cancel:Cancel.t -> t -> last:int -> int
 val abort : t -> reason:string -> unit
 (** Wake every blocked and future receiver with {!Aborted}; used to
     propagate kernel failures across partition executor threads so a step
-    fails as a unit rather than deadlocking. *)
+    fails as a unit rather than deadlocking.
+
+    On a routed (process-global, shared across steps) rendezvous the
+    abort is {e not} recorded — it only wakes waiters. A sticky abort
+    would outlive the failing step and poison every later one; shared
+    teardown is per step, via cancel tokens and {!drop_step}. *)
 
 val pending_keys : t -> string list
 (** Keys sent but not yet received (for tests and debugging). *)
+
+val pending_count : t -> int
+(** Live (sent but unreceived) entry count. *)
+
+val drop_step : t -> step_id:int -> int
+(** Remove every entry whose key carries the ["step:<id>;"] prefix —
+    values leaked by a cancelled or abandoned step — and return how many
+    were dropped. Invoked by [Session.drain] (and on step failure) so a
+    long-lived shared rendezvous cannot accumulate dead tensors. *)

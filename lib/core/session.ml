@@ -99,6 +99,12 @@ type t = {
   optimize : bool;
   scheduler : Scheduler.policy;
   memory_planning : bool option;  (* None: follow Mem_plan.enabled () *)
+  remote : Remote.runner option;
+      (* out-of-process runtime: partitions on non-[is_local] devices
+         are dispatched as Run_step RPCs instead of executor threads,
+         and all tensor traffic uses the runner's shared routed
+         rendezvous *)
+  mutable drained_to : int;  (* steps retired by the last [drain] sweep *)
   mutex : Mutex.t;
   (* Pipeline controller: at most [max_in_flight] async steps admitted
      at once. [admit] waits on [mutex]; [pending] tracks live handles
@@ -119,7 +125,7 @@ let default_max_in_flight () =
 
 let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
     ?scheduler ?intra_op_threads ?memory_planning ?max_in_flight
-    ?(barrier = false) graph =
+    ?(barrier = false) ?remote graph =
   (* Process-wide hardware knob, mirroring TF's
      intra_op_parallelism_threads in ConfigProto. *)
   (match intra_op_threads with
@@ -163,6 +169,8 @@ let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
     optimize;
     scheduler;
     memory_planning;
+    remote;
+    drained_to = 0;
     mutex = Mutex.create ();
     max_in_flight;
     in_flight = 0;
@@ -209,7 +217,16 @@ let compile t ~feed_eps ~fetch_eps ~target_ids =
     end
     else nodes
   in
-  Placement.place t.graph ~nodes ~devices:t.devices;
+  (* Place the whole graph, not just this step's pruned subset. In a
+     multi-process (SPMD) cluster each process compiles only the steps
+     it runs or serves, so per-subset placement would let the
+     least-loaded tiebreak see different load histories in different
+     processes and diverge — mismatched partitions deadlock the step's
+     Send/Recv pairs. Placing every node on first contact keeps the
+     assignment a deterministic function of the shared graph alone. *)
+  Placement.place t.graph
+    ~nodes:(List.init (Graph.node_count t.graph) Fun.id)
+    ~devices:t.devices;
   let devs =
     List.sort_uniq compare
       (List.filter_map
@@ -319,15 +336,59 @@ let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
      wakes peers parked in queue or rendezvous waits, and a [parent]
      token (a pipeline's filler group) cancels this step when the whole
      group is stopped. *)
+  let device_is_remote d =
+    match t.remote with
+    | Some r -> not (r.Remote.is_local d)
+    | None -> false
+  in
+  let needs_token =
+    match step with
+    | Distributed _ -> true
+    | Local { device = Some d; _ } -> device_is_remote d
+    | Local { device = None; _ } -> false
+  in
   let cancel =
-    match (deadline, parent, step) with
-    | Some d, _, _ -> Some (Cancel.create ?parent ~deadline:d ())
-    | None, Some _, _ -> Some (Cancel.create ?parent ())
-    | None, None, Distributed _ -> Some (Cancel.create ())
-    | None, None, Local _ -> None
+    match (deadline, parent) with
+    | Some d, _ -> Some (Cancel.create ?parent ~deadline:d ())
+    | None, Some _ -> Some (Cancel.create ?parent ())
+    | None, None -> if needs_token then Some (Cancel.create ()) else None
+  in
+  (* One Run_step RPC executing [job]/[task]'s partitions of this step
+     in its own process. The full feed/fetch/target endpoint lists go
+     on the wire: the peer compiled the same graph, so the lists both
+     reproduce the step signature (hitting its step cache) and let it
+     select the subsets its partitions own. *)
+  let feed_tensors =
+    lazy
+      (List.map
+         (fun (o, tensor) -> (Builder.endpoint_of_output o, tensor))
+         feeds)
+  in
+  let call_remote r ~job ~task =
+    r.Remote.run_partitions ~job ~task ~step_id
+      ~feeds:(Lazy.force feed_tensors) ~fetches:fetch_eps
+      ~targets:target_ids ~deadline ~cancel
   in
   let execute_step () =
     match step with
+    | Local { plan = _; device = Some d } when device_is_remote d -> (
+        (* the whole pruned step lives on a remote task *)
+        let r = Option.get t.remote in
+        match call_remote r ~job:d.Device.job ~task:d.Device.task with
+        | Error f -> raise (Run_error f)
+        | Ok pairs ->
+            List.map2
+              (fun (o : Builder.output) e ->
+                match List.assoc_opt e pairs with
+                | Some v ->
+                    value_to_tensor ~what:o.Builder.node.Node.name v
+                | None ->
+                    raise
+                      (run_error ~node:o.Builder.node.Node.name
+                         (Step_failure.Fetch_failed
+                            ("fetch not returned by remote task: "
+                           ^ o.Builder.node.Node.name))))
+              fetches fetch_eps)
     | Local { plan; device } ->
       let resources =
         match device with
@@ -346,7 +407,14 @@ let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
           value_to_tensor ~what:o.Builder.node.Node.name v)
         fetches values
   | Distributed parts ->
-      let rendezvous = Rendezvous.create () in
+      (* With an out-of-process runtime the step uses the shared routed
+         rendezvous (never aborted — teardown is per step, via the
+         cancel token); otherwise a private per-step one. *)
+      let rendezvous =
+        match t.remote with
+        | Some r -> r.Remote.rendezvous
+        | None -> Rendezvous.create ()
+      in
       let results : (string, (Node.endpoint * Value.t) list) Hashtbl.t =
         Hashtbl.create 8
       in
@@ -354,7 +422,11 @@ let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
       let results_mutex = Mutex.create () in
       let record_failure (f : Step_failure.t) =
         let msg = Step_failure.to_string f in
-        Rendezvous.abort rendezvous ~reason:msg;
+        (* A shared rendezvous must never be aborted — the abort is
+           sticky and would poison every later step. The cancel token
+           wakes this step's parked receivers instead. *)
+        if Option.is_none t.remote then
+          Rendezvous.abort rendezvous ~reason:msg;
         Option.iter (fun c -> Cancel.cancel c ~reason:msg) cancel;
         Mutex.lock results_mutex;
         errors := f :: !errors;
@@ -404,8 +476,48 @@ let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
               (Step_failure.v ~device
                  (Step_failure.Kernel_failed (Printexc.to_string e)))
       in
-      let threads = List.map (fun p -> Thread.create run_part p) parts in
+      (* Partitions on devices owned by other processes collapse into
+         one Run_step RPC per remote task; the rest run on executor
+         threads here as before. *)
+      let local_parts, remote_tasks =
+        match t.remote with
+        | None -> (parts, [])
+        | Some r ->
+            ( List.filter
+                (fun ((p : Partition.partition), _) ->
+                  r.Remote.is_local p.Partition.device)
+                parts,
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun ((p : Partition.partition), _) ->
+                     if r.Remote.is_local p.Partition.device then None
+                     else
+                       Some
+                         ( p.Partition.device.Device.job,
+                           p.Partition.device.Device.task ))
+                   parts) )
+      in
+      let run_remote (job, task) =
+        let r = Option.get t.remote in
+        match call_remote r ~job ~task with
+        | Ok pairs ->
+            Mutex.lock results_mutex;
+            Hashtbl.replace results (Printf.sprintf "rpc:%s/%d" job task)
+              pairs;
+            Mutex.unlock results_mutex
+        | Error f -> record_failure f
+      in
+      let threads =
+        List.map (fun p -> Thread.create run_part p) local_parts
+        @ List.map (fun rt -> Thread.create run_remote rt) remote_tasks
+      in
       List.iter Thread.join threads;
+      (* Scrub entries this step leaked (sends whose Recv died with the
+         step); essential on the long-lived shared rendezvous, keeps
+         the pending gauge honest on private ones. *)
+      (match t.remote with
+      | Some r -> r.Remote.retire_step ~step_id
+      | None -> ignore (Rendezvous.drop_step rendezvous ~step_id));
       (* Prefer the root cause: a partition's own failure over the
          "peer aborted me" / "step was cancelled" collateral. *)
       (match
@@ -614,7 +726,169 @@ let drain t =
           hs;
         loop ()
   in
-  loop ()
+  loop ();
+  (* Rendezvous hygiene: retire every step issued since the last drain,
+     dropping entries leaked on the shared rendezvous by failed or
+     abandoned steps (steps also retire themselves; this sweep catches
+     tensors that arrived after their step's own cleanup ran). *)
+  match t.remote with
+  | None -> ()
+  | Some r ->
+      let lo, hi =
+        with_lock t (fun () ->
+            let range = (t.drained_to + 1, t.step_counter) in
+            t.drained_to <- t.step_counter;
+            range)
+      in
+      for step_id = lo to hi do
+        r.Remote.retire_step ~step_id
+      done
+
+(* Serve one step dispatched by a remote chief: compile the identical
+   step (the endpoint lists reproduce its cache signature against our
+   copy of the graph), execute only the partitions placed on this
+   process's devices under the chief's [step_id], and return the fetch
+   endpoints our partitions produced. All failure modes come back as
+   structured [Error] values — this function never raises. *)
+let run_serve t ~step_id ~feeds ~fetches ~targets ~cancel () =
+  try
+    let feed_eps = List.map fst feeds in
+    let fetch_eps = fetches in
+    let target_ids = targets in
+    let r =
+      match t.remote with
+      | Some r -> r
+      | None ->
+          raise
+            (run_error
+               (Step_failure.Invalid_graph
+                  "run_serve on a session without a remote runner"))
+    in
+    let step =
+      with_lock t (fun () ->
+          let sg = signature ~feed_eps ~fetch_eps ~target_ids in
+          match Hashtbl.find_opt t.cache sg with
+          | Some s ->
+              Metrics.Counter.incr m_cache_hits;
+              s
+          | None ->
+              Metrics.Counter.incr m_cache_misses;
+              let s = compile t ~feed_eps ~fetch_eps ~target_ids in
+              Hashtbl.replace t.cache sg s;
+              s)
+    in
+    let feed_vals =
+      List.map (fun (e, tensor) -> (e, Value.Tensor tensor)) feeds
+    in
+    match step with
+    | Local { plan; device } ->
+        (* the chief decided the whole step lives here *)
+        let ours =
+          match device with None -> true | Some d -> r.Remote.is_local d
+        in
+        if not ours then
+          Error
+            (Step_failure.v
+               (Step_failure.Invalid_graph
+                  "served step is placed on a device of another task"))
+        else
+          let resources =
+            match device with
+            | Some d -> t.resource_router d
+            | None -> t.default_resources
+          in
+          let values =
+            Executor.execute plan ~feeds:feed_vals ~fetches:fetch_eps
+              ~resources ~rendezvous:r.Remote.rendezvous ~cancel ~seed:t.seed
+              ~step_id ()
+          in
+          Ok (List.combine fetch_eps values)
+    | Distributed parts ->
+        let my_parts =
+          List.filter
+            (fun ((p : Partition.partition), _) ->
+              r.Remote.is_local p.Partition.device)
+            parts
+        in
+        if my_parts = [] then
+          Error
+            (Step_failure.v
+               (Step_failure.Invalid_graph
+                  "no partition of the served step is placed on this task"))
+        else begin
+          let results = ref [] in
+          let errors = ref [] in
+          let results_mutex = Mutex.create () in
+          let record_failure (f : Step_failure.t) =
+            (* shared rendezvous: never aborted — wake our parked
+               receivers through the serve token instead *)
+            Cancel.cancel cancel ~reason:(Step_failure.to_string f);
+            Mutex.lock results_mutex;
+            errors := f :: !errors;
+            Mutex.unlock results_mutex
+          in
+          let run_part ((p : Partition.partition), plan) =
+            let local_feeds =
+              List.filter_map
+                (fun ((e : Node.endpoint), v) ->
+                  match Partition.find_endpoint p e with
+                  | Some local -> Some (local, v)
+                  | None -> None)
+                feed_vals
+            in
+            let local_fetches =
+              List.filter_map
+                (fun e ->
+                  match Partition.find_endpoint p e with
+                  | Some local -> Some (e, local)
+                  | None -> None)
+                fetch_eps
+            in
+            let device = Device.to_string p.Partition.device in
+            try
+              let vs =
+                Executor.execute plan ~feeds:local_feeds
+                  ~fetches:(List.map snd local_fetches)
+                  ~resources:(t.resource_router p.Partition.device)
+                  ~rendezvous:r.Remote.rendezvous ~cancel ~seed:t.seed
+                  ~step_id ()
+              in
+              Mutex.lock results_mutex;
+              results :=
+                List.map2 (fun (orig, _) v -> (orig, v)) local_fetches vs
+                @ !results;
+              Mutex.unlock results_mutex
+            with
+            | Step_failure.Error f ->
+                record_failure
+                  (if f.Step_failure.device = None then
+                     { f with Step_failure.device = Some device }
+                   else f)
+            | Rendezvous.Aborted reason ->
+                record_failure
+                  (Step_failure.v ~device
+                     (Step_failure.Rendezvous_aborted reason))
+            | e ->
+                record_failure
+                  (Step_failure.v ~device
+                     (Step_failure.Kernel_failed (Printexc.to_string e)))
+          in
+          let threads = List.map (fun p -> Thread.create run_part p) my_parts in
+          List.iter Thread.join threads;
+          match
+            List.stable_sort
+              (fun (a : Step_failure.t) b ->
+                compare
+                  (Step_failure.is_secondary a.Step_failure.cause)
+                  (Step_failure.is_secondary b.Step_failure.cause))
+              (List.rev !errors)
+          with
+          | f :: _ -> Error f
+          | [] -> Ok !results
+        end
+  with
+  | Run_error f | Step_failure.Error f -> Error f
+  | e -> Error (Step_failure.v (Step_failure.Kernel_failed (Printexc.to_string e)))
 
 (* The legacy entry points are thin wrappers over {!run_with_metadata}. *)
 

@@ -46,6 +46,7 @@ val create :
   ?memory_planning:bool ->
   ?max_in_flight:int ->
   ?barrier:bool ->
+  ?remote:Remote.runner ->
   Graph.t ->
   t
 (** Default devices: a single local CPU. [resource_router] maps a device
@@ -71,6 +72,14 @@ val create :
     execute concurrently; default from [OCTF_MAX_IN_FLIGHT], else 1.
     [barrier] (default false) forces K = 1 regardless of
     [max_in_flight] — the fully-synchronous legacy pipeline.
+
+    [remote] plugs in an out-of-process runtime ([Octf_net]): every
+    process of the cluster builds the {e same} graph and creates a
+    session over the {e same} device list, and partitions placed on
+    devices the runner does not report {!Remote.runner.is_local} are
+    dispatched to their owning task as Run_step RPCs. All tensor
+    traffic (in-process and cross-process) then flows through the
+    runner's shared routed rendezvous.
     @raise Invalid_argument if [max_in_flight < 1]. *)
 
 val graph : t -> Graph.t
@@ -214,3 +223,22 @@ val max_in_flight : t -> int
 
 val cached_steps : t -> int
 (** Number of distinct compiled steps in the session cache (tests). *)
+
+val run_serve :
+  t ->
+  step_id:int ->
+  feeds:(Node.endpoint * Tensor.t) list ->
+  fetches:Node.endpoint list ->
+  targets:int list ->
+  cancel:Cancel.t ->
+  unit ->
+  ((Node.endpoint * Value.t) list, Step_failure.t) result
+(** Execute one step on behalf of a remote chief ([Octf_net]'s
+    Run_step handler): compile the step named by the endpoint lists
+    (identical to the chief's — both processes built the same graph,
+    so it hits the same step-cache entry), run {e only} the partitions
+    placed on this process's devices under the chief's [step_id], and
+    return the fetch endpoints they produced. Requires the session to
+    have been created with [?remote]. Never raises: every failure —
+    kernel error, cancellation via [cancel] (deadline or a Cancel_step
+    frame), missing partition — returns as a structured [Error]. *)

@@ -8,6 +8,7 @@ type cause =
   | Missing_task of string
   | Invalid_graph of string
   | Fetch_failed of string
+  | Network_error of string
 
 type t = { node : string option; device : string option; cause : cause }
 
@@ -28,6 +29,7 @@ let cause_message = function
   | Missing_task detail -> "missing cluster task: " ^ detail
   | Invalid_graph detail -> detail
   | Fetch_failed detail -> detail
+  | Network_error detail -> "network error: " ^ detail
 
 let cause_kind = function
   | Deadline_exceeded _ -> "deadline_exceeded"
@@ -39,12 +41,31 @@ let cause_kind = function
   | Missing_task _ -> "missing_task"
   | Invalid_graph _ -> "invalid_graph"
   | Fetch_failed _ -> "fetch_failed"
+  | Network_error _ -> "network_error"
 
 let is_cancellation = function
   | Deadline_exceeded _ | Cancelled _ -> true
   | Kernel_failed _ | Fault_injected _ | Rendezvous_aborted _
-  | Duplicate_send _ | Missing_task _ | Invalid_graph _ | Fetch_failed _ ->
+  | Duplicate_send _ | Missing_task _ | Invalid_graph _ | Fetch_failed _
+  | Network_error _ ->
       false
+
+(* Rebuild a cause from its wire form (kind string + message), for
+   failures reported by a remote process. Unknown kinds degrade to
+   [Kernel_failed] so a newer peer never crashes an older one. *)
+let cause_of_wire ~kind ~message =
+  match kind with
+  | "deadline_exceeded" -> Deadline_exceeded 0.0
+  | "cancelled" -> Cancelled message
+  | "kernel_failed" -> Kernel_failed message
+  | "fault_injected" -> Fault_injected message
+  | "rendezvous_aborted" -> Rendezvous_aborted message
+  | "duplicate_send" -> Duplicate_send message
+  | "missing_task" -> Missing_task message
+  | "invalid_graph" -> Invalid_graph message
+  | "fetch_failed" -> Fetch_failed message
+  | "network_error" -> Network_error message
+  | other -> Kernel_failed (Printf.sprintf "remote %s: %s" other message)
 
 (* Failures that only describe another partition's (or the whole step's)
    demise, not its origin. Used to pick the root cause among the errors

@@ -18,6 +18,9 @@ type cause =
   | Missing_task of string  (** cluster lookup of an unknown task *)
   | Invalid_graph of string  (** malformed control flow, bad feeds *)
   | Fetch_failed of string  (** fetch dead / not produced *)
+  | Network_error of string
+      (** wire-protocol failure: connection lost or refused, heartbeat
+          timeout, malformed frame, RPC timeout ({!Octf_net}) *)
 
 type t = { node : string option; device : string option; cause : cause }
 
@@ -44,3 +47,8 @@ val is_secondary : cause -> bool
 (** True for causes that describe the collateral of another failure
     ({!Rendezvous_aborted}, {!Cancelled}); when one step yields several
     errors the primary (non-secondary) one names the root cause. *)
+
+val cause_of_wire : kind:string -> message:string -> cause
+(** Rebuild a cause from its wire form — a {!cause_kind} string plus
+    the message — for failures reported by a remote process. Unknown
+    kinds degrade to {!Kernel_failed}. *)

@@ -1,0 +1,175 @@
+(* One TCP connection between two runtime processes.
+
+   Connections are symmetric after the Hello handshake: frames flow in
+   both directions regardless of which side dialed. Writes are
+   serialized by a per-connection mutex; reads happen on one dedicated
+   reader thread per connection which dispatches decoded messages to
+   the runtime. Socket-level fault injection (drop-connection,
+   delay-frame, corrupt-frame) lives in the send path so injected
+   faults travel the exact byte path real faults would. *)
+
+module FI = Octf.Fault_injector
+module Metrics = Octf.Metrics
+
+let m_frames_sent =
+  Metrics.Counter.v ~help:"Frames written to peers" "octf_net_frames_sent_total"
+
+let m_frames_received =
+  Metrics.Counter.v ~help:"Frames read from peers"
+    "octf_net_frames_received_total"
+
+let m_bytes_sent =
+  Metrics.Counter.v ~help:"Frame bytes written to peers"
+    "octf_net_bytes_sent_total"
+
+let m_bytes_received =
+  Metrics.Counter.v ~help:"Frame bytes read from peers"
+    "octf_net_bytes_received_total"
+
+let m_frame_errors kind =
+  Metrics.Counter.v ~help:"Malformed frames, by error kind"
+    ~labels:[ ("kind", kind) ]
+    "octf_net_frame_errors_total"
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable peer_job : string;  (* accepted conns learn these from Hello *)
+  mutable peer_task : int;
+  wmutex : Mutex.t;
+  mutable alive : bool;  (* guarded by wmutex *)
+}
+
+let peer_name c = Printf.sprintf "%s/%d" c.peer_job c.peer_task
+
+let create fd ~peer_job ~peer_task =
+  { fd; peer_job; peer_task; wmutex = Mutex.create (); alive = true }
+
+(* Idempotent teardown: shutdown wakes the reader thread blocked in
+   [Unix.read] (it sees EOF), close releases the descriptor. *)
+let close c =
+  Mutex.lock c.wmutex;
+  let was_alive = c.alive in
+  c.alive <- false;
+  Mutex.unlock c.wmutex;
+  if was_alive then begin
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let net_failure c detail =
+  Octf.Step_failure.error
+    (Octf.Step_failure.Network_error
+       (Printf.sprintf "peer %s: %s" (peer_name c) detail))
+
+(* Flip one payload bit after the checksum was computed, so the
+   receiving side reports a Checksum_mismatch. Frames with an empty
+   payload get a checksum-field bit flipped instead — same effect. *)
+let corrupt_bytes s =
+  let b = Bytes.of_string s in
+  let i = if Bytes.length b > Frame.header_size then Frame.header_size else 10 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Bytes.unsafe_to_string b
+
+let write_raw c s =
+  Mutex.lock c.wmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.wmutex)
+    (fun () ->
+      if not c.alive then raise (net_failure c "connection closed");
+      try
+        Frame.write_all c.fd
+          (Bytes.unsafe_of_string s)
+          0 (String.length s);
+        Metrics.Counter.incr m_frames_sent;
+        Metrics.Counter.add m_bytes_sent (String.length s)
+      with Unix.Unix_error (e, _, _) ->
+        c.alive <- false;
+        raise (net_failure c ("write failed: " ^ Unix.error_message e)))
+
+(* Send a message, consulting the fault injector first. Raises a
+   structured [Step_failure.Network_error] on a dead connection, a
+   write error, or an injected connection drop. *)
+let send c msg =
+  let frame = Message.to_frame msg in
+  let bytes = Frame.encode frame in
+  match
+    FI.net_hook ~peer:(peer_name c) ~kind:(Message.kind msg)
+      ~key:(Message.key msg) ~step_id:frame.Frame.stream_id
+  with
+  | `Send -> write_raw c bytes
+  | `Delay d ->
+      Thread.delay d;
+      write_raw c bytes
+  | `Corrupt -> write_raw c (corrupt_bytes bytes)
+  | `Drop_conn ->
+      close c;
+      raise (net_failure c "connection dropped (fault injected)")
+
+let send_best_effort c msg =
+  try send c msg with Octf.Step_failure.Error _ -> ()
+
+type close_reason =
+  | Remote_closed  (* clean EOF or Goodbye *)
+  | Frame_failed of Frame.error
+  | Io_failed of string
+
+let close_reason_to_string = function
+  | Remote_closed -> "peer closed connection"
+  | Frame_failed e -> Frame.error_to_string e
+  | Io_failed d -> "read failed: " ^ d
+
+(* The reader loop: decode frames into messages and hand them to
+   [on_message] until the connection dies, then report why via
+   [on_close] (called exactly once). A malformed frame is answered
+   with a best-effort Error frame before closing — the peer learns why
+   its connection dropped — and counted by error kind. *)
+let reader_loop c ~on_message ~on_close =
+  let reason = ref Remote_closed in
+  (try
+     let continue = ref true in
+     while !continue do
+       let frame = Frame.read_fd c.fd in
+       Metrics.Counter.incr m_frames_received;
+       Metrics.Counter.add m_bytes_received
+         (Frame.header_size + String.length frame.Frame.payload);
+       match Message.of_frame frame with
+       | Message.Goodbye -> continue := false
+       | msg -> on_message c msg
+     done
+   with
+  | Frame.Closed -> ()
+  | Frame.Frame_error e ->
+      Metrics.Counter.incr (m_frame_errors (Frame.error_kind e));
+      send_best_effort c
+        (Message.Error_msg
+           { kind = Frame.error_kind e; detail = Frame.error_to_string e });
+      reason := Frame_failed e
+  | Unix.Unix_error (e, _, _) ->
+      if c.alive then reason := Io_failed (Unix.error_message e)
+  | Octf.Step_failure.Error _ -> reason := Io_failed "send failed");
+  close c;
+  on_close c !reason
+
+let spawn_reader c ~on_message ~on_close =
+  Thread.create (fun () -> reader_loop c ~on_message ~on_close) ()
+
+(* Synchronous Hello exchange, run before the reader thread starts so
+   handshake frames never race application frames. Each side sends its
+   identity and reads the peer's; version skew is a protocol error. *)
+let handshake c ~job ~task =
+  send c (Message.Hello { version = Message.version; job; task });
+  match Message.of_frame (Frame.read_fd c.fd) with
+  | Message.Hello { version; job = pj; task = pt } ->
+      if version <> Message.version then
+        raise
+          (Frame.Frame_error
+             (Frame.Protocol_error
+                (Printf.sprintf "protocol version mismatch: ours %d, peer %d"
+                   Message.version version)));
+      c.peer_job <- pj;
+      c.peer_task <- pt;
+      (pj, pt)
+  | m ->
+      raise
+        (Frame.Frame_error
+           (Frame.Protocol_error ("expected hello, got " ^ Message.kind m)))

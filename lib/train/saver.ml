@@ -61,25 +61,33 @@ let save_numbered t session ~prefix ~step =
 
 let latest_checkpoint ~prefix =
   let dir = Filename.dirname prefix in
-  let base = Filename.basename prefix in
+  (* Match "<base>-<step>.ckpt" by stripping the literal base first: a
+     scanf-style "%s@-%d" split breaks on any base that itself contains
+     a dash ("octf-train"), silently finding no checkpoints at all. *)
+  let base = Filename.basename prefix ^ "-" in
+  let bl = String.length base in
   match Sys.readdir dir with
   | exception Sys_error _ -> None
   | entries ->
       let best = ref None in
       Array.iter
         (fun f ->
-          match
-            Scanf.sscanf f "%s@-%d.ckpt" (fun b s ->
-                if b = base then Some s else None)
-          with
-          | Some step ->
-              let better =
-                match !best with None -> true | Some (s, _) -> step > s
-              in
-              if better then best := Some (step, Filename.concat dir f)
-          | None | (exception Scanf.Scan_failure _)
-          | (exception End_of_file)
-          | (exception Failure _) ->
-              ())
+          if
+            String.length f > bl
+            && String.sub f 0 bl = base
+            && Filename.check_suffix f ".ckpt"
+          then
+            match
+              int_of_string_opt
+                (Filename.chop_suffix
+                   (String.sub f bl (String.length f - bl))
+                   ".ckpt")
+            with
+            | Some step ->
+                let better =
+                  match !best with None -> true | Some (s, _) -> step > s
+                in
+                if better then best := Some (step, Filename.concat dir f)
+            | None -> ())
         entries;
       Option.map snd !best

@@ -44,9 +44,7 @@ type t = {
   prefix : string;
   save_every : int;
   max_failures : int;
-  backoff : float;
-  backoff_multiplier : float;
-  max_backoff : float;
+  retry : Octf.Backoff.policy;
   deadline : float option;
   on_event : event -> unit;
   on_recover : Step_failure.t -> unit;
@@ -62,9 +60,9 @@ let create ?(save_every = 10) ?(max_failures = 5) ?(backoff = 0.01)
     prefix;
     save_every = max 1 save_every;
     max_failures;
-    backoff;
-    backoff_multiplier;
-    max_backoff;
+    retry =
+      Octf.Backoff.policy ~base:backoff ~multiplier:backoff_multiplier
+        ~cap:max_backoff ();
     deadline;
     on_event;
     on_recover;
@@ -117,13 +115,13 @@ let run t ~steps ?(init = fun () -> ()) body =
   t.on_event (Started start);
   let step = ref start in
   let consecutive = ref 0 in
-  let delay = ref t.backoff in
+  let retry = Octf.Backoff.create t.retry in
   while !step < steps do
     match body ~step:!step ~deadline:t.deadline with
     | () ->
         stats := { !stats with steps_completed = !stats.steps_completed + 1 };
         consecutive := 0;
-        delay := t.backoff;
+        Octf.Backoff.reset retry;
         if (!step + 1) mod t.save_every = 0 then
           checkpoint t ~step:(!step + 1) stats;
         incr step
@@ -137,8 +135,7 @@ let run t ~steps ?(init = fun () -> ()) body =
           t.on_event (Gave_up (!step, f));
           raise (Session.Run_error f)
         end;
-        Thread.delay !delay;
-        delay := Float.min t.max_backoff (!delay *. t.backoff_multiplier);
+        ignore (Octf.Backoff.wait retry : bool);
         (* Repair, rebuild, then roll back to the last checkpoint: the
            order a restarted task follows in §4.3. *)
         t.on_recover f;

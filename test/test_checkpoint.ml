@@ -54,9 +54,82 @@ let test_bad_magic () =
   let oc = open_out_bin path in
   output_string oc "NOTACKPT!";
   close_out oc;
-  Alcotest.check_raises "bad magic"
-    (Failure ("Checkpoint_format: bad magic in " ^ path))
-    (fun () -> ignore (Checkpoint_format.read_all path));
+  (match Checkpoint_format.read_all path with
+  | _ -> Alcotest.fail "expected Corrupt on bad magic"
+  | exception Checkpoint_format.Corrupt _ -> ());
+  Sys.remove path
+
+(* A structurally-valid checkpoint used as the corruption target. *)
+let write_sample path =
+  Checkpoint_format.write path
+    [
+      ("w", Tensor.of_float_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |]);
+      ("names", Tensor.of_string_array [| 2 |] [| "ab"; "cdef" |]);
+    ]
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let spit path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Every malformed file must surface as Corrupt — a torn write must
+   never escape as End_of_file, Invalid_argument or a hang. *)
+let check_corrupt what path =
+  match Checkpoint_format.read_all path with
+  | _ -> Alcotest.failf "%s: expected Corrupt" what
+  | exception Checkpoint_format.Corrupt _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Corrupt, got %s" what
+        (Printexc.to_string e)
+
+let test_truncation_all_offsets () =
+  let path = tmp () in
+  write_sample path;
+  let full = slurp path in
+  (* Cut the file at every prefix length: each one is a torn write. *)
+  for len = 0 to String.length full - 1 do
+    spit path (String.sub full 0 len);
+    check_corrupt (Printf.sprintf "truncated at %d" len) path
+  done;
+  Sys.remove path
+
+let test_bit_flips () =
+  let path = tmp () in
+  write_sample path;
+  let full = slurp path in
+  (* Flip one bit per byte position; the reader must either detect the
+     damage (Corrupt) or still parse (flips inside float payloads
+     change values, not structure) — never crash another way. *)
+  for i = 0 to String.length full - 1 do
+    let b = Bytes.of_string full in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x80));
+    spit path (Bytes.to_string b);
+    match Checkpoint_format.read_all path with
+    | _ -> ()
+    | exception Checkpoint_format.Corrupt _ -> ()
+    | exception e ->
+        Alcotest.failf "bit flip at %d: expected Corrupt, got %s" i
+          (Printexc.to_string e)
+  done;
+  Sys.remove path
+
+let test_hostile_lengths () =
+  let path = tmp () in
+  (* Claimed entry count/length fields far beyond the file size must be
+     rejected before allocation, not trusted. *)
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "OCTFCKPT1";
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 0x7FFFFFFFFFFFL;
+  Buffer.add_bytes buf b;
+  spit path (Buffer.contents buf);
+  check_corrupt "hostile entry count" path;
   Sys.remove path
 
 let test_overwrite_atomic () =
@@ -88,6 +161,10 @@ let suite =
     Alcotest.test_case "roundtrip all dtypes" `Quick test_roundtrip_all_dtypes;
     Alcotest.test_case "read single / names" `Quick test_read_single_and_names;
     Alcotest.test_case "bad magic" `Quick test_bad_magic;
+    Alcotest.test_case "truncation at every offset" `Quick
+      test_truncation_all_offsets;
+    Alcotest.test_case "single bit flips" `Quick test_bit_flips;
+    Alcotest.test_case "hostile length fields" `Quick test_hostile_lengths;
     Alcotest.test_case "atomic overwrite" `Quick test_overwrite_atomic;
     QCheck_alcotest.to_alcotest prop_float_roundtrip;
   ]

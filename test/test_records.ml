@@ -31,8 +31,73 @@ let test_container_corruption_detected () =
   close_out oc;
   (match Record_format.read_records path with
   | _ -> Alcotest.fail "expected checksum failure"
-  | exception Failure _ -> ());
+  | exception Record_format.Corrupt _ -> ());
   Sys.remove path
+
+let check_corrupt_file what path =
+  match Record_format.read_records path with
+  | _ -> Alcotest.failf "%s: expected Corrupt" what
+  | exception Record_format.Corrupt _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Corrupt, got %s" what
+        (Printexc.to_string e)
+
+(* A torn write at any offset must be a structured Corrupt, never a
+   silently-shortened record list or an escaped End_of_file. *)
+let test_container_truncation_all_offsets () =
+  let path = tmp () in
+  Record_format.write_records path [ "alpha"; "beta"; String.make 64 'z' ];
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* Exact record boundaries are valid short files; anywhere else a
+     truncation is torn. Magic is 8 bytes; each record costs
+     8 (length) + body + 4 (checksum). *)
+  let boundaries =
+    List.fold_left
+      (fun acc body -> (List.hd acc + 8 + String.length body + 4) :: acc)
+      [ 8 ]
+      [ "alpha"; "beta"; String.make 64 'z' ]
+  in
+  for len = 0 to String.length full - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 len);
+    close_out oc;
+    if List.mem len boundaries then
+      ignore (Record_format.read_records path : string list)
+    else check_corrupt_file (Printf.sprintf "truncated at %d" len) path
+  done;
+  Sys.remove path
+
+let test_example_corruption () =
+  let encoded =
+    Record_format.encode_example
+      [
+        ("pixels", Tensor.of_float_array [| 3 |] [| 1.0; 2.0; 3.0 |]);
+        ("tag", Tensor.scalar_s "cat");
+      ]
+  in
+  (* Truncation at every prefix of the example string. *)
+  for len = 0 to String.length encoded - 1 do
+    match Record_format.decode_example (String.sub encoded 0 len) with
+    | _ -> Alcotest.failf "truncated example at %d: expected Corrupt" len
+    | exception Record_format.Corrupt _ -> ()
+    | exception e ->
+        Alcotest.failf "truncated example at %d: expected Corrupt, got %s" len
+          (Printexc.to_string e)
+  done;
+  (* Bit flips must never escape as anything but Corrupt (structural
+     damage) or a successful parse (payload damage). *)
+  for i = 0 to String.length encoded - 1 do
+    let b = Bytes.of_string encoded in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    match Record_format.decode_example (Bytes.to_string b) with
+    | _ -> ()
+    | exception Record_format.Corrupt _ -> ()
+    | exception e ->
+        Alcotest.failf "bit flip at %d: expected Corrupt, got %s" i
+          (Printexc.to_string e)
+  done
 
 let test_example_roundtrip () =
   let entries =
@@ -147,6 +212,9 @@ let suite =
     Alcotest.test_case "container roundtrip" `Quick test_container_roundtrip;
     Alcotest.test_case "corruption detected" `Quick
       test_container_corruption_detected;
+    Alcotest.test_case "truncation at every offset" `Quick
+      test_container_truncation_all_offsets;
+    Alcotest.test_case "example corruption" `Quick test_example_corruption;
     Alcotest.test_case "example roundtrip" `Quick test_example_roundtrip;
     QCheck_alcotest.to_alcotest prop_example_roundtrip;
     Alcotest.test_case "reader drains in order" `Quick
