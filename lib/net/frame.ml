@@ -113,7 +113,20 @@ let checksum s =
 let v ?(flags = 0) ?(stream_id = 0) ftype payload =
   { ftype; flags; stream_id; payload }
 
+(* Oversized payloads are rejected here, on the send side: past
+   [max_payload] the receiver would tear the connection down with an
+   unhelpful generic failure, and past 4 GiB the u32 length field would
+   silently wrap and desynchronize the stream. *)
 let encode f =
+  if String.length f.payload > max_payload then
+    raise
+      (Frame_error
+         (Invalid_length
+            {
+              frame_type = type_code f.ftype;
+              length = String.length f.payload;
+              max = max_payload;
+            }));
   let b = Bytes.create (header_size + String.length f.payload) in
   Bytes.set_int32_le b 0 (Int32.of_int (String.length f.payload));
   Bytes.set_uint8 b 4 (type_code f.ftype);
@@ -174,8 +187,10 @@ let write_fd fd f =
 
 (* Read exactly [len] bytes. [at_boundary] distinguishes a clean close
    (EOF before the first header byte → [Closed]) from a truncated
-   frame (EOF anywhere else → [Protocol_error]). *)
-let read_exact fd len ~at_boundary =
+   frame (EOF anywhere else → [Protocol_error]). [on_chunk] fires on
+   every partial read — byte-granular liveness for heartbeat monitors,
+   which would otherwise see nothing while a large frame trickles in. *)
+let read_exact ?(on_chunk = fun _ -> ()) fd len ~at_boundary =
   let b = Bytes.create len in
   let rec go off =
     if off < len then begin
@@ -183,21 +198,24 @@ let read_exact fd len ~at_boundary =
       if n = 0 then
         if at_boundary && off = 0 then raise Closed
         else raise (Frame_error (Protocol_error "truncated frame"))
-      else go (off + n)
+      else begin
+        on_chunk n;
+        go (off + n)
+      end
     end
   in
   go 0;
   b
 
-let read_fd fd =
+let read_fd ?on_chunk fd =
   let header =
-    Bytes.unsafe_to_string (read_exact fd header_size ~at_boundary:true)
+    Bytes.unsafe_to_string (read_exact ?on_chunk fd header_size ~at_boundary:true)
   in
   match decode_header header with
   | Error e -> raise (Frame_error e)
   | Ok (ftype, flags, stream_id, length, expected) ->
       let payload =
-        Bytes.unsafe_to_string (read_exact fd length ~at_boundary:false)
+        Bytes.unsafe_to_string (read_exact ?on_chunk fd length ~at_boundary:false)
       in
       let actual = checksum payload in
       if actual <> expected then

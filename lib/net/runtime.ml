@@ -177,6 +177,7 @@ let parse_cluster s =
 type rpc_key = string * int * int (* peer job, peer task, step id *)
 
 type rpc_slot = {
+  rconn : Transport.conn;  (* the connection the RPC was issued on *)
   mutable reply :
     ((Octf.Node.endpoint * Octf.Value.t) list, Step_failure.t) result option;
 }
@@ -197,8 +198,13 @@ type t = {
   cond : Condition.t;  (* broadcast on RPC replies and conn events *)
   peers : (string * int, peer) Hashtbl.t;
   rpcs : (rpc_key, rpc_slot) Hashtbl.t;
-  serving : (int, Cancel.t * Transport.conn) Hashtbl.t;
-  retired : (int, unit) Hashtbl.t;
+  serving : (rpc_key, Cancel.t * Transport.conn) Hashtbl.t;
+      (* steps in flight, keyed by the dispatching chief's identity so
+         two chiefs (or a restarted one) never collide on bare step ids *)
+  retired : (int, string * int) Hashtbl.t;
+      (* step id → identity of the chief whose step it was; a new
+         connection from that chief purges its entries, so a restarted
+         chief's session counter can reuse low step ids *)
   retired_order : int Queue.t;
   rendezvous : Rendezvous.t;
   mutable session : Octf.Session.t option;
@@ -257,10 +263,32 @@ let key_step_id key =
 
 (* Connection management ---------------------------------------------- *)
 
+(* A new connection incarnation to/from [key] invalidates the step ids
+   we retired on that peer's behalf: a restarted chief's session
+   counter starts over, and a chief re-dispatching a step whose reply
+   it never saw must not find its tensors dropped as late. Called with
+   [t.mutex] held. *)
+let purge_retired_for t key =
+  let stale =
+    Hashtbl.fold
+      (fun id owner acc -> if owner = key then id :: acc else acc)
+      t.retired []
+  in
+  if stale <> [] then begin
+    List.iter (Hashtbl.remove t.retired) stale;
+    let keep = Queue.create () in
+    Queue.iter
+      (fun id -> if Hashtbl.mem t.retired id then Queue.push id keep)
+      t.retired_order;
+    Queue.clear t.retired_order;
+    Queue.transfer keep t.retired_order
+  end
+
 let register_conn t key conn ~count_reconnect =
   with_lock t (fun () ->
       let p = peer_of t key in
       let old = p.conn in
+      purge_retired_for t key;
       p.conn <- Some conn;
       p.next_dial <- 0.0;
       p.outstanding_pings <- 0;
@@ -289,9 +317,12 @@ let on_close t conn reason =
             | Some _ | None -> ())
         | None -> ());
         let pj = conn.Transport.peer_job and pt = conn.Transport.peer_task in
+        (* fail only RPCs issued on this physical connection: a stale
+           conn being replaced must not kill RPCs already riding the
+           healthy replacement to the same peer *)
         Hashtbl.iter
-          (fun (j, k, _) slot ->
-            if j = pj && k = pt && slot.reply = None then
+          (fun _ slot ->
+            if slot.rconn == conn && slot.reply = None then
               slot.reply <-
                 Some
                   (Error
@@ -331,17 +362,20 @@ let connect_with_timeout fd sa timeout =
 let rec on_message t conn msg =
   tracef "recv %s from %s (stream %d)" (Message.kind msg)
     (Transport.peer_name conn) (Message.stream_id msg);
+  (* any frame is proof of life, not just Pong: a peer busy writing a
+     large tensor frame cannot interleave pongs (its write mutex is
+     held), yet is plainly alive *)
+  with_lock t (fun () ->
+      match
+        Hashtbl.find_opt t.peers
+          (conn.Transport.peer_job, conn.Transport.peer_task)
+      with
+      | Some p -> p.outstanding_pings <- 0
+      | None -> ());
   match msg with
   | Message.Ping { seq } ->
       Transport.send_best_effort conn (Message.Pong { seq })
-  | Message.Pong _ ->
-      with_lock t (fun () ->
-          match
-            Hashtbl.find_opt t.peers
-              (conn.Transport.peer_job, conn.Transport.peer_task)
-          with
-          | Some p -> p.outstanding_pings <- 0
-          | None -> ())
+  | Message.Pong _ -> ()
   | Message.Tensor { key; value } -> (
       let retired =
         match key_step_id key with
@@ -362,7 +396,9 @@ let rec on_message t conn msg =
            ())
   | Message.Cancel_step { step_id; reason } -> (
       let slot =
-        with_lock t (fun () -> Hashtbl.find_opt t.serving step_id)
+        with_lock t (fun () ->
+            Hashtbl.find_opt t.serving
+              (conn.Transport.peer_job, conn.Transport.peer_task, step_id))
       in
       match slot with
       | Some (cancel, _) -> Cancel.cancel cancel ~reason
@@ -394,15 +430,15 @@ let rec on_message t conn msg =
         (Transport.peer_name conn) kind detail
   | Message.Hello _ | Message.Goodbye -> ()
 
-and retire_step t ~step_id =
+and retire_step t ~owner ~step_id =
   with_lock t (fun () ->
       if not (Hashtbl.mem t.retired step_id) then begin
-        Hashtbl.replace t.retired step_id ();
         Queue.push step_id t.retired_order;
         while Queue.length t.retired_order > retired_cap do
           Hashtbl.remove t.retired (Queue.pop t.retired_order)
         done
-      end);
+      end;
+      Hashtbl.replace t.retired step_id owner);
   ignore (Rendezvous.drop_step t.rendezvous ~step_id)
 
 (* Serve one Run_step from a remote chief: execute our partitions of
@@ -426,12 +462,14 @@ and serve_step t conn ~step_id ~timeout ~feeds ~fetches ~targets =
              message = "task is not serving a session";
            })
   | Some session ->
+      let chief = (conn.Transport.peer_job, conn.Transport.peer_task) in
+      let skey = (fst chief, snd chief, step_id) in
       let cancel = Cancel.create ?deadline:timeout () in
       let fresh =
         with_lock t (fun () ->
-            if Hashtbl.mem t.serving step_id then false
+            if Hashtbl.mem t.serving skey then false
             else begin
-              Hashtbl.replace t.serving step_id (cancel, conn);
+              Hashtbl.replace t.serving skey (cancel, conn);
               true
             end)
       in
@@ -469,8 +507,8 @@ and serve_step t conn ~step_id ~timeout ~feeds ~fetches ~targets =
                 }
         in
         Cancel.complete cancel;
-        with_lock t (fun () -> Hashtbl.remove t.serving step_id);
-        retire_step t ~step_id;
+        with_lock t (fun () -> Hashtbl.remove t.serving skey);
+        retire_step t ~owner:chief ~step_id;
         tracef "serve_step %d done: %s" step_id
           (match result with
           | Message.Fetched l -> Printf.sprintf "%d fetches" (List.length l)
@@ -600,14 +638,23 @@ let heartbeat_loop t =
   while t.running do
     Thread.delay t.cfg.heartbeat_interval;
     if t.running then begin
+      let now = Unix.gettimeofday () in
+      let rx_budget =
+        t.cfg.heartbeat_interval *. float_of_int t.cfg.heartbeat_misses
+      in
       let to_ping, to_kill =
         with_lock t (fun () ->
             Hashtbl.fold
               (fun _ p (ping, kill) ->
                 match p.conn with
                 | Some c when c.Transport.alive ->
-                    if p.outstanding_pings >= t.cfg.heartbeat_misses then
-                      (ping, c :: kill)
+                    (* missed pongs alone do not condemn a peer: bytes
+                       still arriving (a large frame mid-transfer) are
+                       liveness even though no complete message lands *)
+                    if
+                      p.outstanding_pings >= t.cfg.heartbeat_misses
+                      && now -. c.Transport.last_rx >= rx_budget
+                    then (ping, c :: kill)
                     else begin
                       p.outstanding_pings <- p.outstanding_pings + 1;
                       if p.outstanding_pings > 1 then
@@ -664,7 +711,17 @@ let accept_loop t fd =
           (try Unix.close client with Unix.Unix_error _ -> ()))
   done
 
+(* Writes racing a peer's death deliver SIGPIPE, whose default
+   disposition kills the whole process; with it ignored they raise
+   [Unix_error EPIPE] and flow through the structured write-failure
+   path instead. Installed once, by the first runtime in the process. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
 let create cfg =
+  Lazy.force ignore_sigpipe;
   (* the route hook needs [t], which holds the rendezvous the hook is
      installed on; tie the knot through a cell *)
   let cell = ref None in
@@ -723,7 +780,7 @@ let run_partitions t ~job ~task ~step_id ~feeds ~fetches ~targets ~deadline
   | exception Step_failure.Error f -> fail f
   | conn -> (
       let key = (job, task, step_id) in
-      let slot = { reply = None } in
+      let slot = { rconn = conn; reply = None } in
       with_lock t (fun () -> Hashtbl.replace t.rpcs key slot);
       let finish r =
         with_lock t (fun () -> Hashtbl.remove t.rpcs key);
@@ -797,7 +854,10 @@ let runner t : Octf.Remote.runner =
       (fun ~job ~task ~step_id ~feeds ~fetches ~targets ~deadline ~cancel ->
         run_partitions t ~job ~task ~step_id ~feeds ~fetches ~targets
           ~deadline ~cancel);
-    retire_step = (fun ~step_id -> retire_step t ~step_id);
+    retire_step =
+      (* locally-issued steps are owned by this process itself; a fresh
+         process has a fresh table, so self-owned ids never collide *)
+      (fun ~step_id -> retire_step t ~owner:(t.cfg.job, t.cfg.task) ~step_id);
   }
 
 let shutdown t =

@@ -37,12 +37,23 @@ type conn = {
   mutable peer_task : int;
   wmutex : Mutex.t;
   mutable alive : bool;  (* guarded by wmutex *)
+  mutable last_rx : float;
+      (* instant of the last bytes read from the peer — updated on every
+         partial read, so a large frame trickling in still counts as
+         liveness even though no complete message arrives for a while *)
 }
 
 let peer_name c = Printf.sprintf "%s/%d" c.peer_job c.peer_task
 
 let create fd ~peer_job ~peer_task =
-  { fd; peer_job; peer_task; wmutex = Mutex.create (); alive = true }
+  {
+    fd;
+    peer_job;
+    peer_task;
+    wmutex = Mutex.create ();
+    alive = true;
+    last_rx = Unix.gettimeofday ();
+  }
 
 (* Idempotent teardown: shutdown wakes the reader thread blocked in
    [Unix.read] (it sees EOF), close releases the descriptor. *)
@@ -91,7 +102,13 @@ let write_raw c s =
    write error, or an injected connection drop. *)
 let send c msg =
   let frame = Message.to_frame msg in
-  let bytes = Frame.encode frame in
+  let bytes =
+    try Frame.encode frame
+    with Frame.Frame_error e ->
+      (* oversized payload: fail this send with a structured error
+         instead of tearing the connection down at the receiver *)
+      raise (net_failure c (Frame.error_to_string e))
+  in
   match
     FI.net_hook ~peer:(peer_name c) ~kind:(Message.kind msg)
       ~key:(Message.key msg) ~step_id:frame.Frame.stream_id
@@ -127,8 +144,9 @@ let reader_loop c ~on_message ~on_close =
   let reason = ref Remote_closed in
   (try
      let continue = ref true in
+     let on_chunk _ = c.last_rx <- Unix.gettimeofday () in
      while !continue do
-       let frame = Frame.read_fd c.fd in
+       let frame = Frame.read_fd ~on_chunk c.fd in
        Metrics.Counter.incr m_frames_received;
        Metrics.Counter.add m_bytes_received
          (Frame.header_size + String.length frame.Frame.payload);

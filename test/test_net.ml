@@ -9,6 +9,7 @@ module Frame = Octf_net.Frame
 module Message = Octf_net.Message
 module Wire = Octf_net.Wire
 module Runtime = Octf_net.Runtime
+module Transport = Octf_net.Transport
 
 (* Like [Session.run_unit] where success is expected, but a failure
    reports its structured cause instead of an opaque [Run_error _]. *)
@@ -82,6 +83,15 @@ let test_malformed_frames () =
           Alcotest.failf "truncated at %d: got %s" len
             (match r with Ok _ -> "Ok" | Error e -> Frame.error_kind e))
     [ 0; 5; Frame.header_size - 1; Frame.header_size + 2 ]
+
+let test_encode_rejects_oversize_payload () =
+  (* Send-side validation: an oversized payload must fail fast in the
+     sender with a typed error, not be rejected by the receiver as a
+     generic connection teardown (or wrap the u32 length field). *)
+  let payload = String.make (Frame.max_payload + 1) 'x' in
+  match Frame.encode (Frame.v Frame.Tensor payload) with
+  | _ -> Alcotest.fail "oversize payload must not encode"
+  | exception Frame.Frame_error (Frame.Invalid_length _) -> ()
 
 let test_frame_checksum_positional () =
   (* The checksum must catch transposed bytes, not just changed ones. *)
@@ -596,10 +606,219 @@ let test_heartbeat_detects_wedged_peer () =
           Alcotest.failf "expected Network_error, got %s"
             (Step_failure.cause_kind c))
 
+let test_write_to_dead_peer_is_structured () =
+  (* Runtime.create ignores SIGPIPE process-wide, so a write racing a
+     peer's death raises EPIPE and surfaces as a structured
+     Network_error — with the default disposition it would kill the
+     whole test process right here. *)
+  let rt =
+    Runtime.create (Runtime.config ~job:"worker" ~task:0 ~cluster:[] ())
+  in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  let conn = Transport.create a ~peer_job:"ps" ~peer_task:0 in
+  Fun.protect ~finally:(fun () -> Transport.close conn) @@ fun () ->
+  match
+    for _ = 1 to 16 do
+      Transport.send conn (Message.Ping { seq = 1 })
+    done
+  with
+  | () -> Alcotest.fail "writes to a closed peer must fail"
+  | exception Step_failure.Error f -> (
+      match f.Step_failure.cause with
+      | Step_failure.Network_error _ -> ()
+      | c ->
+          Alcotest.failf "expected Network_error, got %s"
+            (Step_failure.cause_kind c))
+  | exception e ->
+      Alcotest.failf "expected a structured failure, got %s"
+        (Printexc.to_string e)
+
+let test_chief_restart_reuses_low_step_ids () =
+  (* A restarted chief's session counter starts over at step 1. The
+     surviving ps retired that id on behalf of the dead chief; the new
+     chief's connection must purge those retirements, or its tensors
+     are dropped as "late" and its early steps hang to the rpc
+     timeout. *)
+  let ps_port = free_port () and worker_port = free_port () in
+  let cluster =
+    [ (("ps", 0), { Runtime.host = "127.0.0.1"; port = ps_port });
+      (("worker", 0), { Runtime.host = "127.0.0.1"; port = worker_port }) ]
+  in
+  let ps = spawn_party ~job:"ps" ~cluster in
+  let mk_chief () =
+    Runtime.create
+      (Runtime.config ~job:"worker" ~task:0 ~cluster ~heartbeat_interval:0.05
+         ~heartbeat_misses:3 ~connect_timeout:1.0 ~rpc_timeout:5.0
+         ~backoff:(Backoff.policy ~base:0.02 ())
+         ())
+  in
+  let chief1 = mk_chief () in
+  let chief2 = ref None in
+  Fun.protect ~finally:(fun () ->
+      Runtime.shutdown chief1;
+      (match !chief2 with Some rt -> Runtime.shutdown rt | None -> ());
+      Runtime.shutdown ps.rt)
+  @@ fun () ->
+  (* Chief #1 runs step 1 on the ps, which retires the id afterwards. *)
+  (match
+     (Runtime.runner chief1).Remote.run_partitions ~job:"ps" ~task:0
+       ~step_id:1 ~feeds:[] ~fetches:[] ~targets:[] ~deadline:None
+       ~cancel:None
+   with
+  | Ok _ -> ()
+  | Error f ->
+      Alcotest.failf "chief #1 step failed: %s" (Step_failure.to_string f));
+  Runtime.shutdown chief1;
+  (* Chief #2 is the restarted chief process: same identity, fresh step
+     counter. Its tensor for step 1 must reach the ps's rendezvous, not
+     be dropped against the dead chief's retirement of the same id. *)
+  let rt2 = mk_chief () in
+  chief2 := Some rt2;
+  let key =
+    Rendezvous.step_key ~step_id:1
+      ~send_device:"/job:worker/task:0/device:CPU:0"
+      ~recv_device:"/job:ps/task:0/device:CPU:0" ~tensor_name:"probe:0"
+  in
+  let deadline = Unix.gettimeofday () +. 8.0 in
+  let rec attempt () =
+    match
+      Rendezvous.send (Runtime.rendezvous rt2) ~key
+        (Value.Tensor (Tensor.scalar_f 7.0))
+    with
+    | () -> ()
+    | exception Step_failure.Error _ when Unix.gettimeofday () < deadline ->
+        (* reconnect pacing: early dials may fail fast *)
+        Thread.delay 0.05;
+        attempt ()
+  in
+  attempt ();
+  let rec wait () =
+    match Rendezvous.try_recv (Runtime.rendezvous ps.rt) ~key with
+    | Some _ -> ()
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "restarted chief's step-1 tensor was dropped as late"
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+  in
+  wait ()
+
+let test_slow_frame_counts_as_liveness () =
+  (* A peer pushing one large frame cannot interleave pongs (its write
+     mutex is held for the duration), and no complete message arrives
+     at the receiver until the frame ends. Byte arrival alone must keep
+     the connection alive well past the heartbeat miss budget. *)
+  let port = free_port () in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listener 1;
+  let client_fd = ref None in
+  let dribbler =
+    Thread.create
+      (fun () ->
+        match Unix.accept listener with
+        | exception Unix.Unix_error _ -> ()
+        | client, _ ->
+            client_fd := Some client;
+            (* Handshake, then drain the chief's frames (pings,
+               run_step) on the side so its writes never block. *)
+            let (_ : Frame.t) = Frame.read_fd client in
+            Frame.write_fd client
+              (Message.to_frame
+                 (Message.Hello
+                    { version = Message.version; job = "ps"; task = 0 }));
+            ignore
+              (Thread.create
+                 (fun () ->
+                   try
+                     while true do
+                       ignore (Frame.read_fd client)
+                     done
+                   with _ -> ())
+                 ());
+            (* Dribble one tensor frame over ~0.8 s — more than five
+               times the miss budget — never answering a single ping. *)
+            let bytes =
+              Frame.encode
+                (Message.to_frame
+                   (Message.Tensor
+                      {
+                        key = "step:1;a;b;slow:0";
+                        value =
+                          Value.Tensor
+                            (Tensor.of_float_array [| 256 |]
+                               (Array.make 256 1.0));
+                      }))
+            in
+            let n = String.length bytes in
+            let chunk = max 1 ((n + 15) / 16) in
+            let off = ref 0 in
+            (try
+               while !off < n do
+                 let len = min chunk (n - !off) in
+                 ignore (Unix.write_substring client bytes !off len);
+                 off := !off + len;
+                 Thread.delay 0.05
+               done
+             with Unix.Unix_error _ -> ()))
+      ()
+  in
+  let cluster = [ (("ps", 0), { Runtime.host = "127.0.0.1"; port }) ] in
+  let rt =
+    Runtime.create
+      (Runtime.config ~job:"worker" ~task:0 ~cluster ~heartbeat_interval:0.05
+         ~heartbeat_misses:3 ~connect_timeout:1.0 ~rpc_timeout:30.0
+         ~backoff:(Backoff.policy ~base:0.02 ())
+         ())
+  in
+  let runner = Runtime.runner rt in
+  (* Dial the slow ps; the rpc itself never completes and is failed by
+     the shutdown below. *)
+  let rpc =
+    Thread.create
+      (fun () ->
+        ignore
+          (runner.Remote.run_partitions ~job:"ps" ~task:0 ~step_id:1 ~feeds:[]
+             ~fetches:[] ~targets:[] ~deadline:None ~cancel:None))
+      ()
+  in
+  Fun.protect ~finally:(fun () ->
+      Runtime.shutdown rt;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (match !client_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      Thread.join dribbler;
+      Thread.join rpc)
+  @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait () =
+    match
+      Rendezvous.try_recv (Runtime.rendezvous rt) ~key:"step:1;a;b;slow:0"
+    with
+    | Some _ -> ()
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail
+            "slow frame never arrived: heartbeat cut the connection mid-frame"
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+  in
+  wait ()
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_frame_roundtrip;
     Alcotest.test_case "malformed frames" `Quick test_malformed_frames;
+    Alcotest.test_case "encode rejects oversize payload" `Quick
+      test_encode_rejects_oversize_payload;
     Alcotest.test_case "checksum is positional" `Quick
       test_frame_checksum_positional;
     Alcotest.test_case "wire tensor roundtrip" `Quick
@@ -627,4 +846,10 @@ let suite =
       test_two_runtime_training_and_recovery;
     Alcotest.test_case "heartbeat detects wedged peer" `Quick
       test_heartbeat_detects_wedged_peer;
+    Alcotest.test_case "dead-peer write is structured" `Quick
+      test_write_to_dead_peer_is_structured;
+    Alcotest.test_case "chief restart reuses low step ids" `Quick
+      test_chief_restart_reuses_low_step_ids;
+    Alcotest.test_case "slow frame counts as liveness" `Quick
+      test_slow_frame_counts_as_liveness;
   ]
