@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline fault-smoke metrics-smoke pipeline-smoke dist-smoke ci clean
+.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline bench-serving fault-smoke metrics-smoke pipeline-smoke serving-smoke dist-smoke ci clean
 
 all: build
 
@@ -34,6 +34,24 @@ bench-memory:
 # CI speed.
 bench-pipeline:
 	dune exec bench/main.exe -- pipeline
+
+# Frozen-graph serving throughput: 8 pipelined clients against the
+# miniature MNIST convnet, micro-batched vs batch-size-1; writes
+# BENCH_serving.json (req/s, p50/p99) and fails if coalescing is less
+# than 2x. Full sizes — set OCTF_BENCH_SMOKE=1 for CI speed.
+bench-serving:
+	dune exec bench/main.exe -- serving
+
+# End-to-end serve smoke: freeze both model zoo entries from a live
+# session, drive them with concurrent clients through the CLI, and
+# require that requests actually coalesced (--assert-batched); then
+# the serving benchmark in smoke sizes.
+serving-smoke:
+	dune exec bin/octf_cli.exe -- serve --model mnist-cnn \
+	  --train-steps 10 --clients 4 --requests 20 --assert-batched
+	dune exec bin/octf_cli.exe -- serve --model lstm \
+	  --train-steps 10 --clients 4 --requests 20 --assert-batched
+	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- serving
 
 # Deterministic-seed smoke for the fault injector: the same seed must
 # reproduce the same fault sequence.
@@ -71,7 +89,7 @@ dist-smoke: build
 	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario dropconn
 	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario framedelay
 
-ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke dist-smoke
+ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke serving-smoke dist-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
 	OCTF_INTRA_OP_THREADS=1 OCTF_SCHEDULER=inline dune runtest --force
 	OCTF_INTRA_OP_THREADS=4 OCTF_SCHEDULER=inline dune runtest --force

@@ -448,8 +448,11 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
     ~finally:(fun () -> Option.iter Octf_net.Runtime.shutdown rt)
   @@ fun () ->
   let session =
-    Octf.Cluster.session cluster ~scheduler ?max_in_flight
-      ?remote:(Option.map Octf_net.Runtime.runner rt)
+    Octf.Cluster.session cluster
+      ~config:
+        (Octf.Session.Config.v ~scheduler ?max_in_flight
+           ?remote:(Option.map Octf_net.Runtime.runner rt)
+           ())
       (B.graph b)
   in
   Option.iter (fun rt -> Octf_net.Runtime.serve rt ~session) rt;
@@ -629,7 +632,8 @@ let worker job task entries lr fault fault_seed =
   let cluster = octf_cluster_of_entries entries in
   let session =
     Octf.Cluster.session cluster
-      ~remote:(Octf_net.Runtime.runner rt)
+      ~config:
+        (Octf.Session.Config.v ~remote:(Octf_net.Runtime.runner rt) ())
       (B.graph fg.fg_builder)
   in
   Octf_net.Runtime.serve rt ~session;
@@ -768,7 +772,8 @@ let dist_smoke scenario steps lr =
   let cluster = octf_cluster_of_entries entries in
   let session =
     Octf.Cluster.session cluster
-      ~remote:(Octf_net.Runtime.runner rt)
+      ~config:
+        (Octf.Session.Config.v ~remote:(Octf_net.Runtime.runner rt) ())
       (B.graph fg.fg_builder)
   in
   Octf_net.Runtime.serve rt ~session;
@@ -920,7 +925,11 @@ let fault_smoke seed steps scheduler intra_op =
     let x = B.const b (Tensor.ones Dtype.F32 [| 4; 4 |]) in
     let w = Vs.get store ~init:Octf_nn.Init.zeros ~name:"w" [| 4; 4 |] in
     let out = B.reduce_sum b (B.matmul b x w.Vs.read) in
-    let session = Octf.Session.create ~scheduler (B.graph b) in
+    let session =
+      Octf.Session.create
+        ~config:(Octf.Session.Config.v ~scheduler ())
+        (B.graph b)
+    in
     Octf.Session.run_unit session [ Vs.init_op store ];
     let failures = ref 0 in
     for _ = 1 to steps do
@@ -964,6 +973,303 @@ let fault_smoke_cmd =
        ~doc:"Check that seeded fault injection is deterministic")
     Term.(const fault_smoke $ seed $ steps $ scheduler_arg $ intra_op_arg)
 
+(* ------------------------------ serve ------------------------------ *)
+
+(* Inference serving (ISSUE 8): train a model briefly, freeze it
+   (variables folded to constants, graph pruned to the inference
+   subgraph), then drive the micro-batching server with concurrent
+   client threads and report throughput and latency percentiles. *)
+
+module Serving = Octf_serving.Serving
+
+type serve_model = {
+  sm_name : string;
+  sm_session : Octf.Session.t;  (* trained live session *)
+  sm_inputs : B.output list;
+  sm_outputs : B.output list;
+  sm_example : Rng.t -> Tensor.t list;  (* one per-example request *)
+}
+
+let serve_mnist_cnn ~train_steps ~scheduler =
+  let module Vs = Octf_nn.Var_store in
+  let module L = Octf_nn.Layers in
+  let classes = 4 and image_size = 12 and batch = 16 in
+  let b = B.create () in
+  let store = Vs.create b in
+  (* Direct placeholders (no queue pipeline): the serving path feeds
+     stacked request tensors straight into the frozen step. *)
+  let pixels = B.placeholder b ~name:"pixels" Dtype.F32 in
+  let labels = B.placeholder b ~name:"labels" Dtype.I32 in
+  let conv1 =
+    L.conv2d store ~activation:`Relu ~name:"conv1" ~in_channels:1
+      ~out_channels:8 ~ksize:(3, 3) pixels
+  in
+  let pool1 = L.max_pool2d b ~ksize:(2, 2) conv1 in
+  let conv2 =
+    L.conv2d store ~activation:`Relu ~name:"conv2" ~in_channels:8
+      ~out_channels:16 ~ksize:(3, 3) pool1
+  in
+  let pool2 = L.max_pool2d b ~ksize:(2, 2) conv2 in
+  let side = image_size / 4 in
+  let flat = L.flatten b ~features:(side * side * 16) pool2 in
+  let hidden =
+    L.dense store ~activation:`Relu ~name:"fc1"
+      ~in_dim:(side * side * 16)
+      ~out_dim:32 flat
+  in
+  let logits = L.dense store ~name:"logits" ~in_dim:32 ~out_dim:classes hidden in
+  let loss =
+    Octf_nn.Losses.sparse_softmax_cross_entropy_mean b ~num_classes:classes
+      ~logits ~labels
+  in
+  let train_op =
+    Octf_train.Optimizer.minimize store
+      ~algorithm:Octf_train.Optimizer.adam_default ~lr:0.003 ~loss ()
+  in
+  let session =
+    Octf.Session.create
+      ~config:(Octf.Session.Config.v ~scheduler ())
+      (B.graph b)
+  in
+  Octf.Session.run_unit session [ Vs.init_op store ];
+  let rng = Rng.create 5 in
+  for _ = 1 to train_steps do
+    let imgs =
+      Octf_data.Synthetic.image_batch rng ~batch ~size:image_size ~channels:1
+        ~classes
+    in
+    Octf.Session.run_unit
+      ~feeds:
+        [
+          (pixels, imgs.Octf_data.Synthetic.pixels);
+          (labels, imgs.Octf_data.Synthetic.labels);
+        ]
+      session [ train_op ]
+  done;
+  let example rng =
+    let imgs =
+      Octf_data.Synthetic.image_batch rng ~batch:1 ~size:image_size ~channels:1
+        ~classes
+    in
+    [
+      Tensor.reshape imgs.Octf_data.Synthetic.pixels
+        [| image_size; image_size; 1 |];
+    ]
+  in
+  {
+    sm_name = "mnist-cnn";
+    sm_session = session;
+    sm_inputs = [ pixels ];
+    sm_outputs = [ logits ];
+    sm_example = example;
+  }
+
+let serve_lstm ~train_steps ~scheduler =
+  let module Vs = Octf_nn.Var_store in
+  let units = 64 and input_dim = 32 and batch = 16 in
+  let b = B.create () in
+  let store = Vs.create b in
+  let cell = Octf_nn.Lstm.cell store ~name:"cell" ~input_dim ~units in
+  (* One recurrence step as the served computation; the request carries
+     the input and the running (h, c) state — a three-input signature. *)
+  let x = B.placeholder b ~name:"x" Dtype.F32 in
+  let h = B.placeholder b ~name:"h" Dtype.F32 in
+  let c = B.placeholder b ~name:"c" Dtype.F32 in
+  let h', c' = Octf_nn.Lstm.step cell b ~x ~h ~c in
+  let loss = B.reduce_mean b (B.square b h') in
+  let train_op = Octf_train.Optimizer.minimize store ~lr:0.05 ~loss () in
+  let session =
+    Octf.Session.create
+      ~config:(Octf.Session.Config.v ~scheduler ())
+      (B.graph b)
+  in
+  Octf.Session.run_unit session [ Vs.init_op store ];
+  let rng = Rng.create 7 in
+  for _ = 1 to train_steps do
+    let xs = Tensor.uniform rng [| batch; input_dim |] ~lo:(-1.0) ~hi:1.0 in
+    let zeros = Tensor.zeros Dtype.F32 [| batch; units |] in
+    Octf.Session.run_unit
+      ~feeds:[ (x, xs); (h, zeros); (c, zeros) ]
+      session [ train_op ]
+  done;
+  let example rng =
+    [
+      Tensor.uniform rng [| input_dim |] ~lo:(-1.0) ~hi:1.0;
+      Tensor.zeros Dtype.F32 [| units |];
+      Tensor.zeros Dtype.F32 [| units |];
+    ]
+  in
+  {
+    sm_name = "lstm";
+    sm_session = session;
+    sm_inputs = [ x; h; c ];
+    sm_outputs = [ h'; c' ];
+    sm_example = example;
+  }
+
+let percentile sorted p =
+  if Array.length sorted = 0 then nan
+  else
+    sorted.(min
+              (Array.length sorted - 1)
+              (int_of_float (p *. float_of_int (Array.length sorted))))
+
+let serve model train_steps clients requests max_batch max_delay_ms
+    queue_capacity deadline_ms assert_batched scheduler intra_op planning
+    pool_mb metrics =
+  apply_intra_op intra_op;
+  apply_memory planning pool_mb;
+  if metrics <> None then Octf.Metrics.set_kernel_timing true;
+  let sm =
+    match model with
+    | `Mnist_cnn -> serve_mnist_cnn ~train_steps ~scheduler
+    | `Lstm -> serve_lstm ~train_steps ~scheduler
+  in
+  let frozen =
+    Serving.freeze_session
+      ~config:(Octf.Session.Config.v ~scheduler ())
+      ~inputs:sm.sm_inputs ~outputs:sm.sm_outputs sm.sm_session
+  in
+  let total = Octf.Graph.node_count (Octf.Session.graph sm.sm_session) in
+  let kept =
+    Serving.inference_node_count frozen ~inputs:sm.sm_inputs
+      ~outputs:sm.sm_outputs
+  in
+  Format.printf "model: %s — frozen inference subgraph: %d of %d nodes@."
+    sm.sm_name kept total;
+  let server =
+    Serving.create ~name:sm.sm_name ~max_batch_size:max_batch
+      ~max_queue_delay:(max_delay_ms /. 1000.0)
+      ~queue_capacity
+      ?default_deadline:(deadline_of_ms deadline_ms)
+      ~session:frozen ~inputs:sm.sm_inputs ~outputs:sm.sm_outputs ()
+  in
+  let latencies = Array.make_matrix clients requests nan in
+  let served = Array.make clients 0
+  and shed = Array.make clients 0
+  and failed = Array.make clients 0 in
+  let t0 = Unix.gettimeofday () in
+  let client ci =
+    let rng = Rng.create (100 + ci) in
+    for ri = 0 to requests - 1 do
+      let s = Unix.gettimeofday () in
+      match Serving.infer server (sm.sm_example rng) with
+      | Ok _ ->
+          latencies.(ci).(ri) <- Unix.gettimeofday () -. s;
+          served.(ci) <- served.(ci) + 1
+      | Error { Octf.Step_failure.cause = Octf.Step_failure.Overloaded _; _ }
+        ->
+          shed.(ci) <- shed.(ci) + 1;
+          (* back off briefly instead of hammering a shedding server *)
+          Thread.delay 0.002
+      | Error _ -> failed.(ci) <- failed.(ci) + 1
+    done
+  in
+  let threads = List.init clients (fun ci -> Thread.create client ci) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let ok = Array.fold_left ( + ) 0 served in
+  let lat =
+    Array.of_list
+      (List.filter
+         (fun l -> not (Float.is_nan l))
+         (List.concat_map Array.to_list (Array.to_list latencies)))
+  in
+  Array.sort compare lat;
+  let stats = Serving.stats server in
+  Serving.shutdown server;
+  Format.printf "clients: %d, requests/client: %d@." clients requests;
+  Format.printf "served %d/%d, shed %d, failed %d@." ok (clients * requests)
+    (Array.fold_left ( + ) 0 shed)
+    (Array.fold_left ( + ) 0 failed);
+  Format.printf "throughput: %.0f req/s@." (float_of_int ok /. wall);
+  Format.printf "latency: p50 %.1f ms, p99 %.1f ms@."
+    (1000.0 *. percentile lat 0.50)
+    (1000.0 *. percentile lat 0.99);
+  Format.printf "batches: %d (mean %.1f, max %d)@." stats.Serving.batches
+    (if stats.Serving.batches = 0 then 0.0
+     else float_of_int stats.Serving.served /. float_of_int stats.Serving.batches)
+    stats.Serving.max_batch;
+  dump_metrics metrics;
+  if assert_batched && stats.Serving.max_batch < 2 then begin
+    Format.printf "FAIL: no request coalescing happened@.";
+    exit 1
+  end;
+  if ok = 0 then begin
+    Format.printf "FAIL: no request was served@.";
+    exit 1
+  end
+
+let serve_cmd =
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("mnist-cnn", `Mnist_cnn); ("lstm", `Lstm) ]) `Mnist_cnn
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "$(b,mnist-cnn) (convnet classifier, one image per request) or \
+             $(b,lstm) (one recurrence step; each request carries x, h, c).")
+  in
+  let train_steps =
+    Arg.(
+      value & opt int 30
+      & info [ "train-steps" ]
+          ~doc:"Training steps before the model is frozen.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~doc:"Concurrent client threads.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 40
+      & info [ "requests" ] ~doc:"Requests issued by each client.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ]
+          ~doc:
+            "Micro-batch size cap; $(b,1) disables coalescing (the \
+             baseline the bench compares against).")
+  in
+  let max_delay_ms =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-delay-ms" ]
+          ~doc:
+            "Longest a queued request may wait for batch-mates before \
+             its batch is dispatched anyway.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ]
+          ~doc:
+            "Admission high-watermark: submits beyond this many queued \
+             requests are shed with a structured Overloaded rejection.")
+  in
+  let assert_batched =
+    Arg.(
+      value & flag
+      & info [ "assert-batched" ]
+          ~doc:
+            "Exit non-zero unless at least one dispatched batch \
+             coalesced two or more requests (used by $(b,make \
+             serving-smoke)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Freeze a briefly-trained model and serve it: concurrent clients, \
+          dynamic micro-batching, deadlines and load shedding")
+    Term.(
+      const serve $ model $ train_steps $ clients $ requests $ max_batch
+      $ max_delay_ms $ queue_capacity $ deadline_arg $ assert_batched
+      $ scheduler_arg $ intra_op_arg $ memory_planning_arg
+      $ buffer_pool_mb_arg $ metrics_arg)
+
 (* ------------------------------ trace ------------------------------ *)
 
 let trace out scheduler intra_op planning pool_mb metrics =
@@ -983,7 +1289,11 @@ let trace out scheduler intra_op planning pool_mb metrics =
   in
   let loss = Octf.Builder.reduce_mean b (Octf.Builder.square b logits) in
   let train_op = Octf_train.Optimizer.minimize store ~lr:0.01 ~loss () in
-  let session = Octf.Session.create ~scheduler (B.graph b) in
+  let session =
+    Octf.Session.create
+      ~config:(Octf.Session.Config.v ~scheduler ())
+      (B.graph b)
+  in
   Octf.Session.run_unit session [ Vs.init_op store ];
   let _, md =
     Octf.Session.run_with_metadata
@@ -1029,6 +1339,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            simulate_cmd; train_cmd; trace_cmd; fault_smoke_cmd; worker_cmd;
-            dist_smoke_cmd;
+            simulate_cmd; train_cmd; serve_cmd; trace_cmd; fault_smoke_cmd;
+            worker_cmd; dist_smoke_cmd;
           ]))

@@ -138,9 +138,46 @@ let () =
   done;
   Octf.Session.run_unit ~feeds:eval_feed session2
     [ Octf_data.Pipeline.enqueue_op pipeline ];
-  match Octf.Session.run session2 [ accuracy ] with
+  (match Octf.Session.run session2 [ accuracy ] with
   | [ a ] ->
       Printf.printf "after restore + fine-tune: accuracy %.2f\n"
         (Tensor.flat_get_f a 0);
       Sys.remove ckpt
-  | _ -> assert false
+  | _ -> assert false);
+
+  (* Serving epilogue: freeze the fine-tuned model — variables folded
+     into constants, graph pruned to the inference subgraph — and
+     answer single-image requests through the micro-batching server.
+     The inference tower shares the store's weights but reads from a
+     direct placeholder: the queue pipeline is training-only state and
+     must not survive the freeze. *)
+  let module Serving = Octf_serving.Serving in
+  let serve_pixels = B.placeholder b ~name:"serve_pixels" Dtype.F32 in
+  let serve_logits = build_model store serve_pixels in
+  let frozen =
+    Serving.freeze_session ~inputs:[ serve_pixels ] ~outputs:[ serve_logits ]
+      session2
+  in
+  let server =
+    Serving.create ~name:"mnist" ~max_batch_size:4 ~max_queue_delay:0.001
+      ~session:frozen ~inputs:[ serve_pixels ] ~outputs:[ serve_logits ] ()
+  in
+  let request =
+    let imgs =
+      Octf_data.Synthetic.image_batch feed_rng ~batch:1 ~size:image_size
+        ~channels:1 ~classes
+    in
+    Tensor.reshape imgs.Octf_data.Synthetic.pixels
+      [| image_size; image_size; 1 |]
+  in
+  (match Serving.infer server [ request ] with
+  | Ok [ scores ] ->
+      let best = ref 0 in
+      for k = 1 to classes - 1 do
+        if Tensor.flat_get_f scores k > Tensor.flat_get_f scores !best then
+          best := k
+      done;
+      Printf.printf "served one frozen inference: class %d\n" !best
+  | Ok _ -> assert false
+  | Error f -> failwith (Octf.Step_failure.to_string f));
+  Serving.shutdown server

@@ -58,7 +58,10 @@ let restart_task t ~job ~task =
       Resource_manager.clear tk.resources
   | None -> raise (missing_task t ~job ~task)
 
-let session ?seed ?optimize ?scheduler ?max_in_flight ?barrier ?remote t
-    graph =
-  Session.create ~devices:(devices t) ~resource_router:(resources_of t) ?seed
-    ?optimize ?scheduler ?max_in_flight ?barrier ?remote graph
+let session ?config ?seed ?optimize ?scheduler ?max_in_flight ?barrier
+    ?remote t graph =
+  (* The cluster owns the device list and the per-task resource
+     routing; everything else comes from the caller's config. *)
+  Session.create ?config ~devices:(devices t)
+    ~resource_router:(resources_of t) ?seed ?optimize ?scheduler
+    ?max_in_flight ?barrier ?remote graph

@@ -41,6 +41,7 @@ val restart_task : t -> job:string -> task:int -> unit
     @raise Step_failure.Error ([Missing_task]) for unknown tasks. *)
 
 val session :
+  ?config:Session.Config.t ->
   ?seed:int ->
   ?optimize:bool ->
   ?scheduler:Scheduler.policy ->
@@ -50,9 +51,12 @@ val session :
   t ->
   Graph.t ->
   Session.t
-(** A master session executing over every device in the cluster. With
-    [~scheduler:Scheduler.Pool] every partition dispatches its ready
-    kernels onto the one shared domain pool, so a multi-task step uses
-    all cores instead of time-slicing partition threads on one.
-    [max_in_flight]/[barrier] configure the pipeline depth for
-    {!Session.run_async} (see {!Session.create}). *)
+(** A master session executing over every device in the cluster: a
+    {!Session.create} whose [devices] and [resource_router] come from
+    the cluster and whose remaining knobs come from [config] (the
+    [devices]/[resource_router] fields of [config] are ignored). The
+    bare labels are the same deprecated wrappers as on
+    {!Session.create}. With [~scheduler:Scheduler.Pool] every
+    partition dispatches its ready kernels onto the one shared domain
+    pool, so a multi-task step uses all cores instead of time-slicing
+    partition threads on one. *)

@@ -75,6 +75,20 @@ let add_node g ?name ?(inputs = []) ?(control_inputs = [])
   g.count <- g.count + 1;
   node
 
+(* Structurally independent copy. Node records are duplicated (their
+   [assigned_device] field is mutable and [inputs] arrays are mutated
+   through [set_input]'s record replacement only on the owning graph),
+   so in-place rewrites on the copy leave the original untouched. *)
+let copy g =
+  let nodes =
+    Array.init (Array.length g.nodes) (fun i ->
+        let n = g.nodes.(i) in
+        if i < g.count then
+          { n with Node.inputs = Array.copy n.inputs; assigned_device = None }
+        else n)
+  in
+  { nodes; count = g.count; names = Hashtbl.copy g.names }
+
 let find_by_name g name =
   match Hashtbl.find_opt g.names name with
   | None -> None

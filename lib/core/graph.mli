@@ -23,6 +23,15 @@ val add_node :
 (** Append a node. If [name] is omitted (or already taken) a unique name
     is derived from the op type. *)
 
+val copy : t -> t
+(** A structurally independent copy: same node ids, names and edges, so
+    {!Builder.output}s built against the original address the copy too.
+    Device assignments are cleared (the copy is placed from scratch by
+    whatever session compiles it). In-place rewrites ({!Graph_optimizer})
+    on the copy leave the original untouched — how a frozen inference
+    graph is derived without corrupting the training graph
+    ([Octf_serving]). *)
+
 val node_count : t -> int
 
 val get : t -> int -> Node.t

@@ -156,6 +156,84 @@ let cse graph ~nodes ~fed =
     order;
   !merged
 
+(* Fold trained variables into constants. Every [Read] in the step whose
+   producing [Variable]'s name the lookup resolves is redirected to a
+   [Const] holding the tensor; one Const is shared by all Reads of the
+   same variable. The Variables themselves become dead and fall to the
+   next prune. *)
+let freeze graph ~nodes ~fed ~lookup =
+  let frozen = ref 0 in
+  let in_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+  let const_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let n = Graph.get graph id in
+      if
+        n.Node.op_type = "Read"
+        && (not (Hashtbl.mem fed id))
+        && Array.length n.Node.inputs > 0
+      then
+        let producer = Graph.get graph n.Node.inputs.(0).Node.node_id in
+        if producer.Node.op_type = "Variable" then
+          let var_name = producer.Node.name in
+          let const_id =
+            match Hashtbl.find_opt const_of var_name with
+            | Some cid -> Some cid
+            | None -> (
+                match lookup var_name with
+                | None -> None
+                | Some tensor ->
+                    let const =
+                      Graph.add_node graph
+                        ~name:(var_name ^ "/frozen")
+                        ~attrs:[ ("value", Attr.Tensor tensor) ]
+                        ~device:n.Node.device_spec ~op_type:"Const" ()
+                    in
+                    Hashtbl.replace const_of var_name const.Node.id;
+                    Some const.Node.id)
+          in
+          match const_id with
+          | None -> ()
+          | Some new_id ->
+              redirect graph ~old_id:id ~new_id;
+              incr frozen)
+    nodes;
+  !frozen
+
+type pass =
+  | Prune
+  | Constant_fold
+  | Cse
+  | Freeze of (string -> Tensor.t option)
+
+(* The mid-pipeline Prune refreshes the node set so Consts minted by
+   folding are visible to CSE (rewriting passes only see the current
+   set; new nodes enter it at the next prune). *)
+let default_pipeline = [ Constant_fold; Prune; Cse; Prune ]
+
+let pass_name = function
+  | Prune -> "prune"
+  | Constant_fold -> "constant_fold"
+  | Cse -> "cse"
+  | Freeze _ -> "freeze"
+
+let run graph ~passes ~feeds ~fetches ~targets =
+  let fed = Hashtbl.create 8 in
+  List.iter (fun (e : Node.endpoint) -> Hashtbl.replace fed e.node_id ()) feeds;
+  let prune () = Pruner.prune graph ~feeds ~fetches ~targets in
+  (* The step definition itself is the initial node set. *)
+  let nodes = ref (prune ()) in
+  List.iter
+    (fun pass ->
+      match pass with
+      | Prune -> nodes := prune ()
+      | Constant_fold -> ignore (constant_fold graph ~nodes:!nodes ~fed)
+      | Cse -> ignore (cse graph ~nodes:!nodes ~fed)
+      | Freeze lookup -> ignore (freeze graph ~nodes:!nodes ~fed ~lookup))
+    passes;
+  !nodes
+
 let optimize graph ~nodes ~feeds =
   let fed = Hashtbl.create 8 in
   List.iter (fun (e : Node.endpoint) -> Hashtbl.replace fed e.node_id ()) feeds;

@@ -1,21 +1,71 @@
-(** Master-side graph optimizations (§5).
+(** Master-side graph optimizations (§5), as a declared pass pipeline.
 
     "Since the master sees the overall computation for a step, it applies
     standard optimizations such as common subexpression elimination and
     constant folding; pruning is a form of dead code elimination."
 
-    Both passes rewrite the graph in place by repointing consumer edges:
-    constant folding evaluates pure operations whose inputs are all
-    constants and replaces them with [Const] nodes; CSE merges pure
-    operations with identical type, attributes, inputs and constraints.
-    Rewrites never mutate an existing node's input array in place (a new
-    node record replaces it), so executors holding references to old
-    records are unaffected; callers should re-prune afterwards to drop
-    the disconnected nodes. *)
+    Each step compilation runs a caller-chosen list of {!pass}es over
+    the step's subgraph. Rewriting passes ({!Constant_fold}, {!Cse},
+    {!Freeze}) mutate the graph in place by repointing consumer edges:
+    they never mutate an existing node's input array (a new node record
+    replaces it), so executors holding references to old records are
+    unaffected. A rewrite leaves the losing duplicates disconnected —
+    follow it with a {!Prune} pass (as {!default_pipeline} does) to drop
+    them from the executed node set. *)
+
+open Octf_tensor
+
+(** One step of the optimization pipeline. *)
+type pass =
+  | Prune
+      (** Dead-code elimination (§3.2): recompute the executed node set
+          as everything backward-reachable from the step's fetches and
+          targets, not expanding past fed nodes. Also the required
+          cleanup after any rewriting pass. *)
+  | Constant_fold
+      (** Evaluate pure operations whose inputs are all constants and
+          replace them with [Const] nodes. *)
+  | Cse
+      (** Merge pure operations with identical type, attributes, inputs
+          and placement constraints onto one canonical node. *)
+  | Freeze of (string -> Tensor.t option)
+      (** Fold trained variables into constants: every [Read] whose
+          variable name the lookup resolves is replaced by a [Const]
+          holding the returned tensor. The inference path of the frozen
+          step no longer touches variable state, so a following
+          {!Prune} drops the [Variable] nodes and the whole training
+          subgraph from the executed set. Variables the lookup returns
+          [None] for (e.g. uninitialized) are left untouched. *)
+
+val default_pipeline : pass list
+(** [[Constant_fold; Prune; Cse; Prune]] — what sessions run per step
+    compilation (after {!run}'s implicit initial prune) unless
+    configured otherwise ({!Session.Config.t.passes}). The mid-pipeline
+    prune refreshes the node set so constants minted by folding are
+    visible to CSE: rewriting passes operate on the {e current} set,
+    and nodes added by a rewrite enter it at the next {!Prune}. *)
+
+val pass_name : pass -> string
+(** Stable lowercase name ("prune", "constant_fold", "cse", "freeze")
+    for logs and metrics labels. *)
+
+val run :
+  Graph.t ->
+  passes:pass list ->
+  feeds:Node.endpoint list ->
+  fetches:Node.endpoint list ->
+  targets:int list ->
+  int list
+(** Run the pipeline over the step defined by [feeds]/[fetches]/[targets]
+    and return the node ids the executor should compile (ascending).
+    The pipeline starts from an initial {!Prune} (the step definition
+    itself); each listed pass then transforms the graph or the node
+    set. Fed nodes are never folded, merged or frozen. *)
 
 val optimize : Graph.t -> nodes:int list -> feeds:Node.endpoint list -> unit
-(** Run constant folding then CSE over the given (pruned) node set.
-    Fed nodes are never folded or merged. *)
+(** @deprecated Thin wrapper from before passes were declarable: runs
+    [Constant_fold] then [Cse] over the given node set, without the
+    trailing re-prune. Use {!run}. *)
 
 val is_pure : Node.t -> bool
 (** Operations eligible for folding/merging: stateless, side-effect free,

@@ -1,0 +1,31 @@
+(** Quantization kernels (§5): 8-bit affine quantization in the
+    TF/gemmlowp style, for fast low-precision inference.
+
+    A float tensor is mapped onto the 0..255 code range with its
+    [(min, max)] carried alongside as two scalar tensors; codes travel
+    in int32 tensors. [QuantizedMatMul] accumulates the 8-bit codes in
+    integer arithmetic (the gemmlowp decomposition) and produces the
+    rescaled float result.
+
+    The kernel registrations ([Quantize], [Dequantize],
+    [QuantizedMatMul]) are internal — {!Builtin_kernels.ensure}
+    installs them; only the arithmetic is exposed here for tests. *)
+
+open Octf_tensor
+
+val quantize : Tensor.t -> Tensor.t * float * float
+(** [quantize t] is [(codes, lo, hi)]: int32 codes in 0..255 plus the
+    float range they decode against. The range always includes 0.0 and
+    is widened to a non-degenerate interval for constant tensors. *)
+
+val dequantize : Tensor.t -> float -> float -> Tensor.t
+(** [dequantize codes lo hi] reconstructs the float tensor. *)
+
+val quantized_matmul :
+  Tensor.t -> float -> float -> Tensor.t -> float -> float -> Tensor.t
+(** [quantized_matmul qa a_lo a_hi qb b_lo b_hi]: integer-accumulated
+    product of two quantized 2-D operands, rescaled to float.
+    @raise Invalid_argument on non-2-D operands or inner-dim mismatch. *)
+
+val register : unit -> unit
+(** Install the kernels; called by {!Builtin_kernels.ensure}. *)

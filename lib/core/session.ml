@@ -73,6 +73,54 @@ module Run_metadata = struct
   }
 end
 
+(* Consolidated construction-time configuration — TensorFlow's
+   ConfigProto. [None] fields fall through to the one resolution point
+   in [create]: programmatic value > OCTF_* environment variable >
+   built-in default. *)
+module Config = struct
+  type t = {
+    devices : Device.t list option;
+    resource_router : (Device.t -> Resource_manager.t) option;
+    seed : int option;
+    passes : Graph_optimizer.pass list option;
+    scheduler : Scheduler.policy option;
+    intra_op_threads : int option;
+    memory_planning : bool option;
+    max_in_flight : int option;
+    barrier : bool;
+    remote : Remote.runner option;
+  }
+
+  let default =
+    {
+      devices = None;
+      resource_router = None;
+      seed = None;
+      passes = None;
+      scheduler = None;
+      intra_op_threads = None;
+      memory_planning = None;
+      max_in_flight = None;
+      barrier = false;
+      remote = None;
+    }
+
+  let v ?devices ?resource_router ?seed ?passes ?scheduler ?intra_op_threads
+      ?memory_planning ?max_in_flight ?(barrier = false) ?remote () =
+    {
+      devices;
+      resource_router;
+      seed;
+      passes;
+      scheduler;
+      intra_op_threads;
+      memory_planning;
+      max_in_flight;
+      barrier;
+      remote;
+    }
+end
+
 (* A step in flight. The spawning thread publishes exactly one result
    (or failure) under [h_mutex]; [wait] blocks on [h_cond]. *)
 type handle = {
@@ -96,7 +144,7 @@ type t = {
   cache : (string, compiled_step) Hashtbl.t;
   mutable step_counter : int;
   seed : int;
-  optimize : bool;
+  passes : Graph_optimizer.pass list;
   scheduler : Scheduler.policy;
   memory_planning : bool option;  (* None: follow Mem_plan.enabled () *)
   remote : Remote.runner option;
@@ -123,9 +171,38 @@ let default_max_in_flight () =
   | Some k when k >= 1 -> k
   | _ -> 1
 
-let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
-    ?scheduler ?intra_op_threads ?memory_planning ?max_in_flight
-    ?(barrier = false) ?remote graph =
+let create ?(config = Config.default) ?devices ?resource_router ?seed
+    ?optimize ?passes ?scheduler ?intra_op_threads ?memory_planning
+    ?max_in_flight ?barrier ?remote graph =
+  (* The one resolution point for every construction knob. Precedence:
+     legacy label (deprecated wrappers) > [config] field > OCTF_* env >
+     built-in default. The env lookups live in the per-field defaulting
+     helpers ([Scheduler.default_policy], [Mem_plan.enabled],
+     [default_max_in_flight]). *)
+  let pick legacy field =
+    match legacy with Some _ -> legacy | None -> field
+  in
+  let devices = pick devices config.Config.devices in
+  let resource_router = pick resource_router config.Config.resource_router in
+  let seed =
+    match pick seed config.Config.seed with Some s -> s | None -> 42
+  in
+  let passes =
+    match pick passes config.Config.passes with
+    | Some ps -> ps
+    | None -> (
+        match optimize with
+        | Some false -> [] (* legacy ~optimize:false: prune only *)
+        | _ -> Graph_optimizer.default_pipeline)
+  in
+  let scheduler = pick scheduler config.Config.scheduler in
+  let intra_op_threads = pick intra_op_threads config.Config.intra_op_threads in
+  let memory_planning = pick memory_planning config.Config.memory_planning in
+  let max_in_flight = pick max_in_flight config.Config.max_in_flight in
+  let barrier =
+    match barrier with Some b -> b | None -> config.Config.barrier
+  in
+  let remote = pick remote config.Config.remote in
   (* Process-wide hardware knob, mirroring TF's
      intra_op_parallelism_threads in ConfigProto. *)
   (match intra_op_threads with
@@ -166,7 +243,7 @@ let create ?devices ?resource_router ?(seed = 42) ?(optimize = true)
     cache = Hashtbl.create 8;
     step_counter = 0;
     seed;
-    optimize;
+    passes;
     scheduler;
     memory_planning;
     remote;
@@ -206,16 +283,8 @@ let signature ~feed_eps ~fetch_eps ~target_ids =
 
 let compile t ~feed_eps ~fetch_eps ~target_ids =
   let nodes =
-    Pruner.prune t.graph ~feeds:feed_eps ~fetches:fetch_eps ~targets:target_ids
-  in
-  let nodes =
-    if t.optimize then begin
-      Graph_optimizer.optimize t.graph ~nodes ~feeds:feed_eps;
-      (* Re-prune: folding/CSE leave disconnected duplicates behind. *)
-      Pruner.prune t.graph ~feeds:feed_eps ~fetches:fetch_eps
-        ~targets:target_ids
-    end
-    else nodes
+    Graph_optimizer.run t.graph ~passes:t.passes ~feeds:feed_eps
+      ~fetches:fetch_eps ~targets:target_ids
   in
   (* Place the whole graph, not just this step's pruned subset. In a
      multi-process (SPMD) cluster each process compiles only the steps
@@ -264,26 +333,24 @@ let compile t ~feed_eps ~fetch_eps ~target_ids =
                parts)
       | Error msg -> raise (invalid ("partitioning failed: " ^ msg)))
 
-let value_to_tensor ~what v =
-  match v with
-  | Value.Tensor tensor -> tensor
-  | Value.Resource r ->
-      raise
-        (run_error ~node:what
-           (Step_failure.Fetch_failed
-              (Printf.sprintf "fetch %s produced a reference handle (%s)"
-                 what (Resource.name r))))
-  | Value.Dead ->
-      raise
-        (run_error ~node:what
-           (Step_failure.Fetch_failed
-              (Printf.sprintf "fetch %s produced a dead value" what)))
+let find_or_compile t ~feed_eps ~fetch_eps ~target_ids =
+  with_lock t (fun () ->
+      let sg = signature ~feed_eps ~fetch_eps ~target_ids in
+      match Hashtbl.find_opt t.cache sg with
+      | Some s ->
+          Metrics.Counter.incr m_cache_hits;
+          s
+      | None ->
+          Metrics.Counter.incr m_cache_misses;
+          let s = compile t ~feed_eps ~fetch_eps ~target_ids in
+          Hashtbl.replace t.cache sg s;
+          s)
 
-let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
-    ?(targets = []) t fetches =
-  (* Fetching an output-less operation (a NoOp group such as a train op)
-     means "run it": reroute such fetches to the target list and return
-     a scalar 0 in their position. *)
+(* Normalize a step definition to the endpoint lists forming its cache
+   signature. Fetching an output-less operation (a NoOp group such as a
+   train op) means "run it": such fetches are rerouted to the target
+   list, and [run_with] returns a scalar 0 in their position. *)
+let normalize_step ~feed_outputs ~targets fetches =
   let fetches_tagged =
     List.map
       (fun (o : Builder.output) ->
@@ -301,8 +368,38 @@ let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
       (function `Fetch o -> Some o | `Target _ -> None)
       fetches_tagged
   in
-  let feed_eps =
-    List.map (fun (o, _) -> Builder.endpoint_of_output o) feeds
+  let feed_eps = List.map Builder.endpoint_of_output feed_outputs in
+  let fetch_eps = List.map Builder.endpoint_of_output fetches in
+  let target_ids =
+    List.map (fun (o : Builder.output) -> o.Builder.node.Node.id) targets
+  in
+  (fetches_tagged, fetches, feed_eps, fetch_eps, target_ids)
+
+let precompile ?(feeds = []) ?(targets = []) t fetches =
+  let _, _, feed_eps, fetch_eps, target_ids =
+    normalize_step ~feed_outputs:feeds ~targets fetches
+  in
+  ignore (find_or_compile t ~feed_eps ~fetch_eps ~target_ids)
+
+let value_to_tensor ~what v =
+  match v with
+  | Value.Tensor tensor -> tensor
+  | Value.Resource r ->
+      raise
+        (run_error ~node:what
+           (Step_failure.Fetch_failed
+              (Printf.sprintf "fetch %s produced a reference handle (%s)"
+                 what (Resource.name r))))
+  | Value.Dead ->
+      raise
+        (run_error ~node:what
+           (Step_failure.Fetch_failed
+              (Printf.sprintf "fetch %s produced a dead value" what)))
+
+let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
+    ?(targets = []) t fetches =
+  let fetches_tagged, fetches, feed_eps, fetch_eps, target_ids =
+    normalize_step ~feed_outputs:(List.map fst feeds) ~targets fetches
   in
   let feed_vals =
     List.map
@@ -310,26 +407,11 @@ let run_with ?tracer ?deadline ?cancel:parent ?var_snapshot ?(feeds = [])
         (Builder.endpoint_of_output o, Value.Tensor tensor))
       feeds
   in
-  let fetch_eps = List.map Builder.endpoint_of_output fetches in
-  let target_ids =
-    List.map (fun (o : Builder.output) -> o.Builder.node.Node.id) targets
-  in
-  let step, step_id =
+  let step = find_or_compile t ~feed_eps ~fetch_eps ~target_ids in
+  let step_id =
     with_lock t (fun () ->
-        let sg = signature ~feed_eps ~fetch_eps ~target_ids in
-        let step =
-          match Hashtbl.find_opt t.cache sg with
-          | Some s ->
-              Metrics.Counter.incr m_cache_hits;
-              s
-          | None ->
-              Metrics.Counter.incr m_cache_misses;
-              let s = compile t ~feed_eps ~fetch_eps ~target_ids in
-              Hashtbl.replace t.cache sg s;
-              s
-        in
         t.step_counter <- t.step_counter + 1;
-        (step, t.step_counter))
+        t.step_counter)
   in
   (* One cancellation token per step: a deadline arms its watchdog,
      distributed steps always carry a token so one partition's failure
@@ -641,6 +723,11 @@ let snapshot_variables t =
     managers;
   fun name -> Hashtbl.find_opt tbl name
 
+(* Same lookup, as the public face: the name -> tensor function a
+   freeze pass ({!Graph_optimizer.Freeze}, {!Octf_serving}) consumes
+   to fold this session's trained variables into constants. *)
+let variable_values t = snapshot_variables t
+
 let run_async ?(options = Run_options.default) t fetches =
   let wait_start = Unix.gettimeofday () in
   let h =
@@ -764,19 +851,7 @@ let run_serve t ~step_id ~feeds ~fetches ~targets ~cancel () =
                (Step_failure.Invalid_graph
                   "run_serve on a session without a remote runner"))
     in
-    let step =
-      with_lock t (fun () ->
-          let sg = signature ~feed_eps ~fetch_eps ~target_ids in
-          match Hashtbl.find_opt t.cache sg with
-          | Some s ->
-              Metrics.Counter.incr m_cache_hits;
-              s
-          | None ->
-              Metrics.Counter.incr m_cache_misses;
-              let s = compile t ~feed_eps ~fetch_eps ~target_ids in
-              Hashtbl.replace t.cache sg s;
-              s)
-    in
+    let step = find_or_compile t ~feed_eps ~fetch_eps ~target_ids in
     let feed_vals =
       List.map (fun (e, tensor) -> (e, Value.Tensor tensor)) feeds
     in

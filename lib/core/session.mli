@@ -36,11 +36,82 @@ exception Run_error of Step_failure.t
     exception carrying the failing node, its device, and a structured
     cause. Render with {!Step_failure.to_string}. *)
 
+(** Consolidated construction-time configuration — TensorFlow's
+    [ConfigProto]. One record replaces the sprawl of optional arguments
+    on {!create}; [None] fields fall through to {!create}'s single
+    resolution point, whose precedence is: legacy {!create} label
+    (deprecated wrappers) > [Config] field > [OCTF_*] environment
+    variable > built-in default. CLI front-ends should build a [Config]
+    with [Some] only for flags the user actually passed, so unset flags
+    keep honoring the environment. *)
+module Config : sig
+  type t = {
+    devices : Device.t list option;
+        (** default: a single local CPU *)
+    resource_router : (Device.t -> Resource_manager.t) option;
+        (** maps a device to the resource manager of the task owning it
+            (see {!Cluster}); default: all devices share one manager *)
+    seed : int option;  (** graph-level RNG seed; default 42 *)
+    passes : Graph_optimizer.pass list option;
+        (** master-side optimization pipeline run per step compilation
+            (after the implicit initial prune); default
+            {!Graph_optimizer.default_pipeline}. [[]] disables
+            everything but pruning. *)
+    scheduler : Scheduler.policy option;
+        (** execution policy for every step; default
+            {!Scheduler.default_policy}, i.e. inline unless
+            [OCTF_SCHEDULER] says otherwise. [Scheduler.Pool] runs
+            independent kernels of one step in parallel with
+            bit-identical results. *)
+    intra_op_threads : int option;
+        (** {e process-wide} intra-op thread budget for kernel loops
+            ({!Octf_tensor.Parallel.set_threads}); default from
+            [OCTF_INTRA_OP_THREADS] or the core count. Bit-identical
+            for every value. *)
+    memory_planning : bool option;
+        (** whether steps run the executor's lifetime analysis (eager
+            drops, buffer-pool reuse, in-place grants); default follows
+            {!Mem_plan.enabled}, i.e. on unless
+            [OCTF_MEMORY_PLANNING=off]. Fetches are bit-identical
+            either way. *)
+    max_in_flight : int option;
+        (** K ≥ 1 bound on concurrent {!run_async} steps; default from
+            [OCTF_MAX_IN_FLIGHT], else 1 *)
+    barrier : bool;
+        (** force K = 1 regardless of [max_in_flight] — the
+            fully-synchronous legacy pipeline (default false) *)
+    remote : Remote.runner option;
+        (** out-of-process runtime ([Octf_net]): partitions placed on
+            devices the runner does not report
+            {!Remote.runner.is_local} are dispatched to their owning
+            task as Run_step RPCs *)
+  }
+
+  val default : t
+  (** Every field unset: resolve from the environment / built-ins. *)
+
+  val v :
+    ?devices:Device.t list ->
+    ?resource_router:(Device.t -> Resource_manager.t) ->
+    ?seed:int ->
+    ?passes:Graph_optimizer.pass list ->
+    ?scheduler:Scheduler.policy ->
+    ?intra_op_threads:int ->
+    ?memory_planning:bool ->
+    ?max_in_flight:int ->
+    ?barrier:bool ->
+    ?remote:Remote.runner ->
+    unit ->
+    t
+end
+
 val create :
+  ?config:Config.t ->
   ?devices:Device.t list ->
   ?resource_router:(Device.t -> Resource_manager.t) ->
   ?seed:int ->
   ?optimize:bool ->
+  ?passes:Graph_optimizer.pass list ->
   ?scheduler:Scheduler.policy ->
   ?intra_op_threads:int ->
   ?memory_planning:bool ->
@@ -49,38 +120,13 @@ val create :
   ?remote:Remote.runner ->
   Graph.t ->
   t
-(** Default devices: a single local CPU. [resource_router] maps a device
-    to the resource manager of the task owning it (see {!Cluster});
-    by default all devices share one manager. [optimize] (default true)
-    enables master-side common-subexpression elimination and constant
-    folding on each step's pruned subgraph. [scheduler] picks the
-    execution policy for every step of this session (default
-    {!Scheduler.default_policy}, i.e. inline unless [OCTF_SCHEDULER]
-    says otherwise); [Scheduler.Pool] runs independent kernels of one
-    step in parallel on the shared domain pool with bit-identical
-    results. [intra_op_threads] sets the {e process-wide} intra-op
-    thread budget for kernel loops
-    ({!Octf_tensor.Parallel.set_threads}; default from
-    [OCTF_INTRA_OP_THREADS] or the core count) — results are
-    bit-identical for every value. [memory_planning] fixes whether this
-    session's steps run the executor's lifetime analysis (eager drops,
-    buffer-pool reuse, in-place kernel grants); default follows
-    {!Mem_plan.enabled}, i.e. on unless [OCTF_MEMORY_PLANNING=off].
-    Fetches are bit-identical with planning on or off.
-
-    [max_in_flight] (K ≥ 1) bounds how many {!run_async} steps may
-    execute concurrently; default from [OCTF_MAX_IN_FLIGHT], else 1.
-    [barrier] (default false) forces K = 1 regardless of
-    [max_in_flight] — the fully-synchronous legacy pipeline.
-
-    [remote] plugs in an out-of-process runtime ([Octf_net]): every
-    process of the cluster builds the {e same} graph and creates a
-    session over the {e same} device list, and partitions placed on
-    devices the runner does not report {!Remote.runner.is_local} are
-    dispatched to their owning task as Run_step RPCs. All tensor
-    traffic (in-process and cross-process) then flows through the
-    runner's shared routed rendezvous.
-    @raise Invalid_argument if [max_in_flight < 1]. *)
+(** [create ~config graph] builds a session over [graph]; see
+    {!Config} for every knob and its default. The bare optional labels
+    are {e deprecated} thin wrappers kept for source compatibility —
+    each one, when passed, overrides the corresponding [config] field
+    ([optimize:false] is shorthand for [passes:[]], prune-only).
+    New code should pass a [Config].
+    @raise Invalid_argument if the resolved [max_in_flight < 1]. *)
 
 val graph : t -> Graph.t
 
@@ -223,6 +269,28 @@ val max_in_flight : t -> int
 
 val cached_steps : t -> int
 (** Number of distinct compiled steps in the session cache (tests). *)
+
+val precompile :
+  ?feeds:Builder.output list ->
+  ?targets:Builder.output list ->
+  t ->
+  Builder.output list ->
+  unit
+(** Compile the step defined by [feeds]/[fetches]/[targets] into the
+    step cache without executing it: the optimizer pipeline, placement,
+    partitioning and the executor's memory plan all run now, so the
+    first real request pays none of it. [feeds] names only the fed
+    {e endpoints} (no values — none are needed to compile). The cache
+    signature ignores tensor shapes, so one precompiled plan serves
+    every batch size of the same endpoints. Idempotent.
+    @raise Run_error as {!run} does, for compile-time failures. *)
+
+val variable_values : t -> string -> Tensor.t option
+(** [variable_values t] snapshots every variable reachable from this
+    session's resource managers (copy-on-write, so O(1) per variable)
+    and returns a name -> value lookup over the snapshot — the function
+    a {!Graph_optimizer.Freeze} pass consumes to fold trained variables
+    into constants. Uninitialized variables are absent. *)
 
 val run_serve :
   t ->

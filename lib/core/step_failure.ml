@@ -9,6 +9,7 @@ type cause =
   | Invalid_graph of string
   | Fetch_failed of string
   | Network_error of string
+  | Overloaded of string
 
 type t = { node : string option; device : string option; cause : cause }
 
@@ -30,6 +31,7 @@ let cause_message = function
   | Invalid_graph detail -> detail
   | Fetch_failed detail -> detail
   | Network_error detail -> "network error: " ^ detail
+  | Overloaded detail -> "overloaded: " ^ detail
 
 let cause_kind = function
   | Deadline_exceeded _ -> "deadline_exceeded"
@@ -42,12 +44,13 @@ let cause_kind = function
   | Invalid_graph _ -> "invalid_graph"
   | Fetch_failed _ -> "fetch_failed"
   | Network_error _ -> "network_error"
+  | Overloaded _ -> "overloaded"
 
 let is_cancellation = function
   | Deadline_exceeded _ | Cancelled _ -> true
   | Kernel_failed _ | Fault_injected _ | Rendezvous_aborted _
   | Duplicate_send _ | Missing_task _ | Invalid_graph _ | Fetch_failed _
-  | Network_error _ ->
+  | Network_error _ | Overloaded _ ->
       false
 
 (* Rebuild a cause from its wire form (kind string + message), for
@@ -65,6 +68,7 @@ let cause_of_wire ~kind ~message =
   | "invalid_graph" -> Invalid_graph message
   | "fetch_failed" -> Fetch_failed message
   | "network_error" -> Network_error message
+  | "overloaded" -> Overloaded message
   | other -> Kernel_failed (Printf.sprintf "remote %s: %s" other message)
 
 (* Failures that only describe another partition's (or the whole step's)

@@ -21,6 +21,10 @@ type cause =
   | Network_error of string
       (** wire-protocol failure: connection lost or refused, heartbeat
           timeout, malformed frame, RPC timeout ({!Octf_net}) *)
+  | Overloaded of string
+      (** admission control shed the request: a serving queue passed its
+          high-watermark ({!Octf_serving.Serving}). Clients should back
+          off and retry; the request was never executed. *)
 
 type t = { node : string option; device : string option; cause : cause }
 

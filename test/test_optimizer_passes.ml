@@ -122,9 +122,93 @@ let test_is_pure () =
   Alcotest.(check bool) "placeholder impure" false
     (Graph_optimizer.is_pure p.B.node)
 
+(* The declared pass pipeline: run with the default passes must agree
+   with the pruned-only step on fetched values while executing fewer
+   nodes, and pass order is the caller's to choose. *)
+let test_run_pipeline () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let k = B.add b (B.const_f b 2.0) (B.const_f b 3.0) in
+  let y1 = B.mul b x k in
+  let y2 = B.mul b x (B.add b (B.const_f b 2.0) (B.const_f b 3.0)) in
+  let z = B.add b y1 y2 in
+  let feeds = [ B.endpoint_of_output x ] in
+  let fetches = [ B.endpoint_of_output z ] in
+  let pruned_only =
+    Graph_optimizer.run (B.graph b) ~passes:[] ~feeds ~fetches ~targets:[]
+  in
+  let optimized =
+    Graph_optimizer.run (B.graph b)
+      ~passes:Graph_optimizer.default_pipeline ~feeds ~fetches ~targets:[]
+  in
+  Alcotest.(check bool) "fold+cse shrank the step" true
+    (List.length optimized < List.length pruned_only);
+  (* the optimized set carries no non-Const producer pair duplicates:
+     the two x*k branches merged *)
+  let muls =
+    List.filter
+      (fun id -> (Graph.get (B.graph b) id).Node.op_type = "Mul")
+      optimized
+  in
+  Alcotest.(check int) "one surviving Mul" 1 (List.length muls)
+
+let test_freeze_pass () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let v = B.variable b ~name:"weights" ~dtype:Dtype.F32 ~shape:[||] () in
+  let y = B.mul b x (B.read b v) in
+  let feeds = [ B.endpoint_of_output x ] in
+  let fetches = [ B.endpoint_of_output y ] in
+  let values = function
+    | "weights" -> Some (Tensor.scalar_f 4.0)
+    | _ -> None
+  in
+  let nodes =
+    Graph_optimizer.run (B.graph b)
+      ~passes:[ Graph_optimizer.Freeze values; Graph_optimizer.Prune ]
+      ~feeds ~fetches ~targets:[]
+  in
+  let ops = List.map (fun id -> (Graph.get (B.graph b) id).Node.op_type) nodes in
+  Alcotest.(check bool) "Variable pruned away" false
+    (List.mem "Variable" ops);
+  Alcotest.(check bool) "Read pruned away" false (List.mem "Read" ops);
+  Alcotest.(check bool) "a Const took its place" true (List.mem "Const" ops);
+  (* an unresolvable variable is left alone *)
+  let b2 = B.create () in
+  let x2 = B.placeholder b2 Dtype.F32 in
+  let v2 = B.variable b2 ~name:"other" ~dtype:Dtype.F32 ~shape:[||] () in
+  let y2 = B.mul b2 x2 (B.read b2 v2) in
+  let nodes2 =
+    Graph_optimizer.run (B.graph b2)
+      ~passes:[ Graph_optimizer.Freeze values; Graph_optimizer.Prune ]
+      ~feeds:[ B.endpoint_of_output x2 ]
+      ~fetches:[ B.endpoint_of_output y2 ]
+      ~targets:[]
+  in
+  let ops2 =
+    List.map (fun id -> (Graph.get (B.graph b2) id).Node.op_type) nodes2
+  in
+  Alcotest.(check bool) "unresolved Variable kept" true
+    (List.mem "Variable" ops2)
+
+let test_pass_names () =
+  Alcotest.(check (list string))
+    "pass names"
+    [ "prune"; "constant_fold"; "cse"; "freeze" ]
+    (List.map Graph_optimizer.pass_name
+       [
+         Graph_optimizer.Prune;
+         Graph_optimizer.Constant_fold;
+         Graph_optimizer.Cse;
+         Graph_optimizer.Freeze (fun _ -> None);
+       ])
+
 let suite =
   [
     Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "run pass pipeline" `Quick test_run_pipeline;
+    Alcotest.test_case "freeze pass" `Quick test_freeze_pass;
+    Alcotest.test_case "pass names" `Quick test_pass_names;
     Alcotest.test_case "cse merges" `Quick test_cse_merges_duplicates;
     Alcotest.test_case "stateful never merged" `Quick test_stateful_never_merged;
     Alcotest.test_case "fed nodes kept" `Quick test_fed_nodes_not_folded;

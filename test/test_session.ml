@@ -143,9 +143,70 @@ let test_save_restore_through_graph () =
   | _ -> Alcotest.fail "arity");
   Sys.remove path
 
+(* Session.Config: one record carries every construction knob; the
+   legacy optional labels survive as deprecated wrappers that override
+   the corresponding config field. *)
+let test_config_resolution () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let _ = B.neg b x in
+  let g = B.graph b in
+  let s =
+    Session.create
+      ~config:(Session.Config.v ~scheduler:Scheduler.Pool ~max_in_flight:4 ())
+      g
+  in
+  Alcotest.(check bool) "config scheduler honored" true
+    (Session.scheduler s = Scheduler.Pool);
+  Alcotest.(check int) "config max_in_flight honored" 4
+    (Session.max_in_flight s);
+  (* a legacy label beats the config field *)
+  let s2 =
+    Session.create
+      ~config:(Session.Config.v ~max_in_flight:4 ())
+      ~max_in_flight:2 g
+  in
+  Alcotest.(check int) "legacy label wins" 2 (Session.max_in_flight s2);
+  (* Config.default resolves like no arguments at all *)
+  let s3 = Session.create ~config:Session.Config.default g in
+  Alcotest.(check bool) "default scheduler" true
+    (Session.scheduler s3 = Scheduler.default_policy ());
+  (* barrier in the config pins the pipeline to one step *)
+  let s4 =
+    Session.create
+      ~config:(Session.Config.v ~max_in_flight:8 ~barrier:true ())
+      g
+  in
+  Alcotest.(check int) "barrier wins over max_in_flight" 1
+    (Session.max_in_flight s4)
+
+let test_config_passes_and_precompile () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let y = B.mul b (B.neg b x) (B.const_f b 2.0) in
+  let g = B.graph b in
+  (* prune-only session via passes:[] behaves like legacy optimize:false *)
+  let s = Session.create ~config:(Session.Config.v ~passes:[] ()) g in
+  (match Session.run ~feeds:[ (x, Tensor.scalar_f 3.0) ] s [ y ] with
+  | [ v ] -> Alcotest.(check (float 0.)) "value" (-6.0) (scalar v)
+  | _ -> Alcotest.fail "arity");
+  (* precompile populates the step cache without running anything *)
+  let s2 = Session.create g in
+  Alcotest.(check int) "cache empty" 0 (Session.cached_steps s2);
+  Session.precompile ~feeds:[ x ] s2 [ y ];
+  Alcotest.(check int) "one precompiled step" 1 (Session.cached_steps s2);
+  (match Session.run ~feeds:[ (x, Tensor.scalar_f 2.0) ] s2 [ y ] with
+  | [ v ] -> Alcotest.(check (float 0.)) "value" (-4.0) (scalar v)
+  | _ -> Alcotest.fail "arity");
+  Alcotest.(check int) "run hit the precompiled step" 1
+    (Session.cached_steps s2)
+
 let suite =
   [
     Alcotest.test_case "step caching" `Quick test_step_caching;
+    Alcotest.test_case "config resolution" `Quick test_config_resolution;
+    Alcotest.test_case "config passes + precompile" `Quick
+      test_config_passes_and_precompile;
     Alcotest.test_case "pruning" `Quick test_pruning_skips_unrelated;
     Alcotest.test_case "unfed placeholder" `Quick test_unfed_placeholder_errors;
     Alcotest.test_case "fetch resource errors" `Quick
