@@ -17,8 +17,11 @@ bench-smoke:
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- dispatch-wide
 
 # Intra-op kernel throughput (matmul / conv2d / elementwise GFLOP/s at
-# 1/2/4/8 threads) and the transposed-matmul regression guard; writes
-# BENCH_kernels.json. Full sizes — set OCTF_BENCH_SMOKE=1 for CI speed.
+# 1/2/4/8 threads), the transposed-matmul regression guard, and the
+# fused elementwise chain: a 12-op chain fused vs unfused, asserting
+# one fused kernel stands in for >= 10 ops with bit-identical output
+# and >= 3x speedup (> 1x in smoke mode); writes BENCH_kernels.json.
+# Full sizes — set OCTF_BENCH_SMOKE=1 for CI speed.
 bench-kernels:
 	dune exec bench/main.exe -- kernels
 
@@ -100,8 +103,11 @@ ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke serving-
 	OCTF_SCHEDULER=inline dune exec test/test_main.exe -- test metrics
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test metrics
 	OCTF_MEMORY_PLANNING=off dune runtest --force
+	OCTF_FUSION=off dune runtest --force
 	OCTF_MEMORY_PLANNING=on dune exec test/test_main.exe -- test differential
 	OCTF_MEMORY_PLANNING=off dune exec test/test_main.exe -- test differential
+	OCTF_FUSION=on dune exec test/test_main.exe -- test differential
+	OCTF_FUSION=off dune exec test/test_main.exe -- test differential
 	OCTF_SCHEDULER=inline OCTF_MAX_IN_FLIGHT=1 dune exec test/test_main.exe -- test differential
 	OCTF_SCHEDULER=inline OCTF_MAX_IN_FLIGHT=4 dune exec test/test_main.exe -- test differential
 	OCTF_SCHEDULER=pool OCTF_MAX_IN_FLIGHT=1 dune exec test/test_main.exe -- test differential

@@ -478,6 +478,100 @@ let kernels () =
         (t, melems))
       thread_counts
   in
+  (* Fused elementwise chain: a 12-op chain of cheap ops over a large
+     buffer. Unfused it makes twelve passes over memory; the fuse pass
+     collapses the eleven unpinned ops into one FusedElementwise kernel
+     (the fetched root must materialize), so the fused step is two
+     passes. Sessions get separate graph builds: optimizer passes
+     rewrite the graph in place. *)
+  let fc_n = if smoke then 1 lsl 18 else 1 lsl 22 in
+  let fc_input = Tensor.uniform rng [| fc_n |] ~lo:(-1.0) ~hi:1.0 in
+  let build_fused_chain () =
+    let b = B.create () in
+    let x = B.placeholder b Dtype.F32 in
+    let c v = B.const_f b v in
+    let o = ref (B.mul b x (c 0.5)) in
+    o := B.add b !o (c 1.0);
+    o := B.neg b !o;
+    o := B.maximum b !o (c (-2.0));
+    o := B.sub b !o (c 0.25);
+    o := B.mul b !o (c 1.5);
+    o := B.minimum b !o (c 3.0);
+    o := B.add b !o (c 0.125);
+    o := B.neg b !o;
+    o := B.abs b !o;
+    o := B.sub b !o (c 0.5);
+    o := B.mul b !o (c 0.75);
+    (b, x, !o)
+  in
+  let fc_ops = 12 in
+  let ub, ux, uy = build_fused_chain () in
+  let unfused_session =
+    Octf.Session.create
+      ~config:(Octf.Session.Config.v ~passes:[] ())
+      (B.graph ub)
+  in
+  let fb, fx, fy = build_fused_chain () in
+  let fused_session =
+    Octf.Session.create
+      ~config:
+        (Octf.Session.Config.v
+           ~passes:[ Octf.Graph_optimizer.Fuse; Octf.Graph_optimizer.Prune ]
+           ())
+      (B.graph fb)
+  in
+  (* Mechanism check before timing: one fused kernel stands in for the
+     chain and the fetch is bit-identical to the unfused run. *)
+  let stats_of session x y =
+    let options =
+      Octf.Session.Run_options.v
+        ~feeds:[ (x, fc_input) ]
+        ~collect_stats:true ()
+    in
+    let fetched, md = Octf.Session.run_with_metadata ~options session [ y ] in
+    (List.hd fetched, Option.get md.Octf.Session.Run_metadata.step_stats)
+  in
+  let unfused_out, _ = stats_of unfused_session ux uy in
+  let fused_out, fused_stats = stats_of fused_session fx fy in
+  let fused_kernels =
+    List.length
+      (List.filter
+         (fun ns -> ns.Octf.Step_stats.op_type = "FusedElementwise")
+         fused_stats.Octf.Step_stats.nodes)
+  in
+  let fused_group =
+    match Octf.Step_stats.fusion_groups fused_stats with
+    | [ (_, n, _) ] -> n
+    | _ -> 0
+  in
+  let fc_identical = Tensor.equal unfused_out fused_out in
+  Printf.printf
+    "fused chain: %d ops -> %d fused kernel(s) covering %d ops, \
+     bit-identical %b\n%!"
+    fc_ops fused_kernels fused_group fc_identical;
+  let fc_series =
+    List.map
+      (fun t ->
+        Parallel.set_threads t;
+        let unfused_s =
+          time_kernel ~iters (fun () ->
+              Octf.Session.run ~feeds:[ (ux, fc_input) ] unfused_session [ uy ])
+        in
+        let fused_s =
+          time_kernel ~iters (fun () ->
+              Octf.Session.run ~feeds:[ (fx, fc_input) ] fused_session [ fy ])
+        in
+        let speedup = unfused_s /. fused_s in
+        Printf.printf
+          "fused chain %d elems, %d threads: unfused %7.2f ms  fused %7.2f \
+           ms  speedup %.2fx\n%!"
+          fc_n t (1000.0 *. unfused_s) (1000.0 *. fused_s) speedup;
+        (t, (unfused_s, fused_s, speedup)))
+      thread_counts
+  in
+  let fc_best =
+    List.fold_left (fun acc (_, (_, _, s)) -> Float.max acc s) 0.0 fc_series
+  in
   (* Transposed-variant regression guard: every variant is packed onto
      the same blocked kernel, so none may cost more than a small factor
      over the plain path (it was ~10x before packing). *)
@@ -507,6 +601,7 @@ let kernels () =
        \"matmul\":{\"dim\":%d,\"series\":[%s]},\n\
        \"conv2d\":{\"batch\":%d,\"size\":%d,\"in_channels\":%d,\"out_channels\":%d,\"series\":[%s]},\n\
        \"elementwise\":{\"elems\":%d,\"series\":[%s]},\n\
+       \"fused_chain\":{\"elems\":%d,\"chain_ops\":%d,\"fused_kernels\":%d,\"fused_group\":%d,\"bit_identical\":%b,\"best_speedup\":%.2f,\"series\":[%s]},\n\
        \"matmul_variants\":{\"plain_ms\":%.3f,\"transpose_a_ms\":%.3f,\"transpose_b_ms\":%.3f,\"transpose_both_ms\":%.3f,\"worst_ratio\":%.3f}}\n"
       (smoke : bool)
       (Domain.recommended_domain_count ())
@@ -516,6 +611,13 @@ let kernels () =
       (series_json (Printf.sprintf "\"gflops\":%.3f") cv_series)
       ew_n
       (series_json (Printf.sprintf "\"melems_per_sec\":%.1f") ew_series)
+      fc_n fc_ops fused_kernels fused_group fc_identical fc_best
+      (series_json
+         (fun (unfused_s, fused_s, speedup) ->
+           Printf.sprintf
+             "\"unfused_ms\":%.3f,\"fused_ms\":%.3f,\"speedup\":%.2f"
+             (1000.0 *. unfused_s) (1000.0 *. fused_s) speedup)
+         fc_series)
       (1000.0 *. plain) (1000.0 *. t_a) (1000.0 *. t_b) (1000.0 *. t_ab)
       ratio
   in
@@ -528,6 +630,25 @@ let kernels () =
       "FAIL: a transposed matmul variant is %.1fx slower than the plain \
        path (budget 4x)\n%!"
       ratio;
+    exit 1
+  end;
+  (* Fusion guards: mechanism always (one fused kernel standing in for
+     >= 10 ops, bit-identical fetch), and a speedup floor — in smoke
+     mode merely faster than unfused; at full size the single-pass
+     kernel must beat twelve memory passes by 3x. *)
+  if fused_kernels <> 1 || fused_group < 10 || not fc_identical then begin
+    Printf.printf
+      "FAIL: fused chain mechanism broken: %d fused kernel(s) covering %d \
+       ops, bit-identical %b (want 1 kernel, >=10 ops, identical)\n%!"
+      fused_kernels fused_group fc_identical;
+    exit 1
+  end;
+  let fc_floor = if smoke then 1.0 else 3.0 in
+  if fc_best <= fc_floor then begin
+    Printf.printf
+      "FAIL: fused chain best speedup %.2fx does not clear the %.1fx \
+       floor\n%!"
+      fc_best fc_floor;
     exit 1
   end
 

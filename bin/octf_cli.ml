@@ -192,6 +192,20 @@ let apply_memory planning pool_mb =
   Option.iter Octf.Mem_plan.set_enabled planning;
   Option.iter Octf_tensor.Buffer_pool.set_limit_mb pool_mb
 
+(* ------------------------------ fusion ----------------------------- *)
+
+let fusion_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "fusion" ] ~docv:"BOOL"
+        ~doc:
+          "Enable or disable the elementwise kernel-fusion optimizer \
+           pass: chains of pure elementwise operations collapse into \
+           single fused kernels that make one pass over memory. Fetched \
+           results are bit-identical either way. Defaults to \
+           \\$OCTF_FUSION or $(b,true).")
+
 (* ------------------------------ faults ----------------------------- *)
 
 let fault_conv =
@@ -405,7 +419,7 @@ let octf_cluster_of_entries entries =
     ~jobs:(List.map (fun j -> (j, count j, [ Octf.Device.CPU ])) names)
 
 (* ------------------------------ train ------------------------------ *)
-let train steps lr scheduler intra_op max_in_flight planning pool_mb
+let train steps lr scheduler intra_op max_in_flight planning pool_mb fusion
     deadline_ms fault fault_seed metrics stats_every net_cluster job task =
   apply_intra_op intra_op;
   apply_memory planning pool_mb;
@@ -450,7 +464,7 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb
   let session =
     Octf.Cluster.session cluster
       ~config:
-        (Octf.Session.Config.v ~scheduler ?max_in_flight
+        (Octf.Session.Config.v ~scheduler ?max_in_flight ?fusion
            ?remote:(Option.map Octf_net.Runtime.runner rt)
            ())
       (B.graph b)
@@ -612,7 +626,7 @@ let train_cmd =
     Term.(
       const train $ steps $ lr $ scheduler_arg $ intra_op_arg
       $ max_in_flight_arg $ memory_planning_arg $ buffer_pool_mb_arg
-      $ deadline_arg $ fault_arg $ fault_seed_arg $ metrics_arg
+      $ fusion_arg $ deadline_arg $ fault_arg $ fault_seed_arg $ metrics_arg
       $ stats_every_arg $ cluster_arg $ job_arg ~default:"worker" $ task_arg)
 
 (* ------------------------------ worker ----------------------------- *)
@@ -1272,7 +1286,7 @@ let serve_cmd =
 
 (* ------------------------------ trace ------------------------------ *)
 
-let trace out scheduler intra_op planning pool_mb metrics =
+let trace out scheduler intra_op planning pool_mb fusion metrics =
   apply_intra_op intra_op;
   apply_memory planning pool_mb;
   let module Vs = Octf_nn.Var_store in
@@ -1291,7 +1305,7 @@ let trace out scheduler intra_op planning pool_mb metrics =
   let train_op = Octf_train.Optimizer.minimize store ~lr:0.01 ~loss () in
   let session =
     Octf.Session.create
-      ~config:(Octf.Session.Config.v ~scheduler ())
+      ~config:(Octf.Session.Config.v ~scheduler ?fusion ())
       (B.graph b)
   in
   Octf.Session.run_unit session [ Vs.init_op store ];
@@ -1328,7 +1342,7 @@ let trace_cmd =
        ~doc:"Profile one training step and print a per-op kernel summary")
     Term.(
       const trace $ out $ scheduler_arg $ intra_op_arg $ memory_planning_arg
-      $ buffer_pool_mb_arg $ metrics_arg)
+      $ buffer_pool_mb_arg $ fusion_arg $ metrics_arg)
 
 let () =
   let info =

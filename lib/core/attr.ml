@@ -72,3 +72,9 @@ let find_shape attrs name =
 
 let find_ints attrs name =
   match find attrs name with Some (Ints l) -> Some l | _ -> None
+
+let get_strings attrs name =
+  match find attrs name with Some (Strings l) -> l | _ -> missing name
+
+let find_strings attrs name =
+  match find attrs name with Some (Strings l) -> Some l | _ -> None

@@ -55,3 +55,7 @@ val find_dtype : (string * t) list -> string -> Dtype.t option
 val find_shape : (string * t) list -> string -> Shape.t option
 
 val find_ints : (string * t) list -> string -> int list option
+
+val get_strings : (string * t) list -> string -> string list
+
+val find_strings : (string * t) list -> string -> string list option

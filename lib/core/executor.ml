@@ -388,6 +388,9 @@ let trace tracer (n : Node.t) ~step_id ?(bytes_of = fun _ -> 0)
             bytes = bytes_of result;
             shards;
             peak_bytes = peak_of result;
+            fused =
+              Option.value ~default:0
+                (Attr.find_int n.Node.attrs "fused_nodes");
           });
     result
   end

@@ -148,9 +148,13 @@ let ensure_builtins =
           let y = out n 0 in
           dense1
             (B.mul b (dy0 dys) (B.sub b (B.ones_like b y) (B.mul b y y))));
-      reg ~op_type:"AddN" (fun _ n dys ->
+      (* The AddN kernel broadcasts like Add, so each input's gradient
+         must be reduced back to that input's shape — returning the raw
+         [dy] hands a [2;3]-shaped gradient to a [3]-shaped operand. *)
+      reg ~op_type:"AddN" (fun b n dys ->
           let dy = dy0 dys in
-          List.init (Array.length n.Node.inputs) (fun _ -> Some (Dense dy)));
+          List.init (Array.length n.Node.inputs) (fun i ->
+              Some (Dense (sts b dy (inp b n i)))));
       reg ~op_type:"MatMul" (fun b n dys ->
           let dy = dy0 dys in
           let a = inp b n 0 and bb = inp b n 1 in

@@ -35,6 +35,25 @@ let redirect graph ~old_id ~new_id =
         Graph.replace_control_inputs graph ~node_id:n.Node.id fresh
       end)
 
+(* Multi-output variant of [redirect] for constant folding: consumer
+   endpoint (old_id, k) moves to output 0 of the k-th replacement node.
+   Control edges (which carry no slot) all move to the first one. *)
+let redirect_outputs graph ~old_id ~new_ids =
+  Graph.iter graph (fun n ->
+      Array.iteri
+        (fun slot (e : Node.endpoint) ->
+          if e.node_id = old_id then
+            Graph.set_input graph ~node_id:n.Node.id ~slot
+              (Node.endpoint new_ids.(e.index) 0))
+        n.Node.inputs);
+  Graph.iter graph (fun n ->
+      if List.mem old_id n.Node.control_inputs then
+        Graph.replace_control_inputs graph ~node_id:n.Node.id
+          (List.sort_uniq compare
+             (List.map
+                (fun c -> if c = old_id then new_ids.(0) else c)
+                n.Node.control_inputs)))
+
 let constant_fold graph ~nodes ~fed =
   (* Folding executes kernels; without this, Kernel.lookup returns None
      for everything when the optimizer runs before the first executor
@@ -46,18 +65,21 @@ let constant_fold graph ~nodes ~fed =
   List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
   List.iter
     (fun (n : Node.t) ->
+      (* Re-read the node: earlier folds rewired consumer endpoints to
+         the minted Consts, and the topological snapshot predates that —
+         without the re-read a fold never cascades downstream within
+         one sweep. *)
+      let n = Graph.get graph n.Node.id in
       if
         Hashtbl.mem in_set n.Node.id
         && (not (Hashtbl.mem fed n.Node.id))
         && is_pure n
         && n.Node.op_type <> "Const"
-        && Node.num_outputs n = 1
+        && Node.num_outputs n >= 1
         && n.Node.control_inputs = []
         && Array.length n.Node.inputs > 0
         && Array.for_all
              (fun (e : Node.endpoint) ->
-               (* Re-read through the graph: earlier folds replace
-                  producers with Consts. *)
                (Graph.get graph e.node_id).Node.op_type = "Const")
              n.Node.inputs
       then begin
@@ -84,15 +106,35 @@ let constant_fold graph ~nodes ~fed =
                 var_snapshot = None;
               }
             in
+            (* Multi-output pure ops (Split, Unpack, ...) fold too: one
+               Const is minted per output slot so downstream consumers
+               of any slot keep folding. *)
             match kernel ctx with
-            | [| Value.Tensor result |] ->
-                let const =
-                  Graph.add_node graph
-                    ~name:(n.Node.name ^ "/folded")
-                    ~attrs:[ ("value", Attr.Tensor result) ]
-                    ~device:n.Node.device_spec ~op_type:"Const" ()
+            | outputs
+              when Array.length outputs >= 1
+                   && Array.for_all
+                        (function Value.Tensor _ -> true | _ -> false)
+                        outputs ->
+                let new_ids =
+                  Array.mapi
+                    (fun k v ->
+                      let result =
+                        match v with Value.Tensor t -> t | _ -> assert false
+                      in
+                      let name =
+                        if Array.length outputs = 1 then
+                          n.Node.name ^ "/folded"
+                        else Printf.sprintf "%s/folded:%d" n.Node.name k
+                      in
+                      let const =
+                        Graph.add_node graph ~name
+                          ~attrs:[ ("value", Attr.Tensor result) ]
+                          ~device:n.Node.device_spec ~op_type:"Const" ()
+                      in
+                      const.Node.id)
+                    outputs
                 in
-                redirect graph ~old_id:n.Node.id ~new_id:const.Node.id;
+                redirect_outputs graph ~old_id:n.Node.id ~new_ids;
                 incr folded
             | _ | (exception _) -> ())
       end)
@@ -118,13 +160,18 @@ let cse_key (n : Node.t) =
              (fun (e : Node.endpoint) ->
                Printf.sprintf "%d:%d" e.node_id e.index)
              n.Node.inputs)))
-    (String.concat "," (List.map string_of_int n.Node.control_inputs))
+    (* Control dependencies are a set: [redirect] rebuilds them through
+       [List.sort_uniq], so the key must not distinguish [a;b] from
+       [b;a] or structurally identical nodes never merge. *)
+    (String.concat ","
+       (List.map string_of_int (List.sort_uniq compare n.Node.control_inputs)))
     (Device.spec_to_string n.Node.device_spec)
 
 let structurally_equal (a : Node.t) (b : Node.t) =
   a.Node.op_type = b.Node.op_type
   && a.Node.inputs = b.Node.inputs
-  && a.Node.control_inputs = b.Node.control_inputs
+  && List.sort_uniq compare a.Node.control_inputs
+     = List.sort_uniq compare b.Node.control_inputs
   && a.Node.attrs = b.Node.attrs
   && a.Node.device_spec = b.Node.device_spec
 
@@ -201,10 +248,155 @@ let freeze graph ~nodes ~fed ~lookup =
     nodes;
   !frozen
 
+(* ---------------------------- fusion ------------------------------ *)
+
+(* Collapse maximal chains/trees of pure elementwise operations into
+   single [FusedElementwise] nodes (§3.3; the 2015 white paper lists
+   "fusing elementwise kernels" among the master's graph
+   optimizations). The fused node's "expr" attribute carries the
+   operation tree in postfix ({!Fused_eval.to_postfix}); its data
+   inputs are the group's external producers in expression order.
+
+   Legality: a node joins a group only when it is pure, elementwise
+   (single-output, {!Fused_eval} knows its scalar function), unfed,
+   unpinned (not fetched or targeted — a pinned endpoint must still
+   materialize), free of control edges in either direction (a control
+   dependency needs a real node to anchor it), on the root's device
+   spec, and — for interior nodes — consumed exactly once, by the
+   group. Multi-consumer producers stay unfused (they may root their
+   own group) rather than being recomputed per consumer. AddN joins as
+   the left fold of binary Adds its kernel computes. Row-wise ops
+   (Softmax, cross-entropy) never join: they reduce within rows, so
+   they are not per-element functions of their inputs. *)
+
+let max_fused_nodes = 64
+
+let m_fusion_groups =
+  Metrics.Counter.v ~help:"Elementwise fusion groups formed by the Fuse pass"
+    "octf_fusion_groups_total"
+
+let m_fusion_nodes =
+  Metrics.Counter.v
+    ~help:"Original operation nodes collapsed into FusedElementwise kernels"
+    "octf_fusion_nodes_total"
+
+let fusable_op (n : Node.t) =
+  (Fused_eval.is_unary n.Node.op_type && Array.length n.Node.inputs = 1)
+  || (Fused_eval.is_binary n.Node.op_type && Array.length n.Node.inputs = 2)
+  || (n.Node.op_type = "AddN" && Array.length n.Node.inputs >= 2)
+
+let fuse graph ~nodes ~fed ~pinned =
+  let in_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+  (* Data-consumer edge counts and control dependents over the step's
+     node set (dead duplicates outside the set must not block fusion). *)
+  let data_consumers = Hashtbl.create 64 in
+  let control_dep = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let n = Graph.get graph id in
+      Array.iter
+        (fun (e : Node.endpoint) ->
+          Hashtbl.replace data_consumers e.node_id
+            (1
+            + Option.value ~default:0
+                (Hashtbl.find_opt data_consumers e.node_id)))
+        n.Node.inputs;
+      List.iter
+        (fun c -> Hashtbl.replace control_dep c ())
+        n.Node.control_inputs)
+    nodes;
+  let grouped = Hashtbl.create 64 in
+  let eligible (n : Node.t) =
+    Hashtbl.mem in_set n.Node.id
+    && (not (Hashtbl.mem fed n.Node.id))
+    && (not (Hashtbl.mem pinned n.Node.id))
+    && (not (Hashtbl.mem grouped n.Node.id))
+    && is_pure n && fusable_op n
+    && n.Node.control_inputs = []
+  in
+  let groups = ref 0 in
+  (* Reverse topological order: each chain is rooted at its topmost
+     consumer and grows down through producers, so one sweep forms
+     maximal groups. *)
+  let order = List.rev (Graph.topological_order graph) in
+  List.iter
+    (fun (r : Node.t) ->
+      let r = Graph.get graph r.Node.id in
+      if eligible r then begin
+        let members = ref [ r.Node.id ] in
+        let size = ref 1 in
+        let ext_inputs = ref [] in
+        let input_idx (e : Node.endpoint) =
+          let rec find k = function
+            | [] ->
+                ext_inputs := !ext_inputs @ [ e ];
+                k
+            | x :: tl -> if x = e then k else find (k + 1) tl
+          in
+          find 0 !ext_inputs
+        in
+        let rec build (e : Node.endpoint) =
+          let p = Graph.get graph e.node_id in
+          if
+            e.Node.index = 0 && eligible p
+            && p.Node.device_spec = r.Node.device_spec
+            && (not (Hashtbl.mem control_dep p.Node.id))
+            && Option.value ~default:0
+                 (Hashtbl.find_opt data_consumers p.Node.id)
+               = 1
+            && !size < max_fused_nodes
+          then begin
+            members := p.Node.id :: !members;
+            incr size;
+            node_expr p
+          end
+          else Fused_eval.Input (input_idx e)
+        and node_expr (p : Node.t) =
+          if p.Node.op_type = "AddN" then begin
+            (* The AddN kernel left-folds binary adds; expressed the
+               same way the fused result is bit-identical. *)
+            let acc = ref (build p.Node.inputs.(0)) in
+            for k = 1 to Array.length p.Node.inputs - 1 do
+              acc := Fused_eval.Binary ("Add", !acc, build p.Node.inputs.(k))
+            done;
+            !acc
+          end
+          else if Array.length p.Node.inputs = 1 then
+            Fused_eval.Unary (p.Node.op_type, build p.Node.inputs.(0))
+          else
+            let a = build p.Node.inputs.(0) in
+            let b = build p.Node.inputs.(1) in
+            Fused_eval.Binary (p.Node.op_type, a, b)
+        in
+        let expr = node_expr r in
+        if !size >= 2 then begin
+          let fused =
+            Graph.add_node graph
+              ~name:(r.Node.name ^ "/fused")
+              ~inputs:!ext_inputs
+              ~attrs:
+                [
+                  ("expr", Attr.Strings (Fused_eval.to_postfix expr));
+                  ("fused_nodes", Attr.Int !size);
+                ]
+              ~device:r.Node.device_spec ~op_type:"FusedElementwise" ()
+          in
+          redirect graph ~old_id:r.Node.id ~new_id:fused.Node.id;
+          List.iter (fun id -> Hashtbl.replace grouped id ()) !members;
+          incr groups;
+          Metrics.Counter.incr m_fusion_groups;
+          Metrics.Counter.add m_fusion_nodes !size
+        end
+      end)
+    order;
+  !groups
+
 type pass =
   | Prune
   | Constant_fold
   | Cse
+  | Fuse
   | Freeze of (string -> Tensor.t option)
 
 (* The mid-pipeline Prune refreshes the node set so Consts minted by
@@ -212,15 +404,26 @@ type pass =
    set; new nodes enter it at the next prune). *)
 let default_pipeline = [ Constant_fold; Prune; Cse; Prune ]
 
+(* Fusion runs after fold/CSE (folded constants become external inputs,
+   merged duplicates raise consumer counts honestly) and is followed by
+   its own prune to drop the absorbed originals. *)
+let fused_pipeline = default_pipeline @ [ Fuse; Prune ]
+
 let pass_name = function
   | Prune -> "prune"
   | Constant_fold -> "constant_fold"
   | Cse -> "cse"
+  | Fuse -> "fuse"
   | Freeze _ -> "freeze"
 
 let run graph ~passes ~feeds ~fetches ~targets =
   let fed = Hashtbl.create 8 in
   List.iter (fun (e : Node.endpoint) -> Hashtbl.replace fed e.node_id ()) feeds;
+  let pinned = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Node.endpoint) -> Hashtbl.replace pinned e.node_id ())
+    fetches;
+  List.iter (fun id -> Hashtbl.replace pinned id ()) targets;
   let prune () = Pruner.prune graph ~feeds ~fetches ~targets in
   (* The step definition itself is the initial node set. *)
   let nodes = ref (prune ()) in
@@ -230,6 +433,7 @@ let run graph ~passes ~feeds ~fetches ~targets =
       | Prune -> nodes := prune ()
       | Constant_fold -> ignore (constant_fold graph ~nodes:!nodes ~fed)
       | Cse -> ignore (cse graph ~nodes:!nodes ~fed)
+      | Fuse -> ignore (fuse graph ~nodes:!nodes ~fed ~pinned)
       | Freeze lookup -> ignore (freeze graph ~nodes:!nodes ~fed ~lookup))
     passes;
   !nodes

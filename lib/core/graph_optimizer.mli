@@ -27,7 +27,18 @@ type pass =
           replace them with [Const] nodes. *)
   | Cse
       (** Merge pure operations with identical type, attributes, inputs
-          and placement constraints onto one canonical node. *)
+          and placement constraints onto one canonical node. Control
+          dependencies compare as a set. *)
+  | Fuse
+      (** Collapse maximal chains/trees of pure elementwise operations
+          (Add/Sub/Mul/Div/Neg/Exp/Relu/Sigmoid/Tanh/..., AddN,
+          ReluGrad) into single [FusedElementwise] nodes whose "expr"
+          attribute carries the operation tree in postfix
+          ({!Octf_tensor.Fused_eval}). The fused kernel makes one pass
+          over one output buffer instead of one pass per op, with
+          bit-identical results. Interior nodes must be pure, unfed,
+          unfetched, single-consumer, control-edge free and on the
+          root's device. Follow with {!Prune}. *)
   | Freeze of (string -> Tensor.t option)
       (** Fold trained variables into constants: every [Read] whose
           variable name the lookup resolves is replaced by a [Const]
@@ -45,9 +56,15 @@ val default_pipeline : pass list
     visible to CSE: rewriting passes operate on the {e current} set,
     and nodes added by a rewrite enter it at the next {!Prune}. *)
 
+val fused_pipeline : pass list
+(** {!default_pipeline} [@ [Fuse; Prune]] — what sessions run when the
+    fusion knob resolves on ({!Session.Config.t.fusion}, [OCTF_FUSION],
+    default on). Fusion runs last so folded constants are external
+    inputs and CSE-merged duplicates carry honest consumer counts. *)
+
 val pass_name : pass -> string
-(** Stable lowercase name ("prune", "constant_fold", "cse", "freeze")
-    for logs and metrics labels. *)
+(** Stable lowercase name ("prune", "constant_fold", "cse", "fuse",
+    "freeze") for logs and metrics labels. *)
 
 val run :
   Graph.t ->

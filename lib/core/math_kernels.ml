@@ -114,6 +114,20 @@ let register () =
             else Tensor_ops.add acc x
           in
           K.one (t (List.fold_left add_into acc rest)));
+  (* Fused elementwise expression (Graph_optimizer.Fuse): evaluate the
+     postfix "expr" attribute once per output element in a single pass.
+     Like the standalone elementwise kernels it may write in place into
+     input 0's buffer when the planner grants it (the grant is only
+     length-compatible when that input's broadcast plan is the
+     identity, so read-i-before-write-i holds). *)
+  K.register ~op_type:"FusedElementwise" ~aliases:[ (0, 0) ] (fun ctx ->
+      let expr =
+        Fused_eval.of_postfix
+          (Attr.get_strings ctx.K.node.Node.attrs "expr")
+      in
+      let inputs = Array.of_list (K.all_input_tensors ctx) in
+      K.one
+        (t (Fused_eval.eval ?out:(K.granted_buffer ctx ~output:0) expr inputs)));
   K.register ~op_type:"MatMul" (fun ctx ->
       let transpose_a =
         Option.value ~default:false

@@ -32,6 +32,7 @@ let fresh_output_op = function
   | "Add" | "Sub" | "Mul" | "Div" | "Pow" | "Mod" | "Maximum" | "Minimum"
   | "Neg" | "Abs" | "Sign" | "Exp" | "Log" | "Sqrt" | "Square" | "Reciprocal"
   | "Equal" | "Less" | "Greater" | "GreaterEqual" | "Select" | "AddN"
+  | "FusedElementwise"
   | "MatMul" | "Cast" | "ArgMax" | "ReduceSum" | "ReduceMean" | "ReduceMax"
   | "ShapeOf" | "ZerosLike" | "OnesLike" | "Fill" | "RandomUniform"
   | "RandomNormal" | "Relu" | "Sigmoid" | "Tanh" | "Softmax" | "LogSoftmax"

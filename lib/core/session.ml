@@ -86,6 +86,7 @@ module Config = struct
     scheduler : Scheduler.policy option;
     intra_op_threads : int option;
     memory_planning : bool option;
+    fusion : bool option;
     max_in_flight : int option;
     barrier : bool;
     remote : Remote.runner option;
@@ -100,13 +101,14 @@ module Config = struct
       scheduler = None;
       intra_op_threads = None;
       memory_planning = None;
+      fusion = None;
       max_in_flight = None;
       barrier = false;
       remote = None;
     }
 
   let v ?devices ?resource_router ?seed ?passes ?scheduler ?intra_op_threads
-      ?memory_planning ?max_in_flight ?(barrier = false) ?remote () =
+      ?memory_planning ?fusion ?max_in_flight ?(barrier = false) ?remote () =
     {
       devices;
       resource_router;
@@ -115,6 +117,7 @@ module Config = struct
       scheduler;
       intra_op_threads;
       memory_planning;
+      fusion;
       max_in_flight;
       barrier;
       remote;
@@ -171,8 +174,15 @@ let default_max_in_flight () =
   | Some k when k >= 1 -> k
   | _ -> 1
 
+(* OCTF_FUSION gates the elementwise fuse pass when the caller does not
+   pass an explicit pipeline; same spelling as OCTF_MEMORY_PLANNING. *)
+let default_fusion () =
+  match Sys.getenv_opt "OCTF_FUSION" with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
 let create ?(config = Config.default) ?devices ?resource_router ?seed
-    ?optimize ?passes ?scheduler ?intra_op_threads ?memory_planning
+    ?optimize ?passes ?scheduler ?intra_op_threads ?memory_planning ?fusion
     ?max_in_flight ?barrier ?remote graph =
   (* The one resolution point for every construction knob. Precedence:
      legacy label (deprecated wrappers) > [config] field > OCTF_* env >
@@ -187,13 +197,20 @@ let create ?(config = Config.default) ?devices ?resource_router ?seed
   let seed =
     match pick seed config.Config.seed with Some s -> s | None -> 42
   in
+  let fusion =
+    match pick fusion config.Config.fusion with
+    | Some b -> b
+    | None -> default_fusion ()
+  in
   let passes =
     match pick passes config.Config.passes with
     | Some ps -> ps
     | None -> (
         match optimize with
         | Some false -> [] (* legacy ~optimize:false: prune only *)
-        | _ -> Graph_optimizer.default_pipeline)
+        | _ ->
+            if fusion then Graph_optimizer.fused_pipeline
+            else Graph_optimizer.default_pipeline)
   in
   let scheduler = pick scheduler config.Config.scheduler in
   let intra_op_threads = pick intra_op_threads config.Config.intra_op_threads in

@@ -74,6 +74,12 @@ module Config : sig
             {!Mem_plan.enabled}, i.e. on unless
             [OCTF_MEMORY_PLANNING=off]. Fetches are bit-identical
             either way. *)
+    fusion : bool option;
+        (** whether the default pipeline includes the elementwise fuse
+            pass ({!Graph_optimizer.fused_pipeline} vs
+            {!Graph_optimizer.default_pipeline}); default on unless
+            [OCTF_FUSION=off]. Ignored when [passes] is set explicitly.
+            Fetches are bit-identical either way. *)
     max_in_flight : int option;
         (** K ≥ 1 bound on concurrent {!run_async} steps; default from
             [OCTF_MAX_IN_FLIGHT], else 1 *)
@@ -98,6 +104,7 @@ module Config : sig
     ?scheduler:Scheduler.policy ->
     ?intra_op_threads:int ->
     ?memory_planning:bool ->
+    ?fusion:bool ->
     ?max_in_flight:int ->
     ?barrier:bool ->
     ?remote:Remote.runner ->
@@ -115,6 +122,7 @@ val create :
   ?scheduler:Scheduler.policy ->
   ?intra_op_threads:int ->
   ?memory_planning:bool ->
+  ?fusion:bool ->
   ?max_in_flight:int ->
   ?barrier:bool ->
   ?remote:Remote.runner ->

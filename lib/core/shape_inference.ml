@@ -94,7 +94,7 @@ and compute eng (n : Node.t) =
   | "Identity" | "StopGradient" | "Cast" | "ZerosLike" | "OnesLike"
   | "Enter" | "Exit" | "NextIteration" | "LoopCond" | "Dequantize" ->
       same_as_first ()
-  | "AddN" -> broadcast_all ()
+  | "AddN" | "FusedElementwise" -> broadcast_all ()
   | "MatMul" -> (
       let ta = Node.attr_bool n "transpose_a"
       and tb = Node.attr_bool n "transpose_b" in

@@ -8,6 +8,9 @@ type node_stats = {
   output_bytes : int;
   shards : int;
   peak_bytes : int;  (* live planner-tracked bytes when the node finished *)
+  fused : int;
+      (* original operation count a FusedElementwise kernel replaced;
+         0 for ordinary nodes *)
 }
 
 type t = { step_id : int; nodes : node_stats list }
@@ -29,6 +32,7 @@ let of_tracer ~step_id tracer =
               output_bytes = ev.bytes;
               shards = ev.shards;
               peak_bytes = ev.peak_bytes;
+              fused = ev.fused;
             })
       (Tracer.events tracer)
   in
@@ -39,6 +43,13 @@ let total_time t =
 
 let total_bytes t =
   List.fold_left (fun acc n -> acc + n.output_bytes) 0 t.nodes
+
+(* Per-fusion-group reporting: every FusedElementwise kernel in the
+   step with the number of original nodes it replaced and its runtime. *)
+let fusion_groups t =
+  List.filter_map
+    (fun n -> if n.fused > 0 then Some (n.node, n.fused, n.duration) else None)
+    t.nodes
 
 let by_op_type t =
   let table = Hashtbl.create 32 in

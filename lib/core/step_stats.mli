@@ -23,6 +23,9 @@ type node_stats = {
       (** intra-op shards the kernel dispatched; 0 = serial loops *)
   peak_bytes : int;
       (** live planner-tracked tensor bytes when the node finished *)
+  fused : int;
+      (** original operation count a [FusedElementwise] kernel replaced
+          ({!Tracer.event.fused}); [0] for ordinary nodes *)
 }
 
 type t = { step_id : int; nodes : node_stats list }
@@ -37,5 +40,11 @@ val total_bytes : t -> int
 
 val by_op_type : t -> (string * int * float) list
 (** Per op type: (type, invocations, total seconds), slowest first. *)
+
+val fusion_groups : t -> (string * int * float) list
+(** Every fused kernel executed in the step:
+    [(node name, original nodes replaced, duration seconds)] — one entry
+    per [FusedElementwise] node, in recording order. Empty when the fuse
+    pass did not run (or found nothing to collapse). *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -9,6 +9,7 @@ type event = {
   bytes : int;
   shards : int;
   peak_bytes : int;
+  fused : int;  (* original node count collapsed into a fused kernel; 0 otherwise *)
 }
 
 type t = { mutable evs : event list; mutex : Mutex.t }

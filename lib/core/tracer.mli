@@ -34,6 +34,11 @@ type event = {
           finished (its own outputs included) — the per-node memory
           high-watermark view used by the memory planner; [0] when the
           executor does not track memory for the step. *)
+  fused : int;
+      (** Number of original graph nodes this kernel stands in for: a
+          [FusedElementwise] kernel minted by {!Graph_optimizer}'s fuse
+          pass reports the size of its fusion group (from the node's
+          ["fused_nodes"] attribute); [0] for ordinary kernels. *)
 }
 
 type t

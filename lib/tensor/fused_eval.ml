@@ -1,0 +1,364 @@
+(* Evaluator for fused elementwise expressions. The graph optimizer's
+   Fuse pass collapses a chain/tree of pure elementwise operations into
+   one FusedElementwise node carrying a postfix expression over its
+   external inputs; this module interprets that expression once per
+   output element in a single pass over one output buffer, so a 10-op
+   chain costs one read and one write of memory instead of ten.
+
+   Bit-identity with unfused execution is the contract: each operation
+   applies exactly the scalar function its standalone kernel applies
+   (same primitive, same operand order), and for non-float dtypes every
+   {e binary} operation truncates its result through [int_of_float],
+   mirroring how [Tensor.map2_f] materializes integer tensors between
+   unfused ops ([Tensor.map_f] does not truncate, so unary ops don't
+   either). *)
+
+type expr =
+  | Input of int
+  | Unary of string * expr
+  | Binary of string * expr * expr
+
+(* Floor-mod, duplicated from Tensor_ops.floor_mod (same formula so the
+   fused path stays bit-identical to the Mod kernel). *)
+let floor_mod a b =
+  let r = Float.rem a b in
+  if r <> 0.0 && r < 0.0 <> (b < 0.0) then r +. b else r
+
+let unary_fn = function
+  | "Neg" -> Some (fun x -> -.x)
+  | "Abs" -> Some Float.abs
+  | "Sign" ->
+      Some (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+  | "Exp" -> Some Stdlib.exp
+  | "Log" -> Some Stdlib.log
+  | "Sqrt" -> Some Stdlib.sqrt
+  | "Square" -> Some (fun x -> x *. x)
+  | "Reciprocal" -> Some (fun x -> 1.0 /. x)
+  | "Relu" -> Some (fun x -> Float.max 0.0 x)
+  | "Sigmoid" -> Some (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+  | "Tanh" -> Some Stdlib.tanh
+  | _ -> None
+
+let binary_fn = function
+  | "Add" -> Some ( +. )
+  | "Sub" -> Some ( -. )
+  | "Mul" -> Some ( *. )
+  | "Div" -> Some ( /. )
+  | "Pow" -> Some ( ** )
+  | "Mod" -> Some floor_mod
+  | "Maximum" -> Some Float.max
+  | "Minimum" -> Some Float.min
+  | "ReluGrad" -> Some (fun g v -> if v > 0.0 then g else 0.0)
+  | _ -> None
+
+let is_unary op = Option.is_some (unary_fn op)
+let is_binary op = Option.is_some (binary_fn op)
+
+let rec num_inputs = function
+  | Input k -> k + 1
+  | Unary (_, e) -> num_inputs e
+  | Binary (_, a, b) -> Stdlib.max (num_inputs a) (num_inputs b)
+
+let rec op_count = function
+  | Input _ -> 0
+  | Unary (_, e) -> 1 + op_count e
+  | Binary (_, a, b) -> 1 + op_count a + op_count b
+
+(* Wire format for the node attribute: postfix token list, inputs as
+   "in<k>", operations by their graph op_type. *)
+let to_postfix expr =
+  (* [go acc e] returns [rev (postfix e) @ acc]: operator first, then
+     the second operand's tokens, then the first's — reversing at the
+     end yields true postfix, which [of_postfix] pops b-then-a. *)
+  let rec go acc = function
+    | Input k -> Printf.sprintf "in%d" k :: acc
+    | Unary (op, e) -> op :: go acc e
+    | Binary (op, a, b) -> op :: go (go acc a) b
+  in
+  List.rev (go [] expr)
+
+let of_postfix tokens =
+  let stack = ref [] in
+  List.iter
+    (fun tok ->
+      if String.length tok > 2 && String.sub tok 0 2 = "in" then
+        match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+        | Some k when k >= 0 -> stack := Input k :: !stack
+        | _ -> invalid_arg ("Fused_eval.of_postfix: bad input token " ^ tok)
+      else if is_unary tok then
+        match !stack with
+        | e :: rest -> stack := Unary (tok, e) :: rest
+        | [] -> invalid_arg "Fused_eval.of_postfix: unary underflow"
+      else if is_binary tok then
+        match !stack with
+        | b :: a :: rest -> stack := Binary (tok, a, b) :: rest
+        | _ -> invalid_arg "Fused_eval.of_postfix: binary underflow"
+      else invalid_arg ("Fused_eval.of_postfix: unknown token " ^ tok))
+    tokens;
+  match !stack with
+  | [ e ] -> e
+  | _ -> invalid_arg "Fused_eval.of_postfix: ill-formed expression"
+
+(* Execution is a blocked stack machine: the postfix expression runs
+   over L1-resident scratch chunks, one tight loop per operation per
+   chunk, with the scalar primitive inlined into the loop body. A naive
+   per-element closure tree pays a boxed-float allocation per operation
+   per element (OCaml boxes float returns across closure calls), which
+   costs more than the memory passes fusion is meant to save; blocking
+   amortizes operator dispatch over [chunk] elements and keeps every
+   intermediate in an unboxed float array. *)
+
+let chunk = 1024
+
+(* Per-op chunk loops with the primitive inlined. The scalar formulas
+   are character-for-character those of [unary_fn]/[binary_fn] (which
+   standalone kernels use), so blocked evaluation stays bit-identical.
+   Unlisted ops fall back to the closure-per-element loop. *)
+let unary_block op : float array -> int -> unit =
+  match op with
+  | "Neg" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- -.a.(i)
+        done
+  | "Abs" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Float.abs a.(i)
+        done
+  | "Sign" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          let x = a.(i) in
+          a.(i) <- (if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+        done
+  | "Exp" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Stdlib.exp a.(i)
+        done
+  | "Log" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Stdlib.log a.(i)
+        done
+  | "Sqrt" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Stdlib.sqrt a.(i)
+        done
+  | "Square" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          let x = a.(i) in
+          a.(i) <- x *. x
+        done
+  | "Reciprocal" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- 1.0 /. a.(i)
+        done
+  | "Relu" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Float.max 0.0 a.(i)
+        done
+  | "Sigmoid" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- 1.0 /. (1.0 +. Stdlib.exp (-.a.(i)))
+        done
+  | "Tanh" ->
+      fun a len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Stdlib.tanh a.(i)
+        done
+  | op -> (
+      match unary_fn op with
+      | Some f ->
+          fun a len ->
+            for i = 0 to len - 1 do
+              a.(i) <- f a.(i)
+            done
+      | None -> invalid_arg ("Fused_eval: unknown unary " ^ op))
+
+let binary_block op : float array -> float array -> int -> unit =
+  match op with
+  | "Add" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- a.(i) +. b.(i)
+        done
+  | "Sub" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- a.(i) -. b.(i)
+        done
+  | "Mul" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- a.(i) *. b.(i)
+        done
+  | "Div" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- a.(i) /. b.(i)
+        done
+  | "Pow" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- a.(i) ** b.(i)
+        done
+  | "Mod" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- floor_mod a.(i) b.(i)
+        done
+  | "Maximum" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Float.max a.(i) b.(i)
+        done
+  | "Minimum" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- Float.min a.(i) b.(i)
+        done
+  | "ReluGrad" ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- (if a.(i) > 0.0 then b.(i) else 0.0)
+        done
+  | op -> (
+      match binary_fn op with
+      | Some f ->
+          fun a b len ->
+            for i = 0 to len - 1 do
+              a.(i) <- f a.(i) b.(i)
+            done
+      | None -> invalid_arg ("Fused_eval: unknown binary " ^ op))
+
+(* Non-float variant: binary results truncate through int, exactly as a
+   chain of standalone [map2_f] kernels would materialize them. The
+   generic closure loop is fine here — integer graphs are small. *)
+let binary_block_int op : float array -> float array -> int -> unit =
+  match binary_fn op with
+  | Some f ->
+      fun a b len ->
+        for i = 0 to len - 1 do
+          a.(i) <- float_of_int (int_of_float (f a.(i) b.(i)))
+        done
+  | None -> invalid_arg ("Fused_eval: unknown binary " ^ op)
+
+(* One compiled step of the stack machine. [Load] fills the next free
+   scratch slot from an input for elements [pos .. pos+len); [Un]
+   rewrites the top slot in place; [Bin] combines the top two slots
+   into the lower one and pops. *)
+type step =
+  | Load of (float array -> int -> int -> unit)
+  | Un of (float array -> int -> unit)
+  | Bin of (float array -> float array -> int -> unit)
+
+let compile_steps ~floating ~loads expr =
+  List.map
+    (fun tok ->
+      if String.length tok > 2 && String.sub tok 0 2 = "in" then
+        Load loads.(int_of_string (String.sub tok 2 (String.length tok - 2)))
+      else if is_unary tok then Un (unary_block tok)
+      else Bin (if floating then binary_block tok else binary_block_int tok))
+    (to_postfix expr)
+
+let rec stack_depth = function
+  | Input _ -> 1
+  | Unary (_, e) -> stack_depth e
+  (* left-to-right postfix: a's tokens run first, then b's on top *)
+  | Binary (_, a, b) -> Stdlib.max (stack_depth a) (1 + stack_depth b)
+
+let root_is_binary = function Binary _ -> true | _ -> false
+
+let eval ?out expr inputs =
+  let n_in = Array.length inputs in
+  if n_in < num_inputs expr then
+    invalid_arg "Fused_eval.eval: expression references missing inputs";
+  let dtype = Tensor.dtype inputs.(0) in
+  Array.iter
+    (fun t ->
+      if not (Dtype.equal (Tensor.dtype t) dtype) then
+        invalid_arg "Fused_eval.eval: input dtype mismatch")
+    inputs;
+  let out_shape =
+    Array.fold_left
+      (fun acc t -> Shape.broadcast acc (Tensor.shape t))
+      [||] inputs
+  in
+  let n = Shape.numel out_shape in
+  (* Per-input chunk loads: a blit when the input already has the
+     output's element count (its plan is the identity), a fill for
+     scalars, the stride plan otherwise. *)
+  let loads =
+    Array.map
+      (fun t ->
+        let numel = Tensor.numel t in
+        if Dtype.is_floating (Tensor.dtype t) then begin
+          let buf = Tensor.float_buffer t in
+          if numel = n then fun dst pos len -> Array.blit buf pos dst 0 len
+          else if numel = 1 then begin
+            let v = buf.(0) in
+            fun dst _ len -> Array.fill dst 0 len v
+          end
+          else begin
+            let plan = Tensor.broadcast_plan t out_shape in
+            fun dst pos len ->
+              for i = 0 to len - 1 do
+                dst.(i) <- buf.(Tensor.plan_index plan (pos + i))
+              done
+          end
+        end
+        else if numel = n then fun dst pos len ->
+          for i = 0 to len - 1 do
+            dst.(i) <- Tensor.flat_get_f t (pos + i)
+          done
+        else if numel = 1 then begin
+          let v = Tensor.flat_get_f t 0 in
+          fun dst _ len -> Array.fill dst 0 len v
+        end
+        else begin
+          let plan = Tensor.broadcast_plan t out_shape in
+          fun dst pos len ->
+            for i = 0 to len - 1 do
+              dst.(i) <- Tensor.flat_get_f t (Tensor.plan_index plan (pos + i))
+            done
+        end)
+      inputs
+  in
+  let floating = Dtype.is_floating dtype in
+  let steps = compile_steps ~floating ~loads expr in
+  let depth = stack_depth expr in
+  let out = Tensor.use_or_alloc out n in
+  Parallel.parallel_for ~grain:(Tensor.elementwise_grain / 2) n (fun lo hi ->
+      let scratch = Array.init depth (fun _ -> Array.make chunk 0.0) in
+      let pos = ref lo in
+      while !pos < hi do
+        let len = Stdlib.min chunk (hi - !pos) in
+        let sp = ref 0 in
+        List.iter
+          (fun s ->
+            match s with
+            | Load load ->
+                load scratch.(!sp) !pos len;
+                incr sp
+            | Un f -> f scratch.(!sp - 1) len
+            | Bin f ->
+                f scratch.(!sp - 2) scratch.(!sp - 1) len;
+                decr sp)
+          steps;
+        Array.blit scratch.(0) 0 out !pos len;
+        pos := !pos + len
+      done);
+  if floating then Tensor.of_float_array ~dtype out_shape out
+  else if root_is_binary expr then
+    (* map2_f materializes integer results through int_of_float ... *)
+    Tensor.of_int_array ~dtype out_shape (Array.map int_of_float out)
+  else
+    (* ... while map_f keeps the float buffer under the integer dtype. *)
+    Tensor.of_float_array ~dtype out_shape out

@@ -1,0 +1,46 @@
+(** Single-pass evaluator for fused elementwise expressions.
+
+    The optimizer's Fuse pass collapses a tree of pure elementwise
+    operations into one [FusedElementwise] node whose "expr" attribute
+    is {!to_postfix} of the tree; the kernel parses it back with
+    {!of_postfix} and runs {!eval}. Evaluation is bit-identical to
+    executing the original operations one kernel at a time: every
+    operation applies the same scalar primitive in the same operand
+    order, broadcast projections compose (an input's stride plan
+    against the final output shape equals the chained per-op plans),
+    and non-float binary results truncate through [int_of_float]
+    exactly where a standalone [Tensor.map2_f] would have. *)
+
+type expr =
+  | Input of int  (** [Input k]: the fused node's k-th data input *)
+  | Unary of string * expr  (** graph op_type, e.g. ["Neg"], ["Tanh"] *)
+  | Binary of string * expr * expr  (** e.g. ["Add"], ["ReluGrad"] *)
+
+val is_unary : string -> bool
+(** Ops eligible as fused unaries: Neg, Abs, Sign, Exp, Log, Sqrt,
+    Square, Reciprocal, Relu, Sigmoid, Tanh. *)
+
+val is_binary : string -> bool
+(** Ops eligible as fused binaries: Add, Sub, Mul, Div, Pow, Mod,
+    Maximum, Minimum, ReluGrad. *)
+
+val num_inputs : expr -> int
+(** [1 + ] the highest input index referenced. *)
+
+val op_count : expr -> int
+(** Number of operation nodes in the expression (the fused group's
+    original size, minus any absorbed AddN arity adjustments). *)
+
+val to_postfix : expr -> string list
+(** Serialize to postfix tokens: ["in<k>"] for inputs, the op_type for
+    operations. *)
+
+val of_postfix : string list -> expr
+(** @raise Invalid_argument on unknown tokens or stack mismatch. *)
+
+val eval : ?out:float array -> expr -> Tensor.t array -> Tensor.t
+(** Evaluate over the inputs' broadcast shape in one sharded pass.
+    [?out] accepts the executor's in-place grant exactly as
+    {!Tensor.map_f} does (ignored unless its length matches the output
+    element count).
+    @raise Invalid_argument on missing inputs or dtype mismatch. *)

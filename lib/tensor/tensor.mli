@@ -129,6 +129,27 @@ val broadcast_index : t -> Shape.t -> int -> int
     nothing, so kernels can iterate an output space once and read every
     operand directly. *)
 
+type bplan
+(** A precomputed broadcast stride plan: per-dimension strides into a
+    source tensor, with stride 0 on broadcast dimensions. *)
+
+val broadcast_plan : t -> Shape.t -> bplan
+(** [broadcast_plan t out_shape] builds the plan {!broadcast_index}
+    uses internally; {!plan_index} applies it. Exposed so multi-operand
+    kernels (the fused elementwise evaluator) can hold one plan per
+    operand and map each output index without per-element closures. *)
+
+val plan_index : bplan -> int -> int
+
+val elementwise_grain : int
+(** Minimum flat-index span worth sharding across the intra-op pool;
+    below it dispatch overhead beats the loop. *)
+
+val use_or_alloc : float array option -> int -> float array
+(** [use_or_alloc out n] returns [out]'s buffer when it has exactly [n]
+    elements (the executor's in-place grant), else a fresh pool
+    allocation. *)
+
 val map2_cmp : (float -> float -> bool) -> t -> t -> t
 (** Broadcasting comparison producing a [Bool] tensor. *)
 

@@ -1,7 +1,9 @@
-(* Differential harness for the memory planner: seeded random DAGs must
-   fetch bit-identical tensors with planning on or off, under both
-   schedulers and two intra-op thread budgets. Any divergence means the
-   planner dropped or aliased a buffer somebody still read; the failing
+(* Differential harness for the memory planner and the fusion pass:
+   seeded random DAGs must fetch bit-identical tensors with planning on
+   or off and with elementwise fusion on or off, under both schedulers
+   and two intra-op thread budgets. Any divergence means the planner
+   dropped or aliased a buffer somebody still read, or a fused kernel
+   computed something its unfused originals would not; the failing
    graph is shrunk to its shortest failing prefix and printed. *)
 
 open Octf_tensor
@@ -232,29 +234,45 @@ let build_graph prog k =
 
 let configs =
   List.concat_map
-    (fun planning ->
+    (fun fusion ->
       List.concat_map
-        (fun scheduler ->
-          List.map (fun threads -> (planning, scheduler, threads)) [ 1; 4 ])
-        [ Scheduler.Inline; Scheduler.Pool ])
+        (fun planning ->
+          List.concat_map
+            (fun scheduler ->
+              List.map
+                (fun threads -> (fusion, planning, scheduler, threads))
+                [ 1; 4 ])
+            [ Scheduler.Inline; Scheduler.Pool ])
+        [ false; true ])
     [ false; true ]
 
-let config_to_string (planning, scheduler, threads) =
-  Printf.sprintf "planning=%b scheduler=%s threads=%d" planning
+let config_to_string (fusion, planning, scheduler, threads) =
+  Printf.sprintf "fusion=%b planning=%b scheduler=%s threads=%d" fusion
+    planning
     (Scheduler.policy_to_string scheduler)
     threads
 
 (* Run the program prefix under every configuration; Some description on
    the first divergence from the reference config, None if all agree. *)
 let divergence prog k =
-  let b, fetches, feeds = build_graph prog k in
-  if fetches = [] then None
+  let _, probe_fetches, _ = build_graph prog k in
+  if probe_fetches = [] then None
   else begin
-    let run (planning, scheduler, threads) =
+    let run (fusion, planning, scheduler, threads) =
       Parallel.set_threads threads;
+      (* Each configuration rebuilds the (deterministically identical)
+         graph: the fuse pass rewrites the graph in place at compile
+         time, so sharing one graph would leak fused nodes into the
+         unfused legs. *)
+      let b, fetches, feeds = build_graph prog k in
       let s =
-        Session.create ~optimize:false ~scheduler ~memory_planning:planning
-          (B.graph b)
+        if fusion then
+          Session.create
+            ~passes:[ Graph_optimizer.Fuse; Graph_optimizer.Prune ]
+            ~scheduler ~memory_planning:planning (B.graph b)
+        else
+          Session.create ~optimize:false ~scheduler ~memory_planning:planning
+            (B.graph b)
       in
       Session.run ~feeds s fetches
     in
@@ -378,7 +396,7 @@ let test_pipelined_variable_updates () =
 
 let suite =
   [
-    Alcotest.test_case "200 random DAGs, 8 configs, bit-identical" `Quick
+    Alcotest.test_case "200 random DAGs, 16 configs, bit-identical" `Quick
       test_random_dags;
     Alcotest.test_case "pipelined K=1/K=4/barrier bit-identical" `Quick
       test_pipelined_stateless;

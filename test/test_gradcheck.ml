@@ -66,6 +66,17 @@ let suite =
         in
         let y = B.mul b x half in
         B.add b (B.relu b y) (B.square b y));
+    (* AddN with broadcasting: the [3]-shaped x is expanded against the
+       [2;3] operands, so its gradient is the column sum of dy — a
+       plain pass-through of dy (the old behaviour) has the wrong shape
+       and the wrong values. *)
+    case "add_n with broadcasting" ~shape:[| 3 |] (fun b x ->
+        let m =
+          B.const b
+            (Tensor.of_float_array ~dtype:Dtype.F64 [| 2; 3 |]
+               [| 0.5; -1.0; 2.0; 1.5; 0.25; -0.75 |])
+        in
+        B.add_n b [ m; x; m ]);
     case "matmul" ~shape:[| 2; 3 |] (fun b x ->
         let w =
           B.const b

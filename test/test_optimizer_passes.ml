@@ -194,14 +194,72 @@ let test_freeze_pass () =
 let test_pass_names () =
   Alcotest.(check (list string))
     "pass names"
-    [ "prune"; "constant_fold"; "cse"; "freeze" ]
+    [ "prune"; "constant_fold"; "cse"; "fuse"; "freeze" ]
     (List.map Graph_optimizer.pass_name
        [
          Graph_optimizer.Prune;
          Graph_optimizer.Constant_fold;
          Graph_optimizer.Cse;
+         Graph_optimizer.Fuse;
          Graph_optimizer.Freeze (fun _ -> None);
        ])
+
+(* Control dependencies are a set: two otherwise identical nodes whose
+   control lists differ only in order must merge. Built via
+   Graph.add_node because Builder.op sorts control inputs itself, which
+   would mask the sensitivity. *)
+let test_cse_control_input_order () =
+  let b = B.create () in
+  let x = B.placeholder b Dtype.F32 in
+  let c1 = B.square b x in
+  let c2 = B.sqrt b x in
+  let g = B.graph b in
+  let xe = B.endpoint_of_output x in
+  let n1 =
+    Graph.add_node g ~name:"n1" ~inputs:[ xe ]
+      ~control_inputs:[ c1.B.node.Node.id; c2.B.node.Node.id ]
+      ~op_type:"Neg" ()
+  in
+  let n2 =
+    Graph.add_node g ~name:"n2" ~inputs:[ xe ]
+      ~control_inputs:[ c2.B.node.Node.id; c1.B.node.Node.id ]
+      ~op_type:"Neg" ()
+  in
+  let y =
+    Graph.add_node g ~name:"y"
+      ~inputs:[ Node.endpoint n1.Node.id 0; Node.endpoint n2.Node.id 0 ]
+      ~op_type:"Add" ()
+  in
+  Graph_optimizer.optimize g
+    ~nodes:(List.init (Graph.node_count g) Fun.id)
+    ~feeds:[ xe ];
+  let y_node = Graph.get g y.Node.id in
+  Alcotest.(check int) "order-permuted control sets merged"
+    y_node.Node.inputs.(0).Node.node_id
+    y_node.Node.inputs.(1).Node.node_id
+
+(* Multi-output pure ops fold too: a Const-fed Split folds to one Const
+   per output slot, letting the whole downstream chain fold. *)
+let test_multi_output_constant_fold () =
+  let b = B.create () in
+  let c =
+    B.const b (Tensor.of_float_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |])
+  in
+  let parts = B.split b c ~axis:0 ~num:2 in
+  let y =
+    match parts with
+    | [ p0; p1 ] -> B.add b p0 p1
+    | _ -> Alcotest.fail "split arity"
+  in
+  let z = B.neg b y in
+  Graph_optimizer.optimize (B.graph b) ~nodes:(all_ids b) ~feeds:[];
+  let z_node = Graph.get (B.graph b) z.B.node.Node.id in
+  Alcotest.(check string) "folding propagated through Split" "Const"
+    (Graph.get (B.graph b) z_node.Node.inputs.(0).Node.node_id).Node.op_type;
+  let s = Session.create ~optimize:false (B.graph b) in
+  let t = List.hd (Session.run s [ z ]) in
+  Alcotest.(check (float 0.)) "value [0]" (-4.0) (Tensor.flat_get_f t 0);
+  Alcotest.(check (float 0.)) "value [1]" (-6.0) (Tensor.flat_get_f t 1)
 
 let suite =
   [
@@ -210,6 +268,10 @@ let suite =
     Alcotest.test_case "freeze pass" `Quick test_freeze_pass;
     Alcotest.test_case "pass names" `Quick test_pass_names;
     Alcotest.test_case "cse merges" `Quick test_cse_merges_duplicates;
+    Alcotest.test_case "cse ignores control-input order" `Quick
+      test_cse_control_input_order;
+    Alcotest.test_case "multi-output constant fold" `Quick
+      test_multi_output_constant_fold;
     Alcotest.test_case "stateful never merged" `Quick test_stateful_never_merged;
     Alcotest.test_case "fed nodes kept" `Quick test_fed_nodes_not_folded;
     Alcotest.test_case "optimized run matches" `Quick
