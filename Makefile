@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline bench-serving fault-smoke metrics-smoke pipeline-smoke serving-smoke dist-smoke ci clean
+.PHONY: all build test fmt bench-smoke bench-kernels bench-memory bench-pipeline bench-serving bench-quant fault-smoke metrics-smoke pipeline-smoke serving-smoke quant-smoke dist-smoke ci clean
 
 all: build
 
@@ -56,6 +56,22 @@ serving-smoke:
 	  --train-steps 10 --clients 4 --requests 20 --assert-batched
 	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- serving
 
+# Quantized inference: freeze + calibrate + int8-rewrite the MNIST
+# convnet, measure img/s and top-1 agreement against the float frozen
+# twin; writes BENCH_quant.json and fails unless the quantized leg is
+# >= 1.3x faster OR the mechanism holds (>= 2 islands rewritten, 4x
+# weight-memory cut, top-1 delta <= 0.15). Full sizes — set
+# OCTF_BENCH_SMOKE=1 for CI speed.
+bench-quant:
+	dune exec bench/main.exe -- quant
+
+# Quantized-serving smoke: the serve CLI over an int8-rewritten frozen
+# graph (dynamic ranges), then the quant benchmark in smoke sizes.
+quant-smoke:
+	dune exec bin/octf_cli.exe -- serve --model mnist-cnn \
+	  --train-steps 10 --clients 4 --requests 20 --quantize=true
+	OCTF_BENCH_SMOKE=1 dune exec bench/main.exe -- quant
+
 # Deterministic-seed smoke for the fault injector: the same seed must
 # reproduce the same fault sequence.
 fault-smoke:
@@ -92,7 +108,7 @@ dist-smoke: build
 	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario dropconn
 	timeout -k 5 90 ./_build/default/bin/octf_cli.exe dist-smoke --scenario framedelay
 
-ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke serving-smoke dist-smoke
+ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke serving-smoke quant-smoke dist-smoke
 	OCTF_SCHEDULER=pool dune runtest --force
 	OCTF_INTRA_OP_THREADS=1 OCTF_SCHEDULER=inline dune runtest --force
 	OCTF_INTRA_OP_THREADS=4 OCTF_SCHEDULER=inline dune runtest --force
@@ -104,6 +120,9 @@ ci: build test fmt bench-smoke fault-smoke metrics-smoke pipeline-smoke serving-
 	OCTF_SCHEDULER=pool dune exec test/test_main.exe -- test metrics
 	OCTF_MEMORY_PLANNING=off dune runtest --force
 	OCTF_FUSION=off dune runtest --force
+	OCTF_QUANTIZE=off dune runtest --force
+	OCTF_QUANTIZE=on dune exec test/test_main.exe -- test quantization
+	OCTF_QUANTIZE=on dune exec test/test_main.exe -- test quant_accuracy
 	OCTF_MEMORY_PLANNING=on dune exec test/test_main.exe -- test differential
 	OCTF_MEMORY_PLANNING=off dune exec test/test_main.exe -- test differential
 	OCTF_FUSION=on dune exec test/test_main.exe -- test differential

@@ -206,6 +206,18 @@ let fusion_arg =
            results are bit-identical either way. Defaults to \
            \\$OCTF_FUSION or $(b,true).")
 
+let quantize_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "quantize" ] ~docv:"BOOL"
+        ~doc:
+          "Enable or disable the int8 quantization optimizer pass on \
+           frozen inference graphs: eligible MatMul/Conv2D islands run \
+           on 8-bit codes with 4x-smaller weight constants (numerics \
+           change within one quantization step per tensor). Defaults \
+           to \\$OCTF_QUANTIZE or $(b,false).")
+
 (* ------------------------------ faults ----------------------------- *)
 
 let fault_conv =
@@ -420,7 +432,8 @@ let octf_cluster_of_entries entries =
 
 (* ------------------------------ train ------------------------------ *)
 let train steps lr scheduler intra_op max_in_flight planning pool_mb fusion
-    deadline_ms fault fault_seed metrics stats_every net_cluster job task =
+    quantize deadline_ms fault fault_seed metrics stats_every net_cluster job
+    task =
   apply_intra_op intra_op;
   apply_memory planning pool_mb;
   let module Vs = Octf_nn.Var_store in
@@ -464,7 +477,7 @@ let train steps lr scheduler intra_op max_in_flight planning pool_mb fusion
   let session =
     Octf.Cluster.session cluster
       ~config:
-        (Octf.Session.Config.v ~scheduler ?max_in_flight ?fusion
+        (Octf.Session.Config.v ~scheduler ?max_in_flight ?fusion ?quantize
            ?remote:(Option.map Octf_net.Runtime.runner rt)
            ())
       (B.graph b)
@@ -626,7 +639,8 @@ let train_cmd =
     Term.(
       const train $ steps $ lr $ scheduler_arg $ intra_op_arg
       $ max_in_flight_arg $ memory_planning_arg $ buffer_pool_mb_arg
-      $ fusion_arg $ deadline_arg $ fault_arg $ fault_seed_arg $ metrics_arg
+      $ fusion_arg $ quantize_arg $ deadline_arg $ fault_arg $ fault_seed_arg
+      $ metrics_arg
       $ stats_every_arg $ cluster_arg $ job_arg ~default:"worker" $ task_arg)
 
 (* ------------------------------ worker ----------------------------- *)
@@ -1130,7 +1144,7 @@ let percentile sorted p =
 
 let serve model train_steps clients requests max_batch max_delay_ms
     queue_capacity deadline_ms assert_batched scheduler intra_op planning
-    pool_mb metrics =
+    pool_mb quantize metrics =
   apply_intra_op intra_op;
   apply_memory planning pool_mb;
   if metrics <> None then Octf.Metrics.set_kernel_timing true;
@@ -1142,7 +1156,7 @@ let serve model train_steps clients requests max_batch max_delay_ms
   let frozen =
     Serving.freeze_session
       ~config:(Octf.Session.Config.v ~scheduler ())
-      ~inputs:sm.sm_inputs ~outputs:sm.sm_outputs sm.sm_session
+      ?quantize ~inputs:sm.sm_inputs ~outputs:sm.sm_outputs sm.sm_session
   in
   let total = Octf.Graph.node_count (Octf.Session.graph sm.sm_session) in
   let kept =
@@ -1282,7 +1296,7 @@ let serve_cmd =
       const serve $ model $ train_steps $ clients $ requests $ max_batch
       $ max_delay_ms $ queue_capacity $ deadline_arg $ assert_batched
       $ scheduler_arg $ intra_op_arg $ memory_planning_arg
-      $ buffer_pool_mb_arg $ metrics_arg)
+      $ buffer_pool_mb_arg $ quantize_arg $ metrics_arg)
 
 (* ------------------------------ trace ------------------------------ *)
 

@@ -61,6 +61,9 @@ let find_bool attrs name =
 let find_int attrs name =
   match find attrs name with Some (Int i) -> Some i | _ -> None
 
+let find_float attrs name =
+  match find attrs name with Some (Float f) -> Some f | _ -> None
+
 let find_string attrs name =
   match find attrs name with Some (String s) -> Some s | _ -> None
 

@@ -48,6 +48,8 @@ val find_bool : (string * t) list -> string -> bool option
 
 val find_int : (string * t) list -> string -> int option
 
+val find_float : (string * t) list -> string -> float option
+
 val find_string : (string * t) list -> string -> string option
 
 val find_dtype : (string * t) list -> string -> Dtype.t option

@@ -347,6 +347,66 @@ let dequantize b ?name q lo hi =
 let quantized_matmul b ?name (qa, a_lo, a_hi) (qb, b_lo, b_hi) =
   op1 b ?name ~op_type:"QuantizedMatMul" [ qa; a_lo; a_hi; qb; b_lo; b_hi ]
 
+let quantize_range b ?name ~lo ~hi x =
+  let node =
+    op b ?name
+      ~attrs:[ ("lo", Attr.Float lo); ("hi", Attr.Float hi) ]
+      ~op_type:"QuantizeRange" [ x ]
+  in
+  (output ~index:0 node, output ~index:1 node, output ~index:2 node)
+
+let quantized_conv2d b ?name ~strides ~padding (qi, i_lo, i_hi)
+    (qf, f_lo, f_hi) =
+  let sh, sw = strides in
+  op1 b ?name
+    ~attrs:[ ("strides", Attr.Ints [ sh; sw ]); padding_attr padding ]
+    ~op_type:"QuantizedConv2D" [ qi; i_lo; i_hi; qf; f_lo; f_hi ]
+
+(* Codes-out contractions: epilogue and calibrated output range ride as
+   attrs (see Quant_kernels); a bias epilogue appends the float bias
+   vector as input 6. *)
+let q_attrs ~epilogue ~out_range =
+  let ep =
+    match epilogue with
+    | `None -> "none"
+    | `Bias -> "bias"
+    | `Relu -> "relu"
+    | `Bias_relu -> "bias_relu"
+  in
+  ("epilogue", Attr.String ep)
+  ::
+  (match out_range with
+  | None -> []
+  | Some (lo, hi) -> [ ("out_lo", Attr.Float lo); ("out_hi", Attr.Float hi) ])
+
+let q_outputs node =
+  (output ~index:0 node, output ~index:1 node, output ~index:2 node)
+
+let quantized_matmul_q b ?name ?(epilogue = `None) ?out_range ?bias
+    (qa, a_lo, a_hi) (qb, b_lo, b_hi) =
+  let inputs =
+    [ qa; a_lo; a_hi; qb; b_lo; b_hi ]
+    @ match bias with None -> [] | Some bv -> [ bv ]
+  in
+  q_outputs
+    (op b ?name ~attrs:(q_attrs ~epilogue ~out_range)
+       ~op_type:"QuantizedMatMulQ" inputs)
+
+let quantized_conv2d_q b ?name ?(epilogue = `None) ?out_range ?bias ~strides
+    ~padding (qi, i_lo, i_hi) (qf, f_lo, f_hi) =
+  let sh, sw = strides in
+  let inputs =
+    [ qi; i_lo; i_hi; qf; f_lo; f_hi ]
+    @ match bias with None -> [] | Some bv -> [ bv ]
+  in
+  q_outputs
+    (op b ?name
+       ~attrs:
+         (("strides", Attr.Ints [ sh; sw ])
+         :: padding_attr padding
+         :: q_attrs ~epilogue ~out_range)
+       ~op_type:"QuantizedConv2DQ" inputs)
+
 let fifo_queue b ?name ~capacity ~num_components () =
   op1 b ?name
     ~attrs:

@@ -291,6 +291,49 @@ val quantized_matmul :
   output * output * output ->
   output
 
+val quantize_range :
+  t -> ?name:string -> lo:float -> hi:float -> output -> output * output * output
+(** Quantize against a fixed (calibrated) range carried as attrs; the
+    range scalars are echoed as outputs 1 and 2 so the codes plug into
+    the same consumers as {!quantize}. *)
+
+val quantized_conv2d :
+  t ->
+  ?name:string ->
+  strides:int * int ->
+  padding:[ `Same | `Valid ] ->
+  output * output * output ->
+  output * output * output ->
+  output
+(** Quantized NHWC x HWIO convolution producing the rescaled float
+    result: [(codes, lo, hi)] triples for input and filter. *)
+
+val quantized_matmul_q :
+  t ->
+  ?name:string ->
+  ?epilogue:[ `None | `Bias | `Relu | `Bias_relu ] ->
+  ?out_range:float * float ->
+  ?bias:output ->
+  output * output * output ->
+  output * output * output ->
+  output * output * output
+(** Codes-out quantized matmul: integer product, optional fused bias /
+    ReLU epilogue, requantized to [(codes, lo, hi)] — against
+    [out_range] when given, else a dynamic min/max pass. *)
+
+val quantized_conv2d_q :
+  t ->
+  ?name:string ->
+  ?epilogue:[ `None | `Bias | `Relu | `Bias_relu ] ->
+  ?out_range:float * float ->
+  ?bias:output ->
+  strides:int * int ->
+  padding:[ `Same | `Valid ] ->
+  output * output * output ->
+  output * output * output ->
+  output * output * output
+(** Codes-out quantized convolution; see {!quantized_matmul_q}. *)
+
 (** {1 Queues} *)
 
 val fifo_queue :

@@ -46,6 +46,7 @@ let write_tensor oc name t =
         Bytes.set_int64_le b (i * 8) (Int64.of_int (Tensor.flat_get_i t i))
       done;
       output_bytes oc b
+  | Dtype.U8 -> output_bytes oc (Tensor.byte_buffer t)
   | Dtype.String ->
       Array.iter (fun s -> write_string oc s) (Tensor.string_buffer t)
 
@@ -116,6 +117,10 @@ let read_tensor ic path =
         let b = Bytes.of_string (input_exact ic path (n * 8) "tensor data") in
         Tensor.of_int_array ~dtype shape
           (Array.init n (fun i -> Int64.to_int (Bytes.get_int64_le b (i * 8))))
+    | Dtype.U8 ->
+        need_bytes n;
+        Tensor.of_bytes shape
+          (Bytes.of_string (input_exact ic path n "tensor data"))
     | Dtype.Bool ->
         need_bytes (n * 8);
         let b = Bytes.of_string (input_exact ic path (n * 8) "tensor data") in

@@ -392,12 +392,370 @@ let fuse graph ~nodes ~fed ~pinned =
     order;
   !groups
 
+(* -------------------------- quantization ------------------------- *)
+
+(* Rewrite eligible MatMul / Conv2D subgraphs of a frozen inference
+   graph into int8 islands (§5: gemmlowp-style quantized inference):
+
+     x ──► Quantize[Range] ──► Quantized<Op>[Q] ──► [Dequantize] ──► ...
+             weights: pre-quantized at rewrite time into a packed uint8
+             codes Const plus two scalar range Consts (4x smaller).
+
+   Eligibility: the root is a pure, unfed, unpinned MatMul (no
+   transposes) or Conv2D with no control edges in either direction
+   whose weight operand (input 1) is a Const holding an F32 tensor —
+   which is exactly what [Freeze] produces for inference graphs, and
+   keeps the pass inert on training graphs (weights are Reads of
+   Variables) and on F64 gradient-check graphs.
+
+   With a calibrated range for the island's output ([ranges] hit on the
+   node name), the island absorbs the usual inference epilogue — a
+   broadcast Add of a rank-1 F32 Const bias, then Relu, each single-
+   consumer and clean — into the codes-out kernel variant and decodes
+   through an explicit Dequantize. Consecutive calibrated islands then
+   exchange codes directly: a later elision sweep rewires any
+   Quantize-of-Dequantize straight to the producer's code/range
+   endpoints (legal because codes and range travel together — the
+   producer's calibrated range becomes authoritative for the consumer).
+   Without a calibrated output range the island is the root alone,
+   lowered to the float-out kernel (dynamic activation quantization).
+
+   Pinned (fetched) nodes are never rewritten, so a model's final
+   logits layer stays float — standard quantization practice. *)
+
+let m_quant_islands =
+  Metrics.Counter.v ~help:"Subgraphs rewritten to int8 islands"
+    "octf_quant_islands_total"
+
+let m_quant_elisions =
+  Metrics.Counter.v
+    ~help:"Dequantize->Quantize pairs elided between adjacent islands"
+    "octf_quant_elisions_total"
+
+let m_quant_weight_bytes_float =
+  Metrics.Counter.v ~help:"Float bytes of weights consumed by quantization"
+    "octf_quant_weight_bytes_float_total"
+
+let m_quant_weight_bytes_code =
+  Metrics.Counter.v ~help:"Packed uint8 bytes of quantized weight codes"
+    "octf_quant_weight_bytes_code_total"
+
+(* Per-slot redirect with arbitrary endpoint targets: consumer endpoint
+   (old_id, k) moves to [targets.(k)] — used by elision, where output k
+   of a minted Quantize node maps to the k-th input endpoint of the
+   producing Dequantize. *)
+let redirect_to_endpoints graph ~old_id ~(targets : Node.endpoint array) =
+  Graph.iter graph (fun n ->
+      Array.iteri
+        (fun slot (e : Node.endpoint) ->
+          if e.node_id = old_id && e.index < Array.length targets then
+            Graph.set_input graph ~node_id:n.Node.id ~slot targets.(e.index))
+        n.Node.inputs);
+  Graph.iter graph (fun n ->
+      if List.mem old_id n.Node.control_inputs then
+        Graph.replace_control_inputs graph ~node_id:n.Node.id
+          (List.sort_uniq compare
+             (List.map
+                (fun c -> if c = old_id then targets.(0).Node.node_id else c)
+                n.Node.control_inputs)))
+
+let endpoint_name graph (e : Node.endpoint) =
+  let p = Graph.get graph e.node_id in
+  if e.index = 0 then p.Node.name
+  else Printf.sprintf "%s:%d" p.Node.name e.index
+
+let const_tensor graph id =
+  let p = Graph.get graph id in
+  if p.Node.op_type = "Const" then
+    match List.assoc_opt "value" p.Node.attrs with
+    | Some (Attr.Tensor t) -> Some t
+    | _ -> None
+  else None
+
+let quantize_graph graph ~nodes ~fed ~pinned ~ranges =
+  let in_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) nodes;
+  let data_consumers = Hashtbl.create 64 in
+  let consumers_of = Hashtbl.create 64 in
+  let control_dep = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let n = Graph.get graph id in
+      Array.iter
+        (fun (e : Node.endpoint) ->
+          Hashtbl.replace data_consumers e.node_id
+            (1
+            + Option.value ~default:0
+                (Hashtbl.find_opt data_consumers e.node_id));
+          Hashtbl.replace consumers_of e.node_id
+            (n.Node.id
+            :: Option.value ~default:[]
+                 (Hashtbl.find_opt consumers_of e.node_id)))
+        n.Node.inputs;
+      List.iter
+        (fun c -> Hashtbl.replace control_dep c ())
+        n.Node.control_inputs)
+    nodes;
+  let rewritten = Hashtbl.create 16 in
+  let clean (n : Node.t) =
+    Hashtbl.mem in_set n.Node.id
+    && (not (Hashtbl.mem fed n.Node.id))
+    && (not (Hashtbl.mem pinned n.Node.id))
+    && (not (Hashtbl.mem rewritten n.Node.id))
+    && is_pure n
+    && n.Node.control_inputs = []
+    && not (Hashtbl.mem control_dep n.Node.id)
+  in
+  (* Output width of the contraction, for bias-length checks. *)
+  let out_cols (root : Node.t) w =
+    match root.Node.op_type with
+    | "MatMul" -> (Tensor.shape w).(1)
+    | _ -> (Tensor.shape w).(3)
+  in
+  let weight_of (root : Node.t) =
+    if Array.length root.Node.inputs <> 2 then None
+    else
+      let e = root.Node.inputs.(1) in
+      if e.Node.index <> 0 then None
+      else
+        match const_tensor graph e.node_id with
+        | Some w
+          when Tensor.dtype w = Dtype.F32
+               && Tensor.rank w
+                  = (if root.Node.op_type = "MatMul" then 2 else 4) ->
+            Some (Graph.get graph e.node_id, w)
+        | _ -> None
+  in
+  let no_transpose (n : Node.t) name =
+    not (Option.value ~default:false (Attr.find_bool n.Node.attrs name))
+  in
+  let eligible_root (n : Node.t) =
+    clean n
+    && (match n.Node.op_type with
+       | "MatMul" -> no_transpose n "transpose_a" && no_transpose n "transpose_b"
+       | "Conv2D" -> true
+       | _ -> false)
+    && weight_of n <> None
+  in
+  let sole_consumer (n : Node.t) =
+    if
+      Option.value ~default:0 (Hashtbl.find_opt data_consumers n.Node.id) = 1
+    then
+      match Hashtbl.find_opt consumers_of n.Node.id with
+      | Some [ cid ] -> Some (Graph.get graph cid)
+      | _ -> None
+    else None
+  in
+  (* The broadcast bias-add epilogue: Add(island, b) or Add(b, island)
+     with [b] a rank-1 F32 Const matching the contraction's width. *)
+  let bias_endpoint_of ~prev ~cols (c : Node.t) =
+    if c.Node.op_type <> "Add" || Array.length c.Node.inputs <> 2 then None
+    else
+      let other =
+        if c.Node.inputs.(0).Node.node_id = prev then Some c.Node.inputs.(1)
+        else if c.Node.inputs.(1).Node.node_id = prev then
+          Some c.Node.inputs.(0)
+        else None
+      in
+      match other with
+      | Some e when e.Node.index = 0 -> (
+          match const_tensor graph e.node_id with
+          | Some b
+            when Tensor.dtype b = Dtype.F32
+                 && Tensor.rank b = 1
+                 && (Tensor.shape b).(0) = cols ->
+              Some e
+          | _ -> None)
+      | _ -> None
+  in
+  let absorb (root : Node.t) ~cols =
+    let bias = ref None and relu = ref None and last = ref root in
+    let try_relu (c : Node.t) =
+      if c.Node.op_type = "Relu" && Array.length c.Node.inputs = 1 then begin
+        relu := Some c.Node.id;
+        last := c
+      end
+    in
+    (match sole_consumer root with
+    | Some c when clean c && c.Node.device_spec = root.Node.device_spec -> (
+        match bias_endpoint_of ~prev:root.Node.id ~cols c with
+        | Some be ->
+            bias := Some be;
+            last := c
+        | None -> try_relu c)
+    | _ -> ());
+    if !relu = None && !bias <> None then (
+      match sole_consumer !last with
+      | Some c when clean c && c.Node.device_spec = root.Node.device_spec ->
+          try_relu c
+      | _ -> ());
+    (!bias, !relu, !last)
+  in
+  let weight_cache = Hashtbl.create 8 in
+  let quantized_weight (wnode : Node.t) w =
+    match Hashtbl.find_opt weight_cache wnode.Node.id with
+    | Some trio -> trio
+    | None ->
+        let qw, wlo, whi = Quant_kernels.quantize w in
+        let mk suffix v =
+          (Graph.add_node graph
+             ~name:(wnode.Node.name ^ suffix)
+             ~attrs:[ ("value", Attr.Tensor v) ]
+             ~device:wnode.Node.device_spec ~op_type:"Const" ())
+            .Node.id
+        in
+        let trio =
+          ( mk "/codes" qw,
+            mk "/qlo" (Tensor.scalar_f wlo),
+            mk "/qhi" (Tensor.scalar_f whi) )
+        in
+        Metrics.Counter.add m_quant_weight_bytes_float (Tensor.byte_size w);
+        Metrics.Counter.add m_quant_weight_bytes_code (Tensor.byte_size qw);
+        Hashtbl.replace weight_cache wnode.Node.id trio;
+        trio
+  in
+  (* Minted activation-quantize nodes, remembered for the elision sweep. *)
+  let minted_quants = ref [] in
+  let quant_input (root : Node.t) =
+    let e0 = root.Node.inputs.(0) in
+    let node =
+      match ranges (endpoint_name graph e0) with
+      | Some (lo, hi) ->
+          Graph.add_node graph
+            ~name:(root.Node.name ^ "/qin")
+            ~inputs:[ e0 ]
+            ~attrs:[ ("lo", Attr.Float lo); ("hi", Attr.Float hi) ]
+            ~device:root.Node.device_spec ~op_type:"QuantizeRange" ()
+      | None ->
+          Graph.add_node graph
+            ~name:(root.Node.name ^ "/qin")
+            ~inputs:[ e0 ] ~device:root.Node.device_spec ~op_type:"Quantize"
+            ()
+    in
+    minted_quants := node.Node.id :: !minted_quants;
+    node
+  in
+  let contraction_attrs (root : Node.t) =
+    if root.Node.op_type = "Conv2D" then
+      [
+        ("strides", Attr.Ints (Node.attr_ints root "strides"));
+        ("padding", Attr.String (Node.attr_string root "padding"));
+      ]
+    else []
+  in
+  let islands = ref 0 in
+  let order = Graph.topological_order graph in
+  List.iter
+    (fun (n : Node.t) ->
+      let n = Graph.get graph n.Node.id in
+      if eligible_root n then begin
+        let wnode, w = Option.get (weight_of n) in
+        let cols = out_cols n w in
+        let bias_e, relu_id, last = absorb n ~cols in
+        let qa = quant_input n in
+        let cw, lw, hw = quantized_weight wnode w in
+        let base_inputs =
+          [
+            Node.endpoint qa.Node.id 0;
+            Node.endpoint qa.Node.id 1;
+            Node.endpoint qa.Node.id 2;
+            Node.endpoint cw 0;
+            Node.endpoint lw 0;
+            Node.endpoint hw 0;
+          ]
+        in
+        (match ranges last.Node.name with
+        | Some (out_lo, out_hi) ->
+            (* Calibrated: codes-out kernel with fused epilogue, decoded
+               by an explicit Dequantize so downstream islands can elide
+               the float round trip. *)
+            let epilogue =
+              match (bias_e, relu_id) with
+              | None, None -> "none"
+              | Some _, None -> "bias"
+              | None, Some _ -> "relu"
+              | Some _, Some _ -> "bias_relu"
+            in
+            let op_type =
+              if n.Node.op_type = "MatMul" then "QuantizedMatMulQ"
+              else "QuantizedConv2DQ"
+            in
+            let qnode =
+              Graph.add_node graph
+                ~name:(n.Node.name ^ "/quant")
+                ~inputs:
+                  (base_inputs
+                  @ match bias_e with None -> [] | Some e -> [ e ])
+                ~attrs:
+                  (contraction_attrs n
+                  @ [
+                      ("epilogue", Attr.String epilogue);
+                      ("out_lo", Attr.Float out_lo);
+                      ("out_hi", Attr.Float out_hi);
+                    ])
+                ~device:n.Node.device_spec ~op_type ()
+            in
+            let deq =
+              Graph.add_node graph
+                ~name:(n.Node.name ^ "/deq")
+                ~inputs:
+                  [
+                    Node.endpoint qnode.Node.id 0;
+                    Node.endpoint qnode.Node.id 1;
+                    Node.endpoint qnode.Node.id 2;
+                  ]
+                ~device:n.Node.device_spec ~op_type:"Dequantize" ()
+            in
+            redirect graph ~old_id:last.Node.id ~new_id:deq.Node.id;
+            Hashtbl.replace rewritten n.Node.id ();
+            Hashtbl.replace rewritten last.Node.id ();
+            (match relu_id with
+            | Some rid -> Hashtbl.replace rewritten rid ()
+            | None -> ())
+        | None ->
+            (* No calibrated output range: lower the root alone to the
+               float-out kernel (dynamic activation quantization). *)
+            let op_type =
+              if n.Node.op_type = "MatMul" then "QuantizedMatMul"
+              else "QuantizedConv2D"
+            in
+            let qnode =
+              Graph.add_node graph
+                ~name:(n.Node.name ^ "/quant")
+                ~inputs:base_inputs ~attrs:(contraction_attrs n)
+                ~device:n.Node.device_spec ~op_type ()
+            in
+            redirect graph ~old_id:n.Node.id ~new_id:qnode.Node.id;
+            Hashtbl.replace rewritten n.Node.id ());
+        incr islands;
+        Metrics.Counter.incr m_quant_islands
+      end)
+    order;
+  (* Elision: a minted Quantize[Range] reading a Dequantize's output
+     takes the producer's code/range endpoints directly. *)
+  List.iter
+    (fun qid ->
+      let qn = Graph.get graph qid in
+      let e0 = qn.Node.inputs.(0) in
+      let p = Graph.get graph e0.node_id in
+      if
+        p.Node.op_type = "Dequantize"
+        && e0.Node.index = 0
+        && Array.length p.Node.inputs = 3
+      then begin
+        redirect_to_endpoints graph ~old_id:qid ~targets:p.Node.inputs;
+        Metrics.Counter.incr m_quant_elisions
+      end)
+    (List.rev !minted_quants);
+  !islands
+
 type pass =
   | Prune
   | Constant_fold
   | Cse
   | Fuse
   | Freeze of (string -> Tensor.t option)
+  | Quantize of (string -> (float * float) option)
 
 (* The mid-pipeline Prune refreshes the node set so Consts minted by
    folding are visible to CSE (rewriting passes only see the current
@@ -415,6 +773,7 @@ let pass_name = function
   | Cse -> "cse"
   | Fuse -> "fuse"
   | Freeze _ -> "freeze"
+  | Quantize _ -> "quantize"
 
 let run graph ~passes ~feeds ~fetches ~targets =
   let fed = Hashtbl.create 8 in
@@ -434,7 +793,9 @@ let run graph ~passes ~feeds ~fetches ~targets =
       | Constant_fold -> ignore (constant_fold graph ~nodes:!nodes ~fed)
       | Cse -> ignore (cse graph ~nodes:!nodes ~fed)
       | Fuse -> ignore (fuse graph ~nodes:!nodes ~fed ~pinned)
-      | Freeze lookup -> ignore (freeze graph ~nodes:!nodes ~fed ~lookup))
+      | Freeze lookup -> ignore (freeze graph ~nodes:!nodes ~fed ~lookup)
+      | Quantize ranges ->
+          ignore (quantize_graph graph ~nodes:!nodes ~fed ~pinned ~ranges))
     passes;
   !nodes
 

@@ -47,6 +47,25 @@ type pass =
           {!Prune} drops the [Variable] nodes and the whole training
           subgraph from the executed set. Variables the lookup returns
           [None] for (e.g. uninitialized) are left untouched. *)
+  | Quantize of (string -> (float * float) option)
+      (** Rewrite eligible MatMul / Conv2D subgraphs of a frozen
+          inference graph into int8 islands (§5): activations pass
+          through [Quantize] (or [QuantizeRange], when the lookup
+          yields a calibrated [(lo, hi)] for the input endpoint name —
+          ["name"] or ["name:k"]), weights are pre-quantized at rewrite
+          time into packed uint8 [Const]s (4x smaller), and the
+          contraction runs as a quantized kernel. When the lookup
+          yields a range for the island's {e output} node name, the
+          island absorbs a bias-Add/Relu epilogue into a codes-out
+          kernel followed by an explicit [Dequantize]; consecutive
+          calibrated islands then exchange codes directly (the
+          Dequantize→Quantize pair between them is elided — the
+          producer's range becomes authoritative). Fetched nodes are
+          never rewritten, so final logits stay float. Inert on
+          training and F64 graphs: the weight operand must be an F32
+          [Const], which only {!Freeze} produces. Pass
+          [(fun _ -> None)] for uncalibrated dynamic quantization.
+          Follow with {!Prune}. *)
 
 val default_pipeline : pass list
 (** [[Constant_fold; Prune; Cse; Prune]] — what sessions run per step
@@ -64,7 +83,7 @@ val fused_pipeline : pass list
 
 val pass_name : pass -> string
 (** Stable lowercase name ("prune", "constant_fold", "cse", "fuse",
-    "freeze") for logs and metrics labels. *)
+    "freeze", "quantize") for logs and metrics labels. *)
 
 val run :
   Graph.t ->

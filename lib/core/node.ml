@@ -47,7 +47,7 @@ let num_outputs n =
   match n.op_type with
   | "NoOp" | "Save" | "Enqueue" | "EnqueueMany" | "QueueClose" | "Send" -> 0
   | "Switch" -> 2
-  | "Quantize" -> 3
+  | "Quantize" | "QuantizeRange" | "QuantizedMatMulQ" | "QuantizedConv2DQ" -> 3
   | "SoftmaxCrossEntropy" -> 2
   | "DynamicPartition" -> attr_int n "num_partitions"
   | "ConcatGrad" -> attr_int n "n"

@@ -1,0 +1,63 @@
+(* Post-training calibration (§5): run representative batches through a
+   frozen inference graph and record per-endpoint activation ranges for
+   the Quantize optimizer pass. Two accumulation modes, as in TF's
+   quantization tooling: running min/max over every batch, or an
+   exponential moving average that forgets early outliers. *)
+
+open Octf_tensor
+
+type mode = Min_max | Ema of float
+
+type stat = { mutable lo : float; mutable hi : float; mutable batches : int }
+
+type t = { mode : mode; stats : (string, stat) Hashtbl.t }
+
+let create ?(mode = Min_max) () =
+  (match mode with
+  | Ema d when not (d > 0.0 && d <= 1.0) ->
+      invalid_arg "Quant_calibration.create: EMA decay must be in (0, 1]"
+  | _ -> ());
+  { mode; stats = Hashtbl.create 16 }
+
+let batch_range tensor =
+  let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+  for i = 0 to Tensor.numel tensor - 1 do
+    let v = Tensor.flat_get_f tensor i in
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  done;
+  if Tensor.numel tensor = 0 then (0.0, 0.0) else (!lo, !hi)
+
+let observe c name tensor =
+  let blo, bhi = batch_range tensor in
+  match Hashtbl.find_opt c.stats name with
+  | None -> Hashtbl.replace c.stats name { lo = blo; hi = bhi; batches = 1 }
+  | Some s ->
+      (match c.mode with
+      | Min_max ->
+          s.lo <- Float.min s.lo blo;
+          s.hi <- Float.max s.hi bhi
+      | Ema d ->
+          s.lo <- ((1.0 -. d) *. s.lo) +. (d *. blo);
+          s.hi <- ((1.0 -. d) *. s.hi) +. (d *. bhi));
+      s.batches <- s.batches + 1
+
+let endpoint_name (o : Builder.output) =
+  if o.Builder.out = 0 then o.Builder.node.Node.name
+  else Printf.sprintf "%s:%d" o.Builder.node.Node.name o.Builder.out
+
+let observe_step c session ?(feeds = []) endpoints =
+  let outs = Session.run ~feeds session endpoints in
+  List.iter2 (fun ep t -> observe c (endpoint_name ep) t) endpoints outs
+
+(* The pass quantizes against the returned range, so it must satisfy
+   the code invariants here: include 0.0 (zero-point in range) and
+   never be degenerate. Mirrors Quant_kernels.range_of. *)
+let ranges c name =
+  match Hashtbl.find_opt c.stats name with
+  | None -> None
+  | Some s ->
+      let lo = Float.min 0.0 s.lo and hi = Float.max 0.0 s.hi in
+      if hi -. lo < 1e-12 then Some (lo, lo +. 1.0) else Some (lo, hi)
+
+let observed c = Hashtbl.fold (fun k _ acc -> k :: acc) c.stats []

@@ -1,0 +1,56 @@
+(** Post-training calibration for quantized inference (§5).
+
+    Run representative batches through a frozen inference graph,
+    recording per-endpoint activation ranges; the resulting {!ranges}
+    lookup feeds {!Graph_optimizer.Quantize}, which quantizes
+    activations against the calibrated ranges ([QuantizeRange]) and
+    requantizes island outputs into them (codes-out kernels).
+
+    {[
+      let cal = Quant_calibration.create () in
+      List.iter
+        (fun batch ->
+          Quant_calibration.observe_step cal session
+            ~feeds:[ (x, batch) ] [ B.output conv1; B.output fc1 ])
+        representative_batches;
+      (* freeze + quantize against the calibration *)
+      Serving.freeze ~quantize:true
+        ~ranges:(Quant_calibration.ranges cal) ...
+    ]} *)
+
+open Octf_tensor
+
+(** How ranges accumulate across batches: running min/max, or an
+    exponential moving average [Ema decay] (decay in (0, 1]) that
+    forgets early outliers. *)
+type mode = Min_max | Ema of float
+
+type t
+
+val create : ?mode:mode -> unit -> t
+(** Default mode {!Min_max}.
+    @raise Invalid_argument for an EMA decay outside (0, 1]. *)
+
+val observe : t -> string -> Tensor.t -> unit
+(** Record one batch's value of the endpoint named [string] ("name" or
+    "name:k" for output k > 0 — {!Graph_optimizer.Quantize}'s key
+    convention). *)
+
+val observe_step :
+  t ->
+  Session.t ->
+  ?feeds:(Builder.output * Tensor.t) list ->
+  Builder.output list ->
+  unit
+(** Run one representative batch fetching the given endpoints and
+    {!observe} each under its endpoint name.
+    @raise Session.Run_error as {!Session.run} does. *)
+
+val ranges : t -> string -> (float * float) option
+(** The lookup the {!Graph_optimizer.Quantize} pass consumes: [None]
+    for unobserved endpoints; otherwise the accumulated range,
+    sanitized to include [0.0] and widened when degenerate (the code
+    invariants {!Quant_kernels} relies on). *)
+
+val observed : t -> string list
+(** Endpoint names with recorded statistics (unordered). *)

@@ -5,18 +5,39 @@
 
    8-bit affine quantization in the TF/gemmlowp style: a float tensor is
    mapped onto [0, 255] with a (min, max) range carried alongside as two
-   scalar tensors; QuantizedMatMul accumulates the 8-bit codes in integer
-   arithmetic (exactly what gemmlowp does) and produces the rescaled
-   float result. Quantized values travel in int32 tensors holding
-   0..255 codes. *)
+   scalar tensors; the quantized contractions accumulate the 8-bit codes
+   in integer arithmetic (exactly what gemmlowp does) and produce the
+   rescaled float result. Codes travel in packed uint8 tensors — one
+   byte per element, a 4x cut over float32 weights.
+
+   Two families of contraction kernels:
+   - [QuantizedMatMul] / [QuantizedConv2D] produce a float output
+     directly (used when no calibrated output range is known);
+   - [QuantizedMatMulQ] / [QuantizedConv2DQ] produce codes plus range
+     scalars, with optional fused bias / ReLU epilogues, so consecutive
+     quantized islands can exchange codes without a float round trip
+     (the optimizer elides the Dequantize/Quantize pair between them).
+
+   Shape and dtype violations raise structured {!Step_failure} errors
+   ([Invalid_graph]) rather than bare [Invalid_argument], so a bad
+   quantized graph surfaces through the session's typed error path. *)
 
 open Octf_tensor
 module K = Kernel
+module SF = Step_failure
 
 let t v = Value.Tensor v
 
 let levels = 255.0
 
+let invalid fmt =
+  Printf.ksprintf (fun m -> raise (SF.error (SF.Invalid_graph m))) fmt
+
+let grain_for ~item_cost ~target_work = max 1 (target_work / max 1 item_cost)
+
+(* The range always includes 0.0 (so zero quantizes exactly enough for
+   padding and ReLU cut-offs) and degenerate ranges are widened to a
+   unit interval so constant tensors still round-trip. *)
 let range_of tensor =
   let lo = ref Float.infinity and hi = ref Float.neg_infinity in
   for i = 0 to Tensor.numel tensor - 1 do
@@ -28,84 +49,312 @@ let range_of tensor =
   let hi = Float.max 0.0 !hi in
   if hi -. lo < 1e-12 then (lo, lo +. 1.0) else (lo, hi)
 
+let scale_of lo hi = (hi -. lo) /. levels
+
+(* The code that decodes nearest to 0.0; in-range because every range
+   includes zero. Convolution padding must be filled with this code —
+   code 0 decodes to [lo], not to zero. *)
+let zero_point lo hi =
+  let z = Float.round (-.lo *. levels /. (hi -. lo)) in
+  int_of_float (Float.max 0.0 (Float.min levels z))
+
+let quantize_with_range tensor lo hi =
+  if not (hi > lo) then invalid "Quantize: empty range [%g, %g]" lo hi;
+  let scale = levels /. (hi -. lo) in
+  let n = Tensor.numel tensor in
+  let q = Tensor.zeros Dtype.U8 (Tensor.shape tensor) in
+  let dst = Tensor.byte_buffer q in
+  Parallel.parallel_for ~grain:4096 n (fun l h ->
+      for i = l to h - 1 do
+        let code = Float.round ((Tensor.flat_get_f tensor i -. lo) *. scale) in
+        Bytes.unsafe_set dst i
+          (Char.unsafe_chr
+             (int_of_float (Float.max 0.0 (Float.min levels code))))
+      done);
+  q
+
 let quantize tensor =
   let lo, hi = range_of tensor in
-  let scale = levels /. (hi -. lo) in
-  let q = Tensor.zeros Dtype.I32 (Tensor.shape tensor) in
-  for i = 0 to Tensor.numel tensor - 1 do
-    let code =
-      Float.round ((Tensor.flat_get_f tensor i -. lo) *. scale)
-    in
-    Tensor.flat_set_i q i (int_of_float (Float.max 0.0 (Float.min levels code)))
-  done;
-  (q, lo, hi)
+  (quantize_with_range tensor lo hi, lo, hi)
 
 let dequantize q lo hi =
-  let scale = (hi -. lo) /. levels in
+  let scale = scale_of lo hi in
+  let n = Tensor.numel q in
   let out = Tensor.zeros Dtype.F32 (Tensor.shape q) in
-  for i = 0 to Tensor.numel q - 1 do
-    Tensor.flat_set_f out i (lo +. (float_of_int (Tensor.flat_get_i q i) *. scale))
+  let o = Tensor.float_buffer out in
+  (match Tensor.dtype q with
+  | Dtype.U8 ->
+      let src = Tensor.byte_buffer q in
+      Parallel.parallel_for ~grain:4096 n (fun l h ->
+          for i = l to h - 1 do
+            o.(i) <-
+              lo +. (float_of_int (Char.code (Bytes.unsafe_get src i)) *. scale)
+          done)
+  | _ ->
+      (* int-backed codes (e.g. hand-built in tests) still decode *)
+      for i = 0 to n - 1 do
+        o.(i) <- lo +. (float_of_int (Tensor.flat_get_i q i) *. scale)
+      done);
+  out
+
+let require_codes op operand q =
+  if Tensor.dtype q <> Dtype.U8 then
+    invalid "%s: %s must be uint8 codes (got %s)" op operand
+      (Dtype.to_string (Tensor.dtype q))
+
+let bias_vector op ~n = function
+  | None -> None
+  | Some bt ->
+      let bs = Tensor.shape bt in
+      if Array.length bs <> 1 || bs.(0) <> n then
+        invalid "%s: bias must be a length-%d vector" op n;
+      Some (Tensor.to_float_array bt)
+
+(* One [m,k] x [k,n] slice of packed codes, integer-accumulated and
+   rescaled into [out] at [obase] — the gemmlowp decomposition: with
+   a = a_lo + sa*qa and b = b_lo + sb*qb,
+     sum_p a_ip*b_pj = sa*sb*acc_ij + a_lo*sb*col_sum_j
+                       + b_lo*sa*row_sum_i + a_lo*b_lo*k.
+   Shards are disjoint row ranges and each output element is written by
+   exactly one shard in a fixed accumulation order, so results are
+   bit-identical across thread counts. Integer accumulators cannot
+   overflow: 255*255*k stays far inside OCaml's 63-bit ints. *)
+let gemm_q_into ~m ~k ~n ~a ~ao ~b ~bo ~a_lo ~a_hi ~b_lo ~b_hi ~bias ~relu
+    ~out ~obase =
+  let sa = scale_of a_lo a_hi and sb = scale_of b_lo b_hi in
+  let col_sum = Array.make n 0 in
+  for p = 0 to k - 1 do
+    let bb = bo + (p * n) in
+    for j = 0 to n - 1 do
+      col_sum.(j) <- col_sum.(j) + Char.code (Bytes.unsafe_get b (bb + j))
+    done
+  done;
+  let const_term = a_lo *. b_lo *. float_of_int k in
+  Parallel.parallel_for
+    ~grain:(grain_for ~item_cost:(k * n) ~target_work:32768)
+    m
+    (fun lo hi ->
+      let acc = Array.make n 0 in
+      for i = lo to hi - 1 do
+        Array.fill acc 0 n 0;
+        let abase = ao + (i * k) in
+        let rs = ref 0 in
+        for p = 0 to k - 1 do
+          let aip = Char.code (Bytes.unsafe_get a (abase + p)) in
+          if aip <> 0 then begin
+            rs := !rs + aip;
+            let bb = bo + (p * n) in
+            for j = 0 to n - 1 do
+              acc.(j) <-
+                acc.(j) + (aip * Char.code (Bytes.unsafe_get b (bb + j)))
+            done
+          end
+        done;
+        let row_term = (b_lo *. sa *. float_of_int !rs) +. const_term in
+        let ob = obase + (i * n) in
+        for j = 0 to n - 1 do
+          let v =
+            (sa *. sb *. float_of_int acc.(j))
+            +. (a_lo *. sb *. float_of_int col_sum.(j))
+            +. row_term
+          in
+          let v = match bias with None -> v | Some bs -> v +. bs.(j) in
+          out.(ob + j) <- (if relu && v < 0.0 then 0.0 else v)
+        done
+      done)
+
+let quantized_matmul ?bias ?(relu = false) qa a_lo a_hi qb b_lo b_hi =
+  let op = "QuantizedMatMul" in
+  require_codes op "lhs" qa;
+  require_codes op "rhs" qb;
+  let sa = Tensor.shape qa and sb = Tensor.shape qb in
+  let ra = Array.length sa and rb = Array.length sb in
+  if ra < 2 || rb < 2 then
+    invalid "%s: operands must be rank >= 2 (got ranks %d and %d)" op ra rb;
+  let m = sa.(ra - 2) and k = sa.(ra - 1) in
+  let kb = sb.(rb - 2) and n = sb.(rb - 1) in
+  if kb <> k then invalid "%s: inner dims %d vs %d" op k kb;
+  (* rhs is either a plain 2-D matrix shared by every batch slice of a
+     (the common weights case) or batched alongside the lhs. *)
+  let b_batched =
+    if rb = 2 then false
+    else begin
+      if rb <> ra then
+        invalid "%s: rhs must be 2-D or match lhs rank %d (got %d)" op ra rb;
+      for i = 0 to ra - 3 do
+        if sb.(i) <> sa.(i) then
+          invalid "%s: batch dims %d vs %d at axis %d" op sa.(i) sb.(i) i
+      done;
+      true
+    end
+  in
+  let batch = ref 1 in
+  for i = 0 to ra - 3 do
+    batch := !batch * sa.(i)
+  done;
+  let out_shape = Array.append (Array.sub sa 0 (ra - 2)) [| m; n |] in
+  let out = Tensor.zeros Dtype.F32 out_shape in
+  let o = Tensor.float_buffer out in
+  let a = Tensor.byte_buffer qa and b = Tensor.byte_buffer qb in
+  let bias = bias_vector op ~n bias in
+  for bi = 0 to !batch - 1 do
+    gemm_q_into ~m ~k ~n ~a ~ao:(bi * m * k) ~b
+      ~bo:(if b_batched then bi * k * n else 0)
+      ~a_lo ~a_hi ~b_lo ~b_hi ~bias ~relu ~out:o ~obase:(bi * m * n)
   done;
   out
 
-(* Integer-accumulated product of two quantized matrices, rescaled to
-   float: with a = a_lo + sa*qa and b = b_lo + sb*qb,
-   sum_k a_ik b_kj expands into four integer sums (the gemmlowp
-   decomposition). *)
-let quantized_matmul qa a_lo a_hi qb b_lo b_hi =
-  let sa = (a_hi -. a_lo) /. levels and sb = (b_hi -. b_lo) /. levels in
-  let shape_a = Tensor.shape qa and shape_b = Tensor.shape qb in
-  if Array.length shape_a <> 2 || Array.length shape_b <> 2 then
-    invalid_arg "QuantizedMatMul: 2-D operands required";
-  let m = shape_a.(0) and k = shape_a.(1) and n = shape_b.(1) in
-  if shape_b.(0) <> k then invalid_arg "QuantizedMatMul: inner dim mismatch";
-  let a = Tensor.int_buffer qa and b = Tensor.int_buffer qb in
-  (* Row sums of qa and column sums of qb for the cross terms. *)
-  let row_sum = Array.make m 0 in
-  for i = 0 to m - 1 do
-    for p = 0 to k - 1 do
-      row_sum.(i) <- row_sum.(i) + a.((i * k) + p)
-    done
-  done;
-  let col_sum = Array.make n 0 in
-  for p = 0 to k - 1 do
-    for j = 0 to n - 1 do
-      col_sum.(j) <- col_sum.(j) + b.((p * n) + j)
-    done
-  done;
-  let out = Tensor.zeros Dtype.F32 [| m; n |] in
-  for i = 0 to m - 1 do
-    for j = 0 to n - 1 do
-      let acc = ref 0 in
-      for p = 0 to k - 1 do
-        acc := !acc + (a.((i * k) + p) * b.((p * n) + j))
-      done;
-      let kf = float_of_int k in
-      let value =
-        (sa *. sb *. float_of_int !acc)
-        +. (a_lo *. sb *. float_of_int col_sum.(j))
-        +. (b_lo *. sa *. float_of_int row_sum.(i))
-        +. (a_lo *. b_lo *. kf)
-      in
-      Tensor.flat_set_f out ((i * n) + j) value
-    done
-  done;
+(* im2col over codes: identical patch layout to Tensor_ops.im2col, but
+   out-of-bounds (padding) entries hold the input's zero-point code —
+   the code decoding to ~0.0 — so padding contributes (quantized) zeros
+   to the contraction, matching the float conv's zero padding to within
+   half a quantization step. *)
+let im2col_q src ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph ~pw ~rows ~zp =
+  let kdim = fh * fw * ic in
+  let cols = Bytes.make (rows * kdim) (Char.chr zp) in
+  Parallel.parallel_for
+    ~grain:(grain_for ~item_cost:kdim ~target_work:16384)
+    rows
+    (fun lo hi ->
+      for rix = lo to hi - 1 do
+        let x = rix mod ow in
+        let by = rix / ow in
+        let y = by mod oh in
+        let b = by / oh in
+        let rbase = rix * kdim in
+        for ky = 0 to fh - 1 do
+          let sy = (y * sh) + ky - ph in
+          if sy >= 0 && sy < ih then
+            for kx = 0 to fw - 1 do
+              let sx = (x * sw) + kx - pw in
+              if sx >= 0 && sx < iw then begin
+                let ibase = ((((b * ih) + sy) * iw) + sx) * ic in
+                let cbase = rbase + (((ky * fw) + kx) * ic) in
+                Bytes.blit src ibase cols cbase ic
+              end
+            done
+        done
+      done);
+  cols
+
+let quantized_conv2d ?bias ?(relu = false) qin in_lo in_hi qf f_lo f_hi
+    ~strides ~padding =
+  let op = "QuantizedConv2D" in
+  require_codes op "input" qin;
+  require_codes op "filter" qf;
+  let is = Tensor.shape qin and fs = Tensor.shape qf in
+  if Array.length is <> 4 || Array.length fs <> 4 then
+    invalid "%s: input NHWC and filter HWIO required" op;
+  let batch = is.(0) and ih = is.(1) and iw = is.(2) and ic = is.(3) in
+  let fh = fs.(0) and fw = fs.(1) and fic = fs.(2) and oc = fs.(3) in
+  if ic <> fic then invalid "%s: channel mismatch %d vs %d" op ic fic;
+  let sh, sw = strides in
+  let oh, ph = Tensor_ops.conv_dim ~padding ~in_size:ih ~filter:fh ~stride:sh in
+  let ow, pw = Tensor_ops.conv_dim ~padding ~in_size:iw ~filter:fw ~stride:sw in
+  let rows = batch * oh * ow in
+  let kdim = fh * fw * ic in
+  let zp = zero_point in_lo in_hi in
+  let cols =
+    im2col_q (Tensor.byte_buffer qin) ~ih ~iw ~ic ~fh ~fw ~oh ~ow ~sh ~sw ~ph
+      ~pw ~rows ~zp
+  in
+  let out = Tensor.zeros Dtype.F32 [| batch; oh; ow; oc |] in
+  let bias = bias_vector op ~n:oc bias in
+  gemm_q_into ~m:rows ~k:kdim ~n:oc ~a:cols ~ao:0 ~b:(Tensor.byte_buffer qf)
+    ~bo:0 ~a_lo:in_lo ~a_hi:in_hi ~b_lo:f_lo ~b_hi:f_hi ~bias ~relu
+    ~out:(Tensor.float_buffer out) ~obase:0;
   out
+
+(* Kernel plumbing ---------------------------------------------------- *)
+
+let scalar ctx i = Tensor.flat_get_f (K.input_tensor ctx i) 0
+
+let range_outputs q lo hi =
+  [| t q; t (Tensor.scalar_f lo); t (Tensor.scalar_f hi) |]
+
+let strides_of node =
+  match Node.attr_ints node "strides" with
+  | [ a; b ] -> (a, b)
+  | _ -> invalid "%s: strides must be a list of two ints" node.Node.name
+
+let padding_of node =
+  match Node.attr_string node "padding" with
+  | "SAME" -> Tensor_ops.Same
+  | "VALID" -> Tensor_ops.Valid
+  | s -> invalid "%s: padding must be SAME or VALID, got %s" node.Node.name s
+
+(* The codes-out contractions carry their fused epilogue as an attr:
+   none | bias | relu | bias_relu; with bias the float bias vector is
+   input 6. A calibrated output range rides as out_lo/out_hi attrs —
+   absent, the kernel falls back to a dynamic min/max pass over the
+   float intermediate. *)
+let epilogue_of node =
+  match
+    Option.value ~default:"none"
+      (Attr.find_string node.Node.attrs "epilogue")
+  with
+  | "none" -> (false, false)
+  | "bias" -> (true, false)
+  | "relu" -> (false, true)
+  | "bias_relu" -> (true, true)
+  | s -> invalid "%s: unknown epilogue %S" node.Node.name s
+
+let out_range_of node =
+  match
+    ( Attr.find_float node.Node.attrs "out_lo",
+      Attr.find_float node.Node.attrs "out_hi" )
+  with
+  | Some lo, Some hi -> Some (lo, hi)
+  | _ -> None
+
+let requantize node y =
+  match out_range_of node with
+  | Some (lo, hi) -> (quantize_with_range y lo hi, lo, hi)
+  | None -> quantize y
 
 let register () =
   K.register ~op_type:"Quantize" (fun ctx ->
       let q, lo, hi = quantize (K.input_tensor ctx 0) in
-      [| t q; t (Tensor.scalar_f lo); t (Tensor.scalar_f hi) |]);
+      range_outputs q lo hi);
+  K.register ~op_type:"QuantizeRange" (fun ctx ->
+      let node = ctx.K.node in
+      let lo = Node.attr_float node "lo" and hi = Node.attr_float node "hi" in
+      range_outputs (quantize_with_range (K.input_tensor ctx 0) lo hi) lo hi);
   K.register ~op_type:"Dequantize" (fun ctx ->
       let q = K.input_tensor ctx 0 in
-      let lo = Tensor.flat_get_f (K.input_tensor ctx 1) 0 in
-      let hi = Tensor.flat_get_f (K.input_tensor ctx 2) 0 in
-      K.one (t (dequantize q lo hi)));
+      K.one (t (dequantize q (scalar ctx 1) (scalar ctx 2))));
   K.register ~op_type:"QuantizedMatMul" (fun ctx ->
-      let qa = K.input_tensor ctx 0 in
-      let a_lo = Tensor.flat_get_f (K.input_tensor ctx 1) 0 in
-      let a_hi = Tensor.flat_get_f (K.input_tensor ctx 2) 0 in
-      let qb = K.input_tensor ctx 3 in
-      let b_lo = Tensor.flat_get_f (K.input_tensor ctx 4) 0 in
-      let b_hi = Tensor.flat_get_f (K.input_tensor ctx 5) 0 in
-      K.one (t (quantized_matmul qa a_lo a_hi qb b_lo b_hi)))
+      K.one
+        (t
+           (quantized_matmul (K.input_tensor ctx 0) (scalar ctx 1)
+              (scalar ctx 2) (K.input_tensor ctx 3) (scalar ctx 4)
+              (scalar ctx 5))));
+  K.register ~op_type:"QuantizedConv2D" (fun ctx ->
+      let node = ctx.K.node in
+      K.one
+        (t
+           (quantized_conv2d (K.input_tensor ctx 0) (scalar ctx 1)
+              (scalar ctx 2) (K.input_tensor ctx 3) (scalar ctx 4)
+              (scalar ctx 5) ~strides:(strides_of node)
+              ~padding:(padding_of node))));
+  K.register ~op_type:"QuantizedMatMulQ" (fun ctx ->
+      let node = ctx.K.node in
+      let with_bias, relu = epilogue_of node in
+      let bias = if with_bias then Some (K.input_tensor ctx 6) else None in
+      let y =
+        quantized_matmul ?bias ~relu (K.input_tensor ctx 0) (scalar ctx 1)
+          (scalar ctx 2) (K.input_tensor ctx 3) (scalar ctx 4) (scalar ctx 5)
+      in
+      let q, lo, hi = requantize node y in
+      range_outputs q lo hi);
+  K.register ~op_type:"QuantizedConv2DQ" (fun ctx ->
+      let node = ctx.K.node in
+      let with_bias, relu = epilogue_of node in
+      let bias = if with_bias then Some (K.input_tensor ctx 6) else None in
+      let y =
+        quantized_conv2d ?bias ~relu (K.input_tensor ctx 0) (scalar ctx 1)
+          (scalar ctx 2) (K.input_tensor ctx 3) (scalar ctx 4) (scalar ctx 5)
+          ~strides:(strides_of node) ~padding:(padding_of node)
+      in
+      let q, lo, hi = requantize node y in
+      range_outputs q lo hi)

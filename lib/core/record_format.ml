@@ -128,6 +128,7 @@ let encode_example entries =
               (Int64.of_int (Tensor.flat_get_i tensor i))
           done;
           Buffer.add_bytes buf b
+      | Dtype.U8 -> Buffer.add_bytes buf (Tensor.byte_buffer tensor)
       | Dtype.String ->
           Array.iter
             (fun s ->
@@ -188,6 +189,8 @@ let decode_example s =
             Tensor.of_int_array ~dtype shape
               (Array.init n (fun i ->
                    Int64.to_int (Bytes.get_int64_le b (i * 8))))
+        | Dtype.U8 ->
+            Tensor.of_bytes shape (Bytes.of_string (take n "tensor data"))
         | Dtype.Bool ->
             let b = Bytes.of_string (take (n * 8) "tensor data") in
             Tensor.of_bool_array shape

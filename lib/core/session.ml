@@ -87,6 +87,7 @@ module Config = struct
     intra_op_threads : int option;
     memory_planning : bool option;
     fusion : bool option;
+    quantize : bool option;
     max_in_flight : int option;
     barrier : bool;
     remote : Remote.runner option;
@@ -102,13 +103,15 @@ module Config = struct
       intra_op_threads = None;
       memory_planning = None;
       fusion = None;
+      quantize = None;
       max_in_flight = None;
       barrier = false;
       remote = None;
     }
 
   let v ?devices ?resource_router ?seed ?passes ?scheduler ?intra_op_threads
-      ?memory_planning ?fusion ?max_in_flight ?(barrier = false) ?remote () =
+      ?memory_planning ?fusion ?quantize ?max_in_flight ?(barrier = false)
+      ?remote () =
     {
       devices;
       resource_router;
@@ -118,6 +121,7 @@ module Config = struct
       intra_op_threads;
       memory_planning;
       fusion;
+      quantize;
       max_in_flight;
       barrier;
       remote;
@@ -181,9 +185,19 @@ let default_fusion () =
   | Some ("0" | "off" | "false" | "no") -> false
   | _ -> true
 
+(* OCTF_QUANTIZE gates the int8 quantize pass when the caller does not
+   pass an explicit pipeline. Unlike fusion it defaults OFF: quantized
+   kernels change numerics, so the user must opt in. (The pass is also
+   inert on training graphs — it only rewrites contractions whose
+   weights are F32 Consts, which freezing produces.) *)
+let default_quantize () =
+  match Sys.getenv_opt "OCTF_QUANTIZE" with
+  | Some ("1" | "on" | "true" | "yes") -> true
+  | _ -> false
+
 let create ?(config = Config.default) ?devices ?resource_router ?seed
     ?optimize ?passes ?scheduler ?intra_op_threads ?memory_planning ?fusion
-    ?max_in_flight ?barrier ?remote graph =
+    ?quantize ?max_in_flight ?barrier ?remote graph =
   (* The one resolution point for every construction knob. Precedence:
      legacy label (deprecated wrappers) > [config] field > OCTF_* env >
      built-in default. The env lookups live in the per-field defaulting
@@ -202,6 +216,11 @@ let create ?(config = Config.default) ?devices ?resource_router ?seed
     | Some b -> b
     | None -> default_fusion ()
   in
+  let quantize =
+    match pick quantize config.Config.quantize with
+    | Some b -> b
+    | None -> default_quantize ()
+  in
   let passes =
     match pick passes config.Config.passes with
     | Some ps -> ps
@@ -209,8 +228,15 @@ let create ?(config = Config.default) ?devices ?resource_router ?seed
         match optimize with
         | Some false -> [] (* legacy ~optimize:false: prune only *)
         | _ ->
-            if fusion then Graph_optimizer.fused_pipeline
-            else Graph_optimizer.default_pipeline)
+            let base =
+              if fusion then Graph_optimizer.fused_pipeline
+              else Graph_optimizer.default_pipeline
+            in
+            if quantize then
+              base
+              @ [ Graph_optimizer.Quantize (fun _ -> None);
+                  Graph_optimizer.Prune ]
+            else base)
   in
   let scheduler = pick scheduler config.Config.scheduler in
   let intra_op_threads = pick intra_op_threads config.Config.intra_op_threads in

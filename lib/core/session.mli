@@ -80,6 +80,16 @@ module Config : sig
             {!Graph_optimizer.default_pipeline}); default on unless
             [OCTF_FUSION=off]. Ignored when [passes] is set explicitly.
             Fetches are bit-identical either way. *)
+    quantize : bool option;
+        (** whether the default pipeline appends the int8
+            {!Graph_optimizer.Quantize} pass (uncalibrated — dynamic
+            activation ranges) plus a prune; default {e off} unless
+            [OCTF_QUANTIZE=on] — quantized kernels change numerics, so
+            this is opt-in, unlike [fusion]. Ignored when [passes] is
+            set explicitly. The pass only rewrites contractions whose
+            weights are F32 [Const]s, so it is inert on training
+            graphs; for calibrated serving use {!Octf_serving.Serving}'s
+            freeze with ranges. *)
     max_in_flight : int option;
         (** K ≥ 1 bound on concurrent {!run_async} steps; default from
             [OCTF_MAX_IN_FLIGHT], else 1 *)
@@ -105,6 +115,7 @@ module Config : sig
     ?intra_op_threads:int ->
     ?memory_planning:bool ->
     ?fusion:bool ->
+    ?quantize:bool ->
     ?max_in_flight:int ->
     ?barrier:bool ->
     ?remote:Remote.runner ->
@@ -123,6 +134,7 @@ val create :
   ?intra_op_threads:int ->
   ?memory_planning:bool ->
   ?fusion:bool ->
+  ?quantize:bool ->
   ?max_in_flight:int ->
   ?barrier:bool ->
   ?remote:Remote.runner ->

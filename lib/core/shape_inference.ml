@@ -328,7 +328,48 @@ and compute eng (n : Node.t) =
       match List.find_opt (fun s -> s <> Unknown) (all_inputs ()) with
       | Some s -> one s
       | None -> one Unknown)
-  | "Quantize" -> [ in_n 0; Known [||]; Known [||] ]
+  | "Quantize" | "QuantizeRange" -> [ in_n 0; Known [||]; Known [||] ]
+  | "QuantizedMatMul" | "QuantizedMatMulQ" ->
+      (* codes at inputs 0 and 3, range scalars between; lhs may be
+         batched ([...; m; k]), rhs 2-D or batched alongside. *)
+      let out =
+        match (in_n 0, in_n 3) with
+        | Known a, Known b when Shape.rank a >= 2 && Shape.rank b >= 2 ->
+            let ra = Shape.rank a and rb = Shape.rank b in
+            let k = a.(ra - 1) and kb = b.(rb - 2) in
+            if k <> kb then
+              fail n "QuantizedMatMul inner dimensions %d vs %d" k kb;
+            let s = Array.copy a in
+            s.(ra - 1) <- b.(rb - 1);
+            Known s
+        | _ -> Unknown
+      in
+      if n.Node.op_type = "QuantizedMatMul" then one out
+      else [ out; Known [||]; Known [||] ]
+  | "QuantizedConv2D" | "QuantizedConv2DQ" ->
+      let out =
+        match (in_n 0, in_n 3) with
+        | Known i, Known f when Shape.rank i = 4 && Shape.rank f = 4 ->
+            if i.(3) <> f.(2) then
+              fail n "QuantizedConv2D channels %d vs filter in-channels %d"
+                i.(3) f.(2);
+            let same = Node.attr_string n "padding" = "SAME" in
+            let sh, sw =
+              match Node.attr_ints n "strides" with
+              | [ a; b ] -> (a, b)
+              | _ -> fail n "bad strides"
+            in
+            Known
+              [|
+                i.(0);
+                conv_out ~same ~in_size:i.(1) ~filter:f.(0) ~stride:sh;
+                conv_out ~same ~in_size:i.(2) ~filter:f.(1) ~stride:sw;
+                f.(3);
+              |]
+        | _ -> Unknown
+      in
+      if n.Node.op_type = "QuantizedConv2D" then one out
+      else [ out; Known [||]; Known [||] ]
   | "RangeLike" -> one Unknown
   | "RandomIndices" -> one (Known [| Node.attr_int n "n" |])
   | _ ->

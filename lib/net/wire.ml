@@ -134,6 +134,7 @@ let put_tensor b t =
       for i = 0 to n - 1 do
         put_i64 b (Tensor.flat_get_i t i)
       done
+  | Dtype.U8 -> Buffer.add_bytes b (Tensor.byte_buffer t)
   | Dtype.String -> Array.iter (fun s -> put_string b s) (Tensor.string_buffer t)
 
 let get_tensor r =
@@ -161,6 +162,11 @@ let get_tensor r =
   | Dtype.I32 | Dtype.I64 ->
       need r (n * 8) "tensor data";
       Tensor.of_int_array ~dtype shape (Array.init n (fun _ -> get_i64 r))
+  | Dtype.U8 ->
+      need r n "tensor data";
+      let b = Bytes.of_string (String.sub r.buf r.pos n) in
+      r.pos <- r.pos + n;
+      Tensor.of_bytes shape b
   | Dtype.Bool ->
       need r (n * 8) "tensor data";
       Tensor.of_bool_array shape (Array.init n (fun _ -> get_i64 r <> 0))

@@ -71,11 +71,20 @@ let hot_metrics name =
 (* ------------------------------------------------------------------ *)
 (* Freeze                                                              *)
 
-let freeze_pipeline values =
+let freeze_pipeline ?(quantize = false) ?ranges values =
   (* Freeze first, re-prune so the frozen Consts (and the now-dead
      Variables) are in/out of the working set, then the standard
-     pipeline over the inference subgraph. *)
-  GO.Freeze values :: GO.Prune :: GO.default_pipeline
+     pipeline over the inference subgraph. With [quantize], the int8
+     pass runs last — after freezing, so weights are F32 Consts (its
+     eligibility condition) — against the calibrated [ranges] lookup
+     (default: none, i.e. dynamic activation quantization). *)
+  let base = GO.Freeze values :: GO.Prune :: GO.default_pipeline in
+  if quantize then
+    base
+    @ [
+        GO.Quantize (Option.value ~default:(fun _ -> None) ranges); GO.Prune;
+      ]
+  else base
 
 let endpoint_list outputs = List.map B.endpoint_of_output outputs
 
@@ -110,12 +119,29 @@ let inference_node_count session ~inputs ~outputs =
     (Octf.Pruner.prune (Session.graph session) ~feeds:(endpoint_list inputs)
        ~fetches:(endpoint_list outputs) ~targets:[])
 
-let freeze ?(config = Session.Config.default) ~values ~inputs ~outputs graph =
+let freeze ?(config = Session.Config.default) ?quantize ?ranges ~values
+    ~inputs ~outputs graph =
   (* Work on a copy: the freeze pass rewrites edges in place, and the
      training graph must keep reading its live variables. *)
   let graph = Octf.Graph.copy graph in
+  (* The quantize knob resolves like Session.create's: explicit arg >
+     config field > OCTF_QUANTIZE > off. *)
+  let quantize =
+    match quantize with
+    | Some b -> b
+    | None -> (
+        match config.Session.Config.quantize with
+        | Some b -> b
+        | None -> (
+            match Sys.getenv_opt "OCTF_QUANTIZE" with
+            | Some ("1" | "on" | "true" | "yes") -> true
+            | _ -> false))
+  in
   let config =
-    { config with Session.Config.passes = Some (freeze_pipeline values) }
+    {
+      config with
+      Session.Config.passes = Some (freeze_pipeline ~quantize ?ranges values);
+    }
   in
   let session = Session.create ~config graph in
   (* Compile (and thereby freeze) the inference step now: every request
@@ -125,17 +151,18 @@ let freeze ?(config = Session.Config.default) ~values ~inputs ~outputs graph =
   verify_stateless graph ~inputs ~outputs;
   session
 
-let freeze_session ?config ~inputs ~outputs session =
-  freeze ?config
+let freeze_session ?config ?quantize ?ranges ~inputs ~outputs session =
+  freeze ?config ?quantize ?ranges
     ~values:(Session.variable_values session)
     ~inputs ~outputs (Session.graph session)
 
-let freeze_checkpoint ?config ~path ~inputs ~outputs graph =
+let freeze_checkpoint ?config ?quantize ?ranges ~path ~inputs ~outputs graph =
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun (name, tensor) -> Hashtbl.replace tbl name tensor)
     (Octf.Checkpoint_format.read_all path);
-  freeze ?config ~values:(Hashtbl.find_opt tbl) ~inputs ~outputs graph
+  freeze ?config ?quantize ?ranges ~values:(Hashtbl.find_opt tbl) ~inputs
+    ~outputs graph
 
 (* ------------------------------------------------------------------ *)
 (* Batching tensor plumbing                                            *)
@@ -157,6 +184,9 @@ let stack parts =
     | Dtype.I32 | Dtype.I64 ->
         Array.blit (Tensor.int_buffer src) 0 (Tensor.int_buffer out) dst_off
           rs
+    | Dtype.U8 ->
+        Bytes.blit (Tensor.byte_buffer src) 0 (Tensor.byte_buffer out)
+          dst_off rs
     | Dtype.Bool ->
         Array.blit (Tensor.bool_buffer src) 0 (Tensor.bool_buffer out)
           dst_off rs
@@ -181,6 +211,9 @@ let unstack_row batched i =
   | Dtype.I32 | Dtype.I64 ->
       Array.blit (Tensor.int_buffer batched) (i * rs) (Tensor.int_buffer out)
         0 rs
+  | Dtype.U8 ->
+      Bytes.blit (Tensor.byte_buffer batched) (i * rs)
+        (Tensor.byte_buffer out) 0 rs
   | Dtype.Bool ->
       Array.blit (Tensor.bool_buffer batched) (i * rs)
         (Tensor.bool_buffer out) 0 rs

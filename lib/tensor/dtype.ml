@@ -1,4 +1,4 @@
-type t = F32 | F64 | I32 | I64 | Bool | String
+type t = F32 | F64 | I32 | I64 | U8 | Bool | String
 
 let equal (a : t) (b : t) = a = b
 
@@ -7,6 +7,7 @@ let to_string = function
   | F64 -> "float64"
   | I32 -> "int32"
   | I64 -> "int64"
+  | U8 -> "uint8"
   | Bool -> "bool"
   | String -> "string"
 
@@ -15,22 +16,23 @@ let of_string = function
   | "float64" -> F64
   | "int32" -> I32
   | "int64" -> I64
+  | "uint8" -> U8
   | "bool" -> Bool
   | "string" -> String
   | s -> invalid_arg ("Dtype.of_string: " ^ s)
 
 let is_floating = function
   | F32 | F64 -> true
-  | I32 | I64 | Bool | String -> false
+  | I32 | I64 | U8 | Bool | String -> false
 
 let is_integer = function
-  | I32 | I64 -> true
+  | I32 | I64 | U8 -> true
   | F32 | F64 | Bool | String -> false
 
 let byte_size = function
   | F32 | I32 -> 4
   | F64 | I64 -> 8
-  | Bool -> 1
+  | U8 | Bool -> 1
   | String -> 0
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -2,11 +2,14 @@
 
     The paper (§3.1) models all data as dense tensors whose elements have
     one of a small number of primitive types. We support the types the
-    experiments need: 32/64-bit floats, 32/64-bit integers, booleans and
-    strings. Floats are stored in OCaml [float array]s (64-bit); [F32] is
-    a semantic tag that affects serialization width, not storage. *)
+    experiments need: 32/64-bit floats, 32/64-bit integers, unsigned
+    8-bit integers (quantized codes, §5), booleans and strings. Floats
+    are stored in OCaml [float array]s (64-bit); [F32] is a semantic tag
+    that affects serialization width, not storage. [U8] tensors are
+    packed one byte per element ([Bytes.t] backing), which is what buys
+    quantized weights their ~4x memory cut over [F32]. *)
 
-type t = F32 | F64 | I32 | I64 | Bool | String
+type t = F32 | F64 | I32 | I64 | U8 | Bool | String
 
 val equal : t -> t -> bool
 

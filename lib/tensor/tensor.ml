@@ -1,6 +1,7 @@
 type buffer =
   | Float_buf of float array
   | Int_buf of int array
+  | Byte_buf of Bytes.t  (* U8: packed, one byte per element (§5 codes) *)
   | Bool_buf of bool array
   | String_buf of string array
 
@@ -9,6 +10,7 @@ type t = { dtype : Dtype.t; shape : Shape.t; buf : buffer }
 let buffer_length = function
   | Float_buf a -> Array.length a
   | Int_buf a -> Array.length a
+  | Byte_buf b -> Bytes.length b
   | Bool_buf a -> Array.length a
   | String_buf a -> Array.length a
 
@@ -16,6 +18,7 @@ let buffer_matches dtype buf =
   match (dtype, buf) with
   | (Dtype.F32 | Dtype.F64), Float_buf _ -> true
   | (Dtype.I32 | Dtype.I64), Int_buf _ -> true
+  | Dtype.U8, Byte_buf _ -> true
   | Dtype.Bool, Bool_buf _ -> true
   | Dtype.String, String_buf _ -> true
   | _ -> false
@@ -36,6 +39,7 @@ let alloc dtype shape =
     match dtype with
     | Dtype.F32 | Dtype.F64 -> Float_buf (Buffer_pool.alloc_float n)
     | Dtype.I32 | Dtype.I64 -> Int_buf (Array.make n 0)
+    | Dtype.U8 -> Byte_buf (Bytes.make n '\000')
     | Dtype.Bool -> Bool_buf (Array.make n false)
     | Dtype.String -> String_buf (Array.make n "")
   in
@@ -48,6 +52,9 @@ let full dtype shape v =
   (match t.buf with
   | Float_buf a -> Array.fill a 0 (Array.length a) v
   | Int_buf a -> Array.fill a 0 (Array.length a) (int_of_float v)
+  | Byte_buf b ->
+      Bytes.fill b 0 (Bytes.length b)
+        (Char.chr (max 0 (min 255 (int_of_float v))))
   | Bool_buf a -> Array.fill a 0 (Array.length a) (v <> 0.0)
   | String_buf _ -> invalid_arg "Tensor.full: string tensor");
   t
@@ -68,6 +75,8 @@ let of_float_array ?(dtype = Dtype.F32) shape a =
 let of_int_array ?(dtype = Dtype.I32) shape a = create dtype shape (Int_buf a)
 
 let of_bool_array shape a = create Dtype.Bool shape (Bool_buf a)
+
+let of_bytes shape b = create Dtype.U8 shape (Byte_buf b)
 
 let of_string_array shape a = create Dtype.String shape (String_buf a)
 
@@ -101,31 +110,38 @@ let byte_size t = numel t * Dtype.byte_size t.dtype
 let float_buffer t =
   match t.buf with
   | Float_buf a -> a
-  | Int_buf _ | Bool_buf _ | String_buf _ ->
+  | Int_buf _ | Byte_buf _ | Bool_buf _ | String_buf _ ->
       invalid_arg "Tensor.float_buffer: not a float tensor"
 
 let int_buffer t =
   match t.buf with
   | Int_buf a -> a
-  | Float_buf _ | Bool_buf _ | String_buf _ ->
+  | Float_buf _ | Byte_buf _ | Bool_buf _ | String_buf _ ->
       invalid_arg "Tensor.int_buffer: not an int tensor"
+
+let byte_buffer t =
+  match t.buf with
+  | Byte_buf b -> b
+  | Float_buf _ | Int_buf _ | Bool_buf _ | String_buf _ ->
+      invalid_arg "Tensor.byte_buffer: not a uint8 tensor"
 
 let bool_buffer t =
   match t.buf with
   | Bool_buf a -> a
-  | Float_buf _ | Int_buf _ | String_buf _ ->
+  | Float_buf _ | Int_buf _ | Byte_buf _ | String_buf _ ->
       invalid_arg "Tensor.bool_buffer: not a bool tensor"
 
 let string_buffer t =
   match t.buf with
   | String_buf a -> a
-  | Float_buf _ | Int_buf _ | Bool_buf _ ->
+  | Float_buf _ | Int_buf _ | Byte_buf _ | Bool_buf _ ->
       invalid_arg "Tensor.string_buffer: not a string tensor"
 
 let flat_get_f t i =
   match t.buf with
   | Float_buf a -> a.(i)
   | Int_buf a -> float_of_int a.(i)
+  | Byte_buf b -> float_of_int (Char.code (Bytes.get b i))
   | Bool_buf a -> if a.(i) then 1.0 else 0.0
   | String_buf _ -> invalid_arg "Tensor.flat_get_f: string tensor"
 
@@ -133,6 +149,7 @@ let flat_get_i t i =
   match t.buf with
   | Int_buf a -> a.(i)
   | Float_buf a -> int_of_float a.(i)
+  | Byte_buf b -> Char.code (Bytes.get b i)
   | Bool_buf a -> if a.(i) then 1 else 0
   | String_buf _ -> invalid_arg "Tensor.flat_get_i: string tensor"
 
@@ -140,6 +157,7 @@ let flat_set_f t i v =
   match t.buf with
   | Float_buf a -> a.(i) <- v
   | Int_buf a -> a.(i) <- int_of_float v
+  | Byte_buf b -> Bytes.set b i (Char.chr (max 0 (min 255 (int_of_float v))))
   | Bool_buf a -> a.(i) <- v <> 0.0
   | String_buf _ -> invalid_arg "Tensor.flat_set_f: string tensor"
 
@@ -147,6 +165,7 @@ let flat_set_i t i v =
   match t.buf with
   | Int_buf a -> a.(i) <- v
   | Float_buf a -> a.(i) <- float_of_int v
+  | Byte_buf b -> Bytes.set b i (Char.chr (max 0 (min 255 v)))
   | Bool_buf a -> a.(i) <- v <> 0
   | String_buf _ -> invalid_arg "Tensor.flat_set_i: string tensor"
 
@@ -165,6 +184,7 @@ let copy t =
     match t.buf with
     | Float_buf a -> Float_buf (Array.copy a)
     | Int_buf a -> Int_buf (Array.copy a)
+    | Byte_buf b -> Byte_buf (Bytes.copy b)
     | Bool_buf a -> Bool_buf (Array.copy a)
     | String_buf a -> String_buf (Array.copy a)
   in
@@ -200,6 +220,13 @@ let cast t new_dtype =
         of_float_array ~dtype:new_dtype t.shape (to_float_array t)
     | Dtype.I32 | Dtype.I64 ->
         of_int_array ~dtype:new_dtype t.shape (to_int_array t)
+    | Dtype.U8 ->
+        let n = numel t in
+        let b = Bytes.create n in
+        for i = 0 to n - 1 do
+          Bytes.set b i (Char.chr (max 0 (min 255 (flat_get_i t i))))
+        done;
+        of_bytes t.shape b
     | Dtype.Bool ->
         of_bool_array t.shape
           (Array.init (numel t) (fun i -> flat_get_f t i <> 0.0))
@@ -338,6 +365,7 @@ let to_string t =
     match t.buf with
     | Float_buf a -> Printf.sprintf "%g" a.(i)
     | Int_buf a -> string_of_int a.(i)
+    | Byte_buf b -> string_of_int (Char.code (Bytes.get b i))
     | Bool_buf a -> string_of_bool a.(i)
     | String_buf a -> Printf.sprintf "%S" a.(i)
   in

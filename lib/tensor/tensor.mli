@@ -9,6 +9,7 @@
 type buffer =
   | Float_buf of float array
   | Int_buf of int array
+  | Byte_buf of Bytes.t  (** [U8]: packed, one byte per element *)
   | Bool_buf of bool array
   | String_buf of string array
 
@@ -39,6 +40,11 @@ val of_float_array : ?dtype:Dtype.t -> Shape.t -> float array -> t
 val of_int_array : ?dtype:Dtype.t -> Shape.t -> int array -> t
 
 val of_bool_array : Shape.t -> bool array -> t
+
+val of_bytes : Shape.t -> Bytes.t -> t
+(** [of_bytes shape b] wraps a packed byte buffer as a [U8] tensor (one
+    byte per element, no copy) — the storage form of 8-bit quantized
+    codes (§5). *)
 
 val of_string_array : Shape.t -> string array -> t
 
@@ -93,6 +99,10 @@ val float_buffer : t -> float array
     tensor is not float-backed. *)
 
 val int_buffer : t -> int array
+
+val byte_buffer : t -> Bytes.t
+(** Packed [U8] backing without copy. @raise Invalid_argument if the
+    tensor is not uint8. *)
 
 val bool_buffer : t -> bool array
 

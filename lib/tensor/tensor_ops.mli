@@ -140,6 +140,12 @@ val dynamic_stitch : Tensor.t list -> Tensor.t list -> Tensor.t
 
 type padding = Same | Valid
 
+val conv_dim :
+  padding:padding -> in_size:int -> filter:int -> stride:int -> int * int
+(** [(out_size, pad_before)] for one spatial axis — the arithmetic
+    shared by [conv2d], its gradients, and the quantized convolution
+    ({!Octf.Quant_kernels}). *)
+
 val conv2d :
   Tensor.t -> Tensor.t -> strides:int * int -> padding:padding -> Tensor.t
 (** [conv2d input filter]: input is NHWC [batch; h; w; in_c], filter is

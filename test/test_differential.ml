@@ -295,6 +295,128 @@ let divergence prog k =
 let program_to_string prog k =
   String.concat "\n" (List.init k (fun i -> "  " ^ instr_to_string i prog.(i)))
 
+(* Quantized legs: the dynamic Quantize pass rewrites every eligible
+   matmul (const rhs weights) to 8-bit arithmetic, so fetches are NOT
+   bit-identical to the float reference — they must instead stay within
+   the quantization error budget, and the quantized runs themselves
+   must be bit-identical across schedulers and thread counts (the
+   integer kernels shard deterministically).
+
+   Error model: one dynamically quantized matmul with operands bounded
+   by M and inner dimension k contributes at most
+   k * (2M * step/2 + step^2/4) with step <= 2M/255 — about 0.008*k*M^2
+   in absolute terms; downstream ops propagate and (matmul/add_n)
+   amplify it linearly in M. The tolerance below is that analytic
+   per-island bound scaled by the graph's observed magnitude, with a
+   comfortable constant margin for chained islands. *)
+let quant_configs =
+  [
+    (Scheduler.Inline, 1); (Scheduler.Inline, 4);
+    (Scheduler.Pool, 1); (Scheduler.Pool, 4);
+  ]
+
+let max_abs tensors =
+  List.fold_left
+    (fun acc t ->
+      let m = ref acc in
+      for i = 0 to Tensor.numel t - 1 do
+        m := Float.max !m (Float.abs (Tensor.flat_get_f t i))
+      done;
+      !m)
+    0.0 tensors
+
+let quant_divergence prog k =
+  let _, probe_fetches, _ = build_graph prog k in
+  if probe_fetches = [] then None
+  else begin
+    let run ~quantize (scheduler, threads) =
+      Parallel.set_threads threads;
+      let b, fetches, feeds = build_graph prog k in
+      let s =
+        if quantize then
+          Session.create
+            ~passes:
+              [
+                Graph_optimizer.Quantize (fun _ -> None);
+                Graph_optimizer.Prune;
+              ]
+            ~scheduler (B.graph b)
+        else Session.create ~optimize:false ~scheduler (B.graph b)
+      in
+      Session.run ~feeds s fetches
+    in
+    let reference = run ~quantize:false (List.hd quant_configs) in
+    (* magnitude-scaled analytic tolerance; the +0.05 floor covers
+       near-zero fetches downstream of cancelling subtractions *)
+    let m = Float.max 1.0 (max_abs reference) in
+    let tol = 0.05 +. (0.05 *. m *. m) in
+    let q_reference = run ~quantize:true (List.hd quant_configs) in
+    let within_tol =
+      List.for_all2
+        (fun r q ->
+          let ok = ref true in
+          for i = 0 to Tensor.numel r - 1 do
+            if
+              Float.abs (Tensor.flat_get_f r i -. Tensor.flat_get_f q i)
+              > tol
+            then ok := false
+          done;
+          !ok)
+        reference q_reference
+    in
+    if not within_tol then
+      Some
+        (Printf.sprintf
+           "quantized fetches exceed error budget %.3f vs float reference" tol)
+    else
+      List.fold_left
+        (fun acc config ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              let got = run ~quantize:true config in
+              if List.for_all2 Tensor.equal q_reference got then None
+              else
+                Some
+                  (Printf.sprintf
+                     "quantized fetches diverge: scheduler=%s threads=%d \
+                      not bit-identical to the quantized reference"
+                     (Scheduler.policy_to_string (fst config))
+                     (snd config)))
+        None (List.tl quant_configs)
+  end
+
+(* The same 200-DAG corpus as the bit-identical harness, under the
+   dynamic quantization pass: eligible graphs (matmul with const rhs)
+   run quantized, everything else passes through untouched. *)
+let test_random_dags_quantized () =
+  let saved = Parallel.threads () in
+  Fun.protect ~finally:(fun () -> Parallel.set_threads saved) @@ fun () ->
+  let graphs = 200 in
+  for seed = 1 to graphs do
+    let rng = Rng.create (1000 + seed) in
+    let ops = 4 + Rng.int rng 11 in
+    let prog = gen_program rng ~ops in
+    let n = Array.length prog in
+    match quant_divergence prog n with
+    | None -> ()
+    | Some full_msg ->
+        let k = ref n and msg = ref full_msg in
+        (try
+           for j = 1 to n - 1 do
+             match quant_divergence prog j with
+             | Some m ->
+                 k := j;
+                 msg := m;
+                 raise Exit
+             | None -> ()
+           done
+         with Exit -> ());
+        Alcotest.failf "seed %d, shrunk to %d instructions: %s\n%s" seed !k
+          !msg
+          (program_to_string prog !k)
+  done
+
 let test_random_dags () =
   let saved = Parallel.threads () in
   Fun.protect ~finally:(fun () -> Parallel.set_threads saved) @@ fun () ->
@@ -398,6 +520,8 @@ let suite =
   [
     Alcotest.test_case "200 random DAGs, 16 configs, bit-identical" `Quick
       test_random_dags;
+    Alcotest.test_case "200 random DAGs, quantized within error budget" `Quick
+      test_random_dags_quantized;
     Alcotest.test_case "pipelined K=1/K=4/barrier bit-identical" `Quick
       test_pipelined_stateless;
     Alcotest.test_case "pipelined variable updates linearize" `Quick
